@@ -1,0 +1,88 @@
+// Sec. VI-C "Scalability" (AutoGrader): repair-search cost explodes with
+// the number of injected errors, while pattern matching stays flat. The
+// paper: "Sketch can provide up to four repairs beyond which its performance
+// degrades significantly."
+
+#include <chrono>
+#include <cstdio>
+#include <vector>
+
+#include "baselines/autograder_lite.h"
+#include "core/submission_matcher.h"
+#include "javalang/parser.h"
+#include "kb/assignments.h"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double MillisSince(Clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - start)
+      .count();
+}
+
+/// Picks a choice vector with exactly `errors` sites deviating, preferring
+/// deviations that are functionally meaningful (variant 1 of each site).
+std::vector<size_t> ChoiceWithErrors(const jfeed::synth::SubmissionTemplate&
+                                         model,
+                                     int errors) {
+  std::vector<size_t> choice(model.sites().size(), 0);
+  int injected = 0;
+  for (size_t s = 0; s < model.sites().size() && injected < errors; ++s) {
+    if (model.sites()[s].variants.size() > 1) {
+      choice[s] = 1;
+      ++injected;
+    }
+  }
+  return choice;
+}
+
+}  // namespace
+
+int main() {
+  const auto& assignment =
+      jfeed::kb::KnowledgeBase::Get().assignment("assignment1");
+  jfeed::baselines::AutoGraderLite grader(assignment.generator,
+                                          assignment.suite);
+
+  std::printf(
+      "AutoGrader-style repair search vs. pattern matching (Assignment 1)\n"
+      "%-8s %12s %14s %12s %14s\n",
+      "errors", "repairs", "candidates", "search(ms)", "matching(ms)");
+
+  for (int errors = 0; errors <= 6; ++errors) {
+    std::vector<size_t> choice =
+        ChoiceWithErrors(assignment.generator, errors);
+    std::string source = assignment.generator.Instantiate(choice);
+
+    Clock::time_point t0 = Clock::now();
+    auto repair = grader.Repair(choice, /*max_repairs=*/6,
+                                /*max_candidates=*/500000);
+    double search_ms = MillisSince(t0);
+
+    Clock::time_point t1 = Clock::now();
+    auto feedback =
+        jfeed::core::MatchSubmissionSource(assignment.spec, source);
+    double match_ms = MillisSince(t1);
+
+    if (!repair.ok() || !feedback.ok()) {
+      std::fprintf(stderr, "run failed for %d errors\n", errors);
+      continue;
+    }
+    char repairs[32];
+    if (repair->repaired) {
+      std::snprintf(repairs, sizeof(repairs), "%d", repair->repairs);
+    } else {
+      std::snprintf(repairs, sizeof(repairs), "%s",
+                    repair->budget_exhausted ? "budget!" : "none<=6");
+    }
+    std::printf("%-8d %12s %14llu %12.2f %14.3f\n", errors, repairs,
+                static_cast<unsigned long long>(repair->candidates_tried),
+                search_ms, match_ms);
+  }
+  std::printf(
+      "\nShape check: search cost grows combinatorially with the number of "
+      "repairs\n(the paper's >=4-repair degradation); matching cost is "
+      "independent of it.\n");
+  return 0;
+}

@@ -1,0 +1,78 @@
+// Front-end and EPDG-builder throughput: the fixed per-submission cost that
+// precedes matching (part of the paper's column M, since their matching time
+// includes building the extended program dependence graph with ANTLR +
+// JGraphT).
+
+#include <string>
+
+#include <benchmark/benchmark.h>
+
+#include "javalang/lexer.h"
+#include "javalang/parser.h"
+#include "kb/assignments.h"
+#include "pdg/epdg.h"
+
+namespace {
+
+namespace java = jfeed::java;
+namespace pdg = jfeed::pdg;
+
+void BM_Lex(benchmark::State& state) {
+  const auto& kb = jfeed::kb::KnowledgeBase::Get();
+  std::string source =
+      kb.assignment(kb.assignment_ids()[state.range(0)]).Reference();
+  for (auto _ : state) {
+    auto tokens = java::Lex(source);
+    benchmark::DoNotOptimize(tokens);
+  }
+  state.SetLabel(kb.assignment_ids()[state.range(0)]);
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(source.size()));
+}
+BENCHMARK(BM_Lex)->Arg(0)->Arg(10);
+
+void BM_Parse(benchmark::State& state) {
+  const auto& kb = jfeed::kb::KnowledgeBase::Get();
+  std::string source =
+      kb.assignment(kb.assignment_ids()[state.range(0)]).Reference();
+  for (auto _ : state) {
+    auto unit = java::Parse(source);
+    benchmark::DoNotOptimize(unit);
+  }
+  state.SetLabel(kb.assignment_ids()[state.range(0)]);
+}
+BENCHMARK(BM_Parse)->DenseRange(0, 11);
+
+void BM_BuildEpdg(benchmark::State& state) {
+  const auto& kb = jfeed::kb::KnowledgeBase::Get();
+  auto unit = java::Parse(
+      kb.assignment(kb.assignment_ids()[state.range(0)]).Reference());
+  for (auto _ : state) {
+    auto graph = pdg::BuildEpdg(unit->methods[0]);
+    benchmark::DoNotOptimize(graph);
+  }
+  state.SetLabel(kb.assignment_ids()[state.range(0)]);
+}
+BENCHMARK(BM_BuildEpdg)->DenseRange(0, 11);
+
+void BM_ParseAndBuildScaling(benchmark::State& state) {
+  // Methods with a growing number of statements: EPDG construction should
+  // stay near-linear (data-edge fan-out is bounded by variable reuse).
+  int statements = static_cast<int>(state.range(0));
+  std::string source = "void f(int n) {\n  int s = 0;\n";
+  for (int i = 0; i < statements; ++i) {
+    source += "  s += " + std::to_string(i) + ";\n";
+  }
+  source += "  System.out.println(s);\n}\n";
+  for (auto _ : state) {
+    auto unit = java::Parse(source);
+    auto graph = pdg::BuildEpdg(unit->methods[0]);
+    benchmark::DoNotOptimize(graph);
+  }
+  state.SetComplexityN(statements);
+}
+BENCHMARK(BM_ParseAndBuildScaling)->Range(8, 512)->Complexity();
+
+}  // namespace
+
+BENCHMARK_MAIN();

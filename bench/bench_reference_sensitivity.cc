@@ -1,0 +1,142 @@
+// Sec. VI-C "Reference solutions": CLARA needs one reference per trace
+// shape of a correct solution (the Fig. 8 pair lands in different
+// clusters), while a single pattern/constraint specification accepts all of
+// them. This bench clusters a family of correct Assignment-1 variants by
+// traces and shows the pattern spec marking every one of them Correct.
+
+#include <cstdio>
+#include <vector>
+
+#include "baselines/clara_lite.h"
+#include "core/submission_matcher.h"
+#include "javalang/parser.h"
+#include "kb/assignments.h"
+
+namespace {
+
+// Correct Assignment-1 solutions with different shapes: single loop /
+// two loops / for vs while / different variable and print arrangements.
+const char* kCorrectVariants[] = {
+    // Fig. 8a — single while loop.
+    R"(void assignment1(int[] a) {
+      int o = 0;
+      int e = 1;
+      int i = 0;
+      while (i < a.length) {
+        if (i % 2 == 1)
+          o += a[i];
+        if (i % 2 == 0)
+          e *= a[i];
+        i++;
+      }
+      System.out.println(o);
+      System.out.println(e);
+    })",
+    // Fig. 8b — two while loops.
+    R"(void assignment1(int[] a) {
+      int o = 0;
+      int i = 0;
+      while (i < a.length) {
+        if (i % 2 == 1)
+          o += a[i];
+        i++;
+      }
+      i = 0;
+      int e = 1;
+      while (i < a.length) {
+        if (i % 2 == 0)
+          e *= a[i];
+        i++;
+      }
+      System.out.println(o);
+      System.out.println(e);
+    })",
+    // Two for loops (the knowledge-base reference shape).
+    R"(void assignment1(int[] a) {
+      int o = 0;
+      int e = 1;
+      for (int i = 0; i < a.length; i++)
+        if (i % 2 == 1)
+          o += a[i];
+      for (int j = 0; j < a.length; j++)
+        if (j % 2 == 0)
+          e *= a[j];
+      System.out.println(o);
+      System.out.println(e);
+    })",
+    // Extra temporaries change the traces but not the semantics.
+    R"(void assignment1(int[] a) {
+      int o = 0;
+      int e = 1;
+      for (int i = 0; i < a.length; i++) {
+        int v = a[i];
+        if (i % 2 == 1)
+          o += a[i];
+        if (i % 2 == 0)
+          e *= a[i];
+      }
+      System.out.println(o);
+      System.out.println(e);
+    })",
+};
+
+}  // namespace
+
+int main() {
+  namespace baselines = jfeed::baselines;
+  namespace java = jfeed::java;
+  using jfeed::interp::Value;
+
+  const auto& assignment =
+      jfeed::kb::KnowledgeBase::Get().assignment("assignment1");
+
+  std::vector<java::CompilationUnit> units;
+  for (const char* source : kCorrectVariants) {
+    auto unit = java::Parse(source);
+    if (!unit.ok()) {
+      std::fprintf(stderr, "variant failed to parse: %s\n",
+                   unit.status().ToString().c_str());
+      return 1;
+    }
+    units.push_back(std::move(*unit));
+  }
+
+  std::vector<const java::CompilationUnit*> pointers;
+  for (const auto& unit : units) pointers.push_back(&unit);
+  std::vector<std::vector<Value>> inputs = {
+      {Value::IntArray({3, 5, 2, 4})}, {Value::IntArray({1, 2, 3, 4, 5})}};
+  auto clustering = baselines::ClaraLite::Cluster(pointers, "assignment1",
+                                                  inputs);
+  if (!clustering.ok()) {
+    std::fprintf(stderr, "clustering failed: %s\n",
+                 clustering.status().ToString().c_str());
+    return 1;
+  }
+
+  std::printf("Reference-solution sensitivity (4 correct variants of "
+              "Assignment 1)\n\n");
+  std::printf("CLARA-style trace clustering: %zu clusters ->\n",
+              clustering->clusters.size());
+  for (size_t c = 0; c < clustering->clusters.size(); ++c) {
+    std::printf("  cluster %zu: variants", c);
+    for (size_t member : clustering->clusters[c]) {
+      std::printf(" #%zu", member);
+    }
+    std::printf("\n");
+  }
+  std::printf("=> CLARA needs %zu reference solutions for these.\n\n",
+              clustering->clusters.size());
+
+  int accepted = 0;
+  for (size_t i = 0; i < units.size(); ++i) {
+    auto feedback = jfeed::core::MatchSubmission(assignment.spec, units[i]);
+    bool positive = feedback.ok() && feedback->AllCorrect();
+    std::printf("pattern spec on variant #%zu: %s\n", i,
+                positive ? "all-Correct" : "negative feedback");
+    if (positive) ++accepted;
+  }
+  std::printf(
+      "=> one pattern/constraint specification accepts %d/%zu variants.\n",
+      accepted, units.size());
+  return 0;
+}

@@ -1,0 +1,106 @@
+// The instructor workflow (paper Fig. 1): author a *new* pattern with
+// feedback templates, correlate it with a library pattern through
+// constraints, assemble an assignment specification, and grade submissions
+// with it — everything an instructor needs to support a brand-new
+// assignment ("compute the average of the positive elements").
+
+#include <cstdio>
+
+#include "core/pattern.h"
+#include "core/submission_matcher.h"
+#include "kb/patterns.h"
+
+int main() {
+  namespace core = jfeed::core;
+
+  // 1. Author a pattern: "conditionally accumulate only positive values".
+  //    Exact templates say what a correct solution looks like; approximate
+  //    templates (r̂) catch the common off-by-one comparison.
+  auto positive_only =
+      core::PatternBuilder("positive-accum",
+                           "Accumulate only the positive elements")
+          .Var("acc")
+          .Var("val")
+          // Pattern variables bind *variables* of the submission, so the
+          // guarded value is written as an array access val[...] (with the
+          // plain-variable form as an alternation).
+          .Node(core::PatternNodeType::kCond,
+                "val\\[.*\\] > 0|val > 0", "val\\[.*\\] >= 0|val >= 0",
+                "you only accept strictly positive values",
+                ">= 0 also accepts zero — the assignment asks for "
+                "strictly positive elements")
+          .Node(core::PatternNodeType::kAssign,
+                "acc \\+= val|acc = acc \\+ val", "acc \\+=",
+                "{acc} accumulates the accepted value",
+                "{acc} should accumulate exactly the accepted value")
+          .CtrlEdge(0, 1)
+          .Present("You accumulate only the positive elements into {acc}")
+          .Missing("Accumulating only the positive elements (guarded by "
+                   "value > 0) is missing")
+          .Build();
+  if (!positive_only.ok()) {
+    std::fprintf(stderr, "pattern failed to build: %s\n",
+                 positive_only.status().ToString().c_str());
+    return 1;
+  }
+
+  // 2. Reuse library patterns and correlate them with constraints.
+  const core::Pattern& counting =
+      jfeed::kb::PatternLibrary::Get().at("counter-loop");
+  const core::Pattern& printing =
+      jfeed::kb::PatternLibrary::Get().at("assign-print");
+
+  core::MethodSpec method;
+  method.expected_name = "averagePositive";
+  method.patterns = {{&*positive_only, 1}, {&counting, 2}, {&printing, 2}};
+  method.constraints = {core::MakeEdgeConstraint(
+      "sum-reaches-print", "positive-accum", 1, "assign-print", 1,
+      jfeed::pdg::EdgeType::kData,
+      "Your accumulated sum flows into the printed average",
+      "The printed average should be computed from the accumulated sum")};
+
+  core::AssignmentSpec spec;
+  spec.id = "average-positive";
+  spec.title = "Average of the positive elements";
+  spec.methods.push_back(std::move(method));
+
+  // 3. Grade two submissions.
+  const char* kCorrect = R"(
+    void averagePositive(double[] a) {
+      double sum = 0.0;
+      int count = 0;
+      for (int i = 0; i < a.length; i++) {
+        if (a[i] > 0) {
+          sum += a[i];
+          count++;
+        }
+      }
+      System.out.println(sum / count);
+    })";
+  const char* kOffByOne = R"(
+    void averagePositive(double[] a) {
+      double sum = 0.0;
+      int count = 0;
+      for (int i = 0; i < a.length; i++) {
+        if (a[i] >= 0) {
+          sum += a[i];
+          count++;
+        }
+      }
+      System.out.println(sum / count);
+    })";
+
+  for (const auto& [label, source] :
+       {std::pair{"correct submission", kCorrect},
+        std::pair{"off-by-one submission (>= 0)", kOffByOne}}) {
+    std::printf("==== %s ====\n", label);
+    auto feedback = core::MatchSubmissionSource(spec, source);
+    if (!feedback.ok()) {
+      std::printf("  %s\n", feedback.status().ToString().c_str());
+      continue;
+    }
+    std::printf("%s\n",
+                core::RenderFeedback(feedback->comments).c_str());
+  }
+  return 0;
+}

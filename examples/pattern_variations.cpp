@@ -1,0 +1,57 @@
+// Demonstrates the Sec. VII extension implemented in this library: pattern
+// *variations*. The paper's Assignment 1 discussion reports three
+// discrepancies caused by submissions that access even positions "updating
+// twice the value of i, which is a different way of accessing even
+// positions not currently allowed by our patterns. ... we intend to deal
+// with pattern variability as future work." This example grades the same
+// submission with the base specification (negative feedback, the paper's
+// behaviour) and with variations attached (accepted).
+
+#include <cstdio>
+
+#include "core/submission_matcher.h"
+#include "kb/assignments.h"
+#include "kb/extensions.h"
+
+namespace {
+
+constexpr const char* kStepByTwo = R"(
+void assignment1(int[] a) {
+  int o = 0;
+  int e = 1;
+  for (int i = 1; i < a.length; i += 2)
+    o += a[i];
+  for (int j = 0; j < a.length; j += 2)
+    e *= a[j];
+  System.out.println(o);
+  System.out.println(e);
+})";
+
+void Grade(const jfeed::core::AssignmentSpec& spec, const char* label) {
+  std::printf("==== %s ====\n", label);
+  auto feedback = jfeed::core::MatchSubmissionSource(spec, kStepByTwo);
+  if (!feedback.ok()) {
+    std::printf("  %s\n", feedback.status().ToString().c_str());
+    return;
+  }
+  std::printf("%s", jfeed::core::RenderFeedback(feedback->comments).c_str());
+  std::printf("verdict: %s\n\n",
+              feedback->AllCorrect() ? "all correct" : "negative feedback");
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Submission (accesses every second position by i += 2):\n%s\n\n",
+              kStepByTwo);
+
+  const auto& assignment =
+      jfeed::kb::KnowledgeBase::Get().assignment("assignment1");
+  Grade(assignment.spec, "base specification (paper behaviour)");
+
+  jfeed::core::AssignmentSpec with_variations = assignment.spec;
+  jfeed::kb::ExtensionLibrary::Get().AttachAssignment1Variations(
+      &with_variations);
+  Grade(with_variations, "with pattern variations (Sec. VII extension)");
+  return 0;
+}

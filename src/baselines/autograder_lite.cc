@@ -1,0 +1,85 @@
+#include "baselines/autograder_lite.h"
+
+#include <functional>
+
+#include "javalang/parser.h"
+
+namespace jfeed::baselines {
+
+Result<RepairResult> AutoGraderLite::Repair(const std::vector<size_t>& choice,
+                                            int max_repairs,
+                                            uint64_t max_candidates) {
+  // Expected outputs come from the reference solution (index 0), the single
+  // reference AutoGrader compares against.
+  JFEED_ASSIGN_OR_RETURN(java::CompilationUnit reference,
+                         java::Parse(model_.Generate(0)));
+  JFEED_ASSIGN_OR_RETURN(std::vector<std::string> expected,
+                         testing::ComputeExpectedOutputs(reference, suite_));
+
+  RepairResult result;
+  const auto& sites = model_.sites();
+
+  auto equivalent = [&](const std::vector<size_t>& candidate) -> bool {
+    ++result.candidates_tried;
+    auto unit = java::Parse(model_.Instantiate(candidate));
+    if (!unit.ok()) return false;
+    return testing::RunSuite(*unit, suite_, expected).passed;
+  };
+
+  // Depth 0: the submission may already be functionally correct.
+  if (equivalent(choice)) {
+    result.repaired = true;
+    result.repairs = 0;
+    return result;
+  }
+
+  // Iterative deepening over the number of rule applications. At depth d we
+  // change exactly d sites (every combination of sites, every alternative
+  // variant per changed site) — the explicit analogue of Sketch exploring
+  // the error-model choice space.
+  std::vector<size_t> candidate = choice;
+  for (int depth = 1; depth <= max_repairs; ++depth) {
+    std::vector<size_t> changed_sites;
+    bool found = false;
+    std::function<bool(size_t)> recurse = [&](size_t first_site) -> bool {
+      if (result.candidates_tried >= max_candidates) {
+        result.budget_exhausted = true;
+        return false;
+      }
+      if (static_cast<int>(changed_sites.size()) == depth) {
+        return equivalent(candidate);
+      }
+      for (size_t s = first_site; s < sites.size(); ++s) {
+        size_t original = candidate[s];
+        changed_sites.push_back(s);
+        for (size_t v = 0; v < sites[s].variants.size(); ++v) {
+          if (v == original) continue;
+          candidate[s] = v;
+          if (recurse(s + 1)) return true;
+          if (result.budget_exhausted) break;
+        }
+        candidate[s] = original;
+        changed_sites.pop_back();
+        if (result.budget_exhausted) break;
+      }
+      return false;
+    };
+    found = recurse(0);
+    if (found) {
+      result.repaired = true;
+      result.repairs = depth;
+      for (size_t s = 0; s < sites.size(); ++s) {
+        if (candidate[s] != choice[s]) {
+          result.repair_feedback.push_back(
+              "change \"" + sites[s].variants[choice[s]] + "\" to \"" +
+              sites[s].variants[candidate[s]] + "\"");
+        }
+      }
+      return result;
+    }
+    if (result.budget_exhausted) break;
+  }
+  return result;
+}
+
+}  // namespace jfeed::baselines

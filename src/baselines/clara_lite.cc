@@ -1,0 +1,120 @@
+#include "baselines/clara_lite.h"
+
+#include <algorithm>
+
+namespace jfeed::baselines {
+
+Result<VariableTraces> ClaraLite::CollectTraces(
+    const java::CompilationUnit& unit, const std::string& method,
+    const std::vector<std::vector<interp::Value>>& inputs,
+    const std::map<std::string, std::string>& files,
+    int64_t max_trace_events, size_t* events_out) {
+  interp::Interpreter interpreter(unit, files);
+  VariableTraces traces;
+  size_t total_events = 0;
+  for (const auto& input : inputs) {
+    std::vector<interp::TraceEvent> events;
+    interp::ExecOptions options;
+    options.trace = &events;
+    options.max_trace_events = max_trace_events;
+    auto result = interpreter.Call(method, input, options);
+    total_events += events.size();
+    if (!result.ok()) {
+      if (events_out != nullptr) *events_out = total_events;
+      return result.status();
+    }
+    if (static_cast<int64_t>(events.size()) >= max_trace_events) {
+      if (events_out != nullptr) *events_out = total_events;
+      return Status::Timeout("trace budget exhausted");
+    }
+    for (const auto& event : events) {
+      traces[event.var].push_back(event.value);
+    }
+    traces["<out>"].push_back(result->stdout_text);
+  }
+  if (events_out != nullptr) *events_out = total_events;
+  return traces;
+}
+
+TraceMatchResult ClaraLite::Compare(const VariableTraces& reference,
+                                    const VariableTraces& submission) {
+  TraceMatchResult result;
+  result.executed = true;
+  for (const auto& [var, trace] : reference) {
+    result.trace_events += trace.size();
+  }
+  for (const auto& [var, trace] : submission) {
+    result.trace_events += trace.size();
+  }
+  // Greedy bijective matching on identical whole traces. "<out>" must match
+  // "<out>" (console output is positional in CLARA).
+  std::vector<const std::vector<std::string>*> ref_traces;
+  std::vector<bool> used;
+  std::vector<std::string> ref_names;
+  for (const auto& [var, trace] : reference) {
+    if (var == "<out>") continue;
+    ref_names.push_back(var);
+    ref_traces.push_back(&trace);
+    used.push_back(false);
+  }
+  int matched = 0;
+  int unmatched = 0;
+  for (const auto& [var, trace] : submission) {
+    if (var == "<out>") continue;
+    bool found = false;
+    for (size_t i = 0; i < ref_traces.size(); ++i) {
+      if (!used[i] && *ref_traces[i] == trace) {
+        used[i] = true;
+        found = true;
+        break;
+      }
+    }
+    if (found) {
+      ++matched;
+    } else {
+      ++unmatched;
+    }
+  }
+  // Reference variables with no partner also count as repairs.
+  for (size_t i = 0; i < used.size(); ++i) {
+    if (!used[i]) ++unmatched;
+  }
+  auto out_ref = reference.find("<out>");
+  auto out_sub = submission.find("<out>");
+  bool out_matches = out_ref != reference.end() &&
+                     out_sub != submission.end() &&
+                     out_ref->second == out_sub->second;
+  result.matched_variables = matched;
+  result.unmatched_variables = unmatched;
+  result.matched = unmatched == 0 && out_matches;
+  return result;
+}
+
+Result<ClaraLite::Clustering> ClaraLite::Cluster(
+    const std::vector<const java::CompilationUnit*>& units,
+    const std::string& method,
+    const std::vector<std::vector<interp::Value>>& inputs,
+    const std::map<std::string, std::string>& files) {
+  Clustering clustering;
+  std::vector<VariableTraces> representatives;
+  for (size_t i = 0; i < units.size(); ++i) {
+    JFEED_ASSIGN_OR_RETURN(
+        VariableTraces traces,
+        CollectTraces(*units[i], method, inputs, files));
+    bool placed = false;
+    for (size_t c = 0; c < representatives.size(); ++c) {
+      if (Compare(representatives[c], traces).matched) {
+        clustering.clusters[c].push_back(i);
+        placed = true;
+        break;
+      }
+    }
+    if (!placed) {
+      representatives.push_back(std::move(traces));
+      clustering.clusters.push_back({i});
+    }
+  }
+  return clustering;
+}
+
+}  // namespace jfeed::baselines

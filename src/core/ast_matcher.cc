@@ -1,0 +1,229 @@
+#include "core/ast_matcher.h"
+
+#include <functional>
+
+#include "javalang/analysis.h"
+#include "javalang/parser.h"
+#include "support/strings.h"
+
+namespace jfeed::core {
+
+namespace java = jfeed::java;
+
+namespace {
+
+bool IsCommutative(java::BinaryOp op) {
+  switch (op) {
+    case java::BinaryOp::kAdd:
+    case java::BinaryOp::kMul:
+    case java::BinaryOp::kEq:
+    case java::BinaryOp::kNe:
+    case java::BinaryOp::kAnd:
+    case java::BinaryOp::kOr:
+      return true;
+    default:
+      return false;
+  }
+}
+
+class Unifier {
+ public:
+  Unifier(const std::set<std::string>& metavars,
+          const AstTemplate::Options& options, const VarBinding& fixed)
+      : metavars_(metavars), options_(options), fixed_(fixed) {}
+
+  /// Unifies template t against content c, extending `binding` (new
+  /// variables only). Returns false and leaves `binding` restored on
+  /// failure.
+  bool Unify(const java::Expr& t, const java::Expr& c,
+             VarBinding* binding) {
+    switch (t.kind) {
+      case java::ExprKind::kName: {
+        if (metavars_.count(t.name) == 0) {
+          // A concrete name must match exactly.
+          return c.kind == java::ExprKind::kName && c.name == t.name;
+        }
+        // Metavariable: binds a submission variable.
+        if (c.kind != java::ExprKind::kName ||
+            java::IsWellKnownClassName(c.name)) {
+          return false;
+        }
+        // Already bound — either during this unification or in γ.
+        auto it = binding->find(t.name);
+        if (it != binding->end()) return it->second == c.name;
+        const std::string* bound = Lookup(t.name);
+        if (bound != nullptr) return *bound == c.name;
+        // Injectivity: a submission variable may serve one metavariable.
+        for (const auto& [mv, sv] : fixed_) {
+          if (sv == c.name) return false;
+        }
+        for (const auto& [mv, sv] : *binding) {
+          if (sv == c.name) return false;
+        }
+        (*binding)[t.name] = c.name;
+        return true;
+      }
+      case java::ExprKind::kIntLit:
+      case java::ExprKind::kLongLit:
+      case java::ExprKind::kCharLit:
+        return c.kind == t.kind && c.int_value == t.int_value;
+      case java::ExprKind::kDoubleLit:
+        return c.kind == t.kind && c.double_value == t.double_value;
+      case java::ExprKind::kBoolLit:
+        return c.kind == t.kind && c.bool_value == t.bool_value;
+      case java::ExprKind::kStringLit:
+        return c.kind == t.kind && c.string_value == t.string_value;
+      case java::ExprKind::kNullLit:
+        return c.kind == t.kind;
+      case java::ExprKind::kBinary: {
+        if (c.kind != t.kind || c.binary_op != t.binary_op) return false;
+        VarBinding checkpoint = *binding;
+        if (Unify(*t.lhs, *c.lhs, binding) &&
+            Unify(*t.rhs, *c.rhs, binding)) {
+          return true;
+        }
+        *binding = checkpoint;
+        if (options_.commutative && IsCommutative(t.binary_op)) {
+          if (Unify(*t.lhs, *c.rhs, binding) &&
+              Unify(*t.rhs, *c.lhs, binding)) {
+            return true;
+          }
+          *binding = checkpoint;
+        }
+        return false;
+      }
+      case java::ExprKind::kUnary:
+        return c.kind == t.kind && c.unary_op == t.unary_op &&
+               Unify(*t.lhs, *c.lhs, binding);
+      case java::ExprKind::kAssign:
+        return c.kind == t.kind && c.assign_op == t.assign_op &&
+               Unify(*t.lhs, *c.lhs, binding) &&
+               Unify(*t.rhs, *c.rhs, binding);
+      case java::ExprKind::kArrayAccess:
+        return c.kind == t.kind && Unify(*t.lhs, *c.lhs, binding) &&
+               Unify(*t.rhs, *c.rhs, binding);
+      case java::ExprKind::kFieldAccess:
+        return c.kind == t.kind && c.name == t.name &&
+               Unify(*t.lhs, *c.lhs, binding);
+      case java::ExprKind::kMethodCall: {
+        if (c.kind != t.kind || c.name != t.name ||
+            c.args.size() != t.args.size()) {
+          return false;
+        }
+        if ((t.lhs == nullptr) != (c.lhs == nullptr)) return false;
+        if (t.lhs != nullptr && !Unify(*t.lhs, *c.lhs, binding)) {
+          return false;
+        }
+        for (size_t i = 0; i < t.args.size(); ++i) {
+          if (!Unify(*t.args[i], *c.args[i], binding)) return false;
+        }
+        return true;
+      }
+      case java::ExprKind::kConditional:
+        return c.kind == t.kind && Unify(*t.lhs, *c.lhs, binding) &&
+               Unify(*t.rhs, *c.rhs, binding) &&
+               Unify(*t.third, *c.third, binding);
+      case java::ExprKind::kCast:
+        return c.kind == t.kind && c.type == t.type &&
+               Unify(*t.lhs, *c.lhs, binding);
+      case java::ExprKind::kNewArray: {
+        if (c.kind != t.kind || !(c.type == t.type)) return false;
+        if ((t.lhs == nullptr) != (c.lhs == nullptr)) return false;
+        return t.lhs == nullptr || Unify(*t.lhs, *c.lhs, binding);
+      }
+      case java::ExprKind::kNewObject:
+        return c.kind == t.kind && c.name == t.name;
+    }
+    return false;
+  }
+
+ private:
+  const std::string* Lookup(const std::string& metavar) const {
+    auto fixed = fixed_.find(metavar);
+    if (fixed != fixed_.end()) return &fixed->second;
+    return nullptr;
+  }
+
+  const std::set<std::string>& metavars_;
+  const AstTemplate::Options& options_;
+  const VarBinding& fixed_;
+};
+
+/// Visits `expr` and all of its subtrees.
+void ForEachSubtree(const java::Expr& expr,
+                    const std::function<void(const java::Expr&)>& visit) {
+  visit(expr);
+  if (expr.lhs) ForEachSubtree(*expr.lhs, visit);
+  if (expr.rhs) ForEachSubtree(*expr.rhs, visit);
+  if (expr.third) ForEachSubtree(*expr.third, visit);
+  for (const auto& arg : expr.args) ForEachSubtree(*arg, visit);
+}
+
+}  // namespace
+
+Result<AstTemplate> AstTemplate::Create(const std::string& java_source,
+                                        std::set<std::string> variables,
+                                        Options options) {
+  JFEED_ASSIGN_OR_RETURN(java::ExprPtr parsed,
+                         java::ParseExpression(java_source));
+  AstTemplate out;
+  out.template_ = std::shared_ptr<const java::Expr>(std::move(parsed));
+  out.metavars_ = std::move(variables);
+  out.text_ = java_source;
+  out.options_ = options;
+  // Record which metavariables the template actually mentions.
+  ForEachSubtree(*out.template_, [&](const java::Expr& e) {
+    if (e.kind == java::ExprKind::kName &&
+        out.metavars_.count(e.name) > 0) {
+      out.used_vars_.insert(e.name);
+    }
+  });
+  return out;
+}
+
+bool AstTemplate::Matches(const java::Expr& content,
+                          const VarBinding& gamma) const {
+  return !AllMatches(content, gamma).empty();
+}
+
+std::vector<VarBinding> AstTemplate::AllMatches(
+    const java::Expr& content, const VarBinding& gamma) const {
+  std::vector<VarBinding> out;
+  if (template_ == nullptr) return out;
+  Unifier unifier(metavars_, options_, gamma);
+  ForEachSubtree(content, [&](const java::Expr& subtree) {
+    VarBinding binding;
+    if (unifier.Unify(*template_, subtree, &binding)) {
+      bool duplicate = false;
+      for (const auto& existing : out) duplicate |= existing == binding;
+      if (!duplicate) out.push_back(std::move(binding));
+    }
+  });
+  return out;
+}
+
+Result<java::ExprPtr> ContentToExpr(const std::string& content) {
+  std::string text = Trim(content);
+  // Strip a leading declaration type ("int ", "double[] ", "Scanner ") —
+  // heuristically: one or two leading words before an identifier that is
+  // followed by '='. "return <expr>" is stripped to its expression.
+  if (StartsWith(text, "return")) {
+    std::string rest = Trim(text.substr(6));
+    if (rest.empty()) {
+      return Status::InvalidArgument("'return' has no expression");
+    }
+    return java::ParseExpression(rest);
+  }
+  auto direct = java::ParseExpression(text);
+  if (direct.ok()) return direct;
+  // Try dropping the first token (a type) for declaration contents.
+  size_t space = text.find(' ');
+  if (space != std::string::npos) {
+    auto stripped = java::ParseExpression(Trim(text.substr(space + 1)));
+    if (stripped.ok()) return stripped;
+  }
+  return Status::InvalidArgument("content has no expression form: " +
+                                 content);
+}
+
+}  // namespace jfeed::core

@@ -1,0 +1,80 @@
+#ifndef JFEED_CORE_AST_MATCHER_H_
+#define JFEED_CORE_AST_MATCHER_H_
+
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "core/expr_pattern.h"
+#include "javalang/ast.h"
+#include "support/result.h"
+
+namespace jfeed::core {
+
+/// AST-based incomplete-expression matching — the paper's Sec. VII plan
+/// ("We are planning to use more sophisticated methods to match Java
+/// expressions rather than regular expressions like abstract syntax
+/// trees"), implemented as an alternative backend for Definition 6.
+///
+/// The template is written as plain Java (no regex); its declared pattern
+/// variables are metavariables that bind submission *variables*. Matching
+/// is structural: the template must unify with some subtree of the content
+/// expression. Compared to the regex backend this is immune to textual
+/// traps ("% 10" matching inside "% 100") and can optionally treat
+/// commutative operators as unordered ("x + y" matches "b + a").
+class AstTemplate {
+ public:
+  struct Options {
+    /// Treat +, *, ==, !=, && and || as commutative during unification.
+    bool commutative = true;
+  };
+
+  AstTemplate() = default;
+
+  /// Parses `java_source` as a single Java expression; identifiers from
+  /// `variables` are metavariables, all others must match literally.
+  static Result<AstTemplate> Create(const std::string& java_source,
+                                    std::set<std::string> variables,
+                                    Options options);
+  static Result<AstTemplate> Create(const std::string& java_source,
+                                    std::set<std::string> variables) {
+    return Create(java_source, std::move(variables), Options());
+  }
+
+  bool empty() const { return template_ == nullptr; }
+
+  /// Variables actually used by the template.
+  const std::set<std::string>& variables() const { return used_vars_; }
+
+  const std::string& text() const { return text_; }
+
+  /// Definition 6 (r ⪯γ c) with tree semantics: true when the template
+  /// unifies with some subtree of `content`, consistently extending a copy
+  /// of `gamma` (injective on new bindings).
+  bool Matches(const java::Expr& content, const VarBinding& gamma) const;
+
+  /// All distinct γ-extensions under which the template matches some
+  /// subtree of `content`. Each returned binding contains only the *new*
+  /// variables (the caller merges with γ).
+  std::vector<VarBinding> AllMatches(const java::Expr& content,
+                                     const VarBinding& gamma) const;
+
+ private:
+  std::shared_ptr<const java::Expr> template_;
+  std::set<std::string> used_vars_;
+  std::set<std::string> metavars_;
+  std::string text_;
+  Options options_;
+};
+
+/// Parses an EPDG node's content string back into an expression AST for
+/// AST-based matching. Node contents are statement-flavoured ("int x = 0",
+/// "return x + y"); this strips the declaration type / return keyword and
+/// parses the remainder. Returns an error for contents with no expression
+/// form ("break").
+Result<java::ExprPtr> ContentToExpr(const std::string& content);
+
+}  // namespace jfeed::core
+
+#endif  // JFEED_CORE_AST_MATCHER_H_

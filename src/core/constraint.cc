@@ -1,0 +1,199 @@
+#include "core/constraint.h"
+
+#include <functional>
+
+namespace jfeed::core {
+
+std::vector<std::string> Constraint::ReferencedPatterns() const {
+  std::vector<std::string> out;
+  out.push_back(pattern_i);
+  if (kind != ConstraintKind::kContainment) {
+    out.push_back(pattern_j);
+  } else {
+    for (const auto& p : supporting) out.push_back(p);
+  }
+  return out;
+}
+
+Constraint MakeEqualityConstraint(std::string id, std::string pattern_i,
+                                  int node_i, std::string pattern_j,
+                                  int node_j, std::string feedback_ok,
+                                  std::string feedback_fail) {
+  Constraint c;
+  c.kind = ConstraintKind::kEquality;
+  c.id = std::move(id);
+  c.pattern_i = std::move(pattern_i);
+  c.node_i = node_i;
+  c.pattern_j = std::move(pattern_j);
+  c.node_j = node_j;
+  c.feedback_ok = std::move(feedback_ok);
+  c.feedback_fail = std::move(feedback_fail);
+  return c;
+}
+
+Constraint MakeEdgeConstraint(std::string id, std::string pattern_i,
+                              int node_i, std::string pattern_j, int node_j,
+                              pdg::EdgeType edge_type,
+                              std::string feedback_ok,
+                              std::string feedback_fail) {
+  Constraint c = MakeEqualityConstraint(std::move(id), std::move(pattern_i),
+                                        node_i, std::move(pattern_j), node_j,
+                                        std::move(feedback_ok),
+                                        std::move(feedback_fail));
+  c.kind = ConstraintKind::kEdgeExistence;
+  c.edge_type = edge_type;
+  return c;
+}
+
+Result<Constraint> MakeContainmentConstraint(
+    std::string id, std::string main_pattern, int node,
+    const std::string& expr_template, const std::set<std::string>& variables,
+    std::vector<std::string> supporting, std::string feedback_ok,
+    std::string feedback_fail) {
+  Constraint c;
+  c.kind = ConstraintKind::kContainment;
+  c.id = std::move(id);
+  c.pattern_i = std::move(main_pattern);
+  c.node_i = node;
+  JFEED_ASSIGN_OR_RETURN(c.expr,
+                         ExprPattern::Create(expr_template, variables));
+  c.supporting = std::move(supporting);
+  c.feedback_ok = std::move(feedback_ok);
+  c.feedback_fail = std::move(feedback_fail);
+  return c;
+}
+
+namespace {
+
+const std::vector<Embedding>* FindEmbeddings(const EmbeddingSets& sets,
+                                             const std::string& pattern) {
+  auto it = sets.find(pattern);
+  return it != sets.end() ? &it->second : nullptr;
+}
+
+/// Tries every combination of one embedding per supporting pattern;
+/// `visit` returns true to stop (condition satisfied).
+bool ForEachSupportCombination(
+    const std::vector<std::string>& supporting, const EmbeddingSets& sets,
+    std::vector<const Embedding*>& chosen,
+    const std::function<bool(const std::vector<const Embedding*>&)>& visit) {
+  if (chosen.size() == supporting.size()) return visit(chosen);
+  const auto* candidates = FindEmbeddings(sets, supporting[chosen.size()]);
+  if (candidates == nullptr) return false;
+  for (const auto& m : *candidates) {
+    chosen.push_back(&m);
+    if (ForEachSupportCombination(supporting, sets, chosen, visit)) {
+      return true;
+    }
+    chosen.pop_back();
+  }
+  return false;
+}
+
+/// Evaluates the constraint; when `witness` is non-null and the constraint
+/// holds, fills it with the union of the participating bindings.
+ConstraintOutcome Evaluate(const Constraint& c, const pdg::Epdg& epdg,
+                           const EmbeddingSets& sets, VarBinding* witness) {
+  switch (c.kind) {
+    case ConstraintKind::kEquality:
+    case ConstraintKind::kEdgeExistence: {
+      const auto* mi = FindEmbeddings(sets, c.pattern_i);
+      const auto* mj = FindEmbeddings(sets, c.pattern_j);
+      if (mi == nullptr || mj == nullptr || mi->empty() || mj->empty()) {
+        return ConstraintOutcome::kNotApplicable;
+      }
+      // When no embedding carries the referenced node (a pattern variation
+      // without that slot), the constraint cannot be assessed.
+      bool node_i_present = false;
+      bool node_j_present = false;
+      for (const auto& a : *mi) node_i_present |= a.iota.count(c.node_i) > 0;
+      for (const auto& b : *mj) node_j_present |= b.iota.count(c.node_j) > 0;
+      if (!node_i_present || !node_j_present) {
+        return ConstraintOutcome::kNotApplicable;
+      }
+      for (const auto& a : *mi) {
+        auto ai = a.iota.find(c.node_i);
+        if (ai == a.iota.end()) continue;
+        for (const auto& b : *mj) {
+          auto bj = b.iota.find(c.node_j);
+          if (bj == b.iota.end()) continue;
+          bool holds =
+              c.kind == ConstraintKind::kEquality
+                  ? ai->second == bj->second
+                  : epdg.HasEdge(ai->second, bj->second, c.edge_type);
+          if (holds) {
+            if (witness != nullptr) {
+              *witness = a.gamma;
+              witness->insert(b.gamma.begin(), b.gamma.end());
+            }
+            return ConstraintOutcome::kFulfilled;
+          }
+        }
+      }
+      return ConstraintOutcome::kViolated;
+    }
+    case ConstraintKind::kContainment: {
+      const auto* main_set = FindEmbeddings(sets, c.pattern_i);
+      if (main_set == nullptr || main_set->empty()) {
+        return ConstraintOutcome::kNotApplicable;
+      }
+      for (const auto& support_id : c.supporting) {
+        const auto* s = FindEmbeddings(sets, support_id);
+        if (s == nullptr || s->empty()) {
+          return ConstraintOutcome::kNotApplicable;
+        }
+      }
+      bool node_present = false;
+      for (const auto& main : *main_set) {
+        node_present |= main.iota.count(c.node_i) > 0;
+      }
+      if (!node_present) return ConstraintOutcome::kNotApplicable;
+      for (const auto& main : *main_set) {
+        auto node_it = main.iota.find(c.node_i);
+        if (node_it == main.iota.end()) continue;
+        const std::string& content = epdg.NodeAt(node_it->second).content;
+        std::vector<const Embedding*> chosen;
+        bool found = ForEachSupportCombination(
+            c.supporting, sets, chosen,
+            [&](const std::vector<const Embedding*>& support) {
+              VarBinding merged = main.gamma;
+              for (const auto* m : support) {
+                merged.insert(m->gamma.begin(), m->gamma.end());
+              }
+              if (c.expr.Matches(content, merged)) {
+                if (witness != nullptr) *witness = merged;
+                return true;
+              }
+              return false;
+            });
+        if (found) return ConstraintOutcome::kFulfilled;
+      }
+      return ConstraintOutcome::kViolated;
+    }
+  }
+  return ConstraintOutcome::kNotApplicable;
+}
+
+}  // namespace
+
+ConstraintOutcome CheckConstraint(const Constraint& constraint,
+                                  const pdg::Epdg& epdg,
+                                  const EmbeddingSets& embeddings,
+                                  const std::set<std::string>& not_expected) {
+  for (const auto& pattern : constraint.ReferencedPatterns()) {
+    if (not_expected.count(pattern) > 0) {
+      return ConstraintOutcome::kNotApplicable;
+    }
+  }
+  return Evaluate(constraint, epdg, embeddings, nullptr);
+}
+
+VarBinding ConstraintWitness(const Constraint& constraint,
+                             const pdg::Epdg& epdg,
+                             const EmbeddingSets& embeddings) {
+  VarBinding witness;
+  Evaluate(constraint, epdg, embeddings, &witness);
+  return witness;
+}
+
+}  // namespace jfeed::core

@@ -1,0 +1,97 @@
+#ifndef JFEED_CORE_CONSTRAINT_H_
+#define JFEED_CORE_CONSTRAINT_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/expr_pattern.h"
+#include "core/pattern_matcher.h"
+#include "pdg/epdg.h"
+
+namespace jfeed::core {
+
+/// The three constraint kinds of Sec. III-C.
+enum class ConstraintKind { kEquality, kEdgeExistence, kContainment };
+
+/// A constraint correlating patterns for fine-grained, assignment-specific
+/// assessment (Definitions 8-10). One struct covers all three kinds; only
+/// the fields relevant to `kind` are read.
+struct Constraint {
+  ConstraintKind kind = ConstraintKind::kEquality;
+  std::string id;  ///< Knowledge-base identifier for reporting.
+
+  // kEquality / kEdgeExistence: (p_i, u_i, p_j, u_j [, t_e]).
+  std::string pattern_i;
+  int node_i = 0;
+  std::string pattern_j;
+  int node_j = 0;
+  pdg::EdgeType edge_type = pdg::EdgeType::kData;  ///< kEdgeExistence only.
+
+  // kContainment: (p, u, r, P) — pattern_i/node_i are the main pattern and
+  // node, `expr` is the incomplete expression over the union of variable
+  // sets, `supporting` are the ids of the supporting patterns P.
+  ExprPattern expr;
+  std::vector<std::string> supporting;
+
+  /// Feedback when the constraint holds / is violated.
+  std::string feedback_ok;
+  std::string feedback_fail;
+
+  /// Every pattern id this constraint refers to.
+  std::vector<std::string> ReferencedPatterns() const;
+};
+
+Constraint MakeEqualityConstraint(std::string id, std::string pattern_i,
+                                  int node_i, std::string pattern_j,
+                                  int node_j, std::string feedback_ok = "",
+                                  std::string feedback_fail = "");
+
+Constraint MakeEdgeConstraint(std::string id, std::string pattern_i,
+                              int node_i, std::string pattern_j, int node_j,
+                              pdg::EdgeType edge_type,
+                              std::string feedback_ok = "",
+                              std::string feedback_fail = "");
+
+/// `expr_template` is compiled against `variables` (union of the main and
+/// supporting patterns' variables — Definition 10 requires the per-pattern
+/// variable sets to be disjoint, which the knowledge base guarantees).
+Result<Constraint> MakeContainmentConstraint(
+    std::string id, std::string main_pattern, int node,
+    const std::string& expr_template, const std::set<std::string>& variables,
+    std::vector<std::string> supporting, std::string feedback_ok = "",
+    std::string feedback_fail = "");
+
+/// Outcome of checking one constraint.
+enum class ConstraintOutcome {
+  kFulfilled,
+  kViolated,
+  /// A referenced pattern had no (or a wrong number of) embeddings, so the
+  /// constraint cannot be assessed (Algorithm 2's NotExpected propagation).
+  kNotApplicable,
+};
+
+/// Per-pattern embedding sets, as accumulated by Algorithm 2 (the paper's
+/// m̄ map).
+using EmbeddingSets = std::map<std::string, std::vector<Embedding>>;
+
+/// ConstraintMatching (Sec. V): checks `constraint` against the stored
+/// embeddings. The constraint is fulfilled when there *exist* embeddings of
+/// the referenced patterns satisfying the definition's condition.
+/// `not_expected` lists patterns whose occurrence count differed from t̄;
+/// any reference to them yields kNotApplicable.
+ConstraintOutcome CheckConstraint(
+    const Constraint& constraint, const pdg::Epdg& epdg,
+    const EmbeddingSets& embeddings,
+    const std::set<std::string>& not_expected);
+
+/// Returns the γ binding that witnessed a fulfilled constraint (union of the
+/// participating embeddings' bindings), for feedback instantiation. Empty
+/// when the constraint is not fulfilled.
+VarBinding ConstraintWitness(const Constraint& constraint,
+                             const pdg::Epdg& epdg,
+                             const EmbeddingSets& embeddings);
+
+}  // namespace jfeed::core
+
+#endif  // JFEED_CORE_CONSTRAINT_H_

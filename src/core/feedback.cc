@@ -1,0 +1,44 @@
+#include "core/feedback.h"
+
+namespace jfeed::core {
+
+const char* FeedbackKindName(FeedbackKind kind) {
+  switch (kind) {
+    case FeedbackKind::kCorrect: return "Correct";
+    case FeedbackKind::kIncorrect: return "Incorrect";
+    case FeedbackKind::kNotExpected: return "NotExpected";
+  }
+  return "?";
+}
+
+double FeedbackScore(const std::vector<FeedbackComment>& comments) {
+  double score = 0.0;
+  for (const auto& c : comments) {
+    switch (c.kind) {
+      case FeedbackKind::kCorrect: score += 1.0; break;
+      case FeedbackKind::kIncorrect: score += 0.5; break;
+      case FeedbackKind::kNotExpected: break;
+    }
+  }
+  return score;
+}
+
+std::string RenderFeedback(const std::vector<FeedbackComment>& comments) {
+  std::string out;
+  for (const auto& c : comments) {
+    out += "[";
+    out += FeedbackKindName(c.kind);
+    out += "] ";
+    if (!c.method.empty()) {
+      out += "(" + c.method + ") ";
+    }
+    out += c.message.empty() ? c.source_id : c.message;
+    out += "\n";
+    for (const auto& detail : c.details) {
+      out += "    - " + detail + "\n";
+    }
+  }
+  return out;
+}
+
+}  // namespace jfeed::core

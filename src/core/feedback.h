@@ -1,0 +1,37 @@
+#ifndef JFEED_CORE_FEEDBACK_H_
+#define JFEED_CORE_FEEDBACK_H_
+
+#include <string>
+#include <vector>
+
+namespace jfeed::core {
+
+/// Classification of one feedback comment (Sec. V): Correct — the pattern or
+/// constraint holds exactly; Incorrect — the pattern was recognized but some
+/// node only matched its approximate expression (or the constraint is
+/// violated); NotExpected — the occurrence count differs from t̄, so the
+/// pattern is missing (or, for bad patterns with t̄ = 0, wrongly present).
+enum class FeedbackKind { kCorrect, kIncorrect, kNotExpected };
+
+const char* FeedbackKindName(FeedbackKind kind);
+
+/// One personalized feedback comment delivered to the student.
+struct FeedbackComment {
+  FeedbackKind kind = FeedbackKind::kCorrect;
+  std::string source_id;  ///< Pattern or constraint id that produced it.
+  std::string method;     ///< Submission method the comment refers to.
+  std::string message;    ///< Instantiated f_p / f_m / constraint feedback.
+  /// Instantiated per-node feedback lines (f_c / f_i of matched nodes).
+  std::vector<std::string> details;
+};
+
+/// The paper's cost function Λ (Equation 3): Correct = 1, Incorrect = 0.5,
+/// NotExpected = 0. Algorithm 2 uses it to pick the best method combination.
+double FeedbackScore(const std::vector<FeedbackComment>& comments);
+
+/// Renders the comments as the text a student would see.
+std::string RenderFeedback(const std::vector<FeedbackComment>& comments);
+
+}  // namespace jfeed::core
+
+#endif  // JFEED_CORE_FEEDBACK_H_

@@ -1,0 +1,252 @@
+#include "core/pattern_matcher.h"
+
+#include <algorithm>
+
+namespace jfeed::core {
+
+namespace {
+
+class Matcher {
+ public:
+  Matcher(const Pattern& pattern, const pdg::Epdg& epdg,
+          const MatchOptions& options, MatchStats* stats)
+      : pattern_(pattern), epdg_(epdg), options_(options), stats_(stats) {}
+
+  std::vector<Embedding> Run() {
+    // Step 1: compute the search space Φ (type-compatible graph nodes).
+    const size_t n_pattern = pattern_.nodes.size();
+    search_space_.resize(n_pattern);
+    for (size_t u = 0; u < n_pattern; ++u) {
+      for (size_t v = 0; v < epdg_.NodeCount(); ++v) {
+        auto id = static_cast<graph::NodeId>(v);
+        if (TypeMatches(pattern_.nodes[u].type, epdg_.NodeAt(id).type)) {
+          search_space_[u].push_back(id);
+        }
+      }
+      if (search_space_[u].empty()) return {};  // Some node cannot match.
+    }
+    // Precompute pattern adjacency for the edge checks and the ordering
+    // heuristic.
+    incident_edges_.resize(n_pattern);
+    for (const auto& edge : pattern_.edges) {
+      incident_edges_[edge.source].push_back(&edge);
+      incident_edges_[edge.target].push_back(&edge);
+    }
+    matched_graph_nodes_.assign(epdg_.NodeCount(), false);
+    // Step 2: backtracking search from the empty embedding.
+    Embedding empty;
+    Search(empty);
+    if (stats_ != nullptr) stats_->truncated = truncated_;
+    return Canonicalize(std::move(embeddings_));
+  }
+
+ private:
+  /// Chooses the next unmatched pattern node: prefer nodes connected to the
+  /// current embedding (so edge checks prune early), then smaller candidate
+  /// sets. This is the "processing order of the pattern nodes" knob the
+  /// paper mentions in Sec. IV.
+  int PickNext(const Embedding& m) const {
+    if (!options_.use_ordering_heuristic) {
+      for (size_t u = 0; u < pattern_.nodes.size(); ++u) {
+        if (m.iota.count(static_cast<int>(u)) == 0) {
+          return static_cast<int>(u);
+        }
+      }
+      return -1;
+    }
+    int best = -1;
+    int best_connected = -1;
+    size_t best_space = 0;
+    for (size_t u = 0; u < pattern_.nodes.size(); ++u) {
+      if (m.iota.count(static_cast<int>(u)) > 0) continue;
+      int connected = 0;
+      for (const auto* edge : incident_edges_[u]) {
+        int other = edge->source == static_cast<int>(u) ? edge->target
+                                                        : edge->source;
+        if (m.iota.count(other) > 0) ++connected;
+      }
+      size_t space = search_space_[u].size();
+      if (best == -1 || connected > best_connected ||
+          (connected == best_connected && space < best_space)) {
+        best = static_cast<int>(u);
+        best_connected = connected;
+        best_space = space;
+      }
+    }
+    return best;
+  }
+
+  /// Definition 7 condition (2) for the newly added node: every pattern edge
+  /// between u and an already-matched node must exist in the graph with the
+  /// same type and orientation.
+  bool EdgesConsistent(int u, graph::NodeId v, const Embedding& m) const {
+    for (const auto* edge : incident_edges_[u]) {
+      if (edge->source == u) {
+        auto it = m.iota.find(edge->target);
+        if (it != m.iota.end() &&
+            !epdg_.HasEdge(v, it->second, edge->type)) {
+          return false;
+        }
+      } else {
+        auto it = m.iota.find(edge->source);
+        if (it != m.iota.end() &&
+            !epdg_.HasEdge(it->second, v, edge->type)) {
+          return false;
+        }
+      }
+    }
+    return true;
+  }
+
+  void Search(Embedding& m) {
+    if (truncated_) return;
+    if (m.iota.size() == pattern_.nodes.size()) {
+      embeddings_.push_back(m);
+      if (embeddings_.size() >= options_.max_embeddings) truncated_ = true;
+      return;
+    }
+    int u = PickNext(m);
+    const PatternNode& pnode = pattern_.nodes[u];
+    for (graph::NodeId v : search_space_[u]) {
+      if (matched_graph_nodes_[v]) continue;  // ι must be injective.
+      if (stats_ != nullptr && ++stats_->steps > options_.max_steps) {
+        truncated_ = true;
+        return;
+      }
+      if (!EdgesConsistent(u, v, m)) continue;
+      const pdg::Node& gnode = epdg_.NodeAt(v);
+
+      // Variable matching: new pattern variables of this node against new
+      // submission variables of the graph node (injections; DESIGN.md §3).
+      std::set<std::string> node_vars = pnode.exact.variables();
+      node_vars.insert(pnode.approx.variables().begin(),
+                       pnode.approx.variables().end());
+      std::set<std::string> fresh_pattern_vars;
+      for (const auto& var : node_vars) {
+        if (m.gamma.count(var) == 0) fresh_pattern_vars.insert(var);
+      }
+      std::set<std::string> bound_submission_vars;
+      for (const auto& [pv, sv] : m.gamma) bound_submission_vars.insert(sv);
+      std::set<std::string> fresh_graph_vars;
+      for (const auto& var : gnode.vars) {
+        if (bound_submission_vars.count(var) == 0) {
+          fresh_graph_vars.insert(var);
+        }
+      }
+
+      m.iota[u] = v;
+      matched_graph_nodes_[v] = true;
+      // AST backend (Sec. VII extension): structural unification yields the
+      // candidate bindings directly; the regex approximate template remains
+      // the incorrect-marking fallback.
+      if (!pnode.ast_exact.empty()) {
+        bool any_exact = false;
+        if (gnode.ast != nullptr) {
+          if (stats_ != nullptr) ++stats_->regex_checks;
+          for (const VarBinding& binding :
+               pnode.ast_exact.AllMatches(*gnode.ast, m.gamma)) {
+            any_exact = true;
+            for (const auto& [pv, sv] : binding) m.gamma[pv] = sv;
+            Search(m);
+            for (const auto& [pv, sv] : binding) m.gamma.erase(pv);
+            if (truncated_) break;
+          }
+        }
+        if (!any_exact && !pnode.approx.empty() && !truncated_) {
+          for (const VarBinding& binding :
+               EnumerateInjections(fresh_pattern_vars, fresh_graph_vars)) {
+            for (const auto& [pv, sv] : binding) m.gamma[pv] = sv;
+            if (stats_ != nullptr) ++stats_->regex_checks;
+            if (pnode.approx.Matches(gnode.content, m.gamma)) {
+              m.incorrect_nodes.insert(u);
+              Search(m);
+              m.incorrect_nodes.erase(u);
+            }
+            for (const auto& [pv, sv] : binding) m.gamma.erase(pv);
+            if (truncated_) break;
+          }
+        }
+        matched_graph_nodes_[v] = false;
+        m.iota.erase(u);
+        if (truncated_) return;
+        continue;
+      }
+      for (const VarBinding& binding :
+           EnumerateInjections(fresh_pattern_vars, fresh_graph_vars)) {
+        for (const auto& [pv, sv] : binding) m.gamma[pv] = sv;
+        bool correct = false;
+        bool matched = false;
+        if (pnode.exact.empty()) {
+          // A node without an exact template matches structurally.
+          matched = true;
+          correct = true;
+        } else {
+          if (stats_ != nullptr) ++stats_->regex_checks;
+          if (pnode.exact.Matches(gnode.content, m.gamma)) {
+            matched = true;
+            correct = true;
+          } else if (!pnode.approx.empty() &&
+                     pnode.approx.Matches(gnode.content, m.gamma)) {
+            if (stats_ != nullptr) ++stats_->regex_checks;
+            matched = true;
+            correct = false;
+          }
+        }
+        if (matched) {
+          if (!correct) m.incorrect_nodes.insert(u);
+          Search(m);
+          m.incorrect_nodes.erase(u);
+        }
+        for (const auto& [pv, sv] : binding) m.gamma.erase(pv);
+        if (truncated_) break;
+      }
+      matched_graph_nodes_[v] = false;
+      m.iota.erase(u);
+      if (truncated_) return;
+    }
+  }
+
+  /// Collapses embeddings sharing the same ι to the best one (fewest
+  /// incorrect nodes; first found wins ties), preserving discovery order.
+  static std::vector<Embedding> Canonicalize(std::vector<Embedding> all) {
+    std::vector<Embedding> out;
+    for (auto& m : all) {
+      bool merged = false;
+      for (auto& existing : out) {
+        if (existing.iota == m.iota) {
+          if (m.incorrect_nodes.size() < existing.incorrect_nodes.size()) {
+            existing = std::move(m);
+          }
+          merged = true;
+          break;
+        }
+      }
+      if (!merged) out.push_back(std::move(m));
+    }
+    return out;
+  }
+
+  const Pattern& pattern_;
+  const pdg::Epdg& epdg_;
+  const MatchOptions& options_;
+  MatchStats* stats_;
+  std::vector<std::vector<graph::NodeId>> search_space_;
+  std::vector<std::vector<const Pattern::Edge*>> incident_edges_;
+  std::vector<bool> matched_graph_nodes_;
+  std::vector<Embedding> embeddings_;
+  bool truncated_ = false;
+};
+
+}  // namespace
+
+std::vector<Embedding> MatchPattern(const Pattern& pattern,
+                                    const pdg::Epdg& epdg,
+                                    const MatchOptions& options,
+                                    MatchStats* stats) {
+  MatchStats local_stats;
+  Matcher matcher(pattern, epdg, options, stats != nullptr ? stats
+                                                           : &local_stats);
+  return matcher.Run();
+}
+
+}  // namespace jfeed::core

@@ -1,0 +1,283 @@
+#include "core/submission_matcher.h"
+
+#include <algorithm>
+#include <functional>
+#include <set>
+
+#include "javalang/parser.h"
+#include "pdg/epdg.h"
+
+namespace jfeed::core {
+
+size_t AssignmentSpec::PatternCount() const {
+  std::set<std::string> ids;
+  for (const auto& method : methods) {
+    for (const auto& use : method.patterns) {
+      if (use.pattern != nullptr) ids.insert(use.pattern->id);
+    }
+  }
+  return ids.size();
+}
+
+size_t AssignmentSpec::ConstraintCount() const {
+  size_t n = 0;
+  for (const auto& method : methods) n += method.constraints.size();
+  return n;
+}
+
+bool SubmissionFeedback::AllCorrect() const {
+  if (!matched) return false;
+  for (const auto& c : comments) {
+    if (c.kind != FeedbackKind::kCorrect) return false;
+  }
+  return !comments.empty();
+}
+
+namespace {
+
+/// ProvideFeedback (Sec. V): turns the embeddings of one pattern into a
+/// feedback comment according to the expected occurrence count.
+FeedbackComment ProvideFeedback(const std::vector<Embedding>& embeddings,
+                                const Pattern& pattern, int expected_count,
+                                const std::string& method_name,
+                                const std::vector<int>& also_accept = {}) {
+  FeedbackComment comment;
+  comment.source_id = pattern.id;
+  comment.method = method_name;
+  int count = static_cast<int>(embeddings.size());
+  bool accepted = count == expected_count;
+  for (int alt : also_accept) accepted |= count == alt;
+  if (!accepted) {
+    // Missing pattern — or, for bad patterns (t̄ = 0), wrongly present.
+    comment.kind = FeedbackKind::kNotExpected;
+    comment.message = InstantiateFeedback(pattern.feedback_missing, {});
+    return comment;
+  }
+  if (expected_count == 0) {
+    // A bad pattern that is correctly absent. The pattern's presence
+    // feedback describes the pattern being there, so a generic absence
+    // message reads better.
+    comment.kind = FeedbackKind::kCorrect;
+    comment.message =
+        "Good: '" + pattern.name + "' does not occur in your submission";
+    return comment;
+  }
+  bool all_correct = true;
+  for (const auto& m : embeddings) {
+    if (!m.IsFullyCorrect()) all_correct = false;
+  }
+  comment.kind =
+      all_correct ? FeedbackKind::kCorrect : FeedbackKind::kIncorrect;
+  comment.message =
+      InstantiateFeedback(pattern.feedback_present, embeddings[0].gamma);
+  for (const auto& m : embeddings) {
+    for (size_t u = 0; u < pattern.nodes.size(); ++u) {
+      const PatternNode& node = pattern.nodes[u];
+      bool incorrect = m.incorrect_nodes.count(static_cast<int>(u)) > 0;
+      const std::string& tmpl =
+          incorrect ? node.feedback_incorrect : node.feedback_correct;
+      if (tmpl.empty()) continue;
+      comment.details.push_back(InstantiateFeedback(tmpl, m.gamma));
+    }
+  }
+  return comment;
+}
+
+/// Feedback for one constraint outcome.
+FeedbackComment ConstraintFeedback(const Constraint& constraint,
+                                   ConstraintOutcome outcome,
+                                   const pdg::Epdg& epdg,
+                                   const EmbeddingSets& embeddings,
+                                   const std::string& method_name) {
+  FeedbackComment comment;
+  comment.source_id = constraint.id;
+  comment.method = method_name;
+  switch (outcome) {
+    case ConstraintOutcome::kFulfilled:
+      comment.kind = FeedbackKind::kCorrect;
+      comment.message = InstantiateFeedback(
+          constraint.feedback_ok,
+          ConstraintWitness(constraint, epdg, embeddings));
+      break;
+    case ConstraintOutcome::kViolated:
+      comment.kind = FeedbackKind::kIncorrect;
+      comment.message = InstantiateFeedback(constraint.feedback_fail, {});
+      break;
+    case ConstraintOutcome::kNotApplicable:
+      comment.kind = FeedbackKind::kNotExpected;
+      comment.message = InstantiateFeedback(constraint.feedback_fail, {});
+      break;
+  }
+  return comment;
+}
+
+/// Enumerates injective assignments of expected methods (indexes into
+/// `spec.methods`) to submission methods (indexes into `graphs`).
+void EnumerateAssignments(size_t expected_count, size_t available_count,
+                          size_t max_combinations,
+                          std::vector<std::vector<size_t>>* out) {
+  std::vector<size_t> current;
+  std::vector<bool> used(available_count, false);
+  std::function<void()> recurse = [&]() {
+    if (out->size() >= max_combinations) return;
+    if (current.size() == expected_count) {
+      out->push_back(current);
+      return;
+    }
+    for (size_t h = 0; h < available_count; ++h) {
+      if (used[h]) continue;
+      used[h] = true;
+      current.push_back(h);
+      recurse();
+      current.pop_back();
+      used[h] = false;
+    }
+  };
+  recurse();
+}
+
+}  // namespace
+
+Result<SubmissionFeedback> MatchSubmission(
+    const AssignmentSpec& spec, const java::CompilationUnit& submission,
+    const SubmissionMatchOptions& options) {
+  // Step 1: extract the EPDG of every submission method.
+  JFEED_ASSIGN_OR_RETURN(std::vector<pdg::Epdg> graphs,
+                         pdg::BuildAllEpdgs(submission));
+
+  SubmissionFeedback best;
+  if (graphs.size() < spec.methods.size()) {
+    // Fewer methods than expected: no combination adheres to the spec.
+    return best;
+  }
+
+  // Prefer exact header-name matches first: when the assignment enforces
+  // method headers (the common case), the first combination evaluated is
+  // the intended one and ties resolve toward it.
+  std::vector<std::vector<size_t>> assignments;
+  {
+    std::vector<size_t> by_name;
+    std::set<size_t> taken;
+    bool all_found = true;
+    for (const auto& method : spec.methods) {
+      bool found = false;
+      for (size_t h = 0; h < graphs.size(); ++h) {
+        if (taken.count(h) == 0 &&
+            graphs[h].method_name() == method.expected_name) {
+          by_name.push_back(h);
+          taken.insert(h);
+          found = true;
+          break;
+        }
+      }
+      if (!found) {
+        all_found = false;
+        break;
+      }
+    }
+    if (all_found) assignments.push_back(std::move(by_name));
+  }
+  std::vector<std::vector<size_t>> all;
+  EnumerateAssignments(spec.methods.size(), graphs.size(),
+                       options.max_combinations, &all);
+  for (auto& a : all) {
+    if (assignments.empty() || a != assignments.front()) {
+      assignments.push_back(std::move(a));
+    }
+  }
+
+  // Step 2: evaluate every combination and keep the best Λ score.
+  for (const auto& assignment : assignments) {
+    std::vector<FeedbackComment> comments;
+    std::map<std::string, std::string> method_map;
+    for (size_t qi = 0; qi < spec.methods.size(); ++qi) {
+      const MethodSpec& q = spec.methods[qi];
+      const pdg::Epdg& epdg = graphs[assignment[qi]];
+      method_map[q.expected_name] = epdg.method_name();
+
+      // Step 2.1: match patterns, accumulating embeddings (the paper's m̄).
+      EmbeddingSets embedding_sets;
+      std::set<std::string> not_expected;
+      for (const auto& use : q.patterns) {
+        if (use.pattern == nullptr) continue;
+        std::vector<Embedding> m =
+            MatchPattern(*use.pattern, epdg, options.match);
+        FeedbackComment comment =
+            ProvideFeedback(m, *use.pattern, use.expected_count,
+                            epdg.method_name(), use.also_accept_counts);
+        // Pattern variations (Sec. VII): when the primary realization is
+        // missing, accept an alternative realization of the same
+        // semantics.
+        if (comment.kind == FeedbackKind::kNotExpected &&
+            use.expected_count > 0) {
+          for (const PatternVariant& variant : use.variants) {
+            if (variant.pattern == nullptr) continue;
+            std::vector<Embedding> vm =
+                MatchPattern(*variant.pattern, epdg, options.match);
+            if (static_cast<int>(vm.size()) != use.expected_count) continue;
+            comment = ProvideFeedback(vm, *variant.pattern,
+                                      use.expected_count,
+                                      epdg.method_name());
+            comment.source_id = use.pattern->id;
+            comment.message += " (accepted variation: " +
+                               variant.pattern->name + ")";
+            // Re-index the embeddings onto the primary pattern's slots so
+            // constraints written against the primary keep working.
+            m.clear();
+            for (const Embedding& original : vm) {
+              Embedding remapped;
+              for (const auto& [variant_var, value] : original.gamma) {
+                auto renamed = variant.var_map.find(variant_var);
+                remapped.gamma[renamed != variant.var_map.end()
+                                   ? renamed->second
+                                   : variant_var] = value;
+              }
+              for (const auto& [slot, variant_node] : variant.slot_map) {
+                auto it = original.iota.find(variant_node);
+                if (it != original.iota.end()) {
+                  remapped.iota[slot] = it->second;
+                }
+                if (original.incorrect_nodes.count(variant_node) > 0) {
+                  remapped.incorrect_nodes.insert(slot);
+                }
+              }
+              m.push_back(std::move(remapped));
+            }
+            break;
+          }
+        }
+        if (comment.kind == FeedbackKind::kNotExpected) {
+          not_expected.insert(use.pattern->id);
+        }
+        comments.push_back(std::move(comment));
+        embedding_sets[use.pattern->id] = std::move(m);
+      }
+      // Step 2.2: match constraints.
+      for (const auto& constraint : q.constraints) {
+        ConstraintOutcome outcome =
+            CheckConstraint(constraint, epdg, embedding_sets, not_expected);
+        comments.push_back(ConstraintFeedback(constraint, outcome, epdg,
+                                              embedding_sets,
+                                              epdg.method_name()));
+      }
+    }
+    // Step 2.3: keep the combination with the best score.
+    double score = FeedbackScore(comments);
+    if (!best.matched || score > best.score) {
+      best.matched = true;
+      best.comments = std::move(comments);
+      best.score = score;
+      best.method_assignment = std::move(method_map);
+    }
+  }
+  return best;
+}
+
+Result<SubmissionFeedback> MatchSubmissionSource(
+    const AssignmentSpec& spec, const std::string& source,
+    const SubmissionMatchOptions& options) {
+  JFEED_ASSIGN_OR_RETURN(java::CompilationUnit unit, java::Parse(source));
+  return MatchSubmission(spec, unit, options);
+}
+
+}  // namespace jfeed::core

@@ -1,0 +1,105 @@
+#ifndef JFEED_CORE_SUBMISSION_MATCHER_H_
+#define JFEED_CORE_SUBMISSION_MATCHER_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/constraint.h"
+#include "core/feedback.h"
+#include "core/pattern.h"
+#include "core/pattern_matcher.h"
+#include "javalang/ast.h"
+#include "support/result.h"
+
+namespace jfeed::core {
+
+/// An alternative realization of a pattern's semantics — the paper's
+/// Sec. VII future work ("patterns will be clustered by variations to
+/// achieve the same semantics, e.g., a student can access even positions
+/// in an array using if (i % 2 == 0) or updating twice the value of i").
+/// `slot_map` aligns the variant's nodes with the primary pattern's node
+/// indexes so that constraints written against the primary keep working:
+/// slot_map[primary_node] = variant_node.
+struct PatternVariant {
+  const Pattern* pattern = nullptr;
+  std::map<int, int> slot_map;
+  /// Renames the variant's pattern variables to the primary's, so that
+  /// constraint expressions written with the primary's variables bind:
+  /// var_map[variant_var] = primary_var.
+  std::map<std::string, std::string> var_map;
+};
+
+/// One pattern attached to an expected method, with the expected number of
+/// embeddings t̄(q, p). `expected_count = 0` declares a *bad pattern* the
+/// submission must not contain (Sec. V). When the primary pattern does not
+/// occur the expected number of times, each variant is tried in order; the
+/// first one matching exactly `expected_count` times provides the feedback
+/// (its embeddings are re-indexed through `slot_map` for the constraints).
+struct PatternUse {
+  const Pattern* pattern = nullptr;
+  int expected_count = 1;
+  std::vector<PatternVariant> variants;
+  /// Additional acceptable occurrence counts (variations extension:
+  /// alternative strategies may legitimately shift auxiliary-pattern
+  /// counts, e.g. a second 1-initialized index variable).
+  std::vector<int> also_accept_counts;
+};
+
+/// The instructor's specification for one expected method q: the patterns
+/// (the paper's p̄ and t̄) and the constraints (c̄) that apply to it.
+struct MethodSpec {
+  std::string expected_name;
+  std::vector<PatternUse> patterns;
+  std::vector<Constraint> constraints;
+};
+
+/// The instructor's specification for a whole assignment.
+struct AssignmentSpec {
+  std::string id;
+  std::string title;
+  std::vector<MethodSpec> methods;
+
+  /// Total number of distinct patterns used (Table I column P).
+  size_t PatternCount() const;
+  /// Total number of constraints (Table I column C).
+  size_t ConstraintCount() const;
+};
+
+/// The outcome of Algorithm 2 for one submission.
+struct SubmissionFeedback {
+  /// False when the submission has fewer methods than expected, i.e. it
+  /// "does not adhere to the specification" and gets no feedback.
+  bool matched = false;
+  std::vector<FeedbackComment> comments;
+  double score = 0.0;  ///< Λ(B) of the winning combination.
+  /// Winning assignment of expected methods to submission methods.
+  std::map<std::string, std::string> method_assignment;
+
+  /// True when every comment is Correct — the technique's "positive
+  /// feedback only" verdict used for the discrepancy analysis (column D).
+  bool AllCorrect() const;
+};
+
+/// Tuning for Algorithm 2.
+struct SubmissionMatchOptions {
+  MatchOptions match;            ///< Passed through to Algorithm 1.
+  size_t max_combinations = 1024;  ///< Cap on method-assignment candidates.
+};
+
+/// Algorithm 2 (SubmissionMatching): matches every pattern and constraint of
+/// `spec` against the submission, trying every injective assignment of
+/// expected methods onto submission methods and keeping the combination with
+/// the highest Λ score.
+Result<SubmissionFeedback> MatchSubmission(
+    const AssignmentSpec& spec, const java::CompilationUnit& submission,
+    const SubmissionMatchOptions& options = {});
+
+/// Convenience overload: parses `source` first.
+Result<SubmissionFeedback> MatchSubmissionSource(
+    const AssignmentSpec& spec, const std::string& source,
+    const SubmissionMatchOptions& options = {});
+
+}  // namespace jfeed::core
+
+#endif  // JFEED_CORE_SUBMISSION_MATCHER_H_

@@ -1,0 +1,90 @@
+#ifndef JFEED_GRAPH_DIGRAPH_H_
+#define JFEED_GRAPH_DIGRAPH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace jfeed::graph {
+
+/// Node identifier inside a Digraph (dense, 0-based).
+using NodeId = int32_t;
+/// Edge identifier inside a Digraph (dense, 0-based).
+using EdgeId = int32_t;
+
+inline constexpr NodeId kInvalidNode = -1;
+
+/// A directed multigraph with user payloads on nodes (N) and edges (E),
+/// adjacency indexed in both directions. Replaces the JGraphT dependency of
+/// the original implementation. Nodes and edges are append-only, which is
+/// all the EPDG pipeline needs and keeps ids stable.
+template <typename N, typename E>
+class Digraph {
+ public:
+  struct Edge {
+    NodeId source;
+    NodeId target;
+    E data;
+  };
+
+  Digraph() = default;
+
+  /// Adds a node and returns its id.
+  NodeId AddNode(N data) {
+    nodes_.push_back(std::move(data));
+    out_edges_.emplace_back();
+    in_edges_.emplace_back();
+    return static_cast<NodeId>(nodes_.size() - 1);
+  }
+
+  /// Adds a directed edge; parallel edges are allowed.
+  EdgeId AddEdge(NodeId source, NodeId target, E data) {
+    Edge e{source, target, std::move(data)};
+    edges_.push_back(std::move(e));
+    EdgeId id = static_cast<EdgeId>(edges_.size() - 1);
+    out_edges_[source].push_back(id);
+    in_edges_[target].push_back(id);
+    return id;
+  }
+
+  size_t NodeCount() const { return nodes_.size(); }
+  size_t EdgeCount() const { return edges_.size(); }
+
+  const N& NodeData(NodeId id) const { return nodes_[id]; }
+  N& NodeData(NodeId id) { return nodes_[id]; }
+
+  const Edge& GetEdge(EdgeId id) const { return edges_[id]; }
+
+  /// Ids of edges leaving `node`.
+  const std::vector<EdgeId>& OutEdges(NodeId node) const {
+    return out_edges_[node];
+  }
+  /// Ids of edges entering `node`.
+  const std::vector<EdgeId>& InEdges(NodeId node) const {
+    return in_edges_[node];
+  }
+
+  /// True when an edge source -> target with payload equal to `data` exists.
+  bool HasEdge(NodeId source, NodeId target, const E& data) const {
+    for (EdgeId eid : out_edges_[source]) {
+      const Edge& e = edges_[eid];
+      if (e.target == target && e.data == data) return true;
+    }
+    return false;
+  }
+
+  /// Out-degree counting parallel edges.
+  size_t OutDegree(NodeId node) const { return out_edges_[node].size(); }
+  size_t InDegree(NodeId node) const { return in_edges_[node].size(); }
+
+ private:
+  std::vector<N> nodes_;
+  std::vector<Edge> edges_;
+  std::vector<std::vector<EdgeId>> out_edges_;
+  std::vector<std::vector<EdgeId>> in_edges_;
+};
+
+}  // namespace jfeed::graph
+
+#endif  // JFEED_GRAPH_DIGRAPH_H_

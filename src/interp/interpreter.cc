@@ -1,0 +1,824 @@
+#include "interp/interpreter.h"
+
+#include <cmath>
+#include <sstream>
+
+#include "javalang/printer.h"
+
+namespace jfeed::interp {
+
+namespace java = jfeed::java;
+
+std::vector<std::string> TokenizeScannerInput(const std::string& contents) {
+  std::vector<std::string> tokens;
+  std::istringstream is(contents);
+  std::string tok;
+  while (is >> tok) tokens.push_back(tok);
+  return tokens;
+}
+
+namespace {
+
+/// How a statement finished; drives break/continue/return unwinding.
+enum class Flow { kNormal, kBreak, kContinue, kReturn };
+
+constexpr int kMaxCallDepth = 256;
+
+Value DefaultValueFor(const java::Type& type) {
+  if (type.array_dims > 0) return Value::Null();
+  switch (type.kind) {
+    case java::TypeKind::kInt: return Value::Int(0);
+    case java::TypeKind::kLong: return Value::Long(0);
+    case java::TypeKind::kDouble: return Value::Double(0.0);
+    case java::TypeKind::kBoolean: return Value::Bool(false);
+    case java::TypeKind::kChar: return Value::Char(0);
+    case java::TypeKind::kString: return Value::Str("");
+    default: return Value::Null();
+  }
+}
+
+class Exec {
+ public:
+  Exec(const java::CompilationUnit& unit,
+       const std::map<std::string, std::string>& files,
+       const ExecOptions& options)
+      : unit_(unit), files_(files), options_(options) {}
+
+  Result<ExecResult> Run(const std::string& method_name,
+                         const std::vector<Value>& args) {
+    JFEED_ASSIGN_OR_RETURN(Value ret, CallUser(method_name, args));
+    ExecResult result;
+    result.stdout_text = std::move(out_);
+    result.return_value = std::move(ret);
+    result.steps = steps_;
+    return result;
+  }
+
+ private:
+  using Scope = std::map<std::string, Value>;
+
+  Status Tick() {
+    if (++steps_ > options_.max_steps) {
+      return Status::Timeout("step budget exhausted (likely infinite loop)");
+    }
+    return Status::OK();
+  }
+
+  Status RuntimeError(const std::string& msg, int line) {
+    return Status::ExecutionError(msg + " (line " + std::to_string(line) +
+                                  ")");
+  }
+
+  // --- Variables ----------------------------------------------------------
+
+  Value* LookupVar(const std::string& name) {
+    for (auto it = scopes_.rbegin(); it != scopes_.rend(); ++it) {
+      auto found = it->find(name);
+      if (found != it->end()) return &found->second;
+    }
+    return nullptr;
+  }
+
+  void DeclareVar(const std::string& name, Value value) {
+    RecordTrace(name, value);
+    scopes_.back()[name] = std::move(value);
+  }
+
+  void RecordTrace(const std::string& name, const Value& value) {
+    if (options_.trace == nullptr) return;
+    if (static_cast<int64_t>(options_.trace->size()) >=
+        options_.max_trace_events) {
+      return;
+    }
+    options_.trace->push_back({name, value.ToJavaString()});
+  }
+
+  // --- Method dispatch ----------------------------------------------------
+
+  Result<Value> CallUser(const std::string& name,
+                         const std::vector<Value>& args) {
+    const java::Method* method = unit_.FindMethod(name);
+    if (method == nullptr) {
+      return Status::NotFound("method not found: " + name);
+    }
+    if (method->params.size() != args.size()) {
+      return Status::ExecutionError(
+          "wrong number of arguments for " + name + ": expected " +
+          std::to_string(method->params.size()) + ", got " +
+          std::to_string(args.size()));
+    }
+    if (++call_depth_ > kMaxCallDepth) {
+      --call_depth_;
+      return Status::Timeout("call depth exceeded (runaway recursion)");
+    }
+    std::vector<Scope> saved = std::move(scopes_);
+    scopes_.clear();
+    scopes_.emplace_back();
+    for (size_t i = 0; i < args.size(); ++i) {
+      DeclareVar(method->params[i].name, args[i]);
+    }
+    Value saved_ret = std::move(return_value_);
+    return_value_ = Value::Null();
+    auto flow = ExecStmt(*method->body);
+    Value ret = std::move(return_value_);
+    return_value_ = std::move(saved_ret);
+    scopes_ = std::move(saved);
+    --call_depth_;
+    if (!flow.ok()) return flow.status();
+    return ret;
+  }
+
+  // --- Statements ---------------------------------------------------------
+
+  Result<Flow> ExecStmt(const java::Stmt& s) {
+    JFEED_RETURN_IF_ERROR(Tick());
+    switch (s.kind) {
+      case java::StmtKind::kBlock: {
+        scopes_.emplace_back();
+        for (const auto& child : s.body) {
+          auto flow = ExecStmt(*child);
+          if (!flow.ok() || *flow != Flow::kNormal) {
+            scopes_.pop_back();
+            return flow;
+          }
+        }
+        scopes_.pop_back();
+        return Flow::kNormal;
+      }
+      case java::StmtKind::kLocalVarDecl: {
+        for (const auto& decl : s.decls) {
+          Value v = DefaultValueFor(s.decl_type);
+          if (decl.init) {
+            JFEED_ASSIGN_OR_RETURN(v, Eval(*decl.init));
+            v = Coerce(std::move(v), s.decl_type);
+          }
+          DeclareVar(decl.name, std::move(v));
+        }
+        return Flow::kNormal;
+      }
+      case java::StmtKind::kExprStmt: {
+        JFEED_RETURN_IF_ERROR(Eval(*s.expr).status());
+        return Flow::kNormal;
+      }
+      case java::StmtKind::kIf: {
+        JFEED_ASSIGN_OR_RETURN(Value cond, Eval(*s.expr));
+        if (cond.AsBool()) return ExecStmt(*s.then_branch);
+        if (s.else_branch) return ExecStmt(*s.else_branch);
+        return Flow::kNormal;
+      }
+      case java::StmtKind::kWhile: {
+        while (true) {
+          JFEED_RETURN_IF_ERROR(Tick());
+          JFEED_ASSIGN_OR_RETURN(Value cond, Eval(*s.expr));
+          if (!cond.AsBool()) break;
+          JFEED_ASSIGN_OR_RETURN(Flow flow, ExecStmt(*s.loop_body));
+          if (flow == Flow::kBreak) break;
+          if (flow == Flow::kReturn) return Flow::kReturn;
+        }
+        return Flow::kNormal;
+      }
+      case java::StmtKind::kDoWhile: {
+        while (true) {
+          JFEED_RETURN_IF_ERROR(Tick());
+          JFEED_ASSIGN_OR_RETURN(Flow flow, ExecStmt(*s.loop_body));
+          if (flow == Flow::kBreak) break;
+          if (flow == Flow::kReturn) return Flow::kReturn;
+          JFEED_ASSIGN_OR_RETURN(Value cond, Eval(*s.expr));
+          if (!cond.AsBool()) break;
+        }
+        return Flow::kNormal;
+      }
+      case java::StmtKind::kFor: {
+        scopes_.emplace_back();
+        Flow result = Flow::kNormal;
+        Status status = Status::OK();
+        if (s.for_init) {
+          auto flow = ExecStmt(*s.for_init);
+          if (!flow.ok()) status = flow.status();
+        }
+        while (status.ok()) {
+          status = Tick();
+          if (!status.ok()) break;
+          if (s.expr) {
+            auto cond = Eval(*s.expr);
+            if (!cond.ok()) {
+              status = cond.status();
+              break;
+            }
+            if (!cond->AsBool()) break;
+          }
+          auto flow = ExecStmt(*s.loop_body);
+          if (!flow.ok()) {
+            status = flow.status();
+            break;
+          }
+          if (*flow == Flow::kBreak) break;
+          if (*flow == Flow::kReturn) {
+            result = Flow::kReturn;
+            break;
+          }
+          for (const auto& update : s.for_update) {
+            auto v = Eval(*update);
+            if (!v.ok()) {
+              status = v.status();
+              break;
+            }
+          }
+        }
+        scopes_.pop_back();
+        if (!status.ok()) return status;
+        return result;
+      }
+      case java::StmtKind::kSwitch: {
+        JFEED_ASSIGN_OR_RETURN(Value selector, Eval(*s.expr));
+        // Find the first matching case (or default), then fall through.
+        size_t start = s.switch_cases.size();
+        size_t default_arm = s.switch_cases.size();
+        for (size_t i = 0; i < s.switch_cases.size(); ++i) {
+          const auto& arm = s.switch_cases[i];
+          if (!arm.label) {
+            default_arm = i;
+            continue;
+          }
+          JFEED_ASSIGN_OR_RETURN(Value label, Eval(*arm.label));
+          if (selector.JavaEquals(label)) {
+            start = i;
+            break;
+          }
+        }
+        if (start == s.switch_cases.size()) start = default_arm;
+        scopes_.emplace_back();
+        for (size_t i = start; i < s.switch_cases.size(); ++i) {
+          for (const auto& stmt : s.switch_cases[i].body) {
+            auto flow = ExecStmt(*stmt);
+            if (!flow.ok()) {
+              scopes_.pop_back();
+              return flow;
+            }
+            if (*flow == Flow::kBreak) {
+              scopes_.pop_back();
+              return Flow::kNormal;  // break exits the switch.
+            }
+            if (*flow == Flow::kReturn || *flow == Flow::kContinue) {
+              scopes_.pop_back();
+              return *flow;
+            }
+          }
+        }
+        scopes_.pop_back();
+        return Flow::kNormal;
+      }
+      case java::StmtKind::kReturn: {
+        if (s.expr) {
+          JFEED_ASSIGN_OR_RETURN(return_value_, Eval(*s.expr));
+        } else {
+          return_value_ = Value::Null();
+        }
+        return Flow::kReturn;
+      }
+      case java::StmtKind::kBreak:
+        return Flow::kBreak;
+      case java::StmtKind::kContinue:
+        return Flow::kContinue;
+    }
+    return Status::Internal("unhandled statement kind");
+  }
+
+  // --- Expressions --------------------------------------------------------
+
+  Result<Value> Eval(const java::Expr& e) {
+    JFEED_RETURN_IF_ERROR(Tick());
+    switch (e.kind) {
+      case java::ExprKind::kIntLit: return Value::Int(e.int_value);
+      case java::ExprKind::kLongLit: return Value::Long(e.int_value);
+      case java::ExprKind::kDoubleLit: return Value::Double(e.double_value);
+      case java::ExprKind::kBoolLit: return Value::Bool(e.bool_value);
+      case java::ExprKind::kCharLit: return Value::Char(e.int_value);
+      case java::ExprKind::kStringLit: return Value::Str(e.string_value);
+      case java::ExprKind::kNullLit: return Value::Null();
+      case java::ExprKind::kName: {
+        Value* v = LookupVar(e.name);
+        if (v == nullptr) {
+          return RuntimeError("undefined variable '" + e.name + "'", e.line);
+        }
+        return *v;
+      }
+      case java::ExprKind::kArrayAccess: {
+        JFEED_ASSIGN_OR_RETURN(Value arr, Eval(*e.lhs));
+        JFEED_ASSIGN_OR_RETURN(Value idx, Eval(*e.rhs));
+        if (arr.kind() != Value::Kind::kArray || arr.AsArray() == nullptr) {
+          return RuntimeError("array access on non-array value", e.line);
+        }
+        int64_t i = idx.AsInt();
+        const auto& elems = arr.AsArray()->elems;
+        if (i < 0 || static_cast<size_t>(i) >= elems.size()) {
+          return RuntimeError(
+              "ArrayIndexOutOfBoundsException: index " + std::to_string(i) +
+                  " for length " + std::to_string(elems.size()),
+              e.line);
+        }
+        return elems[static_cast<size_t>(i)];
+      }
+      case java::ExprKind::kFieldAccess: {
+        if (e.name == "length") {
+          JFEED_ASSIGN_OR_RETURN(Value arr, Eval(*e.lhs));
+          if (arr.kind() == Value::Kind::kArray && arr.AsArray() != nullptr) {
+            return Value::Int(static_cast<int64_t>(arr.AsArray()->elems.size()));
+          }
+          return RuntimeError(".length on non-array value", e.line);
+        }
+        return RuntimeError("unsupported field '" + e.name + "'", e.line);
+      }
+      case java::ExprKind::kBinary:
+        return EvalBinary(e);
+      case java::ExprKind::kUnary:
+        return EvalUnary(e);
+      case java::ExprKind::kAssign:
+        return EvalAssign(e);
+      case java::ExprKind::kConditional: {
+        JFEED_ASSIGN_OR_RETURN(Value cond, Eval(*e.lhs));
+        return cond.AsBool() ? Eval(*e.rhs) : Eval(*e.third);
+      }
+      case java::ExprKind::kCast: {
+        JFEED_ASSIGN_OR_RETURN(Value v, Eval(*e.lhs));
+        switch (e.type.kind) {
+          case java::TypeKind::kInt: return Value::Int(v.AsInt());
+          case java::TypeKind::kLong: return Value::Long(v.AsInt());
+          case java::TypeKind::kDouble: return Value::Double(v.AsDouble());
+          case java::TypeKind::kChar: return Value::Char(v.AsInt());
+          default:
+            return RuntimeError("unsupported cast target", e.line);
+        }
+      }
+      case java::ExprKind::kMethodCall:
+        return EvalCall(e);
+      case java::ExprKind::kNewArray:
+        return EvalNewArray(e);
+      case java::ExprKind::kNewObject:
+        return EvalNewObject(e);
+    }
+    return Status::Internal("unhandled expression kind");
+  }
+
+  Result<Value> EvalBinary(const java::Expr& e) {
+    using BO = java::BinaryOp;
+    // Short-circuit logical operators.
+    if (e.binary_op == BO::kAnd || e.binary_op == BO::kOr) {
+      JFEED_ASSIGN_OR_RETURN(Value lhs, Eval(*e.lhs));
+      if (e.binary_op == BO::kAnd && !lhs.AsBool()) return Value::Bool(false);
+      if (e.binary_op == BO::kOr && lhs.AsBool()) return Value::Bool(true);
+      JFEED_ASSIGN_OR_RETURN(Value rhs, Eval(*e.rhs));
+      return Value::Bool(rhs.AsBool());
+    }
+    JFEED_ASSIGN_OR_RETURN(Value lhs, Eval(*e.lhs));
+    JFEED_ASSIGN_OR_RETURN(Value rhs, Eval(*e.rhs));
+    return ApplyBinary(e.binary_op, std::move(lhs), std::move(rhs), e.line);
+  }
+
+  Result<Value> ApplyBinary(java::BinaryOp op, Value lhs, Value rhs,
+                            int line) {
+    using BO = java::BinaryOp;
+    // String concatenation.
+    if (op == BO::kAdd && (lhs.kind() == Value::Kind::kString ||
+                           rhs.kind() == Value::Kind::kString)) {
+      return Value::Str(lhs.ToJavaString() + rhs.ToJavaString());
+    }
+    if (op == BO::kEq) return Value::Bool(lhs.JavaEquals(rhs));
+    if (op == BO::kNe) return Value::Bool(!lhs.JavaEquals(rhs));
+    if (!lhs.is_numeric() || !rhs.is_numeric()) {
+      return RuntimeError("arithmetic on non-numeric values", line);
+    }
+    bool as_double = lhs.kind() == Value::Kind::kDouble ||
+                     rhs.kind() == Value::Kind::kDouble;
+    if (as_double) {
+      double a = lhs.AsDouble(), b = rhs.AsDouble();
+      switch (op) {
+        case BO::kAdd: return Value::Double(a + b);
+        case BO::kSub: return Value::Double(a - b);
+        case BO::kMul: return Value::Double(a * b);
+        case BO::kDiv: return Value::Double(a / b);
+        case BO::kMod: return Value::Double(std::fmod(a, b));
+        case BO::kLt: return Value::Bool(a < b);
+        case BO::kLe: return Value::Bool(a <= b);
+        case BO::kGt: return Value::Bool(a > b);
+        case BO::kGe: return Value::Bool(a >= b);
+        default: break;
+      }
+    } else {
+      int64_t a = lhs.AsInt(), b = rhs.AsInt();
+      bool lng = lhs.kind() == Value::Kind::kLong ||
+                 rhs.kind() == Value::Kind::kLong;
+      auto wrap = [lng](int64_t v) {
+        return lng ? Value::Long(v)
+                   : Value::Int(static_cast<int32_t>(v));  // Java int wraps.
+      };
+      switch (op) {
+        case BO::kAdd: return wrap(a + b);
+        case BO::kSub: return wrap(a - b);
+        case BO::kMul: return wrap(a * b);
+        case BO::kDiv:
+          if (b == 0) {
+            return RuntimeError("ArithmeticException: / by zero", line);
+          }
+          return wrap(a / b);
+        case BO::kMod:
+          if (b == 0) {
+            return RuntimeError("ArithmeticException: % by zero", line);
+          }
+          return wrap(a % b);
+        case BO::kLt: return Value::Bool(a < b);
+        case BO::kLe: return Value::Bool(a <= b);
+        case BO::kGt: return Value::Bool(a > b);
+        case BO::kGe: return Value::Bool(a >= b);
+        default: break;
+      }
+    }
+    return Status::Internal("unhandled binary operator");
+  }
+
+  Result<Value> EvalUnary(const java::Expr& e) {
+    using UO = java::UnaryOp;
+    switch (e.unary_op) {
+      case UO::kNeg: {
+        JFEED_ASSIGN_OR_RETURN(Value v, Eval(*e.lhs));
+        if (v.kind() == Value::Kind::kDouble) {
+          return Value::Double(-v.AsDouble());
+        }
+        if (v.is_integral()) return Value::Int(-v.AsInt());
+        return RuntimeError("negation of non-numeric value", e.line);
+      }
+      case UO::kNot: {
+        JFEED_ASSIGN_OR_RETURN(Value v, Eval(*e.lhs));
+        return Value::Bool(!v.AsBool());
+      }
+      case UO::kPreInc:
+      case UO::kPreDec:
+      case UO::kPostInc:
+      case UO::kPostDec: {
+        int64_t delta =
+            (e.unary_op == UO::kPreInc || e.unary_op == UO::kPostInc) ? 1 : -1;
+        bool pre =
+            e.unary_op == UO::kPreInc || e.unary_op == UO::kPreDec;
+        JFEED_ASSIGN_OR_RETURN(Value old_value, Eval(*e.lhs));
+        Value new_value;
+        if (old_value.kind() == Value::Kind::kDouble) {
+          new_value = Value::Double(old_value.AsDouble() + delta);
+        } else {
+          new_value = Value::Int(old_value.AsInt() + delta);
+        }
+        JFEED_RETURN_IF_ERROR(Store(*e.lhs, new_value));
+        return pre ? new_value : old_value;
+      }
+    }
+    return Status::Internal("unhandled unary operator");
+  }
+
+  Result<Value> EvalAssign(const java::Expr& e) {
+    JFEED_ASSIGN_OR_RETURN(Value rhs, Eval(*e.rhs));
+    Value result;
+    if (e.assign_op == java::AssignOp::kAssign) {
+      result = std::move(rhs);
+    } else {
+      JFEED_ASSIGN_OR_RETURN(Value old_value, Eval(*e.lhs));
+      java::BinaryOp op;
+      switch (e.assign_op) {
+        case java::AssignOp::kAddAssign: op = java::BinaryOp::kAdd; break;
+        case java::AssignOp::kSubAssign: op = java::BinaryOp::kSub; break;
+        case java::AssignOp::kMulAssign: op = java::BinaryOp::kMul; break;
+        case java::AssignOp::kDivAssign: op = java::BinaryOp::kDiv; break;
+        case java::AssignOp::kModAssign: op = java::BinaryOp::kMod; break;
+        default:
+          return Status::Internal("unhandled compound assignment");
+      }
+      JFEED_ASSIGN_OR_RETURN(
+          result, ApplyBinary(op, std::move(old_value), std::move(rhs),
+                              e.line));
+    }
+    JFEED_RETURN_IF_ERROR(Store(*e.lhs, result));
+    return result;
+  }
+
+  /// Stores `value` through an lvalue expression (Name or ArrayAccess).
+  Status Store(const java::Expr& target, const Value& value) {
+    if (target.kind == java::ExprKind::kName) {
+      Value* slot = LookupVar(target.name);
+      if (slot == nullptr) {
+        return RuntimeError("undefined variable '" + target.name + "'",
+                            target.line);
+      }
+      // Preserve the declared numeric kind so int variables stay ints.
+      if (slot->kind() == Value::Kind::kInt && value.is_integral()) {
+        *slot = Value::Int(static_cast<int32_t>(value.AsInt()));
+      } else if (slot->kind() == Value::Kind::kLong && value.is_integral()) {
+        *slot = Value::Long(value.AsInt());
+      } else if (slot->kind() == Value::Kind::kDouble && value.is_numeric()) {
+        *slot = Value::Double(value.AsDouble());
+      } else {
+        *slot = value;
+      }
+      RecordTrace(target.name, *slot);
+      return Status::OK();
+    }
+    if (target.kind == java::ExprKind::kArrayAccess) {
+      JFEED_ASSIGN_OR_RETURN(Value arr, Eval(*target.lhs));
+      JFEED_ASSIGN_OR_RETURN(Value idx, Eval(*target.rhs));
+      if (arr.kind() != Value::Kind::kArray || arr.AsArray() == nullptr) {
+        return RuntimeError("array store on non-array value", target.line);
+      }
+      int64_t i = idx.AsInt();
+      auto& elems = arr.AsArray()->elems;
+      if (i < 0 || static_cast<size_t>(i) >= elems.size()) {
+        return RuntimeError(
+            "ArrayIndexOutOfBoundsException: index " + std::to_string(i) +
+                " for length " + std::to_string(elems.size()),
+            target.line);
+      }
+      if (arr.AsArray()->elem_kind == java::TypeKind::kDouble &&
+          value.is_numeric()) {
+        elems[static_cast<size_t>(i)] = Value::Double(value.AsDouble());
+      } else if (arr.AsArray()->elem_kind == java::TypeKind::kInt &&
+                 value.is_integral()) {
+        elems[static_cast<size_t>(i)] =
+            Value::Int(static_cast<int32_t>(value.AsInt()));
+      } else {
+        elems[static_cast<size_t>(i)] = value;
+      }
+      if (target.lhs->kind == java::ExprKind::kName) {
+        RecordTrace(target.lhs->name, elems[static_cast<size_t>(i)]);
+      }
+      return Status::OK();
+    }
+    return RuntimeError("assignment target is not an lvalue", target.line);
+  }
+
+  /// Coerces an initializer to the declared type (int x = 'a'; double d = 1).
+  static Value Coerce(Value v, const java::Type& type) {
+    if (type.array_dims > 0) return v;
+    switch (type.kind) {
+      case java::TypeKind::kInt:
+        if (v.is_integral()) return Value::Int(static_cast<int32_t>(v.AsInt()));
+        return v;
+      case java::TypeKind::kLong:
+        if (v.is_integral()) return Value::Long(v.AsInt());
+        return v;
+      case java::TypeKind::kDouble:
+        if (v.is_numeric()) return Value::Double(v.AsDouble());
+        return v;
+      default:
+        return v;
+    }
+  }
+
+  // --- Calls --------------------------------------------------------------
+
+  static bool IsSystemOut(const java::Expr& receiver) {
+    return receiver.kind == java::ExprKind::kFieldAccess &&
+           receiver.name == "out" &&
+           receiver.lhs->kind == java::ExprKind::kName &&
+           receiver.lhs->name == "System";
+  }
+
+  Result<Value> EvalCall(const java::Expr& e) {
+    // Bare call: a user-defined method of this unit.
+    if (!e.lhs) {
+      std::vector<Value> args;
+      args.reserve(e.args.size());
+      for (const auto& a : e.args) {
+        JFEED_ASSIGN_OR_RETURN(Value v, Eval(*a));
+        args.push_back(std::move(v));
+      }
+      return CallUser(e.name, args);
+    }
+    // System.out.print / println.
+    if (IsSystemOut(*e.lhs)) {
+      if (e.name != "print" && e.name != "println") {
+        return RuntimeError("unsupported System.out method '" + e.name + "'",
+                            e.line);
+      }
+      std::string text;
+      if (!e.args.empty()) {
+        JFEED_ASSIGN_OR_RETURN(Value v, Eval(*e.args[0]));
+        text = v.ToJavaString();
+      }
+      out_ += text;
+      if (e.name == "println") out_ += "\n";
+      return Value::Null();
+    }
+    // Math.* static builtins.
+    if (e.lhs->kind == java::ExprKind::kName && e.lhs->name == "Math") {
+      return EvalMath(e);
+    }
+    // Integer.parseInt.
+    if (e.lhs->kind == java::ExprKind::kName && e.lhs->name == "Integer") {
+      if (e.name == "parseInt" && e.args.size() == 1) {
+        JFEED_ASSIGN_OR_RETURN(Value v, Eval(*e.args[0]));
+        errno = 0;
+        char* end = nullptr;
+        const std::string& s = v.AsString();
+        long long parsed = std::strtoll(s.c_str(), &end, 10);
+        if (errno != 0 || end != s.c_str() + s.size() || s.empty()) {
+          return RuntimeError("NumberFormatException: \"" + s + "\"", e.line);
+        }
+        return Value::Int(parsed);
+      }
+      return RuntimeError("unsupported Integer method '" + e.name + "'",
+                          e.line);
+    }
+    // Instance methods: evaluate the receiver.
+    JFEED_ASSIGN_OR_RETURN(Value recv, Eval(*e.lhs));
+    if (recv.kind() == Value::Kind::kScanner) return EvalScanner(e, recv);
+    if (recv.kind() == Value::Kind::kString) return EvalString(e, recv);
+    return RuntimeError("unsupported method call '" + e.name + "'", e.line);
+  }
+
+  Result<Value> EvalMath(const java::Expr& e) {
+    std::vector<double> a;
+    for (const auto& arg : e.args) {
+      JFEED_ASSIGN_OR_RETURN(Value v, Eval(*arg));
+      if (!v.is_numeric()) {
+        return RuntimeError("Math argument is not numeric", e.line);
+      }
+      a.push_back(v.AsDouble());
+    }
+    const std::string& f = e.name;
+    if (f == "pow" && a.size() == 2) return Value::Double(std::pow(a[0], a[1]));
+    if (f == "sqrt" && a.size() == 1) return Value::Double(std::sqrt(a[0]));
+    if (f == "log" && a.size() == 1) return Value::Double(std::log(a[0]));
+    if (f == "log10" && a.size() == 1) return Value::Double(std::log10(a[0]));
+    if (f == "floor" && a.size() == 1) return Value::Double(std::floor(a[0]));
+    if (f == "ceil" && a.size() == 1) return Value::Double(std::ceil(a[0]));
+    if (f == "abs" && a.size() == 1) {
+      // Integer abs keeps integer kind.
+      if (e.args[0]->kind != java::ExprKind::kDoubleLit) {
+        JFEED_ASSIGN_OR_RETURN(Value v, Eval(*e.args[0]));
+        if (v.is_integral()) {
+          return Value::Int(v.AsInt() < 0 ? -v.AsInt() : v.AsInt());
+        }
+      }
+      return Value::Double(std::fabs(a[0]));
+    }
+    if (f == "max" && a.size() == 2) {
+      JFEED_ASSIGN_OR_RETURN(Value x, Eval(*e.args[0]));
+      JFEED_ASSIGN_OR_RETURN(Value y, Eval(*e.args[1]));
+      if (x.is_integral() && y.is_integral()) {
+        return Value::Int(std::max(x.AsInt(), y.AsInt()));
+      }
+      return Value::Double(std::max(a[0], a[1]));
+    }
+    if (f == "min" && a.size() == 2) {
+      JFEED_ASSIGN_OR_RETURN(Value x, Eval(*e.args[0]));
+      JFEED_ASSIGN_OR_RETURN(Value y, Eval(*e.args[1]));
+      if (x.is_integral() && y.is_integral()) {
+        return Value::Int(std::min(x.AsInt(), y.AsInt()));
+      }
+      return Value::Double(std::min(a[0], a[1]));
+    }
+    return RuntimeError("unsupported Math method '" + f + "'", e.line);
+  }
+
+  Result<Value> EvalScanner(const java::Expr& e, const Value& recv) {
+    auto& sc = *recv.AsScanner();
+    const std::string& f = e.name;
+    if (f == "hasNext") return Value::Bool(sc.HasNext());
+    if (f == "hasNextInt") {
+      if (!sc.HasNext()) return Value::Bool(false);
+      const std::string& tok = sc.tokens[sc.pos];
+      char* end = nullptr;
+      std::strtoll(tok.c_str(), &end, 10);
+      return Value::Bool(end == tok.c_str() + tok.size() && !tok.empty());
+    }
+    if (f == "close") {
+      sc.closed = true;
+      return Value::Null();
+    }
+    if (!sc.HasNext()) {
+      return RuntimeError("NoSuchElementException: scanner exhausted",
+                          e.line);
+    }
+    if (f == "next") return Value::Str(sc.tokens[sc.pos++]);
+    if (f == "nextInt") {
+      const std::string& tok = sc.tokens[sc.pos];
+      char* end = nullptr;
+      errno = 0;
+      long long v = std::strtoll(tok.c_str(), &end, 10);
+      if (errno != 0 || end != tok.c_str() + tok.size() || tok.empty()) {
+        return RuntimeError("InputMismatchException: \"" + tok + "\"",
+                            e.line);
+      }
+      ++sc.pos;
+      return Value::Int(v);
+    }
+    if (f == "nextDouble") {
+      const std::string& tok = sc.tokens[sc.pos];
+      char* end = nullptr;
+      errno = 0;
+      double v = std::strtod(tok.c_str(), &end);
+      if (errno != 0 || end != tok.c_str() + tok.size() || tok.empty()) {
+        return RuntimeError("InputMismatchException: \"" + tok + "\"",
+                            e.line);
+      }
+      ++sc.pos;
+      return Value::Double(v);
+    }
+    return RuntimeError("unsupported Scanner method '" + f + "'", e.line);
+  }
+
+  Result<Value> EvalString(const java::Expr& e, const Value& recv) {
+    const std::string& s = recv.AsString();
+    const std::string& f = e.name;
+    if (f == "length" && e.args.empty()) {
+      return Value::Int(static_cast<int64_t>(s.size()));
+    }
+    if (f == "equals" && e.args.size() == 1) {
+      JFEED_ASSIGN_OR_RETURN(Value other, Eval(*e.args[0]));
+      return Value::Bool(other.kind() == Value::Kind::kString &&
+                         other.AsString() == s);
+    }
+    if (f == "charAt" && e.args.size() == 1) {
+      JFEED_ASSIGN_OR_RETURN(Value idx, Eval(*e.args[0]));
+      int64_t i = idx.AsInt();
+      if (i < 0 || static_cast<size_t>(i) >= s.size()) {
+        return RuntimeError("StringIndexOutOfBoundsException", e.line);
+      }
+      return Value::Char(static_cast<unsigned char>(s[i]));
+    }
+    if (f == "isEmpty" && e.args.empty()) return Value::Bool(s.empty());
+    return RuntimeError("unsupported String method '" + f + "'", e.line);
+  }
+
+  Result<Value> EvalNewArray(const java::Expr& e) {
+    auto arr = std::make_shared<ArrayValue>();
+    arr->elem_kind = e.type.kind;
+    if (!e.args.empty()) {
+      for (const auto& elem : e.args) {
+        JFEED_ASSIGN_OR_RETURN(Value v, Eval(*elem));
+        arr->elems.push_back(Coerce(std::move(v), e.type));
+      }
+      return Value::Array(std::move(arr));
+    }
+    if (!e.lhs) {
+      return RuntimeError("array creation without a length", e.line);
+    }
+    JFEED_ASSIGN_OR_RETURN(Value len, Eval(*e.lhs));
+    int64_t n = len.AsInt();
+    if (n < 0) {
+      return RuntimeError("NegativeArraySizeException: " + std::to_string(n),
+                          e.line);
+    }
+    if (n > 10'000'000) {
+      return RuntimeError("array too large: " + std::to_string(n), e.line);
+    }
+    arr->elems.assign(static_cast<size_t>(n), DefaultValueFor(e.type));
+    return Value::Array(std::move(arr));
+  }
+
+  Result<Value> EvalNewObject(const java::Expr& e) {
+    if (e.name == "File") {
+      if (e.args.size() != 1) {
+        return RuntimeError("File expects one argument", e.line);
+      }
+      JFEED_ASSIGN_OR_RETURN(Value name, Eval(*e.args[0]));
+      return Value::Str(name.AsString());  // A File is just its name here.
+    }
+    if (e.name == "Scanner") {
+      if (e.args.size() != 1) {
+        return RuntimeError("Scanner expects one argument", e.line);
+      }
+      JFEED_ASSIGN_OR_RETURN(Value file, Eval(*e.args[0]));
+      auto it = files_.find(file.AsString());
+      if (it == files_.end()) {
+        return RuntimeError(
+            "FileNotFoundException: " + file.AsString(), e.line);
+      }
+      auto state = std::make_shared<ScannerState>();
+      state->tokens = TokenizeScannerInput(it->second);
+      return Value::Scanner(std::move(state));
+    }
+    if (e.name == "String") {
+      if (e.args.empty()) return Value::Str("");
+      JFEED_ASSIGN_OR_RETURN(Value v, Eval(*e.args[0]));
+      return Value::Str(v.ToJavaString());
+    }
+    return RuntimeError("cannot instantiate '" + e.name + "'", e.line);
+  }
+
+  const java::CompilationUnit& unit_;
+  const std::map<std::string, std::string>& files_;
+  const ExecOptions& options_;
+  std::string out_;
+  int64_t steps_ = 0;
+  int call_depth_ = 0;
+  std::vector<Scope> scopes_;
+  Value return_value_;
+};
+
+}  // namespace
+
+Result<ExecResult> Interpreter::Call(const std::string& method_name,
+                                     const std::vector<Value>& args,
+                                     const ExecOptions& options) {
+  Exec exec(unit_, files_, options);
+  return exec.Run(method_name, args);
+}
+
+}  // namespace jfeed::interp

@@ -1,0 +1,76 @@
+#ifndef JFEED_INTERP_INTERPRETER_H_
+#define JFEED_INTERP_INTERPRETER_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "interp/value.h"
+#include "javalang/ast.h"
+#include "support/result.h"
+
+namespace jfeed::interp {
+
+/// One recorded variable assignment (used by the CLARA-style baseline,
+/// which compares whole variable traces).
+struct TraceEvent {
+  std::string var;
+  std::string value;  ///< Java rendering of the assigned value.
+};
+
+/// Limits applied to one execution; the step limit is the paper's answer to
+/// the infinite-loop problem of dynamic techniques (we bound, they cannot).
+struct ExecOptions {
+  int64_t max_steps = 2'000'000;  ///< Statement/expression budget.
+  /// When non-null, every scalar variable assignment (declaration,
+  /// assignment, increment) is appended here — the "variable traces" of
+  /// Gulwani et al. Tracing is what makes dynamic comparison expensive on
+  /// large inputs, which the CLARA benches demonstrate.
+  std::vector<TraceEvent>* trace = nullptr;
+  int64_t max_trace_events = 10'000'000;  ///< Hard cap on recorded events.
+};
+
+/// Outcome of a successful execution.
+struct ExecResult {
+  std::string stdout_text;  ///< Everything printed via System.out.
+  Value return_value;       ///< Value::Null() for void methods.
+  int64_t steps = 0;        ///< Steps consumed (for trace-cost accounting).
+};
+
+/// A tree-walking interpreter for the Java subset. One instance wraps one
+/// compilation unit; methods of the unit can call each other. "Files" opened
+/// through `new Scanner(new File(name))` are resolved against `files`, an
+/// in-memory name -> contents map (the simulation of summer_olympics.txt).
+///
+/// Supported built-ins: System.out.print/println, Math.{pow,abs,sqrt,floor,
+/// ceil,log,log10,max,min}, Integer.parseInt, String.equals/length/charAt,
+/// Scanner.{hasNext,hasNextInt,next,nextInt,nextDouble,nextLine,close}.
+class Interpreter {
+ public:
+  explicit Interpreter(const java::CompilationUnit& unit,
+                       std::map<std::string, std::string> files = {})
+      : unit_(unit), files_(std::move(files)) {}
+
+  Interpreter(const Interpreter&) = delete;
+  Interpreter& operator=(const Interpreter&) = delete;
+
+  /// Runs `method_name` with `args`. Returns ExecutionError for Java runtime
+  /// errors (array out of bounds, division by zero, ...), Timeout when the
+  /// step budget is exhausted (infinite-loop guard), NotFound for a missing
+  /// method, SemanticError for constructs outside the subset.
+  Result<ExecResult> Call(const std::string& method_name,
+                          const std::vector<Value>& args,
+                          const ExecOptions& options = ExecOptions());
+
+ private:
+  const java::CompilationUnit& unit_;
+  std::map<std::string, std::string> files_;
+};
+
+/// Splits file contents into whitespace-separated Scanner tokens.
+std::vector<std::string> TokenizeScannerInput(const std::string& contents);
+
+}  // namespace jfeed::interp
+
+#endif  // JFEED_INTERP_INTERPRETER_H_

@@ -1,0 +1,120 @@
+#include "javalang/analysis.h"
+
+#include <array>
+
+namespace jfeed::java {
+
+namespace {
+
+/// Adds the variable at the root of an lvalue chain: for `a[i]` that is `a`.
+void AddBaseVar(const Expr& lvalue, std::set<std::string>* out) {
+  const Expr* e = &lvalue;
+  while (e->kind == ExprKind::kArrayAccess ||
+         e->kind == ExprKind::kFieldAccess) {
+    e = e->lhs.get();
+  }
+  if (e->kind == ExprKind::kName && !IsWellKnownClassName(e->name)) {
+    out->insert(e->name);
+  }
+}
+
+void Collect(const Expr& e, bool as_read_target, std::set<std::string>* reads,
+             std::set<std::string>* writes);
+
+void CollectChildrenAsReads(const Expr& e, std::set<std::string>* reads,
+                            std::set<std::string>* writes) {
+  if (e.lhs) Collect(*e.lhs, /*as_read_target=*/true, reads, writes);
+  if (e.rhs) Collect(*e.rhs, true, reads, writes);
+  if (e.third) Collect(*e.third, true, reads, writes);
+  for (const auto& a : e.args) Collect(*a, true, reads, writes);
+}
+
+void Collect(const Expr& e, bool as_read_target, std::set<std::string>* reads,
+             std::set<std::string>* writes) {
+  switch (e.kind) {
+    case ExprKind::kName:
+      if (as_read_target && !IsWellKnownClassName(e.name)) {
+        reads->insert(e.name);
+      }
+      return;
+    case ExprKind::kAssign: {
+      // Target: written; read too for compound assignments. Array-element
+      // stores read the index expression and count as a (weak) write of the
+      // array variable.
+      AddBaseVar(*e.lhs, writes);
+      if (e.assign_op != AssignOp::kAssign) {
+        AddBaseVar(*e.lhs, reads);
+      }
+      if (e.lhs->kind == ExprKind::kArrayAccess) {
+        AddBaseVar(*e.lhs, reads);  // Reading the array object itself.
+        Collect(*e.lhs->rhs, true, reads, writes);  // Index expression.
+      }
+      Collect(*e.rhs, true, reads, writes);
+      return;
+    }
+    case ExprKind::kUnary:
+      if (e.unary_op == UnaryOp::kPreInc || e.unary_op == UnaryOp::kPreDec ||
+          e.unary_op == UnaryOp::kPostInc ||
+          e.unary_op == UnaryOp::kPostDec) {
+        AddBaseVar(*e.lhs, writes);
+        AddBaseVar(*e.lhs, reads);
+        if (e.lhs->kind == ExprKind::kArrayAccess) {
+          Collect(*e.lhs->rhs, true, reads, writes);
+        }
+        return;
+      }
+      Collect(*e.lhs, true, reads, writes);
+      return;
+    case ExprKind::kArrayAccess:
+    case ExprKind::kFieldAccess:
+    case ExprKind::kMethodCall:
+    case ExprKind::kBinary:
+    case ExprKind::kConditional:
+    case ExprKind::kCast:
+    case ExprKind::kNewArray:
+    case ExprKind::kNewObject:
+      CollectChildrenAsReads(e, reads, writes);
+      return;
+    case ExprKind::kIntLit:
+    case ExprKind::kLongLit:
+    case ExprKind::kDoubleLit:
+    case ExprKind::kBoolLit:
+    case ExprKind::kCharLit:
+    case ExprKind::kStringLit:
+    case ExprKind::kNullLit:
+      return;
+  }
+}
+
+}  // namespace
+
+bool IsWellKnownClassName(const std::string& name) {
+  static constexpr std::array<std::string_view, 10> kNames = {
+      "System", "Math",   "Integer", "Double", "String",
+      "Long",   "Boolean", "Character", "File", "Arrays"};
+  for (auto n : kNames) {
+    if (name == n) return true;
+  }
+  return false;
+}
+
+std::set<std::string> VarsRead(const Expr& expr) {
+  std::set<std::string> reads, writes;
+  Collect(expr, true, &reads, &writes);
+  return reads;
+}
+
+std::set<std::string> VarsWritten(const Expr& expr) {
+  std::set<std::string> reads, writes;
+  Collect(expr, true, &reads, &writes);
+  return writes;
+}
+
+std::set<std::string> VarsMentioned(const Expr& expr) {
+  std::set<std::string> reads, writes;
+  Collect(expr, true, &reads, &writes);
+  reads.insert(writes.begin(), writes.end());
+  return reads;
+}
+
+}  // namespace jfeed::java

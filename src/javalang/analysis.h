@@ -1,0 +1,30 @@
+#ifndef JFEED_JAVALANG_ANALYSIS_H_
+#define JFEED_JAVALANG_ANALYSIS_H_
+
+#include <set>
+#include <string>
+
+#include "javalang/ast.h"
+
+namespace jfeed::java {
+
+/// True for identifiers that name well-known classes rather than variables
+/// (System, Math, Integer, ...). Such names are excluded from variable sets.
+bool IsWellKnownClassName(const std::string& name);
+
+/// Variables whose value the expression reads. The target of a plain `=` is
+/// not read; targets of compound assignments and ++/-- are. An array-element
+/// store `a[i] = v` reads `i` and `v` but also `a` (the array object).
+std::set<std::string> VarsRead(const Expr& expr);
+
+/// Variables the expression (re)assigns: assignment targets and ++/--
+/// operands. For an array-element store the array variable is reported.
+std::set<std::string> VarsWritten(const Expr& expr);
+
+/// All variables mentioned (reads plus writes); this is the paper's
+/// `Variables(c)` for a graph-node content.
+std::set<std::string> VarsMentioned(const Expr& expr);
+
+}  // namespace jfeed::java
+
+#endif  // JFEED_JAVALANG_ANALYSIS_H_

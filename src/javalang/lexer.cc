@@ -1,0 +1,385 @@
+#include "javalang/lexer.h"
+
+#include <cctype>
+#include <unordered_map>
+
+namespace jfeed::java {
+
+namespace {
+
+const std::unordered_map<std::string_view, TokenKind>& KeywordTable() {
+  static const auto* kTable = new std::unordered_map<std::string_view,
+                                                     TokenKind>{
+      {"int", TokenKind::kKwInt},         {"long", TokenKind::kKwLong},
+      {"double", TokenKind::kKwDouble},   {"boolean", TokenKind::kKwBoolean},
+      {"char", TokenKind::kKwChar},       {"String", TokenKind::kKwString},
+      {"void", TokenKind::kKwVoid},       {"if", TokenKind::kKwIf},
+      {"else", TokenKind::kKwElse},       {"while", TokenKind::kKwWhile},
+      {"for", TokenKind::kKwFor},         {"do", TokenKind::kKwDo},
+      {"return", TokenKind::kKwReturn},   {"break", TokenKind::kKwBreak},
+      {"continue", TokenKind::kKwContinue}, {"new", TokenKind::kKwNew},
+      {"true", TokenKind::kKwTrue},       {"false", TokenKind::kKwFalse},
+      {"null", TokenKind::kKwNull},       {"class", TokenKind::kKwClass},
+      {"switch", TokenKind::kKwSwitch},   {"case", TokenKind::kKwCase},
+      {"default", TokenKind::kKwDefault},
+      {"public", TokenKind::kKwPublic},   {"private", TokenKind::kKwPrivate},
+      {"static", TokenKind::kKwStatic},   {"final", TokenKind::kKwFinal},
+  };
+  return *kTable;
+}
+
+class LexerImpl {
+ public:
+  explicit LexerImpl(std::string_view source) : src_(source) {}
+
+  Result<std::vector<Token>> Run() {
+    std::vector<Token> tokens;
+    while (true) {
+      JFEED_RETURN_IF_ERROR(SkipWhitespaceAndComments());
+      if (AtEnd()) break;
+      JFEED_ASSIGN_OR_RETURN(Token token, NextToken());
+      tokens.push_back(std::move(token));
+    }
+    Token eof;
+    eof.kind = TokenKind::kEof;
+    eof.line = line_;
+    eof.column = column_;
+    tokens.push_back(std::move(eof));
+    return tokens;
+  }
+
+ private:
+  bool AtEnd() const { return pos_ >= src_.size(); }
+  char Peek(size_t ahead = 0) const {
+    return pos_ + ahead < src_.size() ? src_[pos_ + ahead] : '\0';
+  }
+  char Advance() {
+    char c = src_[pos_++];
+    if (c == '\n') {
+      ++line_;
+      column_ = 1;
+    } else {
+      ++column_;
+    }
+    return c;
+  }
+
+  Status Error(const std::string& msg) const {
+    return Status::ParseError(msg + " at line " + std::to_string(line_) +
+                              ", column " + std::to_string(column_));
+  }
+
+  Status SkipWhitespaceAndComments() {
+    while (!AtEnd()) {
+      char c = Peek();
+      if (std::isspace(static_cast<unsigned char>(c))) {
+        Advance();
+      } else if (c == '/' && Peek(1) == '/') {
+        while (!AtEnd() && Peek() != '\n') Advance();
+      } else if (c == '/' && Peek(1) == '*') {
+        Advance();
+        Advance();
+        while (!AtEnd() && !(Peek() == '*' && Peek(1) == '/')) Advance();
+        if (AtEnd()) return Error("unterminated block comment");
+        Advance();
+        Advance();
+      } else {
+        break;
+      }
+    }
+    return Status::OK();
+  }
+
+  Token Make(TokenKind kind, std::string text, int line, int column) const {
+    Token t;
+    t.kind = kind;
+    t.text = std::move(text);
+    t.line = line;
+    t.column = column;
+    return t;
+  }
+
+  Result<Token> NextToken() {
+    int line = line_;
+    int column = column_;
+    char c = Peek();
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_' || c == '$') {
+      return LexIdentifier(line, column);
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      return LexNumber(line, column);
+    }
+    if (c == '"') return LexString(line, column);
+    if (c == '\'') return LexChar(line, column);
+    return LexOperator(line, column);
+  }
+
+  Result<Token> LexIdentifier(int line, int column) {
+    std::string text;
+    while (!AtEnd()) {
+      char c = Peek();
+      if (std::isalnum(static_cast<unsigned char>(c)) || c == '_' ||
+          c == '$') {
+        text.push_back(Advance());
+      } else {
+        break;
+      }
+    }
+    auto it = KeywordTable().find(text);
+    TokenKind kind =
+        it != KeywordTable().end() ? it->second : TokenKind::kIdentifier;
+    return Make(kind, std::move(text), line, column);
+  }
+
+  Result<Token> LexNumber(int line, int column) {
+    std::string text;
+    bool is_double = false;
+    while (!AtEnd() && std::isdigit(static_cast<unsigned char>(Peek()))) {
+      text.push_back(Advance());
+    }
+    if (Peek() == '.' && std::isdigit(static_cast<unsigned char>(Peek(1)))) {
+      is_double = true;
+      text.push_back(Advance());
+      while (!AtEnd() && std::isdigit(static_cast<unsigned char>(Peek()))) {
+        text.push_back(Advance());
+      }
+    }
+    if (Peek() == 'e' || Peek() == 'E') {
+      size_t ahead = 1;
+      if (Peek(1) == '+' || Peek(1) == '-') ahead = 2;
+      if (std::isdigit(static_cast<unsigned char>(Peek(ahead)))) {
+        is_double = true;
+        for (size_t i = 0; i < ahead; ++i) text.push_back(Advance());
+        while (!AtEnd() && std::isdigit(static_cast<unsigned char>(Peek()))) {
+          text.push_back(Advance());
+        }
+      }
+    }
+    if (is_double) {
+      Token t = Make(TokenKind::kDoubleLiteral, text, line, column);
+      t.double_value = std::stod(text);
+      return t;
+    }
+    bool is_long = false;
+    if (Peek() == 'L' || Peek() == 'l') {
+      is_long = true;
+      text.push_back(Advance());
+    }
+    Token t = Make(is_long ? TokenKind::kLongLiteral : TokenKind::kIntLiteral,
+                   text, line, column);
+    errno = 0;
+    const std::string digits =
+        is_long ? text.substr(0, text.size() - 1) : text;
+    char* end = nullptr;
+    t.int_value = std::strtoll(digits.c_str(), &end, 10);
+    if (errno != 0 || end != digits.c_str() + digits.size()) {
+      return Error("integer literal out of range: " + text);
+    }
+    return t;
+  }
+
+  Result<Token> LexString(int line, int column) {
+    Advance();  // Opening quote.
+    std::string value;
+    std::string raw = "\"";
+    while (!AtEnd() && Peek() != '"') {
+      char c = Advance();
+      raw.push_back(c);
+      if (c == '\\') {
+        if (AtEnd()) return Error("unterminated string literal");
+        char esc = Advance();
+        raw.push_back(esc);
+        switch (esc) {
+          case 'n': value.push_back('\n'); break;
+          case 't': value.push_back('\t'); break;
+          case 'r': value.push_back('\r'); break;
+          case '\\': value.push_back('\\'); break;
+          case '"': value.push_back('"'); break;
+          case '\'': value.push_back('\''); break;
+          case '0': value.push_back('\0'); break;
+          default:
+            return Error(std::string("unsupported escape \\") + esc);
+        }
+      } else if (c == '\n') {
+        return Error("unterminated string literal");
+      } else {
+        value.push_back(c);
+      }
+    }
+    if (AtEnd()) return Error("unterminated string literal");
+    Advance();  // Closing quote.
+    raw.push_back('"');
+    Token t = Make(TokenKind::kStringLiteral, std::move(raw), line, column);
+    t.string_value = std::move(value);
+    return t;
+  }
+
+  Result<Token> LexChar(int line, int column) {
+    Advance();  // Opening quote.
+    if (AtEnd()) return Error("unterminated char literal");
+    char c = Advance();
+    if (c == '\\') {
+      if (AtEnd()) return Error("unterminated char literal");
+      char esc = Advance();
+      switch (esc) {
+        case 'n': c = '\n'; break;
+        case 't': c = '\t'; break;
+        case '\\': c = '\\'; break;
+        case '\'': c = '\''; break;
+        case '"': c = '"'; break;
+        case '0': c = '\0'; break;
+        default:
+          return Error(std::string("unsupported escape \\") + esc);
+      }
+    }
+    if (AtEnd() || Peek() != '\'') return Error("unterminated char literal");
+    Advance();  // Closing quote.
+    Token t = Make(TokenKind::kCharLiteral, std::string(1, c), line, column);
+    t.int_value = static_cast<unsigned char>(c);
+    return t;
+  }
+
+  Result<Token> LexOperator(int line, int column) {
+    char c = Advance();
+    auto two = [&](char second, TokenKind with, TokenKind without) {
+      if (Peek() == second) {
+        Advance();
+        return Make(with, std::string{c, second}, line, column);
+      }
+      return Make(without, std::string(1, c), line, column);
+    };
+    switch (c) {
+      case '(': return Make(TokenKind::kLParen, "(", line, column);
+      case ')': return Make(TokenKind::kRParen, ")", line, column);
+      case '{': return Make(TokenKind::kLBrace, "{", line, column);
+      case '}': return Make(TokenKind::kRBrace, "}", line, column);
+      case '[': return Make(TokenKind::kLBracket, "[", line, column);
+      case ']': return Make(TokenKind::kRBracket, "]", line, column);
+      case ';': return Make(TokenKind::kSemi, ";", line, column);
+      case ',': return Make(TokenKind::kComma, ",", line, column);
+      case '.': return Make(TokenKind::kDot, ".", line, column);
+      case '?': return Make(TokenKind::kQuestion, "?", line, column);
+      case ':': return Make(TokenKind::kColon, ":", line, column);
+      case '+':
+        if (Peek() == '+') {
+          Advance();
+          return Make(TokenKind::kPlusPlus, "++", line, column);
+        }
+        return two('=', TokenKind::kPlusAssign, TokenKind::kPlus);
+      case '-':
+        if (Peek() == '-') {
+          Advance();
+          return Make(TokenKind::kMinusMinus, "--", line, column);
+        }
+        return two('=', TokenKind::kMinusAssign, TokenKind::kMinus);
+      case '*': return two('=', TokenKind::kStarAssign, TokenKind::kStar);
+      case '/': return two('=', TokenKind::kSlashAssign, TokenKind::kSlash);
+      case '%':
+        return two('=', TokenKind::kPercentAssign, TokenKind::kPercent);
+      case '<': return two('=', TokenKind::kLe, TokenKind::kLt);
+      case '>': return two('=', TokenKind::kGe, TokenKind::kGt);
+      case '=': return two('=', TokenKind::kEq, TokenKind::kAssign);
+      case '!': return two('=', TokenKind::kNe, TokenKind::kNot);
+      case '&':
+        if (Peek() == '&') {
+          Advance();
+          return Make(TokenKind::kAndAnd, "&&", line, column);
+        }
+        return Error("bitwise '&' is not supported");
+      case '|':
+        if (Peek() == '|') {
+          Advance();
+          return Make(TokenKind::kOrOr, "||", line, column);
+        }
+        return Error("bitwise '|' is not supported");
+      default:
+        return Error(std::string("unexpected character '") + c + "'");
+    }
+  }
+
+  std::string_view src_;
+  size_t pos_ = 0;
+  int line_ = 1;
+  int column_ = 1;
+};
+
+}  // namespace
+
+Result<std::vector<Token>> Lex(std::string_view source) {
+  return LexerImpl(source).Run();
+}
+
+const char* TokenKindName(TokenKind kind) {
+  switch (kind) {
+    case TokenKind::kEof: return "<eof>";
+    case TokenKind::kIdentifier: return "identifier";
+    case TokenKind::kIntLiteral: return "int literal";
+    case TokenKind::kLongLiteral: return "long literal";
+    case TokenKind::kDoubleLiteral: return "double literal";
+    case TokenKind::kStringLiteral: return "string literal";
+    case TokenKind::kCharLiteral: return "char literal";
+    case TokenKind::kKwInt: return "'int'";
+    case TokenKind::kKwLong: return "'long'";
+    case TokenKind::kKwDouble: return "'double'";
+    case TokenKind::kKwBoolean: return "'boolean'";
+    case TokenKind::kKwChar: return "'char'";
+    case TokenKind::kKwString: return "'String'";
+    case TokenKind::kKwVoid: return "'void'";
+    case TokenKind::kKwIf: return "'if'";
+    case TokenKind::kKwElse: return "'else'";
+    case TokenKind::kKwWhile: return "'while'";
+    case TokenKind::kKwFor: return "'for'";
+    case TokenKind::kKwDo: return "'do'";
+    case TokenKind::kKwReturn: return "'return'";
+    case TokenKind::kKwBreak: return "'break'";
+    case TokenKind::kKwContinue: return "'continue'";
+    case TokenKind::kKwNew: return "'new'";
+    case TokenKind::kKwTrue: return "'true'";
+    case TokenKind::kKwFalse: return "'false'";
+    case TokenKind::kKwNull: return "'null'";
+    case TokenKind::kKwClass: return "'class'";
+    case TokenKind::kKwSwitch: return "'switch'";
+    case TokenKind::kKwCase: return "'case'";
+    case TokenKind::kKwDefault: return "'default'";
+    case TokenKind::kKwPublic: return "'public'";
+    case TokenKind::kKwPrivate: return "'private'";
+    case TokenKind::kKwStatic: return "'static'";
+    case TokenKind::kKwFinal: return "'final'";
+    case TokenKind::kLParen: return "'('";
+    case TokenKind::kRParen: return "')'";
+    case TokenKind::kLBrace: return "'{'";
+    case TokenKind::kRBrace: return "'}'";
+    case TokenKind::kLBracket: return "'['";
+    case TokenKind::kRBracket: return "']'";
+    case TokenKind::kSemi: return "';'";
+    case TokenKind::kComma: return "','";
+    case TokenKind::kDot: return "'.'";
+    case TokenKind::kAssign: return "'='";
+    case TokenKind::kPlusAssign: return "'+='";
+    case TokenKind::kMinusAssign: return "'-='";
+    case TokenKind::kStarAssign: return "'*='";
+    case TokenKind::kSlashAssign: return "'/='";
+    case TokenKind::kPercentAssign: return "'%='";
+    case TokenKind::kPlus: return "'+'";
+    case TokenKind::kMinus: return "'-'";
+    case TokenKind::kStar: return "'*'";
+    case TokenKind::kSlash: return "'/'";
+    case TokenKind::kPercent: return "'%'";
+    case TokenKind::kPlusPlus: return "'++'";
+    case TokenKind::kMinusMinus: return "'--'";
+    case TokenKind::kLt: return "'<'";
+    case TokenKind::kLe: return "'<='";
+    case TokenKind::kGt: return "'>'";
+    case TokenKind::kGe: return "'>='";
+    case TokenKind::kEq: return "'=='";
+    case TokenKind::kNe: return "'!='";
+    case TokenKind::kAndAnd: return "'&&'";
+    case TokenKind::kOrOr: return "'||'";
+    case TokenKind::kNot: return "'!'";
+    case TokenKind::kQuestion: return "'?'";
+    case TokenKind::kColon: return "':'";
+  }
+  return "<unknown>";
+}
+
+}  // namespace jfeed::java

@@ -1,0 +1,21 @@
+#ifndef JFEED_JAVALANG_LEXER_H_
+#define JFEED_JAVALANG_LEXER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "javalang/token.h"
+#include "support/result.h"
+
+namespace jfeed::java {
+
+/// Tokenizes `source` (a Java subset: identifiers, keywords, int/long/double/
+/// String/char literals, arithmetic/relational/logical operators, compound
+/// assignments, ++/--, punctuation). Line (// ...) and block (/* ... */)
+/// comments are skipped. The returned vector always ends with a kEof token.
+Result<std::vector<Token>> Lex(std::string_view source);
+
+}  // namespace jfeed::java
+
+#endif  // JFEED_JAVALANG_LEXER_H_

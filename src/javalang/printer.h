@@ -1,0 +1,29 @@
+#ifndef JFEED_JAVALANG_PRINTER_H_
+#define JFEED_JAVALANG_PRINTER_H_
+
+#include <string>
+
+#include "javalang/ast.h"
+
+namespace jfeed::java {
+
+/// Renders an expression to its normalized Java spelling: binary and
+/// assignment operators are surrounded by single spaces, array accesses and
+/// calls are compact (`a[i]`, `f(x, y)`), parentheses are re-inserted only
+/// where precedence requires them. This spelling is the canonical content
+/// string of EPDG nodes and the text that pattern expressions match against.
+std::string ExprToString(const Expr& expr);
+
+/// Renders a statement (possibly multi-line, `indent` leading levels).
+std::string StmtToString(const Stmt& stmt, int indent = 0);
+
+/// Renders a full method as Java source.
+std::string MethodToString(const Method& method);
+
+/// Renders a compilation unit as Java source (including the class wrapper
+/// when `unit.class_name` is non-empty).
+std::string UnitToString(const CompilationUnit& unit);
+
+}  // namespace jfeed::java
+
+#endif  // JFEED_JAVALANG_PRINTER_H_

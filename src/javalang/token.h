@@ -1,0 +1,86 @@
+#ifndef JFEED_JAVALANG_TOKEN_H_
+#define JFEED_JAVALANG_TOKEN_H_
+
+#include <cstdint>
+#include <string>
+
+namespace jfeed::java {
+
+/// Token kinds of the Java subset understood by the front end. Punctuation
+/// kinds carry their spelling in Token::text as well, so diagnostics and the
+/// printer never need a reverse table.
+enum class TokenKind {
+  kEof = 0,
+  kIdentifier,
+  kIntLiteral,
+  kLongLiteral,
+  kDoubleLiteral,
+  kStringLiteral,
+  kCharLiteral,
+
+  // Keywords.
+  kKwInt,
+  kKwLong,
+  kKwDouble,
+  kKwBoolean,
+  kKwChar,
+  kKwString,   // Treated as a keyword type for convenience.
+  kKwVoid,
+  kKwIf,
+  kKwElse,
+  kKwWhile,
+  kKwFor,
+  kKwDo,
+  kKwReturn,
+  kKwBreak,
+  kKwContinue,
+  kKwNew,
+  kKwTrue,
+  kKwFalse,
+  kKwNull,
+  kKwClass,
+  kKwSwitch,
+  kKwCase,
+  kKwDefault,
+  kKwPublic,
+  kKwPrivate,
+  kKwStatic,
+  kKwFinal,
+
+  // Punctuation / operators.
+  kLParen,     // (
+  kRParen,     // )
+  kLBrace,     // {
+  kRBrace,     // }
+  kLBracket,   // [
+  kRBracket,   // ]
+  kSemi,       // ;
+  kComma,      // ,
+  kDot,        // .
+  kAssign,     // =
+  kPlusAssign, kMinusAssign, kStarAssign, kSlashAssign, kPercentAssign,
+  kPlus, kMinus, kStar, kSlash, kPercent,
+  kPlusPlus, kMinusMinus,
+  kLt, kLe, kGt, kGe, kEq, kNe,
+  kAndAnd, kOrOr, kNot,
+  kQuestion, kColon,
+};
+
+/// Returns a short printable name for a token kind (for diagnostics).
+const char* TokenKindName(TokenKind kind);
+
+/// A lexed token. Literal values are stored pre-parsed so the parser does
+/// not re-interpret text.
+struct Token {
+  TokenKind kind = TokenKind::kEof;
+  std::string text;       ///< Source spelling (identifier name, literal text).
+  int line = 0;           ///< 1-based source line.
+  int column = 0;         ///< 1-based source column.
+  int64_t int_value = 0;  ///< Valid for kIntLiteral / kLongLiteral / kCharLiteral.
+  double double_value = 0.0;  ///< Valid for kDoubleLiteral.
+  std::string string_value;   ///< Valid for kStringLiteral (unescaped).
+};
+
+}  // namespace jfeed::java
+
+#endif  // JFEED_JAVALANG_TOKEN_H_

@@ -1,0 +1,1298 @@
+#include "kb/assignments.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace jfeed::kb {
+
+using core::Constraint;
+using core::MakeContainmentConstraint;
+using core::MakeEdgeConstraint;
+using core::MakeEqualityConstraint;
+using core::MethodSpec;
+using core::PatternUse;
+using interp::Value;
+using synth::ChoiceSite;
+using synth::SubmissionTemplate;
+
+namespace {
+
+PatternUse Use(const char* id, int expected_count = 1) {
+  PatternUse use;
+  use.pattern = &PatternLibrary::Get().at(id);
+  use.expected_count = expected_count;
+  return use;
+}
+
+/// Builds a containment constraint over the union of the participating
+/// patterns' variables (which are globally disjoint by construction).
+Constraint Contain(const std::string& id, const char* main_pattern, int node,
+                   const std::string& expr,
+                   std::vector<std::string> supporting,
+                   const std::string& ok, const std::string& fail) {
+  std::set<std::string> vars = PatternLibrary::Get().at(main_pattern)
+                                   .Variables();
+  for (const auto& support : supporting) {
+    auto sv = PatternLibrary::Get().at(support).Variables();
+    vars.insert(sv.begin(), sv.end());
+  }
+  auto result = MakeContainmentConstraint(id, main_pattern, node, expr, vars,
+                                          std::move(supporting), ok, fail);
+  if (!result.ok()) {
+    std::fprintf(stderr, "bad containment constraint %s: %s\n", id.c_str(),
+                 result.status().ToString().c_str());
+    std::abort();
+  }
+  return std::move(*result);
+}
+
+// ---------------------------------------------------------------------------
+// Assignment 1 — odd/even positions of an array (Sec. III, Table I row 1).
+// ---------------------------------------------------------------------------
+
+Assignment BuildAssignment1() {
+  Assignment a;
+  a.id = "assignment1";
+  a.title = "Assignment 1: add odd / multiply even positions";
+  a.description =
+      "Given an input array, add odd positions and multiply even positions "
+      "in the array; print both results to console. Header: void "
+      "assignment1(int[] a).";
+  a.paper_space_size = 640000;
+  a.paper_pattern_count = 6;
+  a.paper_constraint_count = 4;
+  a.paper_discrepancies = 24;
+
+  a.generator = SubmissionTemplate(
+      "void assignment1(int[] a) {\n"
+      "  int ${init_odd};\n"
+      "  int ${init_even};\n"
+      "  for (int i = ${odd_start}; ${odd_bound}; ${odd_step})\n"
+      "    if (${odd_cond})\n"
+      "      ${odd_op};\n"
+      "  for (int j = ${even_start}; ${even_bound}; ${even_step})\n"
+      "    if (${even_cond})\n"
+      "      ${even_op};\n"
+      "  System.out.println(${print_first});\n"
+      "  System.out.println(${print_second});\n"
+      "}\n",
+      {
+          {"init_odd", {"o = 0", "o = 1"}},
+          {"init_even", {"e = 1", "e = 0"}},
+          {"odd_start", {"0", "1"}},
+          {"odd_bound", {"i < a.length", "i <= a.length"}},
+          {"odd_step", {"i++", "i += 2"}},
+          {"odd_cond",
+           {"i % 2 == 1", "i % 2 == 0", "i % 2 != 0", "i % 3 == 1",
+            "i % 2 == 2"}},
+          {"odd_op",
+           {"o += a[i]", "o *= a[i]", "o += i", "o -= a[i]",
+            "o += a[i] + 1"}},
+          {"even_start", {"0", "1"}},
+          {"even_bound", {"j < a.length", "j <= a.length"}},
+          {"even_step", {"j++", "j += 2"}},
+          {"even_cond",
+           {"j % 2 == 0", "j % 2 == 1", "j % 2 != 1", "j % 3 == 0",
+            "j % 2 == 2"}},
+          {"even_op",
+           {"e *= a[j]", "e += a[j]", "e *= j", "e *= a[j] + 1",
+            "e /= a[j]"}},
+          {"print_first", {"o", "e"}},
+          {"print_second", {"e", "o"}},
+      });
+
+  a.suite.exec_options.max_steps = 300000;
+  a.suite.method = "assignment1";
+  a.suite.inputs = {
+      {Value::IntArray({})},
+      {Value::IntArray({3})},
+      {Value::IntArray({3, 5, 2, 4})},
+      {Value::IntArray({1, 2, 3, 4, 5, 6})},
+      {Value::IntArray({2, 7, 1, 8, 2, 8, 1})},
+  };
+
+  MethodSpec m;
+  m.expected_name = "assignment1";
+  m.patterns = {Use("odd-positions"),  Use("even-positions"),
+                Use("cond-accum-add"), Use("cond-accum-mul"),
+                Use("init-one"),       Use("assign-print", 2)};
+  m.constraints = {
+      Contain("odd-access-is-summed", "odd-positions", 5,
+              "c \\+= s\\[x\\]$|c = c \\+ s\\[x\\]$",
+              {"cond-accum-add"},
+          "The odd positions you access are exactly the ones you sum",
+          "You should sum exactly the accessed odd position and nothing "
+          "else ({c} += {s}[{x}])"),
+      Contain("even-access-is-multiplied", "even-positions", 5,
+              "d \\*= es\\[ex\\]$|d = d \\* es\\[ex\\]$",
+              {"cond-accum-mul"},
+          "The even positions you access are exactly the ones you multiply",
+          "You should multiply exactly the accessed even position and "
+          "nothing else ({d} *= {es}[{ex}])"),
+      MakeEdgeConstraint(
+          "sum-is-printed", "cond-accum-add", 3, "assign-print", 1,
+          pdg::EdgeType::kData, "The odd-position sum {c} is printed",
+          "The odd-position sum should be printed to console"),
+      MakeEdgeConstraint(
+          "product-is-printed", "cond-accum-mul", 3, "assign-print", 1,
+          pdg::EdgeType::kData, "The even-position product {d} is printed",
+          "The even-position product should be printed to console"),
+  };
+  a.spec.id = a.id;
+  a.spec.title = a.title;
+  a.spec.methods.push_back(std::move(m));
+  return a;
+}
+
+// ---------------------------------------------------------------------------
+// esc-LAB-3-P1-V1 — print n with n! <= k < (n+1)!.
+// ---------------------------------------------------------------------------
+
+Assignment BuildP1V1() {
+  Assignment a;
+  a.id = "esc-LAB-3-P1-V1";
+  a.title = "Factorial bound search";
+  a.description =
+      "Print to console the number n such that n! <= k < (n+1)! taking the "
+      "number k as input.";
+  a.paper_space_size = 442368;
+  a.paper_pattern_count = 7;
+  a.paper_constraint_count = 5;
+  a.paper_discrepancies = 8;
+
+  a.generator = SubmissionTemplate(
+      "void lab3p1v1(int k) {\n"
+      "  int ${init_n};\n"
+      "  long ${init_f};\n"
+      "  while (${bound}) {\n"
+      "    ${inc};\n"
+      "    ${mul};\n"
+      "    ${extra}\n"
+      "  }\n"
+      "  ${guard}\n"
+      "  ${print_call};\n"
+      "  ${tail}\n"
+      "}\n",
+      {
+          {"init_n", {"n = 0", "n = 1", "n = 2", "n = -1"}},
+          {"init_f", {"f = 1", "f = 0", "f = 2", "f = k"}},
+          {"bound",
+           {"f * (n + 1) <= k", "f * (n + 1) - 1 < k", "f * n <= k",
+            "f * (n + 1) < k"}},
+          {"inc", {"n++", "n = n + 1", "n += 2", "n--"}},
+          {"mul", {"f *= n", "f = f * n", "f *= n + 1", "f += n"}},
+          {"extra",
+           {"", "if (f < 0) break;", "if (n > 100) break;",
+            "if (n == -999) break;"}},
+          {"p_expr", {"n", "f", "n + 1", "n - 1"}},
+          {"print_call",
+           {"System.out.println(${p_expr})", "System.out.print(${p_expr})",
+            "System.out.println(\"n = \" + ${p_expr})"}},
+          {"guard", {"", "if (n < 0) n = 0;", "n = 0;"}},
+          {"tail", {"", "int unused = 9;", "int extra2 = 9;"}},
+      });
+
+  a.suite.exec_options.max_steps = 300000;
+  a.suite.method = "lab3p1v1";
+  a.suite.inputs = {{Value::Int(1)},  {Value::Int(2)},   {Value::Int(6)},
+                    {Value::Int(7)},  {Value::Int(24)},  {Value::Int(100)},
+                    {Value::Int(719)}, {Value::Int(720)}};
+
+  MethodSpec m;
+  m.expected_name = "lab3p1v1";
+  m.patterns = {Use("bound-search"), Use("factorial-step"),
+                Use("init-zero"),    Use("init-one"),
+                Use("counter-loop"), Use("assign-print"),
+                Use("double-increment", 0)};
+  m.constraints = {
+      MakeEqualityConstraint(
+          "search-inc-is-counter", "bound-search", 2, "counter-loop", 2,
+          "The search loop advances your counter {ctr}",
+          "The search loop should advance the answer counter"),
+      Contain("print-shows-counter-exactly", "assign-print", 1,
+              "print(ln)?\\(ctr\\)$", {"counter-loop"},
+          "The console output is exactly the counter",
+          "Print exactly the counter value, nothing else"),
+      MakeEdgeConstraint(
+          "one-feeds-product", "init-one", 0, "factorial-step", 2,
+          pdg::EdgeType::kData,
+          "The running factorial {f} starts from your 1-initialization",
+          "The running factorial should start from a variable initialized "
+          "to 1"),
+      MakeEdgeConstraint(
+          "counter-is-printed", "counter-loop", 2, "assign-print", 1,
+          pdg::EdgeType::kData, "The final counter value {ctr} is printed",
+          "The printed value should be the counter the loop computed"),
+      Contain("bound-uses-next-factorial", "bound-search", 1,
+              "f \\* \\(bx \\+ 1\\) <= k", {"factorial-step"},
+              "Your loop checks (n+1)! <= k exactly",
+              "The loop bound should compare {f} * ({bx} + 1) against {k} "
+              "— check n! of the *next* index"),
+  };
+  a.spec.id = a.id;
+  a.spec.title = a.title;
+  a.spec.methods.push_back(std::move(m));
+  return a;
+}
+
+// ---------------------------------------------------------------------------
+// esc-LAB-3-P2-V1 — same bound search on the Fibonacci sequence.
+// ---------------------------------------------------------------------------
+
+Assignment BuildP2V1() {
+  Assignment a;
+  a.id = "esc-LAB-3-P2-V1";
+  a.title = "Fibonacci bound search";
+  a.description =
+      "Print to console the number n such that fib(n) <= k < fib(n+1), "
+      "with the Fibonacci sequence 1, 1, 2, 3, ...";
+  a.paper_space_size = 7077888;
+  a.paper_pattern_count = 8;
+  a.paper_constraint_count = 13;
+  a.paper_discrepancies = 592;
+
+  a.generator = SubmissionTemplate(
+      "void lab3p2v1(int k) {\n"
+      "  int ${init_n};\n"
+      "  long ${init_a};\n"
+      "  long ${init_b};\n"
+      "  while (${bound}) {\n"
+      "    long ${t_stmt};\n"
+      "    ${rot_a};\n"
+      "    ${rot_b};\n"
+      "    ${inc};\n"
+      "    ${extra}\n"
+      "  }\n"
+      "  ${guard}\n"
+      "  ${print_call};\n"
+      "}\n",
+      {
+          {"init_n", {"n = 1", "n = 0", "n = 2", "n = -1"}},
+          {"init_a", {"a = 1", "a = 0", "a = 2", "a = k"}},
+          {"init_b", {"b = 1", "b = 0", "b = 2", "b = a + 1"}},
+          {"bound", {"b <= k", "b - 1 < k", "b < k", "a <= k"}},
+          {"t_stmt", {"t = a + b", "t = b + a", "t = a + b + 1", "t = a - b"}},
+          {"rot_a", {"a = b", "a = t", "a = a", "a = b + 0"}},
+          {"rot_b", {"b = t", "b = a", "b = t + 0", "b = b"}},
+          {"inc", {"n++", "n = n + 1", "n += 2", "n--"}},
+          {"p_expr", {"n", "b", "n + 1", "n - 1"}},
+          {"print_call",
+           {"System.out.println(${p_expr})", "System.out.print(${p_expr})",
+            "System.out.println(\"n = \" + ${p_expr})"}},
+          {"extra", {"", "if (b < 0) break;", "if (b == -1) break;"}},
+          {"guard", {"", "if (n < 0) n = 0;", "n = 0;"}},
+      });
+
+  a.suite.exec_options.max_steps = 300000;
+  a.suite.method = "lab3p2v1";
+  a.suite.inputs = {{Value::Int(1)},  {Value::Int(2)},  {Value::Int(3)},
+                    {Value::Int(5)},  {Value::Int(7)},  {Value::Int(21)},
+                    {Value::Int(100)}, {Value::Int(10946)}};
+
+  MethodSpec m;
+  m.expected_name = "lab3p2v1";
+  m.patterns = {Use("fib-step"),        Use("bound-search"),
+                Use("init-one", 3),     Use("counter-loop"),
+                Use("assign-print"),    Use("double-increment", 0),
+                Use("membership-count", 0), Use("digit-extract", 0)};
+  m.constraints = {
+      MakeEqualityConstraint(
+          "search-inc-is-counter", "bound-search", 2, "counter-loop", 2,
+          "The search loop advances your counter {ctr}",
+          "The search loop should advance the answer counter"),
+      MakeEqualityConstraint(
+          "fib-loop-is-search-loop", "fib-step", 0, "bound-search", 1,
+          "The Fibonacci rotation runs inside the bound-search loop",
+          "The Fibonacci rotation should run inside the bound-search loop"),
+      MakeEqualityConstraint(
+          "fib-loop-drives-counter", "fib-step", 0, "counter-loop", 1,
+          "The counter advances once per Fibonacci step",
+          "The counter should advance once per Fibonacci step"),
+      MakeEqualityConstraint(
+          "search-loop-drives-counter", "bound-search", 1, "counter-loop",
+          1, "The counter advances once per search-loop iteration",
+          "The counter should advance once per search-loop iteration"),
+      MakeEdgeConstraint(
+          "one-feeds-bound", "init-one", 0, "bound-search", 1,
+          pdg::EdgeType::kData,
+          "The bound check starts from a sequence value initialized to 1",
+          "The bound check should start from a sequence value initialized "
+          "to 1"),
+      MakeEdgeConstraint(
+          "one-feeds-sum", "init-one", 0, "fib-step", 1,
+          pdg::EdgeType::kData,
+          "The Fibonacci sum reads a value initialized to 1",
+          "The Fibonacci sum should read a value initialized to 1"),
+      MakeEdgeConstraint(
+          "one-feeds-counter", "init-one", 0, "counter-loop", 2,
+          pdg::EdgeType::kData,
+          "The counter starts from its 1-initialization",
+          "The counter should be initialized to 1 (fib(1) = 1)"),
+      MakeEdgeConstraint(
+          "counter-is-printed", "counter-loop", 2, "assign-print", 1,
+          pdg::EdgeType::kData, "The final counter value {ctr} is printed",
+          "The printed value should be the counter the loop computed"),
+      MakeEdgeConstraint(
+          "counter-init-feeds-print-def", "counter-loop", 0,
+          "assign-print", 0, pdg::EdgeType::kData,
+          "The printed value descends from the counter initialization",
+          "The printed value should descend from the counter "
+          "initialization"),
+      Contain("bound-uses-next-fib", "bound-search", 1, "fb <= k",
+              {"fib-step"}, "Your loop checks fib(n+1) <= k exactly",
+              "The loop bound should compare the *next* Fibonacci value "
+              "against {k}"),
+      Contain("print-shows-counter", "assign-print", 1,
+              "print(ln)?\\(ctr\\)$", {"counter-loop"},
+              "The console output shows the counter",
+              "Print the counter, not an intermediate value"),
+      Contain("search-advances-counter", "bound-search", 2,
+              "ctr\\+\\+|ctr = ctr \\+ 1|ctr \\+= 1", {"counter-loop"},
+              "The search loop advances the counter by one",
+              "The search loop should advance the counter by exactly one"),
+      Contain("print-shows-search-index", "assign-print", 1,
+              "print(ln)?\\(bx\\)$", {"bound-search"},
+              "The console output shows the search index",
+              "Print the search index"),
+  };
+  a.spec.id = a.id;
+  a.spec.title = a.title;
+  a.spec.methods.push_back(std::move(m));
+  return a;
+}
+
+// ---------------------------------------------------------------------------
+// esc-LAB-3-P2-V2 — "special number": sum of cubes of digits equals number.
+// ---------------------------------------------------------------------------
+
+Assignment BuildP2V2() {
+  Assignment a;
+  a.id = "esc-LAB-3-P2-V2";
+  a.title = "Special number (sum of cubes of digits)";
+  a.description =
+      "A number is special when the sum of cubes of its digits is equal to "
+      "the number itself. Print whether k is special.";
+  a.paper_space_size = 144;
+  a.paper_pattern_count = 4;
+  a.paper_constraint_count = 5;
+  a.paper_discrepancies = 0;
+
+  a.generator = SubmissionTemplate(
+      "void lab3p2v2(int k) {\n"
+      "  int n = k;\n"
+      "  int sum = 0;\n"
+      "  while (${bound}) {\n"
+      "    int d = ${digit};\n"
+      "    ${accum};\n"
+      "    n = n / 10;\n"
+      "  }\n"
+      "  ${print};\n"
+      "}\n",
+      {
+          {"digit", {"n % 10", "n % 100", "n / 10", "n % 10 + 1"}},
+          {"accum",
+           {"sum += d * d * d", "sum = sum + d * d * d", "sum += d * d",
+            "sum += d"}},
+          {"bound", {"n > 0", "n != 0", "n >= 1"}},
+          {"print",
+           {"System.out.println(sum == k)", "System.out.print(sum == k)",
+            "System.out.println(sum)"}},
+      });
+
+  a.suite.exec_options.max_steps = 300000;
+  a.suite.method = "lab3p2v2";
+  a.suite.inputs = {{Value::Int(153)}, {Value::Int(7)},   {Value::Int(371)},
+                    {Value::Int(12)},  {Value::Int(100)}, {Value::Int(407)},
+                    {Value::Int(1)},   {Value::Int(9474)}};
+
+  MethodSpec m;
+  m.expected_name = "lab3p2v2";
+  m.patterns = {Use("digit-extract"), Use("cube-accum"), Use("init-zero"),
+                Use("assign-print")};
+  m.constraints = {
+      MakeEqualityConstraint(
+          "digit-feeds-cubes", "digit-extract", 1, "cube-accum", 0,
+          "The digit you extract is the one you cube",
+          "The digit you cube should be the one extracted with % 10"),
+      MakeEdgeConstraint(
+          "zero-feeds-sum", "init-zero", 0, "cube-accum", 1,
+          pdg::EdgeType::kData,
+          "The cube sum {cs} starts from your 0-initialization",
+          "The cube sum should start from 0"),
+      MakeEdgeConstraint(
+          "sum-reaches-print", "cube-accum", 1, "assign-print", 1,
+          pdg::EdgeType::kData, "The cube sum reaches the console output",
+          "The cube sum should reach the console output"),
+      Contain("print-compares-sum", "assign-print", 1, "cs ==",
+              {"cube-accum"},
+              "You print the comparison of the cube sum with the input",
+              "Print whether the cube sum equals the input number"),
+      Contain("digit-is-mod-ten", "digit-extract", 1, "cd =",
+              {"cube-accum"}, "The current digit is stored before cubing",
+              "Store the current digit (n % 10) before cubing it"),
+  };
+  a.spec.id = a.id;
+  a.spec.title = a.title;
+  a.spec.methods.push_back(std::move(m));
+  return a;
+}
+
+// ---------------------------------------------------------------------------
+// esc-LAB-3-P3-V1 — difference of a positive number and its reverse.
+// ---------------------------------------------------------------------------
+
+Assignment BuildP3V1() {
+  Assignment a;
+  a.id = "esc-LAB-3-P3-V1";
+  a.title = "Difference of a number and its reverse";
+  a.description =
+      "Find the difference of a positive number and its reverse and print "
+      "it to console.";
+  a.paper_space_size = 10368;
+  a.paper_pattern_count = 7;
+  a.paper_constraint_count = 6;
+  a.paper_discrepancies = 1;
+
+  a.generator = SubmissionTemplate(
+      "void lab3p3v1(int k) {\n"
+      "  int n = k;\n"
+      "  ${pre}\n"
+      "  int ${init_rev};\n"
+      "  while (${bound}) {\n"
+      "    rev = ${rev_op};\n"
+      "    n = ${n_op};\n"
+      "    ${loop_extra}\n"
+      "  }\n"
+      "  ${print};\n"
+      "  ${tail}\n"
+      "}\n",
+      {
+          {"init_rev", {"rev = 0", "rev = 1", "rev = k"}},
+          {"bound", {"n > 0", "n != 0", "n >= 1"}},
+          {"rev_op",
+           {"rev * 10 + n % 10", "rev * 10 + n % 10 + 0", "rev + n % 10",
+            "rev * 10 + n / 10"}},
+          {"n_op", {"n / 10", "(n - n % 10) / 10", "n / 100", "n - 10"}},
+          {"loop_extra", {"", "if (rev < 0) break;", "if (n < 0) break;"}},
+          {"print",
+           {"System.out.println(k - rev)", "System.out.print(k - rev)",
+            "System.out.println(rev - k)", "System.out.println(k)"}},
+          {"tail", {"", "int unused = 9;"}},
+          {"pre", {"", "int digits = 9;", "int tmp = 9;"}},
+      });
+
+  a.suite.exec_options.max_steps = 300000;
+  a.suite.method = "lab3p3v1";
+  a.suite.inputs = {{Value::Int(123)}, {Value::Int(7)},   {Value::Int(100)},
+                    {Value::Int(54)},  {Value::Int(9000)}, {Value::Int(11)},
+                    {Value::Int(120)}};
+
+  MethodSpec m;
+  m.expected_name = "lab3p3v1";
+  m.patterns = {Use("digit-extract"),      Use("reverse-build"),
+                Use("init-zero"),          Use("assign-print"),
+                Use("equality-check", 0),  Use("cube-accum", 0),
+                Use("double-increment", 0)};
+  m.constraints = {
+      MakeEqualityConstraint(
+          "reverse-extracts-digit", "digit-extract", 1, "reverse-build", 1,
+          "The reverse update consumes the extracted digit",
+          "The reverse update should consume the digit extracted with "
+          "% 10"),
+      MakeEqualityConstraint(
+          "same-digit-loop", "digit-extract", 0, "reverse-build", 0,
+          "The reverse is built inside the digit loop",
+          "Build the reverse inside the digit loop"),
+      MakeEdgeConstraint(
+          "zero-feeds-reverse", "init-zero", 0, "reverse-build", 1,
+          pdg::EdgeType::kData, "The reverse starts from 0",
+          "The reverse should start from 0"),
+      MakeEdgeConstraint(
+          "reverse-reaches-print", "reverse-build", 1, "assign-print", 1,
+          pdg::EdgeType::kData, "The reverse reaches the console output",
+          "The reverse should reach the console output"),
+      Contain("print-shows-difference", "assign-print", 1, "- rv\\)",
+              {"reverse-build"},
+              "You print the difference involving the reverse",
+              "Print the difference between the number and its reverse"),
+      Contain("reverse-formula", "reverse-build", 1,
+              "rv = rv \\* 10 \\+ dn % 10", {"digit-extract"},
+              "The reverse is rebuilt as rev * 10 + digit",
+              "Rebuild the reverse as rev * 10 + (number % 10)"),
+  };
+  a.spec.id = a.id;
+  a.spec.title = a.title;
+  a.spec.methods.push_back(std::move(m));
+  return a;
+}
+
+// ---------------------------------------------------------------------------
+// esc-LAB-3-P3-V2 — count factorial numbers in [n, m].
+// ---------------------------------------------------------------------------
+
+Assignment BuildP3V2() {
+  Assignment a;
+  a.id = "esc-LAB-3-P3-V2";
+  a.title = "Count factorial numbers in a range";
+  a.description =
+      "Given numbers n and m, print to console the count of factorial "
+      "numbers in [n, m].";
+  a.paper_space_size = 589824;
+  a.paper_pattern_count = 8;
+  a.paper_constraint_count = 10;
+  a.paper_discrepancies = 4;
+
+  a.generator = SubmissionTemplate(
+      "void lab3p3v2(int n, int m) {\n"
+      "  int ${init_count};\n"
+      "  long ${init_f};\n"
+      "  int ${init_i};\n"
+      "  while (${bound}) {\n"
+      "    if (${member})\n"
+      "      ${count_op};\n"
+      "    ${inc};\n"
+      "    ${mul};\n"
+      "  }\n"
+      "  ${print};\n"
+      "  ${tail}\n"
+      "}\n",
+      {
+          {"init_count", {"count = 0", "count = 1", "count = -1",
+                          "count = n"}},
+          {"init_f", {"f = 1", "f = 0", "f = 2", "f = n"}},
+          {"init_i", {"i = 1", "i = 0", "i = 2", "i = -1"}},
+          {"bound", {"f <= m", "f < m", "f - 1 < m", "f <= m - 1"}},
+          {"member", {"f >= n", "f > n - 1", "f > n", "f >= n + 1"}},
+          {"count_op",
+           {"count += 1", "count++", "count = count + 1", "count += 2"}},
+          {"inc", {"i++", "i = i + 1", "i += 2", "i--"}},
+          {"mul", {"f *= i", "f = f * i", "f *= i + 1", "f += i"}},
+          {"print",
+           {"System.out.println(count)", "System.out.print(count)",
+            "System.out.println(count + 1)"}},
+          {"tail", {"", "int unused = 9;", "int extra = 9;"}},
+      });
+
+  a.suite.exec_options.max_steps = 300000;
+  a.suite.method = "lab3p3v2";
+  a.suite.inputs = {
+      {Value::Int(1), Value::Int(15)}, {Value::Int(2), Value::Int(2)},
+      {Value::Int(3), Value::Int(730)}, {Value::Int(1), Value::Int(1)},
+      {Value::Int(7), Value::Int(23)}, {Value::Int(1), Value::Int(5040)},
+      {Value::Int(25), Value::Int(100)}};
+
+  MethodSpec m;
+  m.expected_name = "lab3p3v2";
+  m.patterns = {Use("factorial-step"),     Use("membership-count"),
+                Use("range-loop"),         Use("init-zero"),
+                Use("init-one", 2),        Use("counter-loop", 2),
+                Use("assign-print"),       Use("double-increment", 0)};
+  m.constraints = {
+      MakeEqualityConstraint(
+          "member-inc-is-counted", "membership-count", 2, "counter-loop",
+          2, "Each member bumps the running count",
+          "Each member should bump the running count exactly once"),
+      MakeEqualityConstraint(
+          "factorial-loop-is-range-loop", "factorial-step", 0,
+          "range-loop", 1,
+          "The factorials grow inside the range-bounded loop",
+          "Grow the factorials inside the range-bounded loop"),
+      MakeEdgeConstraint(
+          "zero-feeds-count", "init-zero", 0, "membership-count", 2,
+          pdg::EdgeType::kData, "The member count starts from 0",
+          "The member count should start from 0"),
+      MakeEdgeConstraint(
+          "one-feeds-product", "init-one", 0, "factorial-step", 2,
+          pdg::EdgeType::kData, "The running factorial starts from 1",
+          "The running factorial should start from 1"),
+      MakeEdgeConstraint(
+          "one-feeds-member-check", "init-one", 0, "membership-count", 1,
+          pdg::EdgeType::kData,
+          "The membership check sees the initial factorial",
+          "The first factorial (1) should also be checked for membership"),
+      MakeEdgeConstraint(
+          "one-feeds-range-check", "init-one", 0, "range-loop", 1,
+          pdg::EdgeType::kData,
+          "The range check sees the initial factorial",
+          "The range check should see the initial factorial"),
+      MakeEdgeConstraint(
+          "count-is-printed", "membership-count", 2, "assign-print", 1,
+          pdg::EdgeType::kData, "The member count is printed",
+          "Print the member count"),
+      Contain("member-check-compares-factorial", "membership-count", 1,
+              "f >= mn$|f > mn", {"factorial-step"},
+              "You compare the running factorial against the lower bound",
+              "Compare the running factorial against the lower bound n"),
+      Contain("range-check-compares-factorial", "range-loop", 1,
+              "f <= rm$|f < rm", {"factorial-step"},
+              "You compare the running factorial against the upper bound",
+              "Compare the running factorial against the upper bound m"),
+      Contain("print-shows-count", "assign-print", 1,
+              "print(ln)?\\(mc\\)$",
+              {"membership-count"}, "The console output shows the count",
+              "Print the count, not an intermediate value"),
+  };
+  a.spec.id = a.id;
+  a.spec.title = a.title;
+  a.spec.methods.push_back(std::move(m));
+  return a;
+}
+
+// ---------------------------------------------------------------------------
+// esc-LAB-3-P4-V1 — palindrome check.
+// ---------------------------------------------------------------------------
+
+Assignment BuildP4V1() {
+  Assignment a;
+  a.id = "esc-LAB-3-P4-V1";
+  a.title = "Palindrome check";
+  a.description = "Check if a given number k is a palindrome.";
+  a.paper_space_size = 13824;
+  a.paper_pattern_count = 7;
+  a.paper_constraint_count = 6;
+  a.paper_discrepancies = 1;
+
+  a.generator = SubmissionTemplate(
+      "void lab3p4v1(int k) {\n"
+      "  int n = k;\n"
+      "  ${pre}\n"
+      "  int ${init_rev};\n"
+      "  while (${bound}) {\n"
+      "    rev = ${rev_op};\n"
+      "    n = ${n_op};\n"
+      "    ${loop_extra}\n"
+      "  }\n"
+      "  ${print};\n"
+      "  ${tail}\n"
+      "}\n",
+      {
+          {"init_rev", {"rev = 0", "rev = 1", "rev = k", "rev = -1"}},
+          {"bound", {"n > 0", "n != 0", "n >= 1"}},
+          {"rev_op",
+           {"rev * 10 + n % 10", "rev * 10 + n % 10 + 0", "rev + n % 10",
+            "rev * 10 + n / 10"}},
+          {"n_op", {"n / 10", "(n - n % 10) / 10", "n / 100", "n - 10"}},
+          {"loop_extra", {"", "if (rev < 0) break;", "if (n < 0) break;"}},
+          {"print",
+           {"System.out.println(rev == k)", "System.out.print(rev == k)",
+            "System.out.println(k == rev)", "System.out.println(rev)"}},
+          {"tail", {"", "int unused = 9;"}},
+          {"pre", {"", "int digits = 9;", "int tmp = 9;"}},
+      });
+
+  a.suite.exec_options.max_steps = 300000;
+  a.suite.method = "lab3p4v1";
+  a.suite.inputs = {{Value::Int(121)},  {Value::Int(123)}, {Value::Int(7)},
+                    {Value::Int(1221)}, {Value::Int(10)},  {Value::Int(11)},
+                    {Value::Int(12321)}};
+
+  MethodSpec m;
+  m.expected_name = "lab3p4v1";
+  m.patterns = {Use("digit-extract"),     Use("reverse-build"),
+                Use("init-zero"),         Use("equality-check"),
+                Use("assign-print"),      Use("cube-accum", 0),
+                Use("double-increment", 0)};
+  m.constraints = {
+      MakeEqualityConstraint(
+          "reverse-extracts-digit", "digit-extract", 1, "reverse-build", 1,
+          "The reverse update consumes the extracted digit",
+          "The reverse update should consume the digit extracted with "
+          "% 10"),
+      MakeEdgeConstraint(
+          "zero-feeds-reverse", "init-zero", 0, "reverse-build", 1,
+          pdg::EdgeType::kData, "The reverse starts from 0",
+          "The reverse should start from 0"),
+      MakeEdgeConstraint(
+          "reverse-reaches-print", "reverse-build", 1, "assign-print", 1,
+          pdg::EdgeType::kData, "The reverse reaches the console output",
+          "The reverse should reach the console output"),
+      MakeEqualityConstraint(
+          "comparison-is-printed", "equality-check", 1, "assign-print", 1,
+          "You print the palindrome comparison",
+          "Print the comparison of the reverse against the input"),
+      Contain("compare-reverse-to-input", "equality-check", 1,
+              "rv == eqk|eqk == rv", {"reverse-build"},
+              "You compare the reverse against the input",
+              "Compare the reverse against the input number"),
+      Contain("reverse-formula", "reverse-build", 1,
+              "rv = rv \\* 10 \\+ dn % 10", {"digit-extract"},
+              "The reverse is rebuilt as rev * 10 + digit",
+              "Rebuild the reverse as rev * 10 + (number % 10)"),
+  };
+  a.spec.id = a.id;
+  a.spec.title = a.title;
+  a.spec.methods.push_back(std::move(m));
+  return a;
+}
+
+// ---------------------------------------------------------------------------
+// esc-LAB-3-P4-V2 — count Fibonacci numbers in [n, m].
+// ---------------------------------------------------------------------------
+
+Assignment BuildP4V2() {
+  Assignment a;
+  a.id = "esc-LAB-3-P4-V2";
+  a.title = "Count Fibonacci numbers in a range";
+  a.description =
+      "Given numbers n and m, print to console the count of Fibonacci "
+      "numbers in [n, m] (sequence 1, 1, 2, 3, ...).";
+  a.paper_space_size = 9437184;
+  a.paper_pattern_count = 9;
+  a.paper_constraint_count = 14;
+  a.paper_discrepancies = 248;
+
+  a.generator = SubmissionTemplate(
+      "void lab3p4v2(int n, int m) {\n"
+      "  int ${init_count};\n"
+      "  long ${init_a};\n"
+      "  long ${init_b};\n"
+      "  int i = 1;\n"
+      "  while (${bound}) {\n"
+      "    if (${member})\n"
+      "      ${count_op};\n"
+      "    long ${t_stmt};\n"
+      "    ${rot_a};\n"
+      "    ${rot_b};\n"
+      "    ${inc};\n"
+      "  }\n"
+      "  ${print};\n"
+      "  ${tail}\n"
+      "}\n",
+      {
+          {"init_count", {"count = 0", "count = 1", "count = -1",
+                          "count = n"}},
+          {"init_a", {"a = 1", "a = 0", "a = 2", "a = n"}},
+          {"init_b", {"b = 1", "b = 0", "b = 2", "b = a + 1"}},
+          {"bound", {"a <= m", "a < m", "a - 1 < m", "a <= m - 1"}},
+          {"member", {"a >= n", "a > n - 1", "a > n", "a >= n + 1"}},
+          {"count_op",
+           {"count += 1", "count++", "count = count + 1", "count += 2"}},
+          {"t_stmt", {"t = a + b", "t = b + a", "t = a + b + 1", "t = a - b"}},
+          {"rot_a", {"a = b", "a = t", "a = a", "a = b + 0"}},
+          {"rot_b", {"b = t", "b = a", "b = t + 0", "b = b"}},
+          {"inc", {"i++", "i = i + 1", "i += 2", "i--"}},
+          {"print",
+           {"System.out.println(count)", "System.out.print(count)",
+            "System.out.println(count + 1)"}},
+          {"tail", {"", "int unused = 9;", "int extra = 9;"}},
+      });
+
+  a.suite.exec_options.max_steps = 300000;
+  a.suite.method = "lab3p4v2";
+  a.suite.inputs = {
+      {Value::Int(1), Value::Int(5)},   {Value::Int(2), Value::Int(2)},
+      {Value::Int(3), Value::Int(100)}, {Value::Int(1), Value::Int(1)},
+      {Value::Int(7), Value::Int(23)},  {Value::Int(10), Value::Int(10946)},
+      {Value::Int(4), Value::Int(4)}};
+
+  MethodSpec m;
+  m.expected_name = "lab3p4v2";
+  m.patterns = {Use("fib-step"),           Use("membership-count"),
+                Use("range-loop"),         Use("init-zero"),
+                Use("init-one", 3),        Use("counter-loop", 2),
+                Use("assign-print"),       Use("double-increment", 0),
+                Use("factorial-step", 0)};
+  m.constraints = {
+      MakeEqualityConstraint(
+          "member-inc-is-counted", "membership-count", 2, "counter-loop",
+          2, "Each member bumps the running count",
+          "Each member should bump the running count exactly once"),
+      MakeEqualityConstraint(
+          "fib-loop-is-range-loop", "fib-step", 0, "range-loop", 1,
+          "The Fibonacci values grow inside the range-bounded loop",
+          "Grow the Fibonacci values inside the range-bounded loop"),
+      MakeEqualityConstraint(
+          "fib-loop-drives-counter", "fib-step", 0, "counter-loop", 1,
+          "A counter advances once per Fibonacci step",
+          "A counter should advance once per Fibonacci step"),
+      MakeEdgeConstraint(
+          "zero-feeds-count", "init-zero", 0, "membership-count", 2,
+          pdg::EdgeType::kData, "The member count starts from 0",
+          "The member count should start from 0"),
+      MakeEdgeConstraint(
+          "one-feeds-sum", "init-one", 0, "fib-step", 1,
+          pdg::EdgeType::kData,
+          "The Fibonacci sum reads a value initialized to 1",
+          "The Fibonacci pair should start from 1, 1"),
+      MakeEdgeConstraint(
+          "one-feeds-range-check", "init-one", 0, "range-loop", 1,
+          pdg::EdgeType::kData,
+          "The range check sees the initial Fibonacci value",
+          "The range check should see the initial Fibonacci value (1)"),
+      MakeEdgeConstraint(
+          "one-feeds-member-check", "init-one", 0, "membership-count", 1,
+          pdg::EdgeType::kData,
+          "The membership check sees the initial Fibonacci value",
+          "fib(1) = 1 should also be checked for membership"),
+      MakeEdgeConstraint(
+          "one-feeds-counter", "init-one", 0, "counter-loop", 2,
+          pdg::EdgeType::kData, "The counter starts from 1",
+          "Start the sequence index at 1, not 0 (the paper's very "
+          "discrepancy class)"),
+      MakeEdgeConstraint(
+          "count-is-printed", "membership-count", 2, "assign-print", 1,
+          pdg::EdgeType::kData, "The member count is printed",
+          "Print the member count"),
+      Contain("member-check-compares-fib", "membership-count", 1,
+              "fa >= mn$|fa > mn", {"fib-step"},
+              "You compare the running Fibonacci value against the lower "
+              "bound",
+              "Compare the running Fibonacci value against the lower "
+              "bound n"),
+      Contain("range-check-compares-fib", "range-loop", 1,
+              "fa <= rm$|fa < rm", {"fib-step"},
+              "You compare the running Fibonacci value against the upper "
+              "bound",
+              "Compare the running Fibonacci value against the upper "
+              "bound m"),
+      Contain("print-shows-count", "assign-print", 1,
+              "print(ln)?\\(mc\\)$",
+              {"membership-count"}, "The console output shows the count",
+              "Print the count, not an intermediate value"),
+      MakeEqualityConstraint(
+          "count-guarded-by-membership", "membership-count", 1,
+          "counter-loop", 1,
+          "The count increment is guarded by the membership check",
+          "Guard the count increment with the membership check"),
+      MakeEqualityConstraint(
+          "range-loop-drives-counter", "range-loop", 1, "counter-loop", 1,
+          "A counter advances once per range-loop iteration",
+          "A counter should advance once per range-loop iteration"),
+  };
+  a.spec.id = a.id;
+  a.spec.title = a.title;
+  a.spec.methods.push_back(std::move(m));
+  return a;
+}
+
+// ---------------------------------------------------------------------------
+// mitx-derivatives — derivative coefficients of a polynomial.
+// ---------------------------------------------------------------------------
+
+Assignment BuildDerivatives() {
+  Assignment a;
+  a.id = "mitx-derivatives";
+  a.title = "Polynomial derivatives";
+  a.description =
+      "Compute the derivative of an input polynomial represented by an "
+      "array of coefficients; print the derivative coefficients.";
+  a.paper_space_size = 576;
+  a.paper_pattern_count = 3;
+  a.paper_constraint_count = 4;
+  a.paper_discrepancies = 0;
+
+  a.generator = SubmissionTemplate(
+      "void derivatives(double[] a) {\n"
+      "  double[] b = new double[${alloc}];\n"
+      "  for (int i = ${d_start}; ${d_bound}; i++)\n"
+      "    ${shift};\n"
+      "  for (int j = 0; ${p_bound}; j++)\n"
+      "    System.out.println(b[j]);\n"
+      "}\n",
+      {
+          {"alloc",
+           {"a.length - 1", "a.length", "a.length + 1", "a.length - 2"}},
+          {"d_start", {"1", "0", "2"}},
+          {"d_bound",
+           {"i < a.length", "i <= a.length", "i < a.length - 1",
+            "i < b.length"}},
+          {"shift",
+           {"b[i - 1] = a[i] * i", "b[i] = a[i] * i", "b[i - 1] = a[i]",
+            "b[i - 1] = a[i] * (i - 1)"}},
+          {"p_bound", {"j < b.length", "j <= b.length", "j < a.length"}},
+      });
+
+  a.suite.exec_options.max_steps = 300000;
+  a.suite.method = "derivatives";
+  a.suite.inputs = {
+      {Value::DoubleArray({3.0, 2.0})},
+      {Value::DoubleArray({1.0, 4.0, 9.0})},
+      {Value::DoubleArray({5.0, 0.0, 1.0, 2.0})},
+      {Value::DoubleArray({-1.0, 2.5, -3.0, 0.5, 4.0})},
+  };
+
+  MethodSpec m;
+  m.expected_name = "derivatives";
+  m.patterns = {Use("derivative-shift"), Use("counter-loop", 2),
+                Use("assign-print", 3)};
+  m.constraints = {
+      MakeEdgeConstraint(
+          "derivative-is-printed", "derivative-shift", 2, "assign-print",
+          1, pdg::EdgeType::kData,
+          "The derivative coefficients reach the console output",
+          "The derivative coefficients should be printed"),
+      Contain("print-loop-bounded", "counter-loop", 1,
+              "ctr < db\\.length$", {"derivative-shift"},
+              "The print loop visits exactly the derivative coefficients",
+              "The print loop must visit exactly {db}.length coefficients"),
+      Contain("print-shows-derivative", "assign-print", 1,
+              "print(ln)?\\(db", {"derivative-shift"},
+              "The console output shows the derivative array",
+              "Print the derivative array elements"),
+      Contain("shift-target-index", "derivative-shift", 2,
+              "db\\[ctr - 1\\]", {"counter-loop"},
+              "Term i lands at slot i - 1",
+              "The derivative of term i must land at slot i - 1"),
+  };
+  a.spec.id = a.id;
+  a.spec.title = a.title;
+  a.spec.methods.push_back(std::move(m));
+  return a;
+}
+
+// ---------------------------------------------------------------------------
+// mitx-polynomials — evaluate a polynomial at a value.
+// ---------------------------------------------------------------------------
+
+Assignment BuildPolynomials() {
+  Assignment a;
+  a.id = "mitx-polynomials";
+  a.title = "Polynomial evaluation";
+  a.description =
+      "Compute the value of a polynomial (array of coefficients) at a "
+      "given value x; print the result.";
+  a.paper_space_size = 768;
+  a.paper_pattern_count = 4;
+  a.paper_constraint_count = 4;
+  a.paper_discrepancies = 0;
+
+  a.generator = SubmissionTemplate(
+      "void polynomial(double[] a, double x) {\n"
+      "  double ${init_r};\n"
+      "  for (int i = ${p_start}; ${p_bound}; ${p_inc})\n"
+      "    ${term};\n"
+      "  System.out.println(r);\n"
+      "}\n",
+      {
+          {"init_r", {"r = 0.0", "r = 1.0", "r = x", "r = -1.0"}},
+          {"p_start", {"0", "1", "2", "-1"}},
+          {"p_bound",
+           {"i < a.length", "i <= a.length", "i < a.length - 1",
+            "i < a.length + 1"}},
+          {"term",
+           {"r += a[i] * Math.pow(x, i)", "r = r + a[i] * Math.pow(x, i)",
+            "r += a[i] * Math.pow(i, x)", "r += a[i] * x"}},
+          {"p_inc", {"i++", "i += 1", "i += 2"}},
+      });
+
+  a.suite.exec_options.max_steps = 300000;
+  a.suite.method = "polynomial";
+  a.suite.inputs = {
+      {Value::DoubleArray({3.0, 2.0}), Value::Double(2.0)},
+      {Value::DoubleArray({1.0, 0.0, 1.0}), Value::Double(3.0)},
+      {Value::DoubleArray({5.0}), Value::Double(10.0)},
+      {Value::DoubleArray({-1.0, 2.0, -3.0, 4.0}), Value::Double(0.5)},
+  };
+
+  MethodSpec m;
+  m.expected_name = "polynomial";
+  m.patterns = {Use("poly-eval"), Use("init-zero", 2),
+                Use("counter-loop"), Use("assign-print")};
+  m.constraints = {
+      MakeEdgeConstraint(
+          "zero-feeds-result", "init-zero", 0, "poly-eval", 1,
+          pdg::EdgeType::kData, "The result accumulator starts from 0",
+          "The result accumulator should start from 0"),
+      MakeEdgeConstraint(
+          "result-is-printed", "poly-eval", 1, "assign-print", 1,
+          pdg::EdgeType::kData, "The evaluated value reaches the console",
+          "Print the evaluated polynomial value"),
+      MakeEqualityConstraint(
+          "eval-loop-is-counter-loop", "poly-eval", 0, "counter-loop", 1,
+          "The evaluation loop is driven by a unit counter",
+          "Drive the evaluation loop with a unit counter over the "
+          "coefficients"),
+      Contain("term-uses-counter", "poly-eval", 1, "ps\\[ctr\\]",
+              {"counter-loop"},
+              "Each term reads the coefficient at the counter",
+              "Each term should read the coefficient at the loop counter"),
+  };
+  a.spec.id = a.id;
+  a.spec.title = a.title;
+  a.spec.methods.push_back(std::move(m));
+  return a;
+}
+
+// ---------------------------------------------------------------------------
+// rit-all-g-medals — count gold medals of a year (Fig. 7's assignment).
+// ---------------------------------------------------------------------------
+
+constexpr int kOlympicsRecords = 60;
+constexpr uint64_t kOlympicsSeed = 20170419;
+
+Assignment BuildGoldMedals() {
+  Assignment a;
+  a.id = "rit-all-g-medals";
+  a.title = "Count gold medals of a year";
+  a.description =
+      "Count all the gold medals awarded in a given year in the Summer "
+      "Olympic Games (records: first last medal year separator).";
+  a.paper_space_size = 559872;
+  a.paper_pattern_count = 9;
+  a.paper_constraint_count = 7;
+  a.paper_discrepancies = 1872;
+
+  a.generator = SubmissionTemplate(
+      "void countGoldMedals(int year) {\n"
+      "  int i = ${i_init};\n"
+      "  int medals = 0;\n"
+      "  int p = 0;\n"
+      "  int y = 0;\n"
+      "  String e = \"\";\n"
+      "  Scanner s = new Scanner(new File(\"summer_olympics.txt\"));\n"
+      "  while (s.hasNext()) {\n"
+      "    if (${fn_cond})\n"
+      "      e = s.next();\n"
+      "    if (${ln_cond})\n"
+      "      e = s.next();\n"
+      "    if (${medal_cond})\n"
+      "      p = s.nextInt();\n"
+      "    if (${year_cond})\n"
+      "      y = s.nextInt();\n"
+      "    if (${sep_cond})\n"
+      "      e = s.next();\n"
+      "    if (${filter})\n"
+      "      ${count_op};\n"
+      "    ${extra}\n"
+      "    i++;\n"
+      "  }\n"
+      "  s.close();\n"
+      "  ${print};\n"
+      "  ${tail}\n"
+      "}\n",
+      {
+          {"i_init", {"1", "0", "2"}},
+          {"fn_cond",
+           {"i % 5 == 1", "i % 5 == 2", "i % 5 == 3", "i % 5 == 0"}},
+          {"ln_cond",
+           {"i % 5 == 2", "i % 5 == 1", "i % 5 == 4", "i % 5 == 0"}},
+          {"medal_cond",
+           {"i % 5 == 3", "i % 5 == 4", "i % 5 == 1", "i % 5 == 2"}},
+          {"year_cond",
+           {"i % 5 == 4", "i % 5 == 3", "i % 5 == 2", "i % 5 == 0"}},
+          {"sep_cond", {"i % 5 == 0", "i % 5 == 1", "i % 5 == 4"}},
+          {"filter",
+           {"i % 5 == 0 && y == year && p == 1",
+            "i % 5 == 0 && p == 1 && y == year", "y == year && p == 1"}},
+          {"count_op", {"medals += 1", "medals++", "medals = medals + 1"}},
+          {"print",
+           {"System.out.println(medals)", "System.out.print(medals)",
+            "System.out.println(medals + 1)"}},
+          {"extra", {"", "if (p < 0) break;", "if (i < 0) break;"}},
+          {"tail", {"", "int unused = 9;", "int extra2 = 9;"}},
+      });
+
+  a.suite.exec_options.max_steps = 300000;
+  a.suite.method = "countGoldMedals";
+  a.suite.files["summer_olympics.txt"] =
+      testing::GenerateOlympicsFile(kOlympicsRecords, kOlympicsSeed);
+  a.suite.inputs = {{Value::Int(1912)}, {Value::Int(1924)},
+                    {Value::Int(1984)}, {Value::Int(1996)},
+                    {Value::Int(2000)}, {Value::Int(2016)}};
+
+  MethodSpec m;
+  m.expected_name = "countGoldMedals";
+  m.patterns = {Use("scanner-loop"),       Use("field-extract", 5),
+                Use("gold-filter"),        Use("init-zero", 3),
+                Use("init-one"),           Use("counter-loop", 2),
+                Use("assign-print"),       Use("double-increment", 0),
+                Use("athlete-filter", 0)};
+  m.constraints = {
+      Contain("reads-first-name-slot", "field-extract", 0,
+              "fex % 5 == 1", {},
+              "You read the first-name field (position 1)",
+              "A read of the first-name field (i % 5 == 1) is missing or "
+              "duplicated onto another position"),
+      Contain("reads-last-name-slot", "field-extract", 0, "fex % 5 == 2",
+              {}, "You read the last-name field (position 2)",
+              "A read of the last-name field (i % 5 == 2) is missing or "
+              "duplicated onto another position"),
+      Contain("reads-medal-slot", "field-extract", 0, "fex % 5 == 3", {},
+              "You read the medal field (position 3)",
+              "A read of the medal field (i % 5 == 3) is missing or "
+              "duplicated onto another position"),
+      Contain("reads-year-slot", "field-extract", 0, "fex % 5 == 4", {},
+              "You read the year field (position 4)",
+              "A read of the year field (i % 5 == 4) is missing or "
+              "duplicated onto another position"),
+      Contain("reads-separator-slot", "field-extract", 0, "fex % 5 == 0",
+              {}, "You consume the record separator (position 0)",
+              "Consuming the record separator (i % 5 == 0) is missing or "
+              "duplicated onto another position"),
+      Contain("medal-count-is-printed", "assign-print", 1,
+              "print(ln)?\\(gm\\)$", {"gold-filter"},
+          "The console output is exactly the medal count",
+          "Print exactly the medal count, nothing else"),
+      MakeEdgeConstraint(
+          "fields-read-inside-loop", "scanner-loop", 1, "field-extract", 0,
+          pdg::EdgeType::kCtrl,
+          "The record fields are read inside the Scanner loop",
+          "Read the record fields inside the Scanner loop"),
+  };
+  a.spec.id = a.id;
+  a.spec.title = a.title;
+  a.spec.methods.push_back(std::move(m));
+  return a;
+}
+
+// ---------------------------------------------------------------------------
+// rit-medals-by-ath — count medals of a given athlete.
+// ---------------------------------------------------------------------------
+
+Assignment BuildMedalsByAthlete() {
+  Assignment a;
+  a.id = "rit-medals-by-ath";
+  a.title = "Count medals of an athlete";
+  a.description =
+      "Count all the medals awarded to a given athlete in the Summer "
+      "Olympic Games.";
+  a.paper_space_size = 746496;
+  a.paper_pattern_count = 9;
+  a.paper_constraint_count = 7;
+  a.paper_discrepancies = 744;
+
+  a.generator = SubmissionTemplate(
+      "void medalsByAthlete(String first, String last) {\n"
+      "  int i = ${i_init};\n"
+      "  int medals = 0;\n"
+      "  int m = 0;\n"
+      "  String fn = \"\";\n"
+      "  String ln = \"\";\n"
+      "  String e = \"\";\n"
+      "  Scanner s = new Scanner(new File(\"summer_olympics.txt\"));\n"
+      "  while (s.hasNext()) {\n"
+      "    if (${fn_cond})\n"
+      "      fn = s.next();\n"
+      "    if (${ln_cond})\n"
+      "      ln = s.next();\n"
+      "    if (${medal_cond})\n"
+      "      m = s.nextInt();\n"
+      "    if (${year_cond})\n"
+      "      e = s.next();\n"
+      "    if (${sep_cond})\n"
+      "      e = s.next();\n"
+      "    if (${filter})\n"
+      "      ${count_op};\n"
+      "    ${extra}\n"
+      "    i++;\n"
+      "  }\n"
+      "  s.close();\n"
+      "  ${print};\n"
+      "  ${tail}\n"
+      "}\n",
+      {
+          {"i_init", {"1", "0", "2"}},
+          {"fn_cond",
+           {"i % 5 == 1", "i % 5 == 2", "i % 5 == 3", "i % 5 == 0"}},
+          {"ln_cond",
+           {"i % 5 == 2", "i % 5 == 1", "i % 5 == 4", "i % 5 == 0"}},
+          {"medal_cond",
+           {"i % 5 == 3", "i % 5 == 4", "i % 5 == 1", "i % 5 == 2"}},
+          {"year_cond",
+           {"i % 5 == 4", "i % 5 == 3", "i % 5 == 2", "i % 5 == 0"}},
+          {"sep_cond",
+           {"i % 5 == 0", "i % 5 == 1", "i % 5 == 4", "i % 5 == 2"}},
+          {"filter",
+           {"i % 5 == 0 && fn.equals(first) && ln.equals(last) && m > 0",
+            "i % 5 == 0 && ln.equals(last) && fn.equals(first) && m > 0",
+            "fn.equals(first) && ln.equals(last)"}},
+          {"count_op", {"medals += 1", "medals++", "medals = medals + 1"}},
+          {"print",
+           {"System.out.println(medals)", "System.out.print(medals)",
+            "System.out.println(medals + 1)"}},
+          {"extra", {"", "if (m < 0) break;", "if (i < 0) break;"}},
+          {"tail", {"", "int unused = 9;", "int extra2 = 9;"}},
+      });
+
+  a.suite.exec_options.max_steps = 300000;
+  a.suite.method = "medalsByAthlete";
+  a.suite.files["summer_olympics.txt"] =
+      testing::GenerateOlympicsFile(kOlympicsRecords, kOlympicsSeed);
+  a.suite.inputs = {{Value::Str("jesse"), Value::Str("griffith")},
+                    {Value::Str("carl"), Value::Str("lewis")},
+                    {Value::Str("florence"), Value::Str("bolt")},
+                    {Value::Str("katie"), Value::Str("ledecky")},
+                    {Value::Str("no"), Value::Str("body")}};
+
+  MethodSpec m;
+  m.expected_name = "medalsByAthlete";
+  m.patterns = {Use("scanner-loop"),       Use("field-extract", 5),
+                Use("athlete-filter"),     Use("init-zero", 2),
+                Use("init-one"),           Use("counter-loop", 2),
+                Use("assign-print"),       Use("double-increment", 0),
+                Use("gold-filter", 0)};
+  m.constraints = {
+      Contain("reads-first-name-slot", "field-extract", 0,
+              "fex % 5 == 1", {},
+              "You read the first-name field (position 1)",
+              "A read of the first-name field (i % 5 == 1) is missing or "
+              "duplicated onto another position"),
+      Contain("reads-last-name-slot", "field-extract", 0, "fex % 5 == 2",
+              {}, "You read the last-name field (position 2)",
+              "A read of the last-name field (i % 5 == 2) is missing or "
+              "duplicated onto another position"),
+      Contain("reads-medal-slot", "field-extract", 0, "fex % 5 == 3", {},
+              "You read the medal field (position 3)",
+              "A read of the medal field (i % 5 == 3) is missing or "
+              "duplicated onto another position"),
+      Contain("reads-year-slot", "field-extract", 0, "fex % 5 == 4", {},
+              "You read the year field (position 4)",
+              "A read of the year field (i % 5 == 4) is missing or "
+              "duplicated onto another position"),
+      Contain("reads-separator-slot", "field-extract", 0, "fex % 5 == 0",
+              {}, "You consume the record separator (position 0)",
+              "Consuming the record separator (i % 5 == 0) is missing or "
+              "duplicated onto another position"),
+      Contain("medal-count-is-printed", "assign-print", 1,
+              "print(ln)?\\(am\\)$", {"athlete-filter"},
+          "The console output is exactly the medal count",
+          "Print exactly the medal count, nothing else"),
+      MakeEdgeConstraint(
+          "fields-read-inside-loop", "scanner-loop", 1, "field-extract", 0,
+          pdg::EdgeType::kCtrl,
+          "The record fields are read inside the Scanner loop",
+          "Read the record fields inside the Scanner loop"),
+  };
+  a.spec.id = a.id;
+  a.spec.title = a.title;
+  a.spec.methods.push_back(std::move(m));
+  return a;
+}
+
+}  // namespace
+
+KnowledgeBase::KnowledgeBase() {
+  Add(BuildAssignment1());
+  Add(BuildP1V1());
+  Add(BuildP2V1());
+  Add(BuildP2V2());
+  Add(BuildP3V1());
+  Add(BuildP3V2());
+  Add(BuildP4V1());
+  Add(BuildP4V2());
+  Add(BuildDerivatives());
+  Add(BuildPolynomials());
+  Add(BuildGoldMedals());
+  Add(BuildMedalsByAthlete());
+}
+
+void KnowledgeBase::Add(Assignment assignment) {
+  ids_.push_back(assignment.id);
+  assignments_[assignment.id] = std::move(assignment);
+}
+
+const KnowledgeBase& KnowledgeBase::Get() {
+  static const KnowledgeBase* kBase = new KnowledgeBase();
+  return *kBase;
+}
+
+const Assignment& KnowledgeBase::assignment(const std::string& id) const {
+  auto it = assignments_.find(id);
+  if (it == assignments_.end()) {
+    std::fprintf(stderr, "unknown assignment id: %s\n", id.c_str());
+    std::abort();
+  }
+  return it->second;
+}
+
+}  // namespace jfeed::kb

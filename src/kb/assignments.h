@@ -1,0 +1,59 @@
+#ifndef JFEED_KB_ASSIGNMENTS_H_
+#define JFEED_KB_ASSIGNMENTS_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/submission_matcher.h"
+#include "kb/patterns.h"
+#include "synth/generator.h"
+#include "testing/functional.h"
+
+namespace jfeed::kb {
+
+/// Everything the evaluation needs for one assignment: the instructor
+/// specification (patterns + constraints, Table I columns P and C), the
+/// error-model generator whose search-space size is Table I column S, and
+/// the functional test suite (column T / discrepancies D).
+struct Assignment {
+  std::string id;
+  std::string title;
+  std::string description;
+  core::AssignmentSpec spec;
+  synth::SubmissionTemplate generator;
+  testing::FunctionalSuite suite;
+  /// Column S of Table I — the paper's reported search-space size; always
+  /// equal to generator.SpaceSize().
+  uint64_t paper_space_size = 0;
+  /// Columns P / C / D of Table I (for the bench report).
+  int paper_pattern_count = 0;
+  int paper_constraint_count = 0;
+  int paper_discrepancies = 0;
+
+  /// The reference solution (= generator.Generate(0)).
+  std::string Reference() const { return generator.Generate(0); }
+};
+
+/// The full knowledge base: the 24-pattern library plus the 12 real-world
+/// assignments of Table I.
+class KnowledgeBase {
+ public:
+  static const KnowledgeBase& Get();
+
+  const PatternLibrary& patterns() const { return PatternLibrary::Get(); }
+  const Assignment& assignment(const std::string& id) const;
+  const std::vector<std::string>& assignment_ids() const { return ids_; }
+  size_t size() const { return assignments_.size(); }
+
+ private:
+  KnowledgeBase();
+  void Add(Assignment assignment);
+
+  std::map<std::string, Assignment> assignments_;
+  std::vector<std::string> ids_;
+};
+
+}  // namespace jfeed::kb
+
+#endif  // JFEED_KB_ASSIGNMENTS_H_

@@ -1,0 +1,155 @@
+#include "kb/extensions.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace jfeed::kb {
+
+using core::Pattern;
+using core::PatternBuilder;
+using core::PatternNodeType;
+using core::PatternVariant;
+
+namespace {
+
+Pattern Must(Result<Pattern> result) {
+  if (!result.ok()) {
+    std::fprintf(stderr, "extension pattern failed to build: %s\n",
+                 result.status().ToString().c_str());
+    std::abort();
+  }
+  return std::move(*result);
+}
+
+/// Builds the "step by two" access variation. `start` pins the starting
+/// parity (0 for even positions, 1 for odd). Node layout:
+///   0 Untyped  array source        (aligns with primary slot 0)
+///   1 Assign   index init          (slot 1)
+///   2 Assign   index += 2          (slot 2)
+///   3 Cond     bound check         (slot 3)
+///   4 Untyped  array access        (slot 5 of the primary!)
+Pattern StepAccessPattern(const std::string& id, const std::string& name,
+                          const std::string& index_var,
+                          const std::string& array_var, int start) {
+  const std::string x = index_var;
+  const std::string s = array_var;
+  return Must(
+      PatternBuilder(id, name)
+          .Var(x)
+          .Var(s)
+          .Node(PatternNodeType::kUntyped, s)
+          .Node(PatternNodeType::kAssign,
+                x + " = " + std::to_string(start), "",
+                "{" + x + "} starts at position " + std::to_string(start),
+                "{" + x + "} should start at position " +
+                    std::to_string(start))
+          .Node(PatternNodeType::kAssign,
+                x + " \\+= 2|" + x + " = " + x + " \\+ 2",
+                x + " \\+= \\d+|" + x + " = " + x + " \\+ \\d+",
+                "{" + x + "} advances by two positions",
+                "{" + x + "} should advance by exactly two positions")
+          .Node(PatternNodeType::kCond, x + " < " + s + "\\.length",
+                x + " <= " + s + "\\.length",
+                "{" + x + "} does not go beyond {" + s + "}.length - 1",
+                "{" + x + "} is out of bounds going beyond {" + s +
+                    "}.length - 1")
+          .Node(PatternNodeType::kUntyped, s + "\\[" + x + "\\]", "",
+                "{" + x + "} is used exactly to access {" + s + "}",
+                "You should access {" + s + "} by using {" + x +
+                    "} exactly")
+          .DataEdge(0, 3)
+          .DataEdge(0, 4)
+          .DataEdge(1, 2)
+          .DataEdge(1, 3)
+          .DataEdge(1, 4)
+          .CtrlEdge(3, 2)
+          .CtrlEdge(3, 4)
+          .Present("You access every second position by stepping the index "
+                   "by two")
+          .Missing("Stepping the index by two positions is missing")
+          .Build());
+}
+
+/// Accumulation directly under a single (loop) condition. Node layout:
+///   0 Assign init (slot 0), 1 Cond (slot 2), 2 Assign update (slot 3).
+Pattern DirectAccumPattern(const std::string& id, const std::string& name,
+                           const std::string& var, const char* op,
+                           int identity) {
+  std::string update = std::string(var) + " \\" + op + "= \\w+\\[|" +
+                       var + " = " + var + " \\" + op + " \\w+\\[";
+  return Must(
+      PatternBuilder(id, name)
+          .Var(var)
+          .Node(PatternNodeType::kAssign,
+                var + " = " + std::to_string(identity), var + " = -?\\d+",
+                "{" + var + "} is initialized to " +
+                    std::to_string(identity),
+                "{" + var + "} should be initialized to " +
+                    std::to_string(identity))
+          .Node(PatternNodeType::kCond, "")
+          .Node(PatternNodeType::kAssign, update, "",
+                "{" + var + "} is cumulatively updated", "")
+          .CtrlEdge(1, 2)
+          .DataEdge(0, 2)
+          .Present("You cumulatively update {" + var +
+                   "} directly inside the loop")
+          .Missing("A cumulative update inside the loop is missing")
+          .Build());
+}
+
+}  // namespace
+
+ExtensionLibrary::ExtensionLibrary()
+    : even_positions_step_(StepAccessPattern(
+          "even-positions-step", "Even positions via index += 2", "vx",
+          "vs", 0)),
+      odd_positions_step_(StepAccessPattern(
+          "odd-positions-step", "Odd positions via index += 2", "ox", "os",
+          1)),
+      cond_accum_mul_direct_(DirectAccumPattern(
+          "cond-accum-mul-direct", "Direct cumulative multiplication",
+          "md", "*", 1)),
+      cond_accum_add_direct_(DirectAccumPattern(
+          "cond-accum-add-direct", "Direct cumulative addition", "ad", "+",
+          0)) {}
+
+const ExtensionLibrary& ExtensionLibrary::Get() {
+  static const ExtensionLibrary* kLibrary = new ExtensionLibrary();
+  return *kLibrary;
+}
+
+void ExtensionLibrary::AttachAssignment1Variations(
+    core::AssignmentSpec* spec) const {
+  for (auto& method : spec->methods) {
+    for (auto& use : method.patterns) {
+      if (use.pattern == nullptr) continue;
+      if (use.pattern->id == "even-positions") {
+        // Primary slots: 0 array, 1 init, 2 step, 3 bound, 5 access.
+        use.variants.push_back(PatternVariant{
+            &even_positions_step_,
+            {{0, 0}, {1, 1}, {2, 2}, {3, 3}, {5, 4}},
+            {{"vx", "ex"}, {"vs", "es"}}});
+      } else if (use.pattern->id == "odd-positions") {
+        use.variants.push_back(PatternVariant{
+            &odd_positions_step_,
+            {{0, 0}, {1, 1}, {2, 2}, {3, 3}, {5, 4}},
+            {{"ox", "x"}, {"os", "s"}}});
+      } else if (use.pattern->id == "init-one") {
+        // The odd access starts its index at 1, adding a second
+        // 1-initialization under the alternative strategy.
+        use.also_accept_counts.push_back(use.expected_count + 1);
+      } else if (use.pattern->id == "cond-accum-mul") {
+        // Primary slots: 0 init, 2 inner cond, 3 update.
+        use.variants.push_back(PatternVariant{
+            &cond_accum_mul_direct_, {{0, 0}, {2, 1}, {3, 2}},
+            {{"md", "d"}}});
+      } else if (use.pattern->id == "cond-accum-add") {
+        use.variants.push_back(PatternVariant{
+            &cond_accum_add_direct_, {{0, 0}, {2, 1}, {3, 2}},
+            {{"ad", "c"}}});
+      }
+    }
+  }
+}
+
+}  // namespace jfeed::kb

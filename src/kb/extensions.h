@@ -1,0 +1,59 @@
+#ifndef JFEED_KB_EXTENSIONS_H_
+#define JFEED_KB_EXTENSIONS_H_
+
+#include "core/submission_matcher.h"
+#include "kb/patterns.h"
+
+namespace jfeed::kb {
+
+/// Pattern variations — the paper's Sec. VII future work, implemented. The
+/// canonical example from the paper: "a student can access even positions
+/// in an array using if (i % 2 == 0) or updating twice the value of i
+/// (i += 2)." These variation patterns live outside the 24-pattern library
+/// (they are alternatives of library patterns, not new semantics).
+class ExtensionLibrary {
+ public:
+  static const ExtensionLibrary& Get();
+
+  /// Even positions accessed by stepping the index by two
+  /// (for (i = 0; i < a.length; i += 2) ... a[i] ...).
+  const core::Pattern& even_positions_step() const {
+    return even_positions_step_;
+  }
+
+  /// Cumulative multiplication directly under the loop condition (no inner
+  /// guard — the i += 2 style needs none).
+  const core::Pattern& cond_accum_mul_direct() const {
+    return cond_accum_mul_direct_;
+  }
+
+  /// Odd positions accessed by stepping the index by two starting at 1.
+  const core::Pattern& odd_positions_step() const {
+    return odd_positions_step_;
+  }
+
+  /// Cumulative addition directly under the loop condition.
+  const core::Pattern& cond_accum_add_direct() const {
+    return cond_accum_add_direct_;
+  }
+
+  /// Attaches the step-by-two variations to an Assignment 1 specification
+  /// (in place), so submissions using the alternative strategy are graded
+  /// Correct instead of NotExpected. This resolves the paper's third
+  /// Assignment 1 discrepancy class ("they update twice the value of i,
+  /// which is a different way of accessing even positions not currently
+  /// allowed by our patterns").
+  void AttachAssignment1Variations(core::AssignmentSpec* spec) const;
+
+ private:
+  ExtensionLibrary();
+
+  core::Pattern even_positions_step_;
+  core::Pattern odd_positions_step_;
+  core::Pattern cond_accum_mul_direct_;
+  core::Pattern cond_accum_add_direct_;
+};
+
+}  // namespace jfeed::kb
+
+#endif  // JFEED_KB_EXTENSIONS_H_

@@ -1,0 +1,43 @@
+#ifndef JFEED_KB_PATTERNS_H_
+#define JFEED_KB_PATTERNS_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/pattern.h"
+
+namespace jfeed::kb {
+
+/// The knowledge base of reusable patterns (paper Sec. I: "Our knowledge
+/// base contains twenty four unique patterns"). Pattern variables are
+/// globally unique across patterns so that containment constraints — which
+/// require disjoint variable sets (Definition 10) — can combine any of them.
+class PatternLibrary {
+ public:
+  /// The process-wide library (built once, immutable afterwards).
+  static const PatternLibrary& Get();
+
+  /// Looks up a pattern; aborts on an unknown id (programming error).
+  const core::Pattern& at(const std::string& id) const;
+
+  bool contains(const std::string& id) const {
+    return patterns_.count(id) > 0;
+  }
+
+  /// Ids in deterministic (insertion) order.
+  const std::vector<std::string>& ids() const { return ids_; }
+
+  size_t size() const { return patterns_.size(); }
+
+ private:
+  PatternLibrary();
+  void Add(core::Pattern pattern);
+
+  std::map<std::string, core::Pattern> patterns_;
+  std::vector<std::string> ids_;
+};
+
+}  // namespace jfeed::kb
+
+#endif  // JFEED_KB_PATTERNS_H_

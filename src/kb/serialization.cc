@@ -1,0 +1,471 @@
+#include "kb/serialization.h"
+
+#include <sstream>
+
+#include "kb/patterns.h"
+#include "support/strings.h"
+
+namespace jfeed::kb {
+
+namespace {
+
+using core::Pattern;
+using core::PatternNode;
+using core::PatternNodeType;
+
+const char* NodeTypeKeyword(PatternNodeType type) {
+  return core::PatternNodeTypeName(type);
+}
+
+Result<PatternNodeType> ParseNodeType(const std::string& word) {
+  if (word == "Assign") return PatternNodeType::kAssign;
+  if (word == "Break") return PatternNodeType::kBreak;
+  if (word == "Call") return PatternNodeType::kCall;
+  if (word == "Cond") return PatternNodeType::kCond;
+  if (word == "Decl") return PatternNodeType::kDecl;
+  if (word == "Return") return PatternNodeType::kReturn;
+  if (word == "Untyped") return PatternNodeType::kUntyped;
+  return Status::ParseError("unknown pattern node type: " + word);
+}
+
+/// Emits "key: value" lines only for non-empty values.
+void EmitField(const std::string& indent, const std::string& key,
+               const std::string& value, std::string* out) {
+  if (value.empty()) return;
+  *out += indent + key + ": " + value + "\n";
+}
+
+}  // namespace
+
+std::string SerializePattern(const Pattern& pattern) {
+  std::string out = "pattern " + pattern.id + "\n";
+  EmitField("  ", "name", pattern.name, &out);
+  for (const auto& var : pattern.Variables()) {
+    out += "  var: " + var + "\n";
+  }
+  for (const auto& node : pattern.nodes) {
+    out += std::string("  node ") + NodeTypeKeyword(node.type) + "\n";
+    EmitField("    ", "exact", node.exact.text(), &out);
+    EmitField("    ", "approx", node.approx.text(), &out);
+    EmitField("    ", "correct", node.feedback_correct, &out);
+    EmitField("    ", "incorrect", node.feedback_incorrect, &out);
+  }
+  for (const auto& edge : pattern.edges) {
+    out += "  edge " + std::string(pdg::EdgeTypeName(edge.type)) + " " +
+           std::to_string(edge.source) + " " + std::to_string(edge.target) +
+           "\n";
+  }
+  EmitField("  ", "present", pattern.feedback_present, &out);
+  EmitField("  ", "missing", pattern.feedback_missing, &out);
+  out += "end\n";
+  return out;
+}
+
+namespace {
+
+/// Incremental builder used by the parser; collects raw fields first so
+/// that `var:` lines may appear anywhere before the nodes that use them.
+struct RawNode {
+  PatternNodeType type = PatternNodeType::kUntyped;
+  std::string exact, approx, correct, incorrect;
+};
+
+Result<Pattern> BuildPattern(const std::string& id, const std::string& name,
+                             const std::set<std::string>& variables,
+                             const std::vector<RawNode>& nodes,
+                             const std::vector<core::Pattern::Edge>& edges,
+                             const std::string& present,
+                             const std::string& missing) {
+  core::PatternBuilder builder(id, name);
+  for (const auto& var : variables) builder.Var(var);
+  for (const auto& node : nodes) {
+    builder.Node(node.type, node.exact, node.approx, node.correct,
+                 node.incorrect);
+  }
+  for (const auto& edge : edges) {
+    if (edge.type == pdg::EdgeType::kCtrl) {
+      builder.CtrlEdge(edge.source, edge.target);
+    } else {
+      builder.DataEdge(edge.source, edge.target);
+    }
+  }
+  builder.Present(present);
+  builder.Missing(missing);
+  return builder.Build();
+}
+
+}  // namespace
+
+Result<Pattern> ParsePattern(const std::string& text) {
+  auto patterns = ParsePatterns(text);
+  JFEED_RETURN_IF_ERROR(patterns.status());
+  if (patterns->size() != 1) {
+    return Status::ParseError("expected exactly one pattern block, found " +
+                              std::to_string(patterns->size()));
+  }
+  return std::move(patterns->front());
+}
+
+Result<std::vector<Pattern>> ParsePatterns(const std::string& text) {
+  std::vector<Pattern> out;
+  std::istringstream lines(text);
+  std::string line;
+  int line_number = 0;
+
+  bool in_pattern = false;
+  std::string id, name, present, missing;
+  std::set<std::string> variables;
+  std::vector<RawNode> nodes;
+  std::vector<core::Pattern::Edge> edges;
+
+  auto error = [&](const std::string& msg) {
+    return Status::ParseError(msg + " at line " +
+                              std::to_string(line_number));
+  };
+
+  while (std::getline(lines, line)) {
+    ++line_number;
+    std::string trimmed = Trim(line);
+    if (trimmed.empty() || trimmed[0] == '#') continue;
+
+    if (!in_pattern) {
+      if (StartsWith(trimmed, "pattern ")) {
+        in_pattern = true;
+        id = Trim(trimmed.substr(8));
+        name.clear();
+        present.clear();
+        missing.clear();
+        variables.clear();
+        nodes.clear();
+        edges.clear();
+        if (id.empty()) return error("pattern block without an id");
+        continue;
+      }
+      return error("expected 'pattern <id>', found: " + trimmed);
+    }
+
+    if (trimmed == "end") {
+      JFEED_ASSIGN_OR_RETURN(
+          Pattern pattern,
+          BuildPattern(id, name, variables, nodes, edges, present, missing));
+      out.push_back(std::move(pattern));
+      in_pattern = false;
+      continue;
+    }
+    if (StartsWith(trimmed, "node ")) {
+      JFEED_ASSIGN_OR_RETURN(PatternNodeType type,
+                             ParseNodeType(Trim(trimmed.substr(5))));
+      RawNode node;
+      node.type = type;
+      nodes.push_back(std::move(node));
+      continue;
+    }
+    if (StartsWith(trimmed, "edge ")) {
+      std::istringstream fields(trimmed.substr(5));
+      std::string type_word;
+      int source = -1, target = -1;
+      fields >> type_word >> source >> target;
+      if (fields.fail()) return error("malformed edge line: " + trimmed);
+      core::Pattern::Edge edge;
+      if (type_word == "Ctrl") {
+        edge.type = pdg::EdgeType::kCtrl;
+      } else if (type_word == "Data") {
+        edge.type = pdg::EdgeType::kData;
+      } else {
+        return error("unknown edge type: " + type_word);
+      }
+      edge.source = source;
+      edge.target = target;
+      edges.push_back(edge);
+      continue;
+    }
+    size_t colon = trimmed.find(": ");
+    if (colon == std::string::npos && EndsWith(trimmed, ":")) {
+      colon = trimmed.size() - 1;  // "key:" with empty value.
+    }
+    if (colon == std::string::npos) {
+      return error("expected 'key: value', found: " + trimmed);
+    }
+    std::string key = trimmed.substr(0, colon);
+    std::string value =
+        colon + 2 <= trimmed.size() ? trimmed.substr(colon + 2) : "";
+    if (key == "name") {
+      name = value;
+    } else if (key == "var") {
+      variables.insert(value);
+    } else if (key == "present") {
+      present = value;
+    } else if (key == "missing") {
+      missing = value;
+    } else if (key == "exact" || key == "approx" || key == "correct" ||
+               key == "incorrect") {
+      if (nodes.empty()) {
+        return error("'" + key + "' before any node");
+      }
+      RawNode& node = nodes.back();
+      if (key == "exact") node.exact = value;
+      if (key == "approx") node.approx = value;
+      if (key == "correct") node.correct = value;
+      if (key == "incorrect") node.incorrect = value;
+    } else {
+      return error("unknown directive: " + key);
+    }
+  }
+  if (in_pattern) {
+    return Status::ParseError("pattern block '" + id + "' missing 'end'");
+  }
+  return out;
+}
+
+std::string SerializePatterns(
+    const std::vector<const Pattern*>& all) {
+  std::string out;
+  for (size_t i = 0; i < all.size(); ++i) {
+    if (i > 0) out += "\n";
+    out += SerializePattern(*all[i]);
+  }
+  return out;
+}
+
+std::string ExportPatternLibrary() {
+  const auto& library = PatternLibrary::Get();
+  std::vector<const Pattern*> all;
+  for (const auto& id : library.ids()) {
+    all.push_back(&library.at(id));
+  }
+  std::string header =
+      "# jfeed knowledge base — 24 reusable patterns (paper Sec. I).\n"
+      "# Format: see kb/serialization.h. Regenerate with "
+      "ExportPatternLibrary().\n\n";
+  return header + SerializePatterns(all);
+}
+
+}  // namespace jfeed::kb
+
+namespace jfeed::kb {
+
+namespace {
+
+std::string ConstraintKindKeyword(core::ConstraintKind kind) {
+  switch (kind) {
+    case core::ConstraintKind::kEquality: return "equality";
+    case core::ConstraintKind::kEdgeExistence: return "edge";
+    case core::ConstraintKind::kContainment: return "containment";
+  }
+  return "?";
+}
+
+}  // namespace
+
+std::string SerializeSpec(const core::AssignmentSpec& spec) {
+  std::string out = "assignment " + spec.id + "\n";
+  if (!spec.title.empty()) out += "  title: " + spec.title + "\n";
+  for (const auto& method : spec.methods) {
+    out += "  method " + method.expected_name + "\n";
+    for (const auto& use : method.patterns) {
+      if (use.pattern == nullptr) continue;
+      out += "    use " + use.pattern->id + " " +
+             std::to_string(use.expected_count) + "\n";
+    }
+    for (const auto& constraint : method.constraints) {
+      out += "    constraint " + ConstraintKindKeyword(constraint.kind) +
+             " " + constraint.id + " " + constraint.pattern_i + " " +
+             std::to_string(constraint.node_i);
+      if (constraint.kind == core::ConstraintKind::kContainment) {
+        // '-' marks an empty supporting set.
+        out += " " + (constraint.supporting.empty()
+                          ? std::string("-")
+                          : Join(constraint.supporting, ","));
+      } else {
+        out += " " + constraint.pattern_j + " " +
+               std::to_string(constraint.node_j);
+        if (constraint.kind == core::ConstraintKind::kEdgeExistence) {
+          out += std::string(" ") + pdg::EdgeTypeName(constraint.edge_type);
+        }
+      }
+      out += "\n";
+      if (constraint.kind == core::ConstraintKind::kContainment) {
+        out += "      expr: " + constraint.expr.text() + "\n";
+      }
+      if (!constraint.feedback_ok.empty()) {
+        out += "      ok: " + constraint.feedback_ok + "\n";
+      }
+      if (!constraint.feedback_fail.empty()) {
+        out += "      fail: " + constraint.feedback_fail + "\n";
+      }
+    }
+    out += "  end\n";
+  }
+  out += "end\n";
+  return out;
+}
+
+Result<core::AssignmentSpec> ParseSpec(const std::string& text,
+                                       const PatternLibrary& library) {
+  core::AssignmentSpec spec;
+  std::istringstream lines(text);
+  std::string line;
+  int line_number = 0;
+  bool in_assignment = false;
+  core::MethodSpec* method = nullptr;
+  core::Constraint* constraint = nullptr;
+
+  auto error = [&](const std::string& msg) {
+    return Status::ParseError(msg + " at line " +
+                              std::to_string(line_number));
+  };
+  auto pattern_ref = [&](const std::string& id)
+      -> Result<const core::Pattern*> {
+    if (!library.contains(id)) {
+      return Status::NotFound("unknown pattern id: " + id);
+    }
+    return &library.at(id);
+  };
+
+  while (std::getline(lines, line)) {
+    ++line_number;
+    std::string trimmed = Trim(line);
+    if (trimmed.empty() || trimmed[0] == '#') continue;
+
+    if (!in_assignment) {
+      if (!StartsWith(trimmed, "assignment ")) {
+        return error("expected 'assignment <id>'");
+      }
+      spec.id = Trim(trimmed.substr(11));
+      in_assignment = true;
+      continue;
+    }
+    if (trimmed == "end") {
+      if (method != nullptr) {
+        method = nullptr;
+        constraint = nullptr;
+        continue;
+      }
+      return spec;  // End of the assignment block.
+    }
+    if (StartsWith(trimmed, "title: ")) {
+      spec.title = trimmed.substr(7);
+      continue;
+    }
+    if (StartsWith(trimmed, "method ")) {
+      spec.methods.emplace_back();
+      method = &spec.methods.back();
+      method->expected_name = Trim(trimmed.substr(7));
+      constraint = nullptr;
+      continue;
+    }
+    if (method == nullptr) return error("directive outside a method block");
+    if (StartsWith(trimmed, "use ")) {
+      std::istringstream fields(trimmed.substr(4));
+      std::string id;
+      int count = 1;
+      fields >> id >> count;
+      if (fields.fail()) return error("malformed use line");
+      JFEED_ASSIGN_OR_RETURN(const core::Pattern* pattern, pattern_ref(id));
+      core::PatternUse use;
+      use.pattern = pattern;
+      use.expected_count = count;
+      method->patterns.push_back(std::move(use));
+      constraint = nullptr;
+      continue;
+    }
+    if (StartsWith(trimmed, "constraint ")) {
+      std::istringstream fields(trimmed.substr(11));
+      std::string kind_word, id;
+      fields >> kind_word >> id;
+      core::Constraint c;
+      c.id = id;
+      if (kind_word == "equality" || kind_word == "edge") {
+        std::string pi, pj, edge_word;
+        int ni = 0, nj = 0;
+        fields >> pi >> ni >> pj >> nj;
+        if (fields.fail()) return error("malformed constraint line");
+        JFEED_RETURN_IF_ERROR(pattern_ref(pi).status());
+        JFEED_RETURN_IF_ERROR(pattern_ref(pj).status());
+        if (kind_word == "edge") {
+          fields >> edge_word;
+          pdg::EdgeType type;
+          if (edge_word == "Ctrl") {
+            type = pdg::EdgeType::kCtrl;
+          } else if (edge_word == "Data") {
+            type = pdg::EdgeType::kData;
+          } else {
+            return error("unknown edge type: " + edge_word);
+          }
+          c = core::MakeEdgeConstraint(id, pi, ni, pj, nj, type);
+        } else {
+          c = core::MakeEqualityConstraint(id, pi, ni, pj, nj);
+        }
+      } else if (kind_word == "containment") {
+        std::string main_id, supports_word;
+        int node = 0;
+        fields >> main_id >> node >> supports_word;
+        if (fields.fail()) return error("malformed containment line");
+        JFEED_ASSIGN_OR_RETURN(const core::Pattern* main_pattern,
+                               pattern_ref(main_id));
+        std::vector<std::string> supports;
+        std::set<std::string> vars = main_pattern->Variables();
+        for (const auto& support_id :
+             supports_word == "-" ? std::vector<std::string>{}
+                                  : Split(supports_word, ',')) {
+          if (support_id.empty()) continue;
+          JFEED_ASSIGN_OR_RETURN(const core::Pattern* support,
+                                 pattern_ref(support_id));
+          supports.push_back(support_id);
+          auto sv = support->Variables();
+          vars.insert(sv.begin(), sv.end());
+        }
+        // The expr line follows; remember enough to build when we see it.
+        c.kind = core::ConstraintKind::kContainment;
+        c.pattern_i = main_id;
+        c.node_i = node;
+        c.supporting = std::move(supports);
+        // Store the variable set via a placeholder expr; replaced on
+        // `expr:`. We keep the vars in the constraint via re-creation.
+        method->constraints.push_back(std::move(c));
+        constraint = &method->constraints.back();
+        continue;
+      } else {
+        return error("unknown constraint kind: " + kind_word);
+      }
+      method->constraints.push_back(std::move(c));
+      constraint = &method->constraints.back();
+      continue;
+    }
+    if (StartsWith(trimmed, "expr: ")) {
+      if (constraint == nullptr ||
+          constraint->kind != core::ConstraintKind::kContainment) {
+        return error("'expr:' outside a containment constraint");
+      }
+      std::set<std::string> vars =
+          library.at(constraint->pattern_i).Variables();
+      for (const auto& support_id : constraint->supporting) {
+        auto sv = library.at(support_id).Variables();
+        vars.insert(sv.begin(), sv.end());
+      }
+      auto rebuilt = core::MakeContainmentConstraint(
+          constraint->id, constraint->pattern_i, constraint->node_i,
+          trimmed.substr(6), vars, constraint->supporting,
+          constraint->feedback_ok, constraint->feedback_fail);
+      JFEED_RETURN_IF_ERROR(rebuilt.status());
+      *constraint = std::move(*rebuilt);
+      continue;
+    }
+    if (StartsWith(trimmed, "ok: ")) {
+      if (constraint == nullptr) return error("'ok:' outside a constraint");
+      constraint->feedback_ok = trimmed.substr(4);
+      continue;
+    }
+    if (StartsWith(trimmed, "fail: ")) {
+      if (constraint == nullptr) {
+        return error("'fail:' outside a constraint");
+      }
+      constraint->feedback_fail = trimmed.substr(6);
+      continue;
+    }
+    return error("unknown directive: " + trimmed);
+  }
+  return Status::ParseError("assignment block missing 'end'");
+}
+
+}  // namespace jfeed::kb

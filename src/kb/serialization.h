@@ -1,0 +1,77 @@
+#ifndef JFEED_KB_SERIALIZATION_H_
+#define JFEED_KB_SERIALIZATION_H_
+
+#include <string>
+#include <vector>
+
+#include "core/pattern.h"
+#include "core/submission_matcher.h"
+#include "kb/patterns.h"
+#include "support/result.h"
+
+namespace jfeed::kb {
+
+/// Serializes a pattern to the knowledge-base text format (see below).
+/// The format is line-based and human-editable, so instructors can author
+/// patterns without recompiling — the "publicly-available knowledge base"
+/// artifact of the paper:
+///
+///   pattern odd-positions
+///     name: Accessing odd positions sequentially
+///     var: x
+///     var: s
+///     node Assign
+///       exact: x = 0
+///       approx: x = -?\d+
+///       correct: {x} is initialized to 0
+///       incorrect: {x} should be initialized to 0
+///     edge Data 1 2
+///     present: You are correctly accessing ...
+///     missing: You are not accessing ...
+///   end
+std::string SerializePattern(const core::Pattern& pattern);
+
+/// Parses one `pattern ... end` block. Fails with ParseError on malformed
+/// input (unknown directive, bad node type, invalid template regex, edge
+/// out of range).
+Result<core::Pattern> ParsePattern(const std::string& text);
+
+/// Serializes a whole library of patterns (blocks separated by blank
+/// lines).
+std::string SerializePatterns(const std::vector<const core::Pattern*>& all);
+
+/// Parses a multi-pattern document.
+Result<std::vector<core::Pattern>> ParsePatterns(const std::string& text);
+
+/// Exports the built-in 24-pattern library in the text format.
+std::string ExportPatternLibrary();
+
+/// Serializes an assignment specification (pattern uses with expected
+/// counts, and the three kinds of constraints) to the text format:
+///
+///   assignment assignment1
+///     title: Assignment 1 ...
+///     method assignment1
+///       use odd-positions 1
+///       use assign-print 2
+///       constraint equality odd-access odd-positions 5 cond-accum-add 3
+///         ok: ...
+///         fail: ...
+///       constraint edge sum-printed cond-accum-add 3 assign-print 1 Data
+///       constraint containment c1 odd-positions 5 cond-accum-add
+///         expr: c \+= s\[x\]$
+///     end
+///   end
+///
+/// Generators, functional suites and pattern variations are code-level
+/// artifacts and are not serialized.
+std::string SerializeSpec(const core::AssignmentSpec& spec);
+
+/// Parses one `assignment ... end` block; pattern references are resolved
+/// against `library` (unknown ids fail with NotFound).
+Result<core::AssignmentSpec> ParseSpec(const std::string& text,
+                                       const PatternLibrary& library);
+
+}  // namespace jfeed::kb
+
+#endif  // JFEED_KB_SERIALIZATION_H_

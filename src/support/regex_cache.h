@@ -1,0 +1,57 @@
+#ifndef JFEED_SUPPORT_REGEX_CACHE_H_
+#define JFEED_SUPPORT_REGEX_CACHE_H_
+
+#include <regex>
+#include <string>
+#include <unordered_map>
+
+namespace jfeed {
+
+/// Caches compiled std::regex objects keyed by their pattern string.
+/// Pattern matching instantiates the same regex template once per candidate
+/// variable binding; submissions reuse a small vocabulary of variable names,
+/// so the hit rate is high and compilation cost disappears from the hot path.
+///
+/// Not thread-safe; use one cache per matching thread (the library's matcher
+/// is single-threaded, matching the paper's single-threaded evaluation).
+class RegexCache {
+ public:
+  explicit RegexCache(size_t max_entries = 65536)
+      : max_entries_(max_entries) {}
+
+  /// Returns the compiled regex for `pattern`, or nullptr if the pattern is
+  /// not a valid ECMAScript regex.
+  const std::regex* Get(const std::string& pattern) {
+    auto it = cache_.find(pattern);
+    if (it != cache_.end()) return it->second.valid ? &it->second.re : nullptr;
+    if (cache_.size() >= max_entries_) cache_.clear();
+    Entry& entry = cache_[pattern];
+    try {
+      entry.re = std::regex(pattern, std::regex::ECMAScript);
+      entry.valid = true;
+    } catch (const std::regex_error&) {
+      entry.valid = false;
+    }
+    return entry.valid ? &entry.re : nullptr;
+  }
+
+  size_t size() const { return cache_.size(); }
+
+  /// Process-wide cache for single-threaded use.
+  static RegexCache& Global() {
+    static RegexCache* cache = new RegexCache();
+    return *cache;
+  }
+
+ private:
+  struct Entry {
+    std::regex re;
+    bool valid = false;
+  };
+  size_t max_entries_;
+  std::unordered_map<std::string, Entry> cache_;
+};
+
+}  // namespace jfeed
+
+#endif  // JFEED_SUPPORT_REGEX_CACHE_H_

@@ -1,0 +1,81 @@
+#ifndef JFEED_SUPPORT_RESULT_H_
+#define JFEED_SUPPORT_RESULT_H_
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "support/status.h"
+
+namespace jfeed {
+
+/// Holds either a value of type T or a non-OK Status, in the style of
+/// arrow::Result. Accessing the value of an errored Result is a programming
+/// error and asserts in debug builds.
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value (the common success path).
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Implicit construction from a non-OK Status (the common error path,
+  /// enables JFEED_RETURN_IF_ERROR / JFEED_ASSIGN_OR_RETURN interop).
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    assert(!status_.ok() && "Result constructed from OK status without value");
+  }
+
+  Result(const Result&) = default;
+  Result& operator=(const Result&) = default;
+  Result(Result&&) = default;
+  Result& operator=(Result&&) = default;
+
+  bool ok() const { return value_.has_value(); }
+
+  /// The error status; Status::OK() when the Result holds a value.
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the value or `fallback` when errored.
+  T ValueOr(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  std::optional<T> value_;
+  Status status_;
+};
+
+}  // namespace jfeed
+
+/// Evaluates an expression producing Result<T>; on error returns the Status,
+/// otherwise moves the value into `lhs` (which may be a declaration).
+#define JFEED_ASSIGN_OR_RETURN_IMPL(tmp, lhs, expr) \
+  auto tmp = (expr);                                \
+  if (!tmp.ok()) return tmp.status();               \
+  lhs = std::move(tmp).value();
+
+#define JFEED_ASSIGN_OR_RETURN_CONCAT(a, b) a##b
+#define JFEED_ASSIGN_OR_RETURN_NAME(a, b) JFEED_ASSIGN_OR_RETURN_CONCAT(a, b)
+
+#define JFEED_ASSIGN_OR_RETURN(lhs, expr)                                     \
+  JFEED_ASSIGN_OR_RETURN_IMPL(                                                \
+      JFEED_ASSIGN_OR_RETURN_NAME(_jfeed_result_, __LINE__), lhs, expr)
+
+#endif  // JFEED_SUPPORT_RESULT_H_

@@ -1,0 +1,94 @@
+#ifndef JFEED_SUPPORT_STATUS_H_
+#define JFEED_SUPPORT_STATUS_H_
+
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace jfeed {
+
+/// Error categories used across the library. The set is deliberately small:
+/// a grading pipeline either fails to understand its input (parse/semantic),
+/// fails at runtime inside the student program (execution), or is misused
+/// (invalid argument / not found).
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kParseError,
+  kSemanticError,
+  kExecutionError,
+  kTimeout,
+  kNotFound,
+  kInternal,
+};
+
+/// Returns a stable human-readable name for a status code ("ParseError"...).
+const char* StatusCodeName(StatusCode code);
+
+/// Arrow/RocksDB-style status object. The library does not use exceptions;
+/// every fallible operation returns a Status (or a Result<T>, see result.h).
+///
+/// A Status is cheap to copy in the OK case (empty message) and carries a
+/// code plus a context message otherwise.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  Status(const Status&) = default;
+  Status& operator=(const Status&) = default;
+  Status(Status&&) = default;
+  Status& operator=(Status&&) = default;
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status ParseError(std::string msg) {
+    return Status(StatusCode::kParseError, std::move(msg));
+  }
+  static Status SemanticError(std::string msg) {
+    return Status(StatusCode::kSemanticError, std::move(msg));
+  }
+  static Status ExecutionError(std::string msg) {
+    return Status(StatusCode::kExecutionError, std::move(msg));
+  }
+  static Status Timeout(std::string msg) {
+    return Status(StatusCode::kTimeout, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+}  // namespace jfeed
+
+/// Propagates a non-OK Status to the caller. Usable in functions returning
+/// Status or Result<T> (Result is implicitly constructible from Status).
+#define JFEED_RETURN_IF_ERROR(expr)                 \
+  do {                                              \
+    ::jfeed::Status _status = (expr);               \
+    if (!_status.ok()) return _status;              \
+  } while (0)
+
+#endif  // JFEED_SUPPORT_STATUS_H_

@@ -1,0 +1,137 @@
+#include "synth/generator.h"
+
+#include <set>
+
+#include "support/strings.h"
+
+namespace jfeed::synth {
+
+uint64_t SubmissionTemplate::SpaceSize() const {
+  uint64_t size = 1;
+  for (const auto& site : sites_) {
+    size *= static_cast<uint64_t>(site.variants.size());
+  }
+  return size;
+}
+
+std::vector<size_t> SubmissionTemplate::Decode(uint64_t index) const {
+  std::vector<size_t> choice(sites_.size(), 0);
+  for (size_t i = 0; i < sites_.size(); ++i) {
+    uint64_t radix = sites_[i].variants.size();
+    choice[i] = static_cast<size_t>(index % radix);
+    index /= radix;
+  }
+  return choice;
+}
+
+std::string SubmissionTemplate::Instantiate(
+    const std::vector<size_t>& choice) const {
+  std::string out = template_;
+  // Variants may themselves contain ${...} holes (e.g. a print-call site
+  // wrapping a print-expression site), so substitute until a fixed point;
+  // nesting is shallow, so a small bound suffices.
+  for (int pass = 0; pass < 8; ++pass) {
+    bool changed = false;
+    for (size_t i = 0; i < sites_.size(); ++i) {
+      std::string hole = "${" + sites_[i].name + "}";
+      if (out.find(hole) == std::string::npos) continue;
+      out = ReplaceAll(out, hole, sites_[i].variants[choice[i]]);
+      changed = true;
+    }
+    if (!changed) break;
+  }
+  return out;
+}
+
+std::string SubmissionTemplate::Generate(uint64_t index) const {
+  return Instantiate(Decode(index));
+}
+
+int SubmissionTemplate::ErrorCount(uint64_t index) const {
+  std::vector<size_t> choice = Decode(index);
+  int errors = 0;
+  for (size_t c : choice) {
+    if (c != 0) ++errors;
+  }
+  return errors;
+}
+
+Status SubmissionTemplate::Validate() const {
+  std::set<std::string> site_names;
+  for (const auto& site : sites_) {
+    if (site.variants.empty()) {
+      return Status::InvalidArgument("site '" + site.name +
+                                     "' has no variants");
+    }
+    if (!site_names.insert(site.name).second) {
+      return Status::InvalidArgument("duplicate site '" + site.name + "'");
+    }
+  }
+  // Every hole (in the skeleton or inside another site's variants) must
+  // correspond to a site, and every site must be reachable from a hole.
+  auto scan_holes = [&](const std::string& text,
+                        std::set<std::string>* holes) -> Status {
+    size_t pos = 0;
+    while ((pos = text.find("${", pos)) != std::string::npos) {
+      size_t close = text.find('}', pos);
+      if (close == std::string::npos) {
+        return Status::InvalidArgument("unterminated ${...} hole");
+      }
+      holes->insert(text.substr(pos + 2, close - pos - 2));
+      pos = close + 1;
+    }
+    return Status::OK();
+  };
+  std::set<std::string> holes;
+  JFEED_RETURN_IF_ERROR(scan_holes(template_, &holes));
+  for (const auto& site : sites_) {
+    for (const auto& variant : site.variants) {
+      JFEED_RETURN_IF_ERROR(scan_holes(variant, &holes));
+    }
+  }
+  for (const auto& hole : holes) {
+    if (site_names.count(hole) == 0) {
+      return Status::InvalidArgument("hole '${" + hole + "}' has no site");
+    }
+  }
+  for (const auto& site : sites_) {
+    if (holes.count(site.name) == 0) {
+      return Status::InvalidArgument("site '" + site.name +
+                                     "' does not appear in the template");
+    }
+  }
+  return Status::OK();
+}
+
+std::vector<uint64_t> SampleIndexes(uint64_t space_size, uint64_t count) {
+  std::vector<uint64_t> out;
+  if (space_size == 0) return out;
+  if (count >= space_size) {
+    out.reserve(space_size);
+    for (uint64_t i = 0; i < space_size; ++i) out.push_back(i);
+    return out;
+  }
+  out.reserve(count);
+  out.push_back(0);  // Always include the reference solution.
+  if (count == 1) return out;
+  // Equally spaced sweep with a deterministic odd offset so consecutive
+  // samples differ in low-order (= early) sites too.
+  uint64_t stride = space_size / (count - 1);
+  if (stride == 0) stride = 1;
+  uint64_t offset = stride / 3 + 1;
+  std::set<uint64_t> seen = {0};
+  uint64_t i = offset;
+  while (out.size() < count) {
+    if (i >= space_size) i %= space_size;
+    if (seen.insert(i).second) {
+      out.push_back(i);
+    } else {
+      ++i;
+      continue;
+    }
+    i += stride;
+  }
+  return out;
+}
+
+}  // namespace jfeed::synth

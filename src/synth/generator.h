@@ -1,0 +1,75 @@
+#ifndef JFEED_SYNTH_GENERATOR_H_
+#define JFEED_SYNTH_GENERATOR_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "support/result.h"
+
+namespace jfeed::synth {
+
+/// One choice site of an error model: a named hole in the source template
+/// with one correct variant (index 0) and one or more incorrect — or
+/// functionally-equivalent-but-unexpected — variants. This reproduces the
+/// paper's methodology: "Singh et al. use rules to represent mistakes of
+/// students of the form i=0 → i=1 ... Such rules define a search space to be
+/// explored. We ... explicitly generated the search space of student
+/// submissions."
+struct ChoiceSite {
+  std::string name;                   ///< Hole name, `${name}` in the template.
+  std::vector<std::string> variants;  ///< variants[0] is the correct choice.
+};
+
+/// A submission-space template for one assignment: a Java source skeleton
+/// with `${site}` holes and the error-model variants for each hole. The
+/// search space is the cross product of all variants; submission `index`
+/// (0 .. SpaceSize()-1) selects variants by mixed-radix decoding, so
+/// index 0 is the reference solution and enumeration is deterministic.
+class SubmissionTemplate {
+ public:
+  SubmissionTemplate() = default;
+  SubmissionTemplate(std::string source_template,
+                     std::vector<ChoiceSite> sites)
+      : template_(std::move(source_template)), sites_(std::move(sites)) {}
+
+  const std::vector<ChoiceSite>& sites() const { return sites_; }
+
+  /// Product of the per-site variant counts — Table I column S.
+  uint64_t SpaceSize() const;
+
+  /// Decodes a flat index into one variant choice per site (mixed radix,
+  /// site 0 least significant).
+  std::vector<size_t> Decode(uint64_t index) const;
+
+  /// Renders the submission for `choice` (one variant index per site).
+  std::string Instantiate(const std::vector<size_t>& choice) const;
+
+  /// Renders submission `index`; Generate(0) is the reference solution.
+  std::string Generate(uint64_t index) const;
+
+  /// True when every site uses its correct (index 0) variant.
+  bool IsAllCorrect(uint64_t index) const { return index == 0; }
+
+  /// Number of sites where `index` deviates from the correct variant — the
+  /// "number of injected errors" used by the AutoGrader scalability bench.
+  int ErrorCount(uint64_t index) const;
+
+  /// Validates the template: every `${hole}` has a site and vice versa,
+  /// and every site has at least one variant.
+  Status Validate() const;
+
+ private:
+  std::string template_;
+  std::vector<ChoiceSite> sites_;
+};
+
+/// Deterministic sample of `count` indexes from [0, space_size): index 0
+/// (the reference) plus an equally-spaced sweep with a fixed stride offset,
+/// so repeated runs see the same submissions without materializing the
+/// space. Returns all indexes when count >= space_size.
+std::vector<uint64_t> SampleIndexes(uint64_t space_size, uint64_t count);
+
+}  // namespace jfeed::synth
+
+#endif  // JFEED_SYNTH_GENERATOR_H_

@@ -1,0 +1,53 @@
+#ifndef JFEED_TESTING_FUNCTIONAL_H_
+#define JFEED_TESTING_FUNCTIONAL_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "interp/interpreter.h"
+#include "javalang/ast.h"
+#include "support/result.h"
+
+namespace jfeed::testing {
+
+/// A functional test suite for one assignment: the entry method, the input
+/// tuples it is invoked with, and the in-memory files visible to Scanner.
+/// Expected outputs are produced by running the reference solution — the
+/// same self-consistent oracle construction the paper uses ("We generated a
+/// set of functional tests to be performed over the previous submissions").
+struct FunctionalSuite {
+  std::string method;  ///< Entry method name.
+  std::vector<std::vector<interp::Value>> inputs;
+  std::map<std::string, std::string> files;
+  interp::ExecOptions exec_options;
+};
+
+/// Verdict of running a suite over one submission.
+struct FunctionalVerdict {
+  bool passed = false;   ///< All tests produced the expected stdout.
+  int tests_run = 0;
+  int tests_failed = 0;  ///< Mismatched output or runtime error/timeout.
+  std::string first_failure;  ///< Diagnostic for the first failing test.
+};
+
+/// Runs the reference solution over the suite inputs and returns the
+/// expected stdout per input. Fails if the reference itself errors.
+Result<std::vector<std::string>> ComputeExpectedOutputs(
+    const java::CompilationUnit& reference, const FunctionalSuite& suite);
+
+/// Runs the suite over `submission`, comparing against `expected` (from
+/// ComputeExpectedOutputs). Runtime errors and timeouts count as failures,
+/// exactly like a crashing JUnit test would.
+FunctionalVerdict RunSuite(const java::CompilationUnit& submission,
+                           const FunctionalSuite& suite,
+                           const std::vector<std::string>& expected);
+
+/// Generates the synthetic stand-in for the RIT `summer_olympics.txt`
+/// dataset: `records` 5-field records (first-name, last-name, medal type
+/// 1..3, year, separator token), deterministically derived from `seed`.
+std::string GenerateOlympicsFile(int records, uint64_t seed);
+
+}  // namespace jfeed::testing
+
+#endif  // JFEED_TESTING_FUNCTIONAL_H_

@@ -1,0 +1,157 @@
+#include "baselines/clara_lite.h"
+
+#include <gtest/gtest.h>
+
+#include "javalang/parser.h"
+
+namespace jfeed::baselines {
+namespace {
+
+using interp::Value;
+
+java::CompilationUnit ParseOrDie(const std::string& source) {
+  auto unit = java::Parse(source);
+  EXPECT_TRUE(unit.ok()) << unit.status().ToString();
+  return std::move(*unit);
+}
+
+// Fig. 8a — the reference solution (single loop, both accumulators).
+constexpr const char* kFigure8a = R"(
+void assignment1(int[] a) {
+  int o = 0;
+  int e = 1;
+  int i = 0;
+  while (i < a.length) {
+    if (i % 2 == 1)
+      o += a[i];
+    if (i % 2 == 0)
+      e *= a[i];
+    i++;
+  }
+  System.out.print(e);
+  System.out.print(o);
+})";
+
+// Fig. 8b — a correct submission with two loops (different trace shape).
+constexpr const char* kFigure8b = R"(
+void assignment1(int[] a) {
+  int o = 0;
+  int i = 0;
+  while (i < a.length) {
+    if (i % 2 == 1)
+      o += a[i];
+    i++;
+  }
+  i = 0;
+  int e = 1;
+  while (i < a.length) {
+    if (i % 2 == 0)
+      e *= a[i];
+    i++;
+  }
+  System.out.print(e);
+  System.out.print(o);
+})";
+
+std::vector<std::vector<Value>> Inputs() {
+  return {{Value::IntArray({3, 5, 2, 4})}, {Value::IntArray({1, 2, 3})}};
+}
+
+TEST(ClaraLiteTest, TracesRecordEveryAssignment) {
+  auto unit = ParseOrDie("void f(int n) { int s = 0; for (int i = 1; "
+                         "i <= n; i++) s += i; System.out.println(s); }");
+  auto traces = ClaraLite::CollectTraces(unit, "f", {{Value::Int(3)}});
+  ASSERT_TRUE(traces.ok()) << traces.status().ToString();
+  // s: 0, 1, 3, 6 — initialization plus three updates.
+  EXPECT_EQ(traces->at("s"),
+            (std::vector<std::string>{"0", "1", "3", "6"}));
+  // i: 1, 2, 3, 4.
+  EXPECT_EQ(traces->at("i"),
+            (std::vector<std::string>{"1", "2", "3", "4"}));
+  EXPECT_EQ(traces->at("<out>"), (std::vector<std::string>{"6\n"}));
+}
+
+TEST(ClaraLiteTest, IdenticalProgramsMatch) {
+  auto unit = ParseOrDie(kFigure8a);
+  auto t1 = ClaraLite::CollectTraces(unit, "assignment1", Inputs());
+  ASSERT_TRUE(t1.ok());
+  auto result = ClaraLite::Compare(*t1, *t1);
+  EXPECT_TRUE(result.matched);
+  EXPECT_EQ(result.unmatched_variables, 0);
+}
+
+TEST(ClaraLiteTest, RenamedVariablesStillMatch) {
+  auto a = ParseOrDie("void f(int n) { int s = 0; for (int i = 1; i <= n; "
+                      "i++) s += i; System.out.println(s); }");
+  auto b = ParseOrDie("void f(int n) { int total = 0; for (int k = 1; "
+                      "k <= n; k++) total += k; System.out.println(total); }");
+  auto ta = ClaraLite::CollectTraces(a, "f", {{Value::Int(5)}});
+  auto tb = ClaraLite::CollectTraces(b, "f", {{Value::Int(5)}});
+  ASSERT_TRUE(ta.ok());
+  ASSERT_TRUE(tb.ok());
+  EXPECT_TRUE(ClaraLite::Compare(*ta, *tb).matched);
+}
+
+TEST(ClaraLiteTest, Figure8PairDoesNotMatch) {
+  // The paper's Sec. VI-C example: both programs are functionally similar
+  // but the two-loop version produces different whole traces, so CLARA
+  // needs a separate reference for it. Our pattern matcher accepts both.
+  auto ref = ParseOrDie(kFigure8a);
+  auto sub = ParseOrDie(kFigure8b);
+  auto tr = ClaraLite::CollectTraces(ref, "assignment1", Inputs());
+  auto ts = ClaraLite::CollectTraces(sub, "assignment1", Inputs());
+  ASSERT_TRUE(tr.ok());
+  ASSERT_TRUE(ts.ok());
+  auto result = ClaraLite::Compare(*tr, *ts);
+  EXPECT_FALSE(result.matched);
+  EXPECT_GT(result.unmatched_variables, 0);
+}
+
+TEST(ClaraLiteTest, WrongOutputDoesNotMatch) {
+  auto a = ParseOrDie("void f(int n) { System.out.println(n); }");
+  auto b = ParseOrDie("void f(int n) { System.out.println(n + 1); }");
+  auto ta = ClaraLite::CollectTraces(a, "f", {{Value::Int(5)}});
+  auto tb = ClaraLite::CollectTraces(b, "f", {{Value::Int(5)}});
+  ASSERT_TRUE(ta.ok());
+  ASSERT_TRUE(tb.ok());
+  EXPECT_FALSE(ClaraLite::Compare(*ta, *tb).matched);
+}
+
+TEST(ClaraLiteTest, TraceBudgetExhaustsOnLargeInputs) {
+  // The paper: "CLARA ... outputs a timeout error when k = 100,000, when
+  // running such functional test takes milliseconds."
+  auto unit = ParseOrDie("void f(int k) { int i = 0; int s = 0; while "
+                         "(i < k) { s += i; i++; } System.out.println(s); }");
+  size_t events = 0;
+  auto traces = ClaraLite::CollectTraces(unit, "f", {{Value::Int(100000)}},
+                                         {}, /*max_trace_events=*/50'000,
+                                         &events);
+  EXPECT_FALSE(traces.ok());
+  EXPECT_EQ(traces.status().code(), StatusCode::kTimeout);
+  EXPECT_GE(events, 50'000u);
+}
+
+TEST(ClaraLiteTest, ClusteringGroupsTraceEquivalentPrograms) {
+  auto a = ParseOrDie(kFigure8a);
+  auto b = ParseOrDie(kFigure8b);
+  auto c = ParseOrDie(kFigure8a);  // Identical to a.
+  auto clustering =
+      ClaraLite::Cluster({&a, &b, &c}, "assignment1", Inputs());
+  ASSERT_TRUE(clustering.ok()) << clustering.status().ToString();
+  // a and c share a cluster; b is alone — two references needed where the
+  // pattern approach needs none.
+  ASSERT_EQ(clustering->clusters.size(), 2u);
+  EXPECT_EQ(clustering->clusters[0], (std::vector<size_t>{0, 2}));
+  EXPECT_EQ(clustering->clusters[1], (std::vector<size_t>{1}));
+}
+
+TEST(ClaraLiteTest, RuntimeErrorPropagates) {
+  auto unit = ParseOrDie("void f(int n) { int[] a = new int[1]; "
+                         "System.out.println(a[7]); }");
+  auto traces = ClaraLite::CollectTraces(unit, "f", {{Value::Int(1)}});
+  EXPECT_FALSE(traces.ok());
+  EXPECT_EQ(traces.status().code(), StatusCode::kExecutionError);
+}
+
+}  // namespace
+}  // namespace jfeed::baselines

@@ -1,0 +1,186 @@
+#include "core/ast_matcher.h"
+
+#include <gtest/gtest.h>
+
+#include "core/expr_pattern.h"
+#include "javalang/parser.h"
+#include "javalang/printer.h"
+
+namespace jfeed::core {
+namespace {
+
+AstTemplate Make(const std::string& source, std::set<std::string> vars,
+                 AstTemplate::Options options = {}) {
+  auto t = AstTemplate::Create(source, std::move(vars), options);
+  EXPECT_TRUE(t.ok()) << t.status().ToString();
+  return t.ok() ? std::move(*t) : AstTemplate();
+}
+
+java::ExprPtr ParseOrDie(const std::string& source) {
+  auto e = java::ParseExpression(source);
+  EXPECT_TRUE(e.ok()) << e.status().ToString();
+  return std::move(*e);
+}
+
+TEST(AstMatcherTest, ExactStructuralMatch) {
+  AstTemplate t = Make("x = 0", {"x"});
+  EXPECT_TRUE(t.Matches(*ParseOrDie("i = 0"), {}));
+  EXPECT_FALSE(t.Matches(*ParseOrDie("i = 1"), {}));
+  EXPECT_FALSE(t.Matches(*ParseOrDie("i = 0.0"), {}));  // Different literal kind.
+}
+
+TEST(AstMatcherTest, SubtreeSearchSemantics) {
+  // Like the regex backend, the template may match inside the content.
+  AstTemplate t = Make("s[x]", {"s", "x"});
+  EXPECT_TRUE(t.Matches(*ParseOrDie("odd = odd + a[i]"), {}));
+  auto bindings = t.AllMatches(*ParseOrDie("odd = odd + a[i]"), {});
+  ASSERT_EQ(bindings.size(), 1u);
+  EXPECT_EQ(bindings[0].at("s"), "a");
+  EXPECT_EQ(bindings[0].at("x"), "i");
+}
+
+TEST(AstMatcherTest, ImmuneToTextualPrefixTraps) {
+  // The regex backend needs explicit anchoring to reject "% 100"; the AST
+  // backend rejects it structurally.
+  AstTemplate t = Make("n % 10", {"n"});
+  EXPECT_TRUE(t.Matches(*ParseOrDie("d = v % 10"), {}));
+  EXPECT_FALSE(t.Matches(*ParseOrDie("d = v % 100"), {}));
+  AstTemplate update = Make("f = f * x", {"f", "x"});
+  EXPECT_TRUE(update.Matches(*ParseOrDie("p = p * i"), {}));
+  EXPECT_FALSE(update.Matches(*ParseOrDie("p = p * i + 1"), {}));
+}
+
+TEST(AstMatcherTest, CommutativityMatchesSwappedOperands) {
+  // The paper's Fig. 8 pair differs in operand order; AST matching with
+  // commutative operators accepts both spellings.
+  AstTemplate t = Make("t = a + b", {"t", "a", "b"});
+  EXPECT_TRUE(t.Matches(*ParseOrDie("next = x + y"), {}));
+  EXPECT_TRUE(t.Matches(*ParseOrDie("next = y + x"), {}));
+  AstTemplate strict =
+      Make("t = a - b", {"t", "a", "b"});
+  EXPECT_TRUE(strict.Matches(*ParseOrDie("d = p - q"), {}));
+  // '-' is not commutative: both orders match but with different bindings.
+  auto bindings = strict.AllMatches(*ParseOrDie("d = p - q"), {});
+  ASSERT_EQ(bindings.size(), 1u);
+  EXPECT_EQ(bindings[0].at("a"), "p");
+}
+
+TEST(AstMatcherTest, CommutativityCanBeDisabled) {
+  AstTemplate::Options options;
+  options.commutative = false;
+  AstTemplate t = Make("x + 1", {"x"}, options);
+  EXPECT_TRUE(t.Matches(*ParseOrDie("i + 1"), {}));
+  EXPECT_FALSE(t.Matches(*ParseOrDie("1 + i"), {}));
+}
+
+TEST(AstMatcherTest, BindingConsistencyWithGamma) {
+  AstTemplate t = Make("x % 2 == 1", {"x"});
+  // γ pins x→i: content using j must not match.
+  EXPECT_TRUE(t.Matches(*ParseOrDie("i % 2 == 1"), {{"x", "i"}}));
+  EXPECT_FALSE(t.Matches(*ParseOrDie("j % 2 == 1"), {{"x", "i"}}));
+}
+
+TEST(AstMatcherTest, InjectiveBindings) {
+  AstTemplate t = Make("x = y", {"x", "y"});
+  // x and y must bind different submission variables.
+  EXPECT_TRUE(t.Matches(*ParseOrDie("a = b"), {}));
+  EXPECT_FALSE(t.Matches(*ParseOrDie("a = a"), {}));
+  // ... also against already-bound variables in γ.
+  EXPECT_FALSE(t.Matches(*ParseOrDie("a = b"), {{"z", "b"}}));
+}
+
+TEST(AstMatcherTest, MetavariablesBindOnlyVariables) {
+  AstTemplate t = Make("x = 0", {"x"});
+  // `a[i] = 0` — the target is not a plain variable.
+  EXPECT_FALSE(t.Matches(*ParseOrDie("a[i] = 0"), {}));
+  // Well-known class names are not variables.
+  AstTemplate call = Make("v.close()", {"v"});
+  EXPECT_TRUE(call.Matches(*ParseOrDie("s.close()"), {}));
+}
+
+TEST(AstMatcherTest, MethodCallsAndFields) {
+  AstTemplate t = Make("x < s.length", {"x", "s"});
+  EXPECT_TRUE(t.Matches(*ParseOrDie("i < a.length"), {}));
+  EXPECT_FALSE(t.Matches(*ParseOrDie("i <= a.length"), {}));
+  AstTemplate pow = Make("Math.pow(v, x)", {"v", "x"});
+  EXPECT_TRUE(pow.Matches(*ParseOrDie("r + a[i] * Math.pow(q, i)"), {}));
+  EXPECT_FALSE(pow.Matches(*ParseOrDie("Math.pow(q, 3)"), {}));
+}
+
+TEST(AstMatcherTest, RepeatedMetavariableWithinOneTemplate) {
+  // Regression: a metavariable appearing twice in the same template must
+  // bind the same submission variable both times (and never be silently
+  // rebound by the commutative retry).
+  AstTemplate t = Make("n = n / 10", {"n"});
+  EXPECT_TRUE(t.Matches(*ParseOrDie("v = v / 10"), {}));
+  EXPECT_FALSE(t.Matches(*ParseOrDie("v = w / 10"), {}));
+  AstTemplate sum = Make("c = c + v", {"c", "v"});
+  auto bindings = sum.AllMatches(*ParseOrDie("s = s + n"), {});
+  ASSERT_EQ(bindings.size(), 1u);
+  EXPECT_EQ(bindings[0].at("c"), "s");
+  EXPECT_EQ(bindings[0].at("v"), "n");
+  // Commutative spelling still binds c to the assignment target.
+  auto swapped = sum.AllMatches(*ParseOrDie("s = n + s"), {});
+  ASSERT_EQ(swapped.size(), 1u);
+  EXPECT_EQ(swapped[0].at("c"), "s");
+}
+
+TEST(AstMatcherTest, MultipleSubtreeMatchesReported) {
+  AstTemplate t = Make("s[x]", {"s", "x"});
+  auto bindings = t.AllMatches(*ParseOrDie("a[i] + b[j]"), {});
+  EXPECT_EQ(bindings.size(), 2u);
+}
+
+TEST(AstMatcherTest, EmptyTemplateNeverMatches) {
+  AstTemplate t;
+  EXPECT_TRUE(t.empty());
+  EXPECT_FALSE(t.Matches(*ParseOrDie("x"), {}));
+}
+
+TEST(AstMatcherTest, InvalidTemplateRejected) {
+  EXPECT_FALSE(AstTemplate::Create("x ([", {"x"}).ok());
+  EXPECT_FALSE(AstTemplate::Create("", {"x"}).ok());
+}
+
+TEST(ContentToExprTest, PlainExpressionsPassThrough) {
+  auto e = ContentToExpr("odd += a[i]");
+  ASSERT_TRUE(e.ok());
+  EXPECT_EQ(java::ExprToString(**e), "odd += a[i]");
+}
+
+TEST(ContentToExprTest, DeclarationsAreStripped) {
+  auto e = ContentToExpr("int even = 0");
+  ASSERT_TRUE(e.ok());
+  EXPECT_EQ(java::ExprToString(**e), "even = 0");
+  auto arr = ContentToExpr("double[] b = new double[a.length - 1]");
+  ASSERT_TRUE(arr.ok());
+  EXPECT_EQ(java::ExprToString(**arr), "b = new double[a.length - 1]");
+}
+
+TEST(ContentToExprTest, ReturnIsStripped) {
+  auto e = ContentToExpr("return x + y");
+  ASSERT_TRUE(e.ok());
+  EXPECT_EQ(java::ExprToString(**e), "x + y");
+}
+
+TEST(ContentToExprTest, NonExpressionsRejected) {
+  EXPECT_FALSE(ContentToExpr("break").ok());
+  EXPECT_FALSE(ContentToExpr("return").ok());
+}
+
+TEST(AstVsRegexTest, AstBackendIsStricterWithoutAnchors) {
+  // The precision comparison behind DESIGN.md's recommendation: the same
+  // un-anchored template, two backends.
+  auto regex = ExprPattern::Create("dn = dn / 10", {"dn"});
+  ASSERT_TRUE(regex.ok());
+  AstTemplate ast = Make("dn = dn / 10", {"dn"});
+  // Both accept the correct content.
+  EXPECT_TRUE(regex->Matches("n = n / 10", {{"dn", "n"}}));
+  EXPECT_TRUE(ast.Matches(*ParseOrDie("n = n / 10"), {{"dn", "n"}}));
+  // Only the AST backend rejects the "/ 100" trap without anchoring.
+  EXPECT_TRUE(regex->Matches("n = n / 100", {{"dn", "n"}}));
+  EXPECT_FALSE(ast.Matches(*ParseOrDie("n = n / 100"), {{"dn", "n"}}));
+}
+
+}  // namespace
+}  // namespace jfeed::core

@@ -1,0 +1,147 @@
+// Integration of the AST matching backend (Sec. VII extension) with
+// Algorithm 1: patterns built with NodeAst match structurally, fall back to
+// the regex approximate template for the incorrect marking, and are immune
+// to operand-order and textual-prefix variability.
+
+#include <gtest/gtest.h>
+
+#include "core/pattern_matcher.h"
+#include "javalang/parser.h"
+#include "pdg/epdg.h"
+
+namespace jfeed::core {
+namespace {
+
+pdg::Epdg BuildFrom(const std::string& source) {
+  auto unit = java::Parse(source);
+  EXPECT_TRUE(unit.ok()) << unit.status().ToString();
+  auto g = pdg::BuildEpdg(unit->methods[0]);
+  EXPECT_TRUE(g.ok()) << g.status().ToString();
+  return std::move(*g);
+}
+
+/// An AST-flavoured odd-access pattern: same semantics as the library's
+/// odd-positions, but every exact template is structural Java.
+Pattern AstOddPattern() {
+  auto p = PatternBuilder("ast-odd", "AST odd access")
+               .Var("x")
+               .Var("s")
+               .NodeAst(PatternNodeType::kAssign, "x = 0", "x = -?\\d+",
+                        "{x} is initialized to 0",
+                        "{x} should be initialized to 0")
+               .NodeAst(PatternNodeType::kCond, "x < s.length",
+                        "x <= s\\.length", "{x} stays in bounds",
+                        "{x} runs out of bounds")
+               .NodeAst(PatternNodeType::kCond, "x % 2 == 1", "",
+                        "{x} is checked for oddness", "")
+               .NodeAst(PatternNodeType::kUntyped, "s[x]", "",
+                        "{s} is accessed at {x}", "")
+               .DataEdge(0, 1)
+               .DataEdge(0, 2)
+               .DataEdge(0, 3)
+               .CtrlEdge(1, 2)
+               .CtrlEdge(2, 3)
+               .Present("Odd positions accessed (AST backend)")
+               .Missing("Odd access missing")
+               .Build();
+  EXPECT_TRUE(p.ok()) << p.status().ToString();
+  return std::move(*p);
+}
+
+constexpr const char* kCorrect = R"(
+void f(int[] a) {
+  int o = 0;
+  for (int i = 0; i < a.length; i++)
+    if (i % 2 == 1)
+      o += a[i];
+  System.out.println(o);
+})";
+
+TEST(AstPatternTest, MatchesCorrectSubmission) {
+  pdg::Epdg g = BuildFrom(kCorrect);
+  auto ms = MatchPattern(AstOddPattern(), g);
+  ASSERT_EQ(ms.size(), 1u);
+  EXPECT_TRUE(ms[0].IsFullyCorrect());
+  EXPECT_EQ(ms[0].gamma.at("x"), "i");
+  EXPECT_EQ(ms[0].gamma.at("s"), "a");
+}
+
+TEST(AstPatternTest, CommutativityAcceptsSwappedCondition) {
+  // `1 == i % 2` — the regex backend would need an explicit alternation;
+  // AST unification with commutative == accepts it directly.
+  pdg::Epdg g = BuildFrom(R"(
+      void f(int[] a) {
+        int o = 0;
+        for (int i = 0; i < a.length; i++)
+          if (1 == i % 2)
+            o += a[i];
+      })");
+  auto ms = MatchPattern(AstOddPattern(), g);
+  ASSERT_EQ(ms.size(), 1u);
+  EXPECT_TRUE(ms[0].IsFullyCorrect());
+}
+
+TEST(AstPatternTest, ApproxFallbackMarksIncorrect) {
+  pdg::Epdg g = BuildFrom(R"(
+      void f(int[] a) {
+        int o = 0;
+        for (int i = 0; i <= a.length; i++)
+          if (i % 2 == 1)
+            o += a[i];
+      })");
+  auto ms = MatchPattern(AstOddPattern(), g);
+  ASSERT_EQ(ms.size(), 1u);
+  EXPECT_FALSE(ms[0].IsFullyCorrect());
+  EXPECT_EQ(ms[0].incorrect_nodes, (std::set<int>{1}));  // The bound node.
+}
+
+TEST(AstPatternTest, RejectsStructuralTraps) {
+  // `i % 20 == 1` contains the text "i % 2" but is structurally different.
+  pdg::Epdg g = BuildFrom(R"(
+      void f(int[] a) {
+        int o = 0;
+        for (int i = 0; i < a.length; i++)
+          if (i % 20 == 1)
+            o += a[i];
+      })");
+  EXPECT_TRUE(MatchPattern(AstOddPattern(), g).empty());
+}
+
+TEST(AstPatternTest, MixedBackendsInteroperate) {
+  // Regex and AST nodes in one pattern share the same γ.
+  auto p = PatternBuilder("mixed", "mixed backends")
+               .Var("c")
+               .Var("v")
+               .Node(PatternNodeType::kAssign, "c = 0", "",
+                     "{c} starts at 0", "")
+               .NodeAst(PatternNodeType::kAssign, "c = c + v", "",
+                        "{c} accumulates {v}", "")
+               .DataEdge(0, 1)
+               .Build();
+  ASSERT_TRUE(p.ok()) << p.status().ToString();
+  pdg::Epdg g = BuildFrom(
+      "void f(int n) { int s = 0; s = s + n; System.out.println(s); }");
+  auto ms = MatchPattern(*p, g);
+  ASSERT_EQ(ms.size(), 1u);
+  EXPECT_EQ(ms[0].gamma.at("c"), "s");
+  EXPECT_EQ(ms[0].gamma.at("v"), "n");
+  // Commutativity: `s = n + s` matches too.
+  pdg::Epdg g2 = BuildFrom(
+      "void f(int n) { int s = 0; s = n + s; System.out.println(s); }");
+  EXPECT_EQ(MatchPattern(*p, g2).size(), 1u);
+}
+
+TEST(AstPatternTest, DeclarationNodesExposeAssignAst) {
+  // `int o = 0` is matched by the AST template `x = 0` because the EPDG
+  // node carries the synthesized assignment expression.
+  auto p = PatternBuilder("init", "init")
+               .Var("x")
+               .NodeAst(PatternNodeType::kAssign, "x = 0")
+               .Build();
+  ASSERT_TRUE(p.ok());
+  pdg::Epdg g = BuildFrom("void f() { int o = 0; }");
+  EXPECT_EQ(MatchPattern(*p, g).size(), 1u);
+}
+
+}  // namespace
+}  // namespace jfeed::core

@@ -1,0 +1,138 @@
+#include "core/expr_pattern.h"
+
+#include <gtest/gtest.h>
+
+namespace jfeed::core {
+namespace {
+
+ExprPattern Make(const std::string& tmpl, std::set<std::string> vars) {
+  auto r = ExprPattern::Create(tmpl, std::move(vars));
+  EXPECT_TRUE(r.ok()) << r.status().ToString();
+  return r.ok() ? std::move(*r) : ExprPattern();
+}
+
+TEST(ExprPatternTest, LiteralTemplateSearches) {
+  ExprPattern p = Make("x = 0", {"x"});
+  EXPECT_TRUE(p.Matches("int i = 0", {{"x", "i"}}));
+  EXPECT_TRUE(p.Matches("i = 0", {{"x", "i"}}));
+  EXPECT_FALSE(p.Matches("int i = 1", {{"x", "i"}}));
+  EXPECT_FALSE(p.Matches("int j = 0", {{"x", "i"}}));
+}
+
+TEST(ExprPatternTest, WholeWordVariableBoundaries) {
+  ExprPattern p = Make("x = 0", {"x"});
+  // `i` must not match inside `int` or inside `mini`.
+  EXPECT_FALSE(p.Matches("mini = 1", {{"x", "i"}}));
+  EXPECT_FALSE(p.Matches("int = 0", {{"x", "i"}}));  // Hypothetical content.
+  EXPECT_TRUE(p.Matches("int i = 0", {{"x", "i"}}));
+}
+
+TEST(ExprPatternTest, UnboundVariableFailsMatch) {
+  ExprPattern p = Make("x = 0", {"x"});
+  EXPECT_FALSE(p.Matches("int i = 0", {}));
+  EXPECT_FALSE(p.Matches("int i = 0", {{"y", "i"}}));
+}
+
+TEST(ExprPatternTest, EmptyPatternNeverMatches) {
+  ExprPattern p;
+  EXPECT_TRUE(p.empty());
+  EXPECT_FALSE(p.Matches("anything", {}));
+}
+
+TEST(ExprPatternTest, RegexAlternation) {
+  ExprPattern p = Make("x\\+\\+|x \\+= 1|x = x \\+ 1", {"x"});
+  EXPECT_TRUE(p.Matches("i++", {{"x", "i"}}));
+  EXPECT_TRUE(p.Matches("i += 1", {{"x", "i"}}));
+  EXPECT_TRUE(p.Matches("i = i + 1", {{"x", "i"}}));
+  EXPECT_FALSE(p.Matches("i += 2", {{"x", "i"}}));
+  EXPECT_FALSE(p.Matches("j++", {{"x", "i"}}));
+}
+
+TEST(ExprPatternTest, ArrayAccessTemplate) {
+  ExprPattern p = Make("s\\[x\\]", {"x", "s"});
+  EXPECT_TRUE(p.Matches("odd += a[i]", {{"x", "i"}, {"s", "a"}}));
+  EXPECT_FALSE(p.Matches("odd += a[j]", {{"x", "i"}, {"s", "a"}}));
+  EXPECT_FALSE(p.Matches("odd += b[i]", {{"x", "i"}, {"s", "a"}}));
+}
+
+TEST(ExprPatternTest, FieldAccessTemplate) {
+  ExprPattern p = Make("x < s\\.length", {"x", "s"});
+  EXPECT_TRUE(p.Matches("i < a.length", {{"x", "i"}, {"s", "a"}}));
+  EXPECT_FALSE(p.Matches("i <= a.length", {{"x", "i"}, {"s", "a"}}));
+}
+
+TEST(ExprPatternTest, ApproximateBoundCheck) {
+  // The paper's u3 approximate expression: catches the common `<=` error.
+  ExprPattern approx = Make("x <= s\\.length", {"x", "s"});
+  EXPECT_TRUE(approx.Matches("i <= a.length", {{"x", "i"}, {"s", "a"}}));
+}
+
+TEST(ExprPatternTest, SubstitutedNamesAreEscaped) {
+  // Variable values are regex-escaped; a submission variable named `a$b`
+  // (legal in Java) must be treated literally.
+  ExprPattern p = Make("x = 0", {"x"});
+  EXPECT_TRUE(p.Matches("a$b = 0", {{"x", "a$b"}}));
+  EXPECT_FALSE(p.Matches("axb = 0", {{"x", "a$b"}}));
+}
+
+TEST(ExprPatternTest, VariablesReported) {
+  ExprPattern p = Make("c \\+= s\\[x\\]", {"x", "s", "c", "unused"});
+  EXPECT_EQ(p.variables(), (std::set<std::string>{"c", "s", "x"}));
+}
+
+TEST(ExprPatternTest, InvalidRegexRejected) {
+  auto r = ExprPattern::Create("x ([", {"x"});
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ExprPatternTest, EscapedIdentifierIsNotAVariable) {
+  // `\bx\b` — the escaped b must not be eaten as a variable named b.
+  ExprPattern p = Make("\\bx\\b = 0", {"x", "b"});
+  EXPECT_TRUE(p.Matches("i = 0", {{"x", "i"}}));
+}
+
+TEST(EnumerateInjectionsTest, EmptySourceYieldsOneEmptyBinding) {
+  auto r = EnumerateInjections({}, {"a", "b"});
+  ASSERT_EQ(r.size(), 1u);
+  EXPECT_TRUE(r[0].empty());
+}
+
+TEST(EnumerateInjectionsTest, TooFewTargetsYieldsNothing) {
+  EXPECT_TRUE(EnumerateInjections({"x", "y"}, {"a"}).empty());
+}
+
+TEST(EnumerateInjectionsTest, BijectionCount) {
+  // 2 sources into 2 targets: 2 bijections.
+  auto r = EnumerateInjections({"x", "y"}, {"a", "b"});
+  EXPECT_EQ(r.size(), 2u);
+}
+
+TEST(EnumerateInjectionsTest, InjectionCount) {
+  // 2 sources into 3 targets: 3 * 2 = 6 injections.
+  auto r = EnumerateInjections({"x", "y"}, {"a", "b", "c"});
+  EXPECT_EQ(r.size(), 6u);
+  // All must be injective.
+  for (const auto& binding : r) {
+    EXPECT_NE(binding.at("x"), binding.at("y"));
+  }
+}
+
+TEST(EnumerateInjectionsTest, PaperCombinationExample) {
+  // Sec. IV: matching u3 of p_o over v4 tries {s→i, x→a} and {s→a, x→i}.
+  auto r = EnumerateInjections({"s", "x"}, {"a", "i"});
+  ASSERT_EQ(r.size(), 2u);
+  ExprPattern bound = [] {
+    auto p = ExprPattern::Create("x <= s\\.length", {"x", "s"});
+    return std::move(*p);
+  }();
+  int matches = 0;
+  for (const auto& gamma : r) {
+    if (bound.Matches("i <= a.length", gamma)) ++matches;
+  }
+  // Only {s→a, x→i} produces a match.
+  EXPECT_EQ(matches, 1);
+}
+
+}  // namespace
+}  // namespace jfeed::core

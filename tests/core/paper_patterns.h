@@ -1,0 +1,107 @@
+// The three worked-example patterns of the paper (Figures 4, 5 and 6),
+// shared by the core test suites. The production knowledge base (src/kb)
+// contains richer versions; these stay close to the figures so the tests
+// document the paper faithfully.
+
+#ifndef JFEED_TESTS_CORE_PAPER_PATTERNS_H_
+#define JFEED_TESTS_CORE_PAPER_PATTERNS_H_
+
+#include "core/pattern.h"
+
+namespace jfeed::core::testutil {
+
+/// Fig. 4 — p_o: accessing odd positions sequentially in an array.
+/// Variables: x (index), s (array). Nodes:
+///   u0 Untyped  r: s                       (the array source)
+///   u1 Assign   r: x = 0     r̂: x = \d+
+///   u2 Assign   r: x++ | x += 1 | x = x + 1
+///   u3 Cond     r: x < s.length   r̂: x <= s.length
+///   u4 Cond     r: x % 2 == 1
+///   u5 Untyped  r: s[x]
+inline Pattern OddPositionsPattern() {
+  auto p =
+      PatternBuilder("odd-positions", "Accessing odd positions sequentially")
+          .Var("x")
+          .Var("s")
+          .Node(PatternNodeType::kUntyped, "s")
+          .Node(PatternNodeType::kAssign, "x = 0", "x = \\d+",
+                "{x} is initialized to 0", "{x} should be initialized to 0")
+          .Node(PatternNodeType::kAssign,
+                "x\\+\\+|\\+\\+x|x \\+= 1|x = x \\+ 1", "",
+                "{x} is incremented by 1", "{x} should be incremented by 1")
+          .Node(PatternNodeType::kCond, "x < s\\.length",
+                "x <= s\\.length", "{x} does not go beyond {s}.length - 1",
+                "{x} is out of bounds going beyond {s}.length - 1")
+          .Node(PatternNodeType::kCond, "x % 2 == 1", "",
+                "You are using {x} % 2 == 1 to control that {x} is odd", "")
+          .Node(PatternNodeType::kUntyped, "s\\[x\\]", "",
+                "{x} is used exactly to access {s}",
+                "You should access {s} by using {x} exactly")
+          .DataEdge(0, 3)
+          .DataEdge(0, 5)
+          .DataEdge(1, 2)
+          .DataEdge(1, 3)
+          .DataEdge(1, 4)
+          .DataEdge(1, 5)
+          .CtrlEdge(3, 2)
+          .CtrlEdge(3, 4)
+          .CtrlEdge(4, 5)
+          .Present("You are correctly accessing odd positions sequentially "
+                   "in an array")
+          .Missing("You are not accessing odd positions sequentially in an "
+                   "array, please, consider using a loop and a condition; "
+                   "recall that odd is computed by i % 2 == 1, where i is an "
+                   "index variable")
+          .Build();
+  return std::move(*p);
+}
+
+/// Fig. 5 — p_a: conditional cumulatively adding. Variables: c.
+///   u0 Assign r: c = 0   r̂: c = \d+
+///   u1 Cond   (any condition)
+///   u2 Cond   (any condition)
+///   u3 Assign r: c += | c = c +
+/// Edges: Ctrl u1->u2, Ctrl u2->u3, Data u0->u3.
+inline Pattern CondAccumAddPattern() {
+  auto p = PatternBuilder("cond-accum-add", "Conditional cumulatively adding")
+               .Var("c")
+               .Node(PatternNodeType::kAssign, "c = 0", "c = \\d+",
+                     "{c} is initialized to 0",
+                     "{c} should be initialized to 0")
+               .Node(PatternNodeType::kCond, "")
+               .Node(PatternNodeType::kCond, "")
+               .Node(PatternNodeType::kAssign, "c \\+=|c = c \\+", "",
+                     "{c} is cumulatively added", "")
+               .CtrlEdge(1, 2)
+               .CtrlEdge(2, 3)
+               .DataEdge(0, 3)
+               .Present("You are cumulatively adding {c} under a condition")
+               .Missing("You are not cumulatively adding a variable under a "
+                        "condition inside a loop")
+               .Build();
+  return std::move(*p);
+}
+
+/// Fig. 6 — p_p: assign and print to console. Variables: y.
+///   u0 Assign r: y
+///   u1 Call   r: System.out.print...(...y...)
+/// Edge: Data u0->u1.
+inline Pattern AssignPrintPattern() {
+  auto p = PatternBuilder("assign-print", "Assign and print to console")
+               .Var("y")
+               .Node(PatternNodeType::kAssign, "y", "",
+                     "{y} is assigned a value", "")
+               .Node(PatternNodeType::kCall,
+                     "System\\.out\\.print(ln)?\\(.*y", "",
+                     "{y} is printed to console",
+                     "{y} should be printed to console")
+               .DataEdge(0, 1)
+               .Present("You are printing {y} to console")
+               .Missing("You should print your result to console")
+               .Build();
+  return std::move(*p);
+}
+
+}  // namespace jfeed::core::testutil
+
+#endif  // JFEED_TESTS_CORE_PAPER_PATTERNS_H_

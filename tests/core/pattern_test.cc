@@ -1,0 +1,96 @@
+#include "core/pattern.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/core/paper_patterns.h"
+
+namespace jfeed::core {
+namespace {
+
+TEST(PatternTest, TypeMatching) {
+  EXPECT_TRUE(TypeMatches(PatternNodeType::kAssign, pdg::NodeType::kAssign));
+  EXPECT_FALSE(TypeMatches(PatternNodeType::kAssign, pdg::NodeType::kCond));
+  EXPECT_TRUE(TypeMatches(PatternNodeType::kUntyped, pdg::NodeType::kAssign));
+  EXPECT_TRUE(TypeMatches(PatternNodeType::kUntyped, pdg::NodeType::kDecl));
+  EXPECT_TRUE(TypeMatches(PatternNodeType::kCond, pdg::NodeType::kCond));
+  EXPECT_TRUE(TypeMatches(PatternNodeType::kReturn, pdg::NodeType::kReturn));
+  EXPECT_TRUE(TypeMatches(PatternNodeType::kBreak, pdg::NodeType::kBreak));
+  EXPECT_TRUE(TypeMatches(PatternNodeType::kCall, pdg::NodeType::kCall));
+  EXPECT_TRUE(TypeMatches(PatternNodeType::kDecl, pdg::NodeType::kDecl));
+}
+
+TEST(PatternTest, BuilderProducesValidPattern) {
+  Pattern p = testutil::OddPositionsPattern();
+  EXPECT_EQ(p.id, "odd-positions");
+  EXPECT_EQ(p.nodes.size(), 6u);
+  EXPECT_EQ(p.edges.size(), 9u);
+  EXPECT_TRUE(p.Validate().ok());
+  EXPECT_EQ(p.Variables(), (std::set<std::string>{"s", "x"}));
+}
+
+TEST(PatternTest, ValidateRejectsOutOfRangeEdge) {
+  auto p = PatternBuilder("bad", "bad")
+               .Node(PatternNodeType::kAssign, "")
+               .CtrlEdge(0, 5)
+               .Build();
+  EXPECT_FALSE(p.ok());
+}
+
+TEST(PatternTest, ValidateRejectsSelfLoop) {
+  auto p = PatternBuilder("bad", "bad")
+               .Node(PatternNodeType::kAssign, "")
+               .CtrlEdge(0, 0)
+               .Build();
+  EXPECT_FALSE(p.ok());
+}
+
+TEST(PatternTest, ValidateRejectsEmptyPattern) {
+  EXPECT_FALSE(PatternBuilder("empty", "no nodes").Build().ok());
+}
+
+TEST(PatternTest, ApproxVariablesMustBeSubsetOfExact) {
+  // Definition 4: variables(r̂) ⊆ variables(r).
+  auto p = PatternBuilder("bad", "bad")
+               .Var("x")
+               .Var("y")
+               .Node(PatternNodeType::kAssign, "x = 0", "y = 0")
+               .Build();
+  EXPECT_FALSE(p.ok());
+}
+
+TEST(PatternTest, BuilderRejectsInvalidTemplate) {
+  auto p = PatternBuilder("bad", "bad")
+               .Var("x")
+               .Node(PatternNodeType::kAssign, "x ([")
+               .Build();
+  EXPECT_FALSE(p.ok());
+}
+
+TEST(InstantiateFeedbackTest, SubstitutesBoundVariables) {
+  EXPECT_EQ(InstantiateFeedback("{x} should be initialized to 0",
+                                {{"x", "i"}}),
+            "i should be initialized to 0");
+  EXPECT_EQ(InstantiateFeedback("{x} is out of bounds going beyond "
+                                "{s}.length - 1",
+                                {{"x", "i"}, {"s", "a"}}),
+            "i is out of bounds going beyond a.length - 1");
+}
+
+TEST(InstantiateFeedbackTest, UnboundVariablesKeepTheirName) {
+  EXPECT_EQ(InstantiateFeedback("recall that odd is computed by {x} % 2 == 1",
+                                {}),
+            "recall that odd is computed by x % 2 == 1");
+}
+
+TEST(InstantiateFeedbackTest, PlainTextPassesThrough) {
+  EXPECT_EQ(InstantiateFeedback("no placeholders here", {{"x", "i"}}),
+            "no placeholders here");
+  EXPECT_EQ(InstantiateFeedback("", {}), "");
+}
+
+TEST(InstantiateFeedbackTest, UnterminatedBraceKeptVerbatim) {
+  EXPECT_EQ(InstantiateFeedback("weird { text", {}), "weird { text");
+}
+
+}  // namespace
+}  // namespace jfeed::core

@@ -1,0 +1,261 @@
+#include "core/submission_matcher.h"
+
+#include <gtest/gtest.h>
+
+#include "javalang/parser.h"
+#include "tests/core/paper_patterns.h"
+
+namespace jfeed::core {
+namespace {
+
+constexpr const char* kFigure2a = R"(
+void assignment1(int[] a) {
+  int even = 0;
+  int odd = 0;
+  for (int i = 0; i <= a.length; i++) {
+    if (i % 2 == 1)
+      odd += a[i];
+    if (i % 2 == 1)
+      even *= a[i];
+  }
+  System.out.println(odd);
+  System.out.println(even);
+})";
+
+constexpr const char* kFigure2b = R"(
+void assignment1(int[] a) {
+  int o = 0, e = 1;
+  int i = 0;
+  while (i < a.length) {
+    if (i % 2 == 1)
+      o += a[i];
+    if (i % 2 == 0)
+      e *= a[i];
+    i++;
+  }
+  System.out.print(o + ", " + e);
+})";
+
+/// A reduced Assignment-1 spec built from the figure patterns: the odd
+/// access, the conditional accumulation, two prints, plus the paper's
+/// equality and edge constraints.
+class SubmissionMatcherTest : public ::testing::Test {
+ protected:
+  SubmissionMatcherTest()
+      : odd_(testutil::OddPositionsPattern()),
+        accum_(testutil::CondAccumAddPattern()),
+        print_(testutil::AssignPrintPattern()) {
+    MethodSpec method;
+    method.expected_name = "assignment1";
+    method.patterns.push_back({&odd_, 1});
+    method.patterns.push_back({&accum_, 1});
+    method.patterns.push_back({&print_, 2});
+    method.constraints.push_back(MakeEqualityConstraint(
+        "odd-access-is-accumulated", odd_.id, 5, accum_.id, 3,
+        "The odd positions you access are the ones you accumulate",
+        "You should accumulate exactly the odd positions you access"));
+    method.constraints.push_back(MakeEdgeConstraint(
+        "sum-is-printed", accum_.id, 3, print_.id, 1, pdg::EdgeType::kData,
+        "The accumulated sum {c} is printed",
+        "The accumulated sum should be printed to console"));
+    spec_.id = "assignment1-mini";
+    spec_.title = "Assignment 1 (figures only)";
+    spec_.methods.push_back(std::move(method));
+  }
+
+  const FeedbackComment* FindComment(const SubmissionFeedback& fb,
+                                     const std::string& source_id) {
+    for (const auto& c : fb.comments) {
+      if (c.source_id == source_id) return &c;
+    }
+    return nullptr;
+  }
+
+  Pattern odd_, accum_, print_;
+  AssignmentSpec spec_;
+};
+
+TEST_F(SubmissionMatcherTest, SpecCounts) {
+  EXPECT_EQ(spec_.PatternCount(), 3u);
+  EXPECT_EQ(spec_.ConstraintCount(), 2u);
+}
+
+TEST_F(SubmissionMatcherTest, CorrectSubmissionGetsAllFeedback) {
+  auto fb = MatchSubmissionSource(spec_, kFigure2b);
+  ASSERT_TRUE(fb.ok()) << fb.status().ToString();
+  ASSERT_TRUE(fb->matched);
+  // 3 pattern comments + 2 constraint comments.
+  EXPECT_EQ(fb->comments.size(), 5u);
+  const auto* odd_comment = FindComment(*fb, "odd-positions");
+  ASSERT_NE(odd_comment, nullptr);
+  EXPECT_EQ(odd_comment->kind, FeedbackKind::kCorrect);
+  EXPECT_EQ(odd_comment->message,
+            "You are correctly accessing odd positions sequentially in an "
+            "array");
+  const auto* eq = FindComment(*fb, "odd-access-is-accumulated");
+  ASSERT_NE(eq, nullptr);
+  EXPECT_EQ(eq->kind, FeedbackKind::kCorrect);
+  const auto* edge = FindComment(*fb, "sum-is-printed");
+  ASSERT_NE(edge, nullptr);
+  EXPECT_EQ(edge->kind, FeedbackKind::kCorrect);
+}
+
+TEST_F(SubmissionMatcherTest, IncorrectSubmissionGetsPersonalizedDetails) {
+  auto fb = MatchSubmissionSource(spec_, kFigure2a);
+  ASSERT_TRUE(fb.ok()) << fb.status().ToString();
+  ASSERT_TRUE(fb->matched);
+  const auto* odd_comment = FindComment(*fb, "odd-positions");
+  ASSERT_NE(odd_comment, nullptr);
+  // Fig. 2a has *two* embeddings of the access pattern (both ifs use
+  // i % 2 == 1), so the occurrence count differs from t̄ = 1.
+  EXPECT_EQ(odd_comment->kind, FeedbackKind::kNotExpected);
+}
+
+TEST_F(SubmissionMatcherTest, BoundErrorSurfacesInNodeFeedback) {
+  // Like Fig. 2a but with only one odd-guarded update, so the access
+  // pattern embeds exactly once — with the <= bound error.
+  const char* kSource = R"(
+      void assignment1(int[] a) {
+        int odd = 0;
+        for (int i = 0; i <= a.length; i++) {
+          if (i % 2 == 1)
+            odd += a[i];
+        }
+        System.out.println(odd);
+        System.out.println(odd);
+      })";
+  auto fb = MatchSubmissionSource(spec_, kSource);
+  ASSERT_TRUE(fb.ok());
+  const auto* odd_comment = FindComment(*fb, "odd-positions");
+  ASSERT_NE(odd_comment, nullptr);
+  EXPECT_EQ(odd_comment->kind, FeedbackKind::kIncorrect);
+  bool found_bound_detail = false;
+  for (const auto& d : odd_comment->details) {
+    if (d == "i is out of bounds going beyond a.length - 1") {
+      found_bound_detail = true;
+    }
+  }
+  EXPECT_TRUE(found_bound_detail);
+}
+
+TEST_F(SubmissionMatcherTest, MissingPatternYieldsNotExpected) {
+  const char* kSource = R"(
+      void assignment1(int[] a) {
+        System.out.println(0);
+        System.out.println(0);
+      })";
+  auto fb = MatchSubmissionSource(spec_, kSource);
+  ASSERT_TRUE(fb.ok());
+  const auto* odd_comment = FindComment(*fb, "odd-positions");
+  ASSERT_NE(odd_comment, nullptr);
+  EXPECT_EQ(odd_comment->kind, FeedbackKind::kNotExpected);
+  EXPECT_NE(odd_comment->message.find("consider using a loop"),
+            std::string::npos);
+  // Constraints referencing the missing pattern are NotExpected too.
+  const auto* eq = FindComment(*fb, "odd-access-is-accumulated");
+  ASSERT_NE(eq, nullptr);
+  EXPECT_EQ(eq->kind, FeedbackKind::kNotExpected);
+}
+
+TEST_F(SubmissionMatcherTest, ScoreUsesLambda) {
+  auto good = MatchSubmissionSource(spec_, kFigure2b);
+  auto bad = MatchSubmissionSource(spec_, kFigure2a);
+  ASSERT_TRUE(good.ok());
+  ASSERT_TRUE(bad.ok());
+  EXPECT_EQ(good->score, 5.0);  // 5 Correct comments.
+  EXPECT_LT(bad->score, good->score);
+  EXPECT_TRUE(good->AllCorrect());
+  EXPECT_FALSE(bad->AllCorrect());
+}
+
+TEST_F(SubmissionMatcherTest, FewerMethodsThanExpectedIsUnmatched) {
+  AssignmentSpec two = spec_;
+  MethodSpec helper;
+  helper.expected_name = "helper";
+  two.methods.push_back(helper);
+  auto fb = MatchSubmissionSource(two, kFigure2b);
+  ASSERT_TRUE(fb.ok());
+  EXPECT_FALSE(fb->matched);
+  EXPECT_FALSE(fb->AllCorrect());
+  EXPECT_TRUE(fb->comments.empty());
+}
+
+TEST_F(SubmissionMatcherTest, MethodCombinationsPickBestAssignment) {
+  // The submission names its methods unexpectedly; Algorithm 2 must still
+  // find the assignment with the best Λ.
+  const char* kTwoMethods = R"(
+      void blah(int[] a) {
+        int unrelated = 3;
+        System.out.println(unrelated);
+      }
+      void mine(int[] a) {
+        int o = 0, e = 1;
+        int i = 0;
+        while (i < a.length) {
+          if (i % 2 == 1)
+            o += a[i];
+          if (i % 2 == 0)
+            e *= a[i];
+          i++;
+        }
+        System.out.print(o + ", " + e);
+      })";
+  auto fb = MatchSubmissionSource(spec_, kTwoMethods);
+  ASSERT_TRUE(fb.ok());
+  ASSERT_TRUE(fb->matched);
+  EXPECT_EQ(fb->method_assignment.at("assignment1"), "mine");
+  EXPECT_TRUE(fb->AllCorrect());
+}
+
+TEST_F(SubmissionMatcherTest, BadPatternDetected) {
+  // t̄ = 0: the index must not be updated twice in the loop. Build a tiny
+  // bad-pattern: two increments of the same variable under one condition.
+  auto double_inc =
+      PatternBuilder("double-increment", "Index updated twice")
+          .Var("x")
+          .Node(PatternNodeType::kCond, "")
+          .Node(PatternNodeType::kAssign, "x\\+\\+|x \\+= 1")
+          .Node(PatternNodeType::kAssign, "x\\+\\+|x \\+= 1")
+          .CtrlEdge(0, 1)
+          .CtrlEdge(0, 2)
+          .Present("Good: the loop index is updated exactly once")
+          .Missing("You are updating the value of the index more than once "
+                   "in a sentinel-controlled loop")
+          .Build();
+  ASSERT_TRUE(double_inc.ok());
+  AssignmentSpec spec;
+  spec.id = "bad-pattern-spec";
+  MethodSpec method;
+  method.expected_name = "f";
+  method.patterns.push_back({&*double_inc, 0});
+  spec.methods.push_back(std::move(method));
+
+  auto clean = MatchSubmissionSource(
+      spec, "void f(int n) { int i = 0; while (i < n) { i++; } }");
+  ASSERT_TRUE(clean.ok());
+  EXPECT_EQ(clean->comments[0].kind, FeedbackKind::kCorrect);
+
+  auto dirty = MatchSubmissionSource(
+      spec, "void f(int n) { int i = 0; while (i < n) { i++; i++; } }");
+  ASSERT_TRUE(dirty.ok());
+  EXPECT_EQ(dirty->comments[0].kind, FeedbackKind::kNotExpected);
+  EXPECT_NE(dirty->comments[0].message.find("more than once"),
+            std::string::npos);
+}
+
+TEST_F(SubmissionMatcherTest, ParseErrorPropagates) {
+  auto fb = MatchSubmissionSource(spec_, "void f( {");
+  EXPECT_FALSE(fb.ok());
+  EXPECT_EQ(fb.status().code(), StatusCode::kParseError);
+}
+
+TEST_F(SubmissionMatcherTest, RenderFeedbackIsReadable) {
+  auto fb = MatchSubmissionSource(spec_, kFigure2b);
+  ASSERT_TRUE(fb.ok());
+  std::string text = RenderFeedback(fb->comments);
+  EXPECT_NE(text.find("[Correct]"), std::string::npos);
+  EXPECT_NE(text.find("odd positions"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace jfeed::core

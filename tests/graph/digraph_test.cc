@@ -1,0 +1,98 @@
+#include "graph/digraph.h"
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace jfeed::graph {
+namespace {
+
+using TestGraph = Digraph<std::string, int>;
+
+TEST(DigraphTest, EmptyGraph) {
+  TestGraph g;
+  EXPECT_EQ(g.NodeCount(), 0u);
+  EXPECT_EQ(g.EdgeCount(), 0u);
+}
+
+TEST(DigraphTest, AddNodesAssignsDenseIds) {
+  TestGraph g;
+  EXPECT_EQ(g.AddNode("a"), 0);
+  EXPECT_EQ(g.AddNode("b"), 1);
+  EXPECT_EQ(g.AddNode("c"), 2);
+  EXPECT_EQ(g.NodeCount(), 3u);
+  EXPECT_EQ(g.NodeData(1), "b");
+}
+
+TEST(DigraphTest, EdgesIndexBothDirections) {
+  TestGraph g;
+  NodeId a = g.AddNode("a");
+  NodeId b = g.AddNode("b");
+  NodeId c = g.AddNode("c");
+  g.AddEdge(a, b, 1);
+  g.AddEdge(a, c, 2);
+  g.AddEdge(b, c, 1);
+  EXPECT_EQ(g.OutDegree(a), 2u);
+  EXPECT_EQ(g.InDegree(c), 2u);
+  EXPECT_EQ(g.OutDegree(c), 0u);
+  EXPECT_EQ(g.InDegree(a), 0u);
+}
+
+TEST(DigraphTest, HasEdgeMatchesPayload) {
+  TestGraph g;
+  NodeId a = g.AddNode("a");
+  NodeId b = g.AddNode("b");
+  g.AddEdge(a, b, 1);
+  EXPECT_TRUE(g.HasEdge(a, b, 1));
+  EXPECT_FALSE(g.HasEdge(a, b, 2));
+  EXPECT_FALSE(g.HasEdge(b, a, 1));
+}
+
+TEST(DigraphTest, ParallelEdgesAllowed) {
+  TestGraph g;
+  NodeId a = g.AddNode("a");
+  NodeId b = g.AddNode("b");
+  g.AddEdge(a, b, 1);
+  g.AddEdge(a, b, 2);
+  EXPECT_EQ(g.EdgeCount(), 2u);
+  EXPECT_TRUE(g.HasEdge(a, b, 1));
+  EXPECT_TRUE(g.HasEdge(a, b, 2));
+}
+
+TEST(DigraphTest, EdgeDataAccessible) {
+  TestGraph g;
+  NodeId a = g.AddNode("a");
+  NodeId b = g.AddNode("b");
+  EdgeId e = g.AddEdge(a, b, 42);
+  EXPECT_EQ(g.GetEdge(e).source, a);
+  EXPECT_EQ(g.GetEdge(e).target, b);
+  EXPECT_EQ(g.GetEdge(e).data, 42);
+}
+
+TEST(DigraphTest, SelfLoop) {
+  TestGraph g;
+  NodeId a = g.AddNode("a");
+  g.AddEdge(a, a, 9);
+  EXPECT_TRUE(g.HasEdge(a, a, 9));
+  EXPECT_EQ(g.OutDegree(a), 1u);
+  EXPECT_EQ(g.InDegree(a), 1u);
+}
+
+TEST(DigraphTest, LargeGraphStressIsConsistent) {
+  TestGraph g;
+  constexpr int kN = 1000;
+  for (int i = 0; i < kN; ++i) g.AddNode("n" + std::to_string(i));
+  // Chain plus skip edges.
+  for (int i = 0; i + 1 < kN; ++i) g.AddEdge(i, i + 1, 0);
+  for (int i = 0; i + 10 < kN; i += 10) g.AddEdge(i, i + 10, 1);
+  size_t total_out = 0, total_in = 0;
+  for (int i = 0; i < kN; ++i) {
+    total_out += g.OutDegree(i);
+    total_in += g.InDegree(i);
+  }
+  EXPECT_EQ(total_out, g.EdgeCount());
+  EXPECT_EQ(total_in, g.EdgeCount());
+}
+
+}  // namespace
+}  // namespace jfeed::graph

@@ -1,0 +1,145 @@
+// Cross-module integration and property tests: the full pipeline
+// (generator -> parser -> EPDG -> matcher -> feedback vs. interpreter ->
+// functional verdict) over the knowledge base.
+
+#include <gtest/gtest.h>
+
+#include "core/submission_matcher.h"
+#include "javalang/parser.h"
+#include "javalang/printer.h"
+#include "kb/assignments.h"
+#include "testing/functional.h"
+
+namespace jfeed {
+namespace {
+
+class EndToEndTest : public ::testing::TestWithParam<const char*> {
+ protected:
+  const kb::Assignment& assignment() const {
+    return kb::KnowledgeBase::Get().assignment(GetParam());
+  }
+};
+
+TEST_P(EndToEndTest, EverySingleErrorVariantParses) {
+  const auto& a = assignment();
+  const auto& sites = a.generator.sites();
+  std::vector<size_t> choice(sites.size(), 0);
+  for (size_t s = 0; s < sites.size(); ++s) {
+    for (size_t v = 1; v < sites[s].variants.size(); ++v) {
+      choice[s] = v;
+      std::string source = a.generator.Instantiate(choice);
+      EXPECT_TRUE(java::Parse(source).ok())
+          << a.id << " site " << sites[s].name << " variant " << v << ":\n"
+          << source;
+    }
+    choice[s] = 0;
+  }
+}
+
+TEST_P(EndToEndTest, SingleErrorSoundness) {
+  // Soundness of positive feedback: for every single-site deviation, if the
+  // technique reports all-Correct the submission must actually pass the
+  // functional tests. (The converse direction — functionally equivalent
+  // variants that get flagged — is the paper's discrepancy column D and is
+  // allowed.)
+  const auto& a = assignment();
+  auto reference = java::Parse(a.Reference());
+  ASSERT_TRUE(reference.ok());
+  auto expected = testing::ComputeExpectedOutputs(*reference, a.suite);
+  ASSERT_TRUE(expected.ok());
+
+  const auto& sites = a.generator.sites();
+  std::vector<size_t> choice(sites.size(), 0);
+  for (size_t s = 0; s < sites.size(); ++s) {
+    for (size_t v = 1; v < sites[s].variants.size(); ++v) {
+      choice[s] = v;
+      std::string source = a.generator.Instantiate(choice);
+      auto unit = java::Parse(source);
+      ASSERT_TRUE(unit.ok());
+      auto feedback = core::MatchSubmission(a.spec, *unit);
+      ASSERT_TRUE(feedback.ok());
+      if (feedback->AllCorrect()) {
+        EXPECT_TRUE(testing::RunSuite(*unit, a.suite, *expected).passed)
+            << a.id << ": positive feedback for a functionally wrong "
+            << "submission (site " << sites[s].name << " variant '"
+            << sites[s].variants[v] << "')";
+      }
+    }
+    choice[s] = 0;
+  }
+}
+
+TEST_P(EndToEndTest, FeedbackIsDeterministic) {
+  const auto& a = assignment();
+  uint64_t index = a.generator.SpaceSize() / 2;
+  std::string source = a.generator.Generate(index);
+  auto unit = java::Parse(source);
+  ASSERT_TRUE(unit.ok());
+  auto first = core::MatchSubmission(a.spec, *unit);
+  auto second = core::MatchSubmission(a.spec, *unit);
+  ASSERT_TRUE(first.ok());
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(first->score, second->score);
+  ASSERT_EQ(first->comments.size(), second->comments.size());
+  for (size_t i = 0; i < first->comments.size(); ++i) {
+    EXPECT_EQ(first->comments[i].kind, second->comments[i].kind);
+    EXPECT_EQ(first->comments[i].message, second->comments[i].message);
+    EXPECT_EQ(first->comments[i].details, second->comments[i].details);
+  }
+}
+
+TEST_P(EndToEndTest, ReferencePrintingIsAFixedPoint) {
+  const auto& a = assignment();
+  auto unit = java::Parse(a.Reference());
+  ASSERT_TRUE(unit.ok());
+  std::string printed = java::UnitToString(*unit);
+  auto reparsed = java::Parse(printed);
+  ASSERT_TRUE(reparsed.ok()) << printed;
+  EXPECT_EQ(java::UnitToString(*reparsed), printed);
+}
+
+TEST_P(EndToEndTest, PrettyPrintedReferenceGetsSameFeedback) {
+  // Grading must be layout-independent: the pretty-printed reference and
+  // the raw reference yield identical feedback.
+  const auto& a = assignment();
+  auto unit = java::Parse(a.Reference());
+  ASSERT_TRUE(unit.ok());
+  std::string printed = java::UnitToString(*unit);
+  auto original = core::MatchSubmissionSource(a.spec, a.Reference());
+  auto pretty = core::MatchSubmissionSource(a.spec, printed);
+  ASSERT_TRUE(original.ok());
+  ASSERT_TRUE(pretty.ok());
+  EXPECT_EQ(original->score, pretty->score);
+  EXPECT_TRUE(pretty->AllCorrect());
+}
+
+TEST_P(EndToEndTest, FeedbackCommentCountIsStable) {
+  // Every graded submission gets exactly P + C comments for a matched
+  // single-method assignment (one per pattern, one per constraint).
+  const auto& a = assignment();
+  auto feedback = core::MatchSubmissionSource(a.spec, a.Reference());
+  ASSERT_TRUE(feedback.ok());
+  size_t pattern_uses = 0;
+  for (const auto& m : a.spec.methods) pattern_uses += m.patterns.size();
+  EXPECT_EQ(feedback->comments.size(),
+            pattern_uses + a.spec.ConstraintCount());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllAssignments, EndToEndTest,
+    ::testing::Values("assignment1", "esc-LAB-3-P1-V1", "esc-LAB-3-P2-V1",
+                      "esc-LAB-3-P2-V2", "esc-LAB-3-P3-V1",
+                      "esc-LAB-3-P3-V2", "esc-LAB-3-P4-V1",
+                      "esc-LAB-3-P4-V2", "mitx-derivatives",
+                      "mitx-polynomials", "rit-all-g-medals",
+                      "rit-medals-by-ath"),
+    [](const ::testing::TestParamInfo<const char*>& info) {
+      std::string name = info.param;
+      for (char& c : name) {
+        if (!isalnum(static_cast<unsigned char>(c))) c = '_';
+      }
+      return name;
+    });
+
+}  // namespace
+}  // namespace jfeed

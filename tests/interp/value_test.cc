@@ -1,0 +1,91 @@
+#include "interp/value.h"
+
+#include <gtest/gtest.h>
+
+namespace jfeed::interp {
+namespace {
+
+TEST(ValueTest, DefaultIsNull) {
+  Value v;
+  EXPECT_TRUE(v.is_null());
+  EXPECT_EQ(v.ToJavaString(), "null");
+}
+
+TEST(ValueTest, IntRendering) {
+  EXPECT_EQ(Value::Int(42).ToJavaString(), "42");
+  EXPECT_EQ(Value::Int(-7).ToJavaString(), "-7");
+}
+
+TEST(ValueTest, DoubleRenderingAlwaysHasDecimal) {
+  EXPECT_EQ(Value::Double(4.0).ToJavaString(), "4.0");
+  EXPECT_EQ(Value::Double(3.5).ToJavaString(), "3.5");
+  EXPECT_EQ(Value::Double(-0.25).ToJavaString(), "-0.25");
+}
+
+TEST(ValueTest, CharRendersAsCharacter) {
+  EXPECT_EQ(Value::Char('A').ToJavaString(), "A");
+}
+
+TEST(ValueTest, BoolRendering) {
+  EXPECT_EQ(Value::Bool(true).ToJavaString(), "true");
+  EXPECT_EQ(Value::Bool(false).ToJavaString(), "false");
+}
+
+TEST(ValueTest, NumericPredicates) {
+  EXPECT_TRUE(Value::Int(1).is_numeric());
+  EXPECT_TRUE(Value::Int(1).is_integral());
+  EXPECT_TRUE(Value::Double(1).is_numeric());
+  EXPECT_FALSE(Value::Double(1).is_integral());
+  EXPECT_FALSE(Value::Str("x").is_numeric());
+  EXPECT_FALSE(Value::Bool(true).is_numeric());
+}
+
+TEST(ValueTest, JavaEqualsMixedNumeric) {
+  EXPECT_TRUE(Value::Int(2).JavaEquals(Value::Double(2.0)));
+  EXPECT_TRUE(Value::Int(2).JavaEquals(Value::Long(2)));
+  EXPECT_FALSE(Value::Int(2).JavaEquals(Value::Int(3)));
+}
+
+TEST(ValueTest, JavaEqualsStrings) {
+  EXPECT_TRUE(Value::Str("a").JavaEquals(Value::Str("a")));
+  EXPECT_FALSE(Value::Str("a").JavaEquals(Value::Str("b")));
+  EXPECT_FALSE(Value::Str("1").JavaEquals(Value::Int(1)));
+}
+
+TEST(ValueTest, ArrayEqualityIsReference) {
+  Value a = Value::IntArray({1, 2});
+  Value b = Value::IntArray({1, 2});
+  EXPECT_TRUE(a.JavaEquals(a));
+  EXPECT_FALSE(a.JavaEquals(b));
+}
+
+TEST(ValueTest, ArrayFactories) {
+  Value a = Value::IntArray({1, 2, 3});
+  ASSERT_EQ(a.kind(), Value::Kind::kArray);
+  EXPECT_EQ(a.AsArray()->elems.size(), 3u);
+  EXPECT_EQ(a.AsArray()->elems[1].AsInt(), 2);
+  Value d = Value::DoubleArray({1.5});
+  EXPECT_EQ(d.AsArray()->elem_kind, java::TypeKind::kDouble);
+  Value s = Value::StringArray({"x", "y"});
+  EXPECT_EQ(s.AsArray()->elems[0].AsString(), "x");
+}
+
+TEST(ValueTest, AsDoubleConvertsIntegrals) {
+  EXPECT_DOUBLE_EQ(Value::Int(3).AsDouble(), 3.0);
+  EXPECT_EQ(Value::Double(3.9).AsInt(), 3);
+}
+
+TEST(ValueTest, ScannerState) {
+  auto state = std::make_shared<ScannerState>();
+  state->tokens = {"a", "b"};
+  Value v = Value::Scanner(state);
+  EXPECT_TRUE(v.AsScanner()->HasNext());
+  state->pos = 2;
+  EXPECT_FALSE(v.AsScanner()->HasNext());
+  state->pos = 0;
+  state->closed = true;
+  EXPECT_FALSE(v.AsScanner()->HasNext());
+}
+
+}  // namespace
+}  // namespace jfeed::interp

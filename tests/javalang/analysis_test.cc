@@ -1,0 +1,94 @@
+#include "javalang/analysis.h"
+
+#include <gtest/gtest.h>
+
+#include "javalang/parser.h"
+
+namespace jfeed::java {
+namespace {
+
+std::set<std::string> Reads(const std::string& src) {
+  auto r = ParseExpression(src);
+  EXPECT_TRUE(r.ok()) << r.status().ToString();
+  return VarsRead(**r);
+}
+
+std::set<std::string> Writes(const std::string& src) {
+  auto r = ParseExpression(src);
+  EXPECT_TRUE(r.ok()) << r.status().ToString();
+  return VarsWritten(**r);
+}
+
+std::set<std::string> Mentioned(const std::string& src) {
+  auto r = ParseExpression(src);
+  EXPECT_TRUE(r.ok()) << r.status().ToString();
+  return VarsMentioned(**r);
+}
+
+using Set = std::set<std::string>;
+
+TEST(AnalysisTest, PlainAssignReadsOnlyRhs) {
+  EXPECT_EQ(Reads("x = y + z"), (Set{"y", "z"}));
+  EXPECT_EQ(Writes("x = y + z"), (Set{"x"}));
+}
+
+TEST(AnalysisTest, CompoundAssignReadsTarget) {
+  EXPECT_EQ(Reads("odd += a[i]"), (Set{"odd", "a", "i"}));
+  EXPECT_EQ(Writes("odd += a[i]"), (Set{"odd"}));
+}
+
+TEST(AnalysisTest, IncrementReadsAndWrites) {
+  EXPECT_EQ(Reads("i++"), (Set{"i"}));
+  EXPECT_EQ(Writes("i++"), (Set{"i"}));
+  EXPECT_EQ(Writes("--j"), (Set{"j"}));
+}
+
+TEST(AnalysisTest, ArrayElementStoreIsWeakWrite) {
+  // `b[i - 1] = a[i] * i` writes b, reads b (the object), i and a.
+  EXPECT_EQ(Writes("b[i - 1] = a[i] * i"), (Set{"b"}));
+  EXPECT_EQ(Reads("b[i - 1] = a[i] * i"), (Set{"a", "b", "i"}));
+}
+
+TEST(AnalysisTest, WellKnownClassesAreNotVariables) {
+  EXPECT_EQ(Mentioned("System.out.println(odd)"), (Set{"odd"}));
+  EXPECT_EQ(Mentioned("Math.pow(x, 2)"), (Set{"x"}));
+  EXPECT_TRUE(IsWellKnownClassName("System"));
+  EXPECT_TRUE(IsWellKnownClassName("Math"));
+  EXPECT_FALSE(IsWellKnownClassName("odd"));
+}
+
+TEST(AnalysisTest, FieldAccessReadsReceiver) {
+  EXPECT_EQ(Reads("i <= a.length"), (Set{"a", "i"}));
+}
+
+TEST(AnalysisTest, MethodCallReadsReceiverAndArgs) {
+  EXPECT_EQ(Reads("s.nextInt()"), (Set{"s"}));
+  EXPECT_EQ(Reads("f(x, y + z)"), (Set{"x", "y", "z"}));
+}
+
+TEST(AnalysisTest, ConditionalReadsAllBranches) {
+  EXPECT_EQ(Reads("c ? a : b"), (Set{"a", "b", "c"}));
+}
+
+TEST(AnalysisTest, LiteralsHaveNoVariables) {
+  EXPECT_TRUE(Mentioned("1 + 2").empty());
+  EXPECT_TRUE(Mentioned("\"text\"").empty());
+}
+
+TEST(AnalysisTest, NestedAssignment) {
+  EXPECT_EQ(Writes("x = y = 0"), (Set{"x", "y"}));
+  EXPECT_EQ(Reads("x = y = 0"), (Set{}));
+}
+
+TEST(AnalysisTest, NewExpressions) {
+  EXPECT_EQ(Reads("new int[n + 1]"), (Set{"n"}));
+  EXPECT_EQ(Reads("new Scanner(new File(name))"), (Set{"name"}));
+}
+
+TEST(AnalysisTest, MentionedIsUnionOfReadsAndWrites) {
+  EXPECT_EQ(Mentioned("x = y + 1"), (Set{"x", "y"}));
+  EXPECT_EQ(Mentioned("i++"), (Set{"i"}));
+}
+
+}  // namespace
+}  // namespace jfeed::java

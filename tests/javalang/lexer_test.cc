@@ -1,0 +1,130 @@
+#include "javalang/lexer.h"
+
+#include <gtest/gtest.h>
+
+namespace jfeed::java {
+namespace {
+
+std::vector<TokenKind> Kinds(const std::vector<Token>& tokens) {
+  std::vector<TokenKind> out;
+  for (const auto& t : tokens) out.push_back(t.kind);
+  return out;
+}
+
+TEST(LexerTest, EmptyInputYieldsEof) {
+  auto r = Lex("");
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r->size(), 1u);
+  EXPECT_EQ(r->front().kind, TokenKind::kEof);
+}
+
+TEST(LexerTest, IdentifiersAndKeywords) {
+  auto r = Lex("int foo while forX");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(Kinds(*r),
+            (std::vector<TokenKind>{TokenKind::kKwInt, TokenKind::kIdentifier,
+                                    TokenKind::kKwWhile,
+                                    TokenKind::kIdentifier, TokenKind::kEof}));
+  EXPECT_EQ((*r)[1].text, "foo");
+  EXPECT_EQ((*r)[3].text, "forX");
+}
+
+TEST(LexerTest, IntAndLongLiterals) {
+  auto r = Lex("42 0 123L");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ((*r)[0].kind, TokenKind::kIntLiteral);
+  EXPECT_EQ((*r)[0].int_value, 42);
+  EXPECT_EQ((*r)[1].int_value, 0);
+  EXPECT_EQ((*r)[2].kind, TokenKind::kLongLiteral);
+  EXPECT_EQ((*r)[2].int_value, 123);
+}
+
+TEST(LexerTest, DoubleLiterals) {
+  auto r = Lex("3.14 2.0 1e3 2.5e-2");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ((*r)[0].kind, TokenKind::kDoubleLiteral);
+  EXPECT_DOUBLE_EQ((*r)[0].double_value, 3.14);
+  EXPECT_DOUBLE_EQ((*r)[1].double_value, 2.0);
+  EXPECT_DOUBLE_EQ((*r)[2].double_value, 1000.0);
+  EXPECT_DOUBLE_EQ((*r)[3].double_value, 0.025);
+}
+
+TEST(LexerTest, DotAfterIntegerIsFieldAccessNotDouble) {
+  // `a.length` style: "1." without digits must not consume the dot.
+  auto r = Lex("a.length");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(Kinds(*r), (std::vector<TokenKind>{
+                           TokenKind::kIdentifier, TokenKind::kDot,
+                           TokenKind::kIdentifier, TokenKind::kEof}));
+}
+
+TEST(LexerTest, StringLiteralWithEscapes) {
+  auto r = Lex(R"("a\nb\"c")");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ((*r)[0].kind, TokenKind::kStringLiteral);
+  EXPECT_EQ((*r)[0].string_value, "a\nb\"c");
+}
+
+TEST(LexerTest, UnterminatedStringIsParseError) {
+  auto r = Lex("\"abc");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kParseError);
+}
+
+TEST(LexerTest, CharLiterals) {
+  auto r = Lex(R"('a' '\n' '\'')");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ((*r)[0].int_value, 'a');
+  EXPECT_EQ((*r)[1].int_value, '\n');
+  EXPECT_EQ((*r)[2].int_value, '\'');
+}
+
+TEST(LexerTest, OperatorsGreedy) {
+  auto r = Lex("<= >= == != ++ -- += -= *= /= %= && || < > = ! + - * / % ?");
+  ASSERT_TRUE(r.ok());
+  std::vector<TokenKind> expect = {
+      TokenKind::kLe,       TokenKind::kGe,          TokenKind::kEq,
+      TokenKind::kNe,       TokenKind::kPlusPlus,    TokenKind::kMinusMinus,
+      TokenKind::kPlusAssign, TokenKind::kMinusAssign, TokenKind::kStarAssign,
+      TokenKind::kSlashAssign, TokenKind::kPercentAssign, TokenKind::kAndAnd,
+      TokenKind::kOrOr,     TokenKind::kLt,          TokenKind::kGt,
+      TokenKind::kAssign,   TokenKind::kNot,         TokenKind::kPlus,
+      TokenKind::kMinus,    TokenKind::kStar,        TokenKind::kSlash,
+      TokenKind::kPercent,  TokenKind::kQuestion,    TokenKind::kEof};
+  EXPECT_EQ(Kinds(*r), expect);
+}
+
+TEST(LexerTest, CommentsAreSkipped) {
+  auto r = Lex("a // line comment\n b /* block\n comment */ c");
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r->size(), 4u);
+  EXPECT_EQ((*r)[0].text, "a");
+  EXPECT_EQ((*r)[1].text, "b");
+  EXPECT_EQ((*r)[2].text, "c");
+}
+
+TEST(LexerTest, UnterminatedBlockCommentIsError) {
+  EXPECT_FALSE(Lex("a /* b").ok());
+}
+
+TEST(LexerTest, LineAndColumnTracking) {
+  auto r = Lex("a\n  b");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ((*r)[0].line, 1);
+  EXPECT_EQ((*r)[0].column, 1);
+  EXPECT_EQ((*r)[1].line, 2);
+  EXPECT_EQ((*r)[1].column, 3);
+}
+
+TEST(LexerTest, BitwiseOperatorsRejected) {
+  EXPECT_FALSE(Lex("a & b").ok());
+  EXPECT_FALSE(Lex("a | b").ok());
+}
+
+TEST(LexerTest, UnknownCharacterRejected) {
+  EXPECT_FALSE(Lex("a # b").ok());
+  EXPECT_FALSE(Lex("a @ b").ok());
+}
+
+}  // namespace
+}  // namespace jfeed::java

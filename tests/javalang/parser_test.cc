@@ -1,0 +1,264 @@
+#include "javalang/parser.h"
+
+#include <gtest/gtest.h>
+
+#include "javalang/printer.h"
+
+namespace jfeed::java {
+namespace {
+
+/// Round-trips an expression through parse + print.
+std::string RoundTripExpr(const std::string& source) {
+  auto r = ParseExpression(source);
+  EXPECT_TRUE(r.ok()) << r.status().ToString() << " for: " << source;
+  if (!r.ok()) return "<error>";
+  return ExprToString(**r);
+}
+
+TEST(ParserTest, Literals) {
+  EXPECT_EQ(RoundTripExpr("42"), "42");
+  EXPECT_EQ(RoundTripExpr("3.5"), "3.5");
+  EXPECT_EQ(RoundTripExpr("true"), "true");
+  EXPECT_EQ(RoundTripExpr("false"), "false");
+  EXPECT_EQ(RoundTripExpr("null"), "null");
+  EXPECT_EQ(RoundTripExpr("\"hi\""), "\"hi\"");
+  EXPECT_EQ(RoundTripExpr("'x'"), "'x'");
+  EXPECT_EQ(RoundTripExpr("7L"), "7L");
+}
+
+TEST(ParserTest, PrecedenceMultiplicationBindsTighter) {
+  auto r = ParseExpression("1 + 2 * 3");
+  ASSERT_TRUE(r.ok());
+  const Expr& e = **r;
+  ASSERT_EQ(e.kind, ExprKind::kBinary);
+  EXPECT_EQ(e.binary_op, BinaryOp::kAdd);
+  EXPECT_EQ(e.rhs->binary_op, BinaryOp::kMul);
+}
+
+TEST(ParserTest, ParenthesesOverridePrecedence) {
+  auto r = ParseExpression("(1 + 2) * 3");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ((*r)->binary_op, BinaryOp::kMul);
+  EXPECT_EQ((*r)->lhs->binary_op, BinaryOp::kAdd);
+}
+
+TEST(ParserTest, LeftAssociativity) {
+  auto r = ParseExpression("10 - 4 - 3");
+  ASSERT_TRUE(r.ok());
+  // (10 - 4) - 3
+  EXPECT_EQ((*r)->rhs->kind, ExprKind::kIntLit);
+  EXPECT_EQ((*r)->rhs->int_value, 3);
+}
+
+TEST(ParserTest, AssignmentIsRightAssociative) {
+  auto r = ParseExpression("a = b = 1");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ((*r)->kind, ExprKind::kAssign);
+  EXPECT_EQ((*r)->rhs->kind, ExprKind::kAssign);
+}
+
+TEST(ParserTest, CompoundAssignments) {
+  for (const char* src : {"x += 1", "x -= 1", "x *= 2", "x /= 2", "x %= 2"}) {
+    auto r = ParseExpression(src);
+    ASSERT_TRUE(r.ok()) << src;
+    EXPECT_EQ((*r)->kind, ExprKind::kAssign);
+  }
+}
+
+TEST(ParserTest, AssignTargetMustBeLValue) {
+  EXPECT_FALSE(ParseExpression("1 = 2").ok());
+  EXPECT_FALSE(ParseExpression("f(x) = 2").ok());
+  EXPECT_TRUE(ParseExpression("a[i] = 2").ok());
+}
+
+TEST(ParserTest, IncrementForms) {
+  EXPECT_EQ(RoundTripExpr("i++"), "i++");
+  EXPECT_EQ(RoundTripExpr("++i"), "++i");
+  EXPECT_EQ(RoundTripExpr("i--"), "i--");
+  EXPECT_EQ(RoundTripExpr("--i"), "--i");
+  EXPECT_FALSE(ParseExpression("5++").ok());
+}
+
+TEST(ParserTest, ArrayAndFieldAccess) {
+  EXPECT_EQ(RoundTripExpr("a[i + 1]"), "a[i + 1]");
+  EXPECT_EQ(RoundTripExpr("a.length"), "a.length");
+  EXPECT_EQ(RoundTripExpr("a[i].length"), "a[i].length");
+}
+
+TEST(ParserTest, MethodCalls) {
+  EXPECT_EQ(RoundTripExpr("f()"), "f()");
+  EXPECT_EQ(RoundTripExpr("f(1, 2)"), "f(1, 2)");
+  EXPECT_EQ(RoundTripExpr("System.out.println(x)"), "System.out.println(x)");
+  EXPECT_EQ(RoundTripExpr("Math.pow(x, 2)"), "Math.pow(x, 2)");
+  EXPECT_EQ(RoundTripExpr("s.nextInt()"), "s.nextInt()");
+}
+
+TEST(ParserTest, NewExpressions) {
+  EXPECT_EQ(RoundTripExpr("new int[10]"), "new int[10]");
+  EXPECT_EQ(RoundTripExpr("new int[] {1, 2}"), "new int[] {1, 2}");
+  EXPECT_EQ(RoundTripExpr("new Scanner(new File(\"f.txt\"))"),
+            "new Scanner(new File(\"f.txt\"))");
+  EXPECT_FALSE(ParseExpression("new int(5)").ok());
+}
+
+TEST(ParserTest, CastExpressions) {
+  EXPECT_EQ(RoundTripExpr("(int) x"), "(int) x");
+  EXPECT_EQ(RoundTripExpr("(double) (a / b)"), "(double) (a / b)");
+}
+
+TEST(ParserTest, ConditionalExpression) {
+  EXPECT_EQ(RoundTripExpr("a < b ? a : b"), "a < b ? a : b");
+}
+
+TEST(ParserTest, UnaryMinusFoldsLiterals) {
+  auto r = ParseExpression("-5");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ((*r)->kind, ExprKind::kIntLit);
+  EXPECT_EQ((*r)->int_value, -5);
+}
+
+TEST(ParserTest, LogicalOperators) {
+  auto r = ParseExpression("a && b || c");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ((*r)->binary_op, BinaryOp::kOr);
+  EXPECT_EQ((*r)->lhs->binary_op, BinaryOp::kAnd);
+}
+
+TEST(ParserTest, StatementForms) {
+  EXPECT_TRUE(ParseStatement("int i = 0;").ok());
+  EXPECT_TRUE(ParseStatement("int a = 0, b = 1;").ok());
+  EXPECT_TRUE(ParseStatement("x += 1;").ok());
+  EXPECT_TRUE(ParseStatement("if (x > 0) y = 1;").ok());
+  EXPECT_TRUE(ParseStatement("if (x > 0) y = 1; else y = 2;").ok());
+  EXPECT_TRUE(ParseStatement("while (x < 10) x++;").ok());
+  EXPECT_TRUE(ParseStatement("do x++; while (x < 10);").ok());
+  EXPECT_TRUE(ParseStatement("for (int i = 0; i < n; i++) s += i;").ok());
+  EXPECT_TRUE(ParseStatement("for (;;) break;").ok());
+  EXPECT_TRUE(ParseStatement("return x + y;").ok());
+  EXPECT_TRUE(ParseStatement("return;").ok());
+  EXPECT_TRUE(ParseStatement("break;").ok());
+  EXPECT_TRUE(ParseStatement("continue;").ok());
+  EXPECT_TRUE(ParseStatement("{ int a = 1; a++; }").ok());
+}
+
+TEST(ParserTest, ForWithMultipleUpdates) {
+  auto r = ParseStatement("for (i = 0; i < n; i++, j--) s += i;");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ((*r)->for_update.size(), 2u);
+}
+
+TEST(ParserTest, MissingSemicolonIsError) {
+  EXPECT_FALSE(ParseStatement("int i = 0").ok());
+  EXPECT_FALSE(ParseStatement("x++").ok());
+}
+
+TEST(ParserTest, MethodParsing) {
+  auto r = Parse("void assignment1(int[] a) { int even = 0; }");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  ASSERT_EQ(r->methods.size(), 1u);
+  const Method& m = r->methods[0];
+  EXPECT_EQ(m.name, "assignment1");
+  EXPECT_EQ(m.return_type.kind, TypeKind::kVoid);
+  ASSERT_EQ(m.params.size(), 1u);
+  EXPECT_EQ(m.params[0].type.kind, TypeKind::kInt);
+  EXPECT_EQ(m.params[0].type.array_dims, 1);
+  EXPECT_EQ(m.params[0].name, "a");
+  EXPECT_EQ(m.Signature(), "void assignment1(int[] a)");
+}
+
+TEST(ParserTest, MultipleMethods) {
+  auto r = Parse(
+      "int factorial(int n) { int f = 1; for (int i = 1; i <= n; i++) "
+      "f *= i; return f; }\n"
+      "void main(int k) { System.out.println(factorial(k)); }");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->methods.size(), 2u);
+  EXPECT_NE(r->FindMethod("factorial"), nullptr);
+  EXPECT_NE(r->FindMethod("main"), nullptr);
+  EXPECT_EQ(r->FindMethod("nothere"), nullptr);
+}
+
+TEST(ParserTest, ClassWrapperAcceptedAndRecorded) {
+  auto r = Parse("public class Foo { static int f() { return 1; } }");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->class_name, "Foo");
+  EXPECT_EQ(r->methods.size(), 1u);
+}
+
+TEST(ParserTest, ScannerTypedLocal) {
+  auto r = Parse(
+      "void f() { Scanner s = new Scanner(new File(\"x.txt\")); "
+      "while (s.hasNext()) { int v = s.nextInt(); } s.close(); }");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+}
+
+TEST(ParserTest, EmptySubmissionIsError) {
+  EXPECT_FALSE(Parse("").ok());
+  EXPECT_FALSE(Parse("class Foo { }").ok());
+}
+
+TEST(ParserTest, Figure2aParses) {
+  const char* kSource = R"(
+    void assignment1(int[] a) {
+      int even = 0;
+      int odd = 0;
+      for (int i = 0; i <= a.length; i++) {
+        if (i % 2 == 1)
+          odd += a[i];
+        if (i % 2 == 1)
+          even *= a[i];
+      }
+      System.out.println(odd);
+      System.out.println(even);
+    })";
+  auto r = Parse(kSource);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->methods[0].name, "assignment1");
+}
+
+TEST(ParserTest, Figure2bParses) {
+  const char* kSource = R"(
+    void assignment1(int[] a) {
+      int o = 0, e = 1;
+      int i = 0;
+      while (i < a.length) {
+        if (i % 2 == 1)
+          o += a[i];
+        if (i % 2 == 0)
+          e *= a[i];
+        i++;
+      }
+      System.out.print(o + ", " + e);
+    })";
+  ASSERT_TRUE(Parse(kSource).ok());
+}
+
+TEST(ParserTest, Figure7Parses) {
+  const char* kSource = R"(
+    void countGoldMedals(int year) {
+      int i = 1, medals = 0, p = 0, y = 0;
+      String fn = "", ln = "", e = "";
+      Scanner s = new Scanner(new File("summer_olympics.txt"));
+      while (s.hasNext()) {
+        if (i % 5 == 4)
+          e = s.next();
+        if (i % 5 == 1)
+          e = s.next();
+        if (i % 5 == 1)
+          e = s.next();
+        if (i % 5 == 3)
+          y = s.nextInt();
+        if (i % 5 == 3)
+          p = s.nextInt();
+        if (i % 5 == 4 && y == year && p == 1)
+          medals += 1;
+        i++;
+      }
+      s.close();
+      System.out.println(medals);
+    })";
+  ASSERT_TRUE(Parse(kSource).ok());
+}
+
+}  // namespace
+}  // namespace jfeed::java

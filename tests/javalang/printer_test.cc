@@ -1,0 +1,108 @@
+#include "javalang/printer.h"
+
+#include <gtest/gtest.h>
+
+#include "javalang/parser.h"
+
+namespace jfeed::java {
+namespace {
+
+/// Property: print(parse(print(parse(s)))) == print(parse(s)) — the printed
+/// form is a fixed point (idempotent normalization).
+class ExprRoundTrip : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(ExprRoundTrip, PrintedFormIsAFixedPoint) {
+  auto first = ParseExpression(GetParam());
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+  std::string printed = ExprToString(**first);
+  auto second = ParseExpression(printed);
+  ASSERT_TRUE(second.ok()) << "re-parse failed for: " << printed;
+  EXPECT_EQ(ExprToString(**second), printed);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Expressions, ExprRoundTrip,
+    ::testing::Values(
+        "1 + 2 * 3", "(1 + 2) * 3", "a[i]", "a[i + 1]", "a.length",
+        "i % 2 == 1", "i <= a.length", "odd += a[i]",
+        "System.out.println(odd)", "x = y = 0", "-x * 3", "-(x + y)",
+        "!(a && b)", "!a || b", "a - (b - c)", "a - b - c", "a / b / c",
+        "a / (b / c)", "f(g(x), h(y))", "new int[n + 1]",
+        "new Scanner(new File(\"data.txt\"))", "(int) (x / 2)",
+        "a < b ? a : b", "x % 10", "n / 10", "rev * 10 + n % 10",
+        "s.hasNext()", "y == year && p == 1", "i % 5 == 4 && y == year",
+        "\"O: \" + x + \", E: \" + y", "Math.pow(x, i)", "i++", "--j",
+        "a[i]++", "b[i - 1] = a[i] * i"));
+
+TEST(PrinterTest, BinarySpacingIsNormalized) {
+  auto r = ParseExpression("i%2==1");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(ExprToString(**r), "i % 2 == 1");
+}
+
+TEST(PrinterTest, RedundantParenthesesDropped) {
+  auto r = ParseExpression("((a) + ((b * c)))");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(ExprToString(**r), "a + b * c");
+}
+
+TEST(PrinterTest, NecessaryParenthesesKept) {
+  auto r = ParseExpression("(a + b) * c");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(ExprToString(**r), "(a + b) * c");
+}
+
+TEST(PrinterTest, StatementPrinting) {
+  auto r = ParseStatement("if (x > 0) { y = 1; } else { y = 2; }");
+  ASSERT_TRUE(r.ok());
+  std::string printed = StmtToString(**r);
+  EXPECT_NE(printed.find("if (x > 0) {"), std::string::npos);
+  EXPECT_NE(printed.find("} else {"), std::string::npos);
+}
+
+TEST(PrinterTest, ForStatementPrinting) {
+  auto r = ParseStatement("for (int i = 0; i < n; i++) s += i;");
+  ASSERT_TRUE(r.ok());
+  std::string printed = StmtToString(**r);
+  EXPECT_NE(printed.find("for (int i = 0; i < n; i++)"), std::string::npos)
+      << printed;
+}
+
+TEST(PrinterTest, MethodRoundTrip) {
+  const char* kSource =
+      "void assignment1(int[] a) {\n"
+      "    int even = 0;\n"
+      "    for (int i = 0; i <= a.length; i++) {\n"
+      "        if (i % 2 == 1)\n"
+      "            even *= a[i];\n"
+      "    }\n"
+      "    System.out.println(even);\n"
+      "}\n";
+  auto first = Parse(kSource);
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+  std::string printed = UnitToString(*first);
+  auto second = Parse(printed);
+  ASSERT_TRUE(second.ok()) << "re-parse failed:\n" << printed;
+  EXPECT_EQ(UnitToString(*second), printed);
+}
+
+TEST(PrinterTest, ClassWrapperRoundTrip) {
+  auto first = Parse("class Foo { int f(int x) { return x + 1; } }");
+  ASSERT_TRUE(first.ok());
+  std::string printed = UnitToString(*first);
+  EXPECT_NE(printed.find("class Foo {"), std::string::npos);
+  auto second = Parse(printed);
+  ASSERT_TRUE(second.ok()) << printed;
+  EXPECT_EQ(second->class_name, "Foo");
+}
+
+TEST(PrinterTest, DoWhileRoundTrip) {
+  auto first = ParseStatement("do { x++; } while (x < 10);");
+  ASSERT_TRUE(first.ok());
+  std::string printed = StmtToString(**first);
+  auto second = ParseStatement(printed);
+  ASSERT_TRUE(second.ok()) << printed;
+}
+
+}  // namespace
+}  // namespace jfeed::java

@@ -1,0 +1,187 @@
+// Switch-statement support across the stack: parsing, printing,
+// interpretation (fall-through, default, break) and EPDG construction
+// (Definition 1 lists switch under the Cond node type).
+
+#include <gtest/gtest.h>
+
+#include "interp/interpreter.h"
+#include "javalang/parser.h"
+#include "javalang/printer.h"
+#include "pdg/epdg.h"
+
+namespace jfeed::java {
+namespace {
+
+using interp::Value;
+
+TEST(SwitchTest, ParsesCasesAndDefault) {
+  auto s = ParseStatement(
+      "switch (x) { case 1: y = 1; break; case 2: y = 2; break; "
+      "default: y = 0; }");
+  ASSERT_TRUE(s.ok()) << s.status().ToString();
+  EXPECT_EQ((*s)->kind, StmtKind::kSwitch);
+  ASSERT_EQ((*s)->switch_cases.size(), 3u);
+  EXPECT_NE((*s)->switch_cases[0].label, nullptr);
+  EXPECT_EQ((*s)->switch_cases[2].label, nullptr);  // default
+  EXPECT_EQ((*s)->switch_cases[0].body.size(), 2u);
+}
+
+TEST(SwitchTest, RejectsDuplicateDefaultAndStray) {
+  EXPECT_FALSE(ParseStatement(
+                   "switch (x) { default: y = 1; default: y = 2; }")
+                   .ok());
+  EXPECT_FALSE(ParseStatement("switch (x) { y = 1; }").ok());
+  EXPECT_FALSE(ParseStatement("switch (x) { case 1 y = 1; }").ok());
+}
+
+TEST(SwitchTest, PrintRoundTrip) {
+  const char* kSource =
+      "switch (x % 3) { case 0: y = 1; break; default: y = 0; }";
+  auto first = ParseStatement(kSource);
+  ASSERT_TRUE(first.ok());
+  std::string printed = StmtToString(**first);
+  EXPECT_NE(printed.find("switch (x % 3) {"), std::string::npos);
+  EXPECT_NE(printed.find("case 0:"), std::string::npos);
+  EXPECT_NE(printed.find("default:"), std::string::npos);
+  auto second = ParseStatement(printed);
+  ASSERT_TRUE(second.ok()) << printed;
+  EXPECT_EQ(StmtToString(**second), printed);
+}
+
+interp::Value RunSwitch(int64_t input) {
+  auto unit = Parse(R"(
+      int grade(int score) {
+        int points = 0;
+        switch (score) {
+          case 1:
+            points = 10;
+            break;
+          case 2:
+            points = 20;
+            break;
+          default:
+            points = -1;
+        }
+        return points;
+      })");
+  EXPECT_TRUE(unit.ok());
+  interp::Interpreter interpreter(*unit);
+  auto result = interpreter.Call("grade", {Value::Int(input)});
+  EXPECT_TRUE(result.ok()) << result.status().ToString();
+  return result->return_value;
+}
+
+TEST(SwitchTest, InterpreterSelectsMatchingCase) {
+  EXPECT_EQ(RunSwitch(1).AsInt(), 10);
+  EXPECT_EQ(RunSwitch(2).AsInt(), 20);
+  EXPECT_EQ(RunSwitch(9).AsInt(), -1);
+}
+
+TEST(SwitchTest, InterpreterFallThroughWithoutBreak) {
+  auto unit = Parse(R"(
+      int f(int x) {
+        int n = 0;
+        switch (x) {
+          case 1:
+            n += 1;
+          case 2:
+            n += 2;
+            break;
+          case 3:
+            n += 100;
+        }
+        return n;
+      })");
+  ASSERT_TRUE(unit.ok());
+  interp::Interpreter interpreter(*unit);
+  EXPECT_EQ(interpreter.Call("f", {Value::Int(1)})->return_value.AsInt(), 3);
+  EXPECT_EQ(interpreter.Call("f", {Value::Int(2)})->return_value.AsInt(), 2);
+  EXPECT_EQ(interpreter.Call("f", {Value::Int(3)})->return_value.AsInt(),
+            100);
+  EXPECT_EQ(interpreter.Call("f", {Value::Int(4)})->return_value.AsInt(), 0);
+}
+
+TEST(SwitchTest, InterpreterNoMatchingCaseNoDefault) {
+  auto unit = Parse(
+      "int f(int x) { int n = 5; switch (x) { case 1: n = 1; } return n; }");
+  ASSERT_TRUE(unit.ok());
+  interp::Interpreter interpreter(*unit);
+  EXPECT_EQ(interpreter.Call("f", {Value::Int(7)})->return_value.AsInt(), 5);
+}
+
+TEST(SwitchTest, ReturnInsideSwitchPropagates) {
+  auto unit = Parse(
+      "int f(int x) { switch (x) { case 1: return 11; } return 0; }");
+  ASSERT_TRUE(unit.ok());
+  interp::Interpreter interpreter(*unit);
+  EXPECT_EQ(interpreter.Call("f", {Value::Int(1)})->return_value.AsInt(),
+            11);
+  EXPECT_EQ(interpreter.Call("f", {Value::Int(2)})->return_value.AsInt(), 0);
+}
+
+TEST(SwitchTest, EpdgSelectorIsCondNode) {
+  auto unit = Parse(R"(
+      void f(int x) {
+        int y = 0;
+        switch (x % 2) {
+          case 0:
+            y = 2;
+            break;
+          default:
+            y = 1;
+        }
+        System.out.println(y);
+      })");
+  ASSERT_TRUE(unit.ok());
+  auto graph = pdg::BuildEpdg(unit->methods[0]);
+  ASSERT_TRUE(graph.ok()) << graph.status().ToString();
+
+  graph::NodeId cond = graph::kInvalidNode;
+  graph::NodeId case0 = graph::kInvalidNode;
+  graph::NodeId case_default = graph::kInvalidNode;
+  graph::NodeId print = graph::kInvalidNode;
+  for (size_t i = 0; i < graph->NodeCount(); ++i) {
+    auto id = static_cast<graph::NodeId>(i);
+    const auto& node = graph->NodeAt(id);
+    if (node.content == "x % 2") cond = id;
+    if (node.content == "y = 2") case0 = id;
+    if (node.content == "y = 1") case_default = id;
+    if (node.content == "System.out.println(y)") print = id;
+  }
+  ASSERT_NE(cond, graph::kInvalidNode);
+  EXPECT_EQ(graph->NodeAt(cond).type, pdg::NodeType::kCond);
+  // Both arms are controlled by the selector.
+  EXPECT_TRUE(graph->HasEdge(cond, case0, pdg::EdgeType::kCtrl));
+  EXPECT_TRUE(graph->HasEdge(cond, case_default, pdg::EdgeType::kCtrl));
+  // Both arms' definitions reach the print (alternative branches merge).
+  EXPECT_TRUE(graph->HasEdge(case0, print, pdg::EdgeType::kData));
+  EXPECT_TRUE(graph->HasEdge(case_default, print, pdg::EdgeType::kData));
+}
+
+TEST(SwitchTest, PatternCondNodeMatchesSwitchSelector) {
+  // A Cond-typed pattern node can bind a switch selector, per Definition 1.
+  auto unit = Parse(R"(
+      void f(int x) {
+        int n = 0;
+        switch (x % 2) {
+          case 1:
+            n += x;
+            break;
+        }
+        System.out.println(n);
+      })");
+  ASSERT_TRUE(unit.ok());
+  auto graph = pdg::BuildEpdg(unit->methods[0]);
+  ASSERT_TRUE(graph.ok());
+  bool found_cond = false;
+  for (size_t i = 0; i < graph->NodeCount(); ++i) {
+    if (graph->NodeAt(static_cast<graph::NodeId>(i)).type ==
+        pdg::NodeType::kCond) {
+      found_cond = true;
+    }
+  }
+  EXPECT_TRUE(found_cond);
+}
+
+}  // namespace
+}  // namespace jfeed::java

@@ -1,0 +1,132 @@
+// Tests for the Sec. VII pattern-variation extension: the i += 2 access
+// strategy the paper lists as an explicit future-work example.
+
+#include "kb/extensions.h"
+
+#include <gtest/gtest.h>
+
+#include "core/feedback.h"
+#include "core/submission_matcher.h"
+#include "javalang/parser.h"
+#include "kb/assignments.h"
+#include "testing/functional.h"
+
+namespace jfeed::kb {
+namespace {
+
+// A correct Assignment 1 submission using the step-by-two strategy — the
+// paper's third discrepancy class ("they update twice the value of i").
+constexpr const char* kStepByTwo = R"(
+void assignment1(int[] a) {
+  int o = 0;
+  int e = 1;
+  for (int i = 1; i < a.length; i += 2)
+    o += a[i];
+  for (int j = 0; j < a.length; j += 2)
+    e *= a[j];
+  System.out.println(o);
+  System.out.println(e);
+})";
+
+TEST(ExtensionsTest, VariationPatternsValidate) {
+  const auto& ext = ExtensionLibrary::Get();
+  EXPECT_TRUE(ext.even_positions_step().Validate().ok());
+  EXPECT_TRUE(ext.odd_positions_step().Validate().ok());
+  EXPECT_TRUE(ext.cond_accum_mul_direct().Validate().ok());
+  EXPECT_TRUE(ext.cond_accum_add_direct().Validate().ok());
+}
+
+TEST(ExtensionsTest, StepSubmissionIsFunctionallyCorrect) {
+  const auto& assignment = KnowledgeBase::Get().assignment("assignment1");
+  auto unit = java::Parse(kStepByTwo);
+  ASSERT_TRUE(unit.ok());
+  auto reference = java::Parse(assignment.Reference());
+  ASSERT_TRUE(reference.ok());
+  auto expected = testing::ComputeExpectedOutputs(*reference,
+                                                  assignment.suite);
+  ASSERT_TRUE(expected.ok());
+  EXPECT_TRUE(testing::RunSuite(*unit, assignment.suite, *expected).passed);
+}
+
+TEST(ExtensionsTest, BaseSpecRejectsStepStrategy) {
+  // Without variations this is the paper's documented discrepancy: correct
+  // functionally, flagged by the patterns.
+  const auto& assignment = KnowledgeBase::Get().assignment("assignment1");
+  auto feedback = core::MatchSubmissionSource(assignment.spec, kStepByTwo);
+  ASSERT_TRUE(feedback.ok());
+  EXPECT_FALSE(feedback->AllCorrect());
+}
+
+TEST(ExtensionsTest, VariationsAcceptStepStrategy) {
+  core::AssignmentSpec spec =
+      KnowledgeBase::Get().assignment("assignment1").spec;
+  ExtensionLibrary::Get().AttachAssignment1Variations(&spec);
+  auto feedback = core::MatchSubmissionSource(spec, kStepByTwo);
+  ASSERT_TRUE(feedback.ok()) << feedback.status().ToString();
+  EXPECT_TRUE(feedback->AllCorrect())
+      << core::RenderFeedback(feedback->comments);
+  // The accepted comments mention the variation.
+  bool variation_mentioned = false;
+  for (const auto& c : feedback->comments) {
+    if (c.message.find("accepted variation") != std::string::npos) {
+      variation_mentioned = true;
+    }
+  }
+  EXPECT_TRUE(variation_mentioned);
+}
+
+TEST(ExtensionsTest, VariationsStillAcceptThePrimaryStrategy) {
+  core::AssignmentSpec spec =
+      KnowledgeBase::Get().assignment("assignment1").spec;
+  ExtensionLibrary::Get().AttachAssignment1Variations(&spec);
+  const auto& assignment = KnowledgeBase::Get().assignment("assignment1");
+  auto feedback =
+      core::MatchSubmissionSource(spec, assignment.Reference());
+  ASSERT_TRUE(feedback.ok());
+  EXPECT_TRUE(feedback->AllCorrect())
+      << core::RenderFeedback(feedback->comments);
+  // The primary realization must not be reported as a variation.
+  for (const auto& c : feedback->comments) {
+    EXPECT_EQ(c.message.find("accepted variation"), std::string::npos);
+  }
+}
+
+TEST(ExtensionsTest, VariationsStillRejectWrongSubmissions) {
+  core::AssignmentSpec spec =
+      KnowledgeBase::Get().assignment("assignment1").spec;
+  ExtensionLibrary::Get().AttachAssignment1Variations(&spec);
+  // Steps by two but starts odd access at 0 (sums even positions).
+  const char* kWrong = R"(
+      void assignment1(int[] a) {
+        int o = 0;
+        int e = 1;
+        for (int i = 0; i < a.length; i += 2)
+          o += a[i];
+        for (int j = 0; j < a.length; j += 2)
+          e *= a[j];
+        System.out.println(o);
+        System.out.println(e);
+      })";
+  auto feedback = core::MatchSubmissionSource(spec, kWrong);
+  ASSERT_TRUE(feedback.ok());
+  EXPECT_FALSE(feedback->AllCorrect());
+}
+
+TEST(ExtensionsTest, RemappedEmbeddingsSatisfyConstraints) {
+  // The equality constraint (even-positions.5 == cond-accum-mul.3) must
+  // hold through the slot re-mapping of both variations.
+  core::AssignmentSpec spec =
+      KnowledgeBase::Get().assignment("assignment1").spec;
+  ExtensionLibrary::Get().AttachAssignment1Variations(&spec);
+  auto feedback = core::MatchSubmissionSource(spec, kStepByTwo);
+  ASSERT_TRUE(feedback.ok());
+  for (const auto& c : feedback->comments) {
+    if (c.source_id == "even-access-is-multiplied" ||
+        c.source_id == "odd-access-is-summed") {
+      EXPECT_EQ(c.kind, core::FeedbackKind::kCorrect) << c.source_id;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace jfeed::kb

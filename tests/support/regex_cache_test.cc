@@ -1,0 +1,42 @@
+#include "support/regex_cache.h"
+
+#include <gtest/gtest.h>
+
+namespace jfeed {
+namespace {
+
+TEST(RegexCacheTest, CompilesAndCaches) {
+  RegexCache cache;
+  const std::regex* first = cache.Get("a+b");
+  ASSERT_NE(first, nullptr);
+  EXPECT_TRUE(std::regex_search(std::string("xaaab"), *first));
+  // Second lookup returns the same compiled object.
+  EXPECT_EQ(cache.Get("a+b"), first);
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(RegexCacheTest, InvalidPatternsAreNegativeCached) {
+  RegexCache cache;
+  EXPECT_EQ(cache.Get("(["), nullptr);
+  EXPECT_EQ(cache.Get("(["), nullptr);  // No recompilation attempt throw.
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(RegexCacheTest, EvictsWhenFull) {
+  RegexCache cache(/*max_entries=*/4);
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_NE(cache.Get("p" + std::to_string(i)), nullptr);
+  }
+  EXPECT_EQ(cache.size(), 4u);
+  // The fifth insertion clears and restarts the cache.
+  ASSERT_NE(cache.Get("p4"), nullptr);
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(RegexCacheTest, GlobalIsSingleton) {
+  EXPECT_EQ(&RegexCache::Global(), &RegexCache::Global());
+  EXPECT_NE(RegexCache::Global().Get("x = 0"), nullptr);
+}
+
+}  // namespace
+}  // namespace jfeed

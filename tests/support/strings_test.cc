@@ -1,0 +1,63 @@
+#include "support/strings.h"
+
+#include <gtest/gtest.h>
+
+namespace jfeed {
+namespace {
+
+TEST(StringsTest, Join) {
+  EXPECT_EQ(Join({}, ", "), "");
+  EXPECT_EQ(Join({"a"}, ", "), "a");
+  EXPECT_EQ(Join({"a", "b", "c"}, " + "), "a + b + c");
+}
+
+TEST(StringsTest, Split) {
+  EXPECT_EQ(Split("a,b,c", ','), (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(Split("a,,b", ','), (std::vector<std::string>{"a", "", "b"}));
+  EXPECT_EQ(Split("", ','), (std::vector<std::string>{""}));
+  EXPECT_EQ(Split("abc", ','), (std::vector<std::string>{"abc"}));
+}
+
+TEST(StringsTest, Trim) {
+  EXPECT_EQ(Trim("  hi  "), "hi");
+  EXPECT_EQ(Trim("\t\nhi"), "hi");
+  EXPECT_EQ(Trim("hi"), "hi");
+  EXPECT_EQ(Trim("   "), "");
+  EXPECT_EQ(Trim(""), "");
+}
+
+TEST(StringsTest, StartsEndsWith) {
+  EXPECT_TRUE(StartsWith("foobar", "foo"));
+  EXPECT_FALSE(StartsWith("fo", "foo"));
+  EXPECT_TRUE(EndsWith("foobar", "bar"));
+  EXPECT_FALSE(EndsWith("ar", "bar"));
+  EXPECT_TRUE(StartsWith("x", ""));
+  EXPECT_TRUE(EndsWith("x", ""));
+}
+
+TEST(StringsTest, ReplaceAll) {
+  EXPECT_EQ(ReplaceAll("a.b.c", ".", "->"), "a->b->c");
+  EXPECT_EQ(ReplaceAll("aaa", "aa", "b"), "ba");
+  EXPECT_EQ(ReplaceAll("abc", "", "x"), "abc");
+  EXPECT_EQ(ReplaceAll("", "a", "x"), "");
+}
+
+TEST(StringsTest, RegexEscapeProtectsMetacharacters) {
+  EXPECT_EQ(RegexEscape("a[i]"), "a\\[i\\]");
+  EXPECT_EQ(RegexEscape("x + 1"), "x \\+ 1");
+  EXPECT_EQ(RegexEscape("f(x)"), "f\\(x\\)");
+  EXPECT_EQ(RegexEscape("plain"), "plain");
+  EXPECT_EQ(RegexEscape("a.b"), "a\\.b");
+}
+
+TEST(StringsTest, IdentifierPredicates) {
+  EXPECT_TRUE(IsIdentStart('a'));
+  EXPECT_TRUE(IsIdentStart('_'));
+  EXPECT_TRUE(IsIdentStart('$'));
+  EXPECT_FALSE(IsIdentStart('1'));
+  EXPECT_TRUE(IsIdentPart('1'));
+  EXPECT_FALSE(IsIdentPart('-'));
+}
+
+}  // namespace
+}  // namespace jfeed

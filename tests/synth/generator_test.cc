@@ -1,0 +1,108 @@
+#include "synth/generator.h"
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+namespace jfeed::synth {
+namespace {
+
+SubmissionTemplate MakeTemplate() {
+  return SubmissionTemplate(
+      "void f() {\n  int ${init};\n  ${op};\n}\n",
+      {
+          {"init", {"x = 0", "x = 1"}},
+          {"op", {"x++", "x--", "x += 2"}},
+      });
+}
+
+TEST(GeneratorTest, SpaceSizeIsProductOfVariantCounts) {
+  EXPECT_EQ(MakeTemplate().SpaceSize(), 6u);
+}
+
+TEST(GeneratorTest, ValidateAcceptsWellFormedTemplate) {
+  EXPECT_TRUE(MakeTemplate().Validate().ok());
+}
+
+TEST(GeneratorTest, ValidateRejectsOrphanSite) {
+  SubmissionTemplate t("void f() { }", {{"ghost", {"a"}}});
+  EXPECT_FALSE(t.Validate().ok());
+}
+
+TEST(GeneratorTest, ValidateRejectsOrphanHole) {
+  SubmissionTemplate t("void f() { ${missing} }", {});
+  EXPECT_FALSE(t.Validate().ok());
+}
+
+TEST(GeneratorTest, ValidateRejectsEmptyVariants) {
+  SubmissionTemplate t("void f() { ${a} }", {{"a", {}}});
+  EXPECT_FALSE(t.Validate().ok());
+}
+
+TEST(GeneratorTest, ValidateRejectsDuplicateSites) {
+  SubmissionTemplate t("void f() { ${a} ${a} }",
+                       {{"a", {"x"}}, {"a", {"y"}}});
+  EXPECT_FALSE(t.Validate().ok());
+}
+
+TEST(GeneratorTest, IndexZeroIsAllCorrect) {
+  SubmissionTemplate t = MakeTemplate();
+  EXPECT_TRUE(t.IsAllCorrect(0));
+  EXPECT_FALSE(t.IsAllCorrect(1));
+  EXPECT_EQ(t.Generate(0), "void f() {\n  int x = 0;\n  x++;\n}\n");
+}
+
+TEST(GeneratorTest, MixedRadixDecoding) {
+  SubmissionTemplate t = MakeTemplate();
+  // Site 0 (radix 2) is least significant.
+  EXPECT_EQ(t.Decode(0), (std::vector<size_t>{0, 0}));
+  EXPECT_EQ(t.Decode(1), (std::vector<size_t>{1, 0}));
+  EXPECT_EQ(t.Decode(2), (std::vector<size_t>{0, 1}));
+  EXPECT_EQ(t.Decode(5), (std::vector<size_t>{1, 2}));
+}
+
+TEST(GeneratorTest, AllIndexesProduceDistinctSources) {
+  SubmissionTemplate t = MakeTemplate();
+  std::set<std::string> sources;
+  for (uint64_t i = 0; i < t.SpaceSize(); ++i) {
+    EXPECT_TRUE(sources.insert(t.Generate(i)).second) << i;
+  }
+}
+
+TEST(GeneratorTest, ErrorCountCountsDeviations) {
+  SubmissionTemplate t = MakeTemplate();
+  EXPECT_EQ(t.ErrorCount(0), 0);
+  EXPECT_EQ(t.ErrorCount(1), 1);  // init deviates.
+  EXPECT_EQ(t.ErrorCount(2), 1);  // op deviates.
+  EXPECT_EQ(t.ErrorCount(3), 2);  // Both deviate.
+}
+
+TEST(SampleIndexesTest, SmallSpaceReturnsEverything) {
+  auto s = SampleIndexes(5, 100);
+  EXPECT_EQ(s, (std::vector<uint64_t>{0, 1, 2, 3, 4}));
+}
+
+TEST(SampleIndexesTest, AlwaysIncludesReference) {
+  auto s = SampleIndexes(1000000, 10);
+  ASSERT_FALSE(s.empty());
+  EXPECT_EQ(s[0], 0u);
+  EXPECT_EQ(s.size(), 10u);
+}
+
+TEST(SampleIndexesTest, SamplesAreUniqueAndInRange) {
+  auto s = SampleIndexes(640000, 500);
+  std::set<uint64_t> unique(s.begin(), s.end());
+  EXPECT_EQ(unique.size(), s.size());
+  for (uint64_t i : s) EXPECT_LT(i, 640000u);
+}
+
+TEST(SampleIndexesTest, Deterministic) {
+  EXPECT_EQ(SampleIndexes(7077888, 200), SampleIndexes(7077888, 200));
+}
+
+TEST(SampleIndexesTest, ZeroSpace) {
+  EXPECT_TRUE(SampleIndexes(0, 10).empty());
+}
+
+}  // namespace
+}  // namespace jfeed::synth

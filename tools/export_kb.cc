@@ -1,0 +1,36 @@
+// Writes the 24-pattern knowledge base in its text format to stdout (or a
+// file given as argv[1]) — the publicly-available artifact of the paper.
+
+#include <cstdio>
+#include <cstring>
+
+#include "kb/assignments.h"
+#include "kb/serialization.h"
+
+int main(int argc, char** argv) {
+  std::string text;
+  if (argc > 2 && std::strcmp(argv[2], "--specs") == 0) {
+    text = "# jfeed knowledge base — the twelve Table-I assignment "
+           "specifications.\n\n";
+    const auto& kb = jfeed::kb::KnowledgeBase::Get();
+    for (const auto& id : kb.assignment_ids()) {
+      text += jfeed::kb::SerializeSpec(kb.assignment(id).spec);
+      text += "\n";
+    }
+  } else {
+    text = jfeed::kb::ExportPatternLibrary();
+  }
+  if (argc > 1) {
+    FILE* f = std::fopen(argv[1], "w");
+    if (f == nullptr) {
+      std::perror("fopen");
+      return 1;
+    }
+    std::fwrite(text.data(), 1, text.size(), f);
+    std::fclose(f);
+    std::printf("wrote %zu bytes to %s\n", text.size(), argv[1]);
+    return 0;
+  }
+  std::fputs(text.c_str(), stdout);
+  return 0;
+}

@@ -1,0 +1,124 @@
+// Command-line grader: reads a Java submission from a file (or stdin) and
+// prints the personalized feedback for a knowledge-base assignment.
+//
+//   grade <assignment-id> [file.java]      grade a submission
+//   grade --list                           list assignment ids
+//   grade <assignment-id> --reference      print the reference solution
+//   grade <assignment-id> --dot [file]     print the submission's EPDG
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "core/submission_matcher.h"
+#include "javalang/parser.h"
+#include "kb/assignments.h"
+#include "pdg/epdg.h"
+
+namespace {
+
+std::string ReadAll(std::istream& in) {
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+int ListAssignments() {
+  const auto& kb = jfeed::kb::KnowledgeBase::Get();
+  for (const auto& id : kb.assignment_ids()) {
+    const auto& a = kb.assignment(id);
+    std::printf("%-20s %s\n", id.c_str(), a.title.c_str());
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc >= 2 && std::strcmp(argv[1], "--list") == 0) {
+    return ListAssignments();
+  }
+  if (argc < 2) {
+    std::fprintf(stderr,
+                 "usage: %s <assignment-id> [file.java | --reference | "
+                 "--dot [file.java]]\n       %s --list\n",
+                 argv[0], argv[0]);
+    return 2;
+  }
+  const auto& kb = jfeed::kb::KnowledgeBase::Get();
+  std::string id = argv[1];
+  bool known = false;
+  for (const auto& known_id : kb.assignment_ids()) known |= known_id == id;
+  if (!known) {
+    std::fprintf(stderr, "unknown assignment '%s' (try --list)\n",
+                 id.c_str());
+    return 2;
+  }
+  const auto& assignment = kb.assignment(id);
+
+  if (argc >= 3 && std::strcmp(argv[2], "--reference") == 0) {
+    std::fputs(assignment.Reference().c_str(), stdout);
+    return 0;
+  }
+
+  bool dot = argc >= 3 && std::strcmp(argv[2], "--dot") == 0;
+  const char* path = nullptr;
+  if (dot) {
+    path = argc >= 4 ? argv[3] : nullptr;
+  } else if (argc >= 3) {
+    path = argv[2];
+  }
+
+  std::string source;
+  if (path != nullptr) {
+    std::ifstream file(path);
+    if (!file) {
+      std::fprintf(stderr, "cannot open %s\n", path);
+      return 2;
+    }
+    source = ReadAll(file);
+  } else {
+    source = ReadAll(std::cin);
+  }
+
+  auto unit = jfeed::java::Parse(source);
+  if (!unit.ok()) {
+    std::fprintf(stderr, "submission does not parse: %s\n",
+                 unit.status().ToString().c_str());
+    return 1;
+  }
+
+  if (dot) {
+    for (const auto& method : unit->methods) {
+      auto graph = jfeed::pdg::BuildEpdg(method);
+      if (!graph.ok()) {
+        std::fprintf(stderr, "%s\n", graph.status().ToString().c_str());
+        return 1;
+      }
+      std::fputs(graph->ToDot().c_str(), stdout);
+    }
+    return 0;
+  }
+
+  auto feedback = jfeed::core::MatchSubmission(assignment.spec, *unit);
+  if (!feedback.ok()) {
+    std::fprintf(stderr, "%s\n", feedback.status().ToString().c_str());
+    return 1;
+  }
+  if (!feedback->matched) {
+    std::printf("The submission does not provide the expected method(s); "
+                "no feedback can be given.\nExpected: ");
+    for (const auto& method : assignment.spec.methods) {
+      std::printf("%s ", method.expected_name.c_str());
+    }
+    std::printf("\n");
+    return 1;
+  }
+  std::fputs(jfeed::core::RenderFeedback(feedback->comments).c_str(),
+             stdout);
+  std::printf("score: %.1f / %zu\n", feedback->score,
+              feedback->comments.size());
+  return feedback->AllCorrect() ? 0 : 1;
+}
