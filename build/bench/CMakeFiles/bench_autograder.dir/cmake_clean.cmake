@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_autograder.dir/bench_autograder.cc.o"
+  "CMakeFiles/bench_autograder.dir/bench_autograder.cc.o.d"
+  "bench_autograder"
+  "bench_autograder.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_autograder.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

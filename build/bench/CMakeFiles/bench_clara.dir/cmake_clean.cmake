@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_clara.dir/bench_clara.cc.o"
+  "CMakeFiles/bench_clara.dir/bench_clara.cc.o.d"
+  "bench_clara"
+  "bench_clara.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_clara.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_epdg.dir/bench_epdg.cc.o"
+  "CMakeFiles/bench_epdg.dir/bench_epdg.cc.o.d"
+  "bench_epdg"
+  "bench_epdg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_epdg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

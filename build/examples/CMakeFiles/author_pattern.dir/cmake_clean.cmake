@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/author_pattern.dir/author_pattern.cpp.o"
+  "CMakeFiles/author_pattern.dir/author_pattern.cpp.o.d"
+  "author_pattern"
+  "author_pattern.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/author_pattern.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/class_report.dir/class_report.cpp.o"
+  "CMakeFiles/class_report.dir/class_report.cpp.o.d"
+  "class_report"
+  "class_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/class_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/grade_assignment1.dir/grade_assignment1.cpp.o"
+  "CMakeFiles/grade_assignment1.dir/grade_assignment1.cpp.o.d"
+  "grade_assignment1"
+  "grade_assignment1.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/grade_assignment1.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for grade_assignment1.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/olympics_medals.dir/olympics_medals.cpp.o"
+  "CMakeFiles/olympics_medals.dir/olympics_medals.cpp.o.d"
+  "olympics_medals"
+  "olympics_medals.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/olympics_medals.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

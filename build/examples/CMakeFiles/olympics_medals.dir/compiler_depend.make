@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for olympics_medals.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for olympics_medals.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pattern_variations.dir/pattern_variations.cpp.o"
+  "CMakeFiles/pattern_variations.dir/pattern_variations.cpp.o.d"
+  "pattern_variations"
+  "pattern_variations.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pattern_variations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

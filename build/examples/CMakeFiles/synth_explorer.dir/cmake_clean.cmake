@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/synth_explorer.dir/synth_explorer.cpp.o"
+  "CMakeFiles/synth_explorer.dir/synth_explorer.cpp.o.d"
+  "synth_explorer"
+  "synth_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/synth_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

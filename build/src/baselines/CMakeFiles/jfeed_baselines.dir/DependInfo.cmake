@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/autograder_lite.cc" "src/baselines/CMakeFiles/jfeed_baselines.dir/autograder_lite.cc.o" "gcc" "src/baselines/CMakeFiles/jfeed_baselines.dir/autograder_lite.cc.o.d"
+  "/root/repo/src/baselines/clara_lite.cc" "src/baselines/CMakeFiles/jfeed_baselines.dir/clara_lite.cc.o" "gcc" "src/baselines/CMakeFiles/jfeed_baselines.dir/clara_lite.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/interp/CMakeFiles/jfeed_interp.dir/DependInfo.cmake"
+  "/root/repo/build/src/synth/CMakeFiles/jfeed_synth.dir/DependInfo.cmake"
+  "/root/repo/build/src/testing/CMakeFiles/jfeed_testing.dir/DependInfo.cmake"
+  "/root/repo/build/src/javalang/CMakeFiles/jfeed_javalang.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/jfeed_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jfeed_baselines.dir/autograder_lite.cc.o"
+  "CMakeFiles/jfeed_baselines.dir/autograder_lite.cc.o.d"
+  "CMakeFiles/jfeed_baselines.dir/clara_lite.cc.o"
+  "CMakeFiles/jfeed_baselines.dir/clara_lite.cc.o.d"
+  "libjfeed_baselines.a"
+  "libjfeed_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jfeed_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/ast_matcher.cc" "src/core/CMakeFiles/jfeed_core.dir/ast_matcher.cc.o" "gcc" "src/core/CMakeFiles/jfeed_core.dir/ast_matcher.cc.o.d"
+  "/root/repo/src/core/constraint.cc" "src/core/CMakeFiles/jfeed_core.dir/constraint.cc.o" "gcc" "src/core/CMakeFiles/jfeed_core.dir/constraint.cc.o.d"
+  "/root/repo/src/core/expr_pattern.cc" "src/core/CMakeFiles/jfeed_core.dir/expr_pattern.cc.o" "gcc" "src/core/CMakeFiles/jfeed_core.dir/expr_pattern.cc.o.d"
+  "/root/repo/src/core/feedback.cc" "src/core/CMakeFiles/jfeed_core.dir/feedback.cc.o" "gcc" "src/core/CMakeFiles/jfeed_core.dir/feedback.cc.o.d"
+  "/root/repo/src/core/pattern.cc" "src/core/CMakeFiles/jfeed_core.dir/pattern.cc.o" "gcc" "src/core/CMakeFiles/jfeed_core.dir/pattern.cc.o.d"
+  "/root/repo/src/core/pattern_matcher.cc" "src/core/CMakeFiles/jfeed_core.dir/pattern_matcher.cc.o" "gcc" "src/core/CMakeFiles/jfeed_core.dir/pattern_matcher.cc.o.d"
+  "/root/repo/src/core/submission_matcher.cc" "src/core/CMakeFiles/jfeed_core.dir/submission_matcher.cc.o" "gcc" "src/core/CMakeFiles/jfeed_core.dir/submission_matcher.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/pdg/CMakeFiles/jfeed_pdg.dir/DependInfo.cmake"
+  "/root/repo/build/src/javalang/CMakeFiles/jfeed_javalang.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/jfeed_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jfeed_core.dir/ast_matcher.cc.o"
+  "CMakeFiles/jfeed_core.dir/ast_matcher.cc.o.d"
+  "CMakeFiles/jfeed_core.dir/constraint.cc.o"
+  "CMakeFiles/jfeed_core.dir/constraint.cc.o.d"
+  "CMakeFiles/jfeed_core.dir/expr_pattern.cc.o"
+  "CMakeFiles/jfeed_core.dir/expr_pattern.cc.o.d"
+  "CMakeFiles/jfeed_core.dir/feedback.cc.o"
+  "CMakeFiles/jfeed_core.dir/feedback.cc.o.d"
+  "CMakeFiles/jfeed_core.dir/pattern.cc.o"
+  "CMakeFiles/jfeed_core.dir/pattern.cc.o.d"
+  "CMakeFiles/jfeed_core.dir/pattern_matcher.cc.o"
+  "CMakeFiles/jfeed_core.dir/pattern_matcher.cc.o.d"
+  "CMakeFiles/jfeed_core.dir/submission_matcher.cc.o"
+  "CMakeFiles/jfeed_core.dir/submission_matcher.cc.o.d"
+  "libjfeed_core.a"
+  "libjfeed_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jfeed_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

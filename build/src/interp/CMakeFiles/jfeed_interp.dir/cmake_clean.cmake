@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jfeed_interp.dir/interpreter.cc.o"
+  "CMakeFiles/jfeed_interp.dir/interpreter.cc.o.d"
+  "CMakeFiles/jfeed_interp.dir/value.cc.o"
+  "CMakeFiles/jfeed_interp.dir/value.cc.o.d"
+  "libjfeed_interp.a"
+  "libjfeed_interp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jfeed_interp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/javalang/analysis.cc" "src/javalang/CMakeFiles/jfeed_javalang.dir/analysis.cc.o" "gcc" "src/javalang/CMakeFiles/jfeed_javalang.dir/analysis.cc.o.d"
+  "/root/repo/src/javalang/ast.cc" "src/javalang/CMakeFiles/jfeed_javalang.dir/ast.cc.o" "gcc" "src/javalang/CMakeFiles/jfeed_javalang.dir/ast.cc.o.d"
+  "/root/repo/src/javalang/lexer.cc" "src/javalang/CMakeFiles/jfeed_javalang.dir/lexer.cc.o" "gcc" "src/javalang/CMakeFiles/jfeed_javalang.dir/lexer.cc.o.d"
+  "/root/repo/src/javalang/parser.cc" "src/javalang/CMakeFiles/jfeed_javalang.dir/parser.cc.o" "gcc" "src/javalang/CMakeFiles/jfeed_javalang.dir/parser.cc.o.d"
+  "/root/repo/src/javalang/printer.cc" "src/javalang/CMakeFiles/jfeed_javalang.dir/printer.cc.o" "gcc" "src/javalang/CMakeFiles/jfeed_javalang.dir/printer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/jfeed_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

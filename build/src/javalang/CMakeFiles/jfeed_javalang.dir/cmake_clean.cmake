@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jfeed_javalang.dir/analysis.cc.o"
+  "CMakeFiles/jfeed_javalang.dir/analysis.cc.o.d"
+  "CMakeFiles/jfeed_javalang.dir/ast.cc.o"
+  "CMakeFiles/jfeed_javalang.dir/ast.cc.o.d"
+  "CMakeFiles/jfeed_javalang.dir/lexer.cc.o"
+  "CMakeFiles/jfeed_javalang.dir/lexer.cc.o.d"
+  "CMakeFiles/jfeed_javalang.dir/parser.cc.o"
+  "CMakeFiles/jfeed_javalang.dir/parser.cc.o.d"
+  "CMakeFiles/jfeed_javalang.dir/printer.cc.o"
+  "CMakeFiles/jfeed_javalang.dir/printer.cc.o.d"
+  "libjfeed_javalang.a"
+  "libjfeed_javalang.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jfeed_javalang.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libjfeed_javalang.a"
+)

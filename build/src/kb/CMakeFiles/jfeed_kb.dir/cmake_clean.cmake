@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jfeed_kb.dir/assignments.cc.o"
+  "CMakeFiles/jfeed_kb.dir/assignments.cc.o.d"
+  "CMakeFiles/jfeed_kb.dir/extensions.cc.o"
+  "CMakeFiles/jfeed_kb.dir/extensions.cc.o.d"
+  "CMakeFiles/jfeed_kb.dir/patterns.cc.o"
+  "CMakeFiles/jfeed_kb.dir/patterns.cc.o.d"
+  "CMakeFiles/jfeed_kb.dir/serialization.cc.o"
+  "CMakeFiles/jfeed_kb.dir/serialization.cc.o.d"
+  "libjfeed_kb.a"
+  "libjfeed_kb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jfeed_kb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libjfeed_kb.a"
+)

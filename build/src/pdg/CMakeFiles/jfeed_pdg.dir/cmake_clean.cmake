@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jfeed_pdg.dir/epdg.cc.o"
+  "CMakeFiles/jfeed_pdg.dir/epdg.cc.o.d"
+  "libjfeed_pdg.a"
+  "libjfeed_pdg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jfeed_pdg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jfeed_support.dir/status.cc.o"
+  "CMakeFiles/jfeed_support.dir/status.cc.o.d"
+  "CMakeFiles/jfeed_support.dir/strings.cc.o"
+  "CMakeFiles/jfeed_support.dir/strings.cc.o.d"
+  "libjfeed_support.a"
+  "libjfeed_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jfeed_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jfeed_synth.dir/generator.cc.o"
+  "CMakeFiles/jfeed_synth.dir/generator.cc.o.d"
+  "libjfeed_synth.a"
+  "libjfeed_synth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jfeed_synth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jfeed_testing.dir/functional.cc.o"
+  "CMakeFiles/jfeed_testing.dir/functional.cc.o.d"
+  "libjfeed_testing.a"
+  "libjfeed_testing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jfeed_testing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

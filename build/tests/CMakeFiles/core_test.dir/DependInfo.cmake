@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/ast_matcher_test.cc" "tests/CMakeFiles/core_test.dir/core/ast_matcher_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/ast_matcher_test.cc.o.d"
+  "/root/repo/tests/core/ast_pattern_test.cc" "tests/CMakeFiles/core_test.dir/core/ast_pattern_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/ast_pattern_test.cc.o.d"
+  "/root/repo/tests/core/constraint_test.cc" "tests/CMakeFiles/core_test.dir/core/constraint_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/constraint_test.cc.o.d"
+  "/root/repo/tests/core/expr_pattern_test.cc" "tests/CMakeFiles/core_test.dir/core/expr_pattern_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/expr_pattern_test.cc.o.d"
+  "/root/repo/tests/core/pattern_matcher_test.cc" "tests/CMakeFiles/core_test.dir/core/pattern_matcher_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/pattern_matcher_test.cc.o.d"
+  "/root/repo/tests/core/pattern_test.cc" "tests/CMakeFiles/core_test.dir/core/pattern_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/pattern_test.cc.o.d"
+  "/root/repo/tests/core/submission_matcher_test.cc" "tests/CMakeFiles/core_test.dir/core/submission_matcher_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/submission_matcher_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/jfeed_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/javalang/CMakeFiles/jfeed_javalang.dir/DependInfo.cmake"
+  "/root/repo/build/src/pdg/CMakeFiles/jfeed_pdg.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/jfeed_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

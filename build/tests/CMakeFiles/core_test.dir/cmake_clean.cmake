@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_test.dir/core/ast_matcher_test.cc.o"
+  "CMakeFiles/core_test.dir/core/ast_matcher_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/ast_pattern_test.cc.o"
+  "CMakeFiles/core_test.dir/core/ast_pattern_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/constraint_test.cc.o"
+  "CMakeFiles/core_test.dir/core/constraint_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/expr_pattern_test.cc.o"
+  "CMakeFiles/core_test.dir/core/expr_pattern_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/pattern_matcher_test.cc.o"
+  "CMakeFiles/core_test.dir/core/pattern_matcher_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/pattern_test.cc.o"
+  "CMakeFiles/core_test.dir/core/pattern_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/submission_matcher_test.cc.o"
+  "CMakeFiles/core_test.dir/core/submission_matcher_test.cc.o.d"
+  "core_test"
+  "core_test.pdb"
+  "core_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

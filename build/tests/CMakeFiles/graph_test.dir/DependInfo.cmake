@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/graph/digraph_test.cc" "tests/CMakeFiles/graph_test.dir/graph/digraph_test.cc.o" "gcc" "tests/CMakeFiles/graph_test.dir/graph/digraph_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/jfeed_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/javalang/CMakeFiles/jfeed_javalang.dir/DependInfo.cmake"
+  "/root/repo/build/src/pdg/CMakeFiles/jfeed_pdg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/javalang_test.dir/javalang/analysis_test.cc.o"
+  "CMakeFiles/javalang_test.dir/javalang/analysis_test.cc.o.d"
+  "CMakeFiles/javalang_test.dir/javalang/lexer_test.cc.o"
+  "CMakeFiles/javalang_test.dir/javalang/lexer_test.cc.o.d"
+  "CMakeFiles/javalang_test.dir/javalang/parser_test.cc.o"
+  "CMakeFiles/javalang_test.dir/javalang/parser_test.cc.o.d"
+  "CMakeFiles/javalang_test.dir/javalang/printer_test.cc.o"
+  "CMakeFiles/javalang_test.dir/javalang/printer_test.cc.o.d"
+  "CMakeFiles/javalang_test.dir/javalang/switch_test.cc.o"
+  "CMakeFiles/javalang_test.dir/javalang/switch_test.cc.o.d"
+  "javalang_test"
+  "javalang_test.pdb"
+  "javalang_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/javalang_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pdg_test.dir/pdg/epdg_builder_test.cc.o"
+  "CMakeFiles/pdg_test.dir/pdg/epdg_builder_test.cc.o.d"
+  "CMakeFiles/pdg_test.dir/pdg/epdg_property_test.cc.o"
+  "CMakeFiles/pdg_test.dir/pdg/epdg_property_test.cc.o.d"
+  "CMakeFiles/pdg_test.dir/pdg/worked_example_test.cc.o"
+  "CMakeFiles/pdg_test.dir/pdg/worked_example_test.cc.o.d"
+  "pdg_test"
+  "pdg_test.pdb"
+  "pdg_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pdg_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/testing_test.dir/testing/functional_test.cc.o"
+  "CMakeFiles/testing_test.dir/testing/functional_test.cc.o.d"
+  "testing_test"
+  "testing_test.pdb"
+  "testing_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/testing_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

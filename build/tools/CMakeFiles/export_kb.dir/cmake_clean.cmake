@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/export_kb.dir/export_kb.cc.o"
+  "CMakeFiles/export_kb.dir/export_kb.cc.o.d"
+  "export_kb"
+  "export_kb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/export_kb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

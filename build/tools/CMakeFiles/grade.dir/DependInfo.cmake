@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tools/grade.cc" "tools/CMakeFiles/grade.dir/grade.cc.o" "gcc" "tools/CMakeFiles/grade.dir/grade.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/kb/CMakeFiles/jfeed_kb.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/jfeed_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/pdg/CMakeFiles/jfeed_pdg.dir/DependInfo.cmake"
+  "/root/repo/build/src/synth/CMakeFiles/jfeed_synth.dir/DependInfo.cmake"
+  "/root/repo/build/src/testing/CMakeFiles/jfeed_testing.dir/DependInfo.cmake"
+  "/root/repo/build/src/interp/CMakeFiles/jfeed_interp.dir/DependInfo.cmake"
+  "/root/repo/build/src/javalang/CMakeFiles/jfeed_javalang.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/jfeed_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/grade.dir/grade.cc.o"
+  "CMakeFiles/grade.dir/grade.cc.o.d"
+  "grade"
+  "grade.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/grade.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
