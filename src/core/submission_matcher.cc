@@ -6,6 +6,7 @@
 
 #include "javalang/parser.h"
 #include "pdg/epdg.h"
+#include "support/fault.h"
 
 namespace jfeed::core {
 
@@ -141,6 +142,7 @@ void EnumerateAssignments(size_t expected_count, size_t available_count,
 Result<SubmissionFeedback> MatchSubmission(
     const AssignmentSpec& spec, const java::CompilationUnit& submission,
     const SubmissionMatchOptions& options) {
+  JFEED_FAULT_POINT(fault::points::kMatcher);
   // Step 1: extract the EPDG of every submission method.
   JFEED_ASSIGN_OR_RETURN(std::vector<pdg::Epdg> graphs,
                          pdg::BuildAllEpdgs(submission));

@@ -1,9 +1,11 @@
 #include "interp/interpreter.h"
 
+#include <chrono>
 #include <cmath>
 #include <sstream>
 
 #include "javalang/printer.h"
+#include "support/fault.h"
 
 namespace jfeed::interp {
 
@@ -46,6 +48,12 @@ class Exec {
 
   Result<ExecResult> Run(const std::string& method_name,
                          const std::vector<Value>& args) {
+    JFEED_FAULT_POINT(fault::points::kInterpreterCall);
+    if (options_.deadline_ms > 0) {
+      deadline_ = std::chrono::steady_clock::now() +
+                  std::chrono::milliseconds(options_.deadline_ms);
+      has_deadline_ = true;
+    }
     JFEED_ASSIGN_OR_RETURN(Value ret, CallUser(method_name, args));
     ExecResult result;
     result.stdout_text = std::move(out_);
@@ -60,6 +68,30 @@ class Exec {
   Status Tick() {
     if (++steps_ > options_.max_steps) {
       return Status::Timeout("step budget exhausted (likely infinite loop)");
+    }
+    // The wall-clock check is throttled: a steady_clock read every step
+    // would dominate the interpreter loop, and a few thousand steps resolve
+    // in microseconds, so the deadline overshoot stays negligible.
+    if (has_deadline_ && (steps_ & 4095) == 0 &&
+        std::chrono::steady_clock::now() > deadline_) {
+      return Status::Timeout("wall-clock deadline of " +
+                             std::to_string(options_.deadline_ms) +
+                             "ms exceeded");
+    }
+    return Status::OK();
+  }
+
+  /// Charges `bytes` against the heap budget. The budget is cumulative over
+  /// the run (allocations are never credited back), making it a conservative
+  /// bound that an adversarial allocation loop cannot dodge by dropping
+  /// references.
+  Status ChargeHeap(int64_t bytes, int line) {
+    if (options_.max_heap_bytes <= 0) return Status::OK();
+    heap_bytes_ += bytes;
+    if (heap_bytes_ > options_.max_heap_bytes) {
+      return Status::ResourceExhausted(
+          "heap budget of " + std::to_string(options_.max_heap_bytes) +
+          " bytes exceeded (line " + std::to_string(line) + ")");
     }
     return Status::OK();
   }
@@ -109,7 +141,8 @@ class Exec {
     }
     if (++call_depth_ > kMaxCallDepth) {
       --call_depth_;
-      return Status::Timeout("call depth exceeded (runaway recursion)");
+      return Status::ResourceExhausted(
+          "call depth exceeded (runaway recursion)");
     }
     std::vector<Scope> saved = std::move(scopes_);
     scopes_.clear();
@@ -378,10 +411,14 @@ class Exec {
   Result<Value> ApplyBinary(java::BinaryOp op, Value lhs, Value rhs,
                             int line) {
     using BO = java::BinaryOp;
-    // String concatenation.
+    // String concatenation. Charged against the heap budget: `s = s + s` in
+    // a loop doubles the string every iteration and would otherwise OOM the
+    // host long before the step budget fires.
     if (op == BO::kAdd && (lhs.kind() == Value::Kind::kString ||
                            rhs.kind() == Value::Kind::kString)) {
-      return Value::Str(lhs.ToJavaString() + rhs.ToJavaString());
+      Value out = Value::Str(lhs.ToJavaString() + rhs.ToJavaString());
+      JFEED_RETURN_IF_ERROR(ChargeHeap(out.ApproxHeapBytes(), line));
+      return out;
     }
     if (op == BO::kEq) return Value::Bool(lhs.JavaEquals(rhs));
     if (op == BO::kNe) return Value::Bool(!lhs.JavaEquals(rhs));
@@ -602,6 +639,12 @@ class Exec {
       }
       out_ += text;
       if (e.name == "println") out_ += "\n";
+      if (options_.max_output_bytes > 0 &&
+          static_cast<int64_t>(out_.size()) > options_.max_output_bytes) {
+        return Status::ResourceExhausted(
+            "output budget of " + std::to_string(options_.max_output_bytes) +
+            " bytes exceeded (line " + std::to_string(e.line) + ")");
+      }
       return Value::Null();
     }
     // Math.* static builtins.
@@ -750,6 +793,8 @@ class Exec {
     auto arr = std::make_shared<ArrayValue>();
     arr->elem_kind = e.type.kind;
     if (!e.args.empty()) {
+      JFEED_RETURN_IF_ERROR(ChargeHeap(
+          static_cast<int64_t>(e.args.size() * sizeof(Value)), e.line));
       for (const auto& elem : e.args) {
         JFEED_ASSIGN_OR_RETURN(Value v, Eval(*elem));
         arr->elems.push_back(Coerce(std::move(v), e.type));
@@ -765,6 +810,10 @@ class Exec {
       return RuntimeError("NegativeArraySizeException: " + std::to_string(n),
                           e.line);
     }
+    // Charge *before* allocating, so `new int[1 << 30]` is rejected by the
+    // budget instead of taking the host down with it.
+    JFEED_RETURN_IF_ERROR(
+        ChargeHeap(n * static_cast<int64_t>(sizeof(Value)), e.line));
     if (n > 10'000'000) {
       return RuntimeError("array too large: " + std::to_string(n), e.line);
     }
@@ -792,12 +841,16 @@ class Exec {
       }
       auto state = std::make_shared<ScannerState>();
       state->tokens = TokenizeScannerInput(it->second);
-      return Value::Scanner(std::move(state));
+      Value scanner = Value::Scanner(std::move(state));
+      JFEED_RETURN_IF_ERROR(ChargeHeap(scanner.ApproxHeapBytes(), e.line));
+      return scanner;
     }
     if (e.name == "String") {
       if (e.args.empty()) return Value::Str("");
       JFEED_ASSIGN_OR_RETURN(Value v, Eval(*e.args[0]));
-      return Value::Str(v.ToJavaString());
+      Value out = Value::Str(v.ToJavaString());
+      JFEED_RETURN_IF_ERROR(ChargeHeap(out.ApproxHeapBytes(), e.line));
+      return out;
     }
     return RuntimeError("cannot instantiate '" + e.name + "'", e.line);
   }
@@ -807,7 +860,10 @@ class Exec {
   const ExecOptions& options_;
   std::string out_;
   int64_t steps_ = 0;
+  int64_t heap_bytes_ = 0;
   int call_depth_ = 0;
+  bool has_deadline_ = false;
+  std::chrono::steady_clock::time_point deadline_;
   std::vector<Scope> scopes_;
   Value return_value_;
 };

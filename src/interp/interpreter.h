@@ -21,6 +21,14 @@ struct TraceEvent {
 
 /// Limits applied to one execution; the step limit is the paper's answer to
 /// the infinite-loop problem of dynamic techniques (we bound, they cannot).
+///
+/// The remaining guards exist because a production grading service runs
+/// *untrusted* programs: a submission must not be able to exhaust the host's
+/// memory (`max_heap_bytes`), flood its output channel (`max_output_bytes`)
+/// or outlive its scheduling slot (`deadline_ms`) any more than it can spin
+/// forever (`max_steps`). Time budgets report kTimeout; space budgets (heap,
+/// output, call depth) report kResourceExhausted, so callers can tell "slow"
+/// from "blew up".
 struct ExecOptions {
   int64_t max_steps = 2'000'000;  ///< Statement/expression budget.
   /// When non-null, every scalar variable assignment (declaration,
@@ -29,6 +37,17 @@ struct ExecOptions {
   /// large inputs, which the CLARA benches demonstrate.
   std::vector<TraceEvent>* trace = nullptr;
   int64_t max_trace_events = 10'000'000;  ///< Hard cap on recorded events.
+  /// Budget for interpreter-visible heap allocations (arrays, Strings,
+  /// Scanner token buffers), charged via ApproxHeapBytes at allocation
+  /// sites. The count is cumulative over the run (never decremented on
+  /// garbage), which makes it a conservative allocation budget rather than
+  /// a live-set measure. 0 or negative = unlimited.
+  int64_t max_heap_bytes = 512ll << 20;
+  /// Budget for bytes printed via System.out. 0 or negative = unlimited.
+  int64_t max_output_bytes = 64ll << 20;
+  /// Wall-clock deadline for the whole Call, in milliseconds; checked every
+  /// few thousand steps so the overhead stays negligible. 0 = no deadline.
+  int64_t deadline_ms = 0;
 };
 
 /// Outcome of a successful execution.
@@ -56,9 +75,11 @@ class Interpreter {
   Interpreter& operator=(const Interpreter&) = delete;
 
   /// Runs `method_name` with `args`. Returns ExecutionError for Java runtime
-  /// errors (array out of bounds, division by zero, ...), Timeout when the
-  /// step budget is exhausted (infinite-loop guard), NotFound for a missing
-  /// method, SemanticError for constructs outside the subset.
+  /// errors (array out of bounds, division by zero, ...), Timeout when a
+  /// time budget is exhausted (step budget / wall-clock deadline),
+  /// ResourceExhausted when a space budget is (heap bytes, output bytes,
+  /// call depth), NotFound for a missing method, SemanticError for
+  /// constructs outside the subset.
   Result<ExecResult> Call(const std::string& method_name,
                           const std::vector<Value>& args,
                           const ExecOptions& options = ExecOptions());

@@ -75,6 +75,35 @@ std::string Value::ToJavaString() const {
   return "?";
 }
 
+int64_t Value::ApproxHeapBytes() const {
+  int64_t bytes = static_cast<int64_t>(sizeof(Value));
+  switch (kind_) {
+    case Kind::kString:
+      bytes += static_cast<int64_t>(string_.size());
+      break;
+    case Kind::kArray:
+      if (array_ != nullptr) {
+        bytes += static_cast<int64_t>(array_->elems.size() * sizeof(Value));
+        for (const Value& elem : array_->elems) {
+          if (elem.kind_ == Kind::kString) {
+            bytes += static_cast<int64_t>(elem.string_.size());
+          }
+        }
+      }
+      break;
+    case Kind::kScanner:
+      if (scanner_ != nullptr) {
+        for (const auto& tok : scanner_->tokens) {
+          bytes += static_cast<int64_t>(tok.size() + sizeof(std::string));
+        }
+      }
+      break;
+    default:
+      break;
+  }
+  return bytes;
+}
+
 bool Value::JavaEquals(const Value& other) const {
   if (kind_ == Kind::kString && other.kind_ == Kind::kString) {
     return string_ == other.string_;

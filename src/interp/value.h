@@ -107,6 +107,12 @@ class Value {
   /// Java's String.valueOf / println rendering of the value.
   std::string ToJavaString() const;
 
+  /// Approximate heap footprint of this value in bytes: the slot itself
+  /// plus owned payloads (string characters; array element slots and their
+  /// string payloads, one level deep). Used by the interpreter's heap
+  /// budget, so it only needs to be proportional to real usage, not exact.
+  int64_t ApproxHeapBytes() const;
+
   /// Java `==` semantics on primitives, `equals` semantics on strings
   /// (intro-course submissions compare strings with equals()).
   bool JavaEquals(const Value& other) const;

@@ -3,6 +3,8 @@
 #include <cctype>
 #include <unordered_map>
 
+#include "support/fault.h"
+
 namespace jfeed::java {
 
 namespace {
@@ -306,6 +308,7 @@ class LexerImpl {
 }  // namespace
 
 Result<std::vector<Token>> Lex(std::string_view source) {
+  JFEED_FAULT_POINT(fault::points::kLexer);
   return LexerImpl(source).Run();
 }
 

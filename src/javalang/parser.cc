@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "javalang/lexer.h"
+#include "support/fault.h"
 
 namespace jfeed::java {
 
@@ -174,6 +175,13 @@ class Parser {
   }
 
   Result<StmtPtr> ParseStmt() {
+    JFEED_RETURN_IF_ERROR(EnterNested());
+    auto result = ParseStmtInner();
+    --depth_;
+    return result;
+  }
+
+  Result<StmtPtr> ParseStmtInner() {
     switch (Peek().kind) {
       case TokenKind::kLBrace:
         return ParseBlock();
@@ -365,7 +373,27 @@ class Parser {
 
   // --- Expressions (precedence climbing) ----------------------------------
 
-  Result<ExprPtr> ParseExpr() { return ParseAssignment(); }
+  /// Depth guard shared by the recursive entry points. A recursive-descent
+  /// parser consumes one stack frame per nesting level, so an adversarial
+  /// "parse bomb" ("((((...1...))))", "{{{{...}}}}", "!!!!...x") would
+  /// otherwise overflow the host stack — a crash, not a diagnosis. 200
+  /// levels is far beyond anything an intro-course submission contains.
+  Status EnterNested() {
+    if (++depth_ > kMaxNestingDepth) {
+      --depth_;
+      return Status::ResourceExhausted(
+          "nesting depth exceeds " + std::to_string(kMaxNestingDepth) +
+          " (line " + std::to_string(Peek().line) + ")");
+    }
+    return Status::OK();
+  }
+
+  Result<ExprPtr> ParseExpr() {
+    JFEED_RETURN_IF_ERROR(EnterNested());
+    auto result = ParseAssignment();
+    --depth_;
+    return result;
+  }
 
   static bool IsLValue(const Expr& e) {
     return e.kind == ExprKind::kName || e.kind == ExprKind::kArrayAccess;
@@ -496,6 +524,13 @@ class Parser {
   }
 
   Result<ExprPtr> ParseUnary() {
+    JFEED_RETURN_IF_ERROR(EnterNested());
+    auto result = ParseUnaryInner();
+    --depth_;
+    return result;
+  }
+
+  Result<ExprPtr> ParseUnaryInner() {
     int line = Peek().line;
     if (Check(TokenKind::kMinus)) {
       Advance();
@@ -732,13 +767,17 @@ class Parser {
     return type;
   }
 
+  static constexpr int kMaxNestingDepth = 200;
+
   std::vector<Token> tokens_;
   size_t pos_ = 0;
+  int depth_ = 0;  ///< Current statement/expression nesting level.
 };
 
 }  // namespace
 
 Result<CompilationUnit> Parse(std::string_view source) {
+  JFEED_FAULT_POINT(fault::points::kParser);
   JFEED_ASSIGN_OR_RETURN(std::vector<Token> tokens, Lex(source));
   return Parser(std::move(tokens)).ParseUnit();
 }

@@ -5,6 +5,7 @@
 
 #include "javalang/analysis.h"
 #include "javalang/printer.h"
+#include "support/fault.h"
 
 namespace jfeed::pdg {
 
@@ -325,6 +326,7 @@ class Builder {
 }  // namespace
 
 Result<Epdg> BuildEpdg(const java::Method& method) {
+  JFEED_FAULT_POINT(fault::points::kEpdgBuilder);
   return Builder(method).Build();
 }
 

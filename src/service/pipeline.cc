@@ -1,0 +1,557 @@
+#include "service/pipeline.h"
+
+#include <chrono>
+#include <cstdio>
+#include <set>
+#include <utility>
+
+#include "core/ast_matcher.h"
+#include "core/expr_pattern.h"
+#include "core/feedback.h"
+#include "core/pattern.h"
+#include "javalang/analysis.h"
+#include "javalang/parser.h"
+#include "javalang/printer.h"
+#include "pdg/epdg.h"
+
+namespace jfeed::service {
+
+const char* StageName(Stage stage) {
+  switch (stage) {
+    case Stage::kParse: return "parse";
+    case Stage::kEpdg: return "epdg";
+    case Stage::kMatch: return "match";
+    case Stage::kFunctional: return "functional";
+    case Stage::kComplete: return "complete";
+  }
+  return "unknown";
+}
+
+const char* FailureClassName(FailureClass failure) {
+  switch (failure) {
+    case FailureClass::kNone: return "none";
+    case FailureClass::kParseError: return "parse_error";
+    case FailureClass::kTimeout: return "timeout";
+    case FailureClass::kResourceExhausted: return "resource_exhausted";
+    case FailureClass::kInternalFault: return "internal_fault";
+  }
+  return "unknown";
+}
+
+const char* FeedbackTierName(FeedbackTier tier) {
+  switch (tier) {
+    case FeedbackTier::kFullEpdg: return "full_epdg";
+    case FeedbackTier::kAstOnly: return "ast_only";
+    case FeedbackTier::kParseDiagnostic: return "parse_diagnostic";
+  }
+  return "unknown";
+}
+
+const char* VerdictName(Verdict verdict) {
+  switch (verdict) {
+    case Verdict::kCorrect: return "correct";
+    case Verdict::kIncorrect: return "incorrect";
+    case Verdict::kSpecMismatch: return "spec_mismatch";
+    case Verdict::kNotGraded: return "not_graded";
+  }
+  return "unknown";
+}
+
+FailureClass ClassifyFailure(const Status& status) {
+  switch (status.code()) {
+    case StatusCode::kOk:
+      return FailureClass::kNone;
+    case StatusCode::kParseError:
+    case StatusCode::kSemanticError:
+      return FailureClass::kParseError;
+    case StatusCode::kTimeout:
+      return FailureClass::kTimeout;
+    case StatusCode::kResourceExhausted:
+      return FailureClass::kResourceExhausted;
+    default:
+      return FailureClass::kInternalFault;
+  }
+}
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double MsSince(Clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - start)
+      .count();
+}
+
+// --- AST-pattern-only fallback ---------------------------------------------
+//
+// When the EPDG builder or the graph matcher fails (infrastructure fault,
+// injected or real), the pipeline falls back to checking each pattern node
+// against the flat list of statement contents of the submission: the same
+// normalized expression text the EPDG nodes would carry, but with no
+// structural edges and therefore no constraints. The resulting feedback is
+// weaker — presence/absence per pattern — but always available for any
+// submission that parses.
+
+/// One expression-bearing statement of a method: its normalized content
+/// text, the variables it mentions, and (when available) its expression AST
+/// for the AST matching backend.
+struct StmtFact {
+  std::string content;
+  std::set<std::string> vars;
+  const java::Expr* expr = nullptr;  ///< Borrowed from the unit.
+  java::ExprPtr owned;               ///< Set when the expr was re-parsed.
+};
+
+void AddExprFact(const java::Expr& e, std::vector<StmtFact>* out) {
+  StmtFact fact;
+  fact.content = java::ExprToString(e);
+  fact.vars = java::VarsMentioned(e);
+  fact.expr = &e;
+  out->push_back(std::move(fact));
+}
+
+void CollectFacts(const java::Stmt& s, std::vector<StmtFact>* out) {
+  switch (s.kind) {
+    case java::StmtKind::kBlock:
+      for (const auto& child : s.body) CollectFacts(*child, out);
+      return;
+    case java::StmtKind::kLocalVarDecl:
+      for (const auto& decl : s.decls) {
+        StmtFact fact;
+        fact.content = s.decl_type.ToString() + " " + decl.name;
+        fact.vars.insert(decl.name);
+        if (decl.init) {
+          fact.content += " = " + java::ExprToString(*decl.init);
+          for (const auto& v : java::VarsMentioned(*decl.init)) {
+            fact.vars.insert(v);
+          }
+        }
+        // Re-parse "int x = e" as the assignment expression "x = e" so the
+        // AST backend can unify against it (mirrors pdg::Node::ast).
+        auto expr = core::ContentToExpr(fact.content);
+        if (expr.ok()) {
+          fact.owned = std::move(expr).value();
+          fact.expr = fact.owned.get();
+        }
+        out->push_back(std::move(fact));
+      }
+      return;
+    case java::StmtKind::kExprStmt:
+      if (s.expr) AddExprFact(*s.expr, out);
+      return;
+    case java::StmtKind::kIf:
+      if (s.expr) AddExprFact(*s.expr, out);
+      if (s.then_branch) CollectFacts(*s.then_branch, out);
+      if (s.else_branch) CollectFacts(*s.else_branch, out);
+      return;
+    case java::StmtKind::kWhile:
+    case java::StmtKind::kDoWhile:
+      if (s.expr) AddExprFact(*s.expr, out);
+      if (s.loop_body) CollectFacts(*s.loop_body, out);
+      return;
+    case java::StmtKind::kFor:
+      if (s.for_init) CollectFacts(*s.for_init, out);
+      if (s.expr) AddExprFact(*s.expr, out);
+      for (const auto& update : s.for_update) AddExprFact(*update, out);
+      if (s.loop_body) CollectFacts(*s.loop_body, out);
+      return;
+    case java::StmtKind::kSwitch:
+      if (s.expr) AddExprFact(*s.expr, out);
+      for (const auto& arm : s.switch_cases) {
+        for (const auto& stmt : arm.body) CollectFacts(*stmt, out);
+      }
+      return;
+    case java::StmtKind::kReturn: {
+      StmtFact fact;
+      fact.content = "return";
+      if (s.expr) {
+        fact.content += " " + java::ExprToString(*s.expr);
+        fact.vars = java::VarsMentioned(*s.expr);
+        fact.expr = s.expr.get();
+      }
+      out->push_back(std::move(fact));
+      return;
+    }
+    case java::StmtKind::kBreak:
+    case java::StmtKind::kContinue:
+      out->push_back(
+          {s.kind == java::StmtKind::kBreak ? "break" : "continue", {},
+           nullptr, nullptr});
+      return;
+  }
+}
+
+enum class NodePresence { kExact, kApprox, kMissing };
+
+/// Does `node` match any statement of the method, and how well? Exact via
+/// the AST template (when authored) or the exact regex; approximate via r̂.
+NodePresence ProbeNode(const core::PatternNode& node,
+                       const std::vector<StmtFact>& facts) {
+  if (node.ast_exact.empty() && node.exact.empty() && node.approx.empty()) {
+    // A node with no expression template (e.g. a bare kCond slot) only
+    // constrains graph structure, which this tier cannot see: trivially
+    // present.
+    return NodePresence::kExact;
+  }
+  for (const auto& fact : facts) {
+    if (!node.ast_exact.empty()) {
+      if (fact.expr != nullptr && node.ast_exact.Matches(*fact.expr, {})) {
+        return NodePresence::kExact;
+      }
+    } else if (!node.exact.empty()) {
+      for (const auto& gamma :
+           core::EnumerateInjections(node.exact.variables(), fact.vars)) {
+        if (node.exact.Matches(fact.content, gamma)) {
+          return NodePresence::kExact;
+        }
+      }
+    }
+  }
+  if (!node.approx.empty()) {
+    for (const auto& fact : facts) {
+      for (const auto& gamma :
+           core::EnumerateInjections(node.approx.variables(), fact.vars)) {
+        if (node.approx.Matches(fact.content, gamma)) {
+          return NodePresence::kApprox;
+        }
+      }
+    }
+  }
+  return NodePresence::kMissing;
+}
+
+/// Presence verdict for a whole pattern: present iff every node is found
+/// (exactly or approximately).
+struct PatternPresence {
+  bool present = false;
+  bool all_exact = false;
+  std::vector<NodePresence> nodes;
+};
+
+PatternPresence ProbePattern(const core::Pattern& pattern,
+                             const std::vector<StmtFact>& facts) {
+  PatternPresence presence;
+  presence.present = true;
+  presence.all_exact = true;
+  for (const auto& node : pattern.nodes) {
+    NodePresence p = ProbeNode(node, facts);
+    presence.nodes.push_back(p);
+    if (p == NodePresence::kMissing) presence.present = false;
+    if (p != NodePresence::kExact) presence.all_exact = false;
+  }
+  return presence;
+}
+
+core::FeedbackComment AstOnlyComment(const core::PatternUse& use,
+                                     const PatternPresence& presence,
+                                     const std::string& method_name) {
+  const core::Pattern& pattern = *use.pattern;
+  core::FeedbackComment comment;
+  comment.source_id = pattern.id;
+  comment.method = method_name;
+  bool expected_present = use.expected_count > 0;
+  if (!expected_present) {
+    // Bad pattern: correct exactly when absent.
+    if (presence.present) {
+      comment.kind = core::FeedbackKind::kNotExpected;
+      comment.message = core::InstantiateFeedback(pattern.feedback_missing, {});
+    } else {
+      comment.kind = core::FeedbackKind::kCorrect;
+      comment.message =
+          "Good: '" + pattern.name + "' does not occur in your submission";
+    }
+    return comment;
+  }
+  if (!presence.present) {
+    comment.kind = core::FeedbackKind::kNotExpected;
+    comment.message = core::InstantiateFeedback(pattern.feedback_missing, {});
+    return comment;
+  }
+  comment.kind = presence.all_exact ? core::FeedbackKind::kCorrect
+                                    : core::FeedbackKind::kIncorrect;
+  comment.message = core::InstantiateFeedback(pattern.feedback_present, {});
+  for (size_t u = 0; u < pattern.nodes.size(); ++u) {
+    const core::PatternNode& node = pattern.nodes[u];
+    const std::string& tmpl = presence.nodes[u] == NodePresence::kExact
+                                  ? node.feedback_correct
+                                  : node.feedback_incorrect;
+    if (!tmpl.empty()) {
+      comment.details.push_back(core::InstantiateFeedback(tmpl, {}));
+    }
+  }
+  return comment;
+}
+
+/// The AST-only rung of the degradation ladder: per-pattern presence
+/// feedback computed from statement contents alone. Constraints are skipped
+/// (they are defined over EPDG embeddings).
+core::SubmissionFeedback AstOnlyFeedback(const core::AssignmentSpec& spec,
+                                         const java::CompilationUnit& unit) {
+  core::SubmissionFeedback feedback;
+  if (unit.methods.size() < spec.methods.size()) {
+    return feedback;  // Does not adhere to the spec; matched stays false.
+  }
+  feedback.matched = true;
+  for (const auto& q : spec.methods) {
+    // Prefer the method with the expected name; fall back to the whole
+    // unit's statements when the student renamed it.
+    std::vector<StmtFact> facts;
+    const java::Method* method = unit.FindMethod(q.expected_name);
+    if (method != nullptr && method->body != nullptr) {
+      CollectFacts(*method->body, &facts);
+      feedback.method_assignment[q.expected_name] = method->name;
+    } else {
+      for (const auto& m : unit.methods) {
+        if (m.body != nullptr) CollectFacts(*m.body, &facts);
+      }
+    }
+    for (const auto& use : q.patterns) {
+      if (use.pattern == nullptr) continue;
+      PatternPresence presence = ProbePattern(*use.pattern, facts);
+      // Try variants when the primary realization is missing, mirroring the
+      // full matcher's variation handling.
+      if (!presence.present && use.expected_count > 0) {
+        for (const auto& variant : use.variants) {
+          if (variant.pattern == nullptr) continue;
+          PatternPresence vp = ProbePattern(*variant.pattern, facts);
+          if (vp.present) {
+            presence = vp;
+            break;
+          }
+        }
+      }
+      feedback.comments.push_back(AstOnlyComment(
+          use, presence,
+          method != nullptr ? method->name : q.expected_name));
+    }
+  }
+  feedback.score = core::FeedbackScore(feedback.comments);
+  return feedback;
+}
+
+// --- JSON rendering ---------------------------------------------------------
+
+void AppendJsonString(const std::string& s, std::string* out) {
+  out->push_back('"');
+  for (char c : s) {
+    switch (c) {
+      case '"': *out += "\\\""; break;
+      case '\\': *out += "\\\\"; break;
+      case '\n': *out += "\\n"; break;
+      case '\r': *out += "\\r"; break;
+      case '\t': *out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          *out += buf;
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+  out->push_back('"');
+}
+
+}  // namespace
+
+std::string OutcomeToJson(const GradingOutcome& outcome) {
+  std::string out = "{";
+  auto field = [&out](const char* name, bool first = false) {
+    if (!first) out += ",";
+    AppendJsonString(name, &out);
+    out += ":";
+  };
+  field("verdict", /*first=*/true);
+  AppendJsonString(VerdictName(outcome.verdict), &out);
+  field("tier");
+  AppendJsonString(FeedbackTierName(outcome.tier), &out);
+  field("stage_reached");
+  AppendJsonString(StageName(outcome.stage_reached), &out);
+  field("failure_class");
+  AppendJsonString(FailureClassName(outcome.failure), &out);
+  field("degraded");
+  out += outcome.degraded() ? "true" : "false";
+  field("diagnostic");
+  AppendJsonString(outcome.diagnostic, &out);
+  field("matched");
+  out += outcome.feedback.matched ? "true" : "false";
+  field("score");
+  out += std::to_string(outcome.feedback.score);
+  field("comments");
+  out += "[";
+  for (size_t i = 0; i < outcome.feedback.comments.size(); ++i) {
+    const auto& c = outcome.feedback.comments[i];
+    if (i > 0) out += ",";
+    out += "{\"kind\":";
+    AppendJsonString(core::FeedbackKindName(c.kind), &out);
+    out += ",\"source\":";
+    AppendJsonString(c.source_id, &out);
+    out += ",\"message\":";
+    AppendJsonString(c.message, &out);
+    out += "}";
+  }
+  out += "]";
+  field("functional");
+  if (outcome.functional_ran) {
+    out += "{\"passed\":";
+    out += outcome.functional.passed ? "true" : "false";
+    out += ",\"tests_run\":" + std::to_string(outcome.functional.tests_run);
+    out += ",\"tests_failed\":" +
+           std::to_string(outcome.functional.tests_failed);
+    out += ",\"first_failure\":";
+    AppendJsonString(outcome.functional.first_failure, &out);
+    out += "}";
+  } else {
+    out += "null";
+  }
+  field("timings_ms");
+  out += "[";
+  for (size_t i = 0; i < outcome.timings.size(); ++i) {
+    const auto& t = outcome.timings[i];
+    if (i > 0) out += ",";
+    out += "{\"stage\":";
+    AppendJsonString(StageName(t.stage), &out);
+    out += ",\"ms\":" + std::to_string(t.wall_ms);
+    out += ",\"status\":";
+    AppendJsonString(t.status.ToString(), &out);
+    out += "}";
+  }
+  out += "]}";
+  return out;
+}
+
+GradingOutcome GradingPipeline::Grade(const std::string& source) const {
+  GradingOutcome outcome;
+
+  // Records one stage's wall time and status; on failure, the first failing
+  // stage defines the outcome's failure class and diagnostic. A soft budget
+  // overrun is recorded as a timeout failure even when the stage succeeded.
+  auto finish_stage = [&outcome](Stage stage, Clock::time_point start,
+                                 const Status& status, int64_t budget_ms) {
+    StageTiming timing;
+    timing.stage = stage;
+    timing.wall_ms = MsSince(start);
+    timing.status = status;
+    outcome.timings.push_back(timing);
+    if (outcome.failure == FailureClass::kNone) {
+      if (!status.ok()) {
+        outcome.failure = ClassifyFailure(status);
+        outcome.diagnostic = status.ToString();
+      } else if (budget_ms > 0 && timing.wall_ms > budget_ms) {
+        outcome.failure = FailureClass::kTimeout;
+        outcome.diagnostic = std::string(StageName(stage)) +
+                             " stage exceeded its " +
+                             std::to_string(budget_ms) + "ms budget";
+      }
+    }
+    return status.ok();
+  };
+
+  // Stage 1: parse. Failure here is the bottom rung — a parse diagnostic is
+  // all the feedback we can give.
+  outcome.stage_reached = Stage::kParse;
+  auto parse_start = Clock::now();
+  auto unit = java::Parse(source);
+  if (!finish_stage(Stage::kParse, parse_start, unit.status(),
+                    options_.budgets.parse_ms)) {
+    outcome.tier = FeedbackTier::kParseDiagnostic;
+    outcome.verdict = Verdict::kNotGraded;
+    return outcome;
+  }
+
+  // Stage 2: EPDG construction. Failure degrades to AST-only feedback.
+  outcome.stage_reached = Stage::kEpdg;
+  auto epdg_start = Clock::now();
+  auto graphs = pdg::BuildAllEpdgs(*unit);
+  bool epdg_ok = finish_stage(Stage::kEpdg, epdg_start, graphs.status(),
+                              options_.budgets.epdg_ms);
+
+  // Stage 3: pattern matching — full EPDG matching when the graphs exist,
+  // the AST-only fallback otherwise (or when the matcher itself fails).
+  outcome.stage_reached = Stage::kMatch;
+  auto match_start = Clock::now();
+  bool matched_full = false;
+  if (epdg_ok) {
+    auto feedback =
+        core::MatchSubmission(assignment_.spec, *unit, options_.match);
+    if (feedback.ok()) {
+      outcome.feedback = std::move(feedback).value();
+      outcome.tier = FeedbackTier::kFullEpdg;
+      matched_full = true;
+      finish_stage(Stage::kMatch, match_start, Status::OK(),
+                   options_.budgets.match_ms);
+    } else {
+      finish_stage(Stage::kMatch, match_start, feedback.status(),
+                   options_.budgets.match_ms);
+    }
+  }
+  if (!matched_full) {
+    outcome.feedback = AstOnlyFeedback(assignment_.spec, *unit);
+    outcome.tier = FeedbackTier::kAstOnly;
+    if (!epdg_ok) {
+      // The match stage still ran (via the fallback); record its timing.
+      finish_stage(Stage::kMatch, match_start, Status::OK(),
+                   options_.budgets.match_ms);
+    }
+  }
+
+  // Stage 4: functional testing. Needs only the parsed unit, so it runs on
+  // both feedback tiers; its own failures (reference broken, injected
+  // interpreter fault) degrade to pattern-only verdicts.
+  if (options_.run_functional && outcome.feedback.matched) {
+    outcome.stage_reached = Stage::kFunctional;
+    auto func_start = Clock::now();
+    Status func_status;
+    auto reference = java::Parse(assignment_.Reference());
+    if (!reference.ok()) {
+      func_status = Status(reference.status().code(),
+                           "reference solution unavailable: " +
+                               reference.status().message());
+    } else {
+      interp::ExecOptions exec = assignment_.suite.exec_options;
+      exec.max_heap_bytes = options_.exec.max_heap_bytes;
+      exec.max_output_bytes = options_.exec.max_output_bytes;
+      exec.deadline_ms = options_.exec.deadline_ms;
+      auto expected =
+          testing::ComputeExpectedOutputs(*reference, assignment_.suite);
+      if (!expected.ok()) {
+        func_status = expected.status();
+      } else {
+        outcome.functional = testing::RunSuiteGuarded(
+            *unit, assignment_.suite, *expected, exec,
+            options_.budgets.functional_ms);
+        outcome.functional_ran = true;
+      }
+    }
+    finish_stage(Stage::kFunctional, func_start, func_status,
+                 options_.budgets.functional_ms);
+  }
+  outcome.stage_reached = Stage::kComplete;
+
+  // Final verdict.
+  if (!outcome.feedback.matched) {
+    outcome.verdict = Verdict::kSpecMismatch;
+  } else if (outcome.feedback.AllCorrect() &&
+             (!outcome.functional_ran || outcome.functional.passed)) {
+    outcome.verdict = Verdict::kCorrect;
+  } else {
+    outcome.verdict = Verdict::kIncorrect;
+  }
+  return outcome;
+}
+
+std::vector<GradingOutcome> GradingPipeline::GradeBatch(
+    const std::vector<std::string>& sources) const {
+  std::vector<GradingOutcome> outcomes;
+  outcomes.reserve(sources.size());
+  for (const auto& source : sources) {
+    // Each submission gets fresh budgets and fresh interpreter state; the
+    // pipeline is stateless, so an adversarial submission can burn only its
+    // own budgets, never the batch's.
+    outcomes.push_back(Grade(source));
+  }
+  return outcomes;
+}
+
+}  // namespace jfeed::service

@@ -1,0 +1,164 @@
+#ifndef JFEED_SERVICE_PIPELINE_H_
+#define JFEED_SERVICE_PIPELINE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/submission_matcher.h"
+#include "interp/interpreter.h"
+#include "kb/assignments.h"
+#include "support/status.h"
+#include "testing/functional.h"
+
+namespace jfeed::service {
+
+/// The stages a submission passes through, in order. `stage_reached` in a
+/// GradingOutcome is the deepest stage that *started*; kComplete means the
+/// whole chain ran.
+enum class Stage { kParse, kEpdg, kMatch, kFunctional, kComplete };
+
+/// Failure taxonomy of the grading service. Exactly one class is recorded
+/// per outcome — the first failure that forced a degradation — so service
+/// dashboards can separate student-caused failures (parse errors, budget
+/// blowups) from infrastructure faults.
+enum class FailureClass {
+  kNone,               ///< Healthy run, no degradation.
+  kParseError,         ///< Submission not in the accepted Java subset.
+  kTimeout,            ///< A time budget expired (steps, wall-clock).
+  kResourceExhausted,  ///< A space budget expired (heap, output, depth).
+  kInternalFault,      ///< Infrastructure error (incl. injected faults).
+};
+
+/// How much of the feedback machinery was available for this outcome — the
+/// graceful-degradation ladder. Full EPDG feedback when everything works;
+/// AST-pattern-only feedback when EPDG construction or graph matching
+/// fails (patterns are checked per-node against statement text/ASTs, no
+/// structural edges, no constraints); a parse diagnostic when even parsing
+/// fails. Every submission lands on some rung — the pipeline never returns
+/// "crashed".
+enum class FeedbackTier { kFullEpdg, kAstOnly, kParseDiagnostic };
+
+/// Final verdict of one graded submission.
+enum class Verdict {
+  kCorrect,       ///< Graded; all feedback correct, functional tests pass.
+  kIncorrect,     ///< Graded; some pattern/constraint/test failed.
+  kSpecMismatch,  ///< Parsed, but does not provide the expected method(s).
+  kNotGraded,     ///< Degraded to a parse diagnostic; no grading possible.
+};
+
+const char* StageName(Stage stage);
+const char* FailureClassName(FailureClass failure);
+const char* FeedbackTierName(FeedbackTier tier);
+const char* VerdictName(Verdict verdict);
+
+/// Maps a Status to the failure taxonomy (used for stage failures).
+FailureClass ClassifyFailure(const Status& status);
+
+/// Wall-clock budgets per stage, in milliseconds. The functional stage is
+/// enforced pre-emptively (the interpreter checks its deadline while
+/// running); parse/EPDG/match budgets are soft deadlines checked when the
+/// stage returns — those stages are bounded by construction (linear scans
+/// and capped backtracking), so a soft check is enough to classify and
+/// report overruns.
+struct StageBudgets {
+  int64_t parse_ms = 2'000;
+  int64_t epdg_ms = 2'000;
+  int64_t match_ms = 5'000;
+  int64_t functional_ms = 10'000;
+};
+
+/// Tuning for one pipeline instance.
+struct PipelineOptions {
+  StageBudgets budgets;
+  /// Resource guards for each functional-test execution. The deadline is
+  /// applied per test input; the suite as a whole is additionally bounded
+  /// by budgets.functional_ms (checked between tests).
+  interp::ExecOptions exec;
+  /// Algorithm 1/2 tuning for the match stage.
+  core::SubmissionMatchOptions match;
+  /// Run the functional suite after pattern matching.
+  bool run_functional = true;
+
+  PipelineOptions() {
+    // Service defaults are deliberately tighter than the library defaults:
+    // an untrusted submission gets 64 MiB of heap, 1 MiB of output and one
+    // second of wall-clock per test.
+    exec.max_heap_bytes = 64ll << 20;
+    exec.max_output_bytes = 1ll << 20;
+    exec.deadline_ms = 1'000;
+  }
+};
+
+/// Wall-clock time and final status of one pipeline stage.
+struct StageTiming {
+  Stage stage = Stage::kParse;
+  double wall_ms = 0.0;
+  Status status;
+};
+
+/// The structured result of grading one submission. This is the service's
+/// contract: *every* submission — adversarial, malformed, or hitting an
+/// injected infrastructure fault — yields exactly one GradingOutcome; the
+/// pipeline has no crash path.
+struct GradingOutcome {
+  Verdict verdict = Verdict::kNotGraded;
+  FeedbackTier tier = FeedbackTier::kParseDiagnostic;
+  Stage stage_reached = Stage::kParse;
+  FailureClass failure = FailureClass::kNone;
+  /// Human-readable rendering of the status that forced the degradation
+  /// (empty for healthy runs).
+  std::string diagnostic;
+  /// Pattern/constraint feedback; meaningful unless tier is
+  /// kParseDiagnostic. In the kAstOnly tier constraints are skipped (they
+  /// need the EPDG) and comments carry per-node presence checks only.
+  core::SubmissionFeedback feedback;
+  /// Functional verdict; meaningful only when functional_ran.
+  testing::FunctionalVerdict functional;
+  bool functional_ran = false;
+  std::vector<StageTiming> timings;
+
+  /// True when any rung below full EPDG feedback was taken or any budget
+  /// fired.
+  bool degraded() const {
+    return tier != FeedbackTier::kFullEpdg || failure != FailureClass::kNone;
+  }
+};
+
+/// Renders an outcome as a single JSON object (machine-readable form used
+/// by `grade --json` and batch tooling).
+std::string OutcomeToJson(const GradingOutcome& outcome);
+
+/// The hardened grading service: wraps parse → EPDG → pattern match →
+/// functional testing with per-stage budgets and the degradation ladder
+/// described on FeedbackTier. Stateless across submissions: grading N
+/// submissions from one pipeline instance is equivalent to grading each
+/// from its own, which is what isolates a batch from an adversarial member.
+class GradingPipeline {
+ public:
+  explicit GradingPipeline(const kb::Assignment& assignment,
+                           PipelineOptions options = PipelineOptions())
+      : assignment_(assignment), options_(std::move(options)) {}
+
+  GradingPipeline(const GradingPipeline&) = delete;
+  GradingPipeline& operator=(const GradingPipeline&) = delete;
+
+  const PipelineOptions& options() const { return options_; }
+
+  /// Grades one submission. Total, never fails: all errors are folded into
+  /// the returned outcome.
+  GradingOutcome Grade(const std::string& source) const;
+
+  /// Grades a batch. Each submission is graded with fresh budgets and
+  /// fresh state; element i of the result corresponds to source i.
+  std::vector<GradingOutcome> GradeBatch(
+      const std::vector<std::string>& sources) const;
+
+ private:
+  const kb::Assignment& assignment_;
+  PipelineOptions options_;
+};
+
+}  // namespace jfeed::service
+
+#endif  // JFEED_SERVICE_PIPELINE_H_

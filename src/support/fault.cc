@@ -1,0 +1,74 @@
+#include "support/fault.h"
+
+namespace jfeed::fault {
+
+namespace {
+
+/// splitmix64 — a small, well-distributed mixer; the decision function for
+/// hit `n` of point `p` under seed `s` is a hash of (s, FNV(p), n), which
+/// makes campaigns independent of point crossing order.
+uint64_t Mix(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+uint64_t Fnv1a(const char* s) {
+  uint64_t h = 0xcbf29ce484222325ull;
+  for (; *s != '\0'; ++s) {
+    h ^= static_cast<unsigned char>(*s);
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+}  // namespace
+
+Injector& Injector::Get() {
+  static Injector* injector = new Injector();
+  return *injector;
+}
+
+void Injector::Enable(const FaultConfig& config) {
+  std::lock_guard<std::mutex> lock(mu_);
+  config_ = config;
+  hits_.clear();
+  enabled_.store(true, std::memory_order_relaxed);
+}
+
+void Injector::Disable() {
+  enabled_.store(false, std::memory_order_relaxed);
+}
+
+Status Injector::MaybeFail(const char* point) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!enabled_.load(std::memory_order_relaxed)) return Status::OK();
+  int64_t ordinal = hits_[point]++;
+  if (!config_.only_point.empty() && config_.only_point != point) {
+    return Status::OK();
+  }
+  if (config_.probability <= 0.0) return Status::OK();
+  if (config_.probability < 1.0) {
+    uint64_t h = Mix(config_.seed ^ Fnv1a(point) ^
+                     Mix(static_cast<uint64_t>(ordinal)));
+    double roll =
+        static_cast<double>(h >> 11) / static_cast<double>(1ull << 53);
+    if (roll >= config_.probability) return Status::OK();
+  }
+  return Status(config_.code, std::string("injected fault at ") + point +
+                                  " (hit " + std::to_string(ordinal) + ")");
+}
+
+int64_t Injector::Hits(const std::string& point) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = hits_.find(point);
+  return it == hits_.end() ? 0 : it->second;
+}
+
+std::vector<std::string> Injector::AllPoints() {
+  return {points::kLexer, points::kParser, points::kEpdgBuilder,
+          points::kInterpreterCall, points::kMatcher};
+}
+
+}  // namespace jfeed::fault

@@ -1,0 +1,112 @@
+#ifndef JFEED_SUPPORT_FAULT_H_
+#define JFEED_SUPPORT_FAULT_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "support/status.h"
+
+namespace jfeed::fault {
+
+/// Canonical injection-point names. Each name marks one place in the
+/// pipeline where `JFEED_FAULT_POINT` is invoked; the chaos tests sweep
+/// `Injector::AllPoints()` and force a failure at each one in turn.
+namespace points {
+inline constexpr const char kLexer[] = "javalang.lex";
+inline constexpr const char kParser[] = "javalang.parse";
+inline constexpr const char kEpdgBuilder[] = "pdg.build_epdg";
+inline constexpr const char kInterpreterCall[] = "interp.call";
+inline constexpr const char kMatcher[] = "core.match_submission";
+}  // namespace points
+
+/// Configuration of one injection campaign. The decision whether a given
+/// hit of a given point fails is a pure function of (seed, point name, hit
+/// ordinal), so a campaign is exactly reproducible from its config — the
+/// property RocksDB's SyncPoint-style tests rely on.
+struct FaultConfig {
+  uint64_t seed = 1;
+  /// Probability in [0, 1] that a hit fails. 1.0 = fail every hit.
+  double probability = 1.0;
+  /// When non-empty, only this point ever fails; all others pass through.
+  std::string only_point;
+  /// Status code carried by injected failures.
+  StatusCode code = StatusCode::kInternal;
+};
+
+/// Process-wide deterministic fault injector, in the style of RocksDB's
+/// SyncPoint: a registry of named points compiled into the production code
+/// paths. Disabled (the default) it costs one relaxed atomic load per
+/// crossing; compiling with JFEED_FAULT_INJECTION_DISABLED removes the
+/// crossings entirely (see the JFEED_FAULT_POINT macro below).
+class Injector {
+ public:
+  static Injector& Get();
+
+  /// Starts an injection campaign; resets all hit counters.
+  void Enable(const FaultConfig& config);
+  /// Stops injecting. Hit counters remain readable until the next Enable.
+  void Disable();
+
+  bool enabled() const {
+    return enabled_.load(std::memory_order_relaxed);
+  }
+
+  /// Called (via JFEED_FAULT_POINT) each time execution crosses `point`.
+  /// Returns OK, or the configured failure status when the deterministic
+  /// decision function fires for this hit.
+  Status MaybeFail(const char* point);
+
+  /// Number of times `point` was crossed since the last Enable.
+  int64_t Hits(const std::string& point) const;
+
+  /// The canonical list of registered injection points.
+  static std::vector<std::string> AllPoints();
+
+ private:
+  Injector() = default;
+
+  std::atomic<bool> enabled_{false};
+  mutable std::mutex mu_;
+  FaultConfig config_;
+  std::map<std::string, int64_t> hits_;
+};
+
+/// RAII enable/disable for tests: enables the injector for the lifetime of
+/// the scope and restores the disabled state on exit.
+class ScopedFaultInjection {
+ public:
+  explicit ScopedFaultInjection(const FaultConfig& config) {
+    Injector::Get().Enable(config);
+  }
+  ~ScopedFaultInjection() { Injector::Get().Disable(); }
+
+  ScopedFaultInjection(const ScopedFaultInjection&) = delete;
+  ScopedFaultInjection& operator=(const ScopedFaultInjection&) = delete;
+};
+
+}  // namespace jfeed::fault
+
+/// Marks a fault-injection point inside a function returning Status or
+/// Result<T>. Expands to nothing when JFEED_FAULT_INJECTION_DISABLED is
+/// defined (the CMake option JFEED_FAULT_INJECTION=OFF), so release builds
+/// can opt out at zero cost.
+#ifdef JFEED_FAULT_INJECTION_DISABLED
+#define JFEED_FAULT_POINT(point) \
+  do {                           \
+  } while (0)
+#else
+#define JFEED_FAULT_POINT(point)                                  \
+  do {                                                            \
+    if (::jfeed::fault::Injector::Get().enabled()) {              \
+      ::jfeed::Status _jfeed_fault_status =                       \
+          ::jfeed::fault::Injector::Get().MaybeFail(point);       \
+      if (!_jfeed_fault_status.ok()) return _jfeed_fault_status;  \
+    }                                                             \
+  } while (0)
+#endif
+
+#endif  // JFEED_SUPPORT_FAULT_H_

@@ -16,6 +16,8 @@ const char* StatusCodeName(StatusCode code) {
       return "ExecutionError";
     case StatusCode::kTimeout:
       return "Timeout";
+    case StatusCode::kResourceExhausted:
+      return "ResourceExhausted";
     case StatusCode::kNotFound:
       return "NotFound";
     case StatusCode::kInternal:

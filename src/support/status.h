@@ -9,8 +9,15 @@ namespace jfeed {
 
 /// Error categories used across the library. The set is deliberately small:
 /// a grading pipeline either fails to understand its input (parse/semantic),
-/// fails at runtime inside the student program (execution), or is misused
+/// fails at runtime inside the student program (execution), runs out of time
+/// (timeout) or out of a bounded resource (resource exhausted), or is misused
 /// (invalid argument / not found).
+///
+/// kTimeout and kResourceExhausted are deliberately distinct: a timeout means
+/// a *time* budget ran out (step budget, wall-clock deadline) while resource
+/// exhaustion means a *space* budget did (heap bytes, output bytes, call
+/// depth, nesting depth). Downstream consumers — the grading service's
+/// failure taxonomy in particular — route the two differently.
 enum class StatusCode {
   kOk = 0,
   kInvalidArgument,
@@ -18,6 +25,7 @@ enum class StatusCode {
   kSemanticError,
   kExecutionError,
   kTimeout,
+  kResourceExhausted,
   kNotFound,
   kInternal,
 };
@@ -57,6 +65,9 @@ class Status {
   }
   static Status Timeout(std::string msg) {
     return Status(StatusCode::kTimeout, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
   }
   static Status NotFound(std::string msg) {
     return Status(StatusCode::kNotFound, std::move(msg));

@@ -1,5 +1,7 @@
 #include "testing/functional.h"
 
+#include <chrono>
+
 #include "support/strings.h"
 
 namespace jfeed::testing {
@@ -31,17 +33,46 @@ Result<std::vector<std::string>> ComputeExpectedOutputs(
 FunctionalVerdict RunSuite(const java::CompilationUnit& submission,
                            const FunctionalSuite& suite,
                            const std::vector<std::string>& expected) {
+  return RunSuiteGuarded(submission, suite, expected, suite.exec_options,
+                         /*suite_deadline_ms=*/0);
+}
+
+FunctionalVerdict RunSuiteGuarded(const java::CompilationUnit& submission,
+                                  const FunctionalSuite& suite,
+                                  const std::vector<std::string>& expected,
+                                  const interp::ExecOptions& exec,
+                                  int64_t suite_deadline_ms) {
   FunctionalVerdict verdict;
   interp::Interpreter interp(submission, suite.files);
+  auto suite_start = std::chrono::steady_clock::now();
   for (size_t i = 0; i < suite.inputs.size(); ++i) {
+    if (suite_deadline_ms > 0) {
+      auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::steady_clock::now() - suite_start);
+      if (elapsed.count() > suite_deadline_ms) {
+        // Abandon the rest of the suite: one pathological submission must
+        // not hold the grading pipeline beyond its functional-stage budget.
+        verdict.suite_deadline_hit = true;
+        if (verdict.first_failure.empty()) {
+          verdict.first_failure =
+              "suite wall budget of " + std::to_string(suite_deadline_ms) +
+              "ms exceeded after " + std::to_string(i) + " tests";
+        }
+        break;
+      }
+    }
     ++verdict.tests_run;
-    auto result = interp.Call(suite.method, suite.inputs[i],
-                              suite.exec_options);
+    auto result = interp.Call(suite.method, suite.inputs[i], exec);
     bool failed;
     std::string diagnostic;
     if (!result.ok()) {
       failed = true;
       diagnostic = result.status().ToString();
+      if (result.status().code() == StatusCode::kTimeout) {
+        ++verdict.timeouts;
+      } else if (result.status().code() == StatusCode::kResourceExhausted) {
+        ++verdict.resource_exhausted;
+      }
     } else {
       failed = Normalize(result->stdout_text) != Normalize(expected[i]);
       if (failed) {
@@ -57,7 +88,8 @@ FunctionalVerdict RunSuite(const java::CompilationUnit& submission,
       }
     }
   }
-  verdict.passed = verdict.tests_failed == 0 && verdict.tests_run > 0;
+  verdict.passed = verdict.tests_failed == 0 && verdict.tests_run > 0 &&
+                   !verdict.suite_deadline_hit;
   return verdict;
 }
 

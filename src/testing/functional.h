@@ -29,6 +29,11 @@ struct FunctionalVerdict {
   int tests_run = 0;
   int tests_failed = 0;  ///< Mismatched output or runtime error/timeout.
   std::string first_failure;  ///< Diagnostic for the first failing test.
+  // Failure-class counters (filled by RunSuiteGuarded) so the grading
+  // service can tell "wrong answer" from "blew a budget".
+  int timeouts = 0;            ///< Tests killed by a time budget.
+  int resource_exhausted = 0;  ///< Tests killed by a space budget.
+  bool suite_deadline_hit = false;  ///< Suite wall budget expired mid-run.
 };
 
 /// Runs the reference solution over the suite inputs and returns the
@@ -42,6 +47,18 @@ Result<std::vector<std::string>> ComputeExpectedOutputs(
 FunctionalVerdict RunSuite(const java::CompilationUnit& submission,
                            const FunctionalSuite& suite,
                            const std::vector<std::string>& expected);
+
+/// RunSuite with the grading service's resource guards: each test runs
+/// under `exec` (overriding the suite's own options) and the suite as a
+/// whole is abandoned once `suite_deadline_ms` of wall-clock has elapsed
+/// (0 = unlimited; checked between tests). Abandoned tests are not counted
+/// as run; the verdict carries `suite_deadline_hit` plus per-class failure
+/// counters instead.
+FunctionalVerdict RunSuiteGuarded(const java::CompilationUnit& submission,
+                                  const FunctionalSuite& suite,
+                                  const std::vector<std::string>& expected,
+                                  const interp::ExecOptions& exec,
+                                  int64_t suite_deadline_ms = 0);
 
 /// Generates the synthetic stand-in for the RIT `summer_olympics.txt`
 /// dataset: `records` 5-field records (first-name, last-name, medal type

@@ -1,0 +1,136 @@
+// Adversarial-submission corpus: submissions crafted to hang, OOM, or flood
+// the grader. Each one must come back as a structured GradingOutcome with
+// the right failure class, within the configured wall-clock and heap
+// budgets — never a crash, never an unbounded stall.
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <string>
+
+#include "kb/assignments.h"
+#include "service/pipeline.h"
+
+namespace jfeed::service {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/// Budgets tight enough that the whole grade must finish in a few seconds.
+PipelineOptions TightOptions() {
+  PipelineOptions options;
+  options.exec.deadline_ms = 200;
+  options.exec.max_heap_bytes = 8ll << 20;  // 8 MiB.
+  options.exec.max_output_bytes = 1 << 16;  // 64 KiB.
+  options.budgets.functional_ms = 2'000;
+  return options;
+}
+
+class AdversarialTest : public ::testing::Test {
+ protected:
+  GradingOutcome GradeTimed(const std::string& source) {
+    const auto& assignment =
+        kb::KnowledgeBase::Get().assignment("assignment1");
+    GradingPipeline pipeline(assignment, TightOptions());
+    auto start = Clock::now();
+    GradingOutcome outcome = pipeline.Grade(source);
+    elapsed_ms_ = std::chrono::duration_cast<std::chrono::milliseconds>(
+                      Clock::now() - start)
+                      .count();
+    return outcome;
+  }
+
+  int64_t elapsed_ms_ = 0;
+};
+
+TEST_F(AdversarialTest, InfiniteLoopTimesOutPerTest) {
+  GradingOutcome outcome =
+      GradeTimed("void assignment1(int[] a) { while (true) { } }");
+  EXPECT_EQ(outcome.stage_reached, Stage::kComplete);
+  EXPECT_NE(outcome.verdict, Verdict::kCorrect);
+  ASSERT_TRUE(outcome.functional_ran);
+  EXPECT_GT(outcome.functional.timeouts, 0);
+  // Per-test deadline is 200ms and the suite budget 2s; with slack for the
+  // rest of the pipeline the whole grade must still be fast.
+  EXPECT_LT(elapsed_ms_, 10'000);
+}
+
+TEST_F(AdversarialTest, DeepRecursionIsResourceExhausted) {
+  GradingOutcome outcome =
+      GradeTimed("void assignment1(int[] a) { assignment1(a); }");
+  EXPECT_EQ(outcome.stage_reached, Stage::kComplete);
+  EXPECT_NE(outcome.verdict, Verdict::kCorrect);
+  ASSERT_TRUE(outcome.functional_ran);
+  EXPECT_GT(outcome.functional.resource_exhausted, 0);
+  EXPECT_LT(elapsed_ms_, 10'000);
+}
+
+TEST_F(AdversarialTest, HugeAllocationIsResourceExhausted) {
+  GradingOutcome outcome = GradeTimed(
+      "void assignment1(int[] a) { int[] big = new int[1073741824]; "
+      "System.out.println(big.length); }");
+  EXPECT_EQ(outcome.stage_reached, Stage::kComplete);
+  EXPECT_NE(outcome.verdict, Verdict::kCorrect);
+  ASSERT_TRUE(outcome.functional_ran);
+  EXPECT_GT(outcome.functional.resource_exhausted, 0);
+  EXPECT_LT(elapsed_ms_, 10'000);
+}
+
+TEST_F(AdversarialTest, OutputFloodIsResourceExhausted) {
+  GradingOutcome outcome = GradeTimed(
+      "void assignment1(int[] a) { while (true) { "
+      "System.out.println(\"spam spam spam spam\"); } }");
+  EXPECT_EQ(outcome.stage_reached, Stage::kComplete);
+  EXPECT_NE(outcome.verdict, Verdict::kCorrect);
+  ASSERT_TRUE(outcome.functional_ran);
+  // The output budget (space) fires before the deadline (time) here.
+  EXPECT_GT(outcome.functional.resource_exhausted, 0);
+  EXPECT_LT(elapsed_ms_, 10'000);
+}
+
+TEST_F(AdversarialTest, ParseBombIsRejectedAtParseStage) {
+  // 100k nested parens would blow the C++ stack in a guard-less
+  // recursive-descent parser; the nesting-depth guard must reject it with a
+  // classified error instead.
+  std::string bomb = "void assignment1(int[] a) { int x = ";
+  for (int i = 0; i < 100'000; ++i) bomb += '(';
+  bomb += '1';
+  for (int i = 0; i < 100'000; ++i) bomb += ')';
+  bomb += "; }";
+  GradingOutcome outcome = GradeTimed(bomb);
+  EXPECT_EQ(outcome.verdict, Verdict::kNotGraded);
+  EXPECT_EQ(outcome.tier, FeedbackTier::kParseDiagnostic);
+  EXPECT_EQ(outcome.failure, FailureClass::kResourceExhausted);
+  EXPECT_NE(outcome.diagnostic.find("nesting depth"), std::string::npos);
+  EXPECT_LT(elapsed_ms_, 10'000);
+}
+
+TEST_F(AdversarialTest, StatementNestingBombIsAlsoRejected) {
+  std::string bomb = "void assignment1(int[] a) { ";
+  for (int i = 0; i < 50'000; ++i) bomb += "if (true) { ";
+  bomb += "int x = 1;";
+  for (int i = 0; i < 50'000; ++i) bomb += " }";
+  bomb += " }";
+  GradingOutcome outcome = GradeTimed(bomb);
+  EXPECT_EQ(outcome.verdict, Verdict::kNotGraded);
+  EXPECT_EQ(outcome.failure, FailureClass::kResourceExhausted);
+  EXPECT_LT(elapsed_ms_, 10'000);
+}
+
+TEST_F(AdversarialTest, BatchSurvivesFullAdversarialCorpus) {
+  const auto& assignment =
+      kb::KnowledgeBase::Get().assignment("assignment1");
+  GradingPipeline pipeline(assignment, TightOptions());
+  auto outcomes = pipeline.GradeBatch({
+      "void assignment1(int[] a) { while (true) { } }",
+      "void assignment1(int[] a) { assignment1(a); }",
+      assignment.Reference(),
+  });
+  ASSERT_EQ(outcomes.size(), 3u);
+  // The healthy neighbor grades clean despite the adversaries around it.
+  EXPECT_EQ(outcomes[2].verdict, Verdict::kCorrect);
+  EXPECT_FALSE(outcomes[2].degraded());
+}
+
+}  // namespace
+}  // namespace jfeed::service

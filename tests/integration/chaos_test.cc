@@ -1,0 +1,150 @@
+// Chaos integration test: sweeps deterministic fault injection over every
+// registered injection point x every knowledge-base assignment and asserts
+// the grading pipeline always degrades to a valid structured outcome —
+// never a crash, never a hang, never an unclassified failure.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "kb/assignments.h"
+#include "service/pipeline.h"
+#include "support/fault.h"
+
+namespace jfeed::service {
+namespace {
+
+std::vector<std::string> AllAssignmentIds() {
+  // Touch the knowledge base BEFORE any injection campaign is active: its
+  // lazy construction parses pattern templates and must not see faults.
+  return kb::KnowledgeBase::Get().assignment_ids();
+}
+
+/// The structural invariants every outcome must satisfy, fault or not.
+void ExpectValidOutcome(const GradingOutcome& outcome,
+                        const std::string& context) {
+  SCOPED_TRACE(context);
+  // Stage/tier/verdict agree with each other.
+  if (outcome.tier == FeedbackTier::kParseDiagnostic) {
+    EXPECT_EQ(outcome.verdict, Verdict::kNotGraded);
+    EXPECT_FALSE(outcome.diagnostic.empty());
+  } else {
+    EXPECT_NE(outcome.verdict, Verdict::kNotGraded);
+  }
+  if (outcome.failure != FailureClass::kNone) {
+    EXPECT_TRUE(outcome.degraded());
+  }
+  // Every stage that ran was timed with a sane wall clock.
+  EXPECT_FALSE(outcome.timings.empty());
+  for (const auto& timing : outcome.timings) {
+    EXPECT_GE(timing.wall_ms, 0.0);
+    EXPECT_LT(timing.wall_ms, 60'000.0);
+  }
+  // JSON rendering must never choke on a degraded outcome.
+  std::string json = OutcomeToJson(outcome);
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(json.back(), '}');
+}
+
+TEST(ChaosTest, EveryPointTimesEveryAssignmentDegradesGracefully) {
+  for (const auto& id : AllAssignmentIds()) {
+    const auto& assignment = kb::KnowledgeBase::Get().assignment(id);
+    std::string reference = assignment.Reference();
+    for (const auto& point : fault::Injector::AllPoints()) {
+      fault::FaultConfig config;
+      config.only_point = point;  // Always fire at this point.
+      GradingOutcome outcome;
+      {
+        fault::ScopedFaultInjection injection(config);
+        GradingPipeline pipeline(assignment);
+        outcome = pipeline.Grade(reference);
+      }
+      ExpectValidOutcome(outcome, id + " / " + point);
+      EXPECT_TRUE(outcome.degraded()) << id << " / " << point;
+
+      // The fault forces the documented rung of the degradation ladder.
+      if (point == fault::points::kLexer ||
+          point == fault::points::kParser) {
+        EXPECT_EQ(outcome.tier, FeedbackTier::kParseDiagnostic)
+            << id << " / " << point;
+      } else if (point == fault::points::kEpdgBuilder ||
+                 point == fault::points::kMatcher) {
+        EXPECT_EQ(outcome.tier, FeedbackTier::kAstOnly)
+            << id << " / " << point;
+        EXPECT_NE(outcome.verdict, Verdict::kNotGraded)
+            << id << " / " << point;
+      } else if (point == fault::points::kInterpreterCall) {
+        // Pattern feedback is unaffected; only the functional stage dies.
+        EXPECT_EQ(outcome.tier, FeedbackTier::kFullEpdg)
+            << id << " / " << point;
+        EXPECT_FALSE(outcome.functional_ran) << id << " / " << point;
+        EXPECT_EQ(outcome.failure, FailureClass::kInternalFault)
+            << id << " / " << point;
+      }
+    }
+  }
+}
+
+TEST(ChaosTest, ProbabilisticSweepNeverCrashes) {
+  // Random-but-reproducible faults at every point simultaneously, across
+  // several seeds: whatever fails, the outcome stays structured.
+  for (const auto& id : AllAssignmentIds()) {
+    const auto& assignment = kb::KnowledgeBase::Get().assignment(id);
+    std::string reference = assignment.Reference();
+    for (uint64_t seed = 1; seed <= 3; ++seed) {
+      fault::FaultConfig config;
+      config.seed = seed;
+      config.probability = 0.3;
+      GradingOutcome outcome;
+      {
+        fault::ScopedFaultInjection injection(config);
+        GradingPipeline pipeline(assignment);
+        outcome = pipeline.Grade(reference);
+      }
+      ExpectValidOutcome(outcome,
+                         id + " / seed " + std::to_string(seed));
+    }
+  }
+}
+
+TEST(ChaosTest, SameSeedReproducesTheSameOutcome) {
+  const auto& assignment =
+      kb::KnowledgeBase::Get().assignment("assignment1");
+  std::string reference = assignment.Reference();
+  auto grade_with_seed = [&](uint64_t seed) {
+    fault::FaultConfig config;
+    config.seed = seed;
+    config.probability = 0.5;
+    fault::ScopedFaultInjection injection(config);
+    GradingPipeline pipeline(assignment);
+    return pipeline.Grade(reference);
+  };
+  GradingOutcome first = grade_with_seed(42);
+  GradingOutcome second = grade_with_seed(42);
+  EXPECT_EQ(first.verdict, second.verdict);
+  EXPECT_EQ(first.tier, second.tier);
+  EXPECT_EQ(first.failure, second.failure);
+  EXPECT_EQ(first.diagnostic, second.diagnostic);
+}
+
+TEST(ChaosTest, BatchUnderFaultsYieldsOneOutcomePerSubmission) {
+  const auto& assignment =
+      kb::KnowledgeBase::Get().assignment("assignment1");
+  fault::FaultConfig config;
+  config.probability = 0.5;
+  fault::ScopedFaultInjection injection(config);
+  GradingPipeline pipeline(assignment);
+  auto outcomes = pipeline.GradeBatch({
+      assignment.Reference(),
+      "void assignment1(int[] a) { int x = 1; }",
+      "garbage (",
+  });
+  ASSERT_EQ(outcomes.size(), 3u);
+  for (size_t i = 0; i < outcomes.size(); ++i) {
+    ExpectValidOutcome(outcomes[i], "batch member " + std::to_string(i));
+  }
+}
+
+}  // namespace
+}  // namespace jfeed::service

@@ -205,10 +205,13 @@ TEST(InterpreterTest, RecursionWorks) {
   EXPECT_EQ(r->return_value.AsInt(), 55);
 }
 
-TEST(InterpreterTest, RunawayRecursionIsCaught) {
+TEST(InterpreterTest, RunawayRecursionIsResourceExhaustion) {
+  // Call-depth blowup is a *space* failure (each frame holds live state), so
+  // it reports kResourceExhausted — distinguishable from deadline/step
+  // timeouts downstream.
   auto r = RunMethod("int f(int n) { return f(n + 1); }", "f", {Value::Int(0)});
   ASSERT_FALSE(r.ok());
-  EXPECT_EQ(r.status().code(), StatusCode::kTimeout);
+  EXPECT_EQ(r.status().code(), StatusCode::kResourceExhausted);
 }
 
 TEST(InterpreterTest, MissingMethodIsNotFound) {

@@ -1,0 +1,94 @@
+#include "support/fault.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace jfeed {
+namespace {
+
+using fault::FaultConfig;
+using fault::Injector;
+using fault::ScopedFaultInjection;
+
+/// A function with an injection point, as production code would write it.
+Status GuardedOperation() {
+  JFEED_FAULT_POINT(fault::points::kLexer);
+  return Status::OK();
+}
+
+TEST(FaultTest, DisabledInjectorNeverFails) {
+  Injector::Get().Disable();
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_TRUE(GuardedOperation().ok());
+  }
+}
+
+TEST(FaultTest, ProbabilityOneFailsEveryHit) {
+  FaultConfig config;
+  config.probability = 1.0;
+  ScopedFaultInjection scoped(config);
+  for (int i = 0; i < 10; ++i) {
+    Status s = GuardedOperation();
+    ASSERT_FALSE(s.ok());
+    EXPECT_EQ(s.code(), StatusCode::kInternal);
+    EXPECT_NE(s.message().find(fault::points::kLexer), std::string::npos);
+  }
+  EXPECT_EQ(Injector::Get().Hits(fault::points::kLexer), 10);
+}
+
+TEST(FaultTest, OnlyPointFilterSparesOtherPoints) {
+  FaultConfig config;
+  config.probability = 1.0;
+  config.only_point = fault::points::kParser;
+  ScopedFaultInjection scoped(config);
+  EXPECT_TRUE(GuardedOperation().ok());  // kLexer point, filtered out.
+  EXPECT_EQ(Injector::Get().Hits(fault::points::kLexer), 1);
+}
+
+TEST(FaultTest, SameSeedGivesSameFiringPattern) {
+  auto run_campaign = [](uint64_t seed) {
+    FaultConfig config;
+    config.seed = seed;
+    config.probability = 0.5;
+    ScopedFaultInjection scoped(config);
+    std::vector<bool> fired;
+    for (int i = 0; i < 64; ++i) fired.push_back(!GuardedOperation().ok());
+    return fired;
+  };
+  EXPECT_EQ(run_campaign(42), run_campaign(42));
+  EXPECT_NE(run_campaign(42), run_campaign(43));  // Astronomically unlikely.
+}
+
+TEST(FaultTest, FractionalProbabilityFiresSomeButNotAll) {
+  FaultConfig config;
+  config.probability = 0.5;
+  ScopedFaultInjection scoped(config);
+  int failures = 0;
+  for (int i = 0; i < 200; ++i) failures += GuardedOperation().ok() ? 0 : 1;
+  EXPECT_GT(failures, 0);
+  EXPECT_LT(failures, 200);
+}
+
+TEST(FaultTest, ConfiguredCodeIsCarried) {
+  FaultConfig config;
+  config.code = StatusCode::kResourceExhausted;
+  ScopedFaultInjection scoped(config);
+  EXPECT_EQ(GuardedOperation().code(), StatusCode::kResourceExhausted);
+}
+
+TEST(FaultTest, AllPointsListsTheRegisteredPipelineStages) {
+  auto points = Injector::AllPoints();
+  EXPECT_EQ(points.size(), 5u);
+  for (const char* expected :
+       {fault::points::kLexer, fault::points::kParser,
+        fault::points::kEpdgBuilder, fault::points::kInterpreterCall,
+        fault::points::kMatcher}) {
+    bool found = false;
+    for (const auto& p : points) found |= p == expected;
+    EXPECT_TRUE(found) << expected;
+  }
+}
+
+}  // namespace
+}  // namespace jfeed

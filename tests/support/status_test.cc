@@ -26,7 +26,8 @@ TEST(StatusTest, AllCodesHaveNames) {
   for (StatusCode code :
        {StatusCode::kOk, StatusCode::kInvalidArgument, StatusCode::kParseError,
         StatusCode::kSemanticError, StatusCode::kExecutionError,
-        StatusCode::kTimeout, StatusCode::kNotFound, StatusCode::kInternal}) {
+        StatusCode::kTimeout, StatusCode::kResourceExhausted,
+        StatusCode::kNotFound, StatusCode::kInternal}) {
     EXPECT_STRNE(StatusCodeName(code), "Unknown");
   }
 }

@@ -1,21 +1,39 @@
-// Command-line grader: reads a Java submission from a file (or stdin) and
+// Command-line grader: reads a Java submission from a file (or stdin), runs
+// it through the hardened grading pipeline (parse -> EPDG -> pattern match
+// -> functional tests, with resource guards and graceful degradation) and
 // prints the personalized feedback for a knowledge-base assignment.
 //
-//   grade <assignment-id> [file.java]      grade a submission
-//   grade --list                           list assignment ids
-//   grade <assignment-id> --reference      print the reference solution
-//   grade <assignment-id> --dot [file]     print the submission's EPDG
+//   grade <assignment-id> [file.java] [flags]   grade a submission
+//   grade --list                                list assignment ids
+//   grade <assignment-id> --reference           print the reference solution
+//   grade <assignment-id> --dot [file]          print the submission's EPDG
+//
+// Flags:
+//   --timeout-ms <n>       wall-clock deadline per functional test (ms)
+//   --max-heap-bytes <n>   interpreter heap budget per test (bytes)
+//   --json                 print the structured GradingOutcome as JSON
+//
+// Exit codes:
+//   0  the submission was fully graded (feedback produced at the full EPDG
+//      tier, whether or not it was correct)
+//   1  degraded outcome: parse failure, budget blowup, spec mismatch, or an
+//      internal fault forced a lower feedback tier
+//   2  usage error (unknown assignment, unreadable file, bad flag)
 
+#include <cstdint>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <iostream>
 #include <sstream>
+#include <string>
+#include <vector>
 
-#include "core/submission_matcher.h"
+#include "core/feedback.h"
 #include "javalang/parser.h"
 #include "kb/assignments.h"
 #include "pdg/epdg.h"
+#include "service/pipeline.h"
 
 namespace {
 
@@ -34,19 +52,34 @@ int ListAssignments() {
   return 0;
 }
 
+int Usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s <assignment-id> [file.java] [--timeout-ms N] "
+               "[--max-heap-bytes N] [--json]\n"
+               "       %s <assignment-id> --reference\n"
+               "       %s <assignment-id> --dot [file.java]\n"
+               "       %s --list\n",
+               argv0, argv0, argv0, argv0);
+  return 2;
+}
+
+/// Parses a positive integer flag value; returns false on garbage.
+bool ParseInt64(const char* text, int64_t* out) {
+  char* end = nullptr;
+  long long v = std::strtoll(text, &end, 10);
+  if (end == text || *end != '\0' || v <= 0) return false;
+  *out = v;
+  return true;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   if (argc >= 2 && std::strcmp(argv[1], "--list") == 0) {
     return ListAssignments();
   }
-  if (argc < 2) {
-    std::fprintf(stderr,
-                 "usage: %s <assignment-id> [file.java | --reference | "
-                 "--dot [file.java]]\n       %s --list\n",
-                 argv[0], argv[0]);
-    return 2;
-  }
+  if (argc < 2) return Usage(argv[0]);
+
   const auto& kb = jfeed::kb::KnowledgeBase::Get();
   std::string id = argv[1];
   bool known = false;
@@ -58,17 +91,45 @@ int main(int argc, char** argv) {
   }
   const auto& assignment = kb.assignment(id);
 
-  if (argc >= 3 && std::strcmp(argv[2], "--reference") == 0) {
-    std::fputs(assignment.Reference().c_str(), stdout);
-    return 0;
-  }
-
-  bool dot = argc >= 3 && std::strcmp(argv[2], "--dot") == 0;
+  // Flag parsing: flags may appear anywhere after the assignment id; the
+  // first non-flag argument is the submission file.
+  bool dot = false;
+  bool json = false;
   const char* path = nullptr;
-  if (dot) {
-    path = argc >= 4 ? argv[3] : nullptr;
-  } else if (argc >= 3) {
-    path = argv[2];
+  jfeed::service::PipelineOptions options;
+  for (int i = 2; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strcmp(arg, "--reference") == 0) {
+      std::fputs(assignment.Reference().c_str(), stdout);
+      return 0;
+    } else if (std::strcmp(arg, "--dot") == 0) {
+      dot = true;
+    } else if (std::strcmp(arg, "--json") == 0) {
+      json = true;
+    } else if (std::strcmp(arg, "--timeout-ms") == 0 ||
+               std::strcmp(arg, "--max-heap-bytes") == 0) {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s needs a value\n", arg);
+        return 2;
+      }
+      int64_t value = 0;
+      if (!ParseInt64(argv[++i], &value)) {
+        std::fprintf(stderr, "bad value for %s: '%s'\n", arg, argv[i]);
+        return 2;
+      }
+      if (std::strcmp(arg, "--timeout-ms") == 0) {
+        options.exec.deadline_ms = value;
+      } else {
+        options.exec.max_heap_bytes = value;
+      }
+    } else if (arg[0] == '-' && arg[1] == '-') {
+      std::fprintf(stderr, "unknown flag '%s'\n", arg);
+      return Usage(argv[0]);
+    } else if (path == nullptr) {
+      path = arg;
+    } else {
+      return Usage(argv[0]);
+    }
   }
 
   std::string source;
@@ -83,14 +144,13 @@ int main(int argc, char** argv) {
     source = ReadAll(std::cin);
   }
 
-  auto unit = jfeed::java::Parse(source);
-  if (!unit.ok()) {
-    std::fprintf(stderr, "submission does not parse: %s\n",
-                 unit.status().ToString().c_str());
-    return 1;
-  }
-
   if (dot) {
+    auto unit = jfeed::java::Parse(source);
+    if (!unit.ok()) {
+      std::fprintf(stderr, "submission does not parse: %s\n",
+                   unit.status().ToString().c_str());
+      return 1;
+    }
     for (const auto& method : unit->methods) {
       auto graph = jfeed::pdg::BuildEpdg(method);
       if (!graph.ok()) {
@@ -102,23 +162,42 @@ int main(int argc, char** argv) {
     return 0;
   }
 
-  auto feedback = jfeed::core::MatchSubmission(assignment.spec, *unit);
-  if (!feedback.ok()) {
-    std::fprintf(stderr, "%s\n", feedback.status().ToString().c_str());
-    return 1;
-  }
-  if (!feedback->matched) {
+  jfeed::service::GradingPipeline pipeline(assignment, options);
+  jfeed::service::GradingOutcome outcome = pipeline.Grade(source);
+
+  if (json) {
+    std::printf("%s\n", jfeed::service::OutcomeToJson(outcome).c_str());
+  } else if (outcome.tier ==
+             jfeed::service::FeedbackTier::kParseDiagnostic) {
+    std::fprintf(stderr, "submission does not parse: %s\n",
+                 outcome.diagnostic.c_str());
+  } else if (outcome.verdict == jfeed::service::Verdict::kSpecMismatch) {
     std::printf("The submission does not provide the expected method(s); "
                 "no feedback can be given.\nExpected: ");
     for (const auto& method : assignment.spec.methods) {
       std::printf("%s ", method.expected_name.c_str());
     }
     std::printf("\n");
-    return 1;
+  } else {
+    if (outcome.degraded()) {
+      std::printf("[degraded: %s feedback — %s]\n",
+                  jfeed::service::FeedbackTierName(outcome.tier),
+                  outcome.diagnostic.c_str());
+    }
+    std::fputs(jfeed::core::RenderFeedback(outcome.feedback.comments).c_str(),
+               stdout);
+    std::printf("score: %.1f / %zu\n", outcome.feedback.score,
+                outcome.feedback.comments.size());
+    if (outcome.functional_ran) {
+      std::printf("functional: %d/%d tests passed\n",
+                  outcome.functional.tests_run -
+                      outcome.functional.tests_failed,
+                  outcome.functional.tests_run);
+    }
   }
-  std::fputs(jfeed::core::RenderFeedback(feedback->comments).c_str(),
-             stdout);
-  std::printf("score: %.1f / %zu\n", feedback->score,
-              feedback->comments.size());
-  return feedback->AllCorrect() ? 0 : 1;
+  // Exit taxonomy: 0 = fully graded, 1 = any degradation (parse failure,
+  // budget blowup, fault-forced tier drop, spec mismatch), 2 = usage error.
+  bool graded = !outcome.degraded() &&
+                outcome.verdict != jfeed::service::Verdict::kSpecMismatch;
+  return graded ? 0 : 1;
 }
