@@ -59,7 +59,7 @@ Result<ExprPattern> ExprPattern::Create(std::string tmpl,
   for (const auto& piece : out.pieces_) {
     probe += piece.is_variable ? "v" : piece.text;
   }
-  if (RegexCache::Global().Get(probe) == nullptr) {
+  if (RegexCache::ThreadLocal().Get(probe) == nullptr) {
     return Status::InvalidArgument("invalid expression template regex: " +
                                    tmpl);
   }
@@ -82,7 +82,7 @@ bool ExprPattern::Matches(const std::string& content,
     regex_text += RegexEscape(it->second);
     regex_text += "\\b";
   }
-  const std::regex* re = RegexCache::Global().Get(regex_text);
+  const std::regex* re = RegexCache::ThreadLocal().Get(regex_text);
   if (re == nullptr) return false;
   return std::regex_search(content, *re);
 }

@@ -1,0 +1,38 @@
+#ifndef JFEED_SCHED_BATCH_IO_H_
+#define JFEED_SCHED_BATCH_IO_H_
+
+#include <string>
+
+#include "service/pipeline.h"
+#include "support/result.h"
+
+namespace jfeed::sched {
+
+/// One decoded input line of the NDJSON batch front end (`grade --batch`).
+struct BatchLine {
+  std::string id;      ///< Caller-chosen submission id; may be empty.
+  std::string source;  ///< The Java submission text.
+};
+
+/// Parses one NDJSON input line. Two accepted shapes:
+///   {"id": "s-17", "source": "void f() { ... }"}   object form
+///   "void f() { ... }"                              bare-string form
+/// In the object form `source` is required, `id` optional, unknown keys
+/// with string values are ignored (forward compatibility); values must be
+/// JSON strings. Standard JSON string escapes are decoded, including
+/// \uXXXX (with surrogate pairs). Blank lines yield kInvalidArgument —
+/// callers typically skip them before calling.
+Result<BatchLine> ParseBatchLine(const std::string& line);
+
+/// Renders one NDJSON output line: the GradingOutcome JSON with "id" and
+/// "index" (position in the input stream) prepended, so outputs remain
+/// joinable with inputs even though they are emitted in input order anyway.
+std::string BatchOutcomeToJson(const std::string& id, size_t index,
+                               const service::GradingOutcome& outcome);
+
+/// Renders the NDJSON error line for an input line that failed to parse.
+std::string BatchErrorToJson(size_t index, const Status& error);
+
+}  // namespace jfeed::sched
+
+#endif  // JFEED_SCHED_BATCH_IO_H_

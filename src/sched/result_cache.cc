@@ -1,0 +1,113 @@
+#include "sched/result_cache.h"
+
+#include <cstdio>
+#include <utility>
+
+#include "javalang/lexer.h"
+
+namespace jfeed::sched {
+
+namespace {
+
+/// splitmix64 finalizer — the same mixer the fault injector uses; good
+/// avalanche for cheap.
+uint64_t Mix(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+uint64_t FoldBytes(uint64_t h, const std::string& bytes) {
+  for (char c : bytes) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ull;  // FNV-1a prime.
+  }
+  return h;
+}
+
+}  // namespace
+
+uint64_t TokenFingerprint(const std::string& source) {
+  auto tokens = java::Lex(source);
+  if (!tokens.ok()) {
+    // Unlexable source: hash raw bytes under a distinct domain tag so it can
+    // never collide with a token-stream hash of some other source.
+    return Mix(FoldBytes(0x6a66656564726177ull /* "jfeedraw" */, source));
+  }
+  uint64_t h = 0xcbf29ce484222325ull;  // FNV-1a offset basis.
+  for (const auto& token : *tokens) {
+    h = Mix(h ^ static_cast<uint64_t>(token.kind));
+    h = FoldBytes(h, token.text);
+    h *= 0x100000001b3ull;  // Separator: "ab"+"c" != "a"+"bc".
+  }
+  return Mix(h);
+}
+
+std::string ResultCache::MakeKey(const std::string& assignment_id,
+                                 uint64_t fingerprint) {
+  char buf[17];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(fingerprint));
+  return assignment_id + "/" + buf;
+}
+
+bool ResultCache::Lookup(const std::string& assignment_id,
+                         uint64_t fingerprint, service::GradingOutcome* out) {
+  std::string key = MakeKey(assignment_id, fingerprint);
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(key);
+  if (it == entries_.end()) {
+    ++stats_.misses;
+    return false;
+  }
+  it->second.referenced = true;
+  ++stats_.hits;
+  *out = it->second.outcome;
+  return true;
+}
+
+void ResultCache::Insert(const std::string& assignment_id,
+                         uint64_t fingerprint,
+                         service::GradingOutcome outcome) {
+  std::string key = MakeKey(assignment_id, fingerprint);
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(key);
+  if (it != entries_.end()) {
+    it->second.outcome = std::move(outcome);
+    return;
+  }
+  if (entries_.size() >= max_entries_) EvictOneLocked();
+  entries_[key].outcome = std::move(outcome);
+  clock_.push_back(std::move(key));
+  ++stats_.insertions;
+}
+
+void ResultCache::EvictOneLocked() {
+  for (size_t step = 0; step < 2 * clock_.size() + 1; ++step) {
+    if (hand_ >= clock_.size()) hand_ = 0;
+    auto it = entries_.find(clock_[hand_]);
+    if (it != entries_.end() && it->second.referenced) {
+      it->second.referenced = false;  // Second chance.
+      ++hand_;
+      continue;
+    }
+    if (it != entries_.end()) entries_.erase(it);
+    clock_[hand_] = std::move(clock_.back());
+    clock_.pop_back();
+    ++stats_.evictions;
+    return;
+  }
+}
+
+CacheStats ResultCache::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+size_t ResultCache::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_.size();
+}
+
+}  // namespace jfeed::sched

@@ -1,0 +1,183 @@
+#include "sched/scheduler.h"
+
+#include <utility>
+
+#include "support/fault.h"
+
+namespace jfeed::sched {
+
+namespace {
+
+/// Defensive outcome for a submission the queue rejected because shutdown
+/// raced with the batch: the one-outcome-per-submission contract holds even
+/// on that path.
+service::GradingOutcome ShutdownOutcome() {
+  service::GradingOutcome outcome;
+  outcome.verdict = service::Verdict::kNotGraded;
+  outcome.tier = service::FeedbackTier::kParseDiagnostic;
+  outcome.failure = service::FailureClass::kInternalFault;
+  outcome.diagnostic = "scheduler shut down before the submission was graded";
+  return outcome;
+}
+
+}  // namespace
+
+BatchScheduler::BatchScheduler(const kb::Assignment& assignment,
+                               service::PipelineOptions pipeline_options,
+                               SchedulerOptions options)
+    : assignment_(assignment),
+      pipeline_options_(std::move(pipeline_options)),
+      jobs_(options.jobs < 1 ? 1 : options.jobs),
+      oracle_(std::make_shared<service::ReferenceOracle>()),
+      queue_(options.queue_capacity) {
+  if (options.use_result_cache) {
+    cache_ = options.cache != nullptr
+                 ? std::move(options.cache)
+                 : std::make_shared<ResultCache>(options.cache_capacity);
+  }
+  workers_.reserve(static_cast<size_t>(jobs_));
+  for (int i = 0; i < jobs_; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+BatchScheduler::~BatchScheduler() {
+  // Drain, don't drop: closing the queue lets workers finish whatever was
+  // already admitted before they observe end-of-stream and exit.
+  queue_.Close();
+  for (auto& worker : workers_) worker.join();
+}
+
+void BatchScheduler::WorkerLoop() {
+  // The pipeline is constructed inside the worker thread so that everything
+  // thread-local it reaches — the regex cache above all — belongs to this
+  // worker; the shared oracle is the one deliberate cross-worker memo.
+  service::GradingPipeline pipeline(assignment_, pipeline_options_, oracle_);
+  while (auto job = queue_.Pop()) {
+    // Grade() is total: adversarial or fault-poisoned submissions fold into
+    // a degraded outcome here, inside this worker, and the other workers
+    // never notice.
+    service::GradingOutcome outcome = pipeline.Grade(job->source);
+    {
+      std::lock_guard<std::mutex> lock(results_mu_);
+      results_[job->ticket] = std::move(outcome);
+    }
+    results_cv_.notify_all();
+  }
+}
+
+Status BatchScheduler::Submit(const std::string& source, uint64_t* ticket) {
+  uint64_t t = next_ticket_.fetch_add(1, std::memory_order_relaxed);
+  if (!queue_.TryPush(Job{t, source})) {
+    if (queue_.closed()) {
+      return Status::Unavailable("scheduler is shutting down");
+    }
+    return Status::Unavailable(
+        "job queue full (capacity " + std::to_string(queue_.capacity()) +
+        "); retry after draining results");
+  }
+  *ticket = t;
+  return Status::OK();
+}
+
+service::GradingOutcome BatchScheduler::Wait(uint64_t ticket) {
+  return TakeResult(ticket);
+}
+
+service::GradingOutcome BatchScheduler::TakeResult(uint64_t ticket) {
+  std::unique_lock<std::mutex> lock(results_mu_);
+  results_cv_.wait(lock,
+                   [this, ticket] { return results_.count(ticket) > 0; });
+  auto node = results_.extract(ticket);
+  return std::move(node.mapped());
+}
+
+std::vector<service::GradingOutcome> BatchScheduler::GradeBatch(
+    const std::vector<std::string>& sources) {
+  BatchStats stats;
+  return GradeBatchWithStats(sources, &stats);
+}
+
+std::vector<service::GradingOutcome> BatchScheduler::GradeBatchWithStats(
+    const std::vector<std::string>& sources, BatchStats* stats) {
+  *stats = BatchStats();
+  stats->submissions = sources.size();
+  std::vector<service::GradingOutcome> outcomes(sources.size());
+
+  // Dedup and the result cache are bypassed while an injection campaign is
+  // enabled: chaos tests must observe every submission actually crossing
+  // the fault points, and a fault-degraded outcome must never be replayed
+  // to a healthy duplicate after the campaign ends.
+  const bool caching = cache_ != nullptr && !fault::Injector::Get().enabled();
+
+  // One group per pipeline run; duplicate submissions coalesce onto the
+  // group of their first occurrence instead of grading again.
+  struct Group {
+    uint64_t ticket = 0;
+    uint64_t fingerprint = 0;
+    std::vector<size_t> indexes;
+  };
+  std::vector<Group> groups;
+  std::unordered_map<uint64_t, size_t> group_by_fingerprint;
+
+  for (size_t i = 0; i < sources.size(); ++i) {
+    uint64_t fingerprint = 0;
+    if (caching) {
+      fingerprint = TokenFingerprint(sources[i]);
+      auto in_flight = group_by_fingerprint.find(fingerprint);
+      if (in_flight != group_by_fingerprint.end()) {
+        groups[in_flight->second].indexes.push_back(i);
+        ++stats->dedup_hits;
+        continue;
+      }
+      service::GradingOutcome cached;
+      if (cache_->Lookup(assignment_.id, fingerprint, &cached)) {
+        outcomes[i] = std::move(cached);
+        ++stats->cache_hits;
+        continue;
+      }
+    }
+    uint64_t ticket = next_ticket_.fetch_add(1, std::memory_order_relaxed);
+    // Blocking admission: when the queue is full the producer stalls here
+    // until a worker frees a slot, so a million-line batch never buffers
+    // more than queue_capacity jobs.
+    if (!queue_.Push(Job{ticket, sources[i]})) {
+      outcomes[i] = ShutdownOutcome();
+      continue;
+    }
+    ++stats->graded;
+    Group group;
+    group.ticket = ticket;
+    group.fingerprint = fingerprint;
+    group.indexes.push_back(i);
+    if (caching) group_by_fingerprint.emplace(fingerprint, groups.size());
+    groups.push_back(std::move(group));
+  }
+
+  // Collect in submission order — input order is restored by index slots,
+  // whatever order the workers completed in.
+  for (auto& group : groups) {
+    service::GradingOutcome outcome = TakeResult(group.ticket);
+    if (caching) cache_->Insert(assignment_.id, group.fingerprint, outcome);
+    for (size_t k = 1; k < group.indexes.size(); ++k) {
+      outcomes[group.indexes[k]] = outcome;
+    }
+    outcomes[group.indexes.front()] = std::move(outcome);
+  }
+  return outcomes;
+}
+
+}  // namespace jfeed::sched
+
+namespace jfeed::service {
+
+std::vector<GradingOutcome> GradeBatchParallel(
+    const kb::Assignment& assignment, const std::vector<std::string>& sources,
+    const PipelineOptions& pipeline_options,
+    const sched::SchedulerOptions& scheduler_options) {
+  sched::BatchScheduler scheduler(assignment, pipeline_options,
+                                  scheduler_options);
+  return scheduler.GradeBatch(sources);
+}
+
+}  // namespace jfeed::service

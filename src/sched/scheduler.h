@@ -1,0 +1,148 @@
+#ifndef JFEED_SCHED_SCHEDULER_H_
+#define JFEED_SCHED_SCHEDULER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "kb/assignments.h"
+#include "sched/bounded_queue.h"
+#include "sched/result_cache.h"
+#include "service/pipeline.h"
+#include "support/status.h"
+
+namespace jfeed::sched {
+
+/// Tuning for one BatchScheduler.
+struct SchedulerOptions {
+  /// Worker threads; each owns a private GradingPipeline (and, via
+  /// RegexCache::ThreadLocal(), a private regex cache). Clamped to >= 1.
+  int jobs = 4;
+  /// Capacity of the bounded job queue — the backpressure knob. Submit()
+  /// returns kUnavailable when this many jobs are already waiting.
+  size_t queue_capacity = 256;
+  /// Content-addressed dedup of identical (token-normalized) submissions.
+  bool use_result_cache = true;
+  /// Capacity of the result cache created when `cache` is null.
+  size_t cache_capacity = 4096;
+  /// Optional externally-owned cache, shared across schedulers/batches.
+  std::shared_ptr<ResultCache> cache;
+};
+
+/// Per-batch accounting returned by GradeBatchWithStats.
+struct BatchStats {
+  size_t submissions = 0;
+  size_t graded = 0;       ///< Submissions that actually ran the pipeline.
+  size_t cache_hits = 0;   ///< Served from the cross-batch result cache.
+  size_t dedup_hits = 0;   ///< Coalesced onto an in-flight duplicate.
+
+  /// Fraction of submissions that did not pay for a grade.
+  double HitRate() const {
+    return submissions == 0
+               ? 0.0
+               : static_cast<double>(cache_hits + dedup_hits) / submissions;
+  }
+};
+
+/// The concurrent batch grading engine: a fixed worker pool pulling from a
+/// bounded MPMC queue. Each worker owns a private GradingPipeline, so
+/// per-submission isolation (fresh budgets, no shared mutable state) is
+/// exactly the sequential GradeBatch contract — a poisoned worker degrades
+/// its submission, never the batch. All workers share one ReferenceOracle,
+/// so the functional oracle runs the reference once per (assignment, test
+/// input) per scheduler, not once per submission.
+///
+/// Two front ends:
+///  - Submit()/Wait(): streaming admission with backpressure — Submit
+///    returns kUnavailable when the job queue is full instead of buffering
+///    without bound.
+///  - GradeBatch()/GradeBatchWithStats(): whole-batch grading with
+///    deterministic input-order results regardless of completion order,
+///    plus content-addressed dedup (disabled automatically while a
+///    fault-injection campaign is enabled, so chaos tests see every grade).
+///
+/// Destruction drains cleanly: the queue closes, in-flight work finishes,
+/// workers join.
+class BatchScheduler {
+ public:
+  BatchScheduler(const kb::Assignment& assignment,
+                 service::PipelineOptions pipeline_options =
+                     service::PipelineOptions(),
+                 SchedulerOptions options = SchedulerOptions());
+  ~BatchScheduler();
+
+  BatchScheduler(const BatchScheduler&) = delete;
+  BatchScheduler& operator=(const BatchScheduler&) = delete;
+
+  /// Streaming admission. On success, *ticket identifies the submission for
+  /// Wait(). Returns kUnavailable when the job queue is full (retry after
+  /// draining some results) and kUnavailable with a different message after
+  /// shutdown began.
+  Status Submit(const std::string& source, uint64_t* ticket);
+
+  /// Blocks until the outcome for `ticket` is ready and returns it. Each
+  /// ticket can be waited on exactly once.
+  service::GradingOutcome Wait(uint64_t ticket);
+
+  /// Grades a whole batch; element i of the result corresponds to source i
+  /// (deterministic order, whatever order workers finish in). The producer
+  /// uses blocking admission internally, so memory stays bounded by the
+  /// queue capacity while large batches stream through.
+  std::vector<service::GradingOutcome> GradeBatch(
+      const std::vector<std::string>& sources);
+
+  /// GradeBatch plus dedup/cache accounting for this batch.
+  std::vector<service::GradingOutcome> GradeBatchWithStats(
+      const std::vector<std::string>& sources, BatchStats* stats);
+
+  int jobs() const { return jobs_; }
+  /// The result cache (null when caching is disabled).
+  const ResultCache* cache() const { return cache_.get(); }
+
+ private:
+  struct Job {
+    uint64_t ticket = 0;
+    std::string source;
+  };
+
+  void WorkerLoop();
+  service::GradingOutcome TakeResult(uint64_t ticket);
+
+  const kb::Assignment& assignment_;
+  service::PipelineOptions pipeline_options_;
+  int jobs_;
+  std::shared_ptr<ResultCache> cache_;  ///< Null when caching is off.
+  std::shared_ptr<service::ReferenceOracle> oracle_;
+
+  BoundedQueue<Job> queue_;
+  std::vector<std::thread> workers_;
+
+  std::mutex results_mu_;
+  std::condition_variable results_cv_;
+  std::unordered_map<uint64_t, service::GradingOutcome> results_;
+  std::atomic<uint64_t> next_ticket_{1};
+};
+
+}  // namespace jfeed::sched
+
+namespace jfeed::service {
+
+/// Service-level parallel counterpart of GradingPipeline::GradeBatch: same
+/// contract (element i corresponds to source i; every submission yields
+/// exactly one outcome), executed by a worker pool with content-addressed
+/// dedup. One-shot convenience over constructing a sched::BatchScheduler.
+std::vector<GradingOutcome> GradeBatchParallel(
+    const kb::Assignment& assignment, const std::vector<std::string>& sources,
+    const PipelineOptions& pipeline_options = PipelineOptions(),
+    const sched::SchedulerOptions& scheduler_options =
+        sched::SchedulerOptions());
+
+}  // namespace jfeed::service
+
+#endif  // JFEED_SCHED_SCHEDULER_H_

@@ -13,6 +13,7 @@
 #include "javalang/parser.h"
 #include "javalang/printer.h"
 #include "pdg/epdg.h"
+#include "support/fault.h"
 
 namespace jfeed::service {
 
@@ -353,7 +354,37 @@ void AppendJsonString(const std::string& s, std::string* out) {
   out->push_back('"');
 }
 
+/// Parses the reference solution and runs it over the suite inputs; the
+/// uncached oracle computation.
+Result<std::vector<std::string>> ComputeReferenceOutputs(
+    const kb::Assignment& assignment) {
+  auto reference = java::Parse(assignment.Reference());
+  if (!reference.ok()) {
+    return Status(reference.status().code(),
+                  "reference solution unavailable: " +
+                      reference.status().message());
+  }
+  return testing::ComputeExpectedOutputs(*reference, assignment.suite);
+}
+
 }  // namespace
+
+Result<std::vector<std::string>> ReferenceOracle::ExpectedOutputs(
+    const kb::Assignment& assignment) {
+  // Bypass the memo while faults are injectable: campaigns must observe
+  // every reference parse/execution, and an injected failure must not be
+  // served back after the campaign ends.
+  if (fault::Injector::Get().enabled()) {
+    return ComputeReferenceOutputs(assignment);
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  if (cached_) return expected_;
+  auto computed = ComputeReferenceOutputs(assignment);
+  if (!computed.ok()) return computed.status();  // Failures recompute.
+  expected_ = std::move(computed).value();
+  cached_ = true;
+  return expected_;
+}
 
 std::string OutcomeToJson(const GradingOutcome& outcome) {
   std::string out = "{";
@@ -503,26 +534,18 @@ GradingOutcome GradingPipeline::Grade(const std::string& source) const {
     outcome.stage_reached = Stage::kFunctional;
     auto func_start = Clock::now();
     Status func_status;
-    auto reference = java::Parse(assignment_.Reference());
-    if (!reference.ok()) {
-      func_status = Status(reference.status().code(),
-                           "reference solution unavailable: " +
-                               reference.status().message());
+    auto expected = oracle_->ExpectedOutputs(assignment_);
+    if (!expected.ok()) {
+      func_status = expected.status();
     } else {
       interp::ExecOptions exec = assignment_.suite.exec_options;
       exec.max_heap_bytes = options_.exec.max_heap_bytes;
       exec.max_output_bytes = options_.exec.max_output_bytes;
       exec.deadline_ms = options_.exec.deadline_ms;
-      auto expected =
-          testing::ComputeExpectedOutputs(*reference, assignment_.suite);
-      if (!expected.ok()) {
-        func_status = expected.status();
-      } else {
-        outcome.functional = testing::RunSuiteGuarded(
-            *unit, assignment_.suite, *expected, exec,
-            options_.budgets.functional_ms);
-        outcome.functional_ran = true;
-      }
+      outcome.functional = testing::RunSuiteGuarded(
+          *unit, assignment_.suite, *expected, exec,
+          options_.budgets.functional_ms);
+      outcome.functional_ran = true;
     }
     finish_stage(Stage::kFunctional, func_start, func_status,
                  options_.budgets.functional_ms);

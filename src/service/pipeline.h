@@ -2,12 +2,15 @@
 #define JFEED_SERVICE_PIPELINE_H_
 
 #include <cstdint>
+#include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
 #include "core/submission_matcher.h"
 #include "interp/interpreter.h"
 #include "kb/assignments.h"
+#include "support/result.h"
 #include "support/status.h"
 #include "testing/functional.h"
 
@@ -129,6 +132,32 @@ struct GradingOutcome {
 /// by `grade --json` and batch tooling).
 std::string OutcomeToJson(const GradingOutcome& outcome);
 
+/// Thread-safe memo of a reference solution's expected outputs for one
+/// assignment. The functional oracle is self-consistent (expected outputs
+/// come from running the reference over the suite inputs), so without a
+/// memo the reference runs once per *submission*; with one it runs once per
+/// (assignment, test input). One oracle is private to each pipeline by
+/// default; the batch scheduler shares a single oracle across its worker
+/// pipelines so a whole parallel batch pays the reference cost once.
+///
+/// While a fault-injection campaign is enabled the memo is bypassed in both
+/// directions — nothing is served from it and nothing is stored — so chaos
+/// campaigns see every reference execution and an injected reference
+/// failure can never poison later healthy grades.
+class ReferenceOracle {
+ public:
+  /// Expected stdout per suite input, parsed+computed on first use.
+  /// Failures (unparseable reference, reference crash on a suite input) are
+  /// NOT memoized; they are recomputed — and so re-observed — per call.
+  Result<std::vector<std::string>> ExpectedOutputs(
+      const kb::Assignment& assignment);
+
+ private:
+  std::mutex mu_;
+  bool cached_ = false;
+  std::vector<std::string> expected_;
+};
+
 /// The hardened grading service: wraps parse → EPDG → pattern match →
 /// functional testing with per-stage budgets and the degradation ladder
 /// described on FeedbackTier. Stateless across submissions: grading N
@@ -136,9 +165,16 @@ std::string OutcomeToJson(const GradingOutcome& outcome);
 /// from its own, which is what isolates a batch from an adversarial member.
 class GradingPipeline {
  public:
+  /// `oracle` memoizes the reference solution's expected outputs; pass a
+  /// shared instance to amortize the reference run across pipelines (the
+  /// batch scheduler does), or leave it null for a private one.
   explicit GradingPipeline(const kb::Assignment& assignment,
-                           PipelineOptions options = PipelineOptions())
-      : assignment_(assignment), options_(std::move(options)) {}
+                           PipelineOptions options = PipelineOptions(),
+                           std::shared_ptr<ReferenceOracle> oracle = nullptr)
+      : assignment_(assignment),
+        options_(std::move(options)),
+        oracle_(oracle != nullptr ? std::move(oracle)
+                                  : std::make_shared<ReferenceOracle>()) {}
 
   GradingPipeline(const GradingPipeline&) = delete;
   GradingPipeline& operator=(const GradingPipeline&) = delete;
@@ -157,6 +193,7 @@ class GradingPipeline {
  private:
   const kb::Assignment& assignment_;
   PipelineOptions options_;
+  std::shared_ptr<ReferenceOracle> oracle_;
 };
 
 }  // namespace jfeed::service

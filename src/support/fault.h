@@ -27,6 +27,27 @@ inline constexpr const char kMatcher[] = "core.match_submission";
 /// hit of a given point fails is a pure function of (seed, point name, hit
 /// ordinal), so a campaign is exactly reproducible from its config — the
 /// property RocksDB's SyncPoint-style tests rely on.
+///
+/// Ordinal semantics under concurrency: hit ordinals are GLOBAL, not
+/// per-thread — MaybeFail serializes on the injector mutex and assigns each
+/// crossing of a point the next ordinal in process-wide arrival order.
+/// Consequences for the parallel batch scheduler:
+///
+///  - Campaigns whose decision ignores the ordinal — `probability == 1.0`
+///    (with or without `only_point`) or `probability == 0.0` — are
+///    schedule-independent: every submission lands on the same documented
+///    degradation-ladder rung at any worker count, which is what the
+///    multi-threaded chaos tests assert.
+///  - Campaigns with `0 < probability < 1` stay reproducible only for a
+///    fixed thread interleaving: worker scheduling decides which crossing
+///    receives which ordinal, so per-submission outcomes may differ between
+///    runs (the *set* of decisions drawn from (seed, point, ordinal) is
+///    still deterministic). Single-threaded grading keeps the original
+///    exact reproducibility.
+///
+/// The batch scheduler additionally bypasses its result cache and
+/// duplicate-submission dedup while an injection campaign is enabled, so
+/// every submission actually crosses the points a campaign targets.
 struct FaultConfig {
   uint64_t seed = 1;
   /// Probability in [0, 1] that a hit fails. 1.0 = fail every hit.

@@ -1,9 +1,11 @@
 #ifndef JFEED_SUPPORT_REGEX_CACHE_H_
 #define JFEED_SUPPORT_REGEX_CACHE_H_
 
+#include <cstdint>
 #include <regex>
 #include <string>
 #include <unordered_map>
+#include <vector>
 
 namespace jfeed {
 
@@ -12,20 +14,39 @@ namespace jfeed {
 /// variable binding; submissions reuse a small vocabulary of variable names,
 /// so the hit rate is high and compilation cost disappears from the hot path.
 ///
-/// Not thread-safe; use one cache per matching thread (the library's matcher
-/// is single-threaded, matching the paper's single-threaded evaluation).
+/// A single instance is not thread-safe; concurrent matching uses one cache
+/// per thread via ThreadLocal(). There is deliberately no process-wide
+/// shared instance any more: the old Global() singleton was mutable state
+/// shared across threads and blocked the parallel batch scheduler.
+///
+/// When the cache is full it evicts with a CLOCK-style second-chance scan
+/// instead of dropping everything: each hit sets an entry's reference bit,
+/// and the eviction hand only reclaims entries whose bit is clear, so the
+/// hot working set of a long batch survives overflow.
+///
+/// The pointer returned by Get() is valid until the next Get() call on the
+/// same cache (a later insert may evict the entry).
 class RegexCache {
  public:
   explicit RegexCache(size_t max_entries = 65536)
-      : max_entries_(max_entries) {}
+      : max_entries_(max_entries == 0 ? 1 : max_entries) {}
+
+  RegexCache(const RegexCache&) = delete;
+  RegexCache& operator=(const RegexCache&) = delete;
 
   /// Returns the compiled regex for `pattern`, or nullptr if the pattern is
-  /// not a valid ECMAScript regex.
+  /// not a valid ECMAScript regex (negative results are cached too).
   const std::regex* Get(const std::string& pattern) {
     auto it = cache_.find(pattern);
-    if (it != cache_.end()) return it->second.valid ? &it->second.re : nullptr;
-    if (cache_.size() >= max_entries_) cache_.clear();
+    if (it != cache_.end()) {
+      it->second.referenced = true;
+      ++hits_;
+      return it->second.valid ? &it->second.re : nullptr;
+    }
+    ++misses_;
+    if (cache_.size() >= max_entries_) EvictOne();
     Entry& entry = cache_[pattern];
+    clock_.push_back(pattern);
     try {
       entry.re = std::regex(pattern, std::regex::ECMAScript);
       entry.valid = true;
@@ -36,20 +57,53 @@ class RegexCache {
   }
 
   size_t size() const { return cache_.size(); }
+  uint64_t hits() const { return hits_; }
+  uint64_t misses() const { return misses_; }
+  uint64_t evictions() const { return evictions_; }
 
-  /// Process-wide cache for single-threaded use.
-  static RegexCache& Global() {
-    static RegexCache* cache = new RegexCache();
-    return *cache;
+  /// Per-thread cache instance. Each scheduler worker (and the main thread)
+  /// gets its own cache, so matching runs lock-free in parallel; the
+  /// instance lives until its thread exits.
+  static RegexCache& ThreadLocal() {
+    thread_local RegexCache cache;
+    return cache;
   }
 
  private:
   struct Entry {
     std::regex re;
     bool valid = false;
+    bool referenced = false;  ///< Second-chance bit, set on every hit.
   };
+
+  /// Advances the clock hand, granting one more round to recently-hit
+  /// entries, and evicts the first entry found with a clear reference bit.
+  /// Bounded by two sweeps of the ring, after which the entry under the
+  /// hand is evicted unconditionally.
+  void EvictOne() {
+    for (size_t step = 0; step < 2 * clock_.size() + 1; ++step) {
+      if (hand_ >= clock_.size()) hand_ = 0;
+      auto it = cache_.find(clock_[hand_]);
+      if (it != cache_.end() && it->second.referenced) {
+        it->second.referenced = false;
+        ++hand_;
+        continue;
+      }
+      if (it != cache_.end()) cache_.erase(it);
+      clock_[hand_] = std::move(clock_.back());
+      clock_.pop_back();
+      ++evictions_;
+      return;
+    }
+  }
+
   size_t max_entries_;
   std::unordered_map<std::string, Entry> cache_;
+  std::vector<std::string> clock_;  ///< Keys in eviction-scan order.
+  size_t hand_ = 0;                 ///< Clock hand into `clock_`.
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+  uint64_t evictions_ = 0;
 };
 
 }  // namespace jfeed

@@ -28,6 +28,7 @@ enum class StatusCode {
   kResourceExhausted,
   kNotFound,
   kInternal,
+  kUnavailable,
 };
 
 /// Returns a stable human-readable name for a status code ("ParseError"...).
@@ -74,6 +75,11 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  /// Admission-control rejection: the service is up but cannot accept the
+  /// request right now (e.g. a bounded queue is full). Retryable.
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

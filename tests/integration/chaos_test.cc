@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "kb/assignments.h"
+#include "sched/scheduler.h"
 #include "service/pipeline.h"
 #include "support/fault.h"
 
@@ -126,6 +127,78 @@ TEST(ChaosTest, SameSeedReproducesTheSameOutcome) {
   EXPECT_EQ(first.tier, second.tier);
   EXPECT_EQ(first.failure, second.failure);
   EXPECT_EQ(first.diagnostic, second.diagnostic);
+}
+
+// Multi-threaded chaos: a seeded always-fire campaign (probability 1.0,
+// only_point) decides failure independently of the hit ordinal, so — per the
+// ordinal-semantics contract documented in support/fault.h — every
+// submission of a parallel batch must land on the same documented
+// degradation-ladder rung at any worker count and any schedule. A poisoned
+// worker degrades its own submission, never the batch.
+TEST(ChaosTest, ParallelBatchUnderSeededCampaignLandsOnDocumentedRung) {
+  const auto& assignment =
+      kb::KnowledgeBase::Get().assignment("assignment1");
+  std::vector<std::string> corpus(16, assignment.Reference());
+  for (const auto& point : fault::Injector::AllPoints()) {
+    fault::FaultConfig config;
+    config.seed = 42;
+    config.only_point = point;  // probability stays 1.0: ordinal-free.
+    std::vector<service::GradingOutcome> outcomes;
+    {
+      fault::ScopedFaultInjection injection(config);
+      sched::SchedulerOptions sopts;
+      sopts.jobs = 8;
+      outcomes = service::GradeBatchParallel(assignment, corpus, {}, sopts);
+    }
+    ASSERT_EQ(outcomes.size(), corpus.size());
+    for (size_t i = 0; i < outcomes.size(); ++i) {
+      const auto& outcome = outcomes[i];
+      std::string context =
+          point + " / parallel member " + std::to_string(i);
+      ExpectValidOutcome(outcome, context);
+      EXPECT_TRUE(outcome.degraded()) << context;
+      if (point == fault::points::kLexer ||
+          point == fault::points::kParser) {
+        EXPECT_EQ(outcome.tier, FeedbackTier::kParseDiagnostic) << context;
+      } else if (point == fault::points::kEpdgBuilder ||
+                 point == fault::points::kMatcher) {
+        EXPECT_EQ(outcome.tier, FeedbackTier::kAstOnly) << context;
+        EXPECT_NE(outcome.verdict, Verdict::kNotGraded) << context;
+      } else if (point == fault::points::kInterpreterCall) {
+        EXPECT_EQ(outcome.tier, FeedbackTier::kFullEpdg) << context;
+        EXPECT_FALSE(outcome.functional_ran) << context;
+        EXPECT_EQ(outcome.failure, FailureClass::kInternalFault) << context;
+      }
+    }
+  }
+}
+
+// With faults enabled the scheduler bypasses dedup and the result cache, so
+// a probabilistic campaign actually exercises every submission — and after
+// the campaign ends, no fault-degraded outcome is ever replayed from the
+// cache to a healthy duplicate.
+TEST(ChaosTest, FaultDegradedOutcomesNeverPoisonTheCache) {
+  const auto& assignment =
+      kb::KnowledgeBase::Get().assignment("assignment1");
+  std::vector<std::string> corpus(4, assignment.Reference());
+  sched::BatchScheduler scheduler(assignment);
+  {
+    fault::FaultConfig config;
+    config.only_point = fault::points::kEpdgBuilder;
+    fault::ScopedFaultInjection injection(config);
+    sched::BatchStats stats;
+    auto poisoned = scheduler.GradeBatchWithStats(corpus, &stats);
+    EXPECT_EQ(stats.graded, corpus.size()) << "dedup not bypassed";
+    for (const auto& outcome : poisoned) {
+      EXPECT_EQ(outcome.tier, FeedbackTier::kAstOnly);
+    }
+  }
+  // Campaign over: the same submissions grade healthy, not from a cache.
+  auto healthy = scheduler.GradeBatch(corpus);
+  for (const auto& outcome : healthy) {
+    EXPECT_EQ(outcome.verdict, Verdict::kCorrect);
+    EXPECT_FALSE(outcome.degraded());
+  }
 }
 
 TEST(ChaosTest, BatchUnderFaultsYieldsOneOutcomePerSubmission) {

@@ -1,0 +1,83 @@
+// Tests for the NDJSON batch front end's line codec: object and bare-string
+// input forms, escape handling, malformed-line classification, and output
+// line rendering.
+
+#include "sched/batch_io.h"
+
+#include <gtest/gtest.h>
+
+namespace jfeed::sched {
+namespace {
+
+TEST(ParseBatchLineTest, ObjectFormWithIdAndSource) {
+  auto line = ParseBatchLine(
+      R"({"id": "s-17", "source": "void f() {\n  int x = 0;\n}"})");
+  ASSERT_TRUE(line.ok()) << line.status().ToString();
+  EXPECT_EQ(line->id, "s-17");
+  EXPECT_EQ(line->source, "void f() {\n  int x = 0;\n}");
+}
+
+TEST(ParseBatchLineTest, BareStringForm) {
+  auto line = ParseBatchLine(R"("int f() { return 1; }")");
+  ASSERT_TRUE(line.ok()) << line.status().ToString();
+  EXPECT_EQ(line->id, "");
+  EXPECT_EQ(line->source, "int f() { return 1; }");
+}
+
+TEST(ParseBatchLineTest, IdIsOptionalUnknownKeysIgnored) {
+  auto line = ParseBatchLine(
+      R"({"student": "x", "source": "void f() {}", "lang": "java"})");
+  ASSERT_TRUE(line.ok()) << line.status().ToString();
+  EXPECT_EQ(line->id, "");
+  EXPECT_EQ(line->source, "void f() {}");
+}
+
+TEST(ParseBatchLineTest, EscapesDecode) {
+  auto line = ParseBatchLine(R"({"source": "s = \"q\\tq\" + 'é';"})");
+  ASSERT_TRUE(line.ok()) << line.status().ToString();
+  EXPECT_EQ(line->source, "s = \"q\\tq\" + '\xc3\xa9';");
+}
+
+TEST(ParseBatchLineTest, SurrogatePairDecodesToUtf8) {
+  auto line = ParseBatchLine(R"("😀")");  // 😀 U+1F600
+  ASSERT_TRUE(line.ok()) << line.status().ToString();
+  EXPECT_EQ(line->source, "\xf0\x9f\x98\x80");
+}
+
+TEST(ParseBatchLineTest, MalformedLinesAreInvalidArgument) {
+  EXPECT_EQ(ParseBatchLine("").status().code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(ParseBatchLine("   ").status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(ParseBatchLine("{\"id\": \"x\"}").status().code(),
+            StatusCode::kInvalidArgument);  // No source key.
+  EXPECT_EQ(ParseBatchLine("{\"source\": 42}").status().code(),
+            StatusCode::kInvalidArgument);  // Non-string value.
+  EXPECT_EQ(ParseBatchLine("\"unterminated").status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(ParseBatchLine("[1, 2]").status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(ParseBatchLine(R"("x" trailing)").status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(BatchOutcomeToJsonTest, SplicesIdAndIndexIntoOutcome) {
+  service::GradingOutcome outcome;
+  outcome.verdict = service::Verdict::kCorrect;
+  std::string json = BatchOutcomeToJson("stu-1", 12, outcome);
+  EXPECT_EQ(json.rfind("{\"id\":\"stu-1\",\"index\":12,\"verdict\":", 0), 0u)
+      << json;
+  EXPECT_EQ(json.back(), '}');
+  // Null id when the input line carried none.
+  EXPECT_EQ(BatchOutcomeToJson("", 0, outcome).rfind("{\"id\":null,", 0), 0u);
+}
+
+TEST(BatchErrorToJsonTest, RendersError) {
+  std::string json =
+      BatchErrorToJson(3, Status::InvalidArgument("bad \"line\""));
+  EXPECT_EQ(json,
+            "{\"id\":null,\"index\":3,"
+            "\"error\":\"InvalidArgument: bad \\\"line\\\"\"}");
+}
+
+}  // namespace
+}  // namespace jfeed::sched

@@ -1,0 +1,106 @@
+// Unit tests for token-normalized fingerprinting and the content-addressed
+// result cache: comment/whitespace duplicates hash identically, distinct
+// token streams do not, eviction keeps hot entries, and concurrent access
+// is safe.
+
+#include "sched/result_cache.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace jfeed::sched {
+namespace {
+
+service::GradingOutcome MakeOutcome(service::Verdict verdict,
+                                    const std::string& diagnostic = "") {
+  service::GradingOutcome outcome;
+  outcome.verdict = verdict;
+  outcome.diagnostic = diagnostic;
+  return outcome;
+}
+
+TEST(TokenFingerprintTest, CommentsAndWhitespaceDoNotDefeatDedup) {
+  const std::string base = "void f(int x) { int y = x + 1; }";
+  const std::string commented =
+      "// a student comment\nvoid f(int x) {\n  /* block */ int y = x + 1;\n}";
+  const std::string reformatted =
+      "void f( int x )\n{\n\tint y\t= x + 1;\n}\n\n";
+  EXPECT_EQ(TokenFingerprint(base), TokenFingerprint(commented));
+  EXPECT_EQ(TokenFingerprint(base), TokenFingerprint(reformatted));
+}
+
+TEST(TokenFingerprintTest, DifferentTokenStreamsDiffer) {
+  EXPECT_NE(TokenFingerprint("int x = 0;"), TokenFingerprint("int x = 1;"));
+  EXPECT_NE(TokenFingerprint("int x = 0;"), TokenFingerprint("int y = 0;"));
+  // Adjacent-token gluing must not collide: "ab" vs "a b".
+  EXPECT_NE(TokenFingerprint("ab"), TokenFingerprint("a b"));
+}
+
+TEST(TokenFingerprintTest, UnlexableSourceFallsBackToByteHash) {
+  // The lexer rejects these; byte-identical copies still dedup.
+  const std::string garbage = "int s = \"unterminated";
+  EXPECT_EQ(TokenFingerprint(garbage), TokenFingerprint(garbage));
+  EXPECT_NE(TokenFingerprint(garbage),
+            TokenFingerprint(garbage + " "));  // Bytes differ -> key differs.
+}
+
+TEST(ResultCacheTest, LookupMissThenHit) {
+  ResultCache cache;
+  service::GradingOutcome out;
+  EXPECT_FALSE(cache.Lookup("a1", 42, &out));
+  cache.Insert("a1", 42, MakeOutcome(service::Verdict::kCorrect));
+  ASSERT_TRUE(cache.Lookup("a1", 42, &out));
+  EXPECT_EQ(out.verdict, service::Verdict::kCorrect);
+  EXPECT_EQ(cache.stats().hits, 1u);
+  EXPECT_EQ(cache.stats().misses, 1u);
+}
+
+TEST(ResultCacheTest, KeyIncludesAssignmentId) {
+  ResultCache cache;
+  cache.Insert("a1", 42, MakeOutcome(service::Verdict::kCorrect));
+  service::GradingOutcome out;
+  // Same fingerprint, different assignment: a miss, never cross-served.
+  EXPECT_FALSE(cache.Lookup("a2", 42, &out));
+}
+
+TEST(ResultCacheTest, SecondChanceEvictionKeepsHotEntries) {
+  ResultCache cache(/*max_entries=*/4);
+  for (uint64_t fp = 0; fp < 4; ++fp) {
+    cache.Insert("a", fp, MakeOutcome(service::Verdict::kIncorrect));
+  }
+  service::GradingOutcome out;
+  ASSERT_TRUE(cache.Lookup("a", 0, &out));  // Mark 0 and 1 hot.
+  ASSERT_TRUE(cache.Lookup("a", 1, &out));
+  cache.Insert("a", 100, MakeOutcome(service::Verdict::kCorrect));
+  cache.Insert("a", 101, MakeOutcome(service::Verdict::kCorrect));
+  EXPECT_EQ(cache.size(), 4u);
+  EXPECT_EQ(cache.stats().evictions, 2u);
+  EXPECT_TRUE(cache.Lookup("a", 0, &out)) << "hot entry was evicted";
+  EXPECT_TRUE(cache.Lookup("a", 1, &out)) << "hot entry was evicted";
+}
+
+TEST(ResultCacheTest, ConcurrentMixedAccessIsSafe) {
+  ResultCache cache(/*max_entries=*/64);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&cache, t] {
+      for (uint64_t i = 0; i < 500; ++i) {
+        uint64_t fp = (t * 131 + i) % 100;
+        service::GradingOutcome out;
+        if (!cache.Lookup("a", fp, &out)) {
+          cache.Insert("a", fp, MakeOutcome(service::Verdict::kCorrect));
+        }
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_LE(cache.size(), 64u);
+  auto stats = cache.stats();
+  EXPECT_EQ(stats.hits + stats.misses, 2000u);
+}
+
+}  // namespace
+}  // namespace jfeed::sched

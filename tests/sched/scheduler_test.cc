@@ -1,0 +1,226 @@
+// Scheduler correctness: parallel batch grading must be indistinguishable
+// from sequential GradeBatch in everything the service contract promises —
+// verdict, tier, failure class, feedback text, functional verdict — across
+// every knowledge-base assignment, with results in input order. Plus
+// admission backpressure, dedup accounting, and streaming Submit/Wait.
+
+#include "sched/scheduler.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "kb/assignments.h"
+#include "sched/result_cache.h"
+#include "service/pipeline.h"
+#include "synth/generator.h"
+
+namespace jfeed::sched {
+namespace {
+
+const kb::Assignment& Assignment1() {
+  return kb::KnowledgeBase::Get().assignment("assignment1");
+}
+
+/// The fields the scheduler guarantees byte-identical to sequential
+/// grading (timings and position-bearing diagnostics of cached duplicates
+/// are explicitly excluded; see ResultCache).
+void ExpectEquivalent(const service::GradingOutcome& sequential,
+                      const service::GradingOutcome& parallel,
+                      const std::string& context) {
+  SCOPED_TRACE(context);
+  EXPECT_EQ(sequential.verdict, parallel.verdict);
+  EXPECT_EQ(sequential.tier, parallel.tier);
+  EXPECT_EQ(sequential.failure, parallel.failure);
+  EXPECT_EQ(sequential.feedback.matched, parallel.feedback.matched);
+  EXPECT_EQ(sequential.feedback.score, parallel.feedback.score);
+  ASSERT_EQ(sequential.feedback.comments.size(),
+            parallel.feedback.comments.size());
+  for (size_t c = 0; c < sequential.feedback.comments.size(); ++c) {
+    EXPECT_EQ(sequential.feedback.comments[c].kind,
+              parallel.feedback.comments[c].kind);
+    EXPECT_EQ(sequential.feedback.comments[c].message,
+              parallel.feedback.comments[c].message);
+    EXPECT_EQ(sequential.feedback.comments[c].details,
+              parallel.feedback.comments[c].details);
+  }
+  EXPECT_EQ(sequential.functional_ran, parallel.functional_ran);
+  if (sequential.functional_ran) {
+    EXPECT_EQ(sequential.functional.passed, parallel.functional.passed);
+    EXPECT_EQ(sequential.functional.tests_run, parallel.functional.tests_run);
+    EXPECT_EQ(sequential.functional.tests_failed,
+              parallel.functional.tests_failed);
+  }
+}
+
+/// A small but adversarial corpus for one assignment: reference, error
+/// variants, a comment/whitespace-perturbed duplicate of the reference,
+/// a spec-mismatching-but-parseable member, and unparseable garbage.
+std::vector<std::string> Corpus(const kb::Assignment& assignment) {
+  std::vector<std::string> corpus;
+  auto indexes = synth::SampleIndexes(assignment.generator.SpaceSize(), 5);
+  for (uint64_t index : indexes) {
+    corpus.push_back(assignment.generator.Generate(index));
+  }
+  corpus.push_back("// dup\n" + assignment.Reference() + "\n\n");
+  corpus.push_back("void unrelated(int q) { q = q + 1; }");
+  corpus.push_back("int broken( { ][");
+  return corpus;
+}
+
+TEST(SchedulerDeterminismTest, ParallelMatchesSequentialOnAllAssignments) {
+  for (const auto& id : kb::KnowledgeBase::Get().assignment_ids()) {
+    const auto& assignment = kb::KnowledgeBase::Get().assignment(id);
+    std::vector<std::string> corpus = Corpus(assignment);
+
+    service::GradingPipeline pipeline(assignment);
+    auto sequential = pipeline.GradeBatch(corpus);
+
+    SchedulerOptions sopts;
+    sopts.jobs = 8;
+    auto parallel =
+        service::GradeBatchParallel(assignment, corpus, {}, sopts);
+
+    ASSERT_EQ(sequential.size(), parallel.size());
+    for (size_t i = 0; i < corpus.size(); ++i) {
+      ExpectEquivalent(sequential[i], parallel[i],
+                       id + " / submission " + std::to_string(i));
+    }
+  }
+}
+
+TEST(SchedulerTest, ResultsComeBackInInputOrder) {
+  // Mix fast (garbage) and slow (functional-suite) members; input order
+  // must survive arbitrary completion order.
+  // The two parse-failing members differ only in the line their error lands
+  // on, so the diagnostics pin each outcome to its input slot.
+  std::vector<std::string> corpus = {
+      Assignment1().Reference(),
+      "(",
+      Assignment1().Reference(),
+      "\n\n\n(",
+  };
+  SchedulerOptions sopts;
+  sopts.jobs = 4;
+  sopts.use_result_cache = false;  // Force all four through workers.
+  BatchScheduler scheduler(Assignment1(), {}, sopts);
+  auto outcomes = scheduler.GradeBatch(corpus);
+  ASSERT_EQ(outcomes.size(), 4u);
+  EXPECT_EQ(outcomes[0].verdict, service::Verdict::kCorrect);
+  EXPECT_EQ(outcomes[1].verdict, service::Verdict::kNotGraded);
+  EXPECT_NE(outcomes[1].diagnostic.find("line 1"), std::string::npos)
+      << "order scrambled: " << outcomes[1].diagnostic;
+  EXPECT_EQ(outcomes[2].verdict, service::Verdict::kCorrect);
+  EXPECT_EQ(outcomes[3].verdict, service::Verdict::kNotGraded);
+  EXPECT_NE(outcomes[3].diagnostic.find("line 4"), std::string::npos)
+      << "order scrambled: " << outcomes[3].diagnostic;
+}
+
+TEST(SchedulerTest, DuplicatesAreGradedOnceAndAccounted) {
+  std::vector<std::string> corpus;
+  for (int i = 0; i < 6; ++i) corpus.push_back(Assignment1().Reference());
+  corpus.push_back("// perturbed\n" + Assignment1().Reference());
+
+  BatchScheduler scheduler(Assignment1());
+  BatchStats stats;
+  auto outcomes = scheduler.GradeBatchWithStats(corpus, &stats);
+  ASSERT_EQ(outcomes.size(), 7u);
+  EXPECT_EQ(stats.submissions, 7u);
+  EXPECT_EQ(stats.graded, 1u);      // One pipeline run for all seven.
+  EXPECT_EQ(stats.dedup_hits, 6u);  // Six coalesced onto it.
+  for (const auto& outcome : outcomes) {
+    EXPECT_EQ(outcome.verdict, service::Verdict::kCorrect);
+  }
+
+  // A second batch over the same content is served entirely from the
+  // cache: with nothing in flight there is nothing to coalesce onto, so
+  // every member counts as a cache hit, not a dedup hit.
+  auto again = scheduler.GradeBatchWithStats(corpus, &stats);
+  EXPECT_EQ(stats.graded, 0u);
+  EXPECT_EQ(stats.cache_hits, 7u);
+  EXPECT_EQ(stats.dedup_hits, 0u);
+  EXPECT_DOUBLE_EQ(stats.HitRate(), 1.0);
+  EXPECT_EQ(again[0].verdict, service::Verdict::kCorrect);
+}
+
+TEST(SchedulerTest, SharedCachePersistsAcrossSchedulers) {
+  auto shared = std::make_shared<ResultCache>();
+  SchedulerOptions sopts;
+  sopts.cache = shared;
+  {
+    BatchScheduler first(Assignment1(), {}, sopts);
+    first.GradeBatch({Assignment1().Reference()});
+  }
+  EXPECT_EQ(shared->size(), 1u);
+  {
+    BatchScheduler second(Assignment1(), {}, sopts);
+    BatchStats stats;
+    second.GradeBatchWithStats({Assignment1().Reference()}, &stats);
+    EXPECT_EQ(stats.cache_hits, 1u);
+    EXPECT_EQ(stats.graded, 0u);
+  }
+}
+
+TEST(SchedulerTest, SubmitReturnsUnavailableWhenQueueIsFull) {
+  // One worker occupied by a slow submission, a one-slot queue already
+  // holding a second: the third admission must be rejected, not buffered.
+  service::PipelineOptions popts;
+  popts.exec.deadline_ms = 400;
+  popts.budgets.functional_ms = 400;
+  SchedulerOptions sopts;
+  sopts.jobs = 1;
+  sopts.queue_capacity = 1;
+  sopts.use_result_cache = false;
+  BatchScheduler scheduler(Assignment1(), popts, sopts);
+
+  const std::string slow =
+      "void assignment1(int[] a) { while (true) { } }";
+  uint64_t slow_ticket = 0;
+  ASSERT_TRUE(scheduler.Submit(slow, &slow_ticket).ok());
+  // Let the worker pick the slow job up so the queue is truly empty.
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  uint64_t queued_ticket = 0;
+  ASSERT_TRUE(scheduler.Submit(slow, &queued_ticket).ok());
+
+  uint64_t rejected_ticket = 0;
+  Status status = scheduler.Submit(slow, &rejected_ticket);
+  EXPECT_EQ(status.code(), StatusCode::kUnavailable) << status.ToString();
+
+  // Both admitted submissions still complete and are retrievable.
+  auto first = scheduler.Wait(slow_ticket);
+  auto second = scheduler.Wait(queued_ticket);
+  EXPECT_NE(first.verdict, service::Verdict::kCorrect);
+  EXPECT_NE(second.verdict, service::Verdict::kCorrect);
+
+  // With the queue drained, admission reopens.
+  uint64_t retry_ticket = 0;
+  EXPECT_TRUE(scheduler.Submit(slow, &retry_ticket).ok());
+  scheduler.Wait(retry_ticket);
+}
+
+TEST(SchedulerTest, StreamingSubmitWaitRoundTrip) {
+  SchedulerOptions sopts;
+  sopts.jobs = 2;
+  BatchScheduler scheduler(Assignment1(), {}, sopts);
+  uint64_t good = 0, bad = 0;
+  ASSERT_TRUE(scheduler.Submit(Assignment1().Reference(), &good).ok());
+  ASSERT_TRUE(scheduler.Submit("garbage (", &bad).ok());
+  EXPECT_EQ(scheduler.Wait(bad).verdict, service::Verdict::kNotGraded);
+  EXPECT_EQ(scheduler.Wait(good).verdict, service::Verdict::kCorrect);
+}
+
+TEST(SchedulerTest, JobsClampedToAtLeastOne) {
+  SchedulerOptions sopts;
+  sopts.jobs = 0;
+  BatchScheduler scheduler(Assignment1(), {}, sopts);
+  EXPECT_EQ(scheduler.jobs(), 1);
+  auto outcomes = scheduler.GradeBatch({Assignment1().Reference()});
+  ASSERT_EQ(outcomes.size(), 1u);
+  EXPECT_EQ(outcomes[0].verdict, service::Verdict::kCorrect);
+}
+
+}  // namespace
+}  // namespace jfeed::sched

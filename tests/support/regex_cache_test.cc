@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <string>
+#include <thread>
+
 namespace jfeed {
 namespace {
 
@@ -13,6 +16,8 @@ TEST(RegexCacheTest, CompilesAndCaches) {
   // Second lookup returns the same compiled object.
   EXPECT_EQ(cache.Get("a+b"), first);
   EXPECT_EQ(cache.size(), 1u);
+  EXPECT_EQ(cache.hits(), 1u);
+  EXPECT_EQ(cache.misses(), 1u);
 }
 
 TEST(RegexCacheTest, InvalidPatternsAreNegativeCached) {
@@ -22,20 +27,45 @@ TEST(RegexCacheTest, InvalidPatternsAreNegativeCached) {
   EXPECT_EQ(cache.size(), 1u);
 }
 
-TEST(RegexCacheTest, EvictsWhenFull) {
+TEST(RegexCacheTest, EvictsOneEntryWhenFullInsteadOfClearing) {
   RegexCache cache(/*max_entries=*/4);
   for (int i = 0; i < 4; ++i) {
     ASSERT_NE(cache.Get("p" + std::to_string(i)), nullptr);
   }
   EXPECT_EQ(cache.size(), 4u);
-  // The fifth insertion clears and restarts the cache.
+  // Overflow evicts exactly one entry, never the whole cache.
   ASSERT_NE(cache.Get("p4"), nullptr);
-  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_EQ(cache.size(), 4u);
+  EXPECT_EQ(cache.evictions(), 1u);
 }
 
-TEST(RegexCacheTest, GlobalIsSingleton) {
-  EXPECT_EQ(&RegexCache::Global(), &RegexCache::Global());
-  EXPECT_NE(RegexCache::Global().Get("x = 0"), nullptr);
+TEST(RegexCacheTest, SecondChanceEvictionKeepsHotEntries) {
+  RegexCache cache(/*max_entries=*/4);
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_NE(cache.Get("p" + std::to_string(i)), nullptr);
+  }
+  // Touch p0 and p1: their reference bits protect them from the next
+  // eviction scans; the cold p2/p3 go first.
+  cache.Get("p0");
+  cache.Get("p1");
+  cache.Get("p4");
+  cache.Get("p5");
+  uint64_t hits_before = cache.hits();
+  cache.Get("p0");
+  cache.Get("p1");
+  EXPECT_EQ(cache.hits(), hits_before + 2) << "hot entries were evicted";
+}
+
+TEST(RegexCacheTest, ThreadLocalIsPerThread) {
+  RegexCache* main_instance = &RegexCache::ThreadLocal();
+  EXPECT_EQ(main_instance, &RegexCache::ThreadLocal());
+  EXPECT_NE(RegexCache::ThreadLocal().Get("x = 0"), nullptr);
+  RegexCache* worker_instance = nullptr;
+  std::thread worker(
+      [&worker_instance] { worker_instance = &RegexCache::ThreadLocal(); });
+  worker.join();
+  EXPECT_NE(worker_instance, nullptr);
+  EXPECT_NE(worker_instance, main_instance);
 }
 
 }  // namespace

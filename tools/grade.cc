@@ -4,6 +4,7 @@
 // prints the personalized feedback for a knowledge-base assignment.
 //
 //   grade <assignment-id> [file.java] [flags]   grade a submission
+//   grade <assignment-id> --batch [file] [flags]  grade an NDJSON batch
 //   grade --list                                list assignment ids
 //   grade <assignment-id> --reference           print the reference solution
 //   grade <assignment-id> --dot [file]          print the submission's EPDG
@@ -13,11 +14,22 @@
 //   --max-heap-bytes <n>   interpreter heap budget per test (bytes)
 //   --json                 print the structured GradingOutcome as JSON
 //
+// Batch mode (--batch): the input (file or stdin) is NDJSON, one submission
+// per line — either {"id": "...", "source": "..."} or a bare JSON string —
+// and the output is NDJSON too, one JSON outcome per line in input order
+// (each outcome carries the line's id and index). Submissions are graded by
+// the concurrent batch engine: a worker pool with a content-addressed
+// result cache, so duplicate submissions cost one grade. Batch-only flags:
+//   --jobs <n>             worker threads (default 4)
+//   --queue <n>            bounded job-queue capacity (default 256)
+//   --no-cache             disable the content-addressed result cache
+//
 // Exit codes:
 //   0  the submission was fully graded (feedback produced at the full EPDG
-//      tier, whether or not it was correct)
+//      tier, whether or not it was correct); in batch mode, every line was
 //   1  degraded outcome: parse failure, budget blowup, spec mismatch, or an
-//      internal fault forced a lower feedback tier
+//      internal fault forced a lower feedback tier; in batch mode, any line
+//      degraded or failed to parse as NDJSON
 //   2  usage error (unknown assignment, unreadable file, bad flag)
 
 #include <cstdint>
@@ -33,6 +45,8 @@
 #include "javalang/parser.h"
 #include "kb/assignments.h"
 #include "pdg/epdg.h"
+#include "sched/batch_io.h"
+#include "sched/scheduler.h"
 #include "service/pipeline.h"
 
 namespace {
@@ -56,10 +70,12 @@ int Usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s <assignment-id> [file.java] [--timeout-ms N] "
                "[--max-heap-bytes N] [--json]\n"
+               "       %s <assignment-id> --batch [file.ndjson] [--jobs N] "
+               "[--queue N] [--no-cache]\n"
                "       %s <assignment-id> --reference\n"
                "       %s <assignment-id> --dot [file.java]\n"
                "       %s --list\n",
-               argv0, argv0, argv0, argv0);
+               argv0, argv0, argv0, argv0, argv0);
   return 2;
 }
 
@@ -70,6 +86,68 @@ bool ParseInt64(const char* text, int64_t* out) {
   if (end == text || *end != '\0' || v <= 0) return false;
   *out = v;
   return true;
+}
+
+/// The NDJSON batch front end: reads one submission per input line, grades
+/// the whole batch through the concurrent scheduler, writes one JSON
+/// outcome per output line in input order. Returns the process exit code.
+int RunBatch(const jfeed::kb::Assignment& assignment, std::istream& in,
+             const jfeed::service::PipelineOptions& pipeline_options,
+             const jfeed::sched::SchedulerOptions& scheduler_options) {
+  // Decode every line first; bad lines get an error outcome but do not
+  // block the rest of the batch.
+  std::vector<std::string> ids;
+  std::vector<std::string> sources;      // Parallel to ids.
+  std::vector<size_t> submission_index;  // Line index -> sources index.
+  std::vector<std::string> line_errors;  // Line index -> error ("" if ok).
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.find_first_not_of(" \t\r") == std::string::npos) {
+      continue;  // Blank lines separate nothing; skip quietly.
+    }
+    auto decoded = jfeed::sched::ParseBatchLine(line);
+    if (!decoded.ok()) {
+      submission_index.push_back(SIZE_MAX);
+      line_errors.push_back(decoded.status().message());
+      continue;
+    }
+    submission_index.push_back(sources.size());
+    line_errors.push_back("");
+    ids.push_back(decoded->id);
+    sources.push_back(std::move(decoded->source));
+  }
+
+  jfeed::sched::BatchScheduler scheduler(assignment, pipeline_options,
+                                         scheduler_options);
+  jfeed::sched::BatchStats stats;
+  auto outcomes = scheduler.GradeBatchWithStats(sources, &stats);
+
+  bool all_clean = true;
+  for (size_t i = 0; i < submission_index.size(); ++i) {
+    if (submission_index[i] == SIZE_MAX) {
+      std::printf("%s\n",
+                  jfeed::sched::BatchErrorToJson(
+                      i, jfeed::Status::InvalidArgument(line_errors[i]))
+                      .c_str());
+      all_clean = false;
+      continue;
+    }
+    const auto& outcome = outcomes[submission_index[i]];
+    std::printf("%s\n",
+                jfeed::sched::BatchOutcomeToJson(ids[submission_index[i]], i,
+                                                 outcome)
+                    .c_str());
+    if (outcome.degraded() ||
+        outcome.verdict == jfeed::service::Verdict::kSpecMismatch) {
+      all_clean = false;
+    }
+  }
+  std::fprintf(stderr,
+               "graded %zu submissions (%zu pipeline runs, %zu cache hits, "
+               "%zu dedup hits, %.1f%% served without grading) on %d workers\n",
+               stats.submissions, stats.graded, stats.cache_hits,
+               stats.dedup_hits, 100.0 * stats.HitRate(), scheduler.jobs());
+  return all_clean ? 0 : 1;
 }
 
 }  // namespace
@@ -95,8 +173,10 @@ int main(int argc, char** argv) {
   // first non-flag argument is the submission file.
   bool dot = false;
   bool json = false;
+  bool batch = false;
   const char* path = nullptr;
   jfeed::service::PipelineOptions options;
+  jfeed::sched::SchedulerOptions scheduler_options;
   for (int i = 2; i < argc; ++i) {
     const char* arg = argv[i];
     if (std::strcmp(arg, "--reference") == 0) {
@@ -106,8 +186,14 @@ int main(int argc, char** argv) {
       dot = true;
     } else if (std::strcmp(arg, "--json") == 0) {
       json = true;
+    } else if (std::strcmp(arg, "--batch") == 0) {
+      batch = true;
+    } else if (std::strcmp(arg, "--no-cache") == 0) {
+      scheduler_options.use_result_cache = false;
     } else if (std::strcmp(arg, "--timeout-ms") == 0 ||
-               std::strcmp(arg, "--max-heap-bytes") == 0) {
+               std::strcmp(arg, "--max-heap-bytes") == 0 ||
+               std::strcmp(arg, "--jobs") == 0 ||
+               std::strcmp(arg, "--queue") == 0) {
       if (i + 1 >= argc) {
         std::fprintf(stderr, "%s needs a value\n", arg);
         return 2;
@@ -119,8 +205,12 @@ int main(int argc, char** argv) {
       }
       if (std::strcmp(arg, "--timeout-ms") == 0) {
         options.exec.deadline_ms = value;
-      } else {
+      } else if (std::strcmp(arg, "--max-heap-bytes") == 0) {
         options.exec.max_heap_bytes = value;
+      } else if (std::strcmp(arg, "--jobs") == 0) {
+        scheduler_options.jobs = static_cast<int>(value);
+      } else {
+        scheduler_options.queue_capacity = static_cast<size_t>(value);
       }
     } else if (arg[0] == '-' && arg[1] == '-') {
       std::fprintf(stderr, "unknown flag '%s'\n", arg);
@@ -130,6 +220,18 @@ int main(int argc, char** argv) {
     } else {
       return Usage(argv[0]);
     }
+  }
+
+  if (batch) {
+    if (path != nullptr) {
+      std::ifstream file(path);
+      if (!file) {
+        std::fprintf(stderr, "cannot open %s\n", path);
+        return 2;
+      }
+      return RunBatch(assignment, file, options, scheduler_options);
+    }
+    return RunBatch(assignment, std::cin, options, scheduler_options);
   }
 
   std::string source;
