@@ -1,10 +1,27 @@
 // Sec. IV: the subgraph-matching core is worst-case O(n^m) but fast in
-// practice on intro-sized graphs. These microbenchmarks sweep the EPDG size
-// (synthetic programs with a growing number of statements) and the pattern
-// portfolio, and measure the end-to-end Algorithm 2 cost on the twelve
-// knowledge-base references.
+// practice on intro-sized graphs. This binary has two halves:
+//
+//   1. The engine report (always runs): legacy vs. indexed match engine
+//      over every knowledge-base assignment (Algorithm 2 on the reference
+//      submission) plus the loops ablation workload, reporting
+//      backtracking steps, template checks, pruning/memo counters, wall
+//      time and index build time. `--json=PATH` additionally writes the
+//      machine-readable BENCH_matching.json that CI diffs against the
+//      checked-in baseline (step counts are deterministic; wall times are
+//      informational only). The report fails (exit 1) when the engines
+//      disagree on any feedback, so perf numbers can never be quoted from
+//      a semantically wrong engine.
+//
+//   2. google-benchmark microbenches sweeping the EPDG size, the pattern
+//      portfolio and the injection enumeration (skipped with
+//      `--skip-microbench`; extra args go to the benchmark library).
 
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <set>
 #include <string>
+#include <vector>
 
 #include <benchmark/benchmark.h>
 
@@ -13,12 +30,15 @@
 #include "javalang/parser.h"
 #include "kb/assignments.h"
 #include "pdg/epdg.h"
+#include "pdg/match_index.h"
 
 namespace {
 
 namespace core = jfeed::core;
 namespace java = jfeed::java;
 namespace pdg = jfeed::pdg;
+
+using Clock = std::chrono::steady_clock;
 
 /// Builds a program with `loops` copies of the odd-accumulation loop, so
 /// the EPDG grows linearly and the pattern has many candidate regions.
@@ -44,6 +64,247 @@ pdg::Epdg BuildGraph(const std::string& source) {
   return std::move(*graph);
 }
 
+// ---------------------------------------------------------------------------
+// Engine report.
+
+struct EngineRun {
+  core::MatchStats stats;
+  double wall_us = 0.0;
+};
+
+struct AssignmentReport {
+  std::string id;
+  EngineRun legacy;
+  EngineRun indexed;
+  double index_build_us = 0.0;
+};
+
+struct AblationReport {
+  std::string workload;
+  int64_t legacy_steps = 0;
+  int64_t indexed_steps = 0;
+  int64_t candidates_pruned = 0;
+};
+
+struct EngineReport {
+  std::vector<AssignmentReport> assignments;
+  AblationReport ablation;
+  bool equivalent = true;
+};
+
+std::string FeedbackKey(const core::SubmissionFeedback& f) {
+  std::string out = std::to_string(f.score);
+  for (const auto& c : f.comments) {
+    out += "|" + c.source_id + ":" + std::to_string(static_cast<int>(c.kind)) +
+           ":" + c.message;
+    for (const auto& d : c.details) out += ";" + d;
+  }
+  return out;
+}
+
+/// Grades `unit` with `engine`, returning the (deterministic) match stats
+/// and the best wall time over `reps` runs.
+EngineRun TimeSubmission(const core::AssignmentSpec& spec,
+                         const java::CompilationUnit& unit,
+                         core::MatchEngine engine, int reps,
+                         std::string* feedback_key) {
+  core::SubmissionMatchOptions options;
+  options.match.engine = engine;
+  EngineRun run;
+  for (int r = 0; r < reps; ++r) {
+    Clock::time_point t0 = Clock::now();
+    auto feedback = core::MatchSubmission(spec, unit, options);
+    double us =
+        std::chrono::duration<double, std::micro>(Clock::now() - t0).count();
+    if (r == 0 || us < run.wall_us) run.wall_us = us;
+    if (feedback.ok()) {
+      run.stats = feedback->match_stats;
+      if (feedback_key != nullptr) *feedback_key = FeedbackKey(*feedback);
+    }
+  }
+  return run;
+}
+
+EngineReport RunEngineReport() {
+  EngineReport report;
+  const auto& kb = jfeed::kb::KnowledgeBase::Get();
+  constexpr int kReps = 5;
+
+  std::printf("match engine report: legacy vs. indexed, %zu assignments "
+              "(reference submissions, best of %d runs)\n\n",
+              kb.assignment_ids().size(), kReps);
+  std::printf("  %-18s %10s %10s %8s %9s %8s %10s %10s %9s\n", "assignment",
+              "steps", "steps", "step", "pruned", "memo", "wall us", "wall us",
+              "index us");
+  std::printf("  %-18s %10s %10s %8s %9s %8s %10s %10s %9s\n", "",
+              "legacy", "indexed", "ratio", "", "hits", "legacy", "indexed",
+              "build");
+
+  for (const auto& id : kb.assignment_ids()) {
+    const auto& assignment = kb.assignment(id);
+    auto unit = java::Parse(assignment.Reference());
+    if (!unit.ok()) continue;
+
+    AssignmentReport ar;
+    ar.id = id;
+    std::string legacy_key, indexed_key;
+    ar.legacy = TimeSubmission(assignment.spec, *unit,
+                               core::MatchEngine::kLegacy, kReps,
+                               &legacy_key);
+    ar.indexed = TimeSubmission(assignment.spec, *unit,
+                                core::MatchEngine::kIndexed, kReps,
+                                &indexed_key);
+    if (legacy_key != indexed_key) {
+      std::fprintf(stderr, "FAIL: engines disagree on %s\n", id.c_str());
+      report.equivalent = false;
+    }
+
+    // Index build cost, amortized over enough reps to be measurable.
+    auto graphs = pdg::BuildAllEpdgs(*unit);
+    if (graphs.ok()) {
+      constexpr int kIndexReps = 200;
+      Clock::time_point t0 = Clock::now();
+      for (int r = 0; r < kIndexReps; ++r) {
+        for (const auto& g : *graphs) {
+          pdg::MatchIndex index(g);
+          benchmark::DoNotOptimize(index);
+        }
+      }
+      ar.index_build_us =
+          std::chrono::duration<double, std::micro>(Clock::now() - t0)
+              .count() /
+          kIndexReps;
+    }
+
+    double ratio = ar.indexed.stats.steps > 0
+                       ? static_cast<double>(ar.legacy.stats.steps) /
+                             static_cast<double>(ar.indexed.stats.steps)
+                       : 0.0;
+    std::printf("  %-18s %10lld %10lld %7.2fx %9lld %8lld %10.0f %10.0f "
+                "%9.1f\n",
+                id.c_str(), static_cast<long long>(ar.legacy.stats.steps),
+                static_cast<long long>(ar.indexed.stats.steps), ratio,
+                static_cast<long long>(ar.indexed.stats.candidates_pruned),
+                static_cast<long long>(ar.indexed.stats.memo_hits),
+                ar.legacy.wall_us, ar.indexed.wall_us, ar.index_build_us);
+    report.assignments.push_back(std::move(ar));
+  }
+
+  // Ablation workload: many near-identical candidate regions, where the
+  // signature pruning has to pay for itself. Sums the four portfolio
+  // patterns the ordering ablation uses.
+  {
+    constexpr int kLoops = 12;
+    report.ablation.workload =
+        "loops-" + std::to_string(kLoops) + " x 4 portfolio patterns";
+    pdg::Epdg graph = BuildGraph(ProgramWithLoops(kLoops));
+    pdg::MatchIndex index(graph);
+    for (const char* pid : {"odd-positions", "even-positions",
+                            "cond-accum-add", "assign-print"}) {
+      const core::Pattern& pattern = jfeed::kb::PatternLibrary::Get().at(pid);
+      core::MatchOptions legacy;
+      legacy.engine = core::MatchEngine::kLegacy;
+      core::MatchStats legacy_stats, indexed_stats;
+      auto legacy_ms =
+          core::MatchPattern(pattern, graph, legacy, &legacy_stats);
+      auto indexed_ms =
+          core::MatchPattern(pattern, graph, index, {}, &indexed_stats);
+      if (legacy_ms.size() != indexed_ms.size()) {
+        std::fprintf(stderr, "FAIL: engines disagree on ablation pattern %s\n",
+                     pid);
+        report.equivalent = false;
+      }
+      report.ablation.legacy_steps += legacy_stats.steps;
+      report.ablation.indexed_steps += indexed_stats.steps;
+      report.ablation.candidates_pruned += indexed_stats.candidates_pruned;
+    }
+    double ratio =
+        report.ablation.indexed_steps > 0
+            ? static_cast<double>(report.ablation.legacy_steps) /
+                  static_cast<double>(report.ablation.indexed_steps)
+            : 0.0;
+    std::printf("\n  ablation workload (%s): legacy %lld steps, indexed %lld "
+                "steps — %.2fx reduction, %lld candidates pruned\n",
+                report.ablation.workload.c_str(),
+                static_cast<long long>(report.ablation.legacy_steps),
+                static_cast<long long>(report.ablation.indexed_steps), ratio,
+                static_cast<long long>(report.ablation.candidates_pruned));
+  }
+
+  int64_t total_legacy = 0, total_indexed = 0;
+  for (const auto& ar : report.assignments) {
+    total_legacy += ar.legacy.stats.steps;
+    total_indexed += ar.indexed.stats.steps;
+  }
+  std::printf("  totals: legacy %lld steps, indexed %lld steps (%.2fx)\n",
+              static_cast<long long>(total_legacy),
+              static_cast<long long>(total_indexed),
+              total_indexed > 0 ? static_cast<double>(total_legacy) /
+                                      static_cast<double>(total_indexed)
+                                : 0.0);
+  std::printf("  equivalence: %s\n\n",
+              report.equivalent ? "legacy == indexed on all workloads"
+                                : "FAILED");
+  return report;
+}
+
+void AppendEngineRun(const char* name, const EngineRun& run,
+                     std::string* out) {
+  *out += std::string("\"") + name + "\": {";
+  *out += "\"steps\": " + std::to_string(run.stats.steps) + ", ";
+  *out += "\"regex_checks\": " + std::to_string(run.stats.regex_checks) +
+          ", ";
+  *out += "\"candidates_pruned\": " +
+          std::to_string(run.stats.candidates_pruned) + ", ";
+  *out += "\"memo_hits\": " + std::to_string(run.stats.memo_hits) + ", ";
+  *out += "\"wall_us\": " + std::to_string(run.wall_us) + "}";
+}
+
+/// Writes the machine-readable report. Step/check counts are deterministic
+/// and CI-diffable; wall_us and index_build_us vary with the host and are
+/// informational.
+bool WriteJson(const std::string& path, const EngineReport& report) {
+  std::string out = "{\n  \"schema\": \"jfeed-bench-matching-v1\",\n";
+  int64_t total_legacy = 0, total_indexed = 0;
+  out += "  \"assignments\": [\n";
+  for (size_t i = 0; i < report.assignments.size(); ++i) {
+    const AssignmentReport& ar = report.assignments[i];
+    total_legacy += ar.legacy.stats.steps;
+    total_indexed += ar.indexed.stats.steps;
+    out += "    {\"id\": \"" + ar.id + "\", ";
+    AppendEngineRun("legacy", ar.legacy, &out);
+    out += ", ";
+    AppendEngineRun("indexed", ar.indexed, &out);
+    out += ", \"index_build_us\": " + std::to_string(ar.index_build_us) + "}";
+    out += i + 1 < report.assignments.size() ? ",\n" : "\n";
+  }
+  out += "  ],\n";
+  out += "  \"ablation\": {\"workload\": \"" + report.ablation.workload +
+         "\", \"legacy_steps\": " +
+         std::to_string(report.ablation.legacy_steps) +
+         ", \"indexed_steps\": " +
+         std::to_string(report.ablation.indexed_steps) +
+         ", \"candidates_pruned\": " +
+         std::to_string(report.ablation.candidates_pruned) + "},\n";
+  out += "  \"totals\": {\"legacy_steps\": " + std::to_string(total_legacy) +
+         ", \"indexed_steps\": " + std::to_string(total_indexed) + "},\n";
+  out += std::string("  \"equivalent\": ") +
+         (report.equivalent ? "true" : "false") + "\n}\n";
+
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return false;
+  }
+  std::fputs(out.c_str(), f);
+  std::fclose(f);
+  std::printf("wrote %s\n", path.c_str());
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// google-benchmark microbenches.
+
 void BM_PatternMatchingGraphSize(benchmark::State& state) {
   pdg::Epdg graph = BuildGraph(ProgramWithLoops(
       static_cast<int>(state.range(0))));
@@ -58,6 +319,23 @@ void BM_PatternMatchingGraphSize(benchmark::State& state) {
 }
 BENCHMARK(BM_PatternMatchingGraphSize)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
     ->Arg(16);
+
+void BM_PatternMatchingSharedIndex(benchmark::State& state) {
+  // The index amortization case Algorithm 2 hits: one graph, the whole
+  // pattern portfolio, index built once outside the loop.
+  pdg::Epdg graph = BuildGraph(ProgramWithLoops(
+      static_cast<int>(state.range(0))));
+  pdg::MatchIndex index(graph);
+  const auto& library = jfeed::kb::PatternLibrary::Get();
+  for (auto _ : state) {
+    size_t total = 0;
+    for (const auto& id : library.ids()) {
+      total += core::MatchPattern(library.at(id), graph, index, {}).size();
+    }
+    benchmark::DoNotOptimize(total);
+  }
+}
+BENCHMARK(BM_PatternMatchingSharedIndex)->Arg(4)->Arg(16);
 
 void BM_PatternMatchingAllPatterns(benchmark::State& state) {
   // Every library pattern over the Assignment 1 reference graph.
@@ -109,4 +387,34 @@ BENCHMARK(BM_VariableCombinations)->DenseRange(1, 5);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  std::string json_path;
+  bool skip_microbench = false;
+  std::vector<char*> bench_args;
+  bench_args.push_back(argv[0]);
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--json=", 7) == 0) {
+      json_path = argv[i] + 7;
+    } else if (std::strcmp(argv[i], "--skip-microbench") == 0) {
+      skip_microbench = true;
+    } else {
+      bench_args.push_back(argv[i]);
+    }
+  }
+
+  EngineReport report = RunEngineReport();
+  if (!json_path.empty() && !WriteJson(json_path, report)) return 1;
+  if (!report.equivalent) return 1;
+
+  if (!skip_microbench) {
+    int bench_argc = static_cast<int>(bench_args.size());
+    benchmark::Initialize(&bench_argc, bench_args.data());
+    if (benchmark::ReportUnrecognizedArguments(bench_argc,
+                                               bench_args.data())) {
+      return 1;
+    }
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+  }
+  return 0;
+}

@@ -82,6 +82,7 @@ int main(int argc, char** argv) {
   size_t total = 1000;
   size_t distinct = 200;
   std::string assignment_id = "assignment1";
+  std::string json_path;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--submissions") == 0 && i + 1 < argc) {
       total = std::strtoull(argv[++i], nullptr, 10);
@@ -89,10 +90,12 @@ int main(int argc, char** argv) {
       distinct = std::strtoull(argv[++i], nullptr, 10);
     } else if (std::strcmp(argv[i], "--assignment") == 0 && i + 1 < argc) {
       assignment_id = argv[++i];
+    } else if (std::strncmp(argv[i], "--json=", 7) == 0) {
+      json_path = argv[i] + 7;
     } else {
       std::fprintf(stderr,
                    "usage: %s [--submissions N] [--distinct N] "
-                   "[--assignment id]\n",
+                   "[--assignment id] [--json=PATH]\n",
                    argv[0]);
       return 1;
     }
@@ -139,6 +142,7 @@ int main(int argc, char** argv) {
   std::printf("%-6s %12s %12s %10s %10s\n", "jobs", "cache", "sub/sec",
               "speedup", "hit rate");
   double base_rate = 0.0;
+  std::string json_rows;
   for (bool cache_on : {false, true}) {
     for (int jobs : {1, 2, 4, 8}) {
       jfeed::sched::SchedulerOptions sopts;
@@ -155,12 +159,36 @@ int main(int argc, char** argv) {
                   cache_on ? "on" : "off", rate,
                   base_rate > 0 ? rate / base_rate : 0.0,
                   100.0 * stats.HitRate());
+      if (!json_rows.empty()) json_rows += ",\n";
+      json_rows += "    {\"jobs\": " + std::to_string(jobs) +
+                   ", \"cache\": " + (cache_on ? "true" : "false") +
+                   ", \"submissions_per_sec\": " + std::to_string(rate) +
+                   ", \"hit_rate\": " + std::to_string(stats.HitRate()) + "}";
       if (outcomes.size() != corpus.size()) {
         std::fprintf(stderr, "FAIL: %zu outcomes for %zu submissions\n",
                      outcomes.size(), corpus.size());
         return 1;
       }
     }
+  }
+  if (!json_path.empty()) {
+    // Wall-clock rates vary with the runner; the JSON is an artifact for
+    // tracking trends, not a CI gate.
+    std::string out = "{\n  \"schema\": \"jfeed-bench-throughput-v1\",\n";
+    out += "  \"assignment\": \"" + assignment_id + "\",\n";
+    out += "  \"submissions\": " + std::to_string(corpus.size()) + ",\n";
+    out += "  \"distinct\": " +
+           std::to_string(std::min(distinct, corpus.size())) + ",\n";
+    out += "  \"hardware_threads\": " + std::to_string(hw) + ",\n";
+    out += "  \"rows\": [\n" + json_rows + "\n  ]\n}\n";
+    std::FILE* f = std::fopen(json_path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+      return 1;
+    }
+    std::fputs(out.c_str(), f);
+    std::fclose(f);
+    std::printf("\nwrote %s\n", json_path.c_str());
   }
   if (hw <= 1) {
     std::printf(

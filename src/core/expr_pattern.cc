@@ -87,6 +87,28 @@ bool ExprPattern::Matches(const std::string& content,
   return std::regex_search(content, *re);
 }
 
+bool ExprPattern::Matches(const std::string& content,
+                          const BindingLookup& gamma,
+                          std::string* scratch) const {
+  if (pieces_.empty()) return false;
+  scratch->clear();
+  for (const auto& piece : pieces_) {
+    if (!piece.is_variable) {
+      *scratch += piece.text;
+      continue;
+    }
+    const std::string* bound = gamma.Find(piece.text);
+    if (bound == nullptr) return false;  // Unbound variable.
+    // Whole-word match of the concrete variable name.
+    *scratch += "\\b";
+    RegexEscapeAppend(*bound, scratch);
+    *scratch += "\\b";
+  }
+  const std::regex* re = RegexCache::ThreadLocal().Get(*scratch);
+  if (re == nullptr) return false;
+  return std::regex_search(content, *re);
+}
+
 std::vector<VarBinding> EnumerateInjections(const std::set<std::string>& from,
                                             const std::set<std::string>& to) {
   std::vector<VarBinding> out;

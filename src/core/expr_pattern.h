@@ -13,6 +13,15 @@ namespace jfeed::core {
 /// Binding of pattern variables to submission variables — the paper's γ.
 using VarBinding = std::map<std::string, std::string>;
 
+/// Read-only view of γ for matcher hot paths that keep their bindings in a
+/// flat stack instead of a std::map. Find returns the bound submission
+/// variable or nullptr.
+class BindingLookup {
+ public:
+  virtual ~BindingLookup() = default;
+  virtual const std::string* Find(const std::string& pattern_var) const = 0;
+};
+
 /// An *incomplete Java expression* (Definitions 4 and 6): a regex template
 /// over normalized Java expression text in which declared pattern variables
 /// appear as placeholders. `x \+= s\[x\]` with variables {x, s} matches
@@ -49,6 +58,12 @@ class ExprPattern {
   /// `content`. Every variable used by the template must be bound in
   /// `gamma`; unbound variables make the match fail.
   bool Matches(const std::string& content, const VarBinding& gamma) const;
+
+  /// Allocation-free variant for the indexed matcher: bindings come from a
+  /// BindingLookup and the substituted regex text is assembled into
+  /// `*scratch` (cleared first, capacity reused across calls).
+  bool Matches(const std::string& content, const BindingLookup& gamma,
+               std::string* scratch) const;
 
  private:
   struct Piece {

@@ -1,0 +1,487 @@
+// The index-driven, flat-state Algorithm-1 engine (MatchEngine::kIndexed).
+//
+// Three levers over the legacy backtracker (DESIGN.md §3a):
+//   1. Candidates come from the shared pdg::MatchIndex: type buckets
+//      replace the per-pattern O(|P|·|G|) type scan, and degree-signature
+//      pruning drops candidates that cannot host a pattern node's incident
+//      edges *before* backtracking ever tries them.
+//   2. The search state is allocation-free per step: ι is a flat vector,
+//      γ is a binding stack with O(1) undo, per-node variable sets are
+//      precomputed once, and regex text is assembled into a reused scratch
+//      buffer.
+//   3. Binding-independent template checks (templates that use no pattern
+//      variables) are memoized per (pattern node, graph node), so repeated
+//      visits under different partial embeddings cost one lookup.
+//
+// Exploration order is kept bit-identical to the legacy engine (ordering
+// heuristic ranks by *unpruned* type-bucket size; candidates iterate in
+// ascending node id; injections enumerate in the same lexicographic order),
+// so both engines emit the same embedding sequence and the equivalence
+// suite can require byte-identical canonical output.
+
+#include <algorithm>
+#include <cstdint>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/match_internal.h"
+
+namespace jfeed::core::internal {
+
+namespace {
+
+/// γ as a push/pop stack of (pattern variable, submission variable)
+/// pointers. Lookups are linear scans — intro-sized patterns bind a
+/// handful of variables, so this beats a node-allocating map. Doubles as
+/// the incremental bound-submission-variable set: BoundValue scans the
+/// value column instead of rebuilding a set per candidate.
+class GammaStack final : public BindingLookup {
+ public:
+  GammaStack() { entries_.reserve(16); }
+
+  const std::string* Find(const std::string& pattern_var) const override {
+    for (const auto& e : entries_) {
+      if (*e.var == pattern_var) return e.value;
+    }
+    return nullptr;
+  }
+
+  bool BoundValue(const std::string& submission_var) const {
+    for (const auto& e : entries_) {
+      if (*e.value == submission_var) return true;
+    }
+    return false;
+  }
+
+  void Push(const std::string* var, const std::string* value) {
+    entries_.push_back({var, value});
+  }
+  size_t Mark() const { return entries_.size(); }
+  void PopTo(size_t mark) { entries_.resize(mark); }
+
+  VarBinding ToMap() const {
+    VarBinding out;
+    for (const auto& e : entries_) out[*e.var] = *e.value;
+    return out;
+  }
+
+ private:
+  struct Entry {
+    const std::string* var;
+    const std::string* value;
+  };
+  std::vector<Entry> entries_;
+};
+
+pdg::NodeType ToGraphType(PatternNodeType type) {
+  switch (type) {
+    case PatternNodeType::kAssign: return pdg::NodeType::kAssign;
+    case PatternNodeType::kBreak: return pdg::NodeType::kBreak;
+    case PatternNodeType::kCall: return pdg::NodeType::kCall;
+    case PatternNodeType::kCond: return pdg::NodeType::kCond;
+    case PatternNodeType::kDecl: return pdg::NodeType::kDecl;
+    case PatternNodeType::kReturn: return pdg::NodeType::kReturn;
+    case PatternNodeType::kUntyped: break;
+  }
+  return pdg::NodeType::kAssign;  // Unreachable; callers gate on kUntyped.
+}
+
+class IndexedMatcher {
+ public:
+  IndexedMatcher(const Pattern& pattern, const pdg::Epdg& epdg,
+                 const pdg::MatchIndex& index, const MatchOptions& options,
+                 MatchStats* stats)
+      : pattern_(pattern),
+        epdg_(epdg),
+        index_(index),
+        options_(options),
+        stats_(stats) {}
+
+  std::vector<Embedding> Run() {
+    const size_t n_pattern = pattern_.nodes.size();
+    n_graph_ = epdg_.NodeCount();
+    plans_.resize(n_pattern);
+    if (!BuildPlans()) return {};
+    iota_.assign(n_pattern, graph::kInvalidNode);
+    matched_graph_.assign(n_graph_, 0);
+    incorrect_.assign(n_pattern, 0);
+    depth_ = 0;
+    Search();
+    if (stats_ != nullptr) stats_->truncated = truncated_;
+    return CanonicalizeEmbeddings(std::move(embeddings_));
+  }
+
+ private:
+  struct EdgeCheck {
+    int other;           ///< The pattern node on the far end.
+    pdg::EdgeType type;
+    bool out;            ///< True when this node is the edge's source.
+  };
+
+  /// Everything precomputed for one pattern node, plus its per-candidate
+  /// scratch. Scratch-in-plan is safe because a pattern node sits on the
+  /// DFS path at most once (ι is a function of pattern nodes).
+  struct NodePlan {
+    std::vector<graph::NodeId> candidates;  ///< Signature-pruned, ascending.
+    size_t type_space = 0;  ///< Unpruned bucket size (ordering parity).
+    std::vector<EdgeCheck> edges;
+    /// Sorted, deduplicated variables of exact ∪ approx (pointers into the
+    /// pattern's own variable sets).
+    std::vector<const std::string*> vars;
+    bool exact_const = false;   ///< exact is non-empty and variable-free.
+    bool approx_const = false;  ///< approx is non-empty and variable-free.
+    // Per-candidate scratch, reused without reallocation:
+    std::vector<const std::string*> fresh_pattern;
+    std::vector<const std::string*> fresh_graph;
+    std::vector<char> used;  ///< Injection targets taken at this node.
+  };
+
+  bool BuildPlans() {
+    for (size_t u = 0; u < pattern_.nodes.size(); ++u) {
+      NodePlan& plan = plans_[u];
+      const PatternNode& pnode = pattern_.nodes[u];
+      // Candidate set: the node-type bucket, then signature pruning.
+      const std::vector<graph::NodeId>& bucket =
+          pnode.type == PatternNodeType::kUntyped
+              ? index_.AllNodes()
+              : index_.Bucket(ToGraphType(pnode.type));
+      plan.type_space = bucket.size();
+      pdg::DegreeSignature need = RequiredSignature(static_cast<int>(u));
+      plan.candidates.reserve(bucket.size());
+      for (graph::NodeId v : bucket) {
+        if (index_.Signature(v).Covers(need)) {
+          plan.candidates.push_back(v);
+        } else if (stats_ != nullptr) {
+          ++stats_->candidates_pruned;
+        }
+      }
+      if (plan.candidates.empty()) return false;  // No embedding possible.
+      // Incident edges (declaration order, like the legacy matcher).
+      for (const auto& edge : pattern_.edges) {
+        if (edge.source == static_cast<int>(u)) {
+          plan.edges.push_back({edge.target, edge.type, true});
+        }
+        if (edge.target == static_cast<int>(u)) {
+          plan.edges.push_back({edge.source, edge.type, false});
+        }
+      }
+      // Variable sets, merged once instead of per candidate pair.
+      std::set<const std::string*> dedup;
+      for (const auto& var : pnode.exact.variables()) dedup.insert(&var);
+      for (const auto& var : pnode.approx.variables()) {
+        if (pnode.exact.variables().count(var) == 0) dedup.insert(&var);
+      }
+      plan.vars.assign(dedup.begin(), dedup.end());
+      std::sort(plan.vars.begin(), plan.vars.end(),
+                [](const std::string* a, const std::string* b) {
+                  return *a < *b;
+                });
+      plan.exact_const =
+          !pnode.exact.empty() && pnode.exact.variables().empty();
+      plan.approx_const =
+          !pnode.approx.empty() && pnode.approx.variables().empty();
+      if ((plan.exact_const || plan.approx_const) && memo_.empty()) {
+        memo_.assign(pattern_.nodes.size() * n_graph_, 0);
+      }
+    }
+    return true;
+  }
+
+  /// The degree signature pattern node `u` demands of any candidate.
+  /// Distinct incident pattern edges with distinct far endpoints map to
+  /// distinct graph edges under an injective ι, so the candidate needs at
+  /// least that many edges per (direction, type) — and per neighbor type
+  /// for typed far endpoints. Duplicate pattern edges (same endpoints and
+  /// type) collapse onto one graph edge and are deduplicated here;
+  /// self-loops never constrain the partial-embedding checks (the far
+  /// endpoint is unmatched when the node is placed) and are skipped for
+  /// parity with the legacy engine.
+  pdg::DegreeSignature RequiredSignature(int u) const {
+    pdg::DegreeSignature need;
+    std::set<std::pair<int, int>> seen_out, seen_in;  // (etype, other)
+    for (const auto& edge : pattern_.edges) {
+      if (edge.source == edge.target) continue;
+      int etype = static_cast<int>(edge.type);
+      if (edge.source == u &&
+          seen_out.insert({etype, edge.target}).second) {
+        PatternNodeType t = pattern_.nodes[edge.target].type;
+        need.AddEdge(/*dir=*/0, etype,
+                     t == PatternNodeType::kUntyped
+                         ? -1
+                         : static_cast<int>(ToGraphType(t)));
+      }
+      if (edge.target == u && seen_in.insert({etype, edge.source}).second) {
+        PatternNodeType t = pattern_.nodes[edge.source].type;
+        need.AddEdge(/*dir=*/1, etype,
+                     t == PatternNodeType::kUntyped
+                         ? -1
+                         : static_cast<int>(ToGraphType(t)));
+      }
+    }
+    return need;
+  }
+
+  /// Legacy PickNext, ranking by the unpruned type-bucket size so both
+  /// engines explore pattern nodes in the same order.
+  int PickNext() const {
+    const size_t n = pattern_.nodes.size();
+    if (!options_.use_ordering_heuristic) {
+      for (size_t u = 0; u < n; ++u) {
+        if (iota_[u] == graph::kInvalidNode) return static_cast<int>(u);
+      }
+      return -1;
+    }
+    int best = -1;
+    int best_connected = -1;
+    size_t best_space = 0;
+    for (size_t u = 0; u < n; ++u) {
+      if (iota_[u] != graph::kInvalidNode) continue;
+      int connected = 0;
+      for (const auto& ec : plans_[u].edges) {
+        if (iota_[ec.other] != graph::kInvalidNode) ++connected;
+      }
+      size_t space = plans_[u].type_space;
+      if (best == -1 || connected > best_connected ||
+          (connected == best_connected && space < best_space)) {
+        best = static_cast<int>(u);
+        best_connected = connected;
+        best_space = space;
+      }
+    }
+    return best;
+  }
+
+  bool EdgesConsistent(const NodePlan& plan, graph::NodeId v) const {
+    for (const auto& ec : plan.edges) {
+      graph::NodeId other = iota_[ec.other];
+      if (other == graph::kInvalidNode) continue;
+      bool present = ec.out ? epdg_.HasEdge(v, other, ec.type)
+                            : epdg_.HasEdge(other, v, ec.type);
+      if (!present) return false;
+    }
+    return true;
+  }
+
+  /// Splits the node's variables and the graph node's variables into the
+  /// fresh (unbound) subsets — X and Y of Algorithm 1 line 18 — using the
+  /// precomputed per-node sets and the incremental γ stack.
+  void ComputeFresh(NodePlan& plan, const pdg::Node& gnode) {
+    plan.fresh_pattern.clear();
+    for (const std::string* var : plan.vars) {
+      if (gamma_.Find(*var) == nullptr) plan.fresh_pattern.push_back(var);
+    }
+    plan.fresh_graph.clear();
+    for (const auto& var : gnode.vars) {
+      if (!gamma_.BoundValue(var)) plan.fresh_graph.push_back(&var);
+    }
+  }
+
+  /// Exact-template check with the binding-independent memo. Safe w.r.t.
+  /// γ: the memo is consulted only when the template names no pattern
+  /// variables, in which case Matches() never reads γ.
+  bool CheckExact(const NodePlan& plan, size_t u, graph::NodeId v,
+                  const PatternNode& pnode, const pdg::Node& gnode) {
+    if (plan.exact_const) {
+      uint8_t& slot = memo_[u * n_graph_ + v];
+      if ((slot & 0x3) != 0) {
+        if (stats_ != nullptr) ++stats_->memo_hits;
+        return (slot & 0x3) == 1;
+      }
+      if (stats_ != nullptr) ++stats_->regex_checks;
+      bool ok = pnode.exact.Matches(gnode.content, gamma_, &regex_scratch_);
+      slot = static_cast<uint8_t>((slot & ~0x3) | (ok ? 1 : 2));
+      return ok;
+    }
+    if (stats_ != nullptr) ++stats_->regex_checks;
+    return pnode.exact.Matches(gnode.content, gamma_, &regex_scratch_);
+  }
+
+  bool CheckApprox(const NodePlan& plan, size_t u, graph::NodeId v,
+                   const PatternNode& pnode, const pdg::Node& gnode) {
+    if (plan.approx_const) {
+      uint8_t& slot = memo_[u * n_graph_ + v];
+      if ((slot & 0xC) != 0) {
+        if (stats_ != nullptr) ++stats_->memo_hits;
+        return (slot & 0xC) == 0x4;
+      }
+      if (stats_ != nullptr) ++stats_->regex_checks;
+      bool ok = pnode.approx.Matches(gnode.content, gamma_, &regex_scratch_);
+      slot = static_cast<uint8_t>((slot & ~0xC) | (ok ? 0x4 : 0x8));
+      return ok;
+    }
+    if (stats_ != nullptr) ++stats_->regex_checks;
+    return pnode.approx.Matches(gnode.content, gamma_, &regex_scratch_);
+  }
+
+  void EmitEmbedding() {
+    Embedding m;
+    for (size_t u = 0; u < iota_.size(); ++u) {
+      m.iota[static_cast<int>(u)] = iota_[u];
+      if (incorrect_[u] != 0) m.incorrect_nodes.insert(static_cast<int>(u));
+    }
+    m.gamma = gamma_.ToMap();
+    embeddings_.push_back(std::move(m));
+  }
+
+  /// Template evaluation once a full injection for node u is on the γ
+  /// stack — the regex (non-AST) arm of the legacy inner loop.
+  void EvaluateRegexNode(NodePlan& plan, int u, graph::NodeId v,
+                         const pdg::Node& gnode) {
+    const PatternNode& pnode = pattern_.nodes[u];
+    bool matched = false;
+    bool correct = false;
+    if (pnode.exact.empty()) {
+      matched = true;  // A node without an exact template matches
+      correct = true;  // structurally.
+    } else if (CheckExact(plan, static_cast<size_t>(u), v, pnode, gnode)) {
+      matched = true;
+      correct = true;
+    } else if (!pnode.approx.empty() &&
+               CheckApprox(plan, static_cast<size_t>(u), v, pnode, gnode)) {
+      matched = true;
+      correct = false;
+    }
+    if (!matched) return;
+    incorrect_[u] = correct ? 0 : 1;
+    Search();
+    incorrect_[u] = 0;
+  }
+
+  /// Enumerates injections of plan.fresh_pattern into plan.fresh_graph in
+  /// the same lexicographic order as EnumerateInjections, evaluating each
+  /// in place — no binding maps are materialized.
+  void TryInjections(NodePlan& plan, int u, graph::NodeId v,
+                     const pdg::Node& gnode, size_t fp_index,
+                     bool approx_only) {
+    if (fp_index == plan.fresh_pattern.size()) {
+      if (approx_only) {
+        const PatternNode& pnode = pattern_.nodes[u];
+        if (CheckApprox(plan, static_cast<size_t>(u), v, pnode, gnode)) {
+          incorrect_[u] = 1;
+          Search();
+          incorrect_[u] = 0;
+        }
+      } else {
+        EvaluateRegexNode(plan, u, v, gnode);
+      }
+      return;
+    }
+    for (size_t t = 0; t < plan.fresh_graph.size(); ++t) {
+      if (plan.used[t] != 0) continue;
+      plan.used[t] = 1;
+      gamma_.Push(plan.fresh_pattern[fp_index], plan.fresh_graph[t]);
+      TryInjections(plan, u, v, gnode, fp_index + 1, approx_only);
+      gamma_.PopTo(gamma_.Mark() - 1);
+      plan.used[t] = 0;
+      if (truncated_) return;
+    }
+  }
+
+  void Search() {
+    if (truncated_) return;
+    if (depth_ == pattern_.nodes.size()) {
+      EmitEmbedding();
+      if (embeddings_.size() >= options_.max_embeddings) truncated_ = true;
+      return;
+    }
+    int u = PickNext();
+    NodePlan& plan = plans_[u];
+    const PatternNode& pnode = pattern_.nodes[u];
+    for (graph::NodeId v : plan.candidates) {
+      if (matched_graph_[v] != 0) continue;  // ι must be injective.
+      if (stats_ != nullptr && ++stats_->steps > options_.max_steps) {
+        truncated_ = true;
+        return;
+      }
+      if (!EdgesConsistent(plan, v)) continue;
+      const pdg::Node& gnode = epdg_.NodeAt(v);
+
+      iota_[u] = v;
+      matched_graph_[v] = 1;
+      ++depth_;
+      if (!pnode.ast_exact.empty()) {
+        AstNode(plan, u, v, gnode);
+      } else {
+        ComputeFresh(plan, gnode);
+        if (plan.fresh_pattern.size() <= plan.fresh_graph.size()) {
+          plan.used.assign(plan.fresh_graph.size(), 0);
+          TryInjections(plan, u, v, gnode, 0, /*approx_only=*/false);
+        }
+      }
+      --depth_;
+      matched_graph_[v] = 0;
+      iota_[u] = graph::kInvalidNode;
+      if (truncated_) return;
+    }
+  }
+
+  /// AST backend (Sec. VII extension): structural unification yields the
+  /// candidate bindings directly; the regex approximate template remains
+  /// the incorrect-marking fallback. The unifier needs a map-shaped γ, so
+  /// this arm materializes one — AST nodes are the minority and their
+  /// bindings depend on γ, which rules out the memo.
+  void AstNode(NodePlan& plan, int u, graph::NodeId v,
+               const pdg::Node& gnode) {
+    const PatternNode& pnode = pattern_.nodes[u];
+    bool any_exact = false;
+    if (gnode.ast != nullptr) {
+      if (stats_ != nullptr) ++stats_->regex_checks;
+      VarBinding gamma_map = gamma_.ToMap();
+      for (const VarBinding& binding :
+           pnode.ast_exact.AllMatches(*gnode.ast, gamma_map)) {
+        any_exact = true;
+        size_t mark = gamma_.Mark();
+        for (const auto& [pv, sv] : binding) gamma_.Push(&pv, &sv);
+        Search();
+        gamma_.PopTo(mark);
+        if (truncated_) break;
+      }
+    }
+    if (!any_exact && !pnode.approx.empty() && !truncated_) {
+      ComputeFresh(plan, gnode);
+      if (plan.fresh_pattern.size() <= plan.fresh_graph.size()) {
+        plan.used.assign(plan.fresh_graph.size(), 0);
+        TryInjections(plan, u, v, gnode, 0, /*approx_only=*/true);
+      }
+    }
+  }
+
+  const Pattern& pattern_;
+  const pdg::Epdg& epdg_;
+  const pdg::MatchIndex& index_;
+  const MatchOptions& options_;
+  MatchStats* stats_;
+
+  size_t n_graph_ = 0;
+  std::vector<NodePlan> plans_;
+  std::vector<graph::NodeId> iota_;   ///< Pattern node -> graph node.
+  std::vector<char> matched_graph_;   ///< Graph nodes already in ι.
+  std::vector<char> incorrect_;       ///< Per-pattern-node incorrect mark.
+  GammaStack gamma_;
+  /// Binding-independent template memo, 2 bits per check per (u, v):
+  /// bits 0-1 exact (0 unknown / 1 match / 2 fail), bits 2-3 approx.
+  std::vector<uint8_t> memo_;
+  std::string regex_scratch_;
+  size_t depth_ = 0;
+  std::vector<Embedding> embeddings_;
+  bool truncated_ = false;
+};
+
+}  // namespace
+
+std::vector<Embedding> MatchPatternIndexed(const Pattern& pattern,
+                                           const pdg::Epdg& epdg,
+                                           const pdg::MatchIndex& index,
+                                           const MatchOptions& options,
+                                           MatchStats* stats) {
+  // The step counter doubles as the max_steps enforcement point, so the
+  // engine always runs with a stats block.
+  MatchStats local_stats;
+  IndexedMatcher matcher(pattern, epdg, index, options,
+                         stats != nullptr ? stats : &local_stats);
+  return matcher.Run();
+}
+
+}  // namespace jfeed::core::internal

@@ -1,0 +1,27 @@
+#ifndef JFEED_CORE_MATCH_INTERNAL_H_
+#define JFEED_CORE_MATCH_INTERNAL_H_
+
+#include <vector>
+
+#include "core/pattern_matcher.h"
+
+namespace jfeed::core::internal {
+
+/// Collapses embeddings sharing the same ι to the best one (fewest
+/// incorrect nodes; first found wins ties), preserving discovery order.
+/// Hash-keyed on the encoded ι, so the whole pass is O(total ι entries)
+/// instead of the quadratic all-pairs map comparison it replaces; both
+/// engines share it so the ablation bench compares like for like.
+std::vector<Embedding> CanonicalizeEmbeddings(std::vector<Embedding> all);
+
+/// The index-driven flat-state engine (MatchEngine::kIndexed). `index` must
+/// be built from `epdg`. `stats` may be null.
+std::vector<Embedding> MatchPatternIndexed(const Pattern& pattern,
+                                           const pdg::Epdg& epdg,
+                                           const pdg::MatchIndex& index,
+                                           const MatchOptions& options,
+                                           MatchStats* stats);
+
+}  // namespace jfeed::core::internal
+
+#endif  // JFEED_CORE_MATCH_INTERNAL_H_

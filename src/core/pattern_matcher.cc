@@ -1,11 +1,19 @@
 #include "core/pattern_matcher.h"
 
 #include <algorithm>
+#include <string>
+#include <unordered_map>
+
+#include "core/match_internal.h"
 
 namespace jfeed::core {
 
 namespace {
 
+/// The legacy Algorithm-1 backtracker (MatchEngine::kLegacy): per-pattern
+/// type scan for Φ, map-based ι/γ. Kept as the equivalence reference and
+/// the ablation baseline for the indexed engine (indexed_matcher.cc); the
+/// two must produce byte-identical canonical embeddings.
 class Matcher {
  public:
   Matcher(const Pattern& pattern, const pdg::Epdg& epdg,
@@ -37,7 +45,7 @@ class Matcher {
     Embedding empty;
     Search(empty);
     if (stats_ != nullptr) stats_->truncated = truncated_;
-    return Canonicalize(std::move(embeddings_));
+    return internal::CanonicalizeEmbeddings(std::move(embeddings_));
   }
 
  private:
@@ -98,6 +106,27 @@ class Matcher {
     return true;
   }
 
+  /// γ mutation helpers: the bound-submission-variable multiset is
+  /// maintained incrementally alongside γ, so the fresh-variable split per
+  /// candidate no longer re-walks the whole binding.
+  void Bind(const std::string& pattern_var, const std::string& value,
+            Embedding& m) {
+    m.gamma[pattern_var] = value;
+    ++bound_value_counts_[value];
+  }
+  void Unbind(const std::string& pattern_var, Embedding& m) {
+    auto it = m.gamma.find(pattern_var);
+    if (it == m.gamma.end()) return;
+    auto count = bound_value_counts_.find(it->second);
+    if (count != bound_value_counts_.end() && --count->second == 0) {
+      bound_value_counts_.erase(count);
+    }
+    m.gamma.erase(it);
+  }
+  bool ValueBound(const std::string& value) const {
+    return bound_value_counts_.count(value) > 0;
+  }
+
   void Search(Embedding& m) {
     if (truncated_) return;
     if (m.iota.size() == pattern_.nodes.size()) {
@@ -125,13 +154,9 @@ class Matcher {
       for (const auto& var : node_vars) {
         if (m.gamma.count(var) == 0) fresh_pattern_vars.insert(var);
       }
-      std::set<std::string> bound_submission_vars;
-      for (const auto& [pv, sv] : m.gamma) bound_submission_vars.insert(sv);
       std::set<std::string> fresh_graph_vars;
       for (const auto& var : gnode.vars) {
-        if (bound_submission_vars.count(var) == 0) {
-          fresh_graph_vars.insert(var);
-        }
+        if (!ValueBound(var)) fresh_graph_vars.insert(var);
       }
 
       m.iota[u] = v;
@@ -146,23 +171,23 @@ class Matcher {
           for (const VarBinding& binding :
                pnode.ast_exact.AllMatches(*gnode.ast, m.gamma)) {
             any_exact = true;
-            for (const auto& [pv, sv] : binding) m.gamma[pv] = sv;
+            for (const auto& [pv, sv] : binding) Bind(pv, sv, m);
             Search(m);
-            for (const auto& [pv, sv] : binding) m.gamma.erase(pv);
+            for (const auto& kv : binding) Unbind(kv.first, m);
             if (truncated_) break;
           }
         }
         if (!any_exact && !pnode.approx.empty() && !truncated_) {
           for (const VarBinding& binding :
                EnumerateInjections(fresh_pattern_vars, fresh_graph_vars)) {
-            for (const auto& [pv, sv] : binding) m.gamma[pv] = sv;
+            for (const auto& [pv, sv] : binding) Bind(pv, sv, m);
             if (stats_ != nullptr) ++stats_->regex_checks;
             if (pnode.approx.Matches(gnode.content, m.gamma)) {
               m.incorrect_nodes.insert(u);
               Search(m);
               m.incorrect_nodes.erase(u);
             }
-            for (const auto& [pv, sv] : binding) m.gamma.erase(pv);
+            for (const auto& kv : binding) Unbind(kv.first, m);
             if (truncated_) break;
           }
         }
@@ -173,7 +198,7 @@ class Matcher {
       }
       for (const VarBinding& binding :
            EnumerateInjections(fresh_pattern_vars, fresh_graph_vars)) {
-        for (const auto& [pv, sv] : binding) m.gamma[pv] = sv;
+        for (const auto& [pv, sv] : binding) Bind(pv, sv, m);
         bool correct = false;
         bool matched = false;
         if (pnode.exact.empty()) {
@@ -197,33 +222,13 @@ class Matcher {
           Search(m);
           m.incorrect_nodes.erase(u);
         }
-        for (const auto& [pv, sv] : binding) m.gamma.erase(pv);
+        for (const auto& kv : binding) Unbind(kv.first, m);
         if (truncated_) break;
       }
       matched_graph_nodes_[v] = false;
       m.iota.erase(u);
       if (truncated_) return;
     }
-  }
-
-  /// Collapses embeddings sharing the same ι to the best one (fewest
-  /// incorrect nodes; first found wins ties), preserving discovery order.
-  static std::vector<Embedding> Canonicalize(std::vector<Embedding> all) {
-    std::vector<Embedding> out;
-    for (auto& m : all) {
-      bool merged = false;
-      for (auto& existing : out) {
-        if (existing.iota == m.iota) {
-          if (m.incorrect_nodes.size() < existing.incorrect_nodes.size()) {
-            existing = std::move(m);
-          }
-          merged = true;
-          break;
-        }
-      }
-      if (!merged) out.push_back(std::move(m));
-    }
-    return out;
   }
 
   const Pattern& pattern_;
@@ -233,20 +238,76 @@ class Matcher {
   std::vector<std::vector<graph::NodeId>> search_space_;
   std::vector<std::vector<const Pattern::Edge*>> incident_edges_;
   std::vector<bool> matched_graph_nodes_;
+  /// Submission variables currently bound by γ, with multiplicity — kept in
+  /// sync by Bind/Unbind.
+  std::map<std::string, int> bound_value_counts_;
   std::vector<Embedding> embeddings_;
   bool truncated_ = false;
 };
 
+std::vector<Embedding> MatchPatternLegacy(const Pattern& pattern,
+                                          const pdg::Epdg& epdg,
+                                          const MatchOptions& options,
+                                          MatchStats* stats) {
+  MatchStats local_stats;
+  Matcher matcher(pattern, epdg, options,
+                  stats != nullptr ? stats : &local_stats);
+  return matcher.Run();
+}
+
 }  // namespace
+
+namespace internal {
+
+std::vector<Embedding> CanonicalizeEmbeddings(std::vector<Embedding> all) {
+  std::vector<Embedding> out;
+  out.reserve(all.size());
+  // ι encoded as raw bytes keys the groups exactly (not just by hash), so
+  // the collapse rule is identical to the old all-pairs comparison.
+  std::unordered_map<std::string, size_t> by_iota;
+  by_iota.reserve(all.size());
+  std::string key;
+  for (auto& m : all) {
+    key.clear();
+    for (const auto& [u, v] : m.iota) {
+      key.append(reinterpret_cast<const char*>(&u), sizeof(u));
+      key.append(reinterpret_cast<const char*>(&v), sizeof(v));
+    }
+    auto [it, inserted] = by_iota.emplace(key, out.size());
+    if (inserted) {
+      out.push_back(std::move(m));
+      continue;
+    }
+    Embedding& existing = out[it->second];
+    if (m.incorrect_nodes.size() < existing.incorrect_nodes.size()) {
+      existing = std::move(m);
+    }
+  }
+  return out;
+}
+
+}  // namespace internal
 
 std::vector<Embedding> MatchPattern(const Pattern& pattern,
                                     const pdg::Epdg& epdg,
                                     const MatchOptions& options,
                                     MatchStats* stats) {
-  MatchStats local_stats;
-  Matcher matcher(pattern, epdg, options, stats != nullptr ? stats
-                                                           : &local_stats);
-  return matcher.Run();
+  if (options.engine == MatchEngine::kLegacy) {
+    return MatchPatternLegacy(pattern, epdg, options, stats);
+  }
+  pdg::MatchIndex index(epdg);
+  return internal::MatchPatternIndexed(pattern, epdg, index, options, stats);
+}
+
+std::vector<Embedding> MatchPattern(const Pattern& pattern,
+                                    const pdg::Epdg& epdg,
+                                    const pdg::MatchIndex& index,
+                                    const MatchOptions& options,
+                                    MatchStats* stats) {
+  if (options.engine == MatchEngine::kLegacy) {
+    return MatchPatternLegacy(pattern, epdg, options, stats);
+  }
+  return internal::MatchPatternIndexed(pattern, epdg, index, options, stats);
 }
 
 }  // namespace jfeed::core

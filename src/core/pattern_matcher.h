@@ -8,6 +8,7 @@
 
 #include "core/pattern.h"
 #include "pdg/epdg.h"
+#include "pdg/match_index.h"
 
 namespace jfeed::core {
 
@@ -23,6 +24,20 @@ struct Embedding {
   bool IsFullyCorrect() const { return incorrect_nodes.empty(); }
 };
 
+/// Which Algorithm-1 implementation runs. Both produce byte-identical
+/// canonical embeddings (the equivalence suite gates this); they differ in
+/// cost only.
+enum class MatchEngine {
+  /// Index-driven flat-state engine: candidates come from the shared
+  /// pdg::MatchIndex type buckets, signature-pruned before backtracking;
+  /// the search state is allocation-free per step; binding-independent
+  /// template checks are memoized per graph node.
+  kIndexed,
+  /// The original per-pattern type-scan backtracker, kept as the
+  /// equivalence reference and the ablation baseline.
+  kLegacy,
+};
+
 /// Tuning knobs for the backtracking search.
 struct MatchOptions {
   /// Upper bound on embeddings gathered before the search stops. Subgraph
@@ -35,15 +50,35 @@ struct MatchOptions {
   /// and candidate-set size (Sec. IV: "the performance depends on the size
   /// of the search space and the processing order of the pattern nodes").
   /// Disabled, nodes are processed in declaration order — the ablation
-  /// bench quantifies the difference.
+  /// bench quantifies the difference. Both engines rank by the *type
+  /// bucket* size (pre-pruning) so their exploration order — and therefore
+  /// their canonical output — stays identical.
   bool use_ordering_heuristic = true;
+  /// Engine selection; kIndexed is the production default.
+  MatchEngine engine = MatchEngine::kIndexed;
 };
 
 /// Statistics of one PatternMatching run (exposed for benchmarks).
 struct MatchStats {
   int64_t steps = 0;            ///< Candidate (u, v) pairs tried.
   int64_t regex_checks = 0;     ///< Variable-combination template checks.
+  /// Candidates dropped by degree-signature pruning before backtracking
+  /// ever considered them (indexed engine only).
+  int64_t candidates_pruned = 0;
+  /// Template checks answered by the binding-independent memo instead of a
+  /// regex execution (indexed engine only).
+  int64_t memo_hits = 0;
   bool truncated = false;       ///< Search stopped at a limit.
+
+  /// Adds `other`'s counters into this one (used to aggregate the total
+  /// matching cost of a submission across patterns and variants).
+  void Accumulate(const MatchStats& other) {
+    steps += other.steps;
+    regex_checks += other.regex_checks;
+    candidates_pruned += other.candidates_pruned;
+    memo_hits += other.memo_hits;
+    truncated = truncated || other.truncated;
+  }
 };
 
 /// Algorithm 1 (PatternMatching): computes the embeddings of `pattern` in
@@ -55,8 +90,22 @@ struct MatchStats {
 /// the one with the fewest incorrect nodes (ties broken by γ order), so the
 /// embedding count means "distinct placements of the pattern", which is what
 /// Algorithm 2 compares against the expected-occurrence map t̄.
+///
+/// With options.engine == kIndexed this overload builds a throw-away
+/// pdg::MatchIndex for `epdg`; callers matching many patterns against the
+/// same graph should build the index once and use the overload below.
 std::vector<Embedding> MatchPattern(const Pattern& pattern,
                                     const pdg::Epdg& epdg,
+                                    const MatchOptions& options = {},
+                                    MatchStats* stats = nullptr);
+
+/// Same, with a caller-owned match index (built once per EPDG and shared
+/// across all patterns, variants, and method candidates — DESIGN.md §3a).
+/// `index` must have been built from `epdg`. Ignored when options.engine is
+/// kLegacy.
+std::vector<Embedding> MatchPattern(const Pattern& pattern,
+                                    const pdg::Epdg& epdg,
+                                    const pdg::MatchIndex& index,
                                     const MatchOptions& options = {},
                                     MatchStats* stats = nullptr);
 

@@ -147,6 +147,30 @@ Result<SubmissionFeedback> MatchSubmission(
   JFEED_ASSIGN_OR_RETURN(std::vector<pdg::Epdg> graphs,
                          pdg::BuildAllEpdgs(submission));
 
+  // One match index per EPDG, built once and shared across every pattern,
+  // variant, and method-candidate evaluation below — the per-pattern type
+  // scan and signature data are graph properties, not pattern properties.
+  std::vector<pdg::MatchIndex> indexes;
+  if (options.match.engine == MatchEngine::kIndexed) {
+    indexes.reserve(graphs.size());
+    for (const auto& g : graphs) indexes.emplace_back(g);
+  }
+  // Total Algorithm-1 cost of this call (all combinations, patterns and
+  // variants). Each MatchPattern run gets a fresh stats block so max_steps
+  // stays a per-pattern bound, then folds into the total.
+  MatchStats total_stats;
+  auto match_one = [&](const Pattern& pattern, size_t graph_index) {
+    MatchStats call_stats;
+    std::vector<Embedding> m =
+        options.match.engine == MatchEngine::kIndexed
+            ? MatchPattern(pattern, graphs[graph_index],
+                           indexes[graph_index], options.match, &call_stats)
+            : MatchPattern(pattern, graphs[graph_index], options.match,
+                           &call_stats);
+    total_stats.Accumulate(call_stats);
+    return m;
+  };
+
   SubmissionFeedback best;
   if (graphs.size() < spec.methods.size()) {
     // Fewer methods than expected: no combination adheres to the spec.
@@ -194,7 +218,8 @@ Result<SubmissionFeedback> MatchSubmission(
     std::map<std::string, std::string> method_map;
     for (size_t qi = 0; qi < spec.methods.size(); ++qi) {
       const MethodSpec& q = spec.methods[qi];
-      const pdg::Epdg& epdg = graphs[assignment[qi]];
+      const size_t graph_index = assignment[qi];
+      const pdg::Epdg& epdg = graphs[graph_index];
       method_map[q.expected_name] = epdg.method_name();
 
       // Step 2.1: match patterns, accumulating embeddings (the paper's m̄).
@@ -202,8 +227,7 @@ Result<SubmissionFeedback> MatchSubmission(
       std::set<std::string> not_expected;
       for (const auto& use : q.patterns) {
         if (use.pattern == nullptr) continue;
-        std::vector<Embedding> m =
-            MatchPattern(*use.pattern, epdg, options.match);
+        std::vector<Embedding> m = match_one(*use.pattern, graph_index);
         FeedbackComment comment =
             ProvideFeedback(m, *use.pattern, use.expected_count,
                             epdg.method_name(), use.also_accept_counts);
@@ -215,7 +239,7 @@ Result<SubmissionFeedback> MatchSubmission(
           for (const PatternVariant& variant : use.variants) {
             if (variant.pattern == nullptr) continue;
             std::vector<Embedding> vm =
-                MatchPattern(*variant.pattern, epdg, options.match);
+                match_one(*variant.pattern, graph_index);
             if (static_cast<int>(vm.size()) != use.expected_count) continue;
             comment = ProvideFeedback(vm, *variant.pattern,
                                       use.expected_count,
@@ -272,6 +296,7 @@ Result<SubmissionFeedback> MatchSubmission(
       best.method_assignment = std::move(method_map);
     }
   }
+  best.match_stats = total_stats;
   return best;
 }
 

@@ -75,6 +75,11 @@ struct SubmissionFeedback {
   double score = 0.0;  ///< Λ(B) of the winning combination.
   /// Winning assignment of expected methods to submission methods.
   std::map<std::string, std::string> method_assignment;
+  /// Total Algorithm-1 cost of grading this submission, aggregated over
+  /// every method combination, pattern, and variant tried (not just the
+  /// winning combination) — the service surfaces this for monitoring and
+  /// the benches for the perf trajectory.
+  MatchStats match_stats;
 
   /// True when every comment is Correct — the technique's "positive
   /// feedback only" verdict used for the discrepancy analysis (column D).

@@ -1,0 +1,50 @@
+#ifndef JFEED_GRAPH_EDGE_SET_H_
+#define JFEED_GRAPH_EDGE_SET_H_
+
+#include <cstdint>
+#include <unordered_set>
+
+#include "graph/digraph.h"
+
+namespace jfeed::graph {
+
+/// O(1) membership index over typed edges. `Digraph::HasEdge` scans the
+/// source's out-adjacency, which makes every edge probe O(out-degree); the
+/// matching engine probes edges in its innermost loop (Definition 7
+/// condition 2), so graph owners keep one of these alongside the digraph.
+///
+/// The edge payload is collapsed to a small integer tag by the caller
+/// (EPDGs have two edge types), so one 64-bit key encodes
+/// (source, target, tag) collision-free: dense node ids stay below 2^30
+/// (Digraph ids are append-only int32) and tags fit in 2 bits.
+class TypedEdgeSet {
+ public:
+  TypedEdgeSet() = default;
+
+  void Reserve(size_t edges) { keys_.reserve(edges); }
+
+  /// Records edge source -> target with payload tag `tag` (0..3).
+  void Insert(NodeId source, NodeId target, int tag) {
+    keys_.insert(Key(source, target, tag));
+  }
+
+  /// True when Insert(source, target, tag) happened. O(1) expected.
+  bool Contains(NodeId source, NodeId target, int tag) const {
+    return keys_.count(Key(source, target, tag)) > 0;
+  }
+
+  size_t size() const { return keys_.size(); }
+
+ private:
+  static uint64_t Key(NodeId source, NodeId target, int tag) {
+    return (static_cast<uint64_t>(static_cast<uint32_t>(source)) << 32) |
+           (static_cast<uint64_t>(static_cast<uint32_t>(target)) << 2) |
+           static_cast<uint64_t>(tag & 0x3);
+  }
+
+  std::unordered_set<uint64_t> keys_;
+};
+
+}  // namespace jfeed::graph
+
+#endif  // JFEED_GRAPH_EDGE_SET_H_

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "graph/digraph.h"
+#include "graph/edge_set.h"
 #include "javalang/ast.h"
 #include "support/result.h"
 
@@ -53,17 +54,21 @@ class Epdg {
 
   graph::NodeId AddNode(Node node) { return graph_.AddNode(std::move(node)); }
   void AddEdge(graph::NodeId source, graph::NodeId target, EdgeType type) {
-    if (!graph_.HasEdge(source, target, type)) {
+    if (!HasEdge(source, target, type)) {
       graph_.AddEdge(source, target, type);
+      edge_set_.Insert(source, target, static_cast<int>(type));
     }
   }
 
   size_t NodeCount() const { return graph_.NodeCount(); }
   size_t EdgeCount() const { return graph_.EdgeCount(); }
   const Node& NodeAt(graph::NodeId id) const { return graph_.NodeData(id); }
+  /// O(1): typed-edge hash probe, not an out-adjacency scan. This is the
+  /// innermost check of the matching engine (Definition 7 condition 2) and
+  /// of the edge-existence constraints (Definition 9).
   bool HasEdge(graph::NodeId source, graph::NodeId target,
                EdgeType type) const {
-    return graph_.HasEdge(source, target, type);
+    return edge_set_.Contains(source, target, static_cast<int>(type));
   }
   const Graph& graph() const { return graph_; }
 
@@ -76,6 +81,7 @@ class Epdg {
  private:
   std::string method_name_;
   Graph graph_;
+  graph::TypedEdgeSet edge_set_;
 };
 
 /// Builds the extended program dependence graph of `method` following the

@@ -1,0 +1,25 @@
+#include "pdg/match_index.h"
+
+namespace jfeed::pdg {
+
+MatchIndex::MatchIndex(const Epdg& epdg) {
+  const size_t n = epdg.NodeCount();
+  all_nodes_.reserve(n);
+  signatures_.resize(n);
+  for (size_t i = 0; i < n; ++i) {
+    auto id = static_cast<graph::NodeId>(i);
+    all_nodes_.push_back(id);
+    buckets_[static_cast<int>(epdg.NodeAt(id).type)].push_back(id);
+  }
+  const Epdg::Graph& g = epdg.graph();
+  for (size_t i = 0; i < g.EdgeCount(); ++i) {
+    const auto& edge = g.GetEdge(static_cast<graph::EdgeId>(i));
+    int etype = static_cast<int>(edge.data);
+    signatures_[edge.source].AddEdge(
+        /*dir=*/0, etype, static_cast<int>(epdg.NodeAt(edge.target).type));
+    signatures_[edge.target].AddEdge(
+        /*dir=*/1, etype, static_cast<int>(epdg.NodeAt(edge.source).type));
+  }
+}
+
+}  // namespace jfeed::pdg

@@ -1,0 +1,87 @@
+#ifndef JFEED_PDG_MATCH_INDEX_H_
+#define JFEED_PDG_MATCH_INDEX_H_
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "pdg/epdg.h"
+
+namespace jfeed::pdg {
+
+/// Degree signature of one node: how many incident edges it has per
+/// (direction, edge type), and per (direction, edge type, neighbor node
+/// type). The matcher prunes a candidate graph node v for pattern node u
+/// unless sig(v) covers sig(u) component-wise — a *necessary* condition for
+/// v to appear in any full embedding (Definition 7 maps u's incident
+/// pattern edges to distinct graph edges of the same direction and type,
+/// and typed pattern endpoints to type-compatible neighbors), so pruning on
+/// it never removes a real embedding.
+struct DegreeSignature {
+  static constexpr int kDirections = 2;  ///< 0 = out, 1 = in.
+  static constexpr int kEdgeTypes = 2;   ///< EdgeType cast to int.
+  static constexpr int kNodeTypes = 6;   ///< NodeType cast to int.
+
+  /// total[dir][etype]: incident edge count regardless of neighbor type.
+  uint16_t total[kDirections][kEdgeTypes] = {};
+  /// typed[dir][etype][ntype]: incident edges whose neighbor has `ntype`.
+  /// On the pattern side only *typed* endpoints contribute (an untyped
+  /// endpoint constrains `total` alone).
+  uint16_t typed[kDirections][kEdgeTypes][kNodeTypes] = {};
+
+  void AddEdge(int dir, int etype, int neighbor_type) {
+    ++total[dir][etype];
+    if (neighbor_type >= 0) ++typed[dir][etype][neighbor_type];
+  }
+
+  /// True when this signature has at least as many edges as `need` in every
+  /// component — i.e. a node with this signature *could* host `need`.
+  bool Covers(const DegreeSignature& need) const {
+    for (int d = 0; d < kDirections; ++d) {
+      for (int e = 0; e < kEdgeTypes; ++e) {
+        if (total[d][e] < need.total[d][e]) return false;
+        for (int t = 0; t < kNodeTypes; ++t) {
+          if (typed[d][e][t] < need.typed[d][e][t]) return false;
+        }
+      }
+    }
+    return true;
+  }
+};
+
+/// Immutable per-EPDG acceleration structure for Algorithm 1, built once
+/// per graph and shared across every pattern, variant, and method-candidate
+/// evaluation of a submission (Sec. IV: "the performance depends on the
+/// size of the search space and the processing order of the pattern
+/// nodes"). It replaces the per-pattern O(|P|·|G|) type scan with bucket
+/// lookups and funds signature pruning of candidates before backtracking.
+class MatchIndex {
+ public:
+  MatchIndex() = default;
+  explicit MatchIndex(const Epdg& epdg);
+
+  /// Graph nodes of `type`, ascending id (the same order the legacy type
+  /// scan produced, which keeps engines' search order aligned).
+  const std::vector<graph::NodeId>& Bucket(NodeType type) const {
+    return buckets_[static_cast<int>(type)];
+  }
+  /// All graph nodes, ascending id — the candidate set of untyped pattern
+  /// nodes.
+  const std::vector<graph::NodeId>& AllNodes() const { return all_nodes_; }
+
+  const DegreeSignature& Signature(graph::NodeId id) const {
+    return signatures_[id];
+  }
+
+  size_t NodeCount() const { return all_nodes_.size(); }
+
+ private:
+  std::array<std::vector<graph::NodeId>, DegreeSignature::kNodeTypes>
+      buckets_;
+  std::vector<graph::NodeId> all_nodes_;
+  std::vector<DegreeSignature> signatures_;
+};
+
+}  // namespace jfeed::pdg
+
+#endif  // JFEED_PDG_MATCH_INDEX_H_

@@ -409,6 +409,10 @@ std::string OutcomeToJson(const GradingOutcome& outcome) {
   out += outcome.feedback.matched ? "true" : "false";
   field("score");
   out += std::to_string(outcome.feedback.score);
+  field("match_steps");
+  out += std::to_string(outcome.feedback.match_stats.steps);
+  field("match_regex_checks");
+  out += std::to_string(outcome.feedback.match_stats.regex_checks);
   field("comments");
   out += "[";
   for (size_t i = 0; i < outcome.feedback.comments.size(); ++i) {

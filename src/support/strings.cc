@@ -61,14 +61,18 @@ std::string ReplaceAll(std::string_view text, std::string_view from,
 }
 
 std::string RegexEscape(std::string_view text) {
-  static constexpr std::string_view kMeta = R"(\^$.|?*+()[]{})";
   std::string out;
   out.reserve(text.size());
-  for (char c : text) {
-    if (kMeta.find(c) != std::string_view::npos) out.push_back('\\');
-    out.push_back(c);
-  }
+  RegexEscapeAppend(text, &out);
   return out;
+}
+
+void RegexEscapeAppend(std::string_view text, std::string* out) {
+  static constexpr std::string_view kMeta = R"(\^$.|?*+()[]{})";
+  for (char c : text) {
+    if (kMeta.find(c) != std::string_view::npos) out->push_back('\\');
+    out->push_back(c);
+  }
 }
 
 bool IsIdentStart(char c) {

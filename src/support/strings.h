@@ -27,6 +27,10 @@ std::string ReplaceAll(std::string_view text, std::string_view from,
 /// Escapes regex metacharacters so `text` matches literally inside a regex.
 std::string RegexEscape(std::string_view text);
 
+/// Appends the escaped form of `text` to `*out` without allocating a
+/// temporary (matcher hot path).
+void RegexEscapeAppend(std::string_view text, std::string* out);
+
 /// True when `c` can start a Java identifier.
 bool IsIdentStart(char c);
 /// True when `c` can continue a Java identifier.

@@ -2,8 +2,14 @@
 
 #include <gtest/gtest.h>
 
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
 #include "javalang/parser.h"
 #include "pdg/epdg.h"
+#include "pdg/match_index.h"
 #include "tests/core/paper_patterns.h"
 
 namespace jfeed::core {
@@ -253,6 +259,193 @@ TEST(PatternMatcherTest, StatsAreAccumulated) {
   EXPECT_GT(stats.steps, 0);
   EXPECT_GT(stats.regex_checks, 0);
   EXPECT_FALSE(stats.truncated);
+}
+
+// ---------------------------------------------------------------------------
+// Engine equivalence and the indexed-engine additions.
+
+/// Serializes canonical embeddings byte-for-byte (ι, γ, incorrect marks, in
+/// discovery order) so equivalence tests can require exact equality.
+std::string Describe(const std::vector<Embedding>& ms) {
+  std::string out;
+  for (const auto& m : ms) {
+    out += "m{";
+    for (const auto& [u, v] : m.iota) {
+      out += std::to_string(u) + "->" + std::to_string(v) + ",";
+    }
+    out += "|";
+    for (const auto& [pv, sv] : m.gamma) out += pv + "=" + sv + ",";
+    out += "|";
+    for (int u : m.incorrect_nodes) out += std::to_string(u) + ",";
+    out += "}\n";
+  }
+  return out;
+}
+
+std::vector<Pattern> AllTestPatterns() {
+  return {testutil::OddPositionsPattern(), testutil::CondAccumAddPattern(),
+          testutil::AssignPrintPattern()};
+}
+
+TEST(MatchEngineTest, EnginesProduceIdenticalCanonicalEmbeddings) {
+  for (const char* source : {kFigure2a, kFigure2b}) {
+    pdg::Epdg g = BuildFrom(source);
+    for (const Pattern& p : AllTestPatterns()) {
+      MatchOptions legacy;
+      legacy.engine = MatchEngine::kLegacy;
+      MatchOptions indexed;
+      indexed.engine = MatchEngine::kIndexed;
+      EXPECT_EQ(Describe(MatchPattern(p, g, legacy)),
+                Describe(MatchPattern(p, g, indexed)))
+          << p.id;
+    }
+  }
+}
+
+TEST(MatchEngineTest, SharedIndexOverloadMatchesThrowawayIndex) {
+  pdg::Epdg g = BuildFrom(kFigure2a);
+  pdg::MatchIndex index(g);
+  for (const Pattern& p : AllTestPatterns()) {
+    EXPECT_EQ(Describe(MatchPattern(p, g)),
+              Describe(MatchPattern(p, g, index)))
+        << p.id;
+  }
+}
+
+TEST(MatchEngineTest, SignaturePruningReportsAndPreservesResults) {
+  pdg::Epdg g = BuildFrom(kFigure2a);
+  Pattern p = testutil::OddPositionsPattern();
+  MatchOptions legacy;
+  legacy.engine = MatchEngine::kLegacy;
+  MatchStats legacy_stats;
+  auto legacy_ms = MatchPattern(p, g, legacy, &legacy_stats);
+  MatchStats indexed_stats;
+  auto indexed_ms = MatchPattern(p, g, {}, &indexed_stats);
+  EXPECT_EQ(Describe(legacy_ms), Describe(indexed_ms));
+  // The connected pattern prunes at least one candidate, and every pruned
+  // candidate is a step the backtracker never pays for.
+  EXPECT_GT(indexed_stats.candidates_pruned, 0);
+  EXPECT_LT(indexed_stats.steps, legacy_stats.steps);
+}
+
+TEST(MatchEngineTest, BindingIndependentTemplateChecksAreMemoized) {
+  // Two variable-free nodes over a graph with repeated matching statements:
+  // the same (pattern node, graph node) template check recurs under
+  // different partial embeddings and must hit the memo.
+  auto built = PatternBuilder("const-pair", "two literal prints")
+                   .Node(PatternNodeType::kCall, "System\\.out\\.println")
+                   .Node(PatternNodeType::kCall, "System\\.out\\.println")
+                   .Build();
+  ASSERT_TRUE(built.ok());
+  pdg::Epdg g = BuildFrom(
+      "void f() { System.out.println(1); System.out.println(2); "
+      "System.out.println(3); }");
+  MatchStats indexed_stats;
+  auto indexed_ms = MatchPattern(*built, g, {}, &indexed_stats);
+  MatchOptions legacy;
+  legacy.engine = MatchEngine::kLegacy;
+  MatchStats legacy_stats;
+  auto legacy_ms = MatchPattern(*built, g, legacy, &legacy_stats);
+  EXPECT_EQ(Describe(legacy_ms), Describe(indexed_ms));
+  EXPECT_GT(indexed_stats.memo_hits, 0);
+  EXPECT_LT(indexed_stats.regex_checks, legacy_stats.regex_checks);
+}
+
+// ---------------------------------------------------------------------------
+// Truncation paths: both limits set MatchStats::truncated and the truncated
+// result is still canonical (no two embeddings share an ι).
+
+void ExpectCanonical(const std::vector<Embedding>& ms) {
+  std::set<std::string> iotas;
+  for (const auto& m : ms) {
+    std::string key;
+    for (const auto& [u, v] : m.iota) {
+      key += std::to_string(u) + "->" + std::to_string(v) + ",";
+    }
+    EXPECT_TRUE(iotas.insert(key).second)
+        << "duplicate iota in canonical result: " << key;
+  }
+}
+
+class TruncationTest : public ::testing::TestWithParam<MatchEngine> {};
+
+TEST_P(TruncationTest, MaxStepsSetsTruncatedAndStaysCanonical) {
+  pdg::Epdg g = BuildFrom(kFigure2a);
+  Pattern p = testutil::AssignPrintPattern();
+  MatchOptions options;
+  options.engine = GetParam();
+  options.max_steps = 4;
+  MatchStats stats;
+  auto ms = MatchPattern(p, g, options, &stats);
+  EXPECT_TRUE(stats.truncated);
+  ExpectCanonical(ms);
+}
+
+TEST_P(TruncationTest, MaxEmbeddingsSetsTruncatedAndStaysCanonical) {
+  auto built = PatternBuilder("any", "anything")
+                   .Node(PatternNodeType::kUntyped, "")
+                   .Build();
+  ASSERT_TRUE(built.ok());
+  pdg::Epdg g = BuildFrom(kFigure2a);
+  MatchOptions options;
+  options.engine = GetParam();
+  options.max_embeddings = 3;
+  MatchStats stats;
+  auto ms = MatchPattern(*built, g, options, &stats);
+  EXPECT_EQ(ms.size(), 3u);
+  EXPECT_TRUE(stats.truncated);
+  ExpectCanonical(ms);
+}
+
+TEST_P(TruncationTest, UntruncatedRunLeavesFlagClear) {
+  pdg::Epdg g = BuildFrom(kFigure2b);
+  Pattern p = testutil::OddPositionsPattern();
+  MatchOptions options;
+  options.engine = GetParam();
+  MatchStats stats;
+  auto ms = MatchPattern(p, g, options, &stats);
+  EXPECT_FALSE(stats.truncated);
+  EXPECT_EQ(ms.size(), 1u);
+}
+
+INSTANTIATE_TEST_SUITE_P(BothEngines, TruncationTest,
+                         ::testing::Values(MatchEngine::kIndexed,
+                                           MatchEngine::kLegacy),
+                         [](const auto& info) {
+                           return info.param == MatchEngine::kIndexed
+                                      ? "Indexed"
+                                      : "Legacy";
+                         });
+
+// ---------------------------------------------------------------------------
+// Ordering heuristic on/off: the canonical embedding *set* is the same
+// either way (order of discovery may differ, the collapsed set may not).
+
+TEST(MatchEngineTest, OrderingHeuristicDoesNotChangeCanonicalSet) {
+  for (const char* source : {kFigure2a, kFigure2b}) {
+    pdg::Epdg g = BuildFrom(source);
+    for (MatchEngine engine : {MatchEngine::kIndexed, MatchEngine::kLegacy}) {
+      for (const Pattern& p : AllTestPatterns()) {
+        MatchOptions with;
+        with.engine = engine;
+        with.use_ordering_heuristic = true;
+        MatchOptions without = with;
+        without.use_ordering_heuristic = false;
+        auto set_of = [](std::vector<Embedding> ms) {
+          std::set<std::string> out;
+          for (auto& m : ms) {
+            std::vector<Embedding> one;
+            one.push_back(std::move(m));
+            out.insert(Describe(one));
+          }
+          return out;
+        };
+        EXPECT_EQ(set_of(MatchPattern(p, g, with)),
+                  set_of(MatchPattern(p, g, without)))
+            << p.id;
+      }
+    }
+  }
 }
 
 // Property sweep: every returned embedding satisfies Definition 7 — type

@@ -1,0 +1,135 @@
+// The PR's equivalence gate: the indexed match engine must produce
+// byte-identical canonical embeddings and feedback to the legacy
+// backtracker across the full synthetic corpus (every assignment in the
+// knowledge base). The legacy engine is the pre-index matcher kept as the
+// reference implementation, so any divergence here means the index pruning
+// or the allocation-free search changed observable semantics.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "core/pattern_matcher.h"
+#include "core/submission_matcher.h"
+#include "javalang/parser.h"
+#include "kb/assignments.h"
+#include "pdg/epdg.h"
+#include "pdg/match_index.h"
+#include "synth/generator.h"
+
+namespace jfeed {
+namespace {
+
+constexpr uint64_t kSamplesPerAssignment = 10;
+
+std::string DescribeEmbeddings(const std::vector<core::Embedding>& ms) {
+  std::string out;
+  for (const auto& m : ms) {
+    out += "m{";
+    for (const auto& [u, v] : m.iota) {
+      out += std::to_string(u) + "->" + std::to_string(v) + ",";
+    }
+    out += "|";
+    for (const auto& [pv, sv] : m.gamma) out += pv + "=" + sv + ",";
+    out += "|";
+    for (int u : m.incorrect_nodes) out += std::to_string(u) + ",";
+    out += "}\n";
+  }
+  return out;
+}
+
+std::string DescribeFeedback(const core::SubmissionFeedback& f) {
+  std::string out = f.matched ? "matched " : "unmatched ";
+  out += std::to_string(f.score) + "\n";
+  for (const auto& [q, h] : f.method_assignment) out += q + "=" + h + "\n";
+  for (const auto& c : f.comments) {
+    out += c.source_id + "|" + c.method + "|" +
+           std::to_string(static_cast<int>(c.kind)) + "|" + c.message + "\n";
+    for (const auto& d : c.details) out += "  " + d + "\n";
+  }
+  return out;
+}
+
+class EngineEquivalenceTest : public ::testing::TestWithParam<const char*> {
+ protected:
+  const kb::Assignment& assignment() const {
+    return kb::KnowledgeBase::Get().assignment(GetParam());
+  }
+};
+
+TEST_P(EngineEquivalenceTest, FeedbackIsByteIdenticalAcrossCorpus) {
+  const auto& a = assignment();
+  core::SubmissionMatchOptions legacy;
+  legacy.match.engine = core::MatchEngine::kLegacy;
+  core::SubmissionMatchOptions indexed;
+  indexed.match.engine = core::MatchEngine::kIndexed;
+
+  auto indexes =
+      synth::SampleIndexes(a.generator.SpaceSize(), kSamplesPerAssignment);
+  for (uint64_t index : indexes) {
+    std::string source = a.generator.Generate(index);
+    auto legacy_fb = core::MatchSubmissionSource(a.spec, source, legacy);
+    auto indexed_fb = core::MatchSubmissionSource(a.spec, source, indexed);
+    ASSERT_TRUE(legacy_fb.ok()) << a.id << " index " << index;
+    ASSERT_TRUE(indexed_fb.ok()) << a.id << " index " << index;
+    EXPECT_EQ(DescribeFeedback(*legacy_fb), DescribeFeedback(*indexed_fb))
+        << a.id << " index " << index;
+    // The engines may count steps differently (that is the point), but
+    // both totals must be populated.
+    EXPECT_GT(indexed_fb->match_stats.steps, 0) << a.id;
+    EXPECT_GT(legacy_fb->match_stats.steps, 0) << a.id;
+    EXPECT_LE(indexed_fb->match_stats.steps, legacy_fb->match_stats.steps)
+        << a.id << " index " << index
+        << ": pruning must never add backtracking steps";
+  }
+}
+
+TEST_P(EngineEquivalenceTest, PerPatternEmbeddingsAreByteIdentical) {
+  const auto& a = assignment();
+  auto indexes =
+      synth::SampleIndexes(a.generator.SpaceSize(), kSamplesPerAssignment);
+  for (uint64_t index : indexes) {
+    auto unit = java::Parse(a.generator.Generate(index));
+    ASSERT_TRUE(unit.ok());
+    auto graphs = pdg::BuildAllEpdgs(*unit);
+    ASSERT_TRUE(graphs.ok());
+    for (const auto& g : *graphs) {
+      pdg::MatchIndex match_index(g);
+      for (const auto& method : a.spec.methods) {
+        for (const auto& use : method.patterns) {
+          if (use.pattern == nullptr) continue;
+          core::MatchOptions legacy;
+          legacy.engine = core::MatchEngine::kLegacy;
+          auto legacy_ms = core::MatchPattern(*use.pattern, g, legacy);
+          auto indexed_ms =
+              core::MatchPattern(*use.pattern, g, match_index, {});
+          EXPECT_EQ(DescribeEmbeddings(legacy_ms),
+                    DescribeEmbeddings(indexed_ms))
+              << a.id << " index " << index << " pattern "
+              << use.pattern->id << " method " << g.method_name();
+        }
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllAssignments, EngineEquivalenceTest,
+    ::testing::ValuesIn([]() {
+      std::vector<const char*> ids;
+      for (const auto& id : kb::KnowledgeBase::Get().assignment_ids()) {
+        ids.push_back(id.c_str());
+      }
+      return ids;
+    }()),
+    [](const ::testing::TestParamInfo<const char*>& info) {
+      std::string name = info.param;
+      for (char& c : name) {
+        if (!isalnum(static_cast<unsigned char>(c))) c = '_';
+      }
+      return name;
+    });
+
+}  // namespace
+}  // namespace jfeed

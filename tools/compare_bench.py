@@ -1,0 +1,77 @@
+#!/usr/bin/env python3
+"""CI regression gate for the match engine's deterministic step counts.
+
+Compares a freshly generated BENCH_matching.json against the checked-in
+baseline and fails (exit 1) when the indexed engine's backtracking work
+regressed by more than the threshold. Only deterministic counters are
+compared — wall times depend on the runner and are ignored.
+
+Usage: compare_bench.py BASELINE CURRENT [--threshold 0.10]
+"""
+
+import argparse
+import json
+import sys
+
+
+def load(path):
+    with open(path) as f:
+        data = json.load(f)
+    if data.get("schema") != "jfeed-bench-matching-v1":
+        sys.exit(f"{path}: unexpected schema {data.get('schema')!r}")
+    return data
+
+
+def main():
+    parser = argparse.ArgumentParser()
+    parser.add_argument("baseline")
+    parser.add_argument("current")
+    parser.add_argument("--threshold", type=float, default=0.10,
+                        help="allowed fractional step regression (default 0.10)")
+    args = parser.parse_args()
+
+    baseline = load(args.baseline)
+    current = load(args.current)
+
+    if not current.get("equivalent", False):
+        sys.exit("FAIL: current run reports engine inequivalence")
+
+    failures = []
+
+    def check(label, base_steps, cur_steps):
+        limit = base_steps * (1.0 + args.threshold)
+        status = "ok"
+        if cur_steps > limit:
+            status = f"REGRESSION (limit {limit:.0f})"
+            failures.append(label)
+        print(f"{label:40s} baseline {base_steps:8d}  current {cur_steps:8d}  {status}")
+
+    check("totals.indexed_steps",
+          baseline["totals"]["indexed_steps"],
+          current["totals"]["indexed_steps"])
+    check("ablation.indexed_steps",
+          baseline["ablation"]["indexed_steps"],
+          current["ablation"]["indexed_steps"])
+
+    base_by_id = {a["id"]: a for a in baseline["assignments"]}
+    for a in current["assignments"]:
+        b = base_by_id.get(a["id"])
+        if b is None:
+            print(f"{a['id']:40s} new assignment, no baseline — skipped")
+            continue
+        check(f"assignment {a['id']}",
+              b["indexed"]["steps"], a["indexed"]["steps"])
+
+    if failures:
+        print(f"\nFAIL: step regression beyond {args.threshold:.0%} in: "
+              + ", ".join(failures))
+        print("If the regression is intended (pattern/KB change), regenerate "
+              "bench/baselines/BENCH_matching.json and commit it.")
+        return 1
+    print("\nOK: no step regressions beyond "
+          f"{args.threshold:.0%} of baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

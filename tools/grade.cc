@@ -69,7 +69,8 @@ int ListAssignments() {
 int Usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s <assignment-id> [file.java] [--timeout-ms N] "
-               "[--max-heap-bytes N] [--json]\n"
+               "[--max-heap-bytes N] [--json] "
+               "[--match-engine=indexed|legacy]\n"
                "       %s <assignment-id> --batch [file.ndjson] [--jobs N] "
                "[--queue N] [--no-cache]\n"
                "       %s <assignment-id> --reference\n"
@@ -190,6 +191,16 @@ int main(int argc, char** argv) {
       batch = true;
     } else if (std::strcmp(arg, "--no-cache") == 0) {
       scheduler_options.use_result_cache = false;
+    } else if (std::strncmp(arg, "--match-engine=", 15) == 0) {
+      const char* engine = arg + 15;
+      if (std::strcmp(engine, "legacy") == 0) {
+        options.match.match.engine = jfeed::core::MatchEngine::kLegacy;
+      } else if (std::strcmp(engine, "indexed") == 0) {
+        options.match.match.engine = jfeed::core::MatchEngine::kIndexed;
+      } else {
+        std::fprintf(stderr, "bad value for --match-engine: '%s'\n", engine);
+        return 2;
+      }
     } else if (std::strcmp(arg, "--timeout-ms") == 0 ||
                std::strcmp(arg, "--max-heap-bytes") == 0 ||
                std::strcmp(arg, "--jobs") == 0 ||
