@@ -29,6 +29,7 @@
 #include "core/submission_matcher.h"
 #include "javalang/parser.h"
 #include "kb/assignments.h"
+#include "obs/trace.h"
 #include "pdg/epdg.h"
 #include "pdg/match_index.h"
 
@@ -389,12 +390,15 @@ BENCHMARK(BM_VariableCombinations)->DenseRange(1, 5);
 
 int main(int argc, char** argv) {
   std::string json_path;
+  std::string trace_path;
   bool skip_microbench = false;
   std::vector<char*> bench_args;
   bench_args.push_back(argv[0]);
   for (int i = 1; i < argc; ++i) {
     if (std::strncmp(argv[i], "--json=", 7) == 0) {
       json_path = argv[i] + 7;
+    } else if (std::strncmp(argv[i], "--trace-out=", 12) == 0) {
+      trace_path = argv[i] + 12;
     } else if (std::strcmp(argv[i], "--skip-microbench") == 0) {
       skip_microbench = true;
     } else {
@@ -402,7 +406,21 @@ int main(int argc, char** argv) {
     }
   }
 
+  // Tracing covers the engine report (the corpus sweep both engines run),
+  // giving a per-submission span breakdown to open in Perfetto.
+  if (!trace_path.empty()) jfeed::obs::Tracer::Global().Enable();
   EngineReport report = RunEngineReport();
+  if (!trace_path.empty()) {
+    jfeed::obs::Tracer::Global().Disable();
+    std::FILE* f = std::fopen(trace_path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", trace_path.c_str());
+      return 1;
+    }
+    std::fputs(jfeed::obs::Tracer::Global().ExportChromeJson().c_str(), f);
+    std::fclose(f);
+    std::printf("wrote %s\n", trace_path.c_str());
+  }
   if (!json_path.empty() && !WriteJson(json_path, report)) return 1;
   if (!report.equivalent) return 1;
 

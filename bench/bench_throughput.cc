@@ -26,6 +26,8 @@
 #include <vector>
 
 #include "kb/assignments.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "sched/scheduler.h"
 #include "service/pipeline.h"
 #include "synth/generator.h"
@@ -83,6 +85,8 @@ int main(int argc, char** argv) {
   size_t distinct = 200;
   std::string assignment_id = "assignment1";
   std::string json_path;
+  std::string metrics_path;
+  std::string trace_path;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--submissions") == 0 && i + 1 < argc) {
       total = std::strtoull(argv[++i], nullptr, 10);
@@ -92,10 +96,15 @@ int main(int argc, char** argv) {
       assignment_id = argv[++i];
     } else if (std::strncmp(argv[i], "--json=", 7) == 0) {
       json_path = argv[i] + 7;
+    } else if (std::strncmp(argv[i], "--metrics-out=", 14) == 0) {
+      metrics_path = argv[i] + 14;
+    } else if (std::strncmp(argv[i], "--trace-out=", 12) == 0) {
+      trace_path = argv[i] + 12;
     } else {
       std::fprintf(stderr,
                    "usage: %s [--submissions N] [--distinct N] "
-                   "[--assignment id] [--json=PATH]\n",
+                   "[--assignment id] [--json=PATH] [--metrics-out=PATH] "
+                   "[--trace-out=PATH]\n",
                    argv[0]);
       return 1;
     }
@@ -171,6 +180,60 @@ int main(int argc, char** argv) {
       }
     }
   }
+  // Observability overhead: the obs layer's acceptance bar is <5% wall time
+  // with tracing AND metrics enabled versus a disabled registry. Both runs
+  // use the contended configuration (jobs=4, cache off) so every submission
+  // pays for the fully instrumented pipeline; with JFEED_OBS=OFF the stubs
+  // make the instrumented run identical to the baseline.
+  double obs_baseline_s = 0.0;
+  double obs_instrumented_s = 0.0;
+  {
+    auto timed_run = [&assignment, &corpus] {
+      jfeed::sched::SchedulerOptions sopts;
+      sopts.jobs = 4;
+      sopts.use_result_cache = false;
+      jfeed::sched::BatchScheduler scheduler(assignment, {}, sopts);
+      jfeed::sched::BatchStats stats;
+      Clock::time_point t0 = Clock::now();
+      scheduler.GradeBatchWithStats(corpus, &stats);
+      return SecondsSince(t0);
+    };
+    obs_baseline_s = timed_run();
+    jfeed::obs::Registry::Global().set_enabled(true);
+    jfeed::obs::Tracer::Global().Enable();
+    obs_instrumented_s = timed_run();
+    double overhead_pct =
+        obs_baseline_s > 0
+            ? 100.0 * (obs_instrumented_s - obs_baseline_s) / obs_baseline_s
+            : 0.0;
+    std::printf(
+        "\nobservability overhead (jobs=4, cache off): baseline %.3fs, "
+        "tracing+metrics %.3fs, %+.1f%%\n",
+        obs_baseline_s, obs_instrumented_s, overhead_pct);
+  }
+  if (!metrics_path.empty()) {
+    std::FILE* f = std::fopen(metrics_path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", metrics_path.c_str());
+      return 1;
+    }
+    std::fputs(jfeed::obs::Registry::Global().Render().c_str(), f);
+    std::fclose(f);
+    std::printf("wrote %s\n", metrics_path.c_str());
+  }
+  if (!trace_path.empty()) {
+    std::FILE* f = std::fopen(trace_path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", trace_path.c_str());
+      return 1;
+    }
+    std::fputs(jfeed::obs::Tracer::Global().ExportChromeJson().c_str(), f);
+    std::fclose(f);
+    std::printf("wrote %s\n", trace_path.c_str());
+  }
+  jfeed::obs::Tracer::Global().Disable();
+  jfeed::obs::Registry::Global().set_enabled(false);
+
   if (!json_path.empty()) {
     // Wall-clock rates vary with the runner; the JSON is an artifact for
     // tracking trends, not a CI gate.
@@ -180,6 +243,13 @@ int main(int argc, char** argv) {
     out += "  \"distinct\": " +
            std::to_string(std::min(distinct, corpus.size())) + ",\n";
     out += "  \"hardware_threads\": " + std::to_string(hw) + ",\n";
+    double overhead_pct =
+        obs_baseline_s > 0
+            ? 100.0 * (obs_instrumented_s - obs_baseline_s) / obs_baseline_s
+            : 0.0;
+    out += "  \"obs\": {\"baseline_s\": " + std::to_string(obs_baseline_s) +
+           ", \"instrumented_s\": " + std::to_string(obs_instrumented_s) +
+           ", \"overhead_pct\": " + std::to_string(overhead_pct) + "},\n";
     out += "  \"rows\": [\n" + json_rows + "\n  ]\n}\n";
     std::FILE* f = std::fopen(json_path.c_str(), "w");
     if (f == nullptr) {

@@ -5,6 +5,8 @@
 #include <set>
 
 #include "javalang/parser.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "pdg/epdg.h"
 #include "support/fault.h"
 
@@ -152,6 +154,7 @@ Result<SubmissionFeedback> MatchSubmission(
   // scan and signature data are graph properties, not pattern properties.
   std::vector<pdg::MatchIndex> indexes;
   if (options.match.engine == MatchEngine::kIndexed) {
+    obs::Span index_span("match.index");
     indexes.reserve(graphs.size());
     for (const auto& g : graphs) indexes.emplace_back(g);
   }
@@ -297,6 +300,31 @@ Result<SubmissionFeedback> MatchSubmission(
     }
   }
   best.match_stats = total_stats;
+
+  // Aggregate Algorithm-1 cost of this submission, as distributions: step
+  // and regex-check counts are the deterministic cost model the bench
+  // regression gate tracks; prune/memo counters quantify how much work the
+  // index saved; truncation marks adversarial graphs that hit a limit.
+  auto& registry = obs::Registry::Global();
+  static obs::Histogram* steps_hist = registry.GetHistogram(
+      "jfeed_match_steps", "Algorithm-1 backtracking steps per submission");
+  static obs::Histogram* regex_hist = registry.GetHistogram(
+      "jfeed_match_regex_checks",
+      "Variable-combination template checks per submission");
+  static obs::Counter* pruned_total = registry.GetCounter(
+      "jfeed_match_candidates_pruned_total",
+      "Candidates dropped by degree-signature pruning");
+  static obs::Counter* memo_total = registry.GetCounter(
+      "jfeed_match_memo_hits_total",
+      "Template checks answered by the binding-independent memo");
+  static obs::Counter* truncated_total = registry.GetCounter(
+      "jfeed_match_truncated_total",
+      "Submissions whose pattern search stopped at a step/embedding limit");
+  steps_hist->Record(total_stats.steps);
+  regex_hist->Record(total_stats.regex_checks);
+  pruned_total->Increment(total_stats.candidates_pruned);
+  memo_total->Increment(total_stats.memo_hits);
+  if (total_stats.truncated) truncated_total->Increment();
   return best;
 }
 

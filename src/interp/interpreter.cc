@@ -5,6 +5,8 @@
 #include <sstream>
 
 #include "javalang/printer.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "support/fault.h"
 
 namespace jfeed::interp {
@@ -56,9 +58,11 @@ class Exec {
     }
     JFEED_ASSIGN_OR_RETURN(Value ret, CallUser(method_name, args));
     ExecResult result;
+    result.output_bytes = static_cast<int64_t>(out_.size());
     result.stdout_text = std::move(out_);
     result.return_value = std::move(ret);
     result.steps = steps_;
+    result.heap_bytes = heap_bytes_;
     return result;
   }
 
@@ -873,8 +877,54 @@ class Exec {
 Result<ExecResult> Interpreter::Call(const std::string& method_name,
                                      const std::vector<Value>& args,
                                      const ExecOptions& options) {
+  obs::Span span("interp.call");
   Exec exec(unit_, files_, options);
-  return exec.Run(method_name, args);
+  auto result = exec.Run(method_name, args);
+
+  // Per-call observability: one counter per outcome class plus step/heap/
+  // output distributions for successful runs. Handles resolve once; every
+  // call after that is a thread-local shard update (no-op until a metrics
+  // sink enables the registry).
+  auto& registry = obs::Registry::Global();
+  static obs::Counter* calls_ok = registry.GetCounter(
+      "jfeed_interp_calls_total", "Interpreter Call() invocations by outcome",
+      {{"result", "ok"}});
+  static obs::Counter* calls_timeout = registry.GetCounter(
+      "jfeed_interp_calls_total", "Interpreter Call() invocations by outcome",
+      {{"result", "timeout"}});
+  static obs::Counter* calls_exhausted = registry.GetCounter(
+      "jfeed_interp_calls_total", "Interpreter Call() invocations by outcome",
+      {{"result", "resource_exhausted"}});
+  static obs::Counter* calls_error = registry.GetCounter(
+      "jfeed_interp_calls_total", "Interpreter Call() invocations by outcome",
+      {{"result", "error"}});
+  static obs::Counter* steps_total = registry.GetCounter(
+      "jfeed_interp_steps_total",
+      "Interpreter steps consumed by successful calls");
+  static obs::Histogram* steps_hist = registry.GetHistogram(
+      "jfeed_interp_steps", "Steps per successful interpreter call");
+  static obs::Histogram* heap_hist = registry.GetHistogram(
+      "jfeed_interp_heap_bytes",
+      "Heap bytes charged per successful interpreter call");
+  static obs::Histogram* output_hist = registry.GetHistogram(
+      "jfeed_interp_output_bytes",
+      "Stdout bytes produced per successful interpreter call");
+  if (result.ok()) {
+    calls_ok->Increment();
+    steps_total->Increment(result->steps);
+    steps_hist->Record(result->steps);
+    heap_hist->Record(result->heap_bytes);
+    output_hist->Record(result->output_bytes);
+  } else {
+    switch (result.status().code()) {
+      case StatusCode::kTimeout: calls_timeout->Increment(); break;
+      case StatusCode::kResourceExhausted:
+        calls_exhausted->Increment();
+        break;
+      default: calls_error->Increment(); break;
+    }
+  }
+  return result;
 }
 
 }  // namespace jfeed::interp

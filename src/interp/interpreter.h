@@ -55,6 +55,12 @@ struct ExecResult {
   std::string stdout_text;  ///< Everything printed via System.out.
   Value return_value;       ///< Value::Null() for void methods.
   int64_t steps = 0;        ///< Steps consumed (for trace-cost accounting).
+  /// Heap bytes charged over the run (cumulative allocation budget spend,
+  /// the same number ChargeHeap guards) — surfaced for observability.
+  int64_t heap_bytes = 0;
+  /// Bytes printed via System.out (== stdout_text.size(), precomputed so
+  /// monitoring does not depend on the caller keeping the text around).
+  int64_t output_bytes = 0;
 };
 
 /// A tree-walking interpreter for the Java subset. One instance wraps one

@@ -3,6 +3,8 @@
 #include <utility>
 
 #include "javalang/lexer.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "support/fault.h"
 
 namespace jfeed::java {
@@ -778,8 +780,15 @@ class Parser {
 
 Result<CompilationUnit> Parse(std::string_view source) {
   JFEED_FAULT_POINT(fault::points::kParser);
-  JFEED_ASSIGN_OR_RETURN(std::vector<Token> tokens, Lex(source));
-  return Parser(std::move(tokens)).ParseUnit();
+  obs::Span lex_span("lex");
+  auto tokens = Lex(source);
+  lex_span.End();
+  if (!tokens.ok()) return tokens.status();
+  static obs::Histogram* lex_tokens = obs::Registry::Global().GetHistogram(
+      "jfeed_lex_tokens", "Tokens produced per successfully lexed source");
+  lex_tokens->Record(static_cast<int64_t>(tokens->size()));
+  obs::Span parse_span("parse_unit");
+  return Parser(std::move(*tokens)).ParseUnit();
 }
 
 Result<ExprPtr> ParseExpression(std::string_view source) {

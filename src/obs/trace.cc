@@ -1,0 +1,200 @@
+#include "obs/trace.h"
+
+#ifndef JFEED_OBS_DISABLED
+
+#include <algorithm>
+#include <cstdio>
+
+namespace jfeed::obs {
+
+namespace {
+
+/// The thread's innermost live span — the implicit parent of the next Span
+/// constructed without an explicit one. Maintained by Span::Begin/End.
+thread_local const Span* g_current_span = nullptr;
+
+void AppendEscaped(const char* s, std::string* out) {
+  for (; *s != '\0'; ++s) {
+    char c = *s;
+    switch (c) {
+      case '"': *out += "\\\""; break;
+      case '\\': *out += "\\\\"; break;
+      case '\n': *out += "\\n"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          *out += buf;
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+}
+
+}  // namespace
+
+// --- Tracer -----------------------------------------------------------------
+
+Tracer::Tracer() : epoch_(std::chrono::steady_clock::now()) {}
+
+Tracer& Tracer::Global() {
+  // Leaked on purpose: thread_local ring handles are registered here and
+  // must never outlive the registry they fold into.
+  static Tracer* tracer = new Tracer();
+  return *tracer;
+}
+
+void Tracer::Enable(size_t ring_capacity) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ring_capacity_ = ring_capacity == 0 ? 1 : ring_capacity;
+  }
+  enabled_.store(true, std::memory_order_relaxed);
+}
+
+void Tracer::Disable() { enabled_.store(false, std::memory_order_relaxed); }
+
+void Tracer::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& ring : rings_) {
+    std::lock_guard<std::mutex> ring_lock(ring->mu);
+    ring->records.clear();
+    ring->next = 0;
+    ring->dropped = 0;
+  }
+}
+
+int64_t Tracer::NowNs() const {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now() - epoch_)
+      .count();
+}
+
+Tracer::Ring& Tracer::ThreadRing() {
+  thread_local std::shared_ptr<Ring> local;
+  if (local == nullptr) {
+    local = std::make_shared<Ring>();
+    local->tid = next_tid_.fetch_add(1, std::memory_order_relaxed);
+    std::lock_guard<std::mutex> lock(mu_);
+    local->capacity = ring_capacity_;
+    rings_.push_back(local);
+  }
+  return *local;
+}
+
+void Tracer::RecordSpan(SpanRecord record) {
+  Ring& ring = ThreadRing();
+  record.tid = ring.tid;
+  std::lock_guard<std::mutex> lock(ring.mu);
+  if (ring.records.size() < ring.capacity) {
+    ring.records.push_back(record);
+    return;
+  }
+  // Full: overwrite the oldest slot (the ring wrapped `next` times already).
+  ring.records[ring.next] = record;
+  ring.next = (ring.next + 1) % ring.capacity;
+  ++ring.dropped;
+}
+
+int64_t Tracer::DroppedCount() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  int64_t total = 0;
+  for (const auto& ring : rings_) {
+    std::lock_guard<std::mutex> ring_lock(ring->mu);
+    total += ring->dropped;
+  }
+  return total;
+}
+
+std::vector<SpanRecord> Tracer::Snapshot() const {
+  std::vector<SpanRecord> out;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& ring : rings_) {
+      std::lock_guard<std::mutex> ring_lock(ring->mu);
+      // Chronological per ring: the slots from `next` onward are the older
+      // half once the ring has wrapped.
+      for (size_t i = ring->next; i < ring->records.size(); ++i) {
+        out.push_back(ring->records[i]);
+      }
+      for (size_t i = 0; i < ring->next; ++i) {
+        out.push_back(ring->records[i]);
+      }
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const SpanRecord& a, const SpanRecord& b) {
+              return a.start_ns != b.start_ns ? a.start_ns < b.start_ns
+                                              : a.id < b.id;
+            });
+  return out;
+}
+
+std::string Tracer::ExportChromeJson() const {
+  std::vector<SpanRecord> records = Snapshot();
+  std::string out = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  char buf[64];
+  for (size_t i = 0; i < records.size(); ++i) {
+    const SpanRecord& r = records[i];
+    if (i > 0) out += ",";
+    out += "\n{\"ph\":\"X\",\"pid\":1,\"tid\":";
+    out += std::to_string(r.tid);
+    out += ",\"name\":\"";
+    AppendEscaped(r.name, &out);
+    // ts/dur in microseconds, the unit the trace_event format mandates.
+    std::snprintf(buf, sizeof(buf), "\",\"ts\":%.3f,\"dur\":%.3f",
+                  static_cast<double>(r.start_ns) / 1e3,
+                  static_cast<double>(r.end_ns - r.start_ns) / 1e3);
+    out += buf;
+    out += ",\"args\":{\"id\":";
+    out += std::to_string(r.id);
+    out += ",\"parent\":";
+    out += std::to_string(r.parent_id);
+    out += "}}";
+  }
+  out += "\n]}\n";
+  return out;
+}
+
+// --- Span -------------------------------------------------------------------
+
+void Span::Begin(const char* name, uint64_t parent_id) {
+  Tracer& tracer = Tracer::Global();
+  if (!tracer.enabled()) return;  // id_ stays 0: not recording.
+  name_ = name;
+  id_ = tracer.NextSpanId();
+  parent_id_ = parent_id;
+  start_ns_ = tracer.NowNs();
+  ended_ = false;
+  tracer.open_spans_.fetch_add(1, std::memory_order_relaxed);
+  prev_current_ = g_current_span;
+  g_current_span = this;
+}
+
+Span::Span(const char* name) {
+  Begin(name, g_current_span != nullptr ? g_current_span->id_ : 0);
+}
+
+Span::Span(const char* name, const Span& parent) { Begin(name, parent.id_); }
+
+void Span::End() {
+  if (ended_) return;
+  ended_ = true;
+  Tracer& tracer = Tracer::Global();
+  SpanRecord record;
+  record.name = name_;
+  record.id = id_;
+  record.parent_id = parent_id_;
+  record.start_ns = start_ns_;
+  record.end_ns = tracer.NowNs();
+  // Restore the implicit-parent chain even if an inner span was ended out
+  // of order (defensive; RAII nesting makes this the common case anyway).
+  if (g_current_span == this) g_current_span = prev_current_;
+  tracer.open_spans_.fetch_add(-1, std::memory_order_relaxed);
+  tracer.RecordSpan(record);
+}
+
+}  // namespace jfeed::obs
+
+#endif  // JFEED_OBS_DISABLED

@@ -1,0 +1,207 @@
+#ifndef JFEED_OBS_TRACE_H_
+#define JFEED_OBS_TRACE_H_
+
+// Structured tracing for the grading pipeline.
+//
+// A Span is an RAII scope: construction stamps a monotonic-clock start,
+// destruction (or End()) stamps the end and appends one fixed-size record
+// to the calling thread's ring buffer. Parents are explicit — pass the
+// parent Span to nest under it — or implicit: a Span constructed without a
+// parent nests under the thread's innermost live span, which is how a
+// `lex` span inside java::Parse lands under the pipeline's `parse` stage
+// span without the parser knowing about the pipeline.
+//
+// The tracer is runtime-gated: until Tracer::Enable() runs, constructing a
+// Span is one relaxed atomic load and nothing is recorded. Recording is
+// per-thread (one uncontended mutex per ring), so tracing a parallel batch
+// never serializes workers. ExportChromeJson() renders every recorded span
+// as Chrome trace_event complete events ("ph":"X") — the format Perfetto
+// and chrome://tracing open directly; same-thread nesting is shown by time
+// containment and cross-thread parentage is carried in args.parent.
+//
+// Span names must be string literals (or otherwise outlive the tracer):
+// records store the pointer, not a copy.
+//
+// Compiling with JFEED_OBS=OFF (-DJFEED_OBS_DISABLED) replaces the API
+// with inline no-op stubs.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#ifndef JFEED_OBS_DISABLED
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <mutex>
+#endif
+
+namespace jfeed::obs {
+
+/// One completed span, as stored in a thread ring and returned by
+/// Tracer::Snapshot(). Timestamps are nanoseconds since the tracer epoch.
+struct SpanRecord {
+  const char* name = "";
+  uint64_t id = 0;
+  uint64_t parent_id = 0;  ///< 0 = root span.
+  uint32_t tid = 0;        ///< Tracer-assigned thread index, dense from 1.
+  int64_t start_ns = 0;
+  int64_t end_ns = 0;
+};
+
+#ifdef JFEED_OBS_DISABLED
+
+// ---------------------------------------------------------------------------
+// Compile-time-disabled stubs.
+// ---------------------------------------------------------------------------
+
+class Span;
+
+class Tracer {
+ public:
+  static constexpr size_t kDefaultRingCapacity = size_t{1} << 15;
+  static Tracer& Global() {
+    static Tracer tracer;
+    return tracer;
+  }
+  void Enable(size_t = kDefaultRingCapacity) {}
+  void Disable() {}
+  bool enabled() const { return false; }
+  void Clear() {}
+  std::vector<SpanRecord> Snapshot() const { return {}; }
+  std::string ExportChromeJson() const {
+    return "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[]}\n";
+  }
+  int64_t OpenSpanCount() const { return 0; }
+  int64_t DroppedCount() const { return 0; }
+};
+
+class Span {
+ public:
+  explicit Span(const char*) {}
+  Span(const char*, const Span&) {}
+  ~Span() = default;
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+  void End() {}
+  uint64_t id() const { return 0; }
+  bool recording() const { return false; }
+};
+
+#else  // JFEED_OBS_DISABLED
+
+class Span;
+
+/// Process-wide trace recorder: a registry of per-thread span rings plus
+/// the master enable switch and the export/snapshot surface.
+class Tracer {
+ public:
+  static constexpr size_t kDefaultRingCapacity = size_t{1} << 15;
+
+  static Tracer& Global();
+
+  /// Starts recording. `ring_capacity` bounds the number of retained spans
+  /// per thread; when a ring is full the oldest span is overwritten (and
+  /// DroppedCount() grows). Applies to rings created after this call;
+  /// already-registered rings keep their capacity. Idempotent.
+  void Enable(size_t ring_capacity = kDefaultRingCapacity);
+
+  /// Stops recording new spans. Spans already begun still record their end
+  /// (their ring slot exists); recorded spans remain exportable.
+  void Disable();
+
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  /// Drops every recorded span and resets the dropped counter. Live spans
+  /// are unaffected (they record on End as usual).
+  void Clear();
+
+  /// Every completed span across all threads, sorted by start time.
+  std::vector<SpanRecord> Snapshot() const;
+
+  /// Chrome trace_event JSON (object form, "traceEvents" array of "ph":"X"
+  /// complete events; ts/dur in microseconds). Open in Perfetto
+  /// (https://ui.perfetto.dev) or chrome://tracing.
+  std::string ExportChromeJson() const;
+
+  /// Number of spans begun but not yet ended — 0 after any well-nested
+  /// unit of work, which is what the chaos suite asserts after a fault
+  /// campaign (no fault path may leak an open span).
+  int64_t OpenSpanCount() const {
+    return open_spans_.load(std::memory_order_relaxed);
+  }
+
+  /// Spans overwritten by ring wrap-around since the last Clear().
+  int64_t DroppedCount() const;
+
+ private:
+  friend class Span;
+
+  struct Ring {
+    std::mutex mu;
+    std::vector<SpanRecord> records;  ///< Ring storage, capacity-bounded.
+    size_t capacity = kDefaultRingCapacity;
+    size_t next = 0;        ///< Overwrite position once full.
+    int64_t dropped = 0;    ///< Records overwritten by wrap-around.
+    uint32_t tid = 0;
+  };
+
+  Tracer();
+
+  /// The calling thread's ring, registered on first use. The registry holds
+  /// a shared_ptr, so records survive thread exit until Clear().
+  Ring& ThreadRing();
+
+  int64_t NowNs() const;
+  uint64_t NextSpanId() {
+    return next_span_id_.fetch_add(1, std::memory_order_relaxed);
+  }
+  void RecordSpan(SpanRecord record);
+
+  std::atomic<bool> enabled_{false};
+  std::atomic<uint64_t> next_span_id_{1};
+  std::atomic<int64_t> open_spans_{0};
+  std::atomic<uint32_t> next_tid_{1};
+  std::chrono::steady_clock::time_point epoch_;
+  size_t ring_capacity_ = kDefaultRingCapacity;
+  mutable std::mutex mu_;  ///< Guards rings_ and ring_capacity_.
+  std::vector<std::shared_ptr<Ring>> rings_;
+};
+
+/// RAII trace span. See the file comment for parenting rules.
+class Span {
+ public:
+  /// Begins a span nested under the thread's innermost live span (root if
+  /// none). Records nothing when the tracer is disabled.
+  explicit Span(const char* name);
+  /// Begins a span with an explicit parent handle. A non-recording parent
+  /// (tracer was off when it began) yields a root span.
+  Span(const char* name, const Span& parent);
+  ~Span() { End(); }
+
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+  /// Ends the span early; idempotent (the destructor then does nothing).
+  void End();
+
+  /// 0 when the span is not recording (tracer disabled at construction).
+  uint64_t id() const { return id_; }
+  bool recording() const { return id_ != 0; }
+
+ private:
+  void Begin(const char* name, uint64_t parent_id);
+
+  const char* name_ = "";
+  uint64_t id_ = 0;
+  uint64_t parent_id_ = 0;
+  int64_t start_ns_ = 0;
+  const Span* prev_current_ = nullptr;
+  bool ended_ = true;
+};
+
+#endif  // JFEED_OBS_DISABLED
+
+}  // namespace jfeed::obs
+
+#endif  // JFEED_OBS_TRACE_H_

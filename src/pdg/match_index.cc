@@ -1,8 +1,26 @@
 #include "pdg/match_index.h"
 
+#include <chrono>
+
+#include "obs/metrics.h"
+
 namespace jfeed::pdg {
 
 MatchIndex::MatchIndex(const Epdg& epdg) {
+  // Build-time distribution: the index is the per-submission fixed cost the
+  // indexed engine pays to make every subsequent pattern/variant match
+  // cheap, so its build time is a first-class monitoring signal.
+  auto& registry = obs::Registry::Global();
+  static obs::Histogram* build_us = registry.GetHistogram(
+      "jfeed_match_index_build_us",
+      "MatchIndex construction wall time per EPDG (microseconds)");
+  static obs::Histogram* index_nodes = registry.GetHistogram(
+      "jfeed_match_index_nodes", "EPDG nodes indexed per MatchIndex build");
+  const bool metered = registry.enabled();
+  const auto start =
+      metered ? std::chrono::steady_clock::now()
+              : std::chrono::steady_clock::time_point();
+
   const size_t n = epdg.NodeCount();
   all_nodes_.reserve(n);
   signatures_.resize(n);
@@ -19,6 +37,13 @@ MatchIndex::MatchIndex(const Epdg& epdg) {
         /*dir=*/0, etype, static_cast<int>(epdg.NodeAt(edge.target).type));
     signatures_[edge.target].AddEdge(
         /*dir=*/1, etype, static_cast<int>(epdg.NodeAt(edge.source).type));
+  }
+
+  if (metered) {
+    build_us->Record(std::chrono::duration_cast<std::chrono::microseconds>(
+                         std::chrono::steady_clock::now() - start)
+                         .count());
+    index_nodes->Record(static_cast<int64_t>(n));
   }
 }
 

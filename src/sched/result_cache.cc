@@ -4,10 +4,35 @@
 #include <utility>
 
 #include "javalang/lexer.h"
+#include "obs/metrics.h"
 
 namespace jfeed::sched {
 
 namespace {
+
+// Cache traffic counters, mirrored from the per-instance CacheStats into
+// the process-wide registry so a scrape sees aggregate hit/miss/eviction
+// rates across every scheduler (DESIGN.md §6 metric-name contract).
+obs::Counter* HitsTotal() {
+  static obs::Counter* counter = obs::Registry::Global().GetCounter(
+      "jfeed_cache_hits_total", "Result-cache lookups served from cache");
+  return counter;
+}
+obs::Counter* MissesTotal() {
+  static obs::Counter* counter = obs::Registry::Global().GetCounter(
+      "jfeed_cache_misses_total", "Result-cache lookups that missed");
+  return counter;
+}
+obs::Counter* InsertionsTotal() {
+  static obs::Counter* counter = obs::Registry::Global().GetCounter(
+      "jfeed_cache_insertions_total", "Result-cache entries inserted");
+  return counter;
+}
+obs::Counter* EvictionsTotal() {
+  static obs::Counter* counter = obs::Registry::Global().GetCounter(
+      "jfeed_cache_evictions_total", "Result-cache entries evicted");
+  return counter;
+}
 
 /// splitmix64 finalizer — the same mixer the fault injector uses; good
 /// avalanche for cheap.
@@ -59,10 +84,12 @@ bool ResultCache::Lookup(const std::string& assignment_id,
   auto it = entries_.find(key);
   if (it == entries_.end()) {
     ++stats_.misses;
+    MissesTotal()->Increment();
     return false;
   }
   it->second.referenced = true;
   ++stats_.hits;
+  HitsTotal()->Increment();
   *out = it->second.outcome;
   return true;
 }
@@ -81,6 +108,7 @@ void ResultCache::Insert(const std::string& assignment_id,
   entries_[key].outcome = std::move(outcome);
   clock_.push_back(std::move(key));
   ++stats_.insertions;
+  InsertionsTotal()->Increment();
 }
 
 void ResultCache::EvictOneLocked() {
@@ -96,6 +124,7 @@ void ResultCache::EvictOneLocked() {
     clock_[hand_] = std::move(clock_.back());
     clock_.pop_back();
     ++stats_.evictions;
+    EvictionsTotal()->Increment();
     return;
   }
 }

@@ -1,12 +1,46 @@
 #include "sched/scheduler.h"
 
+#include <chrono>
 #include <utility>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "support/fault.h"
 
 namespace jfeed::sched {
 
 namespace {
+
+// Scheduler health signals. Queue depth is a gauge (instantaneous backlog);
+// jobs/busy/idle are counters so utilization can be derived from two scrapes
+// as busy / (busy + idle) without the scheduler keeping rates itself.
+obs::Gauge* QueueDepthGauge() {
+  static obs::Gauge* gauge = obs::Registry::Global().GetGauge(
+      "jfeed_sched_queue_depth", "Jobs currently waiting in the batch queue");
+  return gauge;
+}
+obs::Gauge* WorkersGauge() {
+  static obs::Gauge* gauge = obs::Registry::Global().GetGauge(
+      "jfeed_sched_workers", "Worker threads currently alive");
+  return gauge;
+}
+obs::Counter* JobsTotal() {
+  static obs::Counter* counter = obs::Registry::Global().GetCounter(
+      "jfeed_sched_jobs_total", "Jobs graded by scheduler workers");
+  return counter;
+}
+obs::Counter* BusyUsTotal() {
+  static obs::Counter* counter = obs::Registry::Global().GetCounter(
+      "jfeed_sched_busy_us_total",
+      "Cumulative worker microseconds spent grading jobs");
+  return counter;
+}
+obs::Counter* IdleUsTotal() {
+  static obs::Counter* counter = obs::Registry::Global().GetCounter(
+      "jfeed_sched_idle_us_total",
+      "Cumulative worker microseconds spent waiting for jobs");
+  return counter;
+}
 
 /// Defensive outcome for a submission the queue rejected because shutdown
 /// raced with the batch: the one-outcome-per-submission contract holds even
@@ -53,17 +87,39 @@ void BatchScheduler::WorkerLoop() {
   // thread-local it reaches — the regex cache above all — belongs to this
   // worker; the shared oracle is the one deliberate cross-worker memo.
   service::GradingPipeline pipeline(assignment_, pipeline_options_, oracle_);
+  const bool metered = obs::Registry::Global().enabled();
+  if (metered) WorkersGauge()->Add(1);
+  auto mark = std::chrono::steady_clock::now();
+  auto lap_us = [&mark] {
+    auto now = std::chrono::steady_clock::now();
+    auto us =
+        std::chrono::duration_cast<std::chrono::microseconds>(now - mark)
+            .count();
+    mark = now;
+    return us;
+  };
   while (auto job = queue_.Pop()) {
+    if (metered) {
+      IdleUsTotal()->Increment(lap_us());
+      QueueDepthGauge()->Set(static_cast<int64_t>(queue_.size()));
+    }
+    obs::Span job_span("sched.job");
     // Grade() is total: adversarial or fault-poisoned submissions fold into
     // a degraded outcome here, inside this worker, and the other workers
     // never notice.
     service::GradingOutcome outcome = pipeline.Grade(job->source);
+    job_span.End();
+    if (metered) {
+      BusyUsTotal()->Increment(lap_us());
+      JobsTotal()->Increment();
+    }
     {
       std::lock_guard<std::mutex> lock(results_mu_);
       results_[job->ticket] = std::move(outcome);
     }
     results_cv_.notify_all();
   }
+  if (metered) WorkersGauge()->Add(-1);
 }
 
 Status BatchScheduler::Submit(const std::string& source, uint64_t* ticket) {
@@ -77,6 +133,9 @@ Status BatchScheduler::Submit(const std::string& source, uint64_t* ticket) {
         "); retry after draining results");
   }
   *ticket = t;
+  if (obs::Registry::Global().enabled()) {
+    QueueDepthGauge()->Set(static_cast<int64_t>(queue_.size()));
+  }
   return Status::OK();
 }
 
@@ -144,6 +203,9 @@ std::vector<service::GradingOutcome> BatchScheduler::GradeBatchWithStats(
     if (!queue_.Push(Job{ticket, sources[i]})) {
       outcomes[i] = ShutdownOutcome();
       continue;
+    }
+    if (obs::Registry::Global().enabled()) {
+      QueueDepthGauge()->Set(static_cast<int64_t>(queue_.size()));
     }
     ++stats->graded;
     Group group;

@@ -12,6 +12,8 @@
 #include "javalang/analysis.h"
 #include "javalang/parser.h"
 #include "javalang/printer.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "pdg/epdg.h"
 #include "support/fault.h"
 
@@ -81,6 +83,99 @@ using Clock = std::chrono::steady_clock;
 double MsSince(Clock::time_point start) {
   return std::chrono::duration<double, std::milli>(Clock::now() - start)
       .count();
+}
+
+// --- Observability instruments ----------------------------------------------
+//
+// Metric names here are part of the monitoring contract (DESIGN.md §6).
+// Handles resolve once per process; updates are thread-local shard writes
+// that no-op until a sink enables the registry.
+
+/// Per-stage wall-time distribution, labeled by stage name.
+obs::Histogram* StageDurationHistogram(Stage stage) {
+  static obs::Histogram* histograms[] = {
+      obs::Registry::Global().GetHistogram(
+          "jfeed_stage_duration_us", "Pipeline stage wall time (microseconds)",
+          {{"stage", "parse"}}),
+      obs::Registry::Global().GetHistogram(
+          "jfeed_stage_duration_us", "Pipeline stage wall time (microseconds)",
+          {{"stage", "epdg"}}),
+      obs::Registry::Global().GetHistogram(
+          "jfeed_stage_duration_us", "Pipeline stage wall time (microseconds)",
+          {{"stage", "match"}}),
+      obs::Registry::Global().GetHistogram(
+          "jfeed_stage_duration_us", "Pipeline stage wall time (microseconds)",
+          {{"stage", "functional"}}),
+  };
+  size_t index = static_cast<size_t>(stage);
+  return index < 4 ? histograms[index] : histograms[0];
+}
+
+/// One counter per degradation-ladder rung — the chaos suite asserts these
+/// move when a fault forces a rung drop.
+obs::Counter* TierCounter(FeedbackTier tier) {
+  static obs::Counter* counters[] = {
+      obs::Registry::Global().GetCounter(
+          "jfeed_outcomes_total", "Graded submissions by feedback tier",
+          {{"tier", "full_epdg"}}),
+      obs::Registry::Global().GetCounter(
+          "jfeed_outcomes_total", "Graded submissions by feedback tier",
+          {{"tier", "ast_only"}}),
+      obs::Registry::Global().GetCounter(
+          "jfeed_outcomes_total", "Graded submissions by feedback tier",
+          {{"tier", "parse_diagnostic"}}),
+  };
+  size_t index = static_cast<size_t>(tier);
+  return index < 3 ? counters[index] : counters[0];
+}
+
+obs::Counter* FailureCounter(FailureClass failure) {
+  static obs::Counter* counters[] = {
+      nullptr,  // kNone: healthy runs are counted by tier, not failure.
+      obs::Registry::Global().GetCounter(
+          "jfeed_failures_total", "Grading failures by class",
+          {{"class", "parse_error"}}),
+      obs::Registry::Global().GetCounter(
+          "jfeed_failures_total", "Grading failures by class",
+          {{"class", "timeout"}}),
+      obs::Registry::Global().GetCounter(
+          "jfeed_failures_total", "Grading failures by class",
+          {{"class", "resource_exhausted"}}),
+      obs::Registry::Global().GetCounter(
+          "jfeed_failures_total", "Grading failures by class",
+          {{"class", "internal_fault"}}),
+  };
+  size_t index = static_cast<size_t>(failure);
+  return index < 5 ? counters[index] : nullptr;
+}
+
+obs::Counter* VerdictCounter(Verdict verdict) {
+  static obs::Counter* counters[] = {
+      obs::Registry::Global().GetCounter("jfeed_verdicts_total",
+                                         "Grading verdicts",
+                                         {{"verdict", "correct"}}),
+      obs::Registry::Global().GetCounter("jfeed_verdicts_total",
+                                         "Grading verdicts",
+                                         {{"verdict", "incorrect"}}),
+      obs::Registry::Global().GetCounter("jfeed_verdicts_total",
+                                         "Grading verdicts",
+                                         {{"verdict", "spec_mismatch"}}),
+      obs::Registry::Global().GetCounter("jfeed_verdicts_total",
+                                         "Grading verdicts",
+                                         {{"verdict", "not_graded"}}),
+  };
+  size_t index = static_cast<size_t>(verdict);
+  return index < 4 ? counters[index] : counters[3];
+}
+
+/// Rolls one finished outcome into the tier/verdict/failure counters — the
+/// per-rung accounting the chaos suite checks for coherence after faults.
+void FinishObservation(const GradingOutcome& outcome) {
+  TierCounter(outcome.tier)->Increment();
+  VerdictCounter(outcome.verdict)->Increment();
+  if (obs::Counter* failures = FailureCounter(outcome.failure)) {
+    failures->Increment();
+  }
 }
 
 // --- AST-pattern-only fallback ---------------------------------------------
@@ -440,6 +535,30 @@ std::string OutcomeToJson(const GradingOutcome& outcome) {
   } else {
     out += "null";
   }
+  field("stage_timings");
+  // Summed per stage (the match stage can appear twice when the AST-only
+  // fallback re-ran it); stages that never started are absent.
+  {
+    double per_stage[4] = {0.0, 0.0, 0.0, 0.0};
+    bool seen[4] = {false, false, false, false};
+    for (const auto& t : outcome.timings) {
+      size_t index = static_cast<size_t>(t.stage);
+      if (index < 4) {
+        per_stage[index] += t.wall_ms;
+        seen[index] = true;
+      }
+    }
+    out += "{";
+    bool first = true;
+    for (size_t s = 0; s < 4; ++s) {
+      if (!seen[s]) continue;
+      if (!first) out += ",";
+      first = false;
+      AppendJsonString(StageName(static_cast<Stage>(s)), &out);
+      out += ":" + std::to_string(per_stage[s]);
+    }
+    out += "}";
+  }
   field("timings_ms");
   out += "[";
   for (size_t i = 0; i < outcome.timings.size(); ++i) {
@@ -459,6 +578,11 @@ std::string OutcomeToJson(const GradingOutcome& outcome) {
 GradingOutcome GradingPipeline::Grade(const std::string& source) const {
   GradingOutcome outcome;
 
+  // Root trace span of this submission; stage spans nest under it (and the
+  // layers below — lex, match.index, interp.call — nest under those via the
+  // thread-current chain).
+  obs::Span grade_span("grade");
+
   // Records one stage's wall time and status; on failure, the first failing
   // stage defines the outcome's failure class and diagnostic. A soft budget
   // overrun is recorded as a timeout failure even when the stage succeeded.
@@ -468,6 +592,8 @@ GradingOutcome GradingPipeline::Grade(const std::string& source) const {
     timing.stage = stage;
     timing.wall_ms = MsSince(start);
     timing.status = status;
+    StageDurationHistogram(stage)->Record(
+        static_cast<int64_t>(timing.wall_ms * 1000.0));
     outcome.timings.push_back(timing);
     if (outcome.failure == FailureClass::kNone) {
       if (!status.ok()) {
@@ -487,18 +613,23 @@ GradingOutcome GradingPipeline::Grade(const std::string& source) const {
   // all the feedback we can give.
   outcome.stage_reached = Stage::kParse;
   auto parse_start = Clock::now();
+  obs::Span parse_span("parse", grade_span);
   auto unit = java::Parse(source);
+  parse_span.End();
   if (!finish_stage(Stage::kParse, parse_start, unit.status(),
                     options_.budgets.parse_ms)) {
     outcome.tier = FeedbackTier::kParseDiagnostic;
     outcome.verdict = Verdict::kNotGraded;
+    FinishObservation(outcome);
     return outcome;
   }
 
   // Stage 2: EPDG construction. Failure degrades to AST-only feedback.
   outcome.stage_reached = Stage::kEpdg;
   auto epdg_start = Clock::now();
+  obs::Span epdg_span("epdg", grade_span);
   auto graphs = pdg::BuildAllEpdgs(*unit);
+  epdg_span.End();
   bool epdg_ok = finish_stage(Stage::kEpdg, epdg_start, graphs.status(),
                               options_.budgets.epdg_ms);
 
@@ -506,6 +637,7 @@ GradingOutcome GradingPipeline::Grade(const std::string& source) const {
   // the AST-only fallback otherwise (or when the matcher itself fails).
   outcome.stage_reached = Stage::kMatch;
   auto match_start = Clock::now();
+  obs::Span match_span("match", grade_span);
   bool matched_full = false;
   if (epdg_ok) {
     auto feedback =
@@ -522,14 +654,19 @@ GradingOutcome GradingPipeline::Grade(const std::string& source) const {
     }
   }
   if (!matched_full) {
+    // The AST-only rung gets its own span so a trace shows which part of
+    // the match stage was fallback work.
+    obs::Span ast_only_span("match.ast_only", match_span);
     outcome.feedback = AstOnlyFeedback(assignment_.spec, *unit);
     outcome.tier = FeedbackTier::kAstOnly;
+    ast_only_span.End();
     if (!epdg_ok) {
       // The match stage still ran (via the fallback); record its timing.
       finish_stage(Stage::kMatch, match_start, Status::OK(),
                    options_.budgets.match_ms);
     }
   }
+  match_span.End();
 
   // Stage 4: functional testing. Needs only the parsed unit, so it runs on
   // both feedback tiers; its own failures (reference broken, injected
@@ -537,8 +674,11 @@ GradingOutcome GradingPipeline::Grade(const std::string& source) const {
   if (options_.run_functional && outcome.feedback.matched) {
     outcome.stage_reached = Stage::kFunctional;
     auto func_start = Clock::now();
+    obs::Span functional_span("functional", grade_span);
     Status func_status;
+    obs::Span oracle_span("oracle", functional_span);
     auto expected = oracle_->ExpectedOutputs(assignment_);
+    oracle_span.End();
     if (!expected.ok()) {
       func_status = expected.status();
     } else {
@@ -551,6 +691,7 @@ GradingOutcome GradingPipeline::Grade(const std::string& source) const {
           options_.budgets.functional_ms);
       outcome.functional_ran = true;
     }
+    functional_span.End();
     finish_stage(Stage::kFunctional, func_start, func_status,
                  options_.budgets.functional_ms);
   }
@@ -565,6 +706,7 @@ GradingOutcome GradingPipeline::Grade(const std::string& source) const {
   } else {
     outcome.verdict = Verdict::kIncorrect;
   }
+  FinishObservation(outcome);
   return outcome;
 }
 

@@ -9,6 +9,8 @@
 #include <vector>
 
 #include "kb/assignments.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "sched/scheduler.h"
 #include "service/pipeline.h"
 #include "support/fault.h"
@@ -200,6 +202,112 @@ TEST(ChaosTest, FaultDegradedOutcomesNeverPoisonTheCache) {
     EXPECT_FALSE(outcome.degraded());
   }
 }
+
+#ifndef JFEED_OBS_DISABLED
+
+/// Every non-comment line of a Prometheus text dump is `name{labels} value`
+/// or `name value`; anything else means Render() emitted garbage.
+void ExpectRendersAsPrometheusText(const std::string& text) {
+  ASSERT_FALSE(text.empty());
+  size_t start = 0;
+  while (start < text.size()) {
+    size_t end = text.find('\n', start);
+    ASSERT_NE(end, std::string::npos) << "dump must end with a newline";
+    std::string line = text.substr(start, end - start);
+    start = end + 1;
+    if (line.empty() || line[0] == '#') continue;
+    size_t space = line.rfind(' ');
+    ASSERT_NE(space, std::string::npos) << line;
+    ASSERT_GT(space, 0u) << line;
+    // The value after the last space must be a (possibly negative) integer.
+    std::string value = line.substr(space + 1);
+    ASSERT_FALSE(value.empty()) << line;
+    size_t digits = value[0] == '-' ? 1 : 0;
+    ASSERT_LT(digits, value.size()) << line;
+    for (size_t i = digits; i < value.size(); ++i) {
+      ASSERT_TRUE(value[i] >= '0' && value[i] <= '9') << line;
+    }
+    // The metric name starts with a letter or underscore.
+    char first = line[0];
+    ASSERT_TRUE(first == '_' || (first >= 'a' && first <= 'z') ||
+                (first >= 'A' && first <= 'Z'))
+        << line;
+    // Braces, if present, are balanced and close before the value.
+    size_t open = line.find('{');
+    if (open != std::string::npos) {
+      size_t close = line.rfind('}');
+      ASSERT_NE(close, std::string::npos) << line;
+      ASSERT_LT(close, space) << line;
+      ASSERT_LT(open, close) << line;
+    }
+  }
+}
+
+// Observability coherence under faults: a campaign that forces rung drops
+// must move the matching degraded-rung counters, must not leak an open
+// span (every fault path unwinds through the spans' destructors), and must
+// leave the registry rendering well-formed Prometheus text.
+TEST(ChaosTest, MetricsAndTracesStayCoherentAfterFaultCampaign) {
+  auto& registry = obs::Registry::Global();
+  auto& tracer = obs::Tracer::Global();
+  registry.ResetForTest();
+  registry.set_enabled(true);
+  tracer.Clear();
+  tracer.Enable();
+
+  obs::Counter* ast_only = registry.GetCounter(
+      "jfeed_outcomes_total", "Graded submissions by feedback tier",
+      {{"tier", "ast_only"}});
+  obs::Counter* parse_diag = registry.GetCounter(
+      "jfeed_outcomes_total", "Graded submissions by feedback tier",
+      {{"tier", "parse_diagnostic"}});
+  obs::Counter* internal_faults = registry.GetCounter(
+      "jfeed_failures_total", "Grading failures by class",
+      {{"class", "internal_fault"}});
+  const int64_t ast_before = ast_only->Value();
+  const int64_t diag_before = parse_diag->Value();
+  const int64_t fault_before = internal_faults->Value();
+
+  const auto& assignment =
+      kb::KnowledgeBase::Get().assignment("assignment1");
+  std::string reference = assignment.Reference();
+  auto grade_with_fault = [&](const char* point) {
+    fault::FaultConfig config;
+    config.only_point = point;
+    fault::ScopedFaultInjection injection(config);
+    GradingPipeline pipeline(assignment);
+    return pipeline.Grade(reference);
+  };
+
+  // An EPDG fault drops to the AST-only rung; a parser fault drops all the
+  // way to the parse-diagnostic rung. Both count as internal faults.
+  EXPECT_EQ(grade_with_fault(fault::points::kEpdgBuilder).tier,
+            FeedbackTier::kAstOnly);
+  EXPECT_EQ(grade_with_fault(fault::points::kParser).tier,
+            FeedbackTier::kParseDiagnostic);
+
+  EXPECT_EQ(ast_only->Value(), ast_before + 1);
+  EXPECT_EQ(parse_diag->Value(), diag_before + 1);
+  EXPECT_EQ(internal_faults->Value(), fault_before + 2);
+
+  // No fault path left a span open, and the degraded runs still traced.
+  EXPECT_EQ(tracer.OpenSpanCount(), 0);
+  bool saw_grade_span = false;
+  for (const auto& record : tracer.Snapshot()) {
+    if (std::string(record.name) == "grade") saw_grade_span = true;
+    EXPECT_GE(record.end_ns, record.start_ns);
+  }
+  EXPECT_TRUE(saw_grade_span);
+
+  ExpectRendersAsPrometheusText(registry.Render());
+
+  tracer.Disable();
+  tracer.Clear();
+  registry.set_enabled(false);
+  registry.ResetForTest();
+}
+
+#endif  // JFEED_OBS_DISABLED
 
 TEST(ChaosTest, BatchUnderFaultsYieldsOneOutcomePerSubmission) {
   const auto& assignment =

@@ -154,6 +154,25 @@ TEST(GradingPipelineTest, OutcomeJsonIsWellFormedAndEscaped) {
   }
 }
 
+TEST(GradingPipelineTest, OutcomeJsonCarriesStageTimings) {
+  GradingPipeline pipeline(Assignment1());
+  GradingOutcome outcome = pipeline.Grade(Assignment1().Reference());
+  std::string json = OutcomeToJson(outcome);
+  // A full grade ran all four stages; each appears once in the summary
+  // object, keyed by stage name.
+  EXPECT_NE(json.find("\"stage_timings\":{\"parse\":"), std::string::npos);
+  EXPECT_NE(json.find("\"epdg\":"), std::string::npos);
+  EXPECT_NE(json.find("\"match\":"), std::string::npos);
+  EXPECT_NE(json.find("\"functional\":"), std::string::npos);
+
+  // A parse failure never reaches the later stages, so they are absent.
+  GradingOutcome failed = pipeline.Grade("int f( \"uh\n");
+  std::string failed_json = OutcomeToJson(failed);
+  size_t summary = failed_json.find("\"stage_timings\":{\"parse\":");
+  ASSERT_NE(summary, std::string::npos);
+  EXPECT_EQ(failed_json.find("\"epdg\":", summary), std::string::npos);
+}
+
 TEST(GradingPipelineTest, TimingsCoverEveryStageThatRan) {
   GradingPipeline pipeline(Assignment1());
   GradingOutcome outcome = pipeline.Grade(Assignment1().Reference());

@@ -6,20 +6,50 @@ baseline and fails (exit 1) when the indexed engine's backtracking work
 regressed by more than the threshold. Only deterministic counters are
 compared — wall times depend on the runner and are ignored.
 
+A malformed or schema-drifted input fails with a one-line diagnostic naming
+the file and the missing key (exit 1), never a traceback: CI log readers
+should see "what drifted", not a stack dump. `--update-baseline` copies the
+current report over the baseline file instead of comparing — the documented
+workflow after an intended pattern/KB change.
+
 Usage: compare_bench.py BASELINE CURRENT [--threshold 0.10]
+       compare_bench.py BASELINE CURRENT --update-baseline
 """
 
 import argparse
 import json
+import shutil
 import sys
 
 
 def load(path):
-    with open(path) as f:
-        data = json.load(f)
+    try:
+        with open(path) as f:
+            data = json.load(f)
+    except OSError as err:
+        sys.exit(f"FAIL: cannot read {path}: {err.strerror}")
+    except json.JSONDecodeError as err:
+        sys.exit(f"FAIL: {path} is not valid JSON: {err}")
     if data.get("schema") != "jfeed-bench-matching-v1":
         sys.exit(f"{path}: unexpected schema {data.get('schema')!r}")
     return data
+
+
+def lookup(data, path, dotted):
+    """Walks `dotted` ("totals.indexed_steps") through nested dicts; exits
+    with a clear message naming the file and key when a level is missing —
+    a baseline generated before a schema addition must fail readably."""
+    node = data
+    walked = []
+    for key in dotted.split("."):
+        walked.append(key)
+        if not isinstance(node, dict) or key not in node:
+            sys.exit(
+                f"FAIL: {path} is missing key '{'.'.join(walked)}' "
+                f"(schema drift — regenerate the file, or run with "
+                f"--update-baseline after an intended change)")
+        node = node[key]
+    return node
 
 
 def main():
@@ -28,10 +58,26 @@ def main():
     parser.add_argument("current")
     parser.add_argument("--threshold", type=float, default=0.10,
                         help="allowed fractional step regression (default 0.10)")
+    parser.add_argument("--update-baseline", action="store_true",
+                        help="copy CURRENT over BASELINE instead of comparing "
+                             "(after an intended pattern/KB change)")
     args = parser.parse_args()
 
-    baseline = load(args.baseline)
     current = load(args.current)
+
+    if args.update_baseline:
+        # Validate before overwriting: an inequivalent or truncated run must
+        # never become the new baseline.
+        if not current.get("equivalent", False):
+            sys.exit("FAIL: refusing to update baseline from a run that "
+                     "reports engine inequivalence")
+        lookup(current, args.current, "totals.indexed_steps")
+        lookup(current, args.current, "ablation.indexed_steps")
+        shutil.copyfile(args.current, args.baseline)
+        print(f"updated {args.baseline} from {args.current}")
+        return 0
+
+    baseline = load(args.baseline)
 
     if not current.get("equivalent", False):
         sys.exit("FAIL: current run reports engine inequivalence")
@@ -46,27 +92,32 @@ def main():
             failures.append(label)
         print(f"{label:40s} baseline {base_steps:8d}  current {cur_steps:8d}  {status}")
 
-    check("totals.indexed_steps",
-          baseline["totals"]["indexed_steps"],
-          current["totals"]["indexed_steps"])
-    check("ablation.indexed_steps",
-          baseline["ablation"]["indexed_steps"],
-          current["ablation"]["indexed_steps"])
+    for dotted in ("totals.indexed_steps", "ablation.indexed_steps"):
+        check(dotted,
+              lookup(baseline, args.baseline, dotted),
+              lookup(current, args.current, dotted))
 
-    base_by_id = {a["id"]: a for a in baseline["assignments"]}
-    for a in current["assignments"]:
+    base_by_id = {a["id"]: a
+                  for a in lookup(baseline, args.baseline, "assignments")
+                  if isinstance(a, dict) and "id" in a}
+    for a in lookup(current, args.current, "assignments"):
+        if not isinstance(a, dict) or "id" not in a:
+            sys.exit(f"FAIL: {args.current} has an assignment entry without "
+                     f"an 'id' (schema drift — regenerate the file)")
         b = base_by_id.get(a["id"])
         if b is None:
             print(f"{a['id']:40s} new assignment, no baseline — skipped")
             continue
         check(f"assignment {a['id']}",
-              b["indexed"]["steps"], a["indexed"]["steps"])
+              lookup(b, args.baseline, "indexed.steps"),
+              lookup(a, args.current, "indexed.steps"))
 
     if failures:
         print(f"\nFAIL: step regression beyond {args.threshold:.0%} in: "
               + ", ".join(failures))
-        print("If the regression is intended (pattern/KB change), regenerate "
-              "bench/baselines/BENCH_matching.json and commit it.")
+        print("If the regression is intended (pattern/KB change), rerun with "
+              "--update-baseline (or regenerate "
+              "bench/baselines/BENCH_matching.json) and commit it.")
         return 1
     print("\nOK: no step regressions beyond "
           f"{args.threshold:.0%} of baseline")

@@ -1,0 +1,147 @@
+#!/usr/bin/env python3
+"""Unit tests for compare_bench.py: the CI gate must fail readably (one-line
+diagnostic, exit 1) on schema drift, gate regressions by threshold, and
+support --update-baseline. Run from ctest via find_package(Python3)."""
+
+import json
+import os
+import subprocess
+import sys
+import tempfile
+import unittest
+
+SCRIPT = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                      "compare_bench.py")
+
+
+def report(indexed_total=100, ablation=50, assignments=None,
+           equivalent=True, schema="jfeed-bench-matching-v1"):
+    if assignments is None:
+        assignments = [{"id": "assignment1", "indexed": {"steps": 40}}]
+    return {
+        "schema": schema,
+        "equivalent": equivalent,
+        "totals": {"indexed_steps": indexed_total},
+        "ablation": {"indexed_steps": ablation},
+        "assignments": assignments,
+    }
+
+
+class CompareBenchTest(unittest.TestCase):
+    def setUp(self):
+        self.dir = tempfile.TemporaryDirectory()
+
+    def tearDown(self):
+        self.dir.cleanup()
+
+    def write(self, name, data):
+        path = os.path.join(self.dir.name, name)
+        with open(path, "w") as f:
+            if isinstance(data, str):
+                f.write(data)
+            else:
+                json.dump(data, f)
+        return path
+
+    def run_compare(self, *argv):
+        return subprocess.run([sys.executable, SCRIPT, *argv],
+                              capture_output=True, text=True)
+
+    def test_identical_reports_pass(self):
+        base = self.write("base.json", report())
+        cur = self.write("cur.json", report())
+        result = self.run_compare(base, cur)
+        self.assertEqual(result.returncode, 0, result.stdout + result.stderr)
+        self.assertIn("OK: no step regressions", result.stdout)
+
+    def test_regression_beyond_threshold_fails(self):
+        base = self.write("base.json", report(indexed_total=100))
+        cur = self.write("cur.json", report(indexed_total=150))
+        result = self.run_compare(base, cur)
+        self.assertEqual(result.returncode, 1)
+        self.assertIn("REGRESSION", result.stdout)
+        self.assertIn("totals.indexed_steps", result.stdout)
+
+    def test_regression_within_custom_threshold_passes(self):
+        base = self.write("base.json", report(indexed_total=100))
+        cur = self.write("cur.json", report(indexed_total=150))
+        result = self.run_compare(base, cur, "--threshold", "0.60")
+        self.assertEqual(result.returncode, 0, result.stdout + result.stderr)
+
+    def test_missing_baseline_key_fails_with_message_not_traceback(self):
+        stale = report()
+        del stale["totals"]["indexed_steps"]
+        base = self.write("base.json", stale)
+        cur = self.write("cur.json", report())
+        result = self.run_compare(base, cur)
+        self.assertEqual(result.returncode, 1)
+        combined = result.stdout + result.stderr
+        self.assertIn("missing key 'totals.indexed_steps'", combined)
+        self.assertIn("base.json", combined)
+        self.assertNotIn("Traceback", combined)
+
+    def test_missing_nested_assignment_key_fails_readably(self):
+        stale = report(assignments=[{"id": "assignment1", "indexed": {}}])
+        base = self.write("base.json", stale)
+        cur = self.write("cur.json", report())
+        result = self.run_compare(base, cur)
+        self.assertEqual(result.returncode, 1)
+        combined = result.stdout + result.stderr
+        self.assertIn("missing key 'indexed.steps'", combined)
+        self.assertNotIn("Traceback", combined)
+
+    def test_invalid_json_fails_readably(self):
+        base = self.write("base.json", "{not json")
+        cur = self.write("cur.json", report())
+        result = self.run_compare(base, cur)
+        self.assertEqual(result.returncode, 1)
+        combined = result.stdout + result.stderr
+        self.assertIn("not valid JSON", combined)
+        self.assertNotIn("Traceback", combined)
+
+    def test_wrong_schema_fails(self):
+        base = self.write("base.json", report(schema="something-else"))
+        cur = self.write("cur.json", report())
+        result = self.run_compare(base, cur)
+        self.assertEqual(result.returncode, 1)
+        self.assertIn("unexpected schema", result.stdout + result.stderr)
+
+    def test_inequivalent_current_fails(self):
+        base = self.write("base.json", report())
+        cur = self.write("cur.json", report(equivalent=False))
+        result = self.run_compare(base, cur)
+        self.assertEqual(result.returncode, 1)
+        self.assertIn("inequivalence", result.stdout + result.stderr)
+
+    def test_update_baseline_copies_current(self):
+        base = self.write("base.json", report(indexed_total=100))
+        cur = self.write("cur.json", report(indexed_total=150))
+        result = self.run_compare(base, cur, "--update-baseline")
+        self.assertEqual(result.returncode, 0, result.stdout + result.stderr)
+        with open(base) as f:
+            self.assertEqual(json.load(f)["totals"]["indexed_steps"], 150)
+        # And the updated baseline now gates cleanly against that run.
+        result = self.run_compare(base, cur)
+        self.assertEqual(result.returncode, 0)
+
+    def test_update_baseline_refuses_inequivalent_run(self):
+        base = self.write("base.json", report(indexed_total=100))
+        cur = self.write("cur.json", report(equivalent=False))
+        result = self.run_compare(base, cur, "--update-baseline")
+        self.assertEqual(result.returncode, 1)
+        with open(base) as f:
+            self.assertEqual(json.load(f)["totals"]["indexed_steps"], 100)
+
+    def test_new_assignment_without_baseline_is_skipped(self):
+        base = self.write("base.json", report())
+        cur = self.write("cur.json", report(assignments=[
+            {"id": "assignment1", "indexed": {"steps": 40}},
+            {"id": "assignment9", "indexed": {"steps": 999}},
+        ]))
+        result = self.run_compare(base, cur)
+        self.assertEqual(result.returncode, 0, result.stdout + result.stderr)
+        self.assertIn("no baseline", result.stdout)
+
+
+if __name__ == "__main__":
+    unittest.main()

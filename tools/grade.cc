@@ -13,6 +13,9 @@
 //   --timeout-ms <n>       wall-clock deadline per functional test (ms)
 //   --max-heap-bytes <n>   interpreter heap budget per test (bytes)
 //   --json                 print the structured GradingOutcome as JSON
+//   --trace-out=<file>     write a Chrome trace_event JSON of the run
+//                          (open in Perfetto / chrome://tracing)
+//   --metrics-out=<file>   write the Prometheus text metrics dump
 //
 // Batch mode (--batch): the input (file or stdin) is NDJSON, one submission
 // per line — either {"id": "...", "source": "..."} or a bare JSON string —
@@ -44,6 +47,8 @@
 #include "core/feedback.h"
 #include "javalang/parser.h"
 #include "kb/assignments.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "pdg/epdg.h"
 #include "sched/batch_io.h"
 #include "sched/scheduler.h"
@@ -78,6 +83,27 @@ int Usage(const char* argv0) {
                "       %s --list\n",
                argv0, argv0, argv0, argv0, argv0);
   return 2;
+}
+
+/// Best-effort observability dumps: an unwritable path warns on stderr but
+/// never changes the grading exit code — feedback always outranks telemetry.
+void DumpObservability(const char* trace_out, const char* metrics_out) {
+  if (metrics_out != nullptr) {
+    std::ofstream out(metrics_out);
+    if (!out) {
+      std::fprintf(stderr, "cannot write %s\n", metrics_out);
+    } else {
+      out << jfeed::obs::Registry::Global().Render();
+    }
+  }
+  if (trace_out != nullptr) {
+    std::ofstream out(trace_out);
+    if (!out) {
+      std::fprintf(stderr, "cannot write %s\n", trace_out);
+    } else {
+      out << jfeed::obs::Tracer::Global().ExportChromeJson();
+    }
+  }
 }
 
 /// Parses a positive integer flag value; returns false on garbage.
@@ -176,6 +202,8 @@ int main(int argc, char** argv) {
   bool json = false;
   bool batch = false;
   const char* path = nullptr;
+  const char* trace_out = nullptr;
+  const char* metrics_out = nullptr;
   jfeed::service::PipelineOptions options;
   jfeed::sched::SchedulerOptions scheduler_options;
   for (int i = 2; i < argc; ++i) {
@@ -191,6 +219,10 @@ int main(int argc, char** argv) {
       batch = true;
     } else if (std::strcmp(arg, "--no-cache") == 0) {
       scheduler_options.use_result_cache = false;
+    } else if (std::strncmp(arg, "--trace-out=", 12) == 0) {
+      trace_out = arg + 12;
+    } else if (std::strncmp(arg, "--metrics-out=", 14) == 0) {
+      metrics_out = arg + 14;
     } else if (std::strncmp(arg, "--match-engine=", 15) == 0) {
       const char* engine = arg + 15;
       if (std::strcmp(engine, "legacy") == 0) {
@@ -233,16 +265,26 @@ int main(int argc, char** argv) {
     }
   }
 
+  // Turn the observability layer on only when someone asked for its output:
+  // without a sink the registry/tracer stay runtime-disabled and every
+  // instrument in the pipeline is a single relaxed atomic load.
+  if (metrics_out != nullptr) jfeed::obs::Registry::Global().set_enabled(true);
+  if (trace_out != nullptr) jfeed::obs::Tracer::Global().Enable();
+
   if (batch) {
+    int rc;
     if (path != nullptr) {
       std::ifstream file(path);
       if (!file) {
         std::fprintf(stderr, "cannot open %s\n", path);
         return 2;
       }
-      return RunBatch(assignment, file, options, scheduler_options);
+      rc = RunBatch(assignment, file, options, scheduler_options);
+    } else {
+      rc = RunBatch(assignment, std::cin, options, scheduler_options);
     }
-    return RunBatch(assignment, std::cin, options, scheduler_options);
+    DumpObservability(trace_out, metrics_out);
+    return rc;
   }
 
   std::string source;
@@ -308,6 +350,7 @@ int main(int argc, char** argv) {
                   outcome.functional.tests_run);
     }
   }
+  DumpObservability(trace_out, metrics_out);
   // Exit taxonomy: 0 = fully graded, 1 = any degradation (parse failure,
   // budget blowup, fault-forced tier drop, spec mismatch), 2 = usage error.
   bool graded = !outcome.degraded() &&
