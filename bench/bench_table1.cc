@@ -10,12 +10,21 @@
 // takes hours in a single-threaded run. Pass --samples N to change the
 // sample size or --full to enumerate everything (small spaces are always
 // enumerated exhaustively).
+//
+// --json=FILE additionally writes the Table I metrics as a machine-readable
+// report (schema jfeed-bench-table1-v1): per-assignment coverage counters
+// (space, sampled, evaluated, parse failures, discrepancies — deterministic
+// for a fixed --samples) plus wall times (runner-dependent, reported for
+// trend only). tools/compare_bench.py gates the deterministic fields
+// against bench/baselines/BENCH_table1.json in CI.
 
 #include <chrono>
 #include <cinttypes>
 #include <cstdio>
 #include <cstring>
+#include <fstream>
 #include <string>
+#include <vector>
 
 #include "core/submission_matcher.h"
 #include "javalang/parser.h"
@@ -56,9 +65,11 @@ struct Row {
   size_t constraints = 0;
   double avg_match_us = 0;
   uint64_t discrepancies = 0;
+  uint64_t sampled = 0;  ///< Indexes drawn (evaluated + parse failures).
   uint64_t evaluated = 0;
   uint64_t parse_failures = 0;
   int paper_d = 0;
+  double wall_ms = 0;  ///< Whole-assignment evaluation wall time.
 };
 
 Row EvaluateAssignment(const jfeed::kb::Assignment& assignment,
@@ -93,9 +104,11 @@ Row EvaluateAssignment(const jfeed::kb::Assignment& assignment,
   double total_functional_us = 0;
   double total_match_us = 0;
 
+  Clock::time_point assignment_start = Clock::now();
   for (uint64_t index :
        jfeed::synth::SampleIndexes(assignment.generator.SpaceSize(),
                                    samples)) {
+    ++row.sampled;
     std::string source = assignment.generator.Generate(index);
     auto unit = java::Parse(source);
     if (!unit.ok()) {
@@ -119,6 +132,8 @@ Row EvaluateAssignment(const jfeed::kb::Assignment& assignment,
     if (verdict.passed != feedback_positive) ++row.discrepancies;
   }
 
+  row.wall_ms = MicrosSince(assignment_start) / 1000.0;
+
   if (row.evaluated > 0) {
     row.avg_loc = total_loc / row.evaluated;
     row.avg_functional_us = total_functional_us / row.evaluated;
@@ -127,17 +142,62 @@ Row EvaluateAssignment(const jfeed::kb::Assignment& assignment,
   return row;
 }
 
+/// The machine-readable Table I report (schema jfeed-bench-table1-v1).
+/// Coverage counters are deterministic for a fixed --samples; wall times
+/// are runner-dependent and excluded from the CI comparison.
+void WriteJsonReport(const char* path, uint64_t samples,
+                     const std::vector<Row>& rows, double total_wall_ms) {
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "cannot write %s\n", path);
+    return;
+  }
+  out << "{\n  \"schema\": \"jfeed-bench-table1-v1\",\n";
+  out << "  \"samples\": " << samples << ",\n";
+  out << "  \"assignments\": [\n";
+  char buf[64];
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const Row& row = rows[i];
+    out << "    {\"id\": \"" << row.id << "\", \"space\": " << row.space
+        << ", \"patterns\": " << row.patterns
+        << ", \"constraints\": " << row.constraints
+        << ", \"sampled\": " << row.sampled
+        << ", \"evaluated\": " << row.evaluated
+        << ", \"parse_failures\": " << row.parse_failures
+        << ", \"discrepancies\": " << row.discrepancies
+        << ", \"paper_discrepancies\": " << row.paper_d;
+    std::snprintf(buf, sizeof(buf), "%.2f", row.avg_loc);
+    out << ", \"avg_loc\": " << buf;
+    std::snprintf(buf, sizeof(buf), "%.1f", row.avg_functional_us);
+    out << ", \"avg_functional_us\": " << buf;
+    std::snprintf(buf, sizeof(buf), "%.1f", row.avg_match_us);
+    out << ", \"avg_match_us\": " << buf;
+    std::snprintf(buf, sizeof(buf), "%.1f", row.wall_ms);
+    out << ", \"wall_ms\": " << buf << "}";
+    out << (i + 1 < rows.size() ? ",\n" : "\n");
+  }
+  out << "  ],\n";
+  std::snprintf(buf, sizeof(buf), "%.1f", total_wall_ms);
+  out << "  \"totals\": {\"assignments\": " << rows.size()
+      << ", \"wall_ms\": " << buf << "}\n}\n";
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   uint64_t samples = 2000;
+  const char* json_out = nullptr;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--samples") == 0 && i + 1 < argc) {
       samples = std::strtoull(argv[++i], nullptr, 10);
     } else if (std::strcmp(argv[i], "--full") == 0) {
       samples = ~0ull;
+    } else if (std::strncmp(argv[i], "--json=", 7) == 0) {
+      json_out = argv[i] + 7;
     } else {
-      std::fprintf(stderr, "usage: %s [--samples N | --full]\n", argv[0]);
+      std::fprintf(stderr,
+                   "usage: %s [--samples N | --full] [--json=FILE]\n",
+                   argv[0]);
       return 1;
     }
   }
@@ -152,7 +212,8 @@ int main(int argc, char** argv) {
 
   double total_match = 0;
   double total_functional = 0;
-  int rows = 0;
+  double total_wall_ms = 0;
+  std::vector<Row> rows;
   for (const auto& id : kb.assignment_ids()) {
     Row row = EvaluateAssignment(kb.assignment(id), samples);
     double scale = row.evaluated > 0
@@ -166,15 +227,19 @@ int main(int argc, char** argv) {
         row.discrepancies * scale, row.paper_d);
     total_match += row.avg_match_us;
     total_functional += row.avg_functional_us;
-    ++rows;
+    total_wall_ms += row.wall_ms;
+    rows.push_back(std::move(row));
   }
   std::printf(
       "\nAverages: functional testing %.1f us, pattern matching %.1f us "
       "per submission.\n",
-      total_functional / rows, total_match / rows);
+      total_functional / rows.size(), total_match / rows.size());
   std::printf(
       "Shape checks: matching stays in the sub-millisecond range (paper: "
       "milliseconds),\nand is %s than running the functional tests.\n",
       total_match < total_functional ? "cheaper" : "NOT cheaper");
+  if (json_out != nullptr) {
+    WriteJsonReport(json_out, samples, rows, total_wall_ms);
+  }
   return 0;
 }

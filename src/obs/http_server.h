@@ -1,0 +1,172 @@
+#ifndef JFEED_OBS_HTTP_SERVER_H_
+#define JFEED_OBS_HTTP_SERVER_H_
+
+// Minimal dependency-free HTTP/1.1 server over POSIX sockets — the
+// transport for the live-introspection endpoints (/metrics, /healthz,
+// /statusz, /tracez, /events) and the jfeedd grading daemon's POST /grade.
+//
+// Deliberately small: loopback-oriented, one request per connection
+// (Connection: close), no TLS, no chunked encoding, no keep-alive. That is
+// the whole feature set a Prometheus scraper, a curl-wielding operator, or
+// the daemon smoke test needs, and it keeps the attack surface of a grader
+// that executes untrusted student code as thin as the feature allows.
+//
+// Threading: Start() spawns one accept thread plus a small fixed pool of
+// connection workers pulling accepted sockets from a bounded queue, so a
+// slow client can stall at most one worker, never the accept loop. All
+// handler callbacks run on worker threads and must therefore be
+// thread-safe; the introspection handlers are (Registry::Render and
+// Tracer::Snapshot aggregate under their own locks).
+//
+// Compiling with JFEED_OBS=OFF (-DJFEED_OBS_DISABLED) replaces the server
+// with a stub whose Start() fails with a clear error — the daemon refuses
+// to run without its monitoring surface rather than serving blind.
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "support/status.h"
+
+#ifndef JFEED_OBS_DISABLED
+#include <atomic>
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <thread>
+#endif
+
+namespace jfeed::obs {
+
+/// One parsed request as handed to a handler. Only the pieces the
+/// introspection surface needs: method, path (query string split off), and
+/// the body (POST /grade's NDJSON submissions).
+struct HttpRequest {
+  std::string method;  ///< "GET", "POST", ... (uppercase as sent).
+  std::string path;    ///< Decoded-enough path, e.g. "/metrics".
+  std::string query;   ///< Raw query string without the '?', may be empty.
+  std::string body;    ///< Request body (Content-Length framed).
+};
+
+/// One response as produced by a handler. The server adds the status line,
+/// Content-Length and Connection: close framing.
+struct HttpResponse {
+  int status = 200;
+  std::string content_type = "text/plain; charset=utf-8";
+  std::string body;
+};
+
+/// Handler for one path. Runs on a connection-worker thread.
+using HttpHandler = std::function<HttpResponse(const HttpRequest&)>;
+
+/// Reason phrase for the handful of status codes the service emits.
+const char* HttpStatusText(int status);
+
+#ifdef JFEED_OBS_DISABLED
+
+// ---------------------------------------------------------------------------
+// Compile-time-disabled stub: registering handlers is a no-op and Start()
+// fails loudly, so a JFEED_OBS=OFF build cannot silently serve nothing.
+// ---------------------------------------------------------------------------
+
+class HttpServer {
+ public:
+  struct Options {
+    uint16_t port = 0;
+    int workers = 4;
+    size_t max_request_bytes = 8u << 20;
+    size_t backlog = 64;
+  };
+
+  HttpServer() {}
+  explicit HttpServer(Options) {}
+  ~HttpServer() = default;
+  HttpServer(const HttpServer&) = delete;
+  HttpServer& operator=(const HttpServer&) = delete;
+
+  void Handle(const std::string&, HttpHandler) {}
+  Status Start() {
+    return Status::Internal(
+        "introspection HTTP server compiled out (JFEED_OBS=OFF); rebuild "
+        "with -DJFEED_OBS=ON to serve /metrics, /healthz, /statusz, "
+        "/tracez, /events");
+  }
+  void Stop() {}
+  uint16_t port() const { return 0; }
+  bool serving() const { return false; }
+};
+
+#else  // JFEED_OBS_DISABLED
+
+class HttpServer {
+ public:
+  struct Options {
+    /// TCP port to bind on 127.0.0.1; 0 picks an ephemeral port (read it
+    /// back from port() after Start()).
+    uint16_t port = 0;
+    /// Connection-worker threads. Clamped to >= 1.
+    int workers = 4;
+    /// Hard cap on one request (request line + headers + body); larger
+    /// requests are answered 413 and the connection closed. Generous enough
+    /// for multi-submission NDJSON grade bodies, small enough that a
+    /// malicious client cannot balloon the daemon.
+    size_t max_request_bytes = 8u << 20;
+    /// Accepted-socket queue bound; connections beyond it are answered 503
+    /// by the accept thread instead of piling up unboundedly.
+    size_t backlog = 64;
+  };
+
+  HttpServer();  ///< Equivalent to HttpServer(Options{}).
+  explicit HttpServer(Options options);
+  ~HttpServer();
+
+  HttpServer(const HttpServer&) = delete;
+  HttpServer& operator=(const HttpServer&) = delete;
+
+  /// Registers `handler` for exact-match `path`. Must be called before
+  /// Start(); the route table is immutable while serving (that is what
+  /// makes dispatch lock-free on workers).
+  void Handle(const std::string& path, HttpHandler handler);
+
+  /// Binds 127.0.0.1:port, spawns the accept thread and workers. Fails
+  /// (kUnavailable) when the port is taken or sockets are unavailable.
+  Status Start();
+
+  /// Stops accepting, drains in-flight connections, joins all threads.
+  /// Idempotent; also run by the destructor.
+  void Stop();
+
+  /// The bound port (the ephemeral pick when Options.port was 0); 0 before
+  /// Start().
+  uint16_t port() const { return port_; }
+
+  bool serving() const { return serving_.load(std::memory_order_relaxed); }
+
+ private:
+  void AcceptLoop();
+  void WorkerLoop();
+  void ServeConnection(int fd);
+
+  Options options_;
+  std::vector<std::pair<std::string, HttpHandler>> routes_;
+
+  int listen_fd_ = -1;
+  uint16_t port_ = 0;
+  std::atomic<bool> serving_{false};
+
+  std::mutex mu_;
+  std::condition_variable queue_cv_;
+  std::deque<int> pending_;  ///< Accepted fds awaiting a worker.
+  bool closing_ = false;
+
+  std::thread accept_thread_;
+  std::vector<std::thread> workers_;
+};
+
+#endif  // JFEED_OBS_DISABLED
+
+}  // namespace jfeed::obs
+
+#endif  // JFEED_OBS_HTTP_SERVER_H_

@@ -10,7 +10,9 @@ namespace jfeed::obs {
 
 namespace {
 
-/// Escapes a label value for the Prometheus text format.
+/// Escapes a label value for the Prometheus text format: backslash,
+/// double-quote and newline are the three characters the exposition format
+/// requires escaped inside `label="..."`.
 std::string EscapeLabelValue(const std::string& value) {
   std::string out;
   out.reserve(value.size());
@@ -18,6 +20,23 @@ std::string EscapeLabelValue(const std::string& value) {
     switch (c) {
       case '\\': out += "\\\\"; break;
       case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      default: out.push_back(c);
+    }
+  }
+  return out;
+}
+
+/// Escapes HELP text: the format requires backslash and newline escaped on
+/// `# HELP` lines (double quotes are legal there). Without this a help
+/// string containing a newline splits the line and corrupts every metric
+/// after it.
+std::string EscapeHelp(const std::string& help) {
+  std::string out;
+  out.reserve(help.size());
+  for (char c : help) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
       case '\n': out += "\\n"; break;
       default: out.push_back(c);
     }
@@ -301,7 +320,7 @@ std::string Registry::Render() const {
 
   std::string out;
   for (const Family* family : ordered) {
-    out += "# HELP " + family->name + " " + family->help + "\n";
+    out += "# HELP " + family->name + " " + EscapeHelp(family->help) + "\n";
     out += "# TYPE " + family->name + " ";
     switch (family->kind) {
       case Kind::kCounter: out += "counter\n"; break;

@@ -1,8 +1,10 @@
 #include "sched/scheduler.h"
 
 #include <chrono>
+#include <locale>
 #include <utility>
 
+#include "obs/event_log.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "support/fault.h"
@@ -45,6 +47,19 @@ obs::Counter* IdleUsTotal() {
 /// Defensive outcome for a submission the queue rejected because shutdown
 /// raced with the batch: the one-outcome-per-submission contract holds even
 /// on that path.
+/// libstdc++'s ctype<char> facet fills its narrow()/widen() caches lazily
+/// and without synchronization; std::regex compilation hits them, so two
+/// workers compiling their first pattern concurrently race on the shared
+/// facet of the global locale. Touching every byte on the constructing
+/// thread before workers spawn makes all later accesses pure reads.
+void WarmCtypeCaches() {
+  const auto& facet = std::use_facet<std::ctype<char>>(std::locale());
+  for (int c = 0; c < 256; ++c) {
+    facet.narrow(static_cast<char>(c), '\0');
+    facet.widen(static_cast<char>(c));
+  }
+}
+
 service::GradingOutcome ShutdownOutcome() {
   service::GradingOutcome outcome;
   outcome.verdict = service::Verdict::kNotGraded;
@@ -69,6 +84,7 @@ BatchScheduler::BatchScheduler(const kb::Assignment& assignment,
                  ? std::move(options.cache)
                  : std::make_shared<ResultCache>(options.cache_capacity);
   }
+  WarmCtypeCaches();
   workers_.reserve(static_cast<size_t>(jobs_));
   for (int i = 0; i < jobs_; ++i) {
     workers_.emplace_back([this] { WorkerLoop(); });
@@ -109,6 +125,13 @@ void BatchScheduler::WorkerLoop() {
     // never notice.
     service::GradingOutcome outcome = pipeline.Grade(job->source);
     job_span.End();
+    if (obs::EventLog::Global().enabled()) {
+      // One wide event per pipeline run, emitted by the worker that paid
+      // for it; cache hits and dedup followers get theirs from the batch
+      // collection loop.
+      obs::EventLog::Global().Append(service::BuildWideEvent(
+          job->id, assignment_.id, job->cache, outcome));
+    }
     if (metered) {
       BusyUsTotal()->Increment(lap_us());
       JobsTotal()->Increment();
@@ -123,8 +146,13 @@ void BatchScheduler::WorkerLoop() {
 }
 
 Status BatchScheduler::Submit(const std::string& source, uint64_t* ticket) {
+  return Submit(source, /*id=*/"", ticket);
+}
+
+Status BatchScheduler::Submit(const std::string& source,
+                              const std::string& id, uint64_t* ticket) {
   uint64_t t = next_ticket_.fetch_add(1, std::memory_order_relaxed);
-  if (!queue_.TryPush(Job{t, source})) {
+  if (!queue_.TryPush(Job{t, id, source, /*cache=*/"off"})) {
     if (queue_.closed()) {
       return Status::Unavailable("scheduler is shutting down");
     }
@@ -159,6 +187,12 @@ std::vector<service::GradingOutcome> BatchScheduler::GradeBatch(
 
 std::vector<service::GradingOutcome> BatchScheduler::GradeBatchWithStats(
     const std::vector<std::string>& sources, BatchStats* stats) {
+  return GradeBatchWithStats(sources, /*ids=*/{}, stats);
+}
+
+std::vector<service::GradingOutcome> BatchScheduler::GradeBatchWithStats(
+    const std::vector<std::string>& sources,
+    const std::vector<std::string>& ids, BatchStats* stats) {
   *stats = BatchStats();
   stats->submissions = sources.size();
   std::vector<service::GradingOutcome> outcomes(sources.size());
@@ -179,6 +213,22 @@ std::vector<service::GradingOutcome> BatchScheduler::GradeBatchWithStats(
   std::vector<Group> groups;
   std::unordered_map<uint64_t, size_t> group_by_fingerprint;
 
+  // Flight-recorder plumbing: ids are parallel to sources (absent ids are
+  // empty), and submissions served without a pipeline run get their wide
+  // event here, since no worker ever sees them.
+  static const std::string kNoId;
+  auto id_of = [&ids](size_t i) -> const std::string& {
+    return i < ids.size() ? ids[i] : kNoId;
+  };
+  const bool recording = obs::EventLog::Global().enabled();
+  auto record = [this, &id_of, recording](
+                    size_t i, const char* cache,
+                    const service::GradingOutcome& outcome) {
+    if (!recording) return;
+    obs::EventLog::Global().Append(
+        service::BuildWideEvent(id_of(i), assignment_.id, cache, outcome));
+  };
+
   for (size_t i = 0; i < sources.size(); ++i) {
     uint64_t fingerprint = 0;
     if (caching) {
@@ -191,6 +241,7 @@ std::vector<service::GradingOutcome> BatchScheduler::GradeBatchWithStats(
       }
       service::GradingOutcome cached;
       if (cache_->Lookup(assignment_.id, fingerprint, &cached)) {
+        record(i, "hit", cached);
         outcomes[i] = std::move(cached);
         ++stats->cache_hits;
         continue;
@@ -200,8 +251,10 @@ std::vector<service::GradingOutcome> BatchScheduler::GradeBatchWithStats(
     // Blocking admission: when the queue is full the producer stalls here
     // until a worker frees a slot, so a million-line batch never buffers
     // more than queue_capacity jobs.
-    if (!queue_.Push(Job{ticket, sources[i]})) {
+    if (!queue_.Push(Job{ticket, id_of(i), sources[i],
+                         caching ? "miss" : "off"})) {
       outcomes[i] = ShutdownOutcome();
+      record(i, "off", outcomes[i]);
       continue;
     }
     if (obs::Registry::Global().enabled()) {
@@ -222,6 +275,9 @@ std::vector<service::GradingOutcome> BatchScheduler::GradeBatchWithStats(
     service::GradingOutcome outcome = TakeResult(group.ticket);
     if (caching) cache_->Insert(assignment_.id, group.fingerprint, outcome);
     for (size_t k = 1; k < group.indexes.size(); ++k) {
+      // The group leader's event came from the worker that graded it; the
+      // coalesced followers are recorded here as dedup serves.
+      record(group.indexes[k], "dedup", outcome);
       outcomes[group.indexes[k]] = outcome;
     }
     outcomes[group.indexes.front()] = std::move(outcome);

@@ -86,6 +86,13 @@ class BatchScheduler {
   /// shutdown began.
   Status Submit(const std::string& source, uint64_t* ticket);
 
+  /// Submit with a caller-chosen submission id, which the worker stamps
+  /// into the flight-recorder wide event for this grade (the streaming
+  /// path never consults the result cache, so those events carry
+  /// cache="off").
+  Status Submit(const std::string& source, const std::string& id,
+                uint64_t* ticket);
+
   /// Blocks until the outcome for `ticket` is ready and returns it. Each
   /// ticket can be waited on exactly once.
   service::GradingOutcome Wait(uint64_t ticket);
@@ -101,14 +108,34 @@ class BatchScheduler {
   std::vector<service::GradingOutcome> GradeBatchWithStats(
       const std::vector<std::string>& sources, BatchStats* stats);
 
+  /// GradeBatchWithStats with caller-chosen submission ids for the flight
+  /// recorder (parallel to `sources`; pass an empty vector for anonymous
+  /// events). Every submission emits exactly one wide event when the
+  /// recorder is enabled: graded leaders from the worker that ran them
+  /// (cache="miss", or "off" when caching is disabled), cache hits and
+  /// dedup followers from the admission/collection loop.
+  std::vector<service::GradingOutcome> GradeBatchWithStats(
+      const std::vector<std::string>& sources,
+      const std::vector<std::string>& ids, BatchStats* stats);
+
   int jobs() const { return jobs_; }
   /// The result cache (null when caching is disabled).
   const ResultCache* cache() const { return cache_.get(); }
 
+  /// Jobs currently waiting in the bounded queue / its capacity — the
+  /// backpressure signals /healthz reports.
+  size_t queue_depth() const { return queue_.size(); }
+  size_t queue_capacity() const { return queue_.capacity(); }
+
  private:
   struct Job {
     uint64_t ticket = 0;
+    std::string id;     ///< Flight-recorder submission id; may be empty.
     std::string source;
+    /// Cache disposition the admitting front end observed ("miss" after a
+    /// failed lookup, "off" when no lookup was attempted); stamped into
+    /// this job's wide event by the grading worker.
+    const char* cache = "off";
   };
 
   void WorkerLoop();

@@ -1,0 +1,359 @@
+#include "service/daemon.h"
+
+namespace jfeed::service {
+
+const char kJfeedVersion[] = "0.5.0";
+
+}  // namespace jfeed::service
+
+#ifndef JFEED_OBS_DISABLED
+
+#include <cstdio>
+#include <cstdlib>
+#include <utility>
+#include <vector>
+
+#include "kb/assignments.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "sched/batch_io.h"
+
+namespace jfeed::service {
+
+namespace {
+
+/// Parses "limit=N" out of a query string; `fallback` when absent/garbage.
+size_t ParseLimit(const std::string& query, size_t fallback) {
+  size_t pos = query.find("limit=");
+  if (pos != 0 && (pos == std::string::npos || query[pos - 1] != '&')) {
+    return fallback;
+  }
+  char* end = nullptr;
+  unsigned long long v = std::strtoull(query.c_str() + pos + 6, &end, 10);
+  if (end == query.c_str() + pos + 6) return fallback;
+  return static_cast<size_t>(v);
+}
+
+obs::HttpResponse JsonResponse(int status, std::string body) {
+  obs::HttpResponse response;
+  response.status = status;
+  response.content_type = "application/json; charset=utf-8";
+  response.body = std::move(body);
+  if (!response.body.empty() && response.body.back() != '\n') {
+    response.body += "\n";
+  }
+  return response;
+}
+
+/// Reads one of the scheduler's contract counters back out of the registry
+/// (Get* is idempotent: same name + labels → same instrument).
+int64_t CounterValue(const char* name) {
+  return obs::Registry::Global().GetCounter(name, "")->Value();
+}
+
+}  // namespace
+
+GradingDaemon::GradingDaemon(DaemonOptions options)
+    : options_(std::move(options)) {}
+
+GradingDaemon::~GradingDaemon() { Stop(); }
+
+Status GradingDaemon::Start() {
+  if (server_ != nullptr) return Status::Internal("daemon already started");
+
+  const auto& kb = kb::KnowledgeBase::Get();
+  bool known = false;
+  for (const auto& id : kb.assignment_ids()) {
+    known |= id == options_.assignment_id;
+  }
+  if (!known) {
+    return Status::NotFound("unknown assignment '" + options_.assignment_id +
+                            "' (try grade --list)");
+  }
+  assignment_ = &kb.assignment(options_.assignment_id);
+
+  // The daemon is a monitoring surface by definition: all three
+  // observability sinks come up with it.
+  obs::Registry::Global().set_enabled(true);
+  if (options_.trace_ring_capacity > 0) {
+    obs::Tracer::Global().Enable(options_.trace_ring_capacity);
+  }
+  obs::EventLog::Global().SetCapacity(options_.event_capacity);
+  obs::EventLog::Global().set_enabled(true);
+
+  sched::SchedulerOptions scheduler_options;
+  scheduler_options.jobs = options_.jobs;
+  scheduler_options.queue_capacity = options_.queue_capacity;
+  scheduler_options.use_result_cache = options_.use_result_cache;
+  scheduler_ = std::make_unique<sched::BatchScheduler>(
+      *assignment_, options_.pipeline, scheduler_options);
+
+  obs::HttpServer::Options server_options;
+  server_options.port = options_.port;
+  server_options.workers = options_.http_workers;
+  server_ = std::make_unique<obs::HttpServer>(server_options);
+  server_->Handle("/grade",
+                  [this](const obs::HttpRequest& r) { return HandleGrade(r); });
+  server_->Handle("/metrics", [this](const obs::HttpRequest& r) {
+    return HandleMetrics(r);
+  });
+  server_->Handle("/healthz", [this](const obs::HttpRequest& r) {
+    return HandleHealthz(r);
+  });
+  server_->Handle("/statusz", [this](const obs::HttpRequest& r) {
+    return HandleStatusz(r);
+  });
+  server_->Handle("/tracez", [this](const obs::HttpRequest& r) {
+    return HandleTracez(r);
+  });
+  server_->Handle("/events", [this](const obs::HttpRequest& r) {
+    return HandleEvents(r);
+  });
+
+  Status status = server_->Start();
+  if (!status.ok()) {
+    server_.reset();
+    scheduler_.reset();
+    return status;
+  }
+  started_ = std::chrono::steady_clock::now();
+  start_unix_ms_ = std::chrono::duration_cast<std::chrono::milliseconds>(
+                       std::chrono::system_clock::now().time_since_epoch())
+                       .count();
+  draining_.store(false, std::memory_order_relaxed);
+  return Status::OK();
+}
+
+void GradingDaemon::BeginDrain() {
+  draining_.store(true, std::memory_order_relaxed);
+}
+
+void GradingDaemon::Stop() {
+  BeginDrain();
+  if (server_ != nullptr) {
+    server_->Stop();  // Finishes in-flight requests, joins HTTP threads.
+  }
+  scheduler_.reset();  // Drains admitted grading work, joins workers.
+  server_.reset();
+}
+
+obs::HttpResponse GradingDaemon::HandleGrade(const obs::HttpRequest& request) {
+  if (request.method != "POST") {
+    obs::HttpResponse response;
+    response.status = 405;
+    response.body = "POST NDJSON submissions to /grade\n";
+    return response;
+  }
+  if (draining()) {
+    return JsonResponse(503, "{\"error\":\"daemon is draining\"}");
+  }
+  if (request.body.empty()) {
+    return JsonResponse(
+        400,
+        "{\"error\":\"empty body; send one NDJSON submission per line\"}");
+  }
+
+  // Same line format and error taxonomy as `grade --batch`: bad lines get
+  // an error object at their position, the rest of the body still grades.
+  std::vector<std::string> ids;
+  std::vector<std::string> sources;
+  std::vector<size_t> submission_index;  // Line index -> sources index.
+  std::vector<std::string> line_errors;
+  size_t pos = 0;
+  while (pos < request.body.size()) {
+    size_t eol = request.body.find('\n', pos);
+    if (eol == std::string::npos) eol = request.body.size();
+    std::string line = request.body.substr(pos, eol - pos);
+    pos = eol + 1;
+    if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
+    auto decoded = sched::ParseBatchLine(line);
+    if (!decoded.ok()) {
+      submission_index.push_back(SIZE_MAX);
+      line_errors.push_back(decoded.status().message());
+      continue;
+    }
+    submission_index.push_back(sources.size());
+    line_errors.push_back("");
+    ids.push_back(decoded->id);
+    sources.push_back(std::move(decoded->source));
+  }
+  if (submission_index.empty()) {
+    return JsonResponse(
+        400, "{\"error\":\"body contained no non-blank lines\"}");
+  }
+
+  sched::BatchStats stats;
+  auto outcomes = scheduler_->GradeBatchWithStats(sources, ids, &stats);
+
+  obs::HttpResponse response;
+  response.content_type = "application/x-ndjson; charset=utf-8";
+  for (size_t i = 0; i < submission_index.size(); ++i) {
+    if (submission_index[i] == SIZE_MAX) {
+      response.body += sched::BatchErrorToJson(
+          i, Status::InvalidArgument(line_errors[i]));
+    } else {
+      response.body += sched::BatchOutcomeToJson(
+          ids[submission_index[i]], i, outcomes[submission_index[i]]);
+    }
+    response.body += "\n";
+  }
+  return response;
+}
+
+obs::HttpResponse GradingDaemon::HandleMetrics(const obs::HttpRequest&) {
+  obs::HttpResponse response;
+  // version=0.0.4 is the Prometheus text-exposition content type scrapers
+  // negotiate on.
+  response.content_type = "text/plain; version=0.0.4; charset=utf-8";
+  response.body = obs::Registry::Global().Render();
+  return response;
+}
+
+obs::HttpResponse GradingDaemon::HandleHealthz(const obs::HttpRequest&) {
+  // Readiness ladder, most urgent reason first: draining (operator asked us
+  // to go), saturated (queue full — admission would be refused), degraded
+  // (recent outcomes dominated by internal faults — the infrastructure, not
+  // the students, is failing), ok.
+  size_t depth = scheduler_->queue_depth();
+  size_t capacity = scheduler_->queue_capacity();
+
+  size_t window_faults = 0;
+  size_t window = 0;
+  {
+    auto events = obs::EventLog::Global().Snapshot();
+    size_t start = events.size() > options_.health_window
+                       ? events.size() - options_.health_window
+                       : 0;
+    for (size_t i = start; i < events.size(); ++i) {
+      ++window;
+      if (events[i].failure_class == "internal_fault") ++window_faults;
+    }
+  }
+
+  const char* status = "ok";
+  int http_status = 200;
+  if (draining()) {
+    status = "draining";
+    http_status = 503;
+  } else if (depth >= capacity) {
+    status = "saturated";
+    http_status = 503;
+  } else if (window >= options_.health_window / 2 &&
+             window_faults * 2 > window) {
+    status = "degraded";
+    http_status = 503;
+  }
+
+  std::string body = "{\"status\":\"";
+  body += status;
+  body += "\",\"queue_depth\":" + std::to_string(depth);
+  body += ",\"queue_capacity\":" + std::to_string(capacity);
+  body += ",\"recent_graded\":" + std::to_string(window);
+  body += ",\"recent_internal_faults\":" + std::to_string(window_faults);
+  body += "}";
+  return JsonResponse(http_status, std::move(body));
+}
+
+obs::HttpResponse GradingDaemon::HandleStatusz(const obs::HttpRequest&) {
+  auto uptime = std::chrono::duration_cast<std::chrono::seconds>(
+                    std::chrono::steady_clock::now() - started_)
+                    .count();
+  int64_t busy = CounterValue("jfeed_sched_busy_us_total");
+  int64_t idle = CounterValue("jfeed_sched_idle_us_total");
+  double utilization =
+      busy + idle > 0 ? static_cast<double>(busy) / (busy + idle) : 0.0;
+
+  std::string body = "{\"build\":{\"version\":\"";
+  body += kJfeedVersion;
+  body += "\",\"compiler\":\"";
+  body += __VERSION__;
+  body += "\",\"obs\":\"on\"}";
+  body += ",\"assignment\":\"" + options_.assignment_id + "\"";
+  body += ",\"uptime_s\":" + std::to_string(uptime);
+  body += ",\"start_unix_ms\":" + std::to_string(start_unix_ms_);
+  body += ",\"draining\":";
+  body += draining() ? "true" : "false";
+
+  body += ",\"scheduler\":{\"jobs\":" + std::to_string(scheduler_->jobs());
+  body += ",\"queue_depth\":" + std::to_string(scheduler_->queue_depth());
+  body +=
+      ",\"queue_capacity\":" + std::to_string(scheduler_->queue_capacity());
+  body += ",\"jobs_total\":" +
+          std::to_string(CounterValue("jfeed_sched_jobs_total"));
+  body += ",\"busy_us\":" + std::to_string(busy);
+  body += ",\"idle_us\":" + std::to_string(idle);
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.4f", utilization);
+  body += ",\"utilization\":";
+  body += buf;
+  body += "}";
+
+  body += ",\"cache\":{\"enabled\":";
+  const sched::ResultCache* cache = scheduler_->cache();
+  body += cache != nullptr ? "true" : "false";
+  if (cache != nullptr) {
+    sched::CacheStats stats = cache->stats();
+    body += ",\"hits\":" + std::to_string(stats.hits);
+    body += ",\"misses\":" + std::to_string(stats.misses);
+    body += ",\"insertions\":" + std::to_string(stats.insertions);
+    body += ",\"evictions\":" + std::to_string(stats.evictions);
+    std::snprintf(buf, sizeof(buf), "%.4f", stats.HitRate());
+    body += ",\"hit_rate\":";
+    body += buf;
+    body += ",\"entries\":" + std::to_string(cache->size());
+  }
+  body += "}";
+
+  body += ",\"events\":{\"recorded\":" +
+          std::to_string(obs::EventLog::Global().size());
+  body += ",\"capacity\":" +
+          std::to_string(obs::EventLog::Global().capacity());
+  body += ",\"dropped\":" +
+          std::to_string(obs::EventLog::Global().DroppedCount());
+  body += "}";
+
+  body += ",\"tracer\":{\"open_spans\":" +
+          std::to_string(obs::Tracer::Global().OpenSpanCount());
+  body += ",\"dropped\":" +
+          std::to_string(obs::Tracer::Global().DroppedCount());
+  body += "}}";
+  return JsonResponse(200, std::move(body));
+}
+
+obs::HttpResponse GradingDaemon::HandleTracez(const obs::HttpRequest& request) {
+  size_t limit = ParseLimit(request.query, 256);
+  auto spans = obs::Tracer::Global().Snapshot();  // Sorted by start time.
+  size_t start = limit > 0 && spans.size() > limit ? spans.size() - limit : 0;
+
+  std::string body = "{\"open_spans\":" +
+                     std::to_string(obs::Tracer::Global().OpenSpanCount());
+  body += ",\"dropped\":" +
+          std::to_string(obs::Tracer::Global().DroppedCount());
+  body += ",\"spans\":[";
+  for (size_t i = start; i < spans.size(); ++i) {
+    const auto& s = spans[i];
+    if (i > start) body += ",";
+    body += "{\"name\":\"";
+    body += s.name;  // Span names are identifier-like literals; no escapes.
+    body += "\",\"id\":" + std::to_string(s.id);
+    body += ",\"parent\":" + std::to_string(s.parent_id);
+    body += ",\"tid\":" + std::to_string(s.tid);
+    body += ",\"start_us\":" + std::to_string(s.start_ns / 1000);
+    body += ",\"dur_us\":" + std::to_string((s.end_ns - s.start_ns) / 1000);
+    body += "}";
+  }
+  body += "]}";
+  return JsonResponse(200, std::move(body));
+}
+
+obs::HttpResponse GradingDaemon::HandleEvents(const obs::HttpRequest& request) {
+  size_t limit = ParseLimit(request.query, 0);
+  obs::HttpResponse response;
+  response.content_type = "application/x-ndjson; charset=utf-8";
+  response.body = obs::EventLog::Global().RenderNdjson(limit);
+  return response;
+}
+
+}  // namespace jfeed::service
+
+#endif  // JFEED_OBS_DISABLED

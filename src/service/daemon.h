@@ -1,0 +1,147 @@
+#ifndef JFEED_SERVICE_DAEMON_H_
+#define JFEED_SERVICE_DAEMON_H_
+
+// The jfeedd grading daemon: a long-running serving wrapper around
+// sched::BatchScheduler + service::GradingPipeline that hosts the live
+// introspection surface. One instance serves one assignment on loopback:
+//
+//   POST /grade     NDJSON submissions in (grade --batch line format),
+//                   NDJSON GradingOutcomes out, input order preserved
+//   GET  /metrics   Prometheus text exposition (Registry::Render)
+//   GET  /healthz   readiness: 200 while serving, 503 while draining,
+//                   saturated (queue full) or degraded (recent grades
+//                   dominated by internal faults) — see DESIGN.md §6b
+//   GET  /statusz   build info, uptime, scheduler utilization, cache hit
+//                   rate, one JSON object
+//   GET  /tracez    recent spans from the tracer rings as JSON
+//   GET  /events    the per-submission flight recorder ring as NDJSON
+//
+// Lifecycle: Start() enables the observability layer (registry, tracer,
+// event log), spins up the scheduler and the HTTP server; BeginDrain()
+// flips /healthz to 503 and rejects new grade work while scrapes keep
+// working — the window a load balancer needs to stop routing; Stop()
+// closes the server, drains in-flight grading and joins everything. The
+// tools/jfeedd.cc main wires SIGINT/SIGTERM to BeginDrain+Stop.
+//
+// Under JFEED_OBS=OFF the introspection surface does not exist, so Start()
+// refuses with a clear error instead of serving blind (the daemon's whole
+// point is live visibility).
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "obs/event_log.h"
+#include "obs/http_server.h"
+#include "sched/scheduler.h"
+#include "service/pipeline.h"
+#include "support/status.h"
+
+#ifndef JFEED_OBS_DISABLED
+#include <atomic>
+#include <chrono>
+#endif
+
+namespace jfeed::service {
+
+/// Version string served in /statusz build info.
+extern const char kJfeedVersion[];
+
+struct DaemonOptions {
+  std::string assignment_id;
+  /// Loopback port; 0 picks an ephemeral one (read back via port()).
+  uint16_t port = 0;
+  /// Worker threads / queue bound for the embedded BatchScheduler.
+  int jobs = 4;
+  size_t queue_capacity = 256;
+  bool use_result_cache = true;
+  /// Flight-recorder ring capacity.
+  size_t event_capacity = obs::EventLog::kDefaultCapacity;
+  /// Tracer ring capacity per thread (0 = leave the tracer disabled).
+  size_t trace_ring_capacity = 1u << 12;
+  /// Per-submission pipeline tuning (budgets, match engine).
+  PipelineOptions pipeline;
+  /// HTTP connection workers.
+  int http_workers = 4;
+  /// /healthz degradation window: the daemon reports "degraded" when more
+  /// than half of the last `health_window` graded submissions failed with
+  /// class internal_fault (infrastructure trouble, not student error).
+  /// Needs at least health_window/2 recorded events to trip.
+  size_t health_window = 32;
+};
+
+#ifdef JFEED_OBS_DISABLED
+
+class GradingDaemon {
+ public:
+  explicit GradingDaemon(DaemonOptions options) : options_(std::move(options)) {}
+  Status Start() {
+    return Status::Internal(
+        "jfeedd was built with JFEED_OBS=OFF: the introspection endpoints "
+        "(/metrics, /healthz, /statusz, /tracez, /events) are compiled out "
+        "and a grading daemon without live monitoring is not serviceable; "
+        "rebuild with -DJFEED_OBS=ON");
+  }
+  void BeginDrain() {}
+  void Stop() {}
+  uint16_t port() const { return 0; }
+  bool serving() const { return false; }
+  bool draining() const { return false; }
+
+ private:
+  DaemonOptions options_;
+};
+
+#else  // JFEED_OBS_DISABLED
+
+class GradingDaemon {
+ public:
+  explicit GradingDaemon(DaemonOptions options);
+  ~GradingDaemon();
+
+  GradingDaemon(const GradingDaemon&) = delete;
+  GradingDaemon& operator=(const GradingDaemon&) = delete;
+
+  /// Resolves the assignment, enables the observability layer, starts the
+  /// scheduler and the HTTP server. Fails on an unknown assignment id or
+  /// an unbindable port.
+  Status Start();
+
+  /// Stops accepting grade work: POST /grade answers 503 and /healthz
+  /// reports "draining" — introspection endpoints keep serving so the
+  /// drain itself is observable. Idempotent.
+  void BeginDrain();
+
+  /// BeginDrain + closes the HTTP server (finishing in-flight requests)
+  /// and drains the scheduler. Idempotent; also run by the destructor.
+  void Stop();
+
+  /// Bound port once Start() succeeded.
+  uint16_t port() const { return server_ != nullptr ? server_->port() : 0; }
+  bool serving() const { return server_ != nullptr && server_->serving(); }
+  bool draining() const {
+    return draining_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  obs::HttpResponse HandleGrade(const obs::HttpRequest& request);
+  obs::HttpResponse HandleMetrics(const obs::HttpRequest& request);
+  obs::HttpResponse HandleHealthz(const obs::HttpRequest& request);
+  obs::HttpResponse HandleStatusz(const obs::HttpRequest& request);
+  obs::HttpResponse HandleTracez(const obs::HttpRequest& request);
+  obs::HttpResponse HandleEvents(const obs::HttpRequest& request);
+
+  DaemonOptions options_;
+  const kb::Assignment* assignment_ = nullptr;
+  std::unique_ptr<sched::BatchScheduler> scheduler_;
+  std::unique_ptr<obs::HttpServer> server_;
+  std::atomic<bool> draining_{false};
+  std::chrono::steady_clock::time_point started_;
+  int64_t start_unix_ms_ = 0;
+};
+
+#endif  // JFEED_OBS_DISABLED
+
+}  // namespace jfeed::service
+
+#endif  // JFEED_SERVICE_DAEMON_H_

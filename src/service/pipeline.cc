@@ -575,6 +575,49 @@ std::string OutcomeToJson(const GradingOutcome& outcome) {
   return out;
 }
 
+obs::WideEvent BuildWideEvent(const std::string& submission_id,
+                              const std::string& assignment_id,
+                              const std::string& cache,
+                              const GradingOutcome& outcome) {
+  obs::WideEvent event;
+  event.unix_ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                      std::chrono::system_clock::now().time_since_epoch())
+                      .count();
+  event.submission_id = submission_id;
+  event.assignment = assignment_id;
+  event.verdict = VerdictName(outcome.verdict);
+  event.tier = FeedbackTierName(outcome.tier);
+  event.failure_class = FailureClassName(outcome.failure);
+  event.cache = cache;
+  event.degraded = outcome.degraded();
+  event.diagnostic = outcome.diagnostic;
+  event.score = outcome.feedback.score;
+  event.match_steps =
+      static_cast<int64_t>(outcome.feedback.match_stats.steps);
+  event.match_regex_checks =
+      static_cast<int64_t>(outcome.feedback.match_stats.regex_checks);
+  if (outcome.functional_ran) {
+    event.interp_steps = outcome.functional.interp_steps;
+    event.interp_heap_bytes = outcome.functional.interp_heap_bytes;
+    event.interp_output_bytes = outcome.functional.interp_output_bytes;
+    event.functional_tests_run = outcome.functional.tests_run;
+    event.functional_tests_failed = outcome.functional.tests_failed;
+  }
+  // Stage timings summed per stage, mirroring OutcomeToJson's
+  // stage_timings object (the match stage can appear twice when the
+  // AST-only fallback re-ran it).
+  for (const auto& t : outcome.timings) {
+    switch (t.stage) {
+      case Stage::kParse: event.parse_ms += t.wall_ms; break;
+      case Stage::kEpdg: event.epdg_ms += t.wall_ms; break;
+      case Stage::kMatch: event.match_ms += t.wall_ms; break;
+      case Stage::kFunctional: event.functional_ms += t.wall_ms; break;
+      case Stage::kComplete: break;
+    }
+  }
+  return event;
+}
+
 GradingOutcome GradingPipeline::Grade(const std::string& source) const {
   GradingOutcome outcome;
 

@@ -10,6 +10,7 @@
 #include "core/submission_matcher.h"
 #include "interp/interpreter.h"
 #include "kb/assignments.h"
+#include "obs/event_log.h"
 #include "support/result.h"
 #include "support/status.h"
 #include "testing/functional.h"
@@ -131,6 +132,17 @@ struct GradingOutcome {
 /// Renders an outcome as a single JSON object (machine-readable form used
 /// by `grade --json` and batch tooling).
 std::string OutcomeToJson(const GradingOutcome& outcome);
+
+/// Flattens one outcome into the flight recorder's wide-event schema
+/// (DESIGN.md §6b): verdict, rung, failure class, matcher work counters,
+/// interpreter resource spend, per-stage wall times, all stamped with the
+/// wall-clock completion time. `cache` is the cache disposition as seen by
+/// the caller ("hit", "dedup", "miss", "off"). The caller appends the
+/// result to obs::EventLog::Global() (or a file sink).
+obs::WideEvent BuildWideEvent(const std::string& submission_id,
+                              const std::string& assignment_id,
+                              const std::string& cache,
+                              const GradingOutcome& outcome);
 
 /// Thread-safe memo of a reference solution's expected outputs for one
 /// assignment. The functional oracle is self-consistent (expected outputs

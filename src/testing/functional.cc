@@ -74,6 +74,9 @@ FunctionalVerdict RunSuiteGuarded(const java::CompilationUnit& submission,
         ++verdict.resource_exhausted;
       }
     } else {
+      verdict.interp_steps += result->steps;
+      verdict.interp_heap_bytes += result->heap_bytes;
+      verdict.interp_output_bytes += result->output_bytes;
       failed = Normalize(result->stdout_text) != Normalize(expected[i]);
       if (failed) {
         diagnostic = "expected \"" + expected[i] + "\", got \"" +

@@ -34,6 +34,12 @@ struct FunctionalVerdict {
   int timeouts = 0;            ///< Tests killed by a time budget.
   int resource_exhausted = 0;  ///< Tests killed by a space budget.
   bool suite_deadline_hit = false;  ///< Suite wall budget expired mid-run.
+  // Interpreter resource spend summed over the suite's successful test
+  // executions (failed calls abort before reporting usage) — the numbers
+  // the per-submission flight recorder surfaces as interp_*.
+  int64_t interp_steps = 0;
+  int64_t interp_heap_bytes = 0;
+  int64_t interp_output_bytes = 0;
 };
 
 /// Runs the reference solution over the suite inputs and returns the

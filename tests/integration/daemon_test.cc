@@ -1,0 +1,287 @@
+// In-process integration tests for the jfeedd grading daemon: the full
+// serving surface (POST /grade + the five introspection endpoints) on an
+// ephemeral loopback port, including the drain lifecycle the acceptance
+// criteria in DESIGN.md §6b describe.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "kb/assignments.h"
+#include "obs/event_log.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "service/daemon.h"
+#include "tests/testutil/http_client.h"
+
+namespace jfeed {
+namespace {
+
+#ifndef JFEED_OBS_DISABLED
+
+using jfeed::testutil::HttpFetch;
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default: out.push_back(c);
+    }
+  }
+  return out;
+}
+
+std::string GradeLine(const std::string& id, const std::string& source) {
+  return "{\"id\":\"" + id + "\",\"source\":\"" + JsonEscape(source) +
+         "\"}\n";
+}
+
+class DaemonTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    obs::EventLog::Global().Clear();
+    service::DaemonOptions options;
+    options.assignment_id = "assignment1";
+    options.jobs = 2;
+    daemon_ = std::make_unique<service::GradingDaemon>(options);
+    ASSERT_TRUE(daemon_->Start().ok());
+    ASSERT_NE(daemon_->port(), 0);
+  }
+
+  void TearDown() override {
+    daemon_->Stop();
+    daemon_.reset();
+    // The daemon enables the global observability sinks; put them back so
+    // the other suites in this binary start from the quiet default.
+    obs::EventLog::Global().set_enabled(false);
+    obs::EventLog::Global().Clear();
+    obs::Registry::Global().set_enabled(false);
+  }
+
+  const kb::Assignment& assignment() const {
+    return kb::KnowledgeBase::Get().assignment("assignment1");
+  }
+
+  std::unique_ptr<service::GradingDaemon> daemon_;
+};
+
+TEST_F(DaemonTest, GradesCorrectAndIncorrectSubmissionsEndToEnd) {
+  // One correct submission (the reference) and one seeded single-error
+  // variant, in one NDJSON POST body.
+  std::string body = GradeLine("ok-1", assignment().Reference()) +
+                     GradeLine("bad-1", assignment().generator.Generate(1));
+  auto graded = HttpFetch(daemon_->port(), "POST", "/grade", body);
+  ASSERT_TRUE(graded.ok);
+  EXPECT_EQ(graded.status, 200);
+
+  // Two NDJSON outcome lines, in input order, joinable by id.
+  std::vector<std::string> lines;
+  size_t pos = 0;
+  while (pos < graded.body.size()) {
+    size_t eol = graded.body.find('\n', pos);
+    if (eol == std::string::npos) break;
+    lines.push_back(graded.body.substr(pos, eol - pos));
+    pos = eol + 1;
+  }
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_NE(lines[0].find("\"id\":\"ok-1\""), std::string::npos);
+  EXPECT_NE(lines[0].find("\"verdict\":\"correct\""), std::string::npos)
+      << lines[0];
+  EXPECT_NE(lines[1].find("\"id\":\"bad-1\""), std::string::npos);
+  EXPECT_EQ(lines[1].find("\"verdict\":\"correct\""), std::string::npos)
+      << lines[1];
+
+  // The grading moved the contract metrics.
+  auto metrics = HttpFetch(daemon_->port(), "GET", "/metrics");
+  ASSERT_TRUE(metrics.ok);
+  EXPECT_EQ(metrics.status, 200);
+  EXPECT_NE(metrics.headers.find("text/plain; version=0.0.4"),
+            std::string::npos);
+  EXPECT_NE(metrics.body.find("jfeed_sched_jobs_total 2"), std::string::npos)
+      << metrics.body.substr(0, 512);
+  EXPECT_NE(metrics.body.find("jfeed_outcomes_total"), std::string::npos);
+  EXPECT_NE(metrics.body.find("jfeed_verdicts_total"), std::string::npos);
+  EXPECT_NE(metrics.body.find("jfeed_events_dropped_total"),
+            std::string::npos);
+
+  // The flight recorder holds one wide event per submission, with the
+  // verdict, the degradation rung and per-stage timings.
+  auto events = HttpFetch(daemon_->port(), "GET", "/events");
+  ASSERT_TRUE(events.ok);
+  std::vector<obs::WideEvent> recorded;
+  pos = 0;
+  while (pos < events.body.size()) {
+    size_t eol = events.body.find('\n', pos);
+    if (eol == std::string::npos) break;
+    obs::WideEvent event;
+    ASSERT_TRUE(obs::FromJson(events.body.substr(pos, eol - pos), &event));
+    recorded.push_back(event);
+    pos = eol + 1;
+  }
+  ASSERT_EQ(recorded.size(), 2u);
+  for (const auto& event : recorded) {
+    EXPECT_EQ(event.assignment, "assignment1");
+    EXPECT_FALSE(event.verdict.empty());
+    EXPECT_FALSE(event.tier.empty());
+    EXPECT_EQ(event.cache, "miss");  // First sight of both submissions.
+    // Stage timings were measured, not defaulted: a graded submission
+    // always paid for parse + match at least.
+    EXPECT_GT(event.parse_ms + event.epdg_ms + event.match_ms +
+                  event.functional_ms,
+              0.0);
+  }
+  bool saw_correct = false;
+  bool saw_incorrect = false;
+  for (const auto& event : recorded) {
+    if (event.submission_id == "ok-1") {
+      saw_correct = event.verdict == "correct";
+    }
+    if (event.submission_id == "bad-1") {
+      saw_incorrect = event.verdict != "correct";
+    }
+  }
+  EXPECT_TRUE(saw_correct);
+  EXPECT_TRUE(saw_incorrect);
+}
+
+TEST_F(DaemonTest, StatuszReportsBuildAndSchedulerState) {
+  auto result = HttpFetch(daemon_->port(), "GET", "/statusz");
+  ASSERT_TRUE(result.ok);
+  EXPECT_EQ(result.status, 200);
+  EXPECT_NE(result.body.find("\"version\":\""), std::string::npos);
+  EXPECT_NE(result.body.find("\"assignment\":\"assignment1\""),
+            std::string::npos);
+  EXPECT_NE(result.body.find("\"utilization\":"), std::string::npos);
+  EXPECT_NE(result.body.find("\"cache\":{\"enabled\":true"),
+            std::string::npos);
+  EXPECT_NE(result.body.find("\"draining\":false"), std::string::npos);
+}
+
+TEST_F(DaemonTest, TracezServesSpansAfterGrading) {
+  std::string body = GradeLine("t-1", assignment().Reference());
+  ASSERT_TRUE(HttpFetch(daemon_->port(), "POST", "/grade", body).ok);
+  // No ?limit= here: the scheduler job span starts before the dozens of
+  // inner pipeline spans, so a newest-N cut could drop it.
+  auto result = HttpFetch(daemon_->port(), "GET", "/tracez");
+  ASSERT_TRUE(result.ok);
+  EXPECT_EQ(result.status, 200);
+  EXPECT_NE(result.body.find("\"open_spans\":"), std::string::npos);
+  EXPECT_NE(result.body.find("\"name\":\"sched.job\""), std::string::npos)
+      << result.body.substr(0, 512);
+
+  // A limited scrape returns at most that many spans.
+  auto limited = HttpFetch(daemon_->port(), "GET", "/tracez?limit=1");
+  ASSERT_TRUE(limited.ok);
+  size_t names = 0;
+  for (size_t pos = 0;
+       (pos = limited.body.find("\"name\":", pos)) != std::string::npos;
+       ++pos) {
+    ++names;
+  }
+  EXPECT_LE(names, 1u);
+}
+
+TEST_F(DaemonTest, HealthzFlipsUnreadyDuringDrainAndGradeIsRefused) {
+  auto healthy = HttpFetch(daemon_->port(), "GET", "/healthz");
+  ASSERT_TRUE(healthy.ok);
+  EXPECT_EQ(healthy.status, 200);
+  EXPECT_NE(healthy.body.find("\"status\":\"ok\""), std::string::npos);
+
+  daemon_->BeginDrain();
+
+  auto draining = HttpFetch(daemon_->port(), "GET", "/healthz");
+  ASSERT_TRUE(draining.ok);
+  EXPECT_EQ(draining.status, 503);
+  EXPECT_NE(draining.body.find("\"status\":\"draining\""),
+            std::string::npos);
+
+  // New grade work is refused while draining...
+  auto refused = HttpFetch(daemon_->port(), "POST", "/grade",
+                           GradeLine("late", assignment().Reference()));
+  ASSERT_TRUE(refused.ok);
+  EXPECT_EQ(refused.status, 503);
+
+  // ...but the introspection surface keeps answering, so the drain itself
+  // is observable.
+  auto metrics = HttpFetch(daemon_->port(), "GET", "/metrics");
+  ASSERT_TRUE(metrics.ok);
+  EXPECT_EQ(metrics.status, 200);
+}
+
+TEST_F(DaemonTest, ShutdownLeavesNoOpenSpans) {
+  std::string body = GradeLine("s-1", assignment().Reference()) +
+                     GradeLine("s-2", assignment().generator.Generate(2));
+  ASSERT_TRUE(HttpFetch(daemon_->port(), "POST", "/grade", body).ok);
+  daemon_->Stop();
+  EXPECT_EQ(obs::Tracer::Global().OpenSpanCount(), 0);
+}
+
+TEST_F(DaemonTest, MethodGuards) {
+  auto get_grade = HttpFetch(daemon_->port(), "GET", "/grade");
+  ASSERT_TRUE(get_grade.ok);
+  EXPECT_EQ(get_grade.status, 405);
+  auto empty_post = HttpFetch(daemon_->port(), "POST", "/grade", "\n\n");
+  ASSERT_TRUE(empty_post.ok);
+  EXPECT_EQ(empty_post.status, 400);
+}
+
+// The TSan target: concurrent scrapes of every introspection endpoint while
+// a batch grades. Races between Registry::Render, EventLog::Append,
+// Tracer::Snapshot and the grading workers show up here.
+TEST_F(DaemonTest, ConcurrentScrapesDuringBatch) {
+  std::atomic<bool> done{false};
+  std::atomic<int> scrape_failures{0};
+  const char* endpoints[] = {"/metrics", "/healthz", "/statusz", "/tracez",
+                             "/events"};
+  std::vector<std::thread> scrapers;
+  for (const char* endpoint : endpoints) {
+    scrapers.emplace_back([this, endpoint, &done, &scrape_failures] {
+      while (!done.load(std::memory_order_relaxed)) {
+        auto result = HttpFetch(daemon_->port(), "GET", endpoint);
+        // /healthz may legitimately answer 503 under load; transport
+        // failures are the bug.
+        if (!result.ok) scrape_failures.fetch_add(1);
+      }
+    });
+  }
+
+  std::string body;
+  for (int i = 0; i < 12; ++i) {
+    body += GradeLine("c-" + std::to_string(i),
+                      assignment().generator.Generate(i));
+  }
+  auto graded = HttpFetch(daemon_->port(), "POST", "/grade", body);
+  done.store(true, std::memory_order_relaxed);
+  for (auto& scraper : scrapers) scraper.join();
+
+  ASSERT_TRUE(graded.ok);
+  EXPECT_EQ(graded.status, 200);
+  EXPECT_EQ(scrape_failures.load(), 0);
+}
+
+#else  // JFEED_OBS_DISABLED
+
+TEST(DaemonStubTest, StartRefusesWithClearError) {
+  service::DaemonOptions options;
+  options.assignment_id = "assignment1";
+  service::GradingDaemon daemon(options);
+  Status status = daemon.Start();
+  ASSERT_FALSE(status.ok());
+  EXPECT_NE(status.message().find("JFEED_OBS=OFF"), std::string::npos);
+  EXPECT_FALSE(daemon.serving());
+  daemon.Stop();
+}
+
+#endif  // JFEED_OBS_DISABLED
+
+}  // namespace
+}  // namespace jfeed

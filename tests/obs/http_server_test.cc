@@ -1,0 +1,171 @@
+#include "obs/http_server.h"
+
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "tests/testutil/http_client.h"
+
+namespace jfeed::obs {
+namespace {
+
+#ifndef JFEED_OBS_DISABLED
+
+using jfeed::testutil::HttpFetch;
+
+/// Starts a server on an ephemeral loopback port with the given routes.
+class HttpServerTest : public ::testing::Test {
+ protected:
+  void StartServer() {
+    server_ = std::make_unique<HttpServer>();
+    server_->Handle("/hello", [](const HttpRequest&) {
+      HttpResponse response;
+      response.body = "hi\n";
+      return response;
+    });
+    server_->Handle("/echo", [](const HttpRequest& request) {
+      HttpResponse response;
+      response.body = request.method + "|" + request.path + "|" +
+                      request.query + "|" + request.body;
+      return response;
+    });
+    server_->Handle("/teapot", [](const HttpRequest&) {
+      HttpResponse response;
+      response.status = 418;
+      response.body = "short and stout\n";
+      return response;
+    });
+    ASSERT_TRUE(server_->Start().ok());
+    ASSERT_NE(server_->port(), 0);
+  }
+
+  std::unique_ptr<HttpServer> server_;
+};
+
+TEST_F(HttpServerTest, ServesRegisteredRoute) {
+  StartServer();
+  auto result = HttpFetch(server_->port(), "GET", "/hello");
+  ASSERT_TRUE(result.ok);
+  EXPECT_EQ(result.status, 200);
+  EXPECT_EQ(result.body, "hi\n");
+  EXPECT_NE(result.headers.find("Content-Length: 3"), std::string::npos);
+  EXPECT_NE(result.headers.find("Connection: close"), std::string::npos);
+}
+
+TEST_F(HttpServerTest, PassesMethodQueryAndBodyToHandler) {
+  StartServer();
+  auto result =
+      HttpFetch(server_->port(), "POST", "/echo?limit=5&x=1", "the body");
+  ASSERT_TRUE(result.ok);
+  EXPECT_EQ(result.status, 200);
+  EXPECT_EQ(result.body, "POST|/echo|limit=5&x=1|the body");
+}
+
+TEST_F(HttpServerTest, HandlerStatusCodePropagates) {
+  StartServer();
+  auto result = HttpFetch(server_->port(), "GET", "/teapot");
+  ASSERT_TRUE(result.ok);
+  EXPECT_EQ(result.status, 418);
+}
+
+TEST_F(HttpServerTest, UnknownPathIs404) {
+  StartServer();
+  auto result = HttpFetch(server_->port(), "GET", "/nope");
+  ASSERT_TRUE(result.ok);
+  EXPECT_EQ(result.status, 404);
+}
+
+TEST_F(HttpServerTest, MalformedRequestLineIs400) {
+  StartServer();
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(server_->port());
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+            0);
+  const char garbage[] = "this is not http\r\n\r\n";
+  ASSERT_GT(::send(fd, garbage, sizeof(garbage) - 1, 0), 0);
+  std::string response;
+  char buffer[1024];
+  ssize_t n;
+  while ((n = ::recv(fd, buffer, sizeof(buffer), 0)) > 0) {
+    response.append(buffer, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  EXPECT_NE(response.find("HTTP/1.1 400"), std::string::npos);
+}
+
+TEST_F(HttpServerTest, OversizedRequestIs413) {
+  HttpServer::Options options;
+  options.max_request_bytes = 256;
+  server_ = std::make_unique<HttpServer>(options);
+  server_->Handle("/hello", [](const HttpRequest&) { return HttpResponse(); });
+  ASSERT_TRUE(server_->Start().ok());
+  auto result = HttpFetch(server_->port(), "POST", "/hello",
+                          std::string(4096, 'x'));
+  ASSERT_TRUE(result.ok);
+  EXPECT_EQ(result.status, 413);
+}
+
+TEST_F(HttpServerTest, ConcurrentClientsAllGetAnswers) {
+  StartServer();
+  constexpr int kThreads = 8;
+  constexpr int kRequestsPerThread = 10;
+  std::vector<std::thread> clients;
+  std::vector<int> failures(kThreads, 0);
+  for (int t = 0; t < kThreads; ++t) {
+    clients.emplace_back([this, t, &failures] {
+      for (int i = 0; i < kRequestsPerThread; ++i) {
+        auto result = HttpFetch(server_->port(), "GET", "/hello");
+        if (!result.ok || result.status != 200 || result.body != "hi\n") {
+          ++failures[t];
+        }
+      }
+    });
+  }
+  for (auto& client : clients) client.join();
+  for (int t = 0; t < kThreads; ++t) EXPECT_EQ(failures[t], 0) << t;
+}
+
+TEST_F(HttpServerTest, StopIsIdempotentAndRefusesSecondStart) {
+  StartServer();
+  uint16_t port = server_->port();
+  EXPECT_TRUE(server_->serving());
+  EXPECT_FALSE(server_->Start().ok());  // Already started.
+  server_->Stop();
+  EXPECT_FALSE(server_->serving());
+  server_->Stop();  // Second Stop is a no-op.
+  // The port is actually released: no one answers anymore.
+  auto result = HttpFetch(port, "GET", "/hello");
+  EXPECT_FALSE(result.ok);
+}
+
+TEST(HttpStatusTextTest, KnownAndUnknownCodes) {
+  EXPECT_STREQ(HttpStatusText(200), "OK");
+  EXPECT_STREQ(HttpStatusText(404), "Not Found");
+  EXPECT_STREQ(HttpStatusText(503), "Service Unavailable");
+  // Unknown codes still produce a non-empty reason phrase.
+  EXPECT_NE(HttpStatusText(299)[0], '\0');
+}
+
+#else  // JFEED_OBS_DISABLED
+
+TEST(HttpServerStubTest, StartFailsLoudly) {
+  HttpServer server;
+  server.Handle("/metrics", [](const HttpRequest&) { return HttpResponse(); });
+  Status status = server.Start();
+  EXPECT_FALSE(status.ok());
+  EXPECT_NE(status.message().find("compiled out"), std::string::npos);
+  EXPECT_FALSE(server.serving());
+  EXPECT_EQ(server.port(), 0);
+  server.Stop();
+}
+
+#endif  // JFEED_OBS_DISABLED
+
+}  // namespace
+}  // namespace jfeed::obs

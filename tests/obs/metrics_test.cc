@@ -186,6 +186,37 @@ TEST_F(MetricsTest, RenderIncludesLabelsAndEscapesValues) {
             std::string::npos);
 }
 
+TEST_F(MetricsTest, RenderEscapesBackslashAndNewlineInLabelValues) {
+  // The Prometheus text format requires \\, \", and \n escaped inside label
+  // values; a raw newline would end the sample line mid-value and corrupt
+  // the whole exposition.
+  Registry::Global()
+      .GetCounter("t_escape_total", "help", {{"path", "a\\b"}})
+      ->Increment();
+  Registry::Global()
+      .GetCounter("t_escape_total", "help", {{"path", "line1\nline2"}})
+      ->Increment(2);
+  std::string text = Registry::Global().Render();
+  EXPECT_NE(text.find("t_escape_total{path=\"a\\\\b\"} 1\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("t_escape_total{path=\"line1\\nline2\"} 2\n"),
+            std::string::npos);
+}
+
+TEST_F(MetricsTest, RenderEscapesHelpText) {
+  // HELP text has its own (smaller) escape set: backslash and newline.
+  // Quotes are legal raw in HELP, so they must pass through untouched.
+  Registry::Global().GetCounter("t_help_esc_total",
+                                "first\nsecond \\ \"quoted\"");
+  std::string text = Registry::Global().Render();
+  EXPECT_NE(text.find("# HELP t_help_esc_total "
+                      "first\\nsecond \\\\ \"quoted\"\n"),
+            std::string::npos);
+  // No raw newline may survive inside the HELP line.
+  EXPECT_EQ(text.find("# HELP t_help_esc_total first\nsecond"),
+            std::string::npos);
+}
+
 TEST_F(MetricsTest, ResetForTestZeroesButKeepsPointersValid) {
   Counter* c = Registry::Global().GetCounter("t_reset_total", "help");
   Histogram* h = Registry::Global().GetHistogram("t_reset_us", "help");

@@ -1,0 +1,88 @@
+#ifndef JFEED_TESTS_TESTUTIL_HTTP_CLIENT_H_
+#define JFEED_TESTS_TESTUTIL_HTTP_CLIENT_H_
+
+// Minimal blocking HTTP/1.1 client for exercising the introspection server
+// in tests: one connection per request (the server answers Connection:
+// close), raw POSIX sockets so the tests depend on nothing the server
+// itself does not.
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+namespace jfeed::testutil {
+
+struct HttpResult {
+  bool ok = false;          ///< Transport-level success (connected + parsed).
+  int status = 0;           ///< HTTP status code.
+  std::string headers;      ///< Raw header block (status line included).
+  std::string body;
+};
+
+/// One HTTP exchange against 127.0.0.1:`port`. `body` non-empty implies a
+/// Content-Length header. Reads until the server closes the connection.
+inline HttpResult HttpFetch(uint16_t port, const std::string& method,
+                            const std::string& target,
+                            const std::string& body = "") {
+  HttpResult result;
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return result;
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return result;
+  }
+
+  std::string request = method + " " + target + " HTTP/1.1\r\n";
+  request += "Host: 127.0.0.1\r\n";
+  if (!body.empty()) {
+    request += "Content-Length: " + std::to_string(body.size()) + "\r\n";
+  }
+  request += "Connection: close\r\n\r\n";
+  request += body;
+  size_t sent = 0;
+  while (sent < request.size()) {
+    ssize_t n = ::send(fd, request.data() + sent, request.size() - sent, 0);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) {
+      ::close(fd);
+      return result;
+    }
+    sent += static_cast<size_t>(n);
+  }
+
+  std::string response;
+  char buffer[4096];
+  while (true) {
+    ssize_t n = ::recv(fd, buffer, sizeof(buffer), 0);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) break;
+    response.append(buffer, static_cast<size_t>(n));
+  }
+  ::close(fd);
+
+  size_t header_end = response.find("\r\n\r\n");
+  if (header_end == std::string::npos) return result;
+  result.headers = response.substr(0, header_end);
+  result.body = response.substr(header_end + 4);
+  if (std::sscanf(response.c_str(), "HTTP/1.1 %d", &result.status) != 1) {
+    return result;
+  }
+  result.ok = true;
+  return result;
+}
+
+}  // namespace jfeed::testutil
+
+#endif  // JFEED_TESTS_TESTUTIL_HTTP_CLIENT_H_

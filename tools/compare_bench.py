@@ -1,16 +1,25 @@
 #!/usr/bin/env python3
-"""CI regression gate for the match engine's deterministic step counts.
+"""CI regression gate for the deterministic benchmark reports.
 
-Compares a freshly generated BENCH_matching.json against the checked-in
-baseline and fails (exit 1) when the indexed engine's backtracking work
-regressed by more than the threshold. Only deterministic counters are
-compared — wall times depend on the runner and are ignored.
+Two report schemas are understood, dispatched on the baseline's "schema"
+field:
+
+  jfeed-bench-matching-v1   (bench_matching) — the indexed match engine's
+      backtracking step counts; current may exceed baseline by at most
+      --threshold (wall times are runner-dependent and ignored).
+  jfeed-bench-table1-v1     (bench_table1) — the Table I coverage counters
+      (space, sampled, evaluated, parse failures, discrepancies per
+      assignment); deterministic for a fixed --samples, so they must match
+      the baseline exactly. Wall times are reported for trend only.
 
 A malformed or schema-drifted input fails with a one-line diagnostic naming
 the file and the missing key (exit 1), never a traceback: CI log readers
-should see "what drifted", not a stack dump. `--update-baseline` copies the
-current report over the baseline file instead of comparing — the documented
-workflow after an intended pattern/KB change.
+should see "what drifted", not a stack dump. In particular, when a baseline
+exists but the candidate JSON does not carry the baseline's benchmark block
+(wrong or missing schema), the gate fails with one line naming both files
+and both schemas. `--update-baseline` copies the current report over the
+baseline file instead of comparing — the documented workflow after an
+intended pattern/KB change.
 
 Usage: compare_bench.py BASELINE CURRENT [--threshold 0.10]
        compare_bench.py BASELINE CURRENT --update-baseline
@@ -21,6 +30,8 @@ import json
 import shutil
 import sys
 
+KNOWN_SCHEMAS = ("jfeed-bench-matching-v1", "jfeed-bench-table1-v1")
+
 
 def load(path):
     try:
@@ -30,8 +41,9 @@ def load(path):
         sys.exit(f"FAIL: cannot read {path}: {err.strerror}")
     except json.JSONDecodeError as err:
         sys.exit(f"FAIL: {path} is not valid JSON: {err}")
-    if data.get("schema") != "jfeed-bench-matching-v1":
-        sys.exit(f"{path}: unexpected schema {data.get('schema')!r}")
+    if data.get("schema") not in KNOWN_SCHEMAS:
+        sys.exit(f"{path}: unexpected schema {data.get('schema')!r} "
+                 f"(known: {', '.join(KNOWN_SCHEMAS)})")
     return data
 
 
@@ -52,33 +64,18 @@ def lookup(data, path, dotted):
     return node
 
 
-def main():
-    parser = argparse.ArgumentParser()
-    parser.add_argument("baseline")
-    parser.add_argument("current")
-    parser.add_argument("--threshold", type=float, default=0.10,
-                        help="allowed fractional step regression (default 0.10)")
-    parser.add_argument("--update-baseline", action="store_true",
-                        help="copy CURRENT over BASELINE instead of comparing "
-                             "(after an intended pattern/KB change)")
-    args = parser.parse_args()
+def assignments_by_id(data, path):
+    by_id = {}
+    for a in lookup(data, path, "assignments"):
+        if not isinstance(a, dict) or "id" not in a:
+            sys.exit(f"FAIL: {path} has an assignment entry without an "
+                     f"'id' (schema drift — regenerate the file)")
+        by_id[a["id"]] = a
+    return by_id
 
-    current = load(args.current)
 
-    if args.update_baseline:
-        # Validate before overwriting: an inequivalent or truncated run must
-        # never become the new baseline.
-        if not current.get("equivalent", False):
-            sys.exit("FAIL: refusing to update baseline from a run that "
-                     "reports engine inequivalence")
-        lookup(current, args.current, "totals.indexed_steps")
-        lookup(current, args.current, "ablation.indexed_steps")
-        shutil.copyfile(args.current, args.baseline)
-        print(f"updated {args.baseline} from {args.current}")
-        return 0
-
-    baseline = load(args.baseline)
-
+def compare_matching(baseline, current, args):
+    """Step-count gate: current may exceed baseline by --threshold."""
     if not current.get("equivalent", False):
         sys.exit("FAIL: current run reports engine inequivalence")
 
@@ -90,38 +87,138 @@ def main():
         if cur_steps > limit:
             status = f"REGRESSION (limit {limit:.0f})"
             failures.append(label)
-        print(f"{label:40s} baseline {base_steps:8d}  current {cur_steps:8d}  {status}")
+        print(f"{label:40s} baseline {base_steps:8d}  "
+              f"current {cur_steps:8d}  {status}")
 
     for dotted in ("totals.indexed_steps", "ablation.indexed_steps"):
         check(dotted,
               lookup(baseline, args.baseline, dotted),
               lookup(current, args.current, dotted))
 
-    base_by_id = {a["id"]: a
-                  for a in lookup(baseline, args.baseline, "assignments")
-                  if isinstance(a, dict) and "id" in a}
-    for a in lookup(current, args.current, "assignments"):
-        if not isinstance(a, dict) or "id" not in a:
-            sys.exit(f"FAIL: {args.current} has an assignment entry without "
-                     f"an 'id' (schema drift — regenerate the file)")
-        b = base_by_id.get(a["id"])
+    base_by_id = assignments_by_id(baseline, args.baseline)
+    for aid, a in assignments_by_id(current, args.current).items():
+        b = base_by_id.get(aid)
         if b is None:
-            print(f"{a['id']:40s} new assignment, no baseline — skipped")
+            print(f"{aid:40s} new assignment, no baseline — skipped")
             continue
-        check(f"assignment {a['id']}",
+        check(f"assignment {aid}",
               lookup(b, args.baseline, "indexed.steps"),
               lookup(a, args.current, "indexed.steps"))
 
     if failures:
         print(f"\nFAIL: step regression beyond {args.threshold:.0%} in: "
               + ", ".join(failures))
-        print("If the regression is intended (pattern/KB change), rerun with "
-              "--update-baseline (or regenerate "
+        print("If the regression is intended (pattern/KB change), rerun "
+              "with --update-baseline (or regenerate "
               "bench/baselines/BENCH_matching.json) and commit it.")
         return 1
     print("\nOK: no step regressions beyond "
           f"{args.threshold:.0%} of baseline")
     return 0
+
+
+# Per-assignment Table I counters that are deterministic for a fixed
+# --samples and must therefore match the baseline exactly.
+TABLE1_EXACT_FIELDS = ("space", "patterns", "constraints", "sampled",
+                       "evaluated", "parse_failures", "discrepancies")
+
+
+def compare_table1(baseline, current, args):
+    """Exact-equality gate over the deterministic Table I counters."""
+    base_samples = lookup(baseline, args.baseline, "samples")
+    cur_samples = lookup(current, args.current, "samples")
+    if base_samples != cur_samples:
+        sys.exit(f"FAIL: {args.current} was generated with --samples "
+                 f"{cur_samples} but the baseline used {base_samples} — "
+                 f"the coverage counters are not comparable; rerun "
+                 f"bench_table1 with --samples {base_samples}")
+
+    failures = []
+    base_by_id = assignments_by_id(baseline, args.baseline)
+    cur_by_id = assignments_by_id(current, args.current)
+    for aid, b in base_by_id.items():
+        a = cur_by_id.get(aid)
+        if a is None:
+            print(f"{aid:40s} MISSING from current report")
+            failures.append(aid)
+            continue
+        diffs = []
+        for field in TABLE1_EXACT_FIELDS:
+            base_value = lookup(b, args.baseline, field)
+            cur_value = lookup(a, args.current, field)
+            if base_value != cur_value:
+                diffs.append(f"{field} {base_value} -> {cur_value}")
+        wall = a.get("wall_ms", 0.0)
+        if diffs:
+            print(f"{aid:40s} DRIFT: {'; '.join(diffs)}")
+            failures.append(aid)
+        else:
+            print(f"{aid:40s} ok  (wall {wall:.1f} ms, trend only)")
+    for aid in cur_by_id:
+        if aid not in base_by_id:
+            print(f"{aid:40s} new assignment, no baseline — skipped")
+
+    if failures:
+        print(f"\nFAIL: Table I coverage drift in: {', '.join(failures)}")
+        print("If the change is intended (pattern/KB/generator change), "
+              "regenerate bench/baselines/BENCH_table1.json with "
+              "--update-baseline and commit it.")
+        return 1
+    print("\nOK: Table I coverage counters match the baseline exactly")
+    return 0
+
+
+def validate_for_update(current, path):
+    """Schema-specific sanity before a report may become the baseline."""
+    if current["schema"] == "jfeed-bench-matching-v1":
+        if not current.get("equivalent", False):
+            sys.exit("FAIL: refusing to update baseline from a run that "
+                     "reports engine inequivalence")
+        lookup(current, path, "totals.indexed_steps")
+        lookup(current, path, "ablation.indexed_steps")
+    else:
+        lookup(current, path, "samples")
+        for a in assignments_by_id(current, path).values():
+            for field in TABLE1_EXACT_FIELDS:
+                lookup(a, path, field)
+
+
+def main():
+    parser = argparse.ArgumentParser()
+    parser.add_argument("baseline")
+    parser.add_argument("current")
+    parser.add_argument("--threshold", type=float, default=0.10,
+                        help="allowed fractional step regression for the "
+                             "matching schema (default 0.10)")
+    parser.add_argument("--update-baseline", action="store_true",
+                        help="copy CURRENT over BASELINE instead of "
+                             "comparing (after an intended pattern/KB "
+                             "change)")
+    args = parser.parse_args()
+
+    current = load(args.current)
+
+    if args.update_baseline:
+        # Validate before overwriting: an inequivalent or truncated run must
+        # never become the new baseline.
+        validate_for_update(current, args.current)
+        shutil.copyfile(args.current, args.baseline)
+        print(f"updated {args.baseline} from {args.current}")
+        return 0
+
+    baseline = load(args.baseline)
+
+    if baseline["schema"] != current["schema"]:
+        # The candidate simply does not carry the benchmark block this
+        # baseline gates — one line, both files, both schemas.
+        sys.exit(f"FAIL: {args.current} has no {baseline['schema']} "
+                 f"benchmark block (it carries {current['schema']}); "
+                 f"baseline {args.baseline} cannot gate it — regenerate "
+                 f"the candidate with the matching bench tool")
+
+    if baseline["schema"] == "jfeed-bench-matching-v1":
+        return compare_matching(baseline, current, args)
+    return compare_table1(baseline, current, args)
 
 
 if __name__ == "__main__":

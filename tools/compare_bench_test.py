@@ -27,6 +27,25 @@ def report(indexed_total=100, ablation=50, assignments=None,
     }
 
 
+def table1_assignment(aid="assignment1", discrepancies=3, evaluated=198):
+    return {"id": aid, "space": 1000, "patterns": 4, "constraints": 2,
+            "sampled": 200, "evaluated": evaluated, "parse_failures": 2,
+            "discrepancies": discrepancies, "paper_discrepancies": 4,
+            "avg_loc": 11.5, "avg_functional_us": 120.0,
+            "avg_match_us": 40.0, "wall_ms": 55.3}
+
+
+def table1_report(samples=200, assignments=None):
+    if assignments is None:
+        assignments = [table1_assignment()]
+    return {
+        "schema": "jfeed-bench-table1-v1",
+        "samples": samples,
+        "assignments": assignments,
+        "totals": {"assignments": len(assignments), "wall_ms": 55.3},
+    }
+
+
 class CompareBenchTest(unittest.TestCase):
     def setUp(self):
         self.dir = tempfile.TemporaryDirectory()
@@ -131,6 +150,91 @@ class CompareBenchTest(unittest.TestCase):
         self.assertEqual(result.returncode, 1)
         with open(base) as f:
             self.assertEqual(json.load(f)["totals"]["indexed_steps"], 100)
+
+    def test_table1_identical_reports_pass(self):
+        base = self.write("base.json", table1_report())
+        cur = self.write("cur.json", table1_report())
+        result = self.run_compare(base, cur)
+        self.assertEqual(result.returncode, 0, result.stdout + result.stderr)
+        self.assertIn("coverage counters match", result.stdout)
+
+    def test_table1_wall_time_change_alone_passes(self):
+        base = self.write("base.json", table1_report())
+        drifted = table1_report()
+        drifted["assignments"][0]["wall_ms"] = 9999.0
+        drifted["assignments"][0]["avg_match_us"] = 77.0
+        cur = self.write("cur.json", drifted)
+        result = self.run_compare(base, cur)
+        self.assertEqual(result.returncode, 0, result.stdout + result.stderr)
+
+    def test_table1_coverage_drift_fails(self):
+        base = self.write("base.json", table1_report())
+        cur = self.write("cur.json", table1_report(
+            assignments=[table1_assignment(discrepancies=9)]))
+        result = self.run_compare(base, cur)
+        self.assertEqual(result.returncode, 1)
+        self.assertIn("DRIFT", result.stdout)
+        self.assertIn("discrepancies 3 -> 9", result.stdout)
+
+    def test_table1_sample_count_mismatch_fails_readably(self):
+        base = self.write("base.json", table1_report(samples=200))
+        cur = self.write("cur.json", table1_report(samples=500))
+        result = self.run_compare(base, cur)
+        self.assertEqual(result.returncode, 1)
+        combined = result.stdout + result.stderr
+        self.assertIn("--samples", combined)
+        self.assertNotIn("Traceback", combined)
+
+    def test_table1_missing_assignment_fails(self):
+        base = self.write("base.json", table1_report(assignments=[
+            table1_assignment("assignment1"),
+            table1_assignment("assignment2"),
+        ]))
+        cur = self.write("cur.json", table1_report(
+            assignments=[table1_assignment("assignment1")]))
+        result = self.run_compare(base, cur)
+        self.assertEqual(result.returncode, 1)
+        self.assertIn("MISSING", result.stdout)
+
+    def test_candidate_lacking_baselines_block_fails_with_one_line(self):
+        # Satellite contract: a baseline exists, but the candidate carries
+        # a different benchmark block — one readable line, no traceback.
+        base = self.write("base.json", table1_report())
+        cur = self.write("cur.json", report())  # matching-v1 block only
+        result = self.run_compare(base, cur)
+        self.assertEqual(result.returncode, 1)
+        combined = result.stdout + result.stderr
+        self.assertIn("has no jfeed-bench-table1-v1 benchmark block",
+                      combined)
+        self.assertIn("cur.json", combined)
+        self.assertIn("base.json", combined)
+        self.assertNotIn("Traceback", combined)
+        # And the mirror case: matching baseline, table1 candidate.
+        result = self.run_compare(self.write("base2.json", report()),
+                                  self.write("cur2.json", table1_report()))
+        self.assertEqual(result.returncode, 1)
+        self.assertIn("has no jfeed-bench-matching-v1 benchmark block",
+                      result.stdout + result.stderr)
+
+    def test_table1_update_baseline_copies_current(self):
+        base = self.write("base.json", table1_report())
+        cur = self.write("cur.json", table1_report(
+            assignments=[table1_assignment(discrepancies=9)]))
+        result = self.run_compare(base, cur, "--update-baseline")
+        self.assertEqual(result.returncode, 0, result.stdout + result.stderr)
+        result = self.run_compare(base, cur)
+        self.assertEqual(result.returncode, 0)
+
+    def test_table1_update_baseline_refuses_truncated_report(self):
+        base = self.write("base.json", table1_report())
+        truncated = table1_report()
+        del truncated["assignments"][0]["discrepancies"]
+        cur = self.write("cur.json", truncated)
+        result = self.run_compare(base, cur, "--update-baseline")
+        self.assertEqual(result.returncode, 1)
+        with open(base) as f:
+            self.assertEqual(
+                json.load(f)["assignments"][0]["discrepancies"], 3)
 
     def test_new_assignment_without_baseline_is_skipped(self):
         base = self.write("base.json", report())

@@ -16,6 +16,8 @@
 //   --trace-out=<file>     write a Chrome trace_event JSON of the run
 //                          (open in Perfetto / chrome://tracing)
 //   --metrics-out=<file>   write the Prometheus text metrics dump
+//   --events-out=<file>    write the flight recorder as NDJSON — one wide
+//                          event per graded submission (DESIGN.md §6b)
 //
 // Batch mode (--batch): the input (file or stdin) is NDJSON, one submission
 // per line — either {"id": "...", "source": "..."} or a bare JSON string —
@@ -47,6 +49,7 @@
 #include "core/feedback.h"
 #include "javalang/parser.h"
 #include "kb/assignments.h"
+#include "obs/event_log.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "pdg/epdg.h"
@@ -87,7 +90,8 @@ int Usage(const char* argv0) {
 
 /// Best-effort observability dumps: an unwritable path warns on stderr but
 /// never changes the grading exit code — feedback always outranks telemetry.
-void DumpObservability(const char* trace_out, const char* metrics_out) {
+void DumpObservability(const char* trace_out, const char* metrics_out,
+                       const char* events_out) {
   if (metrics_out != nullptr) {
     std::ofstream out(metrics_out);
     if (!out) {
@@ -102,6 +106,14 @@ void DumpObservability(const char* trace_out, const char* metrics_out) {
       std::fprintf(stderr, "cannot write %s\n", trace_out);
     } else {
       out << jfeed::obs::Tracer::Global().ExportChromeJson();
+    }
+  }
+  if (events_out != nullptr) {
+    std::ofstream out(events_out);
+    if (!out) {
+      std::fprintf(stderr, "cannot write %s\n", events_out);
+    } else {
+      out << jfeed::obs::EventLog::Global().RenderNdjson();
     }
   }
 }
@@ -147,7 +159,7 @@ int RunBatch(const jfeed::kb::Assignment& assignment, std::istream& in,
   jfeed::sched::BatchScheduler scheduler(assignment, pipeline_options,
                                          scheduler_options);
   jfeed::sched::BatchStats stats;
-  auto outcomes = scheduler.GradeBatchWithStats(sources, &stats);
+  auto outcomes = scheduler.GradeBatchWithStats(sources, ids, &stats);
 
   bool all_clean = true;
   for (size_t i = 0; i < submission_index.size(); ++i) {
@@ -204,6 +216,7 @@ int main(int argc, char** argv) {
   const char* path = nullptr;
   const char* trace_out = nullptr;
   const char* metrics_out = nullptr;
+  const char* events_out = nullptr;
   jfeed::service::PipelineOptions options;
   jfeed::sched::SchedulerOptions scheduler_options;
   for (int i = 2; i < argc; ++i) {
@@ -223,6 +236,8 @@ int main(int argc, char** argv) {
       trace_out = arg + 12;
     } else if (std::strncmp(arg, "--metrics-out=", 14) == 0) {
       metrics_out = arg + 14;
+    } else if (std::strncmp(arg, "--events-out=", 13) == 0) {
+      events_out = arg + 13;
     } else if (std::strncmp(arg, "--match-engine=", 15) == 0) {
       const char* engine = arg + 15;
       if (std::strcmp(engine, "legacy") == 0) {
@@ -270,6 +285,9 @@ int main(int argc, char** argv) {
   // instrument in the pipeline is a single relaxed atomic load.
   if (metrics_out != nullptr) jfeed::obs::Registry::Global().set_enabled(true);
   if (trace_out != nullptr) jfeed::obs::Tracer::Global().Enable();
+  if (events_out != nullptr) {
+    jfeed::obs::EventLog::Global().set_enabled(true);
+  }
 
   if (batch) {
     int rc;
@@ -283,7 +301,7 @@ int main(int argc, char** argv) {
     } else {
       rc = RunBatch(assignment, std::cin, options, scheduler_options);
     }
-    DumpObservability(trace_out, metrics_out);
+    DumpObservability(trace_out, metrics_out, events_out);
     return rc;
   }
 
@@ -319,6 +337,12 @@ int main(int argc, char** argv) {
 
   jfeed::service::GradingPipeline pipeline(assignment, options);
   jfeed::service::GradingOutcome outcome = pipeline.Grade(source);
+  if (jfeed::obs::EventLog::Global().enabled()) {
+    // Single-submission mode never touches the result cache, hence "off";
+    // the submission file path doubles as the recorder id.
+    jfeed::obs::EventLog::Global().Append(jfeed::service::BuildWideEvent(
+        path != nullptr ? path : "stdin", assignment.id, "off", outcome));
+  }
 
   if (json) {
     std::printf("%s\n", jfeed::service::OutcomeToJson(outcome).c_str());
@@ -350,7 +374,7 @@ int main(int argc, char** argv) {
                   outcome.functional.tests_run);
     }
   }
-  DumpObservability(trace_out, metrics_out);
+  DumpObservability(trace_out, metrics_out, events_out);
   // Exit taxonomy: 0 = fully graded, 1 = any degradation (parse failure,
   // budget blowup, fault-forced tier drop, spec mismatch), 2 = usage error.
   bool graded = !outcome.degraded() &&

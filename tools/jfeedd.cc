@@ -1,0 +1,150 @@
+// jfeedd: the long-running grading daemon. One instance serves one
+// knowledge-base assignment over HTTP on loopback:
+//
+//   jfeedd <assignment-id> [flags]
+//   jfeedd --list                     list assignment ids
+//
+// Endpoints (see DESIGN.md §6b for the full contract):
+//   POST /grade     NDJSON submissions in (grade --batch line format),
+//                   NDJSON outcomes out, input order preserved
+//   GET  /metrics   Prometheus text exposition
+//   GET  /healthz   readiness (200 ok | 503 draining/saturated/degraded)
+//   GET  /statusz   build info, uptime, utilization, cache hit rate (JSON)
+//   GET  /tracez    recent trace spans (JSON; ?limit=N)
+//   GET  /events    per-submission flight recorder (NDJSON; ?limit=N)
+//
+// Flags:
+//   --port <n>             listen port (default 0 = ephemeral, printed)
+//   --jobs <n>             grading worker threads (default 4)
+//   --queue <n>            bounded job-queue capacity (default 256)
+//   --no-cache             disable the content-addressed result cache
+//   --events <n>           flight-recorder ring capacity (default 1024)
+//   --timeout-ms <n>       per-functional-test wall deadline (ms)
+//   --max-heap-bytes <n>   interpreter heap budget per test (bytes)
+//
+// Shutdown: SIGINT/SIGTERM begin a drain — /healthz flips to 503 and new
+// POST /grade work is refused while in-flight grading finishes and the
+// introspection endpoints keep answering — then the daemon stops and exits
+// 0. A second signal is unnecessary; the first one always terminates.
+//
+// Exit codes: 0 clean shutdown, 2 usage/startup error (unknown assignment,
+// unbindable port, or an JFEED_OBS=OFF build, which refuses to serve blind).
+
+#include <csignal>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "kb/assignments.h"
+#include "service/daemon.h"
+
+namespace {
+
+int ListAssignments() {
+  const auto& kb = jfeed::kb::KnowledgeBase::Get();
+  for (const auto& id : kb.assignment_ids()) {
+    std::printf("%-20s %s\n", id.c_str(), kb.assignment(id).title.c_str());
+  }
+  return 0;
+}
+
+int Usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s <assignment-id> [--port N] [--jobs N] [--queue N] "
+               "[--no-cache] [--events N] [--timeout-ms N] "
+               "[--max-heap-bytes N]\n"
+               "       %s --list\n",
+               argv0, argv0);
+  return 2;
+}
+
+bool ParseInt64(const char* text, int64_t* out) {
+  char* end = nullptr;
+  long long v = std::strtoll(text, &end, 10);
+  if (end == text || *end != '\0' || v < 0) return false;
+  *out = v;
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc >= 2 && std::strcmp(argv[1], "--list") == 0) {
+    return ListAssignments();
+  }
+  if (argc < 2 || argv[1][0] == '-') return Usage(argv[0]);
+
+  jfeed::service::DaemonOptions options;
+  options.assignment_id = argv[1];
+  for (int i = 2; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strcmp(arg, "--no-cache") == 0) {
+      options.use_result_cache = false;
+      continue;
+    }
+    if (i + 1 >= argc) {
+      std::fprintf(stderr, "%s needs a value\n", arg);
+      return 2;
+    }
+    int64_t value = 0;
+    if (!ParseInt64(argv[i + 1], &value)) {
+      std::fprintf(stderr, "bad value for %s: '%s'\n", arg, argv[i + 1]);
+      return 2;
+    }
+    ++i;
+    if (std::strcmp(arg, "--port") == 0) {
+      if (value > 65535) {
+        std::fprintf(stderr, "--port out of range: %lld\n",
+                     static_cast<long long>(value));
+        return 2;
+      }
+      options.port = static_cast<uint16_t>(value);
+    } else if (std::strcmp(arg, "--jobs") == 0) {
+      options.jobs = static_cast<int>(value);
+    } else if (std::strcmp(arg, "--queue") == 0) {
+      options.queue_capacity = static_cast<size_t>(value);
+    } else if (std::strcmp(arg, "--events") == 0) {
+      options.event_capacity = static_cast<size_t>(value);
+    } else if (std::strcmp(arg, "--timeout-ms") == 0) {
+      options.pipeline.exec.deadline_ms = value;
+    } else if (std::strcmp(arg, "--max-heap-bytes") == 0) {
+      options.pipeline.exec.max_heap_bytes = value;
+    } else {
+      std::fprintf(stderr, "unknown flag '%s'\n", arg);
+      return Usage(argv[0]);
+    }
+  }
+
+  // Block the termination signals in every thread the daemon will spawn,
+  // then claim them with sigwait below: the signal is handled as ordinary
+  // control flow on the main thread instead of in a handler context.
+  sigset_t signals;
+  sigemptyset(&signals);
+  sigaddset(&signals, SIGINT);
+  sigaddset(&signals, SIGTERM);
+  pthread_sigmask(SIG_BLOCK, &signals, nullptr);
+
+  jfeed::service::GradingDaemon daemon(options);
+  jfeed::Status status = daemon.Start();
+  if (!status.ok()) {
+    std::fprintf(stderr, "jfeedd: %s\n", status.ToString().c_str());
+    return 2;
+  }
+  std::printf("jfeedd %s serving assignment '%s' on http://127.0.0.1:%u "
+              "(%d workers; POST /grade, GET /metrics /healthz /statusz "
+              "/tracez /events)\n",
+              jfeed::service::kJfeedVersion, options.assignment_id.c_str(),
+              daemon.port(), options.jobs);
+  std::fflush(stdout);
+
+  int signal_number = 0;
+  sigwait(&signals, &signal_number);
+  std::printf("jfeedd: received %s, draining\n",
+              signal_number == SIGTERM ? "SIGTERM" : "SIGINT");
+  std::fflush(stdout);
+  daemon.BeginDrain();
+  daemon.Stop();
+  std::printf("jfeedd: drained, bye\n");
+  return 0;
+}
