@@ -1,0 +1,49 @@
+#include "fleet/backoff.h"
+
+namespace jfeed::fleet {
+
+namespace {
+
+/// xorshift64: small, fast, and good enough for retry jitter. Never yields
+/// state 0, so seed 0 is nudged to a fixed constant.
+uint64_t NextRandom(uint64_t* state) {
+  uint64_t x = *state;
+  x ^= x << 13;
+  x ^= x >> 7;
+  x ^= x << 17;
+  *state = x;
+  return x;
+}
+
+}  // namespace
+
+Backoff::Backoff(BackoffPolicy policy, uint64_t seed)
+    : policy_(policy), rng_state_(seed != 0 ? seed : 0x9e3779b97f4a7c15ull) {
+  if (policy_.base_ms < 1) policy_.base_ms = 1;
+  if (policy_.max_ms < policy_.base_ms) policy_.max_ms = policy_.base_ms;
+  if (policy_.jitter < 0.0) policy_.jitter = 0.0;
+  if (policy_.jitter >= 1.0) policy_.jitter = 0.99;
+}
+
+int64_t Backoff::NextDelayMs() {
+  // Saturating double: shifting past max_ms stops growing instead of
+  // overflowing for large attempt counts.
+  int64_t delay = policy_.base_ms;
+  for (int i = 0; i < attempt_ && delay < policy_.max_ms; ++i) {
+    delay *= 2;
+  }
+  if (delay > policy_.max_ms) delay = policy_.max_ms;
+  ++attempt_;
+  if (policy_.jitter > 0.0) {
+    // Uniform in [delay * (1 - j), delay * (1 + j)], never below 1 ms.
+    double unit = static_cast<double>(NextRandom(&rng_state_) >> 11) /
+                  static_cast<double>(1ull << 53);
+    double spread = static_cast<double>(delay) * policy_.jitter;
+    double jittered =
+        static_cast<double>(delay) - spread + unit * 2.0 * spread;
+    delay = jittered < 1.0 ? 1 : static_cast<int64_t>(jittered);
+  }
+  return delay;
+}
+
+}  // namespace jfeed::fleet

@@ -1,0 +1,53 @@
+#ifndef JFEED_FLEET_BACKOFF_H_
+#define JFEED_FLEET_BACKOFF_H_
+
+// Deterministic exponential backoff with jitter — the retry/restart pacing
+// primitive of the broker fleet. Two consumers with different horizons
+// share it: the router waits out transient worker failures between grade
+// retries (tens of milliseconds), and the supervisor spaces restarts of a
+// crash-looping worker (hundreds of milliseconds to seconds) so a worker
+// that dies on boot cannot pin a core with a fork storm.
+//
+// Jitter matters even on one host: a fleet-wide hiccup (all workers
+// draining at once) fails many queued requests together, and un-jittered
+// retries would re-arrive as one synchronized thundering herd. The jitter
+// source is a private xorshift64 stream seeded at construction, so a test
+// that fixes the seed sees an exactly reproducible delay sequence — the
+// same determinism contract as support/fault.h.
+
+#include <cstdint>
+
+namespace jfeed::fleet {
+
+/// Shape of one backoff schedule: delay(n) = min(base * 2^n, max), then
+/// jittered into [delay * (1 - jitter), delay * (1 + jitter)].
+struct BackoffPolicy {
+  int64_t base_ms = 50;
+  int64_t max_ms = 2000;
+  /// Jitter fraction in [0, 1). 0 makes the schedule exact.
+  double jitter = 0.2;
+};
+
+class Backoff {
+ public:
+  explicit Backoff(BackoffPolicy policy, uint64_t seed = 1);
+
+  /// Delay before the next attempt; advances the attempt counter. The
+  /// un-jittered schedule doubles from base_ms and saturates at max_ms.
+  int64_t NextDelayMs();
+
+  /// Back to attempt 0 — called after a success (router) or once a worker
+  /// has stayed alive long enough to count as healthy (supervisor).
+  void Reset() { attempt_ = 0; }
+
+  int attempt() const { return attempt_; }
+
+ private:
+  BackoffPolicy policy_;
+  uint64_t rng_state_;
+  int attempt_ = 0;
+};
+
+}  // namespace jfeed::fleet
+
+#endif  // JFEED_FLEET_BACKOFF_H_

@@ -1,0 +1,88 @@
+#include "fleet/breaker.h"
+
+namespace jfeed::fleet {
+
+const char* BreakerStateName(BreakerState state) {
+  switch (state) {
+    case BreakerState::kClosed: return "closed";
+    case BreakerState::kHalfOpen: return "half_open";
+    case BreakerState::kOpen: return "open";
+  }
+  return "unknown";
+}
+
+int BreakerStateValue(BreakerState state) {
+  switch (state) {
+    case BreakerState::kClosed: return 0;
+    case BreakerState::kHalfOpen: return 1;
+    case BreakerState::kOpen: return 2;
+  }
+  return -1;
+}
+
+CircuitBreaker::CircuitBreaker(BreakerPolicy policy) : policy_(policy) {
+  if (policy_.failure_threshold < 1) policy_.failure_threshold = 1;
+  if (policy_.open_cooldown_ms < 0) policy_.open_cooldown_ms = 0;
+}
+
+bool CircuitBreaker::Allow(int64_t now_ms) {
+  std::lock_guard<std::mutex> lock(mu_);
+  switch (state_) {
+    case BreakerState::kClosed:
+      return true;
+    case BreakerState::kOpen:
+      if (now_ms - opened_at_ms_ < policy_.open_cooldown_ms) return false;
+      state_ = BreakerState::kHalfOpen;
+      trial_outstanding_ = true;
+      return true;
+    case BreakerState::kHalfOpen:
+      // One trial at a time; further callers wait for its verdict.
+      if (trial_outstanding_) return false;
+      trial_outstanding_ = true;
+      return true;
+  }
+  return false;
+}
+
+void CircuitBreaker::RecordSuccess() {
+  std::lock_guard<std::mutex> lock(mu_);
+  consecutive_failures_ = 0;
+  trial_outstanding_ = false;
+  state_ = BreakerState::kClosed;
+}
+
+void CircuitBreaker::RecordFailure(int64_t now_ms) {
+  std::lock_guard<std::mutex> lock(mu_);
+  switch (state_) {
+    case BreakerState::kClosed:
+      if (++consecutive_failures_ >= policy_.failure_threshold) {
+        state_ = BreakerState::kOpen;
+        opened_at_ms_ = now_ms;
+        ++trips_;
+      }
+      break;
+    case BreakerState::kHalfOpen:
+      // The trial failed: back to open, cooldown restarts from now.
+      state_ = BreakerState::kOpen;
+      opened_at_ms_ = now_ms;
+      trial_outstanding_ = false;
+      ++trips_;
+      break;
+    case BreakerState::kOpen:
+      // Late failure report from a request admitted before the trip;
+      // nothing to do, the breaker is already open.
+      break;
+  }
+}
+
+BreakerState CircuitBreaker::state() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return state_;
+}
+
+int64_t CircuitBreaker::trips() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return trips_;
+}
+
+}  // namespace jfeed::fleet

@@ -1,0 +1,76 @@
+#ifndef JFEED_FLEET_BREAKER_H_
+#define JFEED_FLEET_BREAKER_H_
+
+// Per-worker circuit breaker for the grading fleet, the classic three-state
+// machine:
+//
+//   closed ──(consecutive failures reach threshold)──> open
+//   open ──(cooldown elapses; Allow grants ONE trial)──> half-open
+//   half-open ──(trial succeeds)──> closed
+//   half-open ──(trial fails)──> open (cooldown restarts)
+//
+// The router consults the breaker before routing a grade request to a
+// worker, and the health-probe loop uses its half-open trial slot: a worker
+// that tripped its breaker is re-admitted by a cheap /healthz probe
+// succeeding, never by gambling a student submission on it. Failures feed
+// in from both directions (failed grade attempts and failed probes), so a
+// worker that dies while idle still trips without any request traffic.
+//
+// All transitions take an explicit `now_ms` monotonic timestamp instead of
+// reading a clock, which makes every state trajectory unit-testable without
+// sleeping.
+
+#include <cstdint>
+#include <mutex>
+
+namespace jfeed::fleet {
+
+enum class BreakerState { kClosed, kHalfOpen, kOpen };
+
+/// Stable name for logs / JSON ("closed", "half_open", "open").
+const char* BreakerStateName(BreakerState state);
+
+/// Gauge encoding of a state (0 closed, 1 half_open, 2 open) — the value
+/// jfeed_fleet_breaker_state{worker=...} reports.
+int BreakerStateValue(BreakerState state);
+
+struct BreakerPolicy {
+  /// Consecutive failures that trip closed -> open.
+  int failure_threshold = 3;
+  /// How long an open breaker refuses everything before it grants one
+  /// half-open trial.
+  int64_t open_cooldown_ms = 1000;
+};
+
+class CircuitBreaker {
+ public:
+  explicit CircuitBreaker(BreakerPolicy policy = BreakerPolicy());
+
+  /// May a request be sent now? Closed: always. Open: false until the
+  /// cooldown elapses, at which point the breaker moves to half-open and
+  /// this call grants the single trial (returns true exactly once per
+  /// cooldown). Half-open: false while the granted trial is outstanding.
+  bool Allow(int64_t now_ms);
+
+  /// Outcome of a request or probe that was allowed through.
+  void RecordSuccess();
+  void RecordFailure(int64_t now_ms);
+
+  BreakerState state() const;
+  /// Times the breaker transitioned into open (initial trips and half-open
+  /// re-trips both count).
+  int64_t trips() const;
+
+ private:
+  mutable std::mutex mu_;
+  BreakerPolicy policy_;
+  BreakerState state_ = BreakerState::kClosed;
+  int consecutive_failures_ = 0;
+  int64_t opened_at_ms_ = 0;
+  bool trial_outstanding_ = false;
+  int64_t trips_ = 0;
+};
+
+}  // namespace jfeed::fleet
+
+#endif  // JFEED_FLEET_BREAKER_H_

@@ -1,0 +1,214 @@
+#include "fleet/broker.h"
+
+#include <string>
+#include <utility>
+
+#include "fleet/http_client.h"
+#include "fleet/scrape.h"
+#include "obs/metrics.h"
+
+namespace jfeed::fleet {
+
+namespace {
+
+const char kJfeedBrokerVersion[] = "0.6.0";
+
+obs::HttpResponse JsonResponse(int status, std::string body) {
+  obs::HttpResponse response;
+  response.status = status;
+  response.content_type = "application/json";
+  response.body = std::move(body);
+  response.body += "\n";
+  return response;
+}
+
+}  // namespace
+
+Broker::Broker(BrokerOptions options)
+    : options_(std::move(options)), router_(options_.router) {
+  if (options_.workers < 1) options_.workers = 1;
+
+  // Register every slot up front with port 0 (kDown, unroutable): the
+  // supervisor's OnWorkerUp then only ever has to SetWorkerPort, which
+  // also resets breaker and health for the new process generation.
+  for (int id = 0; id < options_.workers; ++id) router_.AddWorker(id, 0);
+}
+
+Broker::~Broker() { Stop(); }
+
+Status Broker::Start() {
+  if (!options_.worker_command) {
+    return Status::InvalidArgument("BrokerOptions.worker_command not set");
+  }
+  if (started_.load(std::memory_order_relaxed)) {
+    return Status::Internal("broker already started");
+  }
+
+  // The registry is runtime-gated; without this every jfeed_fleet_*
+  // increment is a no-op (the daemon does the same in its Start()).
+  obs::Registry::Global().set_enabled(true);
+
+  SupervisorOptions supervisor_options = options_.supervisor;
+  supervisor_options.workers = options_.workers;
+  supervisor_ = std::make_unique<Supervisor>(supervisor_options,
+                                             options_.worker_command);
+  supervisor_->OnWorkerDown([this](int id) { router_.SetWorkerDown(id); });
+  supervisor_->OnWorkerUp(
+      [this](int id, uint16_t port) { router_.SetWorkerPort(id, port); });
+
+  JFEED_RETURN_IF_ERROR(supervisor_->Start());
+  router_.Start();
+
+  obs::HttpServer::Options server_options;
+  server_options.port = options_.port;
+  server_options.workers = options_.http_workers;
+  server_ = std::make_unique<obs::HttpServer>(server_options);
+  server_->Handle("/grade",
+                  [this](const obs::HttpRequest& r) { return HandleGrade(r); });
+  server_->Handle("/metrics", [this](const obs::HttpRequest& r) {
+    return HandleMetrics(r);
+  });
+  server_->Handle("/healthz", [this](const obs::HttpRequest& r) {
+    return HandleHealthz(r);
+  });
+  server_->Handle("/statusz", [this](const obs::HttpRequest& r) {
+    return HandleStatusz(r);
+  });
+  Status started = server_->Start();
+  if (!started.ok()) {
+    router_.Stop();
+    supervisor_->Stop();
+    return started;
+  }
+  started_.store(true, std::memory_order_relaxed);
+  return Status::OK();
+}
+
+void Broker::BeginDrain() {
+  bool expected = false;
+  if (!draining_.compare_exchange_strong(expected, true)) return;
+  // Workers receive SIGTERM and run their own drain: finish every accepted
+  // grade, answer /healthz 503, exit. The broker stops admitting new work
+  // the moment draining_ flips (HandleGrade checks it first).
+  if (supervisor_) supervisor_->Drain();
+}
+
+void Broker::Stop() {
+  BeginDrain();
+  router_.Stop();
+  if (server_) server_->Stop();
+  if (supervisor_) supervisor_->Stop();
+  started_.store(false, std::memory_order_relaxed);
+}
+
+uint16_t Broker::port() const { return server_ ? server_->port() : 0; }
+
+obs::HttpResponse Broker::HandleGrade(const obs::HttpRequest& request) {
+  if (request.method != "POST") {
+    return JsonResponse(405, "{\"error\":\"POST /grade only\"}");
+  }
+  if (draining()) {
+    obs::HttpResponse response = JsonResponse(
+        503, "{\"error\":\"broker draining; not accepting submissions\"}");
+    response.headers.emplace_back("Retry-After", "10");
+    return response;
+  }
+  if (request.body.empty()) {
+    return JsonResponse(400, "{\"error\":\"empty body\"}");
+  }
+  return router_.RouteGrade(request.body);
+}
+
+obs::HttpResponse Broker::HandleMetrics(const obs::HttpRequest&) {
+  // The broker's own registry carries only jfeed_fleet_* families (plus
+  // whatever obs instruments this process touches), so concatenating it
+  // with the merged per-worker expositions cannot collide on a family.
+  std::vector<WorkerScrape> scrapes;
+  for (const Router::WorkerSnapshot& worker : router_.Snapshot()) {
+    if (worker.port == 0 || worker.health == WorkerHealth::kDown) continue;
+    Result<HttpReply> reply = Fetch(worker.port, "GET", "/metrics", "",
+                                    options_.scrape_deadline_ms);
+    if (!reply.ok() || reply.value().status != 200) continue;
+    scrapes.emplace_back(std::to_string(worker.id),
+                         std::move(reply.value().body));
+  }
+  obs::HttpResponse response;
+  response.content_type = "text/plain; version=0.0.4; charset=utf-8";
+  response.body = obs::Registry::Global().Render();
+  response.body += MergeWorkerMetrics(scrapes);
+  return response;
+}
+
+obs::HttpResponse Broker::HandleHealthz(const obs::HttpRequest&) {
+  size_t routable = router_.RoutableCount();
+  const char* status = "ok";
+  int http_status = 200;
+  if (draining()) {
+    status = "draining";
+    http_status = 503;
+  } else if (routable == 0) {
+    // Every worker is down, degraded, or breaker-open: the fleet cannot
+    // accept a grade right now, though probes may re-admit one any moment.
+    status = "unavailable";
+    http_status = 503;
+  }
+  std::string body = "{\"status\":\"";
+  body += status;
+  body += "\",\"routable_workers\":" + std::to_string(routable);
+  body += ",\"workers\":" + std::to_string(options_.workers);
+  body += "}";
+  return JsonResponse(http_status, std::move(body));
+}
+
+obs::HttpResponse Broker::HandleStatusz(const obs::HttpRequest&) {
+  std::vector<Router::WorkerSnapshot> routed = router_.Snapshot();
+  std::vector<Supervisor::WorkerSnapshot> supervised =
+      supervisor_ ? supervisor_->Snapshot()
+                  : std::vector<Supervisor::WorkerSnapshot>();
+
+  std::string body = "{\"build\":{\"version\":\"";
+  body += kJfeedBrokerVersion;
+  body += "\",\"role\":\"broker\"}";
+  body += ",\"draining\":";
+  body += draining() ? "true" : "false";
+  body += ",\"routable_workers\":" + std::to_string(router_.RoutableCount());
+  body += ",\"workers\":[";
+  for (size_t i = 0; i < routed.size(); ++i) {
+    const Router::WorkerSnapshot& worker = routed[i];
+    if (i > 0) body += ",";
+    body += "{\"id\":" + std::to_string(worker.id);
+    body += ",\"port\":" + std::to_string(worker.port);
+    body += ",\"health\":\"";
+    body += WorkerHealthName(worker.health);
+    body += "\",\"breaker\":\"";
+    body += BreakerStateName(worker.breaker);
+    body += "\",\"breaker_trips\":" + std::to_string(worker.breaker_trips);
+    for (const Supervisor::WorkerSnapshot& slot : supervised) {
+      if (slot.id != worker.id) continue;
+      body += ",\"pid\":" + std::to_string(slot.pid);
+      body += ",\"restarts\":" + std::to_string(slot.restarts);
+      break;
+    }
+    // Embed the worker's own /statusz verbatim — it is a JSON object, so
+    // splicing it in keeps the whole document valid JSON.
+    std::string statusz = "null";
+    if (worker.port != 0 && worker.health != WorkerHealth::kDown) {
+      Result<HttpReply> reply = Fetch(worker.port, "GET", "/statusz", "",
+                                      options_.scrape_deadline_ms);
+      if (reply.ok() && reply.value().status == 200 &&
+          !reply.value().body.empty() && reply.value().body[0] == '{') {
+        statusz = std::move(reply.value().body);
+        while (!statusz.empty() &&
+               (statusz.back() == '\n' || statusz.back() == '\r')) {
+          statusz.pop_back();
+        }
+      }
+    }
+    body += ",\"statusz\":" + statusz;
+    body += "}";
+  }
+  body += "]}";
+  return JsonResponse(200, std::move(body));
+}
+
+}  // namespace jfeed::fleet

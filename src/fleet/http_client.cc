@@ -1,0 +1,176 @@
+#include "fleet/http_client.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+
+namespace jfeed::fleet {
+
+namespace {
+
+int64_t NowMs() {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// RAII socket close.
+struct Fd {
+  int fd = -1;
+  ~Fd() {
+    if (fd >= 0) ::close(fd);
+  }
+};
+
+/// Waits until `fd` is ready for `events` or the deadline passes. Returns
+/// OK on ready, kTimeout past the deadline, kUnavailable on poll error.
+Status WaitReady(int fd, short events, int64_t deadline_ms_abs) {
+  for (;;) {
+    int64_t remaining = deadline_ms_abs - NowMs();
+    if (remaining <= 0) return Status::Timeout("worker I/O deadline");
+    pollfd p{};
+    p.fd = fd;
+    p.events = events;
+    int n = ::poll(&p, 1, static_cast<int>(remaining));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::Unavailable(std::string("poll(): ") +
+                                 std::strerror(errno));
+    }
+    if (n == 0) return Status::Timeout("worker I/O deadline");
+    return Status::OK();
+  }
+}
+
+}  // namespace
+
+Result<HttpReply> Fetch(uint16_t port, const std::string& method,
+                        const std::string& target, const std::string& body,
+                        int64_t deadline_ms) {
+  const int64_t deadline_abs = NowMs() + deadline_ms;
+
+  Fd sock;
+  sock.fd = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK, 0);
+  if (sock.fd < 0) {
+    return Status::Unavailable(std::string("socket(): ") +
+                               std::strerror(errno));
+  }
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::connect(sock.fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    if (errno != EINPROGRESS) {
+      return Status::Unavailable(std::string("connect(): ") +
+                                 std::strerror(errno));
+    }
+    Status ready = WaitReady(sock.fd, POLLOUT, deadline_abs);
+    if (!ready.ok()) return ready;
+    int err = 0;
+    socklen_t len = sizeof(err);
+    ::getsockopt(sock.fd, SOL_SOCKET, SO_ERROR, &err, &len);
+    if (err != 0) {
+      return Status::Unavailable(std::string("connect(): ") +
+                                 std::strerror(err));
+    }
+  }
+
+  std::string request = method + " " + target + " HTTP/1.1\r\n";
+  request += "Host: 127.0.0.1\r\n";
+  if (!body.empty()) {
+    request += "Content-Length: " + std::to_string(body.size()) + "\r\n";
+  }
+  request += "Connection: close\r\n\r\n";
+  request += body;
+
+  size_t sent = 0;
+  while (sent < request.size()) {
+    ssize_t n = ::send(sock.fd, request.data() + sent, request.size() - sent,
+                       MSG_NOSIGNAL);
+    if (n > 0) {
+      sent += static_cast<size_t>(n);
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      Status ready = WaitReady(sock.fd, POLLOUT, deadline_abs);
+      if (!ready.ok()) return ready;
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    return Status::Unavailable(std::string("send(): ") +
+                               std::strerror(errno));
+  }
+
+  // Read until the peer closes (Connection: close framing) or the header
+  // block plus Content-Length bytes have arrived, whichever is first.
+  std::string response;
+  size_t header_end = std::string::npos;
+  size_t body_size = std::string::npos;  // Unknown until headers parsed.
+  char buffer[8192];
+  for (;;) {
+    ssize_t n = ::recv(sock.fd, buffer, sizeof(buffer), 0);
+    if (n > 0) {
+      response.append(buffer, static_cast<size_t>(n));
+    } else if (n == 0) {
+      break;  // Peer closed.
+    } else if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      Status ready = WaitReady(sock.fd, POLLIN, deadline_abs);
+      if (!ready.ok()) return ready;
+      continue;
+    } else if (errno == EINTR) {
+      continue;
+    } else {
+      return Status::Unavailable(std::string("recv(): ") +
+                                 std::strerror(errno));
+    }
+
+    if (header_end == std::string::npos) {
+      header_end = response.find("\r\n\r\n");
+      if (header_end != std::string::npos) {
+        size_t cl = response.find("Content-Length:");
+        if (cl == std::string::npos) cl = response.find("content-length:");
+        if (cl != std::string::npos && cl < header_end) {
+          body_size = static_cast<size_t>(
+              std::strtoull(response.c_str() + cl + 15, nullptr, 10));
+        }
+      }
+    }
+    if (header_end != std::string::npos && body_size != std::string::npos &&
+        response.size() >= header_end + 4 + body_size) {
+      break;  // Full framed response in hand; no need to await the close.
+    }
+  }
+
+  if (header_end == std::string::npos) {
+    header_end = response.find("\r\n\r\n");
+  }
+  if (header_end == std::string::npos) {
+    return Status::Unavailable(
+        "connection closed before response headers completed");
+  }
+  HttpReply reply;
+  if (std::sscanf(response.c_str(), "HTTP/1.1 %d", &reply.status) != 1) {
+    return Status::Internal("malformed HTTP status line from worker");
+  }
+  std::string payload = response.substr(header_end + 4);
+  if (body_size != std::string::npos) {
+    if (payload.size() < body_size) {
+      return Status::Unavailable("connection closed mid-response");
+    }
+    payload.resize(body_size);
+  }
+  reply.body = std::move(payload);
+  return reply;
+}
+
+}  // namespace jfeed::fleet

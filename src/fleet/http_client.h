@@ -1,0 +1,42 @@
+#ifndef JFEED_FLEET_HTTP_CLIENT_H_
+#define JFEED_FLEET_HTTP_CLIENT_H_
+
+// Deadline-bounded loopback HTTP/1.1 client — how the broker talks to its
+// jfeedd workers (POST /grade forwarding, /healthz probes, /metrics and
+// /statusz scrape aggregation). The transport twin of obs::HttpServer: one
+// request per connection, Connection: close, no TLS, POSIX sockets only.
+//
+// Every call carries one wall deadline covering connect + send + receive,
+// enforced with non-blocking sockets and poll(2); a worker that accepts the
+// connection and then stalls (the fault the fleet.slow_response injection
+// point simulates) costs the broker at most the deadline, never a hung
+// thread. Failure taxonomy on the Status:
+//
+//   kUnavailable  connect refused / reset / premature close — the worker
+//                 process is gone or dying; retryable on another worker.
+//   kTimeout      the deadline expired mid-exchange; retryable.
+//   kInternal     the peer spoke, but not HTTP — a bug, not an outage.
+
+#include <cstdint>
+#include <string>
+
+#include "support/result.h"
+
+namespace jfeed::fleet {
+
+/// One parsed response. `status` is the HTTP code; `body` the full payload.
+struct HttpReply {
+  int status = 0;
+  std::string body;
+};
+
+/// One blocking HTTP exchange against 127.0.0.1:`port`, bounded by
+/// `deadline_ms` of wall time end to end. A non-empty `body` is sent with a
+/// Content-Length header.
+Result<HttpReply> Fetch(uint16_t port, const std::string& method,
+                        const std::string& target, const std::string& body,
+                        int64_t deadline_ms);
+
+}  // namespace jfeed::fleet
+
+#endif  // JFEED_FLEET_HTTP_CLIENT_H_

@@ -1,0 +1,434 @@
+#include "fleet/router.h"
+
+#include <algorithm>
+#include <chrono>
+
+#include "fleet/http_client.h"
+#include "obs/metrics.h"
+#include "support/fault.h"
+
+namespace jfeed::fleet {
+
+namespace {
+
+/// One grade attempt against a worker. A Result-returning function so the
+/// fleet fault points compose with JFEED_FAULT_POINT: `fleet.worker_grade`
+/// simulates the worker dying before it answers, `fleet.slow_response` a
+/// reply that arrives past the deadline (campaign `code` picks the Status).
+Result<HttpReply> AttemptGrade(uint16_t port, const std::string& body,
+                               int64_t deadline_ms) {
+  JFEED_FAULT_POINT(fault::points::kFleetWorkerGrade);
+  JFEED_FAULT_POINT(fault::points::kFleetSlowResponse);
+  return Fetch(port, "POST", "/grade", body, deadline_ms);
+}
+
+/// One health probe against a worker, with its own fault point so chaos
+/// tests can blackhole probes without touching grade traffic.
+Result<HttpReply> AttemptProbe(uint16_t port, int64_t deadline_ms) {
+  JFEED_FAULT_POINT(fault::points::kFleetProbe);
+  return Fetch(port, "GET", "/healthz", "", deadline_ms);
+}
+
+obs::HttpResponse JsonError(int status, const std::string& message) {
+  obs::HttpResponse response;
+  response.status = status;
+  response.content_type = "application/json";
+  response.body = "{\"error\":\"" + message + "\"}\n";
+  return response;
+}
+
+obs::Counter* RequestsTotal(const char* result) {
+  return obs::Registry::Global().GetCounter(
+      "jfeed_fleet_requests_total",
+      "Grade requests seen by the broker, by final result.",
+      {{"result", result}});
+}
+
+}  // namespace
+
+const char* WorkerHealthName(WorkerHealth health) {
+  switch (health) {
+    case WorkerHealth::kDown:
+      return "down";
+    case WorkerHealth::kDegraded:
+      return "degraded";
+    case WorkerHealth::kUp:
+      return "up";
+  }
+  return "unknown";
+}
+
+int WorkerHealthValue(WorkerHealth health) {
+  switch (health) {
+    case WorkerHealth::kDown:
+      return 0;
+    case WorkerHealth::kDegraded:
+      return 1;
+    case WorkerHealth::kUp:
+      return 2;
+  }
+  return 0;
+}
+
+Router::Router(RouterPolicy policy, uint64_t seed)
+    : policy_(policy), seed_(seed) {
+  if (policy_.max_attempts < 1) policy_.max_attempts = 1;
+  if (policy_.down_after_probe_failures < 1) {
+    policy_.down_after_probe_failures = 1;
+  }
+}
+
+Router::~Router() { Stop(); }
+
+int64_t Router::NowMs() {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+void Router::AddWorker(int id, uint16_t port) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Worker worker;
+  worker.id = id;
+  worker.port = port;
+  worker.breaker = std::make_unique<CircuitBreaker>(policy_.breaker);
+  PublishWorkerGauges(worker);
+  workers_.push_back(std::move(worker));
+  obs::Registry::Global()
+      .GetGauge("jfeed_fleet_workers", "Workers registered with the broker.")
+      ->Set(static_cast<int64_t>(workers_.size()));
+}
+
+void Router::SetWorkerPort(int id, uint16_t port) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (Worker& worker : workers_) {
+    if (worker.id != id) continue;
+    worker.port = port;
+    ++worker.generation;
+    worker.health = WorkerHealth::kDown;
+    worker.probe_failures = 0;
+    // Fresh process, fresh breaker: the restart already paid the penalty
+    // (supervisor backoff); probing re-admits the worker on first contact.
+    worker.breaker = std::make_unique<CircuitBreaker>(policy_.breaker);
+    PublishWorkerGauges(worker);
+    return;
+  }
+}
+
+void Router::SetWorkerDown(int id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (Worker& worker : workers_) {
+    if (worker.id != id) continue;
+    ++worker.generation;
+    worker.health = WorkerHealth::kDown;
+    PublishWorkerGauges(worker);
+    return;
+  }
+}
+
+void Router::Start() {
+  ProbeOnce();
+  std::lock_guard<std::mutex> lock(probe_mu_);
+  if (probe_thread_.joinable()) return;
+  probe_stop_ = false;
+  probe_thread_ = std::thread(&Router::ProbeLoop, this);
+}
+
+void Router::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(probe_mu_);
+    probe_stop_ = true;
+  }
+  probe_cv_.notify_all();
+  if (probe_thread_.joinable()) probe_thread_.join();
+}
+
+void Router::ProbeLoop() {
+  std::unique_lock<std::mutex> lock(probe_mu_);
+  while (!probe_stop_) {
+    probe_cv_.wait_for(lock,
+                       std::chrono::milliseconds(policy_.probe_interval_ms),
+                       [this] { return probe_stop_; });
+    if (probe_stop_) return;
+    lock.unlock();
+    ProbeOnce();
+    lock.lock();
+  }
+}
+
+void Router::ProbeOnce() {
+  size_t count;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    count = workers_.size();
+  }
+  for (size_t i = 0; i < count; ++i) ProbeWorker(i);
+}
+
+void Router::ProbeWorker(size_t index) {
+  int id;
+  uint16_t port;
+  int64_t generation;
+  bool half_open_trial = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (index >= workers_.size()) return;
+    Worker& worker = workers_[index];
+    id = worker.id;
+    port = worker.port;
+    generation = worker.generation;
+    // A tripped breaker only re-admits a worker through a probe: Allow()
+    // hands the probe the single half-open trial. While the cooldown still
+    // runs there is nothing to learn — skip the network round-trip.
+    BreakerState state = worker.breaker->state();
+    if (state != BreakerState::kClosed) {
+      if (!worker.breaker->Allow(NowMs())) {
+        PublishWorkerGauges(worker);
+        return;
+      }
+      half_open_trial = true;
+      PublishWorkerGauges(worker);
+    }
+  }
+
+  // Network I/O happens outside the router lock.
+  Result<HttpReply> reply = AttemptProbe(port, policy_.probe_deadline_ms);
+
+  std::lock_guard<std::mutex> lock(mu_);
+  if (index >= workers_.size()) return;
+  Worker& worker = workers_[index];
+  if (worker.id != id || worker.generation != generation) return;
+
+  if (reply.ok()) {
+    worker.probe_failures = 0;
+    // Any well-formed HTTP answer proves the transport: it resolves a
+    // half-open trial as success even when the worker reports 503
+    // (draining/saturated is a routing fact, not a breaker fact).
+    if (half_open_trial) worker.breaker->RecordSuccess();
+    worker.health = reply.value().status == 200 ? WorkerHealth::kUp
+                                                : WorkerHealth::kDegraded;
+  } else {
+    obs::Registry::Global()
+        .GetCounter("jfeed_fleet_probe_failures_total",
+                    "Health probes that failed at the transport level.",
+                    {{"worker", std::to_string(id)}})
+        ->Increment();
+    ++worker.probe_failures;
+    if (worker.probe_failures >= policy_.down_after_probe_failures) {
+      worker.health = WorkerHealth::kDown;
+    }
+    int64_t trips_before = worker.breaker->trips();
+    worker.breaker->RecordFailure(NowMs());
+    int64_t tripped = worker.breaker->trips() - trips_before;
+    if (tripped > 0) {
+      obs::Registry::Global()
+          .GetCounter("jfeed_fleet_breaker_trips_total",
+                      "Circuit-breaker transitions into the open state.",
+                      {{"worker", std::to_string(id)}})
+          ->Increment(tripped);
+    }
+  }
+  PublishWorkerGauges(worker);
+}
+
+bool Router::PickWorker(const std::vector<int>& tried, int* id,
+                        uint16_t* port, int64_t* generation) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (workers_.empty()) return false;
+  size_t n = workers_.size();
+  // Two passes from the round-robin cursor: first prefer routable workers
+  // this request has not tried yet, then accept a retried one — retrying
+  // the same worker beats failing the student outright.
+  for (int pass = 0; pass < 2; ++pass) {
+    for (size_t step = 0; step < n; ++step) {
+      Worker& worker = workers_[(rr_next_ + step) % n];
+      if (worker.health != WorkerHealth::kUp) continue;
+      if (worker.breaker->state() != BreakerState::kClosed) continue;
+      bool already_tried = std::find(tried.begin(), tried.end(), worker.id) !=
+                           tried.end();
+      if (pass == 0 && already_tried) continue;
+      *id = worker.id;
+      *port = worker.port;
+      *generation = worker.generation;
+      rr_next_ = (rr_next_ + step + 1) % n;
+      return true;
+    }
+  }
+  return false;
+}
+
+void Router::RecordAttemptOutcome(int id, int64_t generation, bool success) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (Worker& worker : workers_) {
+    if (worker.id != id) continue;
+    // The attempt raced a restart: its outcome describes a process that no
+    // longer exists, so it must not poison (or absolve) the fresh one.
+    if (worker.generation != generation) return;
+    if (success) {
+      worker.breaker->RecordSuccess();
+    } else {
+      int64_t trips_before = worker.breaker->trips();
+      worker.breaker->RecordFailure(NowMs());
+      int64_t tripped = worker.breaker->trips() - trips_before;
+      if (tripped > 0) {
+        obs::Registry::Global()
+            .GetCounter("jfeed_fleet_breaker_trips_total",
+                        "Circuit-breaker transitions into the open state.",
+                        {{"worker", std::to_string(id)}})
+            ->Increment(tripped);
+      }
+    }
+    PublishWorkerGauges(worker);
+    return;
+  }
+}
+
+void Router::PublishWorkerGauges(const Worker& worker) {
+  obs::Labels labels{{"worker", std::to_string(worker.id)}};
+  obs::Registry::Global()
+      .GetGauge("jfeed_fleet_worker_state",
+                "Probed worker health (0 down, 1 degraded, 2 up).", labels)
+      ->Set(WorkerHealthValue(worker.health));
+  obs::Registry::Global()
+      .GetGauge("jfeed_fleet_breaker_state",
+                "Per-worker circuit breaker (0 closed, 1 half_open, 2 open).",
+                labels)
+      ->Set(BreakerStateValue(worker.breaker->state()));
+}
+
+obs::HttpResponse Router::RouteGrade(const std::string& body) {
+  int64_t started_us = std::chrono::duration_cast<std::chrono::microseconds>(
+                           std::chrono::steady_clock::now().time_since_epoch())
+                           .count();
+  auto record_duration = [started_us] {
+    int64_t ended_us = std::chrono::duration_cast<std::chrono::microseconds>(
+                           std::chrono::steady_clock::now().time_since_epoch())
+                           .count();
+    obs::Registry::Global()
+        .GetHistogram("jfeed_fleet_request_duration_us",
+                      "Broker-side grade request latency, microseconds.")
+        ->Record(ended_us - started_us);
+  };
+
+  // Queue-depth shedding: beyond the in-flight cap the fleet answers fast
+  // with a retry hint instead of queueing requests into a stall.
+  if (inflight_.fetch_add(1, std::memory_order_acq_rel) >=
+      policy_.max_inflight) {
+    inflight_.fetch_sub(1, std::memory_order_acq_rel);
+    obs::Registry::Global()
+        .GetCounter("jfeed_fleet_shed_total",
+                    "Requests shed with 503 + Retry-After.")
+        ->Increment();
+    RequestsTotal("shed")->Increment();
+    record_duration();
+    obs::HttpResponse response =
+        JsonError(503, "grading fleet at capacity; retry shortly");
+    response.headers.emplace_back("Retry-After",
+                                  std::to_string(policy_.retry_after_s));
+    return response;
+  }
+
+  Backoff backoff(policy_.retry_backoff,
+                  seed_ ^ request_counter_.fetch_add(
+                              1, std::memory_order_relaxed));
+  std::vector<int> tried;
+  Status last_error = Status::OK();
+
+  for (int attempt = 0; attempt < policy_.max_attempts; ++attempt) {
+    int id;
+    uint16_t port;
+    int64_t generation;
+    if (!PickWorker(tried, &id, &port, &generation)) {
+      // Nothing routable: every worker is down, draining, or has an open
+      // breaker. Shed rather than queue — the probe loop is the recovery
+      // path, and Retry-After tells the client when to come back.
+      inflight_.fetch_sub(1, std::memory_order_acq_rel);
+      obs::Registry::Global()
+          .GetCounter("jfeed_fleet_shed_total",
+                      "Requests shed with 503 + Retry-After.")
+          ->Increment();
+      RequestsTotal("shed")->Increment();
+      record_duration();
+      obs::HttpResponse response =
+          JsonError(503, "no healthy grading worker available; retry shortly");
+      response.headers.emplace_back("Retry-After",
+                                    std::to_string(policy_.retry_after_s));
+      return response;
+    }
+    tried.push_back(id);
+
+    if (attempt > 0) {
+      obs::Registry::Global()
+          .GetCounter("jfeed_fleet_retries_total",
+                      "Grade attempts re-dispatched to another worker.")
+          ->Increment();
+      std::this_thread::sleep_for(
+          std::chrono::milliseconds(backoff.NextDelayMs()));
+    }
+
+    Result<HttpReply> reply =
+        AttemptGrade(port, body, policy_.request_deadline_ms);
+
+    if (reply.ok() && reply.value().status < 500) {
+      // The worker's own answer — including 4xx per-request rejections,
+      // which are the client's fault and must never be retried.
+      RecordAttemptOutcome(id, generation, /*success=*/true);
+      inflight_.fetch_sub(1, std::memory_order_acq_rel);
+      RequestsTotal("ok")->Increment();
+      record_duration();
+      obs::HttpResponse response;
+      response.status = reply.value().status;
+      // jfeedd answers a successful /grade in NDJSON, errors in JSON; the
+      // client (Fetch) does not surface headers, so mirror that rule.
+      response.content_type = reply.value().status == 200
+                                  ? "application/x-ndjson; charset=utf-8"
+                                  : "application/json";
+      response.body = std::move(reply.value().body);
+      return response;
+    }
+
+    last_error = reply.ok()
+                     ? Status::Unavailable(
+                           "worker answered HTTP " +
+                           std::to_string(reply.value().status))
+                     : reply.status();
+    RecordAttemptOutcome(id, generation, /*success=*/false);
+  }
+
+  inflight_.fetch_sub(1, std::memory_order_acq_rel);
+  RequestsTotal("error")->Increment();
+  record_duration();
+  return JsonError(502, "grading failed after " +
+                            std::to_string(policy_.max_attempts) +
+                            " attempts: " + last_error.ToString());
+}
+
+std::vector<Router::WorkerSnapshot> Router::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<WorkerSnapshot> snapshots;
+  snapshots.reserve(workers_.size());
+  for (const Worker& worker : workers_) {
+    WorkerSnapshot snapshot;
+    snapshot.id = worker.id;
+    snapshot.port = worker.port;
+    snapshot.health = worker.health;
+    snapshot.breaker = worker.breaker->state();
+    snapshot.breaker_trips = worker.breaker->trips();
+    snapshots.push_back(snapshot);
+  }
+  return snapshots;
+}
+
+size_t Router::RoutableCount() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  size_t count = 0;
+  for (const Worker& worker : workers_) {
+    if (worker.health == WorkerHealth::kUp &&
+        worker.breaker->state() == BreakerState::kClosed) {
+      ++count;
+    }
+  }
+  return count;
+}
+
+}  // namespace jfeed::fleet

@@ -1,0 +1,167 @@
+#ifndef JFEED_FLEET_ROUTER_H_
+#define JFEED_FLEET_ROUTER_H_
+
+// The routing half of jfeed-broker: given a set of jfeedd worker endpoints
+// on loopback, forward each POST /grade body to a healthy worker and make
+// worker failure a routine, recoverable event. The machinery, in the order
+// a request meets it:
+//
+//   shedding      an in-flight cap; beyond it the fleet answers 503 +
+//                 Retry-After immediately instead of queueing into a stall.
+//   selection     round-robin over workers that are (a) probing healthy
+//                 and (b) whose circuit breaker admits traffic.
+//   deadline      every attempt is bounded by request_deadline_ms of wall
+//                 time via the fleet HTTP client.
+//   retry         a transport failure, timeout or worker 5xx is retried on
+//                 a *different* worker (same worker only when no other
+//                 exists), with exponential backoff + jitter between
+//                 attempts, at most max_attempts total. Safe because
+//                 grading is deterministic and side-effect-free per
+//                 submission (and the worker's ResultCache makes an
+//                 accidental re-grade a cache hit) — see DESIGN.md §5e.
+//   breaker       per-worker circuit breaker (fleet/breaker.h): repeated
+//                 failures stop traffic to a worker; a succeeding health
+//                 probe in half-open state re-admits it.
+//
+// A background probe thread polls each worker's /healthz: 200 -> up,
+// 503 -> degraded (alive but draining/saturated — not routable, breaker
+// untouched), transport failure -> down after a failure streak (and fed to
+// the breaker, so an idle dead worker still trips). Probes double as the
+// breaker's half-open trials: recovery never gambles a student submission.
+//
+// The router does not own worker processes — the Supervisor does, calling
+// SetWorkerPort/SetWorkerDown as it restarts them. That split keeps every
+// routing behaviour unit-testable against plain in-process HTTP servers.
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "fleet/backoff.h"
+#include "fleet/breaker.h"
+#include "obs/http_server.h"
+
+namespace jfeed::fleet {
+
+enum class WorkerHealth { kDown, kDegraded, kUp };
+
+/// Stable name for JSON/logs ("down", "degraded", "up").
+const char* WorkerHealthName(WorkerHealth health);
+
+/// Gauge encoding (0 down, 1 degraded, 2 up) —
+/// jfeed_fleet_worker_state{worker=...}.
+int WorkerHealthValue(WorkerHealth health);
+
+struct RouterPolicy {
+  /// Wall deadline per grade attempt (connect + send + receive).
+  int64_t request_deadline_ms = 60'000;
+  /// Total tries per request (first attempt + retries).
+  int max_attempts = 3;
+  BackoffPolicy retry_backoff{25, 500, 0.2};
+  BreakerPolicy breaker;
+  /// Health probe cadence and per-probe deadline.
+  int64_t probe_interval_ms = 250;
+  int64_t probe_deadline_ms = 1'000;
+  /// Consecutive probe transport failures before a worker is marked down.
+  int down_after_probe_failures = 2;
+  /// In-flight grade requests beyond which new ones are shed with 503 +
+  /// Retry-After (queue-depth shedding).
+  size_t max_inflight = 64;
+  /// Value of the Retry-After header (seconds) on shed responses.
+  int retry_after_s = 1;
+};
+
+class Router {
+ public:
+  explicit Router(RouterPolicy policy = RouterPolicy(), uint64_t seed = 1);
+  ~Router();
+
+  Router(const Router&) = delete;
+  Router& operator=(const Router&) = delete;
+
+  /// Registers a worker endpoint before Start(). Workers begin kDown and
+  /// become routable on their first successful probe.
+  void AddWorker(int id, uint16_t port);
+
+  /// Supervisor hook: worker `id` restarted on (possibly new) `port`.
+  /// Resets its breaker and health so probing re-admits it cleanly.
+  void SetWorkerPort(int id, uint16_t port);
+
+  /// Supervisor hook: worker `id`'s process died — stop routing to it now
+  /// instead of waiting for probes to notice.
+  void SetWorkerDown(int id);
+
+  /// Starts the probe thread (one immediate sweep, then every
+  /// probe_interval_ms).
+  void Start();
+  /// Stops probing. Idempotent; also run by the destructor.
+  void Stop();
+
+  /// Routes one POST /grade body and returns the response to relay to the
+  /// client: the worker's own response (any status < 500), or a broker
+  /// 503/502 with a JSON error body when the fleet cannot serve it.
+  obs::HttpResponse RouteGrade(const std::string& body);
+
+  /// Point-in-time view of one worker for /healthz, /statusz and tests.
+  struct WorkerSnapshot {
+    int id = 0;
+    uint16_t port = 0;
+    WorkerHealth health = WorkerHealth::kDown;
+    BreakerState breaker = BreakerState::kClosed;
+    int64_t breaker_trips = 0;
+  };
+  std::vector<WorkerSnapshot> Snapshot() const;
+
+  /// Workers currently eligible for new grade traffic.
+  size_t RoutableCount() const;
+
+  /// Runs one probe sweep synchronously (tests; Start() also uses it).
+  void ProbeOnce();
+
+ private:
+  struct Worker {
+    int id = 0;
+    uint16_t port = 0;
+    /// Bumped by SetWorkerPort so results from attempts/probes that raced
+    /// a restart are dropped instead of poisoning the fresh worker.
+    int64_t generation = 0;
+    WorkerHealth health = WorkerHealth::kDown;
+    int probe_failures = 0;
+    std::unique_ptr<CircuitBreaker> breaker;
+  };
+
+  void ProbeLoop();
+  void ProbeWorker(size_t index);
+  /// Picks the next routable worker round-robin, preferring ones not in
+  /// `tried`. Returns false when nothing is routable at all.
+  bool PickWorker(const std::vector<int>& tried, int* id, uint16_t* port,
+                  int64_t* generation);
+  void RecordAttemptOutcome(int id, int64_t generation, bool success);
+  void PublishWorkerGauges(const Worker& worker);
+
+  static int64_t NowMs();
+
+  RouterPolicy policy_;
+  uint64_t seed_;
+
+  mutable std::mutex mu_;
+  std::vector<Worker> workers_;
+  size_t rr_next_ = 0;
+
+  std::atomic<size_t> inflight_{0};
+  std::atomic<uint64_t> request_counter_{0};
+
+  std::mutex probe_mu_;
+  std::condition_variable probe_cv_;
+  bool probe_stop_ = false;
+  std::thread probe_thread_;
+};
+
+}  // namespace jfeed::fleet
+
+#endif  // JFEED_FLEET_ROUTER_H_

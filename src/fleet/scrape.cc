@@ -1,0 +1,107 @@
+#include "fleet/scrape.h"
+
+#include <map>
+
+namespace jfeed::fleet {
+
+namespace {
+
+/// Metric name of a sample line: the identifier before '{' or ' '. For
+/// family grouping, histogram series suffixes (_bucket/_sum/_count) must
+/// collapse onto their base family, matching how # TYPE names them.
+std::string FamilyName(const std::string& sample_name) {
+  for (const char* suffix : {"_bucket", "_sum", "_count"}) {
+    size_t n = std::string(suffix).size();
+    if (sample_name.size() > n &&
+        sample_name.compare(sample_name.size() - n, n, suffix) == 0) {
+      return sample_name.substr(0, sample_name.size() - n);
+    }
+  }
+  return sample_name;
+}
+
+struct Family {
+  std::vector<std::string> comments;  ///< # HELP / # TYPE, first worker's.
+  std::vector<std::string> samples;   ///< Rewritten sample lines.
+};
+
+}  // namespace
+
+std::string MergeWorkerMetrics(const std::vector<WorkerScrape>& scrapes) {
+  std::vector<std::string> family_order;
+  std::map<std::string, Family> families;
+
+  for (const auto& [worker, text] : scrapes) {
+    size_t pos = 0;
+    while (pos < text.size()) {
+      size_t eol = text.find('\n', pos);
+      if (eol == std::string::npos) eol = text.size();
+      std::string line = text.substr(pos, eol - pos);
+      pos = eol + 1;
+      if (line.empty()) continue;
+
+      if (line[0] == '#') {
+        // "# HELP name ..." / "# TYPE name ..." — third token is the name.
+        size_t first = line.find(' ');
+        size_t second =
+            first == std::string::npos ? first : line.find(' ', first + 1);
+        size_t third =
+            second == std::string::npos ? second : line.find(' ', second + 1);
+        if (second == std::string::npos) continue;
+        std::string name = line.substr(
+            second + 1,
+            (third == std::string::npos ? line.size() : third) - second - 1);
+        if (name.empty()) continue;
+        auto [it, inserted] = families.try_emplace(name);
+        if (inserted) family_order.push_back(name);
+        // Keep the comment block of the first worker that scraped it.
+        bool already = false;
+        for (const auto& c : it->second.comments) already |= c == line;
+        if (!already && it->second.samples.empty()) {
+          it->second.comments.push_back(line);
+        }
+        continue;
+      }
+
+      // Sample line: name{labels} value  |  name value.
+      size_t brace = line.find('{');
+      size_t space = line.find(' ');
+      if (space == std::string::npos) continue;  // No value: drop.
+      std::string rewritten;
+      std::string sample_name;
+      if (brace != std::string::npos && brace < space) {
+        sample_name = line.substr(0, brace);
+        rewritten = sample_name + "{worker=\"" + worker + "\"," +
+                    line.substr(brace + 1);
+        // An empty label set "name{} value" would leave a dangling comma.
+        size_t comma = rewritten.find(",}");
+        if (comma != std::string::npos) rewritten.erase(comma, 1);
+      } else {
+        sample_name = line.substr(0, space);
+        rewritten = sample_name + "{worker=\"" + worker + "\"}" +
+                    line.substr(space);
+      }
+      if (sample_name.empty()) continue;
+      std::string name = FamilyName(sample_name);
+      auto [it, inserted] = families.try_emplace(name);
+      if (inserted) family_order.push_back(name);
+      it->second.samples.push_back(std::move(rewritten));
+    }
+  }
+
+  std::string out;
+  for (const auto& name : family_order) {
+    const Family& family = families[name];
+    for (const auto& comment : family.comments) {
+      out += comment;
+      out += "\n";
+    }
+    for (const auto& sample : family.samples) {
+      out += sample;
+      out += "\n";
+    }
+  }
+  return out;
+}
+
+}  // namespace jfeed::fleet

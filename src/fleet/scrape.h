@@ -1,0 +1,33 @@
+#ifndef JFEED_FLEET_SCRAPE_H_
+#define JFEED_FLEET_SCRAPE_H_
+
+// Fleet-wide scrape aggregation: the broker's /metrics must show one
+// coherent Prometheus exposition for the whole fleet, not force operators
+// to discover and scrape N ephemeral worker ports. MergeWorkerMetrics
+// rewrites each worker's exposition text so every sample carries a
+// worker="<id>" label, then regroups samples family by family (Prometheus
+// requires each family's samples to be contiguous under one # HELP/# TYPE
+// block — naive concatenation of two workers' dumps is invalid exposition).
+//
+// Families appear in first-seen order across workers, samples within a
+// family in (worker order, original order) — deterministic output for a
+// deterministic input, same as Registry::Render().
+
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace jfeed::fleet {
+
+/// One worker's scrape: {worker id label value, exposition text}.
+using WorkerScrape = std::pair<std::string, std::string>;
+
+/// Merges per-worker Prometheus text expositions into one, injecting
+/// worker="<id>" as the first label of every sample line. # HELP/# TYPE
+/// comments are kept from the first worker that emitted the family;
+/// unparseable lines are dropped rather than corrupting the output.
+std::string MergeWorkerMetrics(const std::vector<WorkerScrape>& scrapes);
+
+}  // namespace jfeed::fleet
+
+#endif  // JFEED_FLEET_SCRAPE_H_

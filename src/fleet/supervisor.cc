@@ -1,0 +1,285 @@
+#include "fleet/supervisor.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <signal.h>
+#include <sys/socket.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+
+#include "obs/metrics.h"
+#include "support/result.h"
+
+namespace jfeed::fleet {
+
+Supervisor::Supervisor(SupervisorOptions options, CommandBuilder command,
+                       uint64_t seed)
+    : options_(options), command_(std::move(command)), seed_(seed) {
+  if (options_.workers < 1) options_.workers = 1;
+  for (int i = 0; i < options_.workers; ++i) {
+    slots_.emplace_back(options_.restart_backoff,
+                        seed_ ^ (0x9e3779b97f4a7c15ull * (i + 1)));
+    slots_.back().id = i;
+  }
+}
+
+Supervisor::~Supervisor() { Stop(); }
+
+int64_t Supervisor::NowMs() {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+void Supervisor::KillWorkerGroup(pid_t pid, int signo) {
+  // Workers lead their own process group (setpgid at spawn); signalling
+  // the group reaches helper processes the worker may have forked. Fall
+  // back to the single pid if the group is already gone.
+  if (::kill(-pid, signo) != 0) ::kill(pid, signo);
+}
+
+Result<uint16_t> Supervisor::PickFreePort() {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::Unavailable(std::string("socket: ") + strerror(errno));
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = 0;
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    int saved = errno;
+    ::close(fd);
+    return Status::Unavailable(std::string("bind: ") + strerror(saved));
+  }
+  socklen_t len = sizeof(addr);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) != 0) {
+    int saved = errno;
+    ::close(fd);
+    return Status::Unavailable(std::string("getsockname: ") + strerror(saved));
+  }
+  uint16_t port = ntohs(addr.sin_port);
+  ::close(fd);
+  // The port is free *now*; the child re-binds it shortly. The race window
+  // is real but tiny on loopback, and a lost race surfaces as a failed
+  // bind -> child exit -> supervised restart with a fresh pick.
+  return port;
+}
+
+void Supervisor::OnWorkerDown(std::function<void(int)> callback) {
+  on_down_ = std::move(callback);
+}
+
+void Supervisor::OnWorkerUp(std::function<void(int, uint16_t)> callback) {
+  on_up_ = std::move(callback);
+}
+
+bool Supervisor::SpawnLocked(size_t index) {
+  Slot& slot = slots_[index];
+  Result<uint16_t> port = PickFreePort();
+  if (!port.ok()) return false;
+  std::vector<std::string> argv_strings = command_(slot.id, port.value());
+  if (argv_strings.empty()) return false;
+
+  std::vector<char*> argv;
+  argv.reserve(argv_strings.size() + 1);
+  for (std::string& arg : argv_strings) argv.push_back(arg.data());
+  argv.push_back(nullptr);
+
+  pid_t pid = ::fork();
+  if (pid < 0) return false;
+  if (pid == 0) {
+    // Child. Lead a fresh process group so Drain can signal the whole
+    // worker subtree — a worker that forks helpers (or a /bin/sh that
+    // forks instead of exec'ing) must not orphan them past shutdown.
+    ::setpgid(0, 0);
+    // Restore default signal dispositions (the broker blocks
+    // SIGTERM/SIGINT for sigwait; the worker must be able to die by them).
+    signal(SIGTERM, SIG_DFL);
+    signal(SIGINT, SIG_DFL);
+    signal(SIGPIPE, SIG_DFL);
+    ::execv(argv[0], argv.data());
+    _exit(127);  // exec failed; the reaper restarts with backoff.
+  }
+  // Both sides call setpgid so the group exists before either races
+  // ahead; EACCES after the child exec'd just means it already won.
+  ::setpgid(pid, pid);
+
+  slot.pid = pid;
+  slot.port = port.value();
+  slot.started_at_ms = NowMs();
+  slot.restart_due_ms = 0;
+  return true;
+}
+
+Status Supervisor::Start() {
+  std::unique_lock<std::mutex> lock(mu_);
+  if (reaper_thread_.joinable()) {
+    return Status::Internal("supervisor already started");
+  }
+  for (size_t i = 0; i < slots_.size(); ++i) {
+    if (!SpawnLocked(i)) {
+      return Status::Unavailable("failed to spawn worker " +
+                                 std::to_string(slots_[i].id));
+    }
+  }
+  std::vector<std::pair<int, uint16_t>> started;
+  for (const Slot& slot : slots_) started.emplace_back(slot.id, slot.port);
+  lock.unlock();
+  if (on_up_) {
+    for (const auto& [id, port] : started) on_up_(id, port);
+  }
+  lock.lock();
+  stopping_ = false;
+  reaper_thread_ = std::thread(&Supervisor::ReaperLoop, this);
+  return Status::OK();
+}
+
+void Supervisor::ReaperLoop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  while (!stopping_) {
+    reaper_cv_.wait_for(lock,
+                        std::chrono::milliseconds(options_.reap_interval_ms),
+                        [this] { return stopping_; });
+    if (stopping_) return;
+
+    // Reap deaths.
+    for (size_t i = 0; i < slots_.size(); ++i) {
+      Slot& slot = slots_[i];
+      if (slot.pid <= 0) continue;
+      int wstatus = 0;
+      pid_t reaped = ::waitpid(slot.pid, &wstatus, WNOHANG);
+      if (reaped != slot.pid) continue;
+
+      int64_t now = NowMs();
+      // A long healthy run forgives the crash streak: restart pacing is
+      // for crash loops, not for the occasional casualty.
+      if (now - slot.started_at_ms >= options_.healthy_uptime_ms) {
+        slot.backoff.Reset();
+      }
+      slot.pid = -1;
+      if (!draining_) {
+        slot.restart_due_ms = now + slot.backoff.NextDelayMs();
+      }
+      int dead_id = slot.id;
+      lock.unlock();
+      if (on_down_) on_down_(dead_id);
+      lock.lock();
+    }
+
+    if (draining_) continue;
+
+    // Restart slots whose backoff has elapsed.
+    for (size_t i = 0; i < slots_.size(); ++i) {
+      Slot& slot = slots_[i];
+      if (slot.pid > 0 || slot.restart_due_ms == 0) continue;
+      if (NowMs() < slot.restart_due_ms) continue;
+      if (!SpawnLocked(i)) {
+        // Could not spawn (fork failure / port exhaustion): re-arm with
+        // the next backoff step rather than spinning.
+        slot.restart_due_ms = NowMs() + slot.backoff.NextDelayMs();
+        continue;
+      }
+      ++slot.restarts;
+      obs::Registry::Global()
+          .GetCounter("jfeed_fleet_restarts_total",
+                      "Worker processes restarted by the supervisor.",
+                      {{"worker", std::to_string(slot.id)}})
+          ->Increment();
+      int up_id = slot.id;
+      uint16_t up_port = slot.port;
+      lock.unlock();
+      if (on_up_) on_up_(up_id, up_port);
+      lock.lock();
+    }
+  }
+}
+
+void Supervisor::Drain() {
+  std::unique_lock<std::mutex> lock(mu_);
+  if (draining_) return;
+  draining_ = true;
+  std::vector<pid_t> live;
+  for (Slot& slot : slots_) {
+    slot.restart_due_ms = 0;
+    if (slot.pid > 0) {
+      live.push_back(slot.pid);
+      KillWorkerGroup(slot.pid, SIGTERM);
+    }
+  }
+  lock.unlock();
+
+  // Grace period: wait for children to drain and exit on their own. The
+  // reaper keeps running and reaps them; we poll our snapshot of pids.
+  int64_t deadline = NowMs() + options_.drain_grace_ms;
+  while (NowMs() < deadline) {
+    bool any_live = false;
+    {
+      std::lock_guard<std::mutex> relock(mu_);
+      for (const Slot& slot : slots_) {
+        if (slot.pid > 0) any_live = true;
+      }
+    }
+    if (!any_live) return;
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+
+  std::lock_guard<std::mutex> relock(mu_);
+  for (Slot& slot : slots_) {
+    if (slot.pid > 0) KillWorkerGroup(slot.pid, SIGKILL);
+  }
+  (void)live;
+}
+
+void Supervisor::Stop() {
+  Drain();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+  }
+  reaper_cv_.notify_all();
+  if (reaper_thread_.joinable()) reaper_thread_.join();
+  // Final synchronous reap so no zombies outlive the supervisor.
+  std::lock_guard<std::mutex> lock(mu_);
+  for (Slot& slot : slots_) {
+    if (slot.pid <= 0) continue;
+    int wstatus = 0;
+    if (::waitpid(slot.pid, &wstatus, 0) == slot.pid) slot.pid = -1;
+  }
+}
+
+std::vector<Supervisor::WorkerSnapshot> Supervisor::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<WorkerSnapshot> snapshots;
+  snapshots.reserve(slots_.size());
+  for (const Slot& slot : slots_) {
+    WorkerSnapshot snapshot;
+    snapshot.id = slot.id;
+    snapshot.pid = slot.pid;
+    snapshot.port = slot.port;
+    snapshot.restarts = slot.restarts;
+    snapshots.push_back(snapshot);
+  }
+  return snapshots;
+}
+
+int64_t Supervisor::TotalRestarts() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  int64_t total = 0;
+  for (const Slot& slot : slots_) total += slot.restarts;
+  return total;
+}
+
+pid_t Supervisor::WorkerPid(int worker_id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const Slot& slot : slots_) {
+    if (slot.id == worker_id) return slot.pid;
+  }
+  return -1;
+}
+
+}  // namespace jfeed::fleet

@@ -1,0 +1,157 @@
+#ifndef JFEED_FLEET_SUPERVISOR_H_
+#define JFEED_FLEET_SUPERVISOR_H_
+
+// The process-ownership half of jfeed-broker: forks one child process per
+// worker slot, watches for deaths, and restarts the dead — the classic
+// supervision-tree leaf, specialised to a fixed-size fleet.
+//
+//   fork/exec     each slot runs the command produced by a CommandBuilder
+//                 callback (worker id + pre-picked loopback port in, argv
+//                 out), so tests can supervise /bin/sh as easily as the
+//                 broker supervises jfeedd.
+//   reaping       a reaper thread polls waitpid(WNOHANG) and reports every
+//                 death through the OnWorkerDown callback before any
+//                 restart is attempted, so the router can stop sending
+//                 traffic into the corpse's port immediately.
+//   restart storm a per-slot exponential backoff (fleet/backoff.h) paces
+//                 restarts; a worker that stays up past healthy_uptime_ms
+//                 resets its slot's backoff, so one crashy deploy does not
+//                 tax the next. Each restart gets a freshly picked port and
+//                 is announced via OnWorkerUp (the router resets health and
+//                 breaker state for the new process generation).
+//   drain         Drain() forwards SIGTERM to every worker's process group
+//                 (each child leads its own group, so helpers the worker
+//                 forked are reached too; jfeedd turns
+//                 that into its graceful drain: finish in-flight grades,
+//                 503 on /healthz), waits up to a grace budget, then
+//                 SIGKILLs stragglers. No restarts happen while draining.
+//
+// The supervisor knows nothing about HTTP, health or breakers — it deals in
+// pids and exit statuses only. The Router owns the liveness view; the two
+// meet in the Broker, which wires OnWorkerDown/OnWorkerUp to
+// Router::SetWorkerDown/SetWorkerPort.
+
+#include <sys/types.h>
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "fleet/backoff.h"
+#include "support/result.h"
+#include "support/status.h"
+
+namespace jfeed::fleet {
+
+/// Produces the argv for one worker slot. Called on every (re)start with
+/// the slot's worker id and the freshly picked loopback port the child must
+/// bind. argv[0] is the executable path.
+using CommandBuilder =
+    std::function<std::vector<std::string>(int worker_id, uint16_t port)>;
+
+struct SupervisorOptions {
+  /// Worker slots to keep filled.
+  int workers = 3;
+  /// Restart pacing per slot (doubles per consecutive crash, jittered).
+  BackoffPolicy restart_backoff{200, 10'000, 0.2};
+  /// Uptime after which a slot's crash streak is forgiven and its restart
+  /// backoff reset.
+  int64_t healthy_uptime_ms = 5'000;
+  /// Reaper poll interval (also bounds restart-due wakeup latency).
+  int64_t reap_interval_ms = 50;
+  /// Drain(): grace between SIGTERM and SIGKILL.
+  int64_t drain_grace_ms = 10'000;
+};
+
+class Supervisor {
+ public:
+  explicit Supervisor(SupervisorOptions options, CommandBuilder command,
+                      uint64_t seed = 1);
+  ~Supervisor();
+
+  Supervisor(const Supervisor&) = delete;
+  Supervisor& operator=(const Supervisor&) = delete;
+
+  /// Called (from the reaper thread) the moment a worker's death is reaped,
+  /// before any restart. Register before Start().
+  void OnWorkerDown(std::function<void(int worker_id)> callback);
+  /// Called after a worker (re)starts: new pid is running and will bind
+  /// `port`. Also fired for the initial spawns. Register before Start().
+  void OnWorkerUp(std::function<void(int worker_id, uint16_t port)> callback);
+
+  /// Picks ports, spawns all workers, starts the reaper thread.
+  Status Start();
+
+  /// SIGTERM every live worker, wait up to drain_grace_ms, SIGKILL the
+  /// rest. Disables restarts. Idempotent.
+  void Drain();
+
+  /// Drain (if not already) and join the reaper. Run by the destructor.
+  void Stop();
+
+  /// Point-in-time view of one slot for /statusz and tests.
+  struct WorkerSnapshot {
+    int id = 0;
+    pid_t pid = -1;  ///< -1 when the slot is between processes.
+    uint16_t port = 0;
+    int64_t restarts = 0;
+  };
+  std::vector<WorkerSnapshot> Snapshot() const;
+
+  /// Total restarts across all slots (initial spawns not counted).
+  int64_t TotalRestarts() const;
+
+  /// The pid currently filling slot `worker_id`, or -1. Tests use this to
+  /// aim a kill(2) at a specific worker.
+  pid_t WorkerPid(int worker_id) const;
+
+  /// Picks a free loopback port by binding :0 and reading it back. Exposed
+  /// for tests and the broker's own listener.
+  static Result<uint16_t> PickFreePort();
+
+ private:
+  struct Slot {
+    int id = 0;
+    pid_t pid = -1;
+    uint16_t port = 0;
+    int64_t started_at_ms = 0;
+    int64_t restart_due_ms = 0;  ///< 0 = not awaiting restart.
+    int64_t restarts = 0;
+    Backoff backoff;
+    explicit Slot(const BackoffPolicy& policy, uint64_t seed)
+        : backoff(policy, seed) {}
+  };
+
+  void ReaperLoop();
+  /// Spawns slot `index`'s process (expects mu_ held). Returns false when
+  /// fork/exec could not even be attempted.
+  bool SpawnLocked(size_t index);
+  /// Signals the worker's process group (workers lead their own group),
+  /// falling back to the bare pid if the group no longer exists.
+  static void KillWorkerGroup(pid_t pid, int signo);
+
+  static int64_t NowMs();
+
+  SupervisorOptions options_;
+  CommandBuilder command_;
+  uint64_t seed_;
+
+  std::function<void(int)> on_down_;
+  std::function<void(int, uint16_t)> on_up_;
+
+  mutable std::mutex mu_;
+  std::vector<Slot> slots_;
+  bool draining_ = false;
+  bool stopping_ = false;
+
+  std::condition_variable reaper_cv_;
+  std::thread reaper_thread_;
+};
+
+}  // namespace jfeed::fleet
+
+#endif  // JFEED_FLEET_SUPERVISOR_H_

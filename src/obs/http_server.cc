@@ -9,8 +9,10 @@ const char* HttpStatusText(int status) {
     case 400: return "Bad Request";
     case 404: return "Not Found";
     case 405: return "Method Not Allowed";
+    case 408: return "Request Timeout";
     case 413: return "Payload Too Large";
     case 500: return "Internal Server Error";
+    case 502: return "Bad Gateway";
     case 503: return "Service Unavailable";
   }
   return "Unknown";
@@ -24,10 +26,12 @@ const char* HttpStatusText(int status) {
 #include <netinet/in.h>
 #include <netinet/tcp.h>
 #include <sys/socket.h>
+#include <sys/time.h>
 #include <unistd.h>
 
 #include <cctype>
 #include <cerrno>
+#include <chrono>
 #include <cstdlib>
 #include <cstring>
 
@@ -35,40 +39,67 @@ namespace jfeed::obs {
 
 namespace {
 
+int64_t NowMs() {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// Arms SO_RCVTIMEO/SO_SNDTIMEO so no single recv/send on this connection
+/// can block longer than `ms` — the per-call half of the slowloris guard
+/// (the total-elapsed half lives in ReadRequest/WriteAll).
+void ArmSocketTimeouts(int fd, int64_t ms) {
+  if (ms <= 0) return;
+  timeval tv{};
+  tv.tv_sec = ms / 1000;
+  tv.tv_usec = (ms % 1000) * 1000;
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+}
+
 /// Writes the whole buffer, riding out EINTR and partial writes. SIGPIPE is
 /// avoided with MSG_NOSIGNAL — a client that hangs up mid-response must not
-/// kill the daemon.
-bool WriteAll(int fd, const char* data, size_t size) {
+/// kill the daemon. `deadline_abs_ms` (0 = none) bounds total wall time
+/// against a connected-but-not-reading client.
+bool WriteAll(int fd, const char* data, size_t size, int64_t deadline_abs_ms) {
   size_t sent = 0;
   while (sent < size) {
+    if (deadline_abs_ms != 0 && NowMs() >= deadline_abs_ms) return false;
     ssize_t n = ::send(fd, data + sent, size - sent, MSG_NOSIGNAL);
     if (n < 0) {
       if (errno == EINTR) continue;
-      return false;
+      return false;  // EAGAIN from SO_SNDTIMEO lands here: drop the client.
     }
     sent += static_cast<size_t>(n);
   }
   return true;
 }
 
-void WriteResponse(int fd, const HttpResponse& response) {
+void WriteResponse(int fd, const HttpResponse& response,
+                   int64_t deadline_abs_ms = 0) {
   std::string head = "HTTP/1.1 " + std::to_string(response.status) + " " +
                      HttpStatusText(response.status) +
                      "\r\nContent-Type: " + response.content_type +
                      "\r\nContent-Length: " +
-                     std::to_string(response.body.size()) +
-                     "\r\nConnection: close\r\n\r\n";
-  if (WriteAll(fd, head.data(), head.size())) {
-    WriteAll(fd, response.body.data(), response.body.size());
+                     std::to_string(response.body.size());
+  for (const auto& [name, value] : response.headers) {
+    head += "\r\n" + name + ": " + value;
+  }
+  head += "\r\nConnection: close\r\n\r\n";
+  if (WriteAll(fd, head.data(), head.size(), deadline_abs_ms)) {
+    WriteAll(fd, response.body.data(), response.body.size(),
+             deadline_abs_ms);
   }
 }
 
 /// Reads until the blank line ending the headers, then Content-Length more
 /// bytes. Returns false (and sends the right 4xx) on malformed or oversized
 /// input. The parse is deliberately strict-but-simple: request line +
-/// headers; no continuation lines, no chunked bodies.
-bool ReadRequest(int fd, size_t max_bytes, HttpRequest* request,
-                 HttpResponse* error) {
+/// headers; no continuation lines, no chunked bodies. `deadline_abs_ms`
+/// (0 = none) is the slowloris guard: a request not complete by then is
+/// answered 408 — trickling bytes cannot hold a worker slot forever.
+bool ReadRequest(int fd, size_t max_bytes, int64_t deadline_abs_ms,
+                 HttpRequest* request, HttpResponse* error) {
   std::string data;
   size_t header_end = std::string::npos;
   char buffer[4096];
@@ -78,8 +109,17 @@ bool ReadRequest(int fd, size_t max_bytes, HttpRequest* request,
       error->body = "request headers exceed limit\n";
       return false;
     }
+    if (deadline_abs_ms != 0 && NowMs() >= deadline_abs_ms) {
+      error->status = 408;
+      error->body = "request read deadline exceeded\n";
+      return false;
+    }
     ssize_t n = ::recv(fd, buffer, sizeof(buffer), 0);
     if (n < 0 && errno == EINTR) continue;
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      // SO_RCVTIMEO expired — re-check the total deadline above.
+      continue;
+    }
     if (n <= 0) {
       error->status = 400;
       error->body = "connection closed before headers completed\n";
@@ -140,8 +180,14 @@ bool ReadRequest(int fd, size_t max_bytes, HttpRequest* request,
     return false;
   }
   while (data.size() < total) {
+    if (deadline_abs_ms != 0 && NowMs() >= deadline_abs_ms) {
+      error->status = 408;
+      error->body = "request read deadline exceeded\n";
+      return false;
+    }
     ssize_t n = ::recv(fd, buffer, sizeof(buffer), 0);
     if (n < 0 && errno == EINTR) continue;
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) continue;
     if (n <= 0) {
       error->status = 400;
       error->body = "connection closed mid-body\n";
@@ -281,22 +327,48 @@ void HttpServer::WorkerLoop() {
 }
 
 void HttpServer::ServeConnection(int fd) {
+  // Slowloris guard: one total I/O budget for the connection, enforced as
+  // a wall deadline re-checked between recv/send calls, with SO_RCVTIMEO /
+  // SO_SNDTIMEO armed to a short tick so no single syscall can overshoot
+  // the deadline by more than that tick.
+  int64_t deadline_abs_ms = 0;
+  if (options_.io_deadline_ms > 0) {
+    deadline_abs_ms = NowMs() + options_.io_deadline_ms;
+    int64_t tick = options_.io_deadline_ms < 1000 ? options_.io_deadline_ms
+                                                  : 1000;
+    ArmSocketTimeouts(fd, tick);
+  }
+
   HttpRequest request;
   HttpResponse error;
-  if (!ReadRequest(fd, options_.max_request_bytes, &request, &error)) {
-    WriteResponse(fd, error);
+  if (!ReadRequest(fd, options_.max_request_bytes, deadline_abs_ms, &request,
+                   &error)) {
+    // The read deadline may already be spent (that is what a 408 means);
+    // the error write gets its own fresh budget so the client hears why.
+    int64_t write_deadline =
+        options_.io_deadline_ms > 0 ? NowMs() + options_.io_deadline_ms : 0;
+    WriteResponse(fd, error, write_deadline);
     return;
   }
   for (const auto& [path, handler] : routes_) {
     if (path == request.path) {
-      WriteResponse(fd, handler(request));
+      // The handler itself (grading) is not under the I/O deadline; only
+      // the response write is, so a dead client cannot park the worker.
+      HttpResponse response = handler(request);
+      int64_t write_deadline =
+          options_.io_deadline_ms > 0 ? NowMs() + options_.io_deadline_ms
+                                      : 0;
+      WriteResponse(fd, response, write_deadline);
       return;
     }
   }
   HttpResponse not_found;
   not_found.status = 404;
   not_found.body = "no handler for " + request.path + "\n";
-  WriteResponse(fd, not_found);
+  WriteResponse(fd, not_found,
+                options_.io_deadline_ms > 0
+                    ? NowMs() + options_.io_deadline_ms
+                    : 0);
 }
 
 }  // namespace jfeed::obs

@@ -56,6 +56,9 @@ struct HttpResponse {
   int status = 200;
   std::string content_type = "text/plain; charset=utf-8";
   std::string body;
+  /// Extra headers appended verbatim (name, value) — e.g. the Retry-After
+  /// the broker attaches to fleet-wide 503 shedding.
+  std::vector<std::pair<std::string, std::string>> headers;
 };
 
 /// Handler for one path. Runs on a connection-worker thread.
@@ -78,6 +81,7 @@ class HttpServer {
     int workers = 4;
     size_t max_request_bytes = 8u << 20;
     size_t backlog = 64;
+    int64_t io_deadline_ms = 10'000;
   };
 
   HttpServer() {}
@@ -116,6 +120,12 @@ class HttpServer {
     /// Accepted-socket queue bound; connections beyond it are answered 503
     /// by the accept thread instead of piling up unboundedly.
     size_t backlog = 64;
+    /// Per-connection I/O deadline (slowloris guard): a client that has not
+    /// delivered a complete request within this budget is answered 408 and
+    /// disconnected, so a half-sent request can occupy a connection worker
+    /// for at most this long. The same budget bounds response writes to a
+    /// non-reading client. 0 disables the guard.
+    int64_t io_deadline_ms = 10'000;
   };
 
   HttpServer();  ///< Equivalent to HttpServer(Options{}).

@@ -269,6 +269,7 @@ obs::HttpResponse GradingDaemon::HandleStatusz(const obs::HttpRequest&) {
   body += __VERSION__;
   body += "\",\"obs\":\"on\"}";
   body += ",\"assignment\":\"" + options_.assignment_id + "\"";
+  body += ",\"worker_id\":" + std::to_string(options_.worker_id);
   body += ",\"uptime_s\":" + std::to_string(uptime);
   body += ",\"start_unix_ms\":" + std::to_string(start_unix_ms_);
   body += ",\"draining\":";

@@ -68,6 +68,10 @@ struct DaemonOptions {
   /// class internal_fault (infrastructure trouble, not student error).
   /// Needs at least health_window/2 recorded events to trip.
   size_t health_window = 32;
+  /// Fleet worker id when this daemon runs as a supervised jfeed-broker
+  /// worker (--worker-id); -1 when standalone. Surfaced in /statusz so an
+  /// operator can tell workers apart behind the broker.
+  int worker_id = -1;
 };
 
 #ifdef JFEED_OBS_DISABLED

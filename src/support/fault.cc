@@ -71,4 +71,9 @@ std::vector<std::string> Injector::AllPoints() {
           points::kInterpreterCall, points::kMatcher};
 }
 
+std::vector<std::string> Injector::FleetPoints() {
+  return {points::kFleetWorkerGrade, points::kFleetProbe,
+          points::kFleetSlowResponse};
+}
+
 }  // namespace jfeed::fault

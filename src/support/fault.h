@@ -21,6 +21,19 @@ inline constexpr const char kParser[] = "javalang.parse";
 inline constexpr const char kEpdgBuilder[] = "pdg.build_epdg";
 inline constexpr const char kInterpreterCall[] = "interp.call";
 inline constexpr const char kMatcher[] = "core.match_submission";
+
+// Fleet points, crossed in the broker (src/fleet), not the grading
+// pipeline — listed by Injector::FleetPoints(), NOT AllPoints(), because
+// the pipeline chaos sweep asserts a degradation-ladder rung per point and
+// these fire nowhere inside a single-process grade. Configure the
+// campaign's `code` to shape the symptom (kUnavailable reads as a worker
+// crash / connection reset, kTimeout as a deadline blowout).
+/// A grade attempt dispatched to a worker dies mid-flight (worker crash).
+inline constexpr const char kFleetWorkerGrade[] = "fleet.worker_grade";
+/// A health probe is blackholed (worker alive but unreachable).
+inline constexpr const char kFleetProbe[] = "fleet.probe";
+/// A worker answered, but too slowly to count (forced deadline expiry).
+inline constexpr const char kFleetSlowResponse[] = "fleet.slow_response";
 }  // namespace points
 
 /// Configuration of one injection campaign. The decision whether a given
@@ -84,8 +97,13 @@ class Injector {
   /// Number of times `point` was crossed since the last Enable.
   int64_t Hits(const std::string& point) const;
 
-  /// The canonical list of registered injection points.
+  /// The canonical list of registered grading-pipeline injection points
+  /// (the set the per-assignment chaos sweep iterates).
   static std::vector<std::string> AllPoints();
+
+  /// The broker-side fleet injection points (worker crash, probe
+  /// blackhole, slow response), swept by the fleet chaos suite.
+  static std::vector<std::string> FleetPoints();
 
  private:
   Injector() = default;

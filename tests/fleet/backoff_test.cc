@@ -1,0 +1,73 @@
+#include "fleet/backoff.h"
+
+#include <vector>
+
+#include "gtest/gtest.h"
+
+namespace jfeed::fleet {
+namespace {
+
+TEST(BackoffTest, ExactDoublingWithoutJitter) {
+  Backoff backoff({/*base_ms=*/50, /*max_ms=*/2000, /*jitter=*/0.0});
+  EXPECT_EQ(backoff.NextDelayMs(), 50);
+  EXPECT_EQ(backoff.NextDelayMs(), 100);
+  EXPECT_EQ(backoff.NextDelayMs(), 200);
+  EXPECT_EQ(backoff.NextDelayMs(), 400);
+}
+
+TEST(BackoffTest, SaturatesAtMax) {
+  Backoff backoff({/*base_ms=*/50, /*max_ms=*/300, /*jitter=*/0.0});
+  backoff.NextDelayMs();  // 50
+  backoff.NextDelayMs();  // 100
+  backoff.NextDelayMs();  // 200
+  EXPECT_EQ(backoff.NextDelayMs(), 300);
+  EXPECT_EQ(backoff.NextDelayMs(), 300);
+  // Deep attempt counts must not overflow the doubling into negatives.
+  for (int i = 0; i < 80; ++i) EXPECT_EQ(backoff.NextDelayMs(), 300);
+}
+
+TEST(BackoffTest, JitterStaysInsideTheBand) {
+  Backoff backoff({/*base_ms=*/100, /*max_ms=*/10'000, /*jitter=*/0.2}, 7);
+  int64_t expected = 100;
+  for (int i = 0; i < 6; ++i) {
+    int64_t delay = backoff.NextDelayMs();
+    EXPECT_GE(delay, expected * 8 / 10) << "attempt " << i;
+    EXPECT_LE(delay, expected * 12 / 10) << "attempt " << i;
+    expected *= 2;
+  }
+}
+
+TEST(BackoffTest, SameSeedSameSequenceDifferentSeedDiverges) {
+  BackoffPolicy policy{/*base_ms=*/100, /*max_ms=*/10'000, /*jitter=*/0.5};
+  Backoff a(policy, 42);
+  Backoff b(policy, 42);
+  Backoff c(policy, 43);
+  std::vector<int64_t> from_a, from_b, from_c;
+  for (int i = 0; i < 8; ++i) {
+    from_a.push_back(a.NextDelayMs());
+    from_b.push_back(b.NextDelayMs());
+    from_c.push_back(c.NextDelayMs());
+  }
+  EXPECT_EQ(from_a, from_b);
+  EXPECT_NE(from_a, from_c);
+}
+
+TEST(BackoffTest, ResetRestartsTheSchedule) {
+  Backoff backoff({/*base_ms=*/50, /*max_ms=*/2000, /*jitter=*/0.0});
+  backoff.NextDelayMs();
+  backoff.NextDelayMs();
+  EXPECT_EQ(backoff.attempt(), 2);
+  backoff.Reset();
+  EXPECT_EQ(backoff.attempt(), 0);
+  EXPECT_EQ(backoff.NextDelayMs(), 50);
+}
+
+TEST(BackoffTest, DelayIsAlwaysPositive) {
+  // Even a degenerate policy (base 0, full jitter) must sleep at least 1ms,
+  // or a retry loop would spin.
+  Backoff backoff({/*base_ms=*/0, /*max_ms=*/0, /*jitter=*/0.99}, 3);
+  for (int i = 0; i < 20; ++i) EXPECT_GE(backoff.NextDelayMs(), 1);
+}
+
+}  // namespace
+}  // namespace jfeed::fleet

@@ -1,0 +1,102 @@
+#include "fleet/breaker.h"
+
+#include "gtest/gtest.h"
+
+namespace jfeed::fleet {
+namespace {
+
+BreakerPolicy Policy(int threshold = 3, int64_t cooldown_ms = 1000) {
+  BreakerPolicy policy;
+  policy.failure_threshold = threshold;
+  policy.open_cooldown_ms = cooldown_ms;
+  return policy;
+}
+
+TEST(CircuitBreakerTest, ClosedAllowsAndAbsorbsScatteredFailures) {
+  CircuitBreaker breaker(Policy(3));
+  EXPECT_EQ(breaker.state(), BreakerState::kClosed);
+  EXPECT_TRUE(breaker.Allow(0));
+  // Failures interleaved with successes never reach the consecutive
+  // threshold.
+  for (int round = 0; round < 5; ++round) {
+    breaker.RecordFailure(round);
+    breaker.RecordFailure(round);
+    breaker.RecordSuccess();
+  }
+  EXPECT_EQ(breaker.state(), BreakerState::kClosed);
+  EXPECT_EQ(breaker.trips(), 0);
+}
+
+TEST(CircuitBreakerTest, ConsecutiveFailuresTrip) {
+  CircuitBreaker breaker(Policy(3));
+  breaker.RecordFailure(10);
+  breaker.RecordFailure(20);
+  EXPECT_EQ(breaker.state(), BreakerState::kClosed);
+  breaker.RecordFailure(30);
+  EXPECT_EQ(breaker.state(), BreakerState::kOpen);
+  EXPECT_EQ(breaker.trips(), 1);
+  EXPECT_FALSE(breaker.Allow(31));
+}
+
+TEST(CircuitBreakerTest, CooldownGrantsExactlyOneTrial) {
+  CircuitBreaker breaker(Policy(1, /*cooldown_ms=*/1000));
+  breaker.RecordFailure(0);
+  EXPECT_EQ(breaker.state(), BreakerState::kOpen);
+  EXPECT_FALSE(breaker.Allow(999));
+  // Cooldown elapsed: the first Allow is the half-open trial...
+  EXPECT_TRUE(breaker.Allow(1000));
+  EXPECT_EQ(breaker.state(), BreakerState::kHalfOpen);
+  // ...and only the first — no second request slips through while the
+  // trial is outstanding.
+  EXPECT_FALSE(breaker.Allow(1001));
+  EXPECT_FALSE(breaker.Allow(5000));
+}
+
+TEST(CircuitBreakerTest, TrialSuccessCloses) {
+  CircuitBreaker breaker(Policy(1, 1000));
+  breaker.RecordFailure(0);
+  ASSERT_TRUE(breaker.Allow(1000));
+  breaker.RecordSuccess();
+  EXPECT_EQ(breaker.state(), BreakerState::kClosed);
+  EXPECT_TRUE(breaker.Allow(1001));
+  // The failure streak was reset: one new failure re-trips (threshold 1)…
+  breaker.RecordFailure(1002);
+  EXPECT_EQ(breaker.state(), BreakerState::kOpen);
+  EXPECT_EQ(breaker.trips(), 2);
+}
+
+TEST(CircuitBreakerTest, TrialFailureReopensAndRestartsCooldown) {
+  CircuitBreaker breaker(Policy(1, 1000));
+  breaker.RecordFailure(0);
+  ASSERT_TRUE(breaker.Allow(1000));
+  breaker.RecordFailure(1100);
+  EXPECT_EQ(breaker.state(), BreakerState::kOpen);
+  EXPECT_EQ(breaker.trips(), 2);
+  // The cooldown restarts from the re-trip, not the original trip.
+  EXPECT_FALSE(breaker.Allow(1999));
+  EXPECT_TRUE(breaker.Allow(2100));
+  EXPECT_EQ(breaker.state(), BreakerState::kHalfOpen);
+}
+
+TEST(CircuitBreakerTest, LateFailureReportInOpenIsANoOp) {
+  // An attempt dispatched before the trip may report its failure after: it
+  // must not extend the cooldown or double-count a trip.
+  CircuitBreaker breaker(Policy(1, 1000));
+  breaker.RecordFailure(0);
+  ASSERT_EQ(breaker.state(), BreakerState::kOpen);
+  breaker.RecordFailure(500);
+  EXPECT_EQ(breaker.trips(), 1);
+  EXPECT_TRUE(breaker.Allow(1000));  // Cooldown still counted from t=0.
+}
+
+TEST(BreakerStateTest, NamesAndGaugeValues) {
+  EXPECT_STREQ(BreakerStateName(BreakerState::kClosed), "closed");
+  EXPECT_STREQ(BreakerStateName(BreakerState::kHalfOpen), "half_open");
+  EXPECT_STREQ(BreakerStateName(BreakerState::kOpen), "open");
+  EXPECT_EQ(BreakerStateValue(BreakerState::kClosed), 0);
+  EXPECT_EQ(BreakerStateValue(BreakerState::kHalfOpen), 1);
+  EXPECT_EQ(BreakerStateValue(BreakerState::kOpen), 2);
+}
+
+}  // namespace
+}  // namespace jfeed::fleet

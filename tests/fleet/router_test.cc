@@ -1,0 +1,270 @@
+#include "fleet/router.h"
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <string>
+#include <thread>
+
+#include "gtest/gtest.h"
+#include "obs/metrics.h"
+
+namespace jfeed::fleet {
+namespace {
+
+#ifndef JFEED_OBS_DISABLED
+
+/// A scriptable in-process stand-in for one jfeedd worker: /healthz and
+/// /grade behaviour are switchable at runtime, so one test can walk a
+/// worker through healthy -> failing -> recovered without real processes.
+class FakeWorker {
+ public:
+  FakeWorker() {
+    server_.Handle("/healthz", [this](const obs::HttpRequest&) {
+      obs::HttpResponse response;
+      response.status = healthz_status_.load();
+      response.body = "{}";
+      return response;
+    });
+    server_.Handle("/grade", [this](const obs::HttpRequest& request) {
+      grade_calls_.fetch_add(1);
+      obs::HttpResponse response;
+      response.status = grade_status_.load();
+      response.body = "worker:" + name_ + ":" + request.body;
+      return response;
+    });
+  }
+
+  void Start(const std::string& name) {
+    name_ = name;
+    ASSERT_TRUE(server_.Start().ok());
+  }
+  void Stop() { server_.Stop(); }
+  uint16_t port() const { return server_.port(); }
+
+  void set_healthz_status(int status) { healthz_status_.store(status); }
+  void set_grade_status(int status) { grade_status_.store(status); }
+  int grade_calls() const { return grade_calls_.load(); }
+
+ private:
+  std::string name_;
+  obs::HttpServer server_;
+  std::atomic<int> healthz_status_{200};
+  std::atomic<int> grade_status_{200};
+  std::atomic<int> grade_calls_{0};
+};
+
+RouterPolicy FastPolicy() {
+  RouterPolicy policy;
+  policy.request_deadline_ms = 2000;
+  policy.max_attempts = 3;
+  policy.retry_backoff = {1, 4, 0.0};
+  policy.breaker.failure_threshold = 2;
+  policy.breaker.open_cooldown_ms = 50;
+  policy.probe_deadline_ms = 500;
+  policy.down_after_probe_failures = 1;
+  return policy;
+}
+
+class RouterTest : public ::testing::Test {
+ protected:
+  void TearDown() override { obs::Registry::Global().ResetForTest(); }
+};
+
+TEST_F(RouterTest, WorkersBecomeRoutableViaProbesAndServeGrades) {
+  FakeWorker worker;
+  worker.Start("a");
+  Router router(FastPolicy());
+  router.AddWorker(0, worker.port());
+  EXPECT_EQ(router.RoutableCount(), 0u);  // kDown until probed.
+
+  router.ProbeOnce();
+  EXPECT_EQ(router.RoutableCount(), 1u);
+
+  obs::HttpResponse response = router.RouteGrade("{\"id\":\"s1\"}");
+  EXPECT_EQ(response.status, 200);
+  EXPECT_EQ(response.body, "worker:a:{\"id\":\"s1\"}");
+}
+
+TEST_F(RouterTest, NoRoutableWorkerShedsWith503AndRetryAfter) {
+  Router router(FastPolicy());
+  router.AddWorker(0, 1);  // Port 1: nothing listens; never probed up.
+  obs::HttpResponse response = router.RouteGrade("x");
+  EXPECT_EQ(response.status, 503);
+  ASSERT_EQ(response.headers.size(), 1u);
+  EXPECT_EQ(response.headers[0].first, "Retry-After");
+}
+
+TEST_F(RouterTest, DeadWorkerRetriesOntoSurvivor) {
+  FakeWorker a, b;
+  a.Start("a");
+  b.Start("b");
+  Router router(FastPolicy());
+  router.AddWorker(0, a.port());
+  router.AddWorker(1, b.port());
+  router.ProbeOnce();
+  ASSERT_EQ(router.RoutableCount(), 2u);
+
+  // Worker a dies after probes marked it up: the next grade routed to it
+  // fails at the transport level and must be retried on b transparently.
+  a.Stop();
+  for (int i = 0; i < 4; ++i) {
+    obs::HttpResponse response = router.RouteGrade("s");
+    EXPECT_EQ(response.status, 200) << response.body;
+    EXPECT_EQ(response.body, "worker:b:s");
+  }
+  EXPECT_GE(b.grade_calls(), 4);
+}
+
+TEST_F(RouterTest, RepeatedFailuresTripTheBreakerThenProbeRecovers) {
+  FakeWorker worker;
+  worker.Start("a");
+  worker.set_grade_status(500);  // Healthy transport, broken grading.
+  RouterPolicy policy = FastPolicy();
+  policy.max_attempts = 1;
+  Router router(policy);
+  router.AddWorker(0, worker.port());
+  router.ProbeOnce();
+
+  // failure_threshold=2: two failed grades trip the breaker.
+  EXPECT_EQ(router.RouteGrade("x").status, 502);
+  EXPECT_EQ(router.RouteGrade("x").status, 502);
+  auto snapshot = router.Snapshot();
+  ASSERT_EQ(snapshot.size(), 1u);
+  EXPECT_EQ(snapshot[0].breaker, BreakerState::kOpen);
+  EXPECT_EQ(snapshot[0].breaker_trips, 1);
+  EXPECT_EQ(router.RoutableCount(), 0u);
+  // Tripped: requests shed instead of hammering the worker.
+  EXPECT_EQ(router.RouteGrade("x").status, 503);
+
+  // The worker recovers; once the cooldown elapses a probe takes the
+  // half-open trial and re-admits it — no student submission was gambled.
+  worker.set_grade_status(200);
+  std::this_thread::sleep_for(std::chrono::milliseconds(80));
+  router.ProbeOnce();
+  snapshot = router.Snapshot();
+  EXPECT_EQ(snapshot[0].breaker, BreakerState::kClosed);
+  EXPECT_EQ(router.RoutableCount(), 1u);
+  EXPECT_EQ(router.RouteGrade("x").status, 200);
+}
+
+TEST_F(RouterTest, ClientErrorsRelayWithoutRetry) {
+  FakeWorker worker;
+  worker.Start("a");
+  worker.set_grade_status(400);
+  Router router(FastPolicy());
+  router.AddWorker(0, worker.port());
+  router.ProbeOnce();
+
+  obs::HttpResponse response = router.RouteGrade("not json");
+  EXPECT_EQ(response.status, 400);
+  // A 4xx is the client's fault: exactly one attempt, breaker untouched.
+  EXPECT_EQ(worker.grade_calls(), 1);
+  EXPECT_EQ(router.Snapshot()[0].breaker, BreakerState::kClosed);
+}
+
+TEST_F(RouterTest, DegradedWorkerIsNotRoutedButBreakerStaysClosed) {
+  FakeWorker worker;
+  worker.Start("a");
+  worker.set_healthz_status(503);  // Alive but draining/saturated.
+  Router router(FastPolicy());
+  router.AddWorker(0, worker.port());
+  router.ProbeOnce();
+
+  auto snapshot = router.Snapshot();
+  EXPECT_EQ(snapshot[0].health, WorkerHealth::kDegraded);
+  EXPECT_EQ(snapshot[0].breaker, BreakerState::kClosed);
+  EXPECT_EQ(router.RoutableCount(), 0u);
+
+  // The drain ends; the next probe restores routing.
+  worker.set_healthz_status(200);
+  router.ProbeOnce();
+  EXPECT_EQ(router.RoutableCount(), 1u);
+}
+
+TEST_F(RouterTest, UnreachableWorkerGoesDownAndTripsViaProbes) {
+  Router router(FastPolicy());
+  FakeWorker worker;
+  worker.Start("a");
+  router.AddWorker(0, worker.port());
+  router.ProbeOnce();
+  ASSERT_EQ(router.RoutableCount(), 1u);
+
+  // The process dies while idle: probe failures alone (no grade traffic)
+  // must take it out of rotation and trip its breaker.
+  worker.Stop();
+  router.ProbeOnce();
+  router.ProbeOnce();
+  auto snapshot = router.Snapshot();
+  EXPECT_EQ(snapshot[0].health, WorkerHealth::kDown);
+  EXPECT_EQ(snapshot[0].breaker, BreakerState::kOpen);
+}
+
+TEST_F(RouterTest, SupervisorRestartHookResetsBreakerAndHealth) {
+  FakeWorker old_worker;
+  old_worker.Start("old");
+  old_worker.set_grade_status(500);
+  RouterPolicy policy = FastPolicy();
+  policy.max_attempts = 1;
+  Router router(policy);
+  router.AddWorker(0, old_worker.port());
+  router.ProbeOnce();
+  router.RouteGrade("x");
+  router.RouteGrade("x");
+  ASSERT_EQ(router.Snapshot()[0].breaker, BreakerState::kOpen);
+
+  // Supervisor replaces the process: fresh port, fresh breaker; the first
+  // probe re-admits it with no cooldown debt from the dead predecessor.
+  FakeWorker new_worker;
+  new_worker.Start("new");
+  router.SetWorkerPort(0, new_worker.port());
+  EXPECT_EQ(router.Snapshot()[0].breaker, BreakerState::kClosed);
+  router.ProbeOnce();
+  EXPECT_EQ(router.RoutableCount(), 1u);
+  EXPECT_EQ(router.RouteGrade("x").status, 200);
+  old_worker.Stop();
+}
+
+TEST_F(RouterTest, InflightCapSheds) {
+  RouterPolicy policy = FastPolicy();
+  policy.max_inflight = 0;  // Degenerate cap: every request sheds.
+  FakeWorker worker;
+  worker.Start("a");
+  Router router(policy);
+  router.AddWorker(0, worker.port());
+  router.ProbeOnce();
+
+  obs::HttpResponse response = router.RouteGrade("x");
+  EXPECT_EQ(response.status, 503);
+  ASSERT_EQ(response.headers.size(), 1u);
+  EXPECT_EQ(response.headers[0].first, "Retry-After");
+  EXPECT_EQ(worker.grade_calls(), 0);
+}
+
+TEST_F(RouterTest, FleetMetricsArePublished) {
+  obs::Registry::Global().set_enabled(true);
+  FakeWorker worker;
+  worker.Start("a");
+  Router router(FastPolicy());
+  router.AddWorker(0, worker.port());
+  router.ProbeOnce();
+  router.RouteGrade("x");
+
+  auto& registry = obs::Registry::Global();
+  EXPECT_EQ(registry.GetGauge("jfeed_fleet_workers", "")->Value(), 1);
+  EXPECT_EQ(registry
+                .GetGauge("jfeed_fleet_worker_state", "",
+                          {{"worker", "0"}})
+                ->Value(),
+            2);
+  EXPECT_EQ(registry
+                .GetCounter("jfeed_fleet_requests_total", "",
+                            {{"result", "ok"}})
+                ->Value(),
+            1);
+}
+
+#endif  // JFEED_OBS_DISABLED
+
+}  // namespace
+}  // namespace jfeed::fleet

@@ -1,0 +1,71 @@
+#include "fleet/scrape.h"
+
+#include <string>
+
+#include "gtest/gtest.h"
+
+namespace jfeed::fleet {
+namespace {
+
+TEST(MergeWorkerMetricsTest, InjectsWorkerLabelIntoUnlabelledSamples) {
+  std::string merged = MergeWorkerMetrics({
+      {"0", "# HELP jfeed_up Up.\n# TYPE jfeed_up gauge\njfeed_up 1\n"},
+      {"1", "# HELP jfeed_up Up.\n# TYPE jfeed_up gauge\njfeed_up 1\n"},
+  });
+  EXPECT_NE(merged.find("jfeed_up{worker=\"0\"} 1"), std::string::npos)
+      << merged;
+  EXPECT_NE(merged.find("jfeed_up{worker=\"1\"} 1"), std::string::npos)
+      << merged;
+}
+
+TEST(MergeWorkerMetricsTest, WorkerLabelPrependsExistingLabels) {
+  std::string merged = MergeWorkerMetrics({
+      {"2", "jfeed_jobs_total{stage=\"parse\"} 7\n"},
+  });
+  EXPECT_NE(
+      merged.find("jfeed_jobs_total{worker=\"2\",stage=\"parse\"} 7"),
+      std::string::npos)
+      << merged;
+}
+
+TEST(MergeWorkerMetricsTest, FamiliesStayContiguousUnderOneCommentBlock) {
+  // Two workers each emit two families; naive concatenation would repeat
+  // the # HELP blocks and interleave families. The merge must group all of
+  // family a, then all of family b, with exactly one comment block each.
+  std::string worker_dump =
+      "# HELP a A.\n# TYPE a counter\na 1\n"
+      "# HELP b B.\n# TYPE b counter\nb 2\n";
+  std::string merged =
+      MergeWorkerMetrics({{"0", worker_dump}, {"1", worker_dump}});
+  EXPECT_EQ(merged,
+            "# HELP a A.\n# TYPE a counter\n"
+            "a{worker=\"0\"} 1\na{worker=\"1\"} 1\n"
+            "# HELP b B.\n# TYPE b counter\n"
+            "b{worker=\"0\"} 2\nb{worker=\"1\"} 2\n");
+}
+
+TEST(MergeWorkerMetricsTest, HistogramSeriesStayWithTheirFamily) {
+  std::string dump =
+      "# HELP lat Latency.\n# TYPE lat histogram\n"
+      "lat_bucket{le=\"1\"} 3\nlat_sum 9\nlat_count 3\n";
+  std::string merged = MergeWorkerMetrics({{"0", dump}, {"1", dump}});
+  // _bucket/_sum/_count of both workers group under the single lat block.
+  size_t help = merged.find("# HELP lat");
+  ASSERT_NE(help, std::string::npos);
+  EXPECT_EQ(merged.find("# HELP lat", help + 1), std::string::npos) << merged;
+  EXPECT_NE(merged.find("lat_bucket{worker=\"0\",le=\"1\"} 3"),
+            std::string::npos)
+      << merged;
+  EXPECT_NE(merged.find("lat_count{worker=\"1\"} 3"), std::string::npos)
+      << merged;
+}
+
+TEST(MergeWorkerMetricsTest, TolerantOfGarbageAndEmptyInput) {
+  EXPECT_EQ(MergeWorkerMetrics({}), "");
+  // Lines without a value or name are dropped, not corrupted.
+  std::string merged = MergeWorkerMetrics({{"0", "justonename\n\n ok 1\n"}});
+  EXPECT_EQ(merged.find("justonename"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace jfeed::fleet

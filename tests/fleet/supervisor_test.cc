@@ -1,0 +1,168 @@
+#include "fleet/supervisor.h"
+
+#include <signal.h>
+#include <sys/types.h>
+
+#include <atomic>
+#include <chrono>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "gtest/gtest.h"
+
+namespace jfeed::fleet {
+namespace {
+
+/// Waits up to `budget_ms` for `predicate` to become true.
+template <typename Predicate>
+bool WaitFor(Predicate predicate, int64_t budget_ms) {
+  auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::milliseconds(budget_ms);
+  while (std::chrono::steady_clock::now() < deadline) {
+    if (predicate()) return true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  return predicate();
+}
+
+/// A worker command that just sleeps: supervision is about pids and exit
+/// statuses, so /bin/sh is as good a worker as jfeedd and much cheaper.
+CommandBuilder SleepCommand(const std::string& seconds = "3600") {
+  return [seconds](int, uint16_t) {
+    return std::vector<std::string>{"/bin/sh", "-c", "sleep " + seconds};
+  };
+}
+
+SupervisorOptions FastOptions(int workers = 2) {
+  SupervisorOptions options;
+  options.workers = workers;
+  options.restart_backoff = {20, 200, 0.0};
+  options.healthy_uptime_ms = 100;
+  options.reap_interval_ms = 10;
+  options.drain_grace_ms = 2000;
+  return options;
+}
+
+TEST(SupervisorTest, SpawnsAllWorkersAndReportsThemUp) {
+  std::mutex mu;
+  std::vector<std::pair<int, uint16_t>> up;
+  Supervisor supervisor(FastOptions(3), SleepCommand());
+  supervisor.OnWorkerUp([&](int id, uint16_t port) {
+    std::lock_guard<std::mutex> lock(mu);
+    up.emplace_back(id, port);
+  });
+  ASSERT_TRUE(supervisor.Start().ok());
+
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    ASSERT_EQ(up.size(), 3u);
+    for (int id = 0; id < 3; ++id) {
+      EXPECT_EQ(up[id].first, id);
+      EXPECT_NE(up[id].second, 0);  // A real picked port.
+    }
+  }
+  for (const auto& snapshot : supervisor.Snapshot()) {
+    EXPECT_GT(snapshot.pid, 0);
+    EXPECT_EQ(snapshot.restarts, 0);
+    // The pid is alive (kill 0 = existence probe).
+    EXPECT_EQ(::kill(snapshot.pid, 0), 0);
+  }
+  supervisor.Stop();
+}
+
+TEST(SupervisorTest, KilledWorkerIsReportedDownAndRestarted) {
+  std::atomic<int> downs{0};
+  std::atomic<int> ups{0};
+  Supervisor supervisor(FastOptions(2), SleepCommand());
+  supervisor.OnWorkerDown([&](int) { downs.fetch_add(1); });
+  supervisor.OnWorkerUp([&](int, uint16_t) { ups.fetch_add(1); });
+  ASSERT_TRUE(supervisor.Start().ok());
+  ASSERT_EQ(ups.load(), 2);
+
+  pid_t victim = supervisor.WorkerPid(1);
+  ASSERT_GT(victim, 0);
+  // Kill the worker's whole process group: this /bin/sh forks `sleep` as a
+  // child rather than exec'ing it, and a bare kill(pid) would orphan it.
+  ASSERT_EQ(::kill(-victim, SIGKILL), 0);
+
+  // Death is noticed (OnWorkerDown before restart), then the slot refills.
+  EXPECT_TRUE(WaitFor([&] { return downs.load() >= 1; }, 2000));
+  EXPECT_TRUE(WaitFor([&] { return ups.load() >= 3; }, 2000));
+  EXPECT_TRUE(WaitFor([&] { return supervisor.WorkerPid(1) > 0; }, 2000));
+  EXPECT_NE(supervisor.WorkerPid(1), victim);
+  EXPECT_EQ(supervisor.TotalRestarts(), 1);
+  // The untouched worker kept its pid.
+  EXPECT_EQ(supervisor.Snapshot()[0].restarts, 0);
+  supervisor.Stop();
+}
+
+TEST(SupervisorTest, CrashLoopIsPacedByBackoff) {
+  // A worker that exits immediately. With base 50ms restarts are paced:
+  // in ~400ms we must see far fewer restarts than the reap interval alone
+  // would allow (10ms polling -> ~40 unpaced restarts).
+  SupervisorOptions options = FastOptions(1);
+  options.restart_backoff = {50, 400, 0.0};
+  options.healthy_uptime_ms = 10'000;  // Nothing counts as healthy.
+  Supervisor supervisor(options, SleepCommand("0"));
+  ASSERT_TRUE(supervisor.Start().ok());
+  std::this_thread::sleep_for(std::chrono::milliseconds(400));
+  int64_t restarts = supervisor.TotalRestarts();
+  supervisor.Stop();
+  EXPECT_GE(restarts, 1);
+  // 50+100+200 pacing admits at most ~4 restarts in 400ms; leave slack.
+  EXPECT_LE(restarts, 6);
+}
+
+TEST(SupervisorTest, DrainTerminatesEveryWorkerAndBlocksRestarts) {
+  std::atomic<int> ups{0};
+  Supervisor supervisor(FastOptions(2), SleepCommand());
+  supervisor.OnWorkerUp([&](int, uint16_t) { ups.fetch_add(1); });
+  ASSERT_TRUE(supervisor.Start().ok());
+  std::vector<pid_t> pids;
+  for (const auto& snapshot : supervisor.Snapshot()) {
+    pids.push_back(snapshot.pid);
+  }
+
+  supervisor.Drain();
+  // sh dies on the forwarded SIGTERM; every pid is gone and none respawn.
+  EXPECT_TRUE(WaitFor(
+      [&] {
+        for (pid_t pid : pids) {
+          if (::kill(pid, 0) == 0) return false;
+        }
+        return true;
+      },
+      3000));
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  EXPECT_EQ(ups.load(), 2);  // No post-drain respawns.
+  EXPECT_EQ(supervisor.TotalRestarts(), 0);
+  supervisor.Stop();
+}
+
+TEST(SupervisorTest, PickFreePortReturnsBindablePorts) {
+  auto a = Supervisor::PickFreePort();
+  auto b = Supervisor::PickFreePort();
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_NE(a.value(), 0);
+  EXPECT_NE(b.value(), 0);
+}
+
+TEST(SupervisorTest, ExecFailureIsASupervisedCrashNotAHang) {
+  // A nonexistent binary: fork succeeds, exec fails, the child exits 127
+  // and the supervisor treats it like any other crash (paced restarts).
+  SupervisorOptions options = FastOptions(1);
+  options.restart_backoff = {20, 100, 0.0};
+  options.healthy_uptime_ms = 10'000;
+  Supervisor supervisor(options, [](int, uint16_t) {
+    return std::vector<std::string>{"/nonexistent/jfeedd"};
+  });
+  ASSERT_TRUE(supervisor.Start().ok());
+  EXPECT_TRUE(WaitFor([&] { return supervisor.TotalRestarts() >= 2; }, 3000));
+  supervisor.Stop();
+}
+
+}  // namespace
+}  // namespace jfeed::fleet

@@ -217,6 +217,97 @@ TEST_F(DaemonTest, HealthzFlipsUnreadyDuringDrainAndGradeIsRefused) {
   EXPECT_EQ(metrics.status, 200);
 }
 
+TEST_F(DaemonTest, MalformedNdjsonLineYieldsPerLineErrorNotBatchFailure) {
+  // Regression pin for the grade --batch parity contract: one bad line in
+  // a POST /grade body must produce an error object AT ITS POSITION while
+  // every other line still grades — never a whole-batch 4xx, never a
+  // dropped or reordered line.
+  std::string body = GradeLine("ok-1", assignment().Reference());
+  body += "this is not json\n";
+  body += "{\"id\":\"no-source\"}\n";
+  body += GradeLine("ok-2", assignment().Reference());
+
+  auto graded = HttpFetch(daemon_->port(), "POST", "/grade", body);
+  ASSERT_TRUE(graded.ok);
+  EXPECT_EQ(graded.status, 200);
+
+  std::vector<std::string> lines;
+  size_t pos = 0;
+  while (pos < graded.body.size()) {
+    size_t eol = graded.body.find('\n', pos);
+    if (eol == std::string::npos) break;
+    lines.push_back(graded.body.substr(pos, eol - pos));
+    pos = eol + 1;
+  }
+  ASSERT_EQ(lines.size(), 4u) << graded.body;
+
+  EXPECT_NE(lines[0].find("\"id\":\"ok-1\""), std::string::npos);
+  EXPECT_NE(lines[0].find("\"verdict\":\"correct\""), std::string::npos);
+
+  // Line 1: not JSON. An error object carrying the line's index and an
+  // InvalidArgument diagnostic, id null because none could be parsed.
+  EXPECT_NE(lines[1].find("\"index\":1"), std::string::npos) << lines[1];
+  EXPECT_NE(lines[1].find("\"error\""), std::string::npos) << lines[1];
+  EXPECT_NE(lines[1].find("InvalidArgument"), std::string::npos) << lines[1];
+  EXPECT_EQ(lines[1].find("\"verdict\""), std::string::npos) << lines[1];
+
+  // Line 2: valid JSON, missing the source field — same per-line contract.
+  EXPECT_NE(lines[2].find("\"index\":2"), std::string::npos) << lines[2];
+  EXPECT_NE(lines[2].find("\"error\""), std::string::npos) << lines[2];
+
+  EXPECT_NE(lines[3].find("\"id\":\"ok-2\""), std::string::npos);
+  EXPECT_NE(lines[3].find("\"verdict\":\"correct\""), std::string::npos);
+}
+
+TEST_F(DaemonTest, DrainUnderLoadAnswersEveryAcceptedSubmission) {
+  // SIGTERM semantics under fire: N concurrent POSTs are in flight when
+  // the drain begins. Every request that was accepted must still get a
+  // complete NDJSON response (one line per submission) — a drain loses no
+  // student work — while /healthz flips to 503 immediately and requests
+  // arriving after the flip are refused with 503.
+  constexpr int kClients = 8;
+  std::vector<std::thread> clients;
+  std::vector<testutil::HttpResult> results(kClients);
+  std::atomic<int> started{0};
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([this, c, &results, &started] {
+      std::string body;
+      for (int i = 0; i < 4; ++i) {
+        body += GradeLine("d-" + std::to_string(c) + "-" + std::to_string(i),
+                          assignment().generator.Generate(c * 4 + i));
+      }
+      started.fetch_add(1);
+      results[c] = HttpFetch(daemon_->port(), "POST", "/grade", body);
+    });
+  }
+  // Let the clients fire, then drain mid-flight.
+  while (started.load() < kClients) std::this_thread::yield();
+  daemon_->BeginDrain();
+
+  auto draining = HttpFetch(daemon_->port(), "GET", "/healthz");
+  ASSERT_TRUE(draining.ok);
+  EXPECT_EQ(draining.status, 503);
+  EXPECT_NE(draining.body.find("\"status\":\"draining\""), std::string::npos);
+
+  for (auto& client : clients) client.join();
+  for (int c = 0; c < kClients; ++c) {
+    // Accepted -> a complete 200 with all four outcome lines; refused (the
+    // POST raced past the drain flip) -> a clean 503. Nothing in between:
+    // no dropped connections, no truncated bodies.
+    ASSERT_TRUE(results[c].ok) << "client " << c;
+    if (results[c].status == 200) {
+      size_t outcome_lines = 0;
+      for (char ch : results[c].body) outcome_lines += ch == '\n';
+      EXPECT_EQ(outcome_lines, 4u) << results[c].body;
+    } else {
+      EXPECT_EQ(results[c].status, 503);
+    }
+  }
+
+  daemon_->Stop();
+  EXPECT_EQ(obs::Tracer::Global().OpenSpanCount(), 0);
+}
+
 TEST_F(DaemonTest, ShutdownLeavesNoOpenSpans) {
   std::string body = GradeLine("s-1", assignment().Reference()) +
                      GradeLine("s-2", assignment().generator.Generate(2));

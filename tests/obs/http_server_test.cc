@@ -1,5 +1,6 @@
 #include "obs/http_server.h"
 
+#include <chrono>
 #include <memory>
 #include <string>
 #include <thread>
@@ -109,6 +110,82 @@ TEST_F(HttpServerTest, OversizedRequestIs413) {
                           std::string(4096, 'x'));
   ASSERT_TRUE(result.ok);
   EXPECT_EQ(result.status, 413);
+}
+
+/// Connects and sends `partial` without ever completing the request, then
+/// reads whatever the server eventually answers. Returns the raw response.
+std::string HalfSendAndRead(uint16_t port, const std::string& partial) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  EXPECT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  EXPECT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+            0);
+  EXPECT_GT(::send(fd, partial.data(), partial.size(), 0), 0);
+  std::string response;
+  char buffer[1024];
+  ssize_t n;
+  while ((n = ::recv(fd, buffer, sizeof(buffer), 0)) > 0) {
+    response.append(buffer, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  return response;
+}
+
+TEST_F(HttpServerTest, SlowlorisHeadersGet408) {
+  HttpServer::Options options;
+  options.io_deadline_ms = 300;
+  server_ = std::make_unique<HttpServer>(options);
+  server_->Handle("/hello", [](const HttpRequest&) { return HttpResponse(); });
+  ASSERT_TRUE(server_->Start().ok());
+  // Headers never finish (no terminating blank line).
+  std::string response =
+      HalfSendAndRead(server_->port(), "GET /hello HTTP/1.1\r\nHost: x\r\n");
+  EXPECT_NE(response.find("HTTP/1.1 408"), std::string::npos) << response;
+}
+
+TEST_F(HttpServerTest, SlowlorisBodyGets408) {
+  HttpServer::Options options;
+  options.io_deadline_ms = 300;
+  server_ = std::make_unique<HttpServer>(options);
+  server_->Handle("/grade", [](const HttpRequest&) { return HttpResponse(); });
+  ASSERT_TRUE(server_->Start().ok());
+  // Headers promise a body that never arrives in full.
+  std::string response = HalfSendAndRead(
+      server_->port(),
+      "POST /grade HTTP/1.1\r\nHost: x\r\nContent-Length: 1000\r\n\r\nhalf");
+  EXPECT_NE(response.find("HTTP/1.1 408"), std::string::npos) << response;
+}
+
+TEST_F(HttpServerTest, HalfSentRequestCannotOccupyTheOnlyWorkerForever) {
+  // One connection worker and a stuck client: without the I/O deadline the
+  // half-sent request would park the worker indefinitely and the healthy
+  // request below would never be served.
+  HttpServer::Options options;
+  options.workers = 1;
+  options.io_deadline_ms = 300;
+  server_ = std::make_unique<HttpServer>(options);
+  server_->Handle("/hello", [](const HttpRequest&) {
+    HttpResponse response;
+    response.body = "hi\n";
+    return response;
+  });
+  ASSERT_TRUE(server_->Start().ok());
+
+  std::thread stuck([this] {
+    HalfSendAndRead(server_->port(), "GET /hello HTTP/1.1\r\n");
+  });
+  // Give the stuck connection time to claim the lone worker, then demand
+  // service. HttpFetch blocks until the 408 frees the slot; transport-level
+  // success + 200 here is exactly the "slot freed" guarantee.
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  auto result = HttpFetch(server_->port(), "GET", "/hello");
+  stuck.join();
+  ASSERT_TRUE(result.ok);
+  EXPECT_EQ(result.status, 200);
+  EXPECT_EQ(result.body, "hi\n");
 }
 
 TEST_F(HttpServerTest, ConcurrentClientsAllGetAnswers) {

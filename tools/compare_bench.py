@@ -13,7 +13,9 @@ field:
       the baseline exactly. Wall times are reported for trend only.
 
 A malformed or schema-drifted input fails with a one-line diagnostic naming
-the file and the missing key (exit 1), never a traceback: CI log readers
+the file and the missing or wrongly-typed key (exit 1), never a traceback
+— a valid-JSON baseline carrying "100" where 100 belongs is drift too: CI
+log readers
 should see "what drifted", not a stack dump. In particular, when a baseline
 exists but the candidate JSON does not carry the baseline's benchmark block
 (wrong or missing schema), the gate fails with one line naming both files
@@ -64,9 +66,30 @@ def lookup(data, path, dotted):
     return node
 
 
+def lookup_number(data, path, dotted):
+    """lookup() plus a type gate: a baseline hand-edited (or produced by a
+    half-migrated bench tool) can carry the right keys with string values,
+    and `"100" * 1.1` is a traceback, not a diagnostic."""
+    value = lookup(data, path, dotted)
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        sys.exit(f"FAIL: {path} key '{dotted}' should be a number but is "
+                 f"{type(value).__name__} {value!r} (schema drift — "
+                 f"regenerate the file)")
+    return value
+
+
+def lookup_list(data, path, dotted):
+    value = lookup(data, path, dotted)
+    if not isinstance(value, list):
+        sys.exit(f"FAIL: {path} key '{dotted}' should be a list but is "
+                 f"{type(value).__name__} (schema drift — regenerate the "
+                 f"file)")
+    return value
+
+
 def assignments_by_id(data, path):
     by_id = {}
-    for a in lookup(data, path, "assignments"):
+    for a in lookup_list(data, path, "assignments"):
         if not isinstance(a, dict) or "id" not in a:
             sys.exit(f"FAIL: {path} has an assignment entry without an "
                      f"'id' (schema drift — regenerate the file)")
@@ -92,8 +115,8 @@ def compare_matching(baseline, current, args):
 
     for dotted in ("totals.indexed_steps", "ablation.indexed_steps"):
         check(dotted,
-              lookup(baseline, args.baseline, dotted),
-              lookup(current, args.current, dotted))
+              lookup_number(baseline, args.baseline, dotted),
+              lookup_number(current, args.current, dotted))
 
     base_by_id = assignments_by_id(baseline, args.baseline)
     for aid, a in assignments_by_id(current, args.current).items():
@@ -102,8 +125,8 @@ def compare_matching(baseline, current, args):
             print(f"{aid:40s} new assignment, no baseline — skipped")
             continue
         check(f"assignment {aid}",
-              lookup(b, args.baseline, "indexed.steps"),
-              lookup(a, args.current, "indexed.steps"))
+              lookup_number(b, args.baseline, "indexed.steps"),
+              lookup_number(a, args.current, "indexed.steps"))
 
     if failures:
         print(f"\nFAIL: step regression beyond {args.threshold:.0%} in: "
@@ -125,8 +148,8 @@ TABLE1_EXACT_FIELDS = ("space", "patterns", "constraints", "sampled",
 
 def compare_table1(baseline, current, args):
     """Exact-equality gate over the deterministic Table I counters."""
-    base_samples = lookup(baseline, args.baseline, "samples")
-    cur_samples = lookup(current, args.current, "samples")
+    base_samples = lookup_number(baseline, args.baseline, "samples")
+    cur_samples = lookup_number(current, args.current, "samples")
     if base_samples != cur_samples:
         sys.exit(f"FAIL: {args.current} was generated with --samples "
                  f"{cur_samples} but the baseline used {base_samples} — "
@@ -149,6 +172,11 @@ def compare_table1(baseline, current, args):
             if base_value != cur_value:
                 diffs.append(f"{field} {base_value} -> {cur_value}")
         wall = a.get("wall_ms", 0.0)
+        if isinstance(wall, bool) or not isinstance(wall, (int, float)):
+            sys.exit(f"FAIL: {args.current} assignment '{aid}' key "
+                     f"'wall_ms' should be a number but is "
+                     f"{type(wall).__name__} {wall!r} (schema drift — "
+                     f"regenerate the file)")
         if diffs:
             print(f"{aid:40s} DRIFT: {'; '.join(diffs)}")
             failures.append(aid)
@@ -174,13 +202,13 @@ def validate_for_update(current, path):
         if not current.get("equivalent", False):
             sys.exit("FAIL: refusing to update baseline from a run that "
                      "reports engine inequivalence")
-        lookup(current, path, "totals.indexed_steps")
-        lookup(current, path, "ablation.indexed_steps")
+        lookup_number(current, path, "totals.indexed_steps")
+        lookup_number(current, path, "ablation.indexed_steps")
     else:
-        lookup(current, path, "samples")
+        lookup_number(current, path, "samples")
         for a in assignments_by_id(current, path).values():
             for field in TABLE1_EXACT_FIELDS:
-                lookup(a, path, field)
+                lookup_number(a, path, field)
 
 
 def main():

@@ -236,6 +236,65 @@ class CompareBenchTest(unittest.TestCase):
             self.assertEqual(
                 json.load(f)["assignments"][0]["discrepancies"], 3)
 
+    def test_string_steps_fail_with_message_not_traceback(self):
+        # Valid JSON, right keys, wrong types: a hand-edited baseline with
+        # quoted numbers must produce one line, not a TypeError traceback.
+        drifted = report()
+        drifted["totals"]["indexed_steps"] = "100"
+        base = self.write("base.json", drifted)
+        cur = self.write("cur.json", report())
+        result = self.run_compare(base, cur)
+        self.assertEqual(result.returncode, 1)
+        combined = result.stdout + result.stderr
+        self.assertIn("'totals.indexed_steps' should be a number", combined)
+        self.assertIn("str '100'", combined)
+        self.assertIn("base.json", combined)
+        self.assertNotIn("Traceback", combined)
+
+    def test_non_list_assignments_fail_readably(self):
+        drifted = report()
+        drifted["assignments"] = "assignment1"
+        base = self.write("base.json", drifted)
+        cur = self.write("cur.json", report())
+        result = self.run_compare(base, cur)
+        self.assertEqual(result.returncode, 1)
+        combined = result.stdout + result.stderr
+        self.assertIn("'assignments' should be a list", combined)
+        self.assertNotIn("Traceback", combined)
+
+    def test_table1_string_wall_ms_fails_readably(self):
+        drifted = table1_report()
+        drifted["assignments"][0]["wall_ms"] = "55.3"
+        base = self.write("base.json", table1_report())
+        cur = self.write("cur.json", drifted)
+        result = self.run_compare(base, cur)
+        self.assertEqual(result.returncode, 1)
+        combined = result.stdout + result.stderr
+        self.assertIn("'wall_ms' should be a number", combined)
+        self.assertIn("cur.json", combined)
+        self.assertNotIn("Traceback", combined)
+
+    def test_table1_string_samples_fails_readably(self):
+        drifted = table1_report()
+        drifted["samples"] = "200"
+        base = self.write("base.json", drifted)
+        cur = self.write("cur.json", table1_report())
+        result = self.run_compare(base, cur)
+        self.assertEqual(result.returncode, 1)
+        combined = result.stdout + result.stderr
+        self.assertIn("'samples' should be a number", combined)
+        self.assertNotIn("Traceback", combined)
+
+    def test_update_baseline_refuses_wrongly_typed_report(self):
+        base = self.write("base.json", report(indexed_total=100))
+        drifted = report()
+        drifted["ablation"]["indexed_steps"] = "50"
+        cur = self.write("cur.json", drifted)
+        result = self.run_compare(base, cur, "--update-baseline")
+        self.assertEqual(result.returncode, 1)
+        with open(base) as f:
+            self.assertEqual(json.load(f)["totals"]["indexed_steps"], 100)
+
     def test_new_assignment_without_baseline_is_skipped(self):
         base = self.write("base.json", report())
         cur = self.write("cur.json", report(assignments=[

@@ -1,0 +1,192 @@
+// jfeed-broker: fault-isolation front end for a fleet of jfeedd workers.
+// One broker supervises N jfeedd child processes for one assignment and
+// serves a single endpoint set on loopback:
+//
+//   jfeed_broker <assignment-id> [flags]
+//
+// Endpoints (see DESIGN.md §5e/§6 for the contract):
+//   POST /grade     forwarded to a healthy worker; retried on a different
+//                   worker if one crashes or times out mid-grade; 503 +
+//                   Retry-After when the fleet is saturated or no worker
+//                   is routable
+//   GET  /metrics   broker jfeed_fleet_* metrics + every worker's metrics
+//                   merged, worker samples labelled worker="<id>"
+//   GET  /healthz   fleet readiness (200 ok | 503 draining/unavailable)
+//   GET  /statusz   fleet topology: per-worker pid, port, health, breaker,
+//                   restarts, embedded worker /statusz (JSON)
+//
+// Flags:
+//   --port <n>                 broker listen port (default 0 = ephemeral)
+//   --workers <n>              jfeedd processes to supervise (default 3)
+//   --jfeedd <path>            jfeedd binary (default: next to this binary)
+//   --jobs <n>                 grading threads per worker (default 4)
+//   --no-cache                 disable each worker's result cache
+//   --max-attempts <n>         tries per grade request (default 3)
+//   --request-deadline-ms <n>  per-attempt wall deadline (default 60000)
+//   --probe-interval-ms <n>    health-probe cadence (default 250)
+//   --max-inflight <n>         in-flight cap before shedding (default 64)
+//   --drain-grace-ms <n>       SIGTERM->SIGKILL grace on drain (default 10000)
+//
+// Shutdown: SIGINT/SIGTERM drain the fleet — /healthz flips to 503, new
+// POST /grade work is refused, every worker gets SIGTERM and finishes its
+// in-flight grades — then the broker exits 0.
+//
+// Exit codes: 0 clean shutdown, 2 usage/startup error.
+
+#include <csignal>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#ifdef __linux__
+#include <unistd.h>
+#endif
+
+#include "fleet/broker.h"
+
+namespace {
+
+int Usage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s <assignment-id> [--port N] [--workers N] [--jfeedd PATH] "
+      "[--jobs N] [--no-cache] [--max-attempts N] [--request-deadline-ms N] "
+      "[--probe-interval-ms N] [--max-inflight N] [--drain-grace-ms N]\n",
+      argv0);
+  return 2;
+}
+
+bool ParseInt64(const char* text, int64_t* out) {
+  char* end = nullptr;
+  long long v = std::strtoll(text, &end, 10);
+  if (end == text || *end != '\0' || v < 0) return false;
+  *out = v;
+  return true;
+}
+
+/// Default jfeedd location: the directory this broker binary lives in.
+std::string SiblingJfeedd(const char* argv0) {
+  std::string self = argv0;
+#ifdef __linux__
+  char buf[4096];
+  ssize_t n = ::readlink("/proc/self/exe", buf, sizeof(buf) - 1);
+  if (n > 0) {
+    buf[n] = '\0';
+    self = buf;
+  }
+#endif
+  size_t slash = self.rfind('/');
+  std::string dir = slash == std::string::npos ? "." : self.substr(0, slash);
+  return dir + "/jfeedd";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2 || argv[1][0] == '-') return Usage(argv[0]);
+
+  std::string assignment = argv[1];
+  std::string jfeedd_path = SiblingJfeedd(argv[0]);
+  int64_t jobs = 4;
+  bool no_cache = false;
+
+  jfeed::fleet::BrokerOptions options;
+  for (int i = 2; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strcmp(arg, "--no-cache") == 0) {
+      no_cache = true;
+      continue;
+    }
+    if (i + 1 >= argc) {
+      std::fprintf(stderr, "%s needs a value\n", arg);
+      return 2;
+    }
+    if (std::strcmp(arg, "--jfeedd") == 0) {
+      jfeedd_path = argv[++i];
+      continue;
+    }
+    int64_t value = 0;
+    if (!ParseInt64(argv[i + 1], &value)) {
+      std::fprintf(stderr, "bad value for %s: '%s'\n", arg, argv[i + 1]);
+      return 2;
+    }
+    ++i;
+    if (std::strcmp(arg, "--port") == 0) {
+      if (value > 65535) {
+        std::fprintf(stderr, "--port out of range: %lld\n",
+                     static_cast<long long>(value));
+        return 2;
+      }
+      options.port = static_cast<uint16_t>(value);
+    } else if (std::strcmp(arg, "--workers") == 0) {
+      options.workers = static_cast<int>(value);
+    } else if (std::strcmp(arg, "--jobs") == 0) {
+      jobs = value;
+    } else if (std::strcmp(arg, "--max-attempts") == 0) {
+      options.router.max_attempts = static_cast<int>(value);
+    } else if (std::strcmp(arg, "--request-deadline-ms") == 0) {
+      options.router.request_deadline_ms = value;
+    } else if (std::strcmp(arg, "--probe-interval-ms") == 0) {
+      options.router.probe_interval_ms = value;
+    } else if (std::strcmp(arg, "--max-inflight") == 0) {
+      options.router.max_inflight = static_cast<size_t>(value);
+    } else if (std::strcmp(arg, "--drain-grace-ms") == 0) {
+      options.supervisor.drain_grace_ms = value;
+    } else {
+      std::fprintf(stderr, "unknown flag '%s'\n", arg);
+      return Usage(argv[0]);
+    }
+  }
+
+  options.worker_command = [assignment, jfeedd_path, jobs, no_cache](
+                               int worker_id, uint16_t port) {
+    std::vector<std::string> argv_strings = {
+        jfeedd_path,
+        assignment,
+        "--port",
+        std::to_string(port),
+        "--worker-id",
+        std::to_string(worker_id),
+        "--jobs",
+        std::to_string(jobs),
+    };
+    if (no_cache) argv_strings.push_back("--no-cache");
+    return argv_strings;
+  };
+
+  // Same sigwait discipline as jfeedd: block the termination signals in
+  // every thread we spawn, then claim them as ordinary control flow. The
+  // supervisor restores default dispositions in each forked worker.
+  sigset_t signals;
+  sigemptyset(&signals);
+  sigaddset(&signals, SIGINT);
+  sigaddset(&signals, SIGTERM);
+  pthread_sigmask(SIG_BLOCK, &signals, nullptr);
+  std::signal(SIGPIPE, SIG_IGN);
+
+  jfeed::fleet::Broker broker(options);
+  jfeed::Status status = broker.Start();
+  if (!status.ok()) {
+    std::fprintf(stderr, "jfeed_broker: %s\n", status.ToString().c_str());
+    return 2;
+  }
+  std::printf(
+      "jfeed_broker serving assignment '%s' on http://127.0.0.1:%u "
+      "(%d supervised jfeedd workers; POST /grade, GET /metrics /healthz "
+      "/statusz)\n",
+      assignment.c_str(), broker.port(), options.workers);
+  std::fflush(stdout);
+
+  int signal_number = 0;
+  sigwait(&signals, &signal_number);
+  std::printf("jfeed_broker: received %s, draining fleet\n",
+              signal_number == SIGTERM ? "SIGTERM" : "SIGINT");
+  std::fflush(stdout);
+  broker.BeginDrain();
+  broker.Stop();
+  std::printf("jfeed_broker: fleet drained, bye\n");
+  return 0;
+}

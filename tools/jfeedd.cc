@@ -21,6 +21,10 @@
 //   --events <n>           flight-recorder ring capacity (default 1024)
 //   --timeout-ms <n>       per-functional-test wall deadline (ms)
 //   --max-heap-bytes <n>   interpreter heap budget per test (bytes)
+//   --worker-id <n>        fleet worker id when supervised by jfeed-broker;
+//                          also arms parent-death detection (on Linux the
+//                          kernel delivers SIGTERM if the broker dies, so
+//                          an orphaned worker drains instead of lingering)
 //
 // Shutdown: SIGINT/SIGTERM begin a drain — /healthz flips to 503 and new
 // POST /grade work is refused while in-flight grading finishes and the
@@ -35,6 +39,11 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+
+#ifdef __linux__
+#include <sys/prctl.h>
+#include <unistd.h>
+#endif
 
 #include "kb/assignments.h"
 #include "service/daemon.h"
@@ -53,7 +62,7 @@ int Usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s <assignment-id> [--port N] [--jobs N] [--queue N] "
                "[--no-cache] [--events N] [--timeout-ms N] "
-               "[--max-heap-bytes N]\n"
+               "[--max-heap-bytes N] [--worker-id N]\n"
                "       %s --list\n",
                argv0, argv0);
   return 2;
@@ -110,10 +119,26 @@ int main(int argc, char** argv) {
       options.pipeline.exec.deadline_ms = value;
     } else if (std::strcmp(arg, "--max-heap-bytes") == 0) {
       options.pipeline.exec.max_heap_bytes = value;
+    } else if (std::strcmp(arg, "--worker-id") == 0) {
+      options.worker_id = static_cast<int>(value);
     } else {
       std::fprintf(stderr, "unknown flag '%s'\n", arg);
       return Usage(argv[0]);
     }
+  }
+
+  if (options.worker_id >= 0) {
+#ifdef __linux__
+    // Supervised worker: die (gracefully, via the drain path below) when
+    // the broker process disappears, instead of lingering orphaned on a
+    // port nobody routes to. Re-check the parent immediately — if the
+    // broker died between fork and here, PDEATHSIG never fires.
+    ::prctl(PR_SET_PDEATHSIG, SIGTERM);
+    if (::getppid() == 1) {
+      std::fprintf(stderr, "jfeedd: supervisor already gone, exiting\n");
+      return 2;
+    }
+#endif
   }
 
   // Block the termination signals in every thread the daemon will spawn,
