@@ -162,6 +162,12 @@ Result<HttpReply> Fetch(uint16_t port, const std::string& method,
   if (std::sscanf(response.c_str(), "HTTP/1.1 %d", &reply.status) != 1) {
     return Status::Internal("malformed HTTP status line from worker");
   }
+  size_t status_line_end = response.find("\r\n");
+  if (status_line_end != std::string::npos &&
+      status_line_end + 2 <= header_end) {
+    reply.headers =
+        response.substr(status_line_end + 2, header_end - status_line_end - 2);
+  }
   std::string payload = response.substr(header_end + 4);
   if (body_size != std::string::npos) {
     if (payload.size() < body_size) {
@@ -171,6 +177,44 @@ Result<HttpReply> Fetch(uint16_t port, const std::string& method,
   }
   reply.body = std::move(payload);
   return reply;
+}
+
+std::string HeaderValue(const std::string& headers, const std::string& name) {
+  size_t pos = 0;
+  while (pos < headers.size()) {
+    size_t eol = headers.find("\r\n", pos);
+    if (eol == std::string::npos) eol = headers.size();
+    size_t colon = headers.find(':', pos);
+    if (colon != std::string::npos && colon < eol &&
+        colon - pos == name.size()) {
+      bool match = true;
+      for (size_t i = 0; i < name.size(); ++i) {
+        char a = headers[pos + i];
+        char b = name[i];
+        if (a >= 'A' && a <= 'Z') a = static_cast<char>(a - 'A' + 'a');
+        if (b >= 'A' && b <= 'Z') b = static_cast<char>(b - 'A' + 'a');
+        if (a != b) {
+          match = false;
+          break;
+        }
+      }
+      if (match) {
+        size_t start = colon + 1;
+        while (start < eol && (headers[start] == ' ' || headers[start] == '\t')) {
+          ++start;
+        }
+        size_t end = eol;
+        while (end > start &&
+               (headers[end - 1] == ' ' || headers[end - 1] == '\t' ||
+                headers[end - 1] == '\r')) {
+          --end;
+        }
+        return headers.substr(start, end - start);
+      }
+    }
+    pos = eol + 2;
+  }
+  return "";
 }
 
 }  // namespace jfeed::fleet

@@ -24,9 +24,13 @@
 
 namespace jfeed::fleet {
 
-/// One parsed response. `status` is the HTTP code; `body` the full payload.
+/// One parsed response. `status` is the HTTP code; `body` the full payload;
+/// `headers` the raw header block (every line after the status line, CRLF
+/// separated) for callers that relay response metadata — the router copies
+/// a worker's Retry-After through to the client this way.
 struct HttpReply {
   int status = 0;
+  std::string headers;
   std::string body;
 };
 
@@ -36,6 +40,10 @@ struct HttpReply {
 Result<HttpReply> Fetch(uint16_t port, const std::string& method,
                         const std::string& target, const std::string& body,
                         int64_t deadline_ms);
+
+/// Case-insensitive lookup of one header's value in HttpReply::headers;
+/// "" when absent. Leading/trailing whitespace is trimmed.
+std::string HeaderValue(const std::string& headers, const std::string& name);
 
 }  // namespace jfeed::fleet
 

@@ -378,11 +378,18 @@ obs::HttpResponse Router::RouteGrade(const std::string& body) {
       record_duration();
       obs::HttpResponse response;
       response.status = reply.value().status;
-      // jfeedd answers a successful /grade in NDJSON, errors in JSON; the
-      // client (Fetch) does not surface headers, so mirror that rule.
+      // jfeedd answers a successful /grade in NDJSON, errors in JSON.
       response.content_type = reply.value().status == 200
                                   ? "application/x-ndjson; charset=utf-8"
                                   : "application/json";
+      // A worker-side 429 (every line of the request shed by admission
+      // control) relays as-is — no retry, it is the tenant's backpressure —
+      // and its Retry-After hint travels with it.
+      std::string retry_after =
+          HeaderValue(reply.value().headers, "Retry-After");
+      if (!retry_after.empty()) {
+        response.headers.emplace_back("Retry-After", std::move(retry_after));
+      }
       response.body = std::move(reply.value().body);
       return response;
     }

@@ -167,6 +167,8 @@ Result<BatchLine> ParseBatchLine(const std::string& line) {
       have_source = true;
     } else if (key == "id") {
       out.id = std::move(value);
+    } else if (key == "assignment") {
+      out.assignment = std::move(value);
     }
     // Unknown string-valued keys are ignored.
   }
@@ -218,9 +220,36 @@ std::string BatchOutcomeToJson(const std::string& id, size_t index,
   return out;
 }
 
+std::string BatchOutcomeToJson(const std::string& id, size_t index,
+                               const std::string& assignment,
+                               const service::GradingOutcome& outcome) {
+  std::string body = service::OutcomeToJson(outcome);
+  std::string out = "{\"id\":";
+  out += id.empty() ? "null" : JsonQuote(id);
+  out += ",\"index\":" + std::to_string(index);
+  out += ",\"assignment\":" + JsonQuote(assignment) + ",";
+  out += body.substr(1);
+  return out;
+}
+
 std::string BatchErrorToJson(size_t index, const Status& error) {
   return "{\"id\":null,\"index\":" + std::to_string(index) +
          ",\"error\":" + JsonQuote(error.ToString()) + "}";
+}
+
+std::string BatchRejectToJson(const std::string& id, size_t index,
+                              const std::string& assignment, int code,
+                              int retry_after_s, const Status& error) {
+  std::string out = "{\"id\":";
+  out += id.empty() ? "null" : JsonQuote(id);
+  out += ",\"index\":" + std::to_string(index);
+  out += ",\"assignment\":" + JsonQuote(assignment);
+  out += ",\"code\":" + std::to_string(code);
+  if (retry_after_s > 0) {
+    out += ",\"retry_after_s\":" + std::to_string(retry_after_s);
+  }
+  out += ",\"error\":" + JsonQuote(error.ToString()) + "}";
+  return out;
 }
 
 }  // namespace jfeed::sched

@@ -1,0 +1,393 @@
+#include "sched/sharded_scheduler.h"
+
+#include <chrono>
+#include <utility>
+
+#include "obs/event_log.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "support/fault.h"
+
+namespace jfeed::sched {
+
+namespace {
+
+// Aggregate scheduler signals shared with BatchScheduler — same family
+// names, so /statusz and existing dashboards read one truth regardless of
+// which engine is running.
+obs::Gauge* QueueDepthGauge() {
+  static obs::Gauge* gauge = obs::Registry::Global().GetGauge(
+      "jfeed_sched_queue_depth", "Jobs currently waiting in the batch queue");
+  return gauge;
+}
+obs::Gauge* WorkersGauge() {
+  static obs::Gauge* gauge = obs::Registry::Global().GetGauge(
+      "jfeed_sched_workers", "Worker threads currently alive");
+  return gauge;
+}
+obs::Counter* JobsTotal() {
+  static obs::Counter* counter = obs::Registry::Global().GetCounter(
+      "jfeed_sched_jobs_total", "Jobs graded by scheduler workers");
+  return counter;
+}
+obs::Counter* BusyUsTotal() {
+  static obs::Counter* counter = obs::Registry::Global().GetCounter(
+      "jfeed_sched_busy_us_total",
+      "Cumulative worker microseconds spent grading jobs");
+  return counter;
+}
+obs::Counter* IdleUsTotal() {
+  static obs::Counter* counter = obs::Registry::Global().GetCounter(
+      "jfeed_sched_idle_us_total",
+      "Cumulative worker microseconds spent waiting for jobs");
+  return counter;
+}
+
+// Per-assignment instruments (the `assignment` label — DESIGN.md §6
+// contract change, PR 7). Looked up per call rather than via function-local
+// statics because the label value varies; the registry lock is amortized by
+// the milliseconds a grade costs.
+obs::Counter* ShardJobsTotal(const std::string& assignment) {
+  return obs::Registry::Global().GetCounter(
+      "jfeed_sched_jobs_total", "Jobs graded by scheduler workers",
+      {{"assignment", assignment}});
+}
+obs::Gauge* ShardDepthGauge(const std::string& assignment) {
+  return obs::Registry::Global().GetGauge(
+      "jfeed_sched_shard_queue_depth",
+      "Submissions in the system (queued or grading) per assignment shard",
+      {{"assignment", assignment}});
+}
+obs::Counter* ShedTotal(const std::string& assignment) {
+  return obs::Registry::Global().GetCounter(
+      "jfeed_shed_total",
+      "Submissions shed by per-assignment admission control",
+      {{"assignment", assignment}});
+}
+obs::Histogram* GradeDurationUs(const std::string& assignment) {
+  return obs::Registry::Global().GetHistogram(
+      "jfeed_grade_duration_us",
+      "Admission-to-result grade latency per assignment, microseconds",
+      {{"assignment", assignment}});
+}
+
+int64_t NowUs() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// See BatchScheduler: libstdc++'s ctype<char> caches fill lazily and
+/// unsynchronized; touch them before worker threads exist.
+void WarmCtypeCaches() {
+  const auto& facet = std::use_facet<std::ctype<char>>(std::locale());
+  for (int c = 0; c < 256; ++c) {
+    facet.narrow(static_cast<char>(c), '\0');
+    facet.widen(static_cast<char>(c));
+  }
+}
+
+}  // namespace
+
+ShardedScheduler::ShardedScheduler(
+    std::vector<const kb::Assignment*> assignments,
+    service::PipelineOptions pipeline_options, ShardedSchedulerOptions options)
+    : pipeline_options_(std::move(pipeline_options)),
+      options_(options),
+      jobs_(options.jobs < 1 ? 1 : options.jobs),
+      // The shared FIFO never rejects an admitted job: total in-system work
+      // is bounded by the shard quotas, so capacity = shards × quota makes
+      // the quota the only admission gate.
+      queue_(assignments.empty()
+                 ? options.shard_queue_capacity
+                 : assignments.size() * options.shard_queue_capacity) {
+  if (options_.shard_queue_capacity == 0) options_.shard_queue_capacity = 1;
+  shards_.reserve(assignments.size());
+  for (const kb::Assignment* assignment : assignments) {
+    auto shard = std::make_unique<Shard>();
+    shard->assignment = assignment;
+    shard->oracle = std::make_shared<service::ReferenceOracle>();
+    shard_by_id_.emplace(assignment->id, shards_.size());
+    shards_.push_back(std::move(shard));
+    // Register every per-assignment instrument up front: a tenant that
+    // never sheds still exposes jfeed_shed_total{assignment=...} 0, so
+    // scrapers and the CI metric-name greps see the full label space from
+    // the first scrape, not only after the first event.
+    ShardJobsTotal(assignment->id);
+    ShardDepthGauge(assignment->id);
+    ShedTotal(assignment->id);
+    GradeDurationUs(assignment->id);
+  }
+  if (options_.use_result_cache) {
+    cache_ = std::make_shared<ResultCache>(options_.cache_capacity);
+  }
+  WarmCtypeCaches();
+  workers_.reserve(static_cast<size_t>(jobs_));
+  for (int i = 0; i < jobs_; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ShardedScheduler::~ShardedScheduler() {
+  queue_.Close();
+  for (auto& worker : workers_) worker.join();
+}
+
+void ShardedScheduler::WorkerLoop() {
+  // One lazily-built pipeline per assignment this worker has graded: the
+  // pipeline (and everything thread-local it reaches) belongs to this
+  // thread; the per-shard oracle is the deliberate cross-worker memo.
+  std::unordered_map<size_t, std::unique_ptr<service::GradingPipeline>>
+      pipelines;
+  const bool metered = obs::Registry::Global().enabled();
+  if (metered) WorkersGauge()->Add(1);
+  auto mark = std::chrono::steady_clock::now();
+  auto lap_us = [&mark] {
+    auto now = std::chrono::steady_clock::now();
+    auto us = std::chrono::duration_cast<std::chrono::microseconds>(now - mark)
+                  .count();
+    mark = now;
+    return us;
+  };
+  while (auto job = queue_.Pop()) {
+    if (metered) {
+      IdleUsTotal()->Increment(lap_us());
+      QueueDepthGauge()->Set(static_cast<int64_t>(queue_.size()));
+    }
+    Shard& shard = *shards_[job->shard];
+    auto it = pipelines.find(job->shard);
+    if (it == pipelines.end()) {
+      it = pipelines
+               .emplace(job->shard,
+                        std::make_unique<service::GradingPipeline>(
+                            *shard.assignment, pipeline_options_,
+                            shard.oracle))
+               .first;
+    }
+    obs::Span job_span("sched.job");
+    service::GradingOutcome outcome = it->second->Grade(job->source);
+    job_span.End();
+    if (obs::EventLog::Global().enabled()) {
+      obs::EventLog::Global().Append(service::BuildWideEvent(
+          job->id, shard.assignment->id, job->cache, outcome));
+    }
+    if (metered) {
+      BusyUsTotal()->Increment(lap_us());
+      JobsTotal()->Increment();
+      ShardJobsTotal(shard.assignment->id)->Increment();
+      GradeDurationUs(shard.assignment->id)
+          ->Record(NowUs() - job->admitted_us);
+    }
+    // The quota slot stays held through grading ("in-system" covers queued
+    // and grading both, so a shard can never exceed its quota) and frees
+    // immediately BEFORE the result publishes: anyone who has observed the
+    // outcome — Wait(), a drained batch — also observes the freed slot.
+    size_t depth = shard.depth.fetch_sub(1, std::memory_order_acq_rel) - 1;
+    if (metered) {
+      ShardDepthGauge(shard.assignment->id)
+          ->Set(static_cast<int64_t>(depth));
+    }
+    {
+      std::lock_guard<std::mutex> lock(results_mu_);
+      results_[job->ticket] = std::move(outcome);
+    }
+    results_cv_.notify_all();
+  }
+  if (metered) WorkersGauge()->Add(-1);
+}
+
+bool ShardedScheduler::FindShard(const std::string& assignment_id,
+                                 size_t* index) const {
+  auto it = shard_by_id_.find(assignment_id);
+  if (it == shard_by_id_.end()) return false;
+  *index = it->second;
+  return true;
+}
+
+Status ShardedScheduler::Admit(size_t shard_index, const std::string& source,
+                               const std::string& id, const char* cache,
+                               uint64_t* ticket) {
+  Shard& shard = *shards_[shard_index];
+  const bool metered = obs::Registry::Global().enabled();
+  // Reserve a quota slot first; the shared queue cannot overflow while
+  // every shard honours its quota.
+  size_t depth = shard.depth.fetch_add(1, std::memory_order_acq_rel) + 1;
+  if (depth > options_.shard_queue_capacity) {
+    shard.depth.fetch_sub(1, std::memory_order_acq_rel);
+    if (metered) ShedTotal(shard.assignment->id)->Increment();
+    return Status::Unavailable(
+        "assignment '" + shard.assignment->id + "' is at its admission "
+        "quota (" + std::to_string(options_.shard_queue_capacity) +
+        " in flight); retry shortly");
+  }
+  uint64_t t = next_ticket_.fetch_add(1, std::memory_order_relaxed);
+  if (!queue_.TryPush(Job{t, shard_index, id, source, cache, NowUs()})) {
+    shard.depth.fetch_sub(1, std::memory_order_acq_rel);
+    return Status::Unavailable("scheduler is shutting down");
+  }
+  if (metered) {
+    QueueDepthGauge()->Set(static_cast<int64_t>(queue_.size()));
+    ShardDepthGauge(shard.assignment->id)->Set(static_cast<int64_t>(depth));
+  }
+  *ticket = t;
+  return Status::OK();
+}
+
+Status ShardedScheduler::Submit(const std::string& assignment_id,
+                                const std::string& source,
+                                const std::string& id, uint64_t* ticket) {
+  size_t shard_index;
+  if (!FindShard(assignment_id, &shard_index)) {
+    return Status::NotFound("unknown assignment '" + assignment_id + "'");
+  }
+  return Admit(shard_index, source, id, /*cache=*/"off", ticket);
+}
+
+service::GradingOutcome ShardedScheduler::Wait(uint64_t ticket) {
+  return TakeResult(ticket);
+}
+
+service::GradingOutcome ShardedScheduler::TakeResult(uint64_t ticket) {
+  std::unique_lock<std::mutex> lock(results_mu_);
+  results_cv_.wait(lock,
+                   [this, ticket] { return results_.count(ticket) > 0; });
+  auto node = results_.extract(ticket);
+  return std::move(node.mapped());
+}
+
+std::vector<MixedOutcome> ShardedScheduler::GradeMixedBatch(
+    const std::vector<MixedItem>& items, BatchStats* stats) {
+  BatchStats local_stats;
+  if (stats == nullptr) stats = &local_stats;
+  *stats = BatchStats();
+  stats->submissions = items.size();
+  std::vector<MixedOutcome> outcomes(items.size());
+
+  // Same chaos rule as BatchScheduler: dedup/cache off while an injection
+  // campaign runs, so every submission crosses the fault points.
+  const bool caching = cache_ != nullptr && !fault::Injector::Get().enabled();
+  const bool recording = obs::EventLog::Global().enabled();
+  auto record = [&items, recording](size_t i, const char* cache,
+                                    const service::GradingOutcome& outcome) {
+    if (!recording) return;
+    obs::EventLog::Global().Append(service::BuildWideEvent(
+        items[i].id, items[i].assignment, cache, outcome));
+  };
+
+  // Dedup groups keyed by (shard, token fingerprint): duplicates coalesce
+  // onto their leader's pipeline run without consuming extra quota.
+  struct Group {
+    uint64_t ticket = 0;
+    size_t shard = 0;
+    uint64_t fingerprint = 0;
+    std::vector<size_t> indexes;
+  };
+  std::vector<Group> groups;
+  struct Key {
+    size_t shard;
+    uint64_t fingerprint;
+    bool operator==(const Key& o) const {
+      return shard == o.shard && fingerprint == o.fingerprint;
+    }
+  };
+  struct KeyHash {
+    size_t operator()(const Key& k) const {
+      return std::hash<uint64_t>()(k.fingerprint * 1099511628211ull ^
+                                   k.shard);
+    }
+  };
+  std::unordered_map<Key, size_t, KeyHash> group_by_key;
+
+  for (size_t i = 0; i < items.size(); ++i) {
+    size_t shard_index;
+    if (!FindShard(items[i].assignment, &shard_index)) {
+      outcomes[i].status = Status::NotFound("unknown assignment '" +
+                                            items[i].assignment + "'");
+      continue;
+    }
+    uint64_t fingerprint = 0;
+    if (caching) {
+      fingerprint = TokenFingerprint(items[i].source);
+      Key key{shard_index, fingerprint};
+      auto in_flight = group_by_key.find(key);
+      if (in_flight != group_by_key.end()) {
+        groups[in_flight->second].indexes.push_back(i);
+        ++stats->dedup_hits;
+        continue;
+      }
+      service::GradingOutcome cached;
+      if (cache_->Lookup(items[i].assignment, fingerprint, &cached)) {
+        record(i, "hit", cached);
+        outcomes[i].status = Status::OK();
+        outcomes[i].outcome = std::move(cached);
+        outcomes[i].disposition = "hit";
+        ++stats->cache_hits;
+        continue;
+      }
+    }
+    uint64_t ticket = 0;
+    // Non-blocking admission: a line over its shard's quota is shed here
+    // and now — one tenant's spike must not stall the whole mixed batch.
+    Status admitted = Admit(shard_index, items[i].source, items[i].id,
+                            caching ? "miss" : "off", &ticket);
+    if (!admitted.ok()) {
+      outcomes[i].status = std::move(admitted);
+      continue;
+    }
+    ++stats->graded;
+    Group group;
+    group.ticket = ticket;
+    group.shard = shard_index;
+    group.fingerprint = fingerprint;
+    group.indexes.push_back(i);
+    if (caching) {
+      group_by_key.emplace(Key{shard_index, fingerprint}, groups.size());
+    }
+    groups.push_back(std::move(group));
+  }
+
+  for (auto& group : groups) {
+    service::GradingOutcome outcome = TakeResult(group.ticket);
+    if (caching) {
+      cache_->Insert(shards_[group.shard]->assignment->id, group.fingerprint,
+                     outcome);
+    }
+    for (size_t k = 1; k < group.indexes.size(); ++k) {
+      size_t i = group.indexes[k];
+      record(i, "dedup", outcome);
+      outcomes[i].status = Status::OK();
+      outcomes[i].outcome = outcome;
+      outcomes[i].disposition = "dedup";
+    }
+    size_t leader = group.indexes.front();
+    outcomes[leader].status = Status::OK();
+    outcomes[leader].disposition = caching ? "miss" : "off";
+    outcomes[leader].outcome = std::move(outcome);
+  }
+  return outcomes;
+}
+
+std::vector<std::string> ShardedScheduler::assignment_ids() const {
+  std::vector<std::string> ids;
+  ids.reserve(shards_.size());
+  for (const auto& shard : shards_) ids.push_back(shard->assignment->id);
+  return ids;
+}
+
+size_t ShardedScheduler::ShardDepth(const std::string& assignment_id) const {
+  size_t index;
+  if (!FindShard(assignment_id, &index)) return 0;
+  return shards_[index]->depth.load(std::memory_order_acquire);
+}
+
+bool ShardedScheduler::Saturated() const {
+  for (const auto& shard : shards_) {
+    if (shard->depth.load(std::memory_order_acquire) <
+        options_.shard_queue_capacity) {
+      return false;
+    }
+  }
+  return !shards_.empty();
+}
+
+}  // namespace jfeed::sched

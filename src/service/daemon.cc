@@ -2,7 +2,7 @@
 
 namespace jfeed::service {
 
-const char kJfeedVersion[] = "0.5.0";
+const char kJfeedVersion[] = "0.6.0";
 
 }  // namespace jfeed::service
 
@@ -34,6 +34,20 @@ size_t ParseLimit(const std::string& query, size_t fallback) {
   return static_cast<size_t>(v);
 }
 
+/// Extracts the value of `key=` from a query string; "" when absent. Values
+/// are used verbatim (assignment ids are identifier-like, no %-escapes).
+std::string ParseQueryValue(const std::string& query, const std::string& key) {
+  std::string needle = key + "=";
+  size_t pos = query.find(needle);
+  if (pos != 0 && (pos == std::string::npos || query[pos - 1] != '&')) {
+    return "";
+  }
+  size_t start = pos + needle.size();
+  size_t end = query.find('&', start);
+  if (end == std::string::npos) end = query.size();
+  return query.substr(start, end - start);
+}
+
 obs::HttpResponse JsonResponse(int status, std::string body) {
   obs::HttpResponse response;
   response.status = status;
@@ -51,6 +65,14 @@ int64_t CounterValue(const char* name) {
   return obs::Registry::Global().GetCounter(name, "")->Value();
 }
 
+/// Per-assignment variant: the `assignment`-labeled families the
+/// ShardedScheduler maintains (DESIGN.md §6).
+int64_t ShardCounterValue(const char* name, const std::string& assignment) {
+  return obs::Registry::Global()
+      .GetCounter(name, "", {{"assignment", assignment}})
+      ->Value();
+}
+
 }  // namespace
 
 GradingDaemon::GradingDaemon(DaemonOptions options)
@@ -60,17 +82,45 @@ GradingDaemon::~GradingDaemon() { Stop(); }
 
 Status GradingDaemon::Start() {
   if (server_ != nullptr) return Status::Internal("daemon already started");
+  if (!options_.assignment_id.empty() && !options_.assignments.empty()) {
+    return Status::InvalidArgument(
+        "set assignment_id (single-tenant) or assignments (multi-tenant), "
+        "not both");
+  }
 
   const auto& kb = kb::KnowledgeBase::Get();
-  bool known = false;
-  for (const auto& id : kb.assignment_ids()) {
-    known |= id == options_.assignment_id;
+  std::vector<std::string> requested;
+  if (!options_.assignment_id.empty()) {
+    requested.push_back(options_.assignment_id);
+  } else if (!options_.assignments.empty()) {
+    requested = options_.assignments;
+  } else {
+    // The MOOC deployment shape: one process serves every assignment.
+    requested = kb.assignment_ids();
   }
-  if (!known) {
-    return Status::NotFound("unknown assignment '" + options_.assignment_id +
-                            "' (try grade --list)");
+
+  std::vector<const kb::Assignment*> assignments;
+  assignments.reserve(requested.size());
+  for (const auto& id : requested) {
+    bool known = false;
+    for (const auto& kb_id : kb.assignment_ids()) known |= kb_id == id;
+    if (!known) {
+      return Status::NotFound("unknown assignment '" + id +
+                              "' (try grade --list)");
+    }
+    for (const kb::Assignment* seen : assignments) {
+      if (seen->id == id) {
+        return Status::InvalidArgument("assignment '" + id +
+                                       "' listed twice");
+      }
+    }
+    assignments.push_back(&kb.assignment(id));
   }
-  assignment_ = &kb.assignment(options_.assignment_id);
+  assignment_ids_ = std::move(requested);
+  // Lines without an "assignment" key only have an unambiguous route when
+  // the daemon serves exactly one assignment.
+  default_assignment_ =
+      assignment_ids_.size() == 1 ? assignment_ids_.front() : "";
 
   // The daemon is a monitoring surface by definition: all three
   // observability sinks come up with it.
@@ -81,12 +131,19 @@ Status GradingDaemon::Start() {
   obs::EventLog::Global().SetCapacity(options_.event_capacity);
   obs::EventLog::Global().set_enabled(true);
 
-  sched::SchedulerOptions scheduler_options;
+  sched::ShardedSchedulerOptions scheduler_options;
   scheduler_options.jobs = options_.jobs;
-  scheduler_options.queue_capacity = options_.queue_capacity;
+  // The admission quota: an explicit shard_queue_capacity wins; otherwise a
+  // single-tenant daemon keeps the historical --queue semantics and a
+  // multi-tenant one gets a per-assignment default small enough that one
+  // spiking assignment cannot monopolize the worker pool.
+  scheduler_options.shard_queue_capacity =
+      options_.shard_queue_capacity > 0 ? options_.shard_queue_capacity
+      : assignment_ids_.size() == 1     ? options_.queue_capacity
+                                        : 64;
   scheduler_options.use_result_cache = options_.use_result_cache;
-  scheduler_ = std::make_unique<sched::BatchScheduler>(
-      *assignment_, options_.pipeline, scheduler_options);
+  scheduler_ = std::make_unique<sched::ShardedScheduler>(
+      std::move(assignments), options_.pipeline, scheduler_options);
 
   obs::HttpServer::Options server_options;
   server_options.port = options_.port;
@@ -153,11 +210,14 @@ obs::HttpResponse GradingDaemon::HandleGrade(const obs::HttpRequest& request) {
         "{\"error\":\"empty body; send one NDJSON submission per line\"}");
   }
 
-  // Same line format and error taxonomy as `grade --batch`: bad lines get
-  // an error object at their position, the rest of the body still grades.
-  std::vector<std::string> ids;
-  std::vector<std::string> sources;
-  std::vector<size_t> submission_index;  // Line index -> sources index.
+  // Same line format and error taxonomy as `grade --batch`, extended with
+  // per-line routing: bad lines get an error object at their position, the
+  // rest of the body still grades. A line's "assignment" key routes it to
+  // that shard; lines without one fall back to the daemon's default (the
+  // single-tenant assignment), and are refused per-line when the daemon
+  // serves several assignments and there is no unambiguous default.
+  std::vector<sched::MixedItem> items;
+  std::vector<size_t> submission_index;  // Line index -> items index.
   std::vector<std::string> line_errors;
   size_t pos = 0;
   while (pos < request.body.size()) {
@@ -172,10 +232,20 @@ obs::HttpResponse GradingDaemon::HandleGrade(const obs::HttpRequest& request) {
       line_errors.push_back(decoded.status().message());
       continue;
     }
-    submission_index.push_back(sources.size());
+    std::string route = decoded->assignment.empty() ? default_assignment_
+                                                    : decoded->assignment;
+    if (route.empty()) {
+      submission_index.push_back(SIZE_MAX);
+      line_errors.push_back(
+          "line has no \"assignment\" key and this daemon serves " +
+          std::to_string(assignment_ids_.size()) +
+          " assignments; add one to route the submission");
+      continue;
+    }
+    submission_index.push_back(items.size());
     line_errors.push_back("");
-    ids.push_back(decoded->id);
-    sources.push_back(std::move(decoded->source));
+    items.push_back(sched::MixedItem{std::move(route), decoded->id,
+                                     std::move(decoded->source)});
   }
   if (submission_index.empty()) {
     return JsonResponse(
@@ -183,19 +253,44 @@ obs::HttpResponse GradingDaemon::HandleGrade(const obs::HttpRequest& request) {
   }
 
   sched::BatchStats stats;
-  auto outcomes = scheduler_->GradeBatchWithStats(sources, ids, &stats);
+  auto outcomes = scheduler_->GradeMixedBatch(items, &stats);
 
+  size_t shed = 0;
   obs::HttpResponse response;
   response.content_type = "application/x-ndjson; charset=utf-8";
   for (size_t i = 0; i < submission_index.size(); ++i) {
     if (submission_index[i] == SIZE_MAX) {
       response.body += sched::BatchErrorToJson(
           i, Status::InvalidArgument(line_errors[i]));
-    } else {
+      response.body += "\n";
+      continue;
+    }
+    size_t j = submission_index[i];
+    const sched::MixedOutcome& result = outcomes[j];
+    if (result.status.ok()) {
       response.body += sched::BatchOutcomeToJson(
-          ids[submission_index[i]], i, outcomes[submission_index[i]]);
+          items[j].id, i, items[j].assignment, result.outcome);
+    } else if (result.status.code() == StatusCode::kNotFound) {
+      response.body += sched::BatchRejectToJson(
+          items[j].id, i, items[j].assignment, 404, 0, result.status);
+    } else {
+      // Admission shed (kUnavailable): the client should back off and
+      // retry this line, and only this line.
+      ++shed;
+      response.body += sched::BatchRejectToJson(
+          items[j].id, i, items[j].assignment, 429, options_.retry_after_s,
+          result.status);
     }
     response.body += "\n";
+  }
+
+  // Only when *every* line was shed is the whole request backpressure: the
+  // response itself becomes 429 + Retry-After, the signal an open-loop
+  // client keys on. Mixed outcomes stay 200 — per-line codes carry them.
+  if (shed > 0 && shed == submission_index.size()) {
+    response.status = 429;
+    response.headers.emplace_back("Retry-After",
+                                  std::to_string(options_.retry_after_s));
   }
   return response;
 }
@@ -211,9 +306,9 @@ obs::HttpResponse GradingDaemon::HandleMetrics(const obs::HttpRequest&) {
 
 obs::HttpResponse GradingDaemon::HandleHealthz(const obs::HttpRequest&) {
   // Readiness ladder, most urgent reason first: draining (operator asked us
-  // to go), saturated (queue full — admission would be refused), degraded
-  // (recent outcomes dominated by internal faults — the infrastructure, not
-  // the students, is failing), ok.
+  // to go), saturated (every shard at its admission quota — any submission
+  // would be shed), degraded (recent outcomes dominated by internal faults
+  // — the infrastructure, not the students, is failing), ok.
   size_t depth = scheduler_->queue_depth();
   size_t capacity = scheduler_->queue_capacity();
 
@@ -235,7 +330,7 @@ obs::HttpResponse GradingDaemon::HandleHealthz(const obs::HttpRequest&) {
   if (draining()) {
     status = "draining";
     http_status = 503;
-  } else if (depth >= capacity) {
+  } else if (scheduler_->Saturated()) {
     status = "saturated";
     http_status = 503;
   } else if (window >= options_.health_window / 2 &&
@@ -268,7 +363,18 @@ obs::HttpResponse GradingDaemon::HandleStatusz(const obs::HttpRequest&) {
   body += "\",\"compiler\":\"";
   body += __VERSION__;
   body += "\",\"obs\":\"on\"}";
-  body += ",\"assignment\":\"" + options_.assignment_id + "\"";
+  // Single-tenant daemons keep the scalar "assignment" field; multi-tenant
+  // ones report "*" there (back-compat for dashboards keyed on it) and the
+  // real list under "assignments".
+  body += ",\"assignment\":\"";
+  body += default_assignment_.empty() ? "*" : default_assignment_;
+  body += "\"";
+  body += ",\"assignments\":[";
+  for (size_t i = 0; i < assignment_ids_.size(); ++i) {
+    if (i > 0) body += ",";
+    body += "\"" + assignment_ids_[i] + "\"";
+  }
+  body += "]";
   body += ",\"worker_id\":" + std::to_string(options_.worker_id);
   body += ",\"uptime_s\":" + std::to_string(uptime);
   body += ",\"start_unix_ms\":" + std::to_string(start_unix_ms_);
@@ -279,6 +385,8 @@ obs::HttpResponse GradingDaemon::HandleStatusz(const obs::HttpRequest&) {
   body += ",\"queue_depth\":" + std::to_string(scheduler_->queue_depth());
   body +=
       ",\"queue_capacity\":" + std::to_string(scheduler_->queue_capacity());
+  body += ",\"shard_quota\":" +
+          std::to_string(scheduler_->shard_queue_capacity());
   body += ",\"jobs_total\":" +
           std::to_string(CounterValue("jfeed_sched_jobs_total"));
   body += ",\"busy_us\":" + std::to_string(busy);
@@ -287,7 +395,21 @@ obs::HttpResponse GradingDaemon::HandleStatusz(const obs::HttpRequest&) {
   std::snprintf(buf, sizeof(buf), "%.4f", utilization);
   body += ",\"utilization\":";
   body += buf;
-  body += "}";
+  // Per-assignment breakdown: in-system depth plus the labeled counters
+  // (jfeed_sched_jobs_total{assignment=...}, jfeed_shed_total{...}).
+  body += ",\"shards\":[";
+  for (size_t i = 0; i < assignment_ids_.size(); ++i) {
+    const std::string& id = assignment_ids_[i];
+    if (i > 0) body += ",";
+    body += "{\"assignment\":\"" + id + "\"";
+    body += ",\"depth\":" + std::to_string(scheduler_->ShardDepth(id));
+    body += ",\"graded\":" +
+            std::to_string(ShardCounterValue("jfeed_sched_jobs_total", id));
+    body += ",\"shed\":" +
+            std::to_string(ShardCounterValue("jfeed_shed_total", id));
+    body += "}";
+  }
+  body += "]}";
 
   body += ",\"cache\":{\"enabled\":";
   const sched::ResultCache* cache = scheduler_->cache();
@@ -349,9 +471,26 @@ obs::HttpResponse GradingDaemon::HandleTracez(const obs::HttpRequest& request) {
 
 obs::HttpResponse GradingDaemon::HandleEvents(const obs::HttpRequest& request) {
   size_t limit = ParseLimit(request.query, 0);
+  std::string assignment = ParseQueryValue(request.query, "assignment");
   obs::HttpResponse response;
   response.content_type = "application/x-ndjson; charset=utf-8";
-  response.body = obs::EventLog::Global().RenderNdjson(limit);
+  if (assignment.empty()) {
+    response.body = obs::EventLog::Global().RenderNdjson(limit);
+    return response;
+  }
+  // ?assignment=<id> narrows the recorder to one tenant's submissions (the
+  // multi-tenant debugging view); limit keeps the newest N matches.
+  auto events = obs::EventLog::Global().Snapshot();
+  std::vector<const obs::WideEvent*> matched;
+  for (const auto& event : events) {
+    if (event.assignment == assignment) matched.push_back(&event);
+  }
+  size_t start = limit > 0 && matched.size() > limit ? matched.size() - limit
+                                                     : 0;
+  for (size_t i = start; i < matched.size(); ++i) {
+    response.body += obs::ToJson(*matched[i]);
+    response.body += "\n";
+  }
   return response;
 }
 

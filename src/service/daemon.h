@@ -2,11 +2,20 @@
 #define JFEED_SERVICE_DAEMON_H_
 
 // The jfeedd grading daemon: a long-running serving wrapper around
-// sched::BatchScheduler + service::GradingPipeline that hosts the live
-// introspection surface. One instance serves one assignment on loopback:
+// sched::ShardedScheduler + service::GradingPipeline that hosts the live
+// introspection surface. One instance serves one or many knowledge-base
+// assignments (multi-tenant) on loopback:
 //
-//   POST /grade     NDJSON submissions in (grade --batch line format),
-//                   NDJSON GradingOutcomes out, input order preserved
+//   POST /grade     NDJSON submissions in (grade --batch line format; each
+//                   line may carry an "assignment" routing key),
+//                   NDJSON GradingOutcomes out, input order preserved.
+//                   Per-line failure modes stay per-line: an unknown
+//                   assignment id answers a code:404 error object, an
+//                   admission shed (that assignment's shard is at quota) a
+//                   code:429 object with retry_after_s. Only when *every*
+//                   line was shed does the response itself become HTTP 429
+//                   with a Retry-After header — the backpressure signal an
+//                   open-loop client (jfeed-loadgen) keys on.
 //   GET  /metrics   Prometheus text exposition (Registry::Render)
 //   GET  /healthz   readiness: 200 while serving, 503 while draining,
 //                   saturated (queue full) or degraded (recent grades
@@ -31,9 +40,11 @@
 #include <memory>
 #include <string>
 
+#include <vector>
+
 #include "obs/event_log.h"
 #include "obs/http_server.h"
-#include "sched/scheduler.h"
+#include "sched/sharded_scheduler.h"
 #include "service/pipeline.h"
 #include "support/status.h"
 
@@ -48,12 +59,27 @@ namespace jfeed::service {
 extern const char kJfeedVersion[];
 
 struct DaemonOptions {
+  /// Single-tenant form: serve exactly this assignment (lines that omit
+  /// "assignment" route here). Mutually exclusive with `assignments`.
   std::string assignment_id;
+  /// Multi-tenant form: serve these assignments, one scheduler shard each.
+  /// When both this and assignment_id are empty, every assignment in the
+  /// knowledge base is loaded (the MOOC deployment shape: one process, all
+  /// twelve assignments).
+  std::vector<std::string> assignments;
   /// Loopback port; 0 picks an ephemeral one (read back via port()).
   uint16_t port = 0;
-  /// Worker threads / queue bound for the embedded BatchScheduler.
+  /// Worker threads shared across every assignment shard.
   int jobs = 4;
+  /// Single-tenant admission quota (kept for back-compat with --queue).
   size_t queue_capacity = 256;
+  /// Per-assignment admission quota in multi-tenant mode: submissions of
+  /// one assignment in the system (queued or grading) before further ones
+  /// are shed with 429. 0 = queue_capacity when single-tenant, 64 others.
+  size_t shard_queue_capacity = 0;
+  /// Retry-After header value (seconds) on fully-shed (HTTP 429) responses
+  /// and the retry_after_s hint on per-line sheds.
+  int retry_after_s = 1;
   bool use_result_cache = true;
   /// Flight-recorder ring capacity.
   size_t event_capacity = obs::EventLog::kDefaultCapacity;
@@ -136,8 +162,12 @@ class GradingDaemon {
   obs::HttpResponse HandleEvents(const obs::HttpRequest& request);
 
   DaemonOptions options_;
-  const kb::Assignment* assignment_ = nullptr;
-  std::unique_ptr<sched::BatchScheduler> scheduler_;
+  /// Assignment ids actually served, in shard order (resolved in Start()).
+  std::vector<std::string> assignment_ids_;
+  /// The id unrouted lines default to (single-tenant mode), "" when every
+  /// line must carry its own "assignment" key.
+  std::string default_assignment_;
+  std::unique_ptr<sched::ShardedScheduler> scheduler_;
   std::unique_ptr<obs::HttpServer> server_;
   std::atomic<bool> draining_{false};
   std::chrono::steady_clock::time_point started_;

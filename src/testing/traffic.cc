@@ -1,0 +1,156 @@
+#include "testing/traffic.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace jfeed::testing {
+
+namespace {
+
+/// xorshift64: deterministic, seedable, and good enough to shuffle a
+/// traffic mix (this is a load shape, not cryptography).
+struct Rng {
+  uint64_t state;
+  explicit Rng(uint64_t seed) : state(seed != 0 ? seed : 0x9e3779b97f4a7c15ull) {}
+  uint64_t Next() {
+    state ^= state << 13;
+    state ^= state >> 7;
+    state ^= state << 17;
+    return state;
+  }
+  uint64_t Below(uint64_t bound) { return bound == 0 ? 0 : Next() % bound; }
+  double Unit() {
+    return static_cast<double>(Next() >> 11) /
+           static_cast<double>(1ull << 53);
+  }
+};
+
+/// Mixed-radix inverse of SubmissionTemplate::Decode (site 0 least
+/// significant).
+uint64_t Encode(const synth::SubmissionTemplate& generator,
+                const std::vector<size_t>& choice) {
+  uint64_t index = 0;
+  uint64_t stride = 1;
+  const auto& sites = generator.sites();
+  for (size_t i = 0; i < sites.size(); ++i) {
+    index += static_cast<uint64_t>(choice[i]) * stride;
+    stride *= sites[i].variants.size();
+  }
+  return index;
+}
+
+/// One incremental repair: zero a random still-wrong choice site. Index 0
+/// (all correct) maps to itself.
+uint64_t FixOneError(const synth::SubmissionTemplate& generator,
+                     uint64_t index, Rng* rng) {
+  std::vector<size_t> choice = generator.Decode(index);
+  std::vector<size_t> wrong;
+  for (size_t i = 0; i < choice.size(); ++i) {
+    if (choice[i] != 0) wrong.push_back(i);
+  }
+  if (wrong.empty()) return index;
+  choice[wrong[rng->Below(wrong.size())]] = 0;
+  return Encode(generator, choice);
+}
+
+/// An in-progress student: their current position in the search space.
+struct Chain {
+  size_t student = 0;
+  uint64_t index = 0;
+  int attempt = 1;
+};
+
+}  // namespace
+
+std::vector<TrafficEvent> BuildDeadlineSpikeSchedule(
+    const std::vector<TrafficAssignment>& assignments,
+    const TrafficOptions& options) {
+  std::vector<TrafficEvent> events;
+  if (assignments.empty() || options.submissions == 0) return events;
+  Rng rng(options.seed);
+
+  // Timeline first: a sorted offset list the events are dealt onto in
+  // order, which is what keeps resubmission chains causally ordered.
+  // Idle lead-in offsets are uniform over [0, idle_ms); spike offsets use
+  // sqrt(u) over [idle_ms, idle_ms + spike_ms) so density rises linearly
+  // toward the deadline.
+  std::vector<int64_t> offsets;
+  offsets.reserve(options.submissions);
+  size_t idle_count = static_cast<size_t>(
+      static_cast<double>(options.submissions) * options.idle_fraction);
+  if (idle_count > options.submissions) idle_count = options.submissions;
+  for (size_t i = 0; i < idle_count; ++i) {
+    offsets.push_back(static_cast<int64_t>(
+        rng.Unit() * static_cast<double>(options.idle_ms)));
+  }
+  for (size_t i = idle_count; i < options.submissions; ++i) {
+    offsets.push_back(options.idle_ms +
+                      static_cast<int64_t>(
+                          std::sqrt(rng.Unit()) *
+                          static_cast<double>(options.spike_ms)));
+  }
+  std::sort(offsets.begin(), offsets.end());
+
+  struct Tenant {
+    const TrafficAssignment* assignment;
+    std::vector<Chain> chains;
+    size_t next_student = 1;
+  };
+  std::vector<Tenant> tenants;
+  tenants.reserve(assignments.size());
+  for (const auto& assignment : assignments) {
+    tenants.push_back(Tenant{&assignment, {}, 1});
+  }
+
+  events.reserve(options.submissions);
+  for (int64_t offset : offsets) {
+    Tenant& tenant = tenants[rng.Below(tenants.size())];
+    const synth::SubmissionTemplate& generator =
+        *tenant.assignment->generator;
+    uint64_t space = generator.SpaceSize();
+
+    TrafficEvent event;
+    event.offset_ms = offset;
+    event.assignment = tenant.assignment->id;
+
+    bool done = false;
+    std::string comment;
+    if (!tenant.chains.empty() && rng.Unit() < options.resubmit_prob) {
+      size_t pick = rng.Below(tenant.chains.size());
+      Chain& chain = tenant.chains[pick];
+      ++chain.attempt;
+      double kind = rng.Unit();
+      if (kind < options.duplicate_prob) {
+        // Panic re-send: byte-identical source.
+      } else if (kind < options.duplicate_prob + options.comment_prob) {
+        // Cosmetic tweak: the lexer strips comments, so the token
+        // fingerprint — and the result-cache key — is unchanged.
+        comment = "\n// attempt " + std::to_string(chain.attempt) + "\n";
+      } else {
+        chain.index = FixOneError(generator, chain.index, &rng);
+        done = chain.index == 0;  // Correct now; the student is finished.
+      }
+      event.id = tenant.assignment->id + "-s" +
+                 std::to_string(chain.student) + "-r" +
+                 std::to_string(chain.attempt);
+      event.source = generator.Generate(chain.index) + comment;
+      if (done) {
+        tenant.chains.erase(tenant.chains.begin() +
+                            static_cast<ptrdiff_t>(pick));
+      }
+    } else {
+      // A new student entering at a random buggy point of the space.
+      Chain chain;
+      chain.student = tenant.next_student++;
+      chain.index = space > 1 ? 1 + rng.Below(space - 1) : 0;
+      event.id = tenant.assignment->id + "-s" +
+                 std::to_string(chain.student) + "-r1";
+      event.source = generator.Generate(chain.index);
+      if (chain.index != 0) tenant.chains.push_back(chain);
+    }
+    events.push_back(std::move(event));
+  }
+  return events;
+}
+
+}  // namespace jfeed::testing

@@ -1,0 +1,84 @@
+#ifndef JFEED_TESTING_TRAFFIC_H_
+#define JFEED_TESTING_TRAFFIC_H_
+
+// Deadline-spike traffic model for jfeed-loadgen and the multi-tenant
+// scheduler tests: a deterministic schedule of near-duplicate submissions
+// shaped like a MOOC deadline day — a long quiet lead-in, then a ramp whose
+// density keeps rising until the cutoff.
+//
+// Submissions come from the same error-model generators that synthesize the
+// evaluation corpus (synth::SubmissionTemplate), mutated the way real
+// resubmission streams are:
+//   - a new "student" starts a chain at a random buggy point of the
+//     search space;
+//   - a resubmission fixes one injected error (steps one choice site back
+//     to its correct variant) — the paper's model of incremental repair;
+//   - some resubmissions are exact duplicates (panic re-sends) or append
+//     only a comment, leaving the token stream — and therefore the result
+//     cache key — unchanged.
+// Chains are causally ordered: attempt N+1 always carries a later offset
+// than attempt N, because events are dealt onto a pre-sorted timeline.
+//
+// Everything derives from TrafficOptions::seed via a xorshift64 generator,
+// so a (assignments, options) pair always produces the identical schedule —
+// the property the BENCH_loadgen baseline comparison depends on.
+//
+// This header deliberately depends on synth only (kb links against
+// jfeed_testing, so the traffic model cannot reach back into kb); callers
+// pass the per-assignment generators in.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "synth/generator.h"
+
+namespace jfeed::testing {
+
+/// One tenant of the generated traffic mix.
+struct TrafficAssignment {
+  std::string id;  ///< Knowledge-base assignment id (the routing key).
+  /// Error-model generator for this assignment; must outlive the schedule
+  /// build. Points at kb::Assignment::generator in practice.
+  const synth::SubmissionTemplate* generator = nullptr;
+};
+
+struct TrafficOptions {
+  uint64_t seed = 1;
+  /// Total submissions across all assignments.
+  size_t submissions = 1000;
+  /// Quiet lead-in duration and the share of submissions trickling in
+  /// during it.
+  int64_t idle_ms = 2000;
+  double idle_fraction = 0.05;
+  /// Spike window after the lead-in; submission density rises toward its
+  /// end (the deadline).
+  int64_t spike_ms = 8000;
+  /// Probability an event continues an existing resubmission chain rather
+  /// than starting a new student.
+  double resubmit_prob = 0.55;
+  /// Given a resubmission: probability of an exact duplicate re-send, and
+  /// of a token-preserving comment-only tweak. The remainder fixes one
+  /// injected error.
+  double duplicate_prob = 0.15;
+  double comment_prob = 0.15;
+};
+
+/// One scheduled submission.
+struct TrafficEvent {
+  int64_t offset_ms = 0;   ///< Send time relative to schedule start.
+  std::string assignment;  ///< Routing key.
+  std::string id;          ///< "<assignment>-s<student>-r<attempt>".
+  std::string source;      ///< Java submission text.
+};
+
+/// Builds the deadline-spike schedule: `options.submissions` events sorted
+/// by offset_ms, mixed uniformly across `assignments`. Assignments must be
+/// non-empty and every generator non-null with a non-trivial search space.
+std::vector<TrafficEvent> BuildDeadlineSpikeSchedule(
+    const std::vector<TrafficAssignment>& assignments,
+    const TrafficOptions& options = TrafficOptions());
+
+}  // namespace jfeed::testing
+
+#endif  // JFEED_TESTING_TRAFFIC_H_

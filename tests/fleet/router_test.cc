@@ -3,8 +3,11 @@
 #include <atomic>
 #include <chrono>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <thread>
+#include <utility>
+#include <vector>
 
 #include "gtest/gtest.h"
 #include "obs/metrics.h"
@@ -30,7 +33,11 @@ class FakeWorker {
       grade_calls_.fetch_add(1);
       obs::HttpResponse response;
       response.status = grade_status_.load();
-      response.body = "worker:" + name_ + ":" + request.body;
+      std::lock_guard<std::mutex> lock(mutex_);
+      response.body = grade_body_.empty()
+                          ? "worker:" + name_ + ":" + request.body
+                          : grade_body_;
+      for (const auto& header : grade_headers_) response.headers.push_back(header);
       return response;
     });
   }
@@ -44,6 +51,15 @@ class FakeWorker {
 
   void set_healthz_status(int status) { healthz_status_.store(status); }
   void set_grade_status(int status) { grade_status_.store(status); }
+  /// Scripted /grade response body ("" = echo the request) and extra headers.
+  void set_grade_body(std::string body) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    grade_body_ = std::move(body);
+  }
+  void add_grade_header(std::string name, std::string value) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    grade_headers_.emplace_back(std::move(name), std::move(value));
+  }
   int grade_calls() const { return grade_calls_.load(); }
 
  private:
@@ -52,6 +68,9 @@ class FakeWorker {
   std::atomic<int> healthz_status_{200};
   std::atomic<int> grade_status_{200};
   std::atomic<int> grade_calls_{0};
+  std::mutex mutex_;
+  std::string grade_body_;
+  std::vector<std::pair<std::string, std::string>> grade_headers_;
 };
 
 RouterPolicy FastPolicy() {
@@ -239,6 +258,76 @@ TEST_F(RouterTest, InflightCapSheds) {
   ASSERT_EQ(response.headers.size(), 1u);
   EXPECT_EQ(response.headers[0].first, "Retry-After");
   EXPECT_EQ(worker.grade_calls(), 0);
+}
+
+TEST_F(RouterTest, MixedAssignmentBodyIsForwardedVerbatim) {
+  // Multi-tenant routing lives in the workers: the broker must pass each
+  // line's "assignment" key through byte-for-byte, both directions.
+  FakeWorker worker;
+  worker.Start("a");
+  Router router(FastPolicy());
+  router.AddWorker(0, worker.port());
+  router.ProbeOnce();
+
+  const std::string body =
+      "{\"id\":\"s1\",\"assignment\":\"assignment1\",\"source\":\"a\"}\n"
+      "{\"id\":\"s2\",\"assignment\":\"mitx-polynomials\",\"source\":\"b\"}\n";
+  obs::HttpResponse response = router.RouteGrade(body);
+  EXPECT_EQ(response.status, 200);
+  EXPECT_EQ(response.body, "worker:a:" + body);
+  EXPECT_EQ(worker.grade_calls(), 1);
+}
+
+TEST_F(RouterTest, WorkerBackpressureRelaysWithoutRetry) {
+  // A worker-side 429 (every line shed at admission) is the student's
+  // backpressure signal, not a broker failure: exactly one attempt, the
+  // Retry-After header relayed, breaker untouched.
+  FakeWorker a, b;
+  a.Start("a");
+  b.Start("b");
+  a.set_grade_status(429);
+  a.add_grade_header("Retry-After", "7");
+  b.set_grade_status(429);
+  b.add_grade_header("Retry-After", "7");
+  Router router(FastPolicy());
+  router.AddWorker(0, a.port());
+  router.AddWorker(1, b.port());
+  router.ProbeOnce();
+
+  obs::HttpResponse response = router.RouteGrade("x");
+  EXPECT_EQ(response.status, 429);
+  // One attempt total: the shed was not retried onto the other worker.
+  EXPECT_EQ(a.grade_calls() + b.grade_calls(), 1);
+  std::string retry_after;
+  for (const auto& [name, value] : response.headers) {
+    if (name == "Retry-After") retry_after = value;
+  }
+  EXPECT_EQ(retry_after, "7");
+  EXPECT_EQ(router.Snapshot()[0].breaker, BreakerState::kClosed);
+  EXPECT_EQ(router.Snapshot()[1].breaker, BreakerState::kClosed);
+}
+
+TEST_F(RouterTest, PerLineShedObjectsInsideOkResponseRelayUntouched) {
+  // Partial shed: the worker answers 200 with a mix of graded lines and
+  // per-line code:429 objects. The broker must not reorder, rewrite or
+  // retry any of it — per-line dispositions are the worker's contract
+  // with the client.
+  FakeWorker worker;
+  worker.Start("a");
+  const std::string mixed_outcome =
+      "{\"id\":\"s1\",\"index\":0,\"assignment\":\"assignment1\","
+      "\"verdict\":\"correct\"}\n"
+      "{\"id\":\"s2\",\"index\":1,\"assignment\":\"assignment1\","
+      "\"code\":429,\"retry_after_s\":1,\"error\":\"admission quota\"}\n";
+  worker.set_grade_body(mixed_outcome);
+  Router router(FastPolicy());
+  router.AddWorker(0, worker.port());
+  router.ProbeOnce();
+
+  obs::HttpResponse response = router.RouteGrade("two lines");
+  EXPECT_EQ(response.status, 200);
+  EXPECT_EQ(response.body, mixed_outcome);
+  EXPECT_EQ(worker.grade_calls(), 1);
 }
 
 TEST_F(RouterTest, FleetMetricsArePublished) {

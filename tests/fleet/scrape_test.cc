@@ -28,6 +28,31 @@ TEST(MergeWorkerMetricsTest, WorkerLabelPrependsExistingLabels) {
       << merged;
 }
 
+TEST(MergeWorkerMetricsTest, AssignmentLabeledFamiliesMergeAcrossWorkers) {
+  // Multi-tenant workers expose both an unlabeled aggregate and
+  // assignment-labeled samples in the same family (DESIGN.md §6). The
+  // merge must keep both, with the worker label prepended so per-worker
+  // per-assignment series stay distinguishable fleet-wide.
+  const std::string dump =
+      "# HELP jfeed_shed_total Admission sheds.\n"
+      "# TYPE jfeed_shed_total counter\n"
+      "jfeed_shed_total 3\n"
+      "jfeed_shed_total{assignment=\"assignment1\"} 2\n"
+      "jfeed_shed_total{assignment=\"mitx-polynomials\"} 1\n";
+  std::string merged = MergeWorkerMetrics({{"0", dump}, {"1", dump}});
+  EXPECT_NE(merged.find("jfeed_shed_total{worker=\"0\"} 3"),
+            std::string::npos)
+      << merged;
+  EXPECT_NE(merged.find(
+                "jfeed_shed_total{worker=\"0\",assignment=\"assignment1\"} 2"),
+            std::string::npos)
+      << merged;
+  EXPECT_NE(merged.find("jfeed_shed_total{worker=\"1\",assignment="
+                        "\"mitx-polynomials\"} 1"),
+            std::string::npos)
+      << merged;
+}
+
 TEST(MergeWorkerMetricsTest, FamiliesStayContiguousUnderOneCommentBlock) {
   // Two workers each emit two families; naive concatenation would repeat
   // the # HELP blocks and interleave families. The merge must group all of

@@ -188,6 +188,9 @@ TEST_F(EventLogTest, RenderNdjsonEmitsOneParsableLinePerEventNewestLast) {
     WideEvent parsed;
     ASSERT_TRUE(FromJson(lines[i], &parsed)) << lines[i];
     EXPECT_EQ(parsed.submission_id, "s-" + std::to_string(i));
+    // The routing key the multi-tenant /events filter keys on must survive
+    // the ring + render round-trip, not just bare ToJson/FromJson.
+    EXPECT_EQ(parsed.assignment, "assignment-1");
   }
 
   // limit keeps only the newest N records.

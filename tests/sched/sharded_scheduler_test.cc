@@ -1,0 +1,263 @@
+// Multi-tenant scheduler correctness: mixed-assignment batches must grade
+// exactly like per-assignment pipelines, per-shard admission control must
+// shed the spiking tenant and only the spiking tenant, and destruction must
+// answer every admitted submission.
+
+#include "sched/sharded_scheduler.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "kb/assignments.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "service/pipeline.h"
+#include "synth/generator.h"
+
+namespace jfeed::sched {
+namespace {
+
+std::vector<const kb::Assignment*> Assignments(
+    std::initializer_list<const char*> ids) {
+  std::vector<const kb::Assignment*> assignments;
+  for (const char* id : ids) {
+    assignments.push_back(&kb::KnowledgeBase::Get().assignment(id));
+  }
+  return assignments;
+}
+
+// Metric reads are meaningful only with real instruments; under
+// -DJFEED_OBS=OFF the stubs report zero, so those assertions compile out
+// while the admission-control behavior itself stays covered.
+#ifndef JFEED_OBS_DISABLED
+int64_t ShedCount(const std::string& assignment) {
+  return obs::Registry::Global()
+      .GetCounter("jfeed_shed_total", "", {{"assignment", assignment}})
+      ->Value();
+}
+
+int64_t GradeCount(const std::string& assignment) {
+  return obs::Registry::Global()
+      .GetHistogram("jfeed_grade_duration_us", "",
+                    {{"assignment", assignment}})
+      ->Count();
+}
+#endif  // JFEED_OBS_DISABLED
+
+class ShardedSchedulerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    obs::Registry::Global().ResetForTest();
+    obs::Registry::Global().set_enabled(true);
+  }
+  void TearDown() override {
+    obs::Registry::Global().set_enabled(false);
+    obs::Registry::Global().ResetForTest();
+  }
+};
+
+TEST_F(ShardedSchedulerTest, MixedBatchMatchesSingleTenantPipelines) {
+  auto assignments = Assignments({"assignment1", "mitx-polynomials"});
+  std::vector<MixedItem> items;
+  for (const kb::Assignment* assignment : assignments) {
+    auto indexes = synth::SampleIndexes(assignment->generator.SpaceSize(), 3);
+    for (uint64_t index : indexes) {
+      items.push_back(MixedItem{assignment->id, "",
+                                assignment->generator.Generate(index)});
+    }
+  }
+
+  ShardedSchedulerOptions sopts;
+  sopts.jobs = 4;
+  ShardedScheduler scheduler(assignments, {}, sopts);
+  auto outcomes = scheduler.GradeMixedBatch(items);
+  ASSERT_EQ(outcomes.size(), items.size());
+
+  for (size_t i = 0; i < items.size(); ++i) {
+    ASSERT_TRUE(outcomes[i].status.ok()) << outcomes[i].status.ToString();
+    const auto& assignment =
+        kb::KnowledgeBase::Get().assignment(items[i].assignment);
+    service::GradingPipeline pipeline(assignment);
+    service::GradingOutcome expected = pipeline.Grade(items[i].source);
+    SCOPED_TRACE(items[i].assignment + " / item " + std::to_string(i));
+    EXPECT_EQ(expected.verdict, outcomes[i].outcome.verdict);
+    EXPECT_EQ(expected.tier, outcomes[i].outcome.tier);
+    EXPECT_EQ(expected.failure, outcomes[i].outcome.failure);
+  }
+}
+
+TEST_F(ShardedSchedulerTest, UnknownAssignmentIsPerItemNotFound) {
+  ShardedScheduler scheduler(Assignments({"assignment1"}));
+  const std::string reference =
+      kb::KnowledgeBase::Get().assignment("assignment1").Reference();
+  auto outcomes = scheduler.GradeMixedBatch({
+      MixedItem{"assignment1", "good", reference},
+      MixedItem{"no-such-assignment", "bad", reference},
+  });
+  ASSERT_EQ(outcomes.size(), 2u);
+  EXPECT_TRUE(outcomes[0].status.ok());
+  EXPECT_EQ(outcomes[0].outcome.verdict, service::Verdict::kCorrect);
+  EXPECT_EQ(outcomes[1].status.code(), StatusCode::kNotFound);
+
+  uint64_t ticket = 0;
+  Status status = scheduler.Submit("no-such-assignment", reference, "", &ticket);
+  EXPECT_EQ(status.code(), StatusCode::kNotFound);
+}
+
+TEST_F(ShardedSchedulerTest, QuotaShedsSpikingShardOnly) {
+  // One worker, quota 1: assignment1's second in-system submission must be
+  // shed while the other shard's admission stays open. The slow first
+  // submission pins the worker, so admission decisions are deterministic —
+  // the quota counts queued AND grading work.
+  service::PipelineOptions popts;
+  popts.exec.deadline_ms = 400;
+  popts.budgets.functional_ms = 400;
+  ShardedSchedulerOptions sopts;
+  sopts.jobs = 1;
+  sopts.shard_queue_capacity = 1;
+  sopts.use_result_cache = false;
+  ShardedScheduler scheduler(
+      Assignments({"assignment1", "mitx-polynomials"}), popts, sopts);
+
+  const std::string slow =
+      "void assignment1(int[] a) { while (true) { } }";
+  uint64_t slow_ticket = 0;
+  ASSERT_TRUE(
+      scheduler.Submit("assignment1", slow, "spike-1", &slow_ticket).ok());
+  EXPECT_EQ(scheduler.ShardDepth("assignment1"), 1u);
+
+  // The spike: further assignment1 submissions shed immediately.
+  uint64_t shed_ticket = 0;
+  Status shed =
+      scheduler.Submit("assignment1", slow, "spike-2", &shed_ticket);
+  EXPECT_EQ(shed.code(), StatusCode::kUnavailable) << shed.ToString();
+#ifndef JFEED_OBS_DISABLED
+  EXPECT_EQ(ShedCount("assignment1"), 1);
+#endif
+
+  // The other tenant is unaffected: admission open, no sheds recorded.
+  const auto& other = kb::KnowledgeBase::Get().assignment("mitx-polynomials");
+  uint64_t other_ticket = 0;
+  ASSERT_TRUE(scheduler
+                  .Submit("mitx-polynomials", other.Reference(), "calm-1",
+                          &other_ticket)
+                  .ok());
+#ifndef JFEED_OBS_DISABLED
+  EXPECT_EQ(ShedCount("mitx-polynomials"), 0);
+#endif
+
+  // Every accepted submission is answered; the shed one consumed no slot.
+  auto slow_outcome = scheduler.Wait(slow_ticket);
+  EXPECT_NE(slow_outcome.verdict, service::Verdict::kCorrect);
+  auto other_outcome = scheduler.Wait(other_ticket);
+  EXPECT_EQ(other_outcome.verdict, service::Verdict::kCorrect);
+
+  // Quota slots freed: the spiking assignment is admittable again, and the
+  // per-assignment grade counters saw exactly the accepted submissions.
+  uint64_t retry_ticket = 0;
+  EXPECT_TRUE(scheduler
+                  .Submit("assignment1",
+                          kb::KnowledgeBase::Get()
+                              .assignment("assignment1")
+                              .Reference(),
+                          "retry", &retry_ticket)
+                  .ok());
+  scheduler.Wait(retry_ticket);
+#ifndef JFEED_OBS_DISABLED
+  EXPECT_EQ(GradeCount("assignment1"), 2);
+  EXPECT_EQ(GradeCount("mitx-polynomials"), 1);
+  EXPECT_EQ(ShedCount("assignment1"), 1);
+  EXPECT_EQ(ShedCount("mitx-polynomials"), 0);
+#endif
+}
+
+TEST_F(ShardedSchedulerTest, SaturatedOnlyWhenEveryShardIsAtQuota) {
+  service::PipelineOptions popts;
+  popts.exec.deadline_ms = 400;
+  popts.budgets.functional_ms = 400;
+  ShardedSchedulerOptions sopts;
+  sopts.jobs = 1;
+  sopts.shard_queue_capacity = 1;
+  sopts.use_result_cache = false;
+  ShardedScheduler scheduler(
+      Assignments({"assignment1", "mitx-polynomials"}), popts, sopts);
+  EXPECT_FALSE(scheduler.Saturated());
+
+  const std::string slow =
+      "void assignment1(int[] a) { while (true) { } }";
+  uint64_t a = 0, b = 0;
+  ASSERT_TRUE(scheduler.Submit("assignment1", slow, "", &a).ok());
+  EXPECT_FALSE(scheduler.Saturated());  // One shard still has room.
+  ASSERT_TRUE(scheduler.Submit("mitx-polynomials", slow, "", &b).ok());
+  EXPECT_TRUE(scheduler.Saturated());
+  scheduler.Wait(a);
+  scheduler.Wait(b);
+  EXPECT_FALSE(scheduler.Saturated());
+}
+
+TEST_F(ShardedSchedulerTest, DrainUnderSpikeAnswersEveryAcceptedSubmission) {
+  // A deadline-spike shaped mixed batch bigger than the quotas: every
+  // accepted line gets an answer, every over-quota line a clean shed, and
+  // nothing leaks — no open spans, shard depths back to zero.
+  obs::Tracer::Global().Enable(1u << 10);
+  auto assignments = Assignments({"assignment1", "mitx-polynomials"});
+  ShardedSchedulerOptions sopts;
+  sopts.jobs = 2;
+  sopts.shard_queue_capacity = 4;
+  ShardedScheduler scheduler(assignments, {}, sopts);
+
+  std::vector<MixedItem> items;
+  for (int burst = 0; burst < 30; ++burst) {
+    const kb::Assignment* assignment = assignments[burst % 2];
+    items.push_back(
+        MixedItem{assignment->id, "s" + std::to_string(burst),
+                  assignment->generator.Generate(
+                      static_cast<uint64_t>(burst) %
+                      assignment->generator.SpaceSize())});
+  }
+  BatchStats stats;
+  auto outcomes = scheduler.GradeMixedBatch(items, &stats);
+  ASSERT_EQ(outcomes.size(), items.size());
+  size_t answered = 0, shed = 0;
+  for (const auto& outcome : outcomes) {
+    if (outcome.status.ok()) {
+      ++answered;
+      EXPECT_NE(outcome.outcome.verdict, service::Verdict::kNotGraded);
+    } else {
+      EXPECT_EQ(outcome.status.code(), StatusCode::kUnavailable);
+      ++shed;
+    }
+  }
+  EXPECT_EQ(answered + shed, items.size());
+  EXPECT_GT(answered, 0u);
+  EXPECT_EQ(scheduler.ShardDepth("assignment1"), 0u);
+  EXPECT_EQ(scheduler.ShardDepth("mitx-polynomials"), 0u);
+  EXPECT_EQ(obs::Tracer::Global().OpenSpanCount(), 0);
+  obs::Tracer::Global().Disable();
+}
+
+TEST_F(ShardedSchedulerTest, CacheIsKeyedPerAssignment) {
+  // The same token stream under two assignments must not cross-hit: the
+  // cache key is (assignment, fingerprint).
+  auto assignments = Assignments({"assignment1", "mitx-polynomials"});
+  ShardedScheduler scheduler(assignments);
+  const std::string source = "void unrelated(int q) { q = q + 1; }";
+  BatchStats stats;
+  auto first = scheduler.GradeMixedBatch(
+      {MixedItem{"assignment1", "", source}}, &stats);
+  EXPECT_EQ(stats.graded, 1u);
+  auto second = scheduler.GradeMixedBatch(
+      {MixedItem{"mitx-polynomials", "", source}}, &stats);
+  EXPECT_EQ(stats.graded, 1u) << "cross-assignment cache hit";
+  auto third = scheduler.GradeMixedBatch(
+      {MixedItem{"assignment1", "", source}}, &stats);
+  EXPECT_EQ(stats.cache_hits, 1u);
+  EXPECT_EQ(stats.graded, 0u);
+  EXPECT_EQ(third[0].disposition, std::string("hit"));
+}
+
+}  // namespace
+}  // namespace jfeed::sched

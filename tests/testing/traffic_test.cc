@@ -1,0 +1,158 @@
+// Traffic-model properties the loadgen and its baseline comparison depend
+// on: determinism from the seed, a sorted causally-ordered timeline, the
+// deadline-spike shape, and mutations that stay inside the generator's
+// submission space (or differ only by comments).
+
+#include "testing/traffic.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "synth/generator.h"
+
+namespace jfeed::testing {
+namespace {
+
+/// A small synthetic space: 2 sites, 3 variants each → 9 submissions.
+synth::SubmissionTemplate MakeTemplate(const std::string& marker) {
+  return synth::SubmissionTemplate(
+      "void " + marker + "(int a) {\n  int x = ${init};\n  x = x ${op} a;\n}\n",
+      {
+          {"init", {"0", "1", "-1"}},
+          {"op", {"+", "-", "*"}},
+      });
+}
+
+TEST(TrafficTest, SameSeedSameSchedule) {
+  auto alpha = MakeTemplate("alpha");
+  auto beta = MakeTemplate("beta");
+  std::vector<TrafficAssignment> assignments = {{"alpha", &alpha},
+                                                {"beta", &beta}};
+  TrafficOptions options;
+  options.seed = 42;
+  options.submissions = 200;
+  auto first = BuildDeadlineSpikeSchedule(assignments, options);
+  auto second = BuildDeadlineSpikeSchedule(assignments, options);
+  ASSERT_EQ(first.size(), second.size());
+  ASSERT_EQ(first.size(), 200u);
+  for (size_t i = 0; i < first.size(); ++i) {
+    EXPECT_EQ(first[i].offset_ms, second[i].offset_ms);
+    EXPECT_EQ(first[i].assignment, second[i].assignment);
+    EXPECT_EQ(first[i].id, second[i].id);
+    EXPECT_EQ(first[i].source, second[i].source);
+  }
+
+  options.seed = 43;
+  auto different = BuildDeadlineSpikeSchedule(assignments, options);
+  bool any_difference = false;
+  for (size_t i = 0; i < first.size(); ++i) {
+    any_difference |= first[i].id != different[i].id ||
+                      first[i].offset_ms != different[i].offset_ms;
+  }
+  EXPECT_TRUE(any_difference);
+}
+
+TEST(TrafficTest, TimelineIsSortedAndSpikeShaped) {
+  auto alpha = MakeTemplate("alpha");
+  std::vector<TrafficAssignment> assignments = {{"alpha", &alpha}};
+  TrafficOptions options;
+  options.submissions = 1000;
+  options.idle_ms = 1000;
+  options.idle_fraction = 0.10;
+  options.spike_ms = 4000;
+  auto schedule = BuildDeadlineSpikeSchedule(assignments, options);
+  ASSERT_EQ(schedule.size(), 1000u);
+
+  size_t idle = 0;
+  size_t first_half = 0;
+  size_t second_half = 0;
+  for (size_t i = 0; i < schedule.size(); ++i) {
+    if (i > 0) EXPECT_GE(schedule[i].offset_ms, schedule[i - 1].offset_ms);
+    EXPECT_GE(schedule[i].offset_ms, 0);
+    EXPECT_LE(schedule[i].offset_ms, options.idle_ms + options.spike_ms);
+    if (schedule[i].offset_ms < options.idle_ms) {
+      ++idle;
+    } else if (schedule[i].offset_ms <
+               options.idle_ms + options.spike_ms / 2) {
+      ++first_half;
+    } else {
+      ++second_half;
+    }
+  }
+  // The lead-in holds roughly its configured share, and the spike's back
+  // half is denser than its front half (density rises to the deadline).
+  EXPECT_NEAR(static_cast<double>(idle), 100.0, 40.0);
+  EXPECT_GT(second_half, first_half);
+}
+
+TEST(TrafficTest, ResubmissionChainsAreCausallyOrderedAndConverge) {
+  auto alpha = MakeTemplate("alpha");
+  std::vector<TrafficAssignment> assignments = {{"alpha", &alpha}};
+  TrafficOptions options;
+  options.submissions = 400;
+  options.resubmit_prob = 0.8;
+  auto schedule = BuildDeadlineSpikeSchedule(assignments, options);
+
+  // Group by student: attempts must appear in order r1, r2, ... and each
+  // source must either be a rendering of some space index (possibly with a
+  // trailing comment) — never free-form garbage.
+  std::map<std::string, int> last_attempt;
+  size_t resubmissions = 0;
+  for (const auto& event : schedule) {
+    size_t r = event.id.rfind("-r");
+    ASSERT_NE(r, std::string::npos) << event.id;
+    std::string student = event.id.substr(0, r);
+    int attempt = std::stoi(event.id.substr(r + 2));
+    EXPECT_EQ(attempt, last_attempt[student] + 1)
+        << "chain out of order for " << student;
+    last_attempt[student] = attempt;
+    if (attempt > 1) ++resubmissions;
+
+    std::string body = event.source;
+    size_t comment = body.find("// attempt");
+    if (comment != std::string::npos) body.resize(comment);
+    bool in_space = false;
+    for (uint64_t index = 0; index < alpha.SpaceSize(); ++index) {
+      std::string rendered = alpha.Generate(index);
+      if (body == rendered || body == rendered + "\n") {
+        in_space = true;
+        break;
+      }
+    }
+    EXPECT_TRUE(in_space) << "source not in the submission space:\n"
+                          << event.source;
+  }
+  EXPECT_GT(resubmissions, 0u);
+}
+
+TEST(TrafficTest, MixesAcrossAllAssignments) {
+  auto alpha = MakeTemplate("alpha");
+  auto beta = MakeTemplate("beta");
+  auto gamma = MakeTemplate("gamma");
+  std::vector<TrafficAssignment> assignments = {
+      {"alpha", &alpha}, {"beta", &beta}, {"gamma", &gamma}};
+  TrafficOptions options;
+  options.submissions = 300;
+  auto schedule = BuildDeadlineSpikeSchedule(assignments, options);
+  std::map<std::string, size_t> counts;
+  for (const auto& event : schedule) ++counts[event.assignment];
+  ASSERT_EQ(counts.size(), 3u);
+  for (const auto& [id, count] : counts) {
+    EXPECT_GT(count, 50u) << id;  // Roughly uniform across 3 tenants.
+  }
+}
+
+TEST(TrafficTest, EmptyInputsYieldEmptySchedules) {
+  auto alpha = MakeTemplate("alpha");
+  EXPECT_TRUE(BuildDeadlineSpikeSchedule({}, {}).empty());
+  TrafficOptions options;
+  options.submissions = 0;
+  EXPECT_TRUE(
+      BuildDeadlineSpikeSchedule({{"alpha", &alpha}}, options).empty());
+}
+
+}  // namespace
+}  // namespace jfeed::testing

@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """CI regression gate for the deterministic benchmark reports.
 
-Two report schemas are understood, dispatched on the baseline's "schema"
+Three report schemas are understood, dispatched on the baseline's "schema"
 field:
 
   jfeed-bench-matching-v1   (bench_matching) — the indexed match engine's
@@ -11,6 +11,13 @@ field:
       (space, sampled, evaluated, parse failures, discrepancies per
       assignment); deterministic for a fixed --samples, so they must match
       the baseline exactly. Wall times are reported for trend only.
+  jfeed-bench-loadgen-v1    (jfeed_loadgen) — the deadline-spike load
+      replay against a multi-tenant jfeedd. Hard gates: transport errors
+      must be zero, every scheduled submission sent, and the overall shed
+      rate may not exceed the baseline's by more than --shed-tolerance.
+      p99 latency is trend-gated: it may exceed the baseline by at most
+      --p99-threshold (generous by default — shared CI runners jitter).
+      Per-assignment breakdowns are printed for trend only.
 
 A malformed or schema-drifted input fails with a one-line diagnostic naming
 the file and the missing or wrongly-typed key (exit 1), never a traceback
@@ -32,7 +39,8 @@ import json
 import shutil
 import sys
 
-KNOWN_SCHEMAS = ("jfeed-bench-matching-v1", "jfeed-bench-table1-v1")
+KNOWN_SCHEMAS = ("jfeed-bench-matching-v1", "jfeed-bench-table1-v1",
+                 "jfeed-bench-loadgen-v1")
 
 
 def load(path):
@@ -196,6 +204,94 @@ def compare_table1(baseline, current, args):
     return 0
 
 
+# Workload knobs that make two loadgen runs comparable: same traffic
+# schedule (submissions, seed, spike shape) at the same replay speed.
+LOADGEN_CONFIG_FIELDS = ("submissions", "seed", "idle_ms", "spike_ms",
+                         "time_scale")
+
+
+def compare_loadgen(baseline, current, args):
+    """Load-replay gate: zero errors, full delivery, bounded shed rate,
+    trend-gated p99 latency."""
+    for field in LOADGEN_CONFIG_FIELDS:
+        base_value = lookup_number(baseline, args.baseline,
+                                   f"config.{field}")
+        cur_value = lookup_number(current, args.current, f"config.{field}")
+        if base_value != cur_value:
+            sys.exit(f"FAIL: {args.current} was generated with --{field} "
+                     f"{cur_value} but the baseline used {base_value} — "
+                     f"the runs replay different workloads and are not "
+                     f"comparable; rerun jfeed_loadgen to match")
+
+    failures = []
+
+    errors = lookup_number(current, args.current, "totals.errors")
+    if errors != 0:
+        print(f"{'totals.errors':40s} {errors} transport/HTTP errors "
+              f"(must be 0)")
+        failures.append("errors")
+
+    base_sent = lookup_number(baseline, args.baseline, "totals.sent")
+    cur_sent = lookup_number(current, args.current, "totals.sent")
+    if cur_sent != base_sent:
+        print(f"{'totals.sent':40s} baseline {base_sent}  current "
+              f"{cur_sent}  INCOMPLETE REPLAY")
+        failures.append("sent")
+
+    base_shed_rate = lookup_number(baseline, args.baseline,
+                                   "totals.shed_rate")
+    cur_shed_rate = lookup_number(current, args.current, "totals.shed_rate")
+    shed_limit = base_shed_rate + args.shed_tolerance
+    status = "ok"
+    if cur_shed_rate > shed_limit:
+        status = f"REGRESSION (limit {shed_limit:.3f})"
+        failures.append("shed_rate")
+    print(f"{'totals.shed_rate':40s} baseline {base_shed_rate:8.3f}  "
+          f"current {cur_shed_rate:8.3f}  {status}")
+
+    base_p99 = lookup_number(baseline, args.baseline,
+                             "totals.latency_us.p99")
+    cur_p99 = lookup_number(current, args.current, "totals.latency_us.p99")
+    p99_limit = base_p99 * (1.0 + args.p99_threshold)
+    status = "ok"
+    if cur_p99 > p99_limit:
+        status = f"REGRESSION (limit {p99_limit:.0f}us)"
+        failures.append("p99")
+    print(f"{'totals.latency_us.p99':40s} baseline {base_p99:8.0f}  "
+          f"current {cur_p99:8.0f}  {status}")
+
+    # Per-assignment breakdowns: printed so a drift is attributable to one
+    # tenant, but gated only in aggregate — per-tenant tails on a shared
+    # runner are too noisy to block a merge on.
+    base_by_id = assignments_by_id(baseline, args.baseline)
+    for aid, a in assignments_by_id(current, args.current).items():
+        cur_a_p99 = lookup_number(a, args.current, "latency_us.p99")
+        cur_a_shed = lookup_number(a, args.current, "shed_rate")
+        b = base_by_id.get(aid)
+        if b is None:
+            print(f"assignment {aid:29s} new assignment, no baseline — "
+                  f"trend only")
+            continue
+        base_a_p99 = lookup_number(b, args.baseline, "latency_us.p99")
+        base_a_shed = lookup_number(b, args.baseline, "shed_rate")
+        print(f"assignment {aid:29s} p99 {base_a_p99:8.0f} -> "
+              f"{cur_a_p99:8.0f}us  shed {base_a_shed:.3f} -> "
+              f"{cur_a_shed:.3f}  (trend only)")
+
+    if failures:
+        print(f"\nFAIL: loadgen regression in: {', '.join(failures)} "
+              f"(p99 threshold {args.p99_threshold:.0%}, shed tolerance "
+              f"{args.shed_tolerance:+.3f})")
+        print("If the change is intended (scheduler/admission change), "
+              "regenerate bench/baselines/BENCH_loadgen.json with "
+              "--update-baseline and commit it.")
+        return 1
+    print(f"\nOK: errors 0, replay complete, shed rate within "
+          f"{args.shed_tolerance:+.3f} and p99 within "
+          f"{args.p99_threshold:.0%} of baseline")
+    return 0
+
+
 def validate_for_update(current, path):
     """Schema-specific sanity before a report may become the baseline."""
     if current["schema"] == "jfeed-bench-matching-v1":
@@ -204,6 +300,18 @@ def validate_for_update(current, path):
                      "reports engine inequivalence")
         lookup_number(current, path, "totals.indexed_steps")
         lookup_number(current, path, "ablation.indexed_steps")
+    elif current["schema"] == "jfeed-bench-loadgen-v1":
+        if lookup_number(current, path, "totals.errors") != 0:
+            sys.exit("FAIL: refusing to update baseline from a loadgen run "
+                     "with transport/HTTP errors")
+        for field in LOADGEN_CONFIG_FIELDS:
+            lookup_number(current, path, f"config.{field}")
+        for dotted in ("totals.sent", "totals.ok", "totals.shed",
+                       "totals.shed_rate", "totals.latency_us.p99"):
+            lookup_number(current, path, dotted)
+        for a in assignments_by_id(current, path).values():
+            lookup_number(a, path, "shed_rate")
+            lookup_number(a, path, "latency_us.p99")
     else:
         lookup_number(current, path, "samples")
         for a in assignments_by_id(current, path).values():
@@ -218,6 +326,14 @@ def main():
     parser.add_argument("--threshold", type=float, default=0.10,
                         help="allowed fractional step regression for the "
                              "matching schema (default 0.10)")
+    parser.add_argument("--p99-threshold", type=float, default=2.0,
+                        help="allowed fractional p99 latency regression "
+                             "for the loadgen schema (default 2.0 — 3x "
+                             "baseline; shared runners jitter)")
+    parser.add_argument("--shed-tolerance", type=float, default=0.10,
+                        help="allowed absolute shed-rate increase over "
+                             "baseline for the loadgen schema "
+                             "(default 0.10)")
     parser.add_argument("--update-baseline", action="store_true",
                         help="copy CURRENT over BASELINE instead of "
                              "comparing (after an intended pattern/KB "
@@ -246,6 +362,8 @@ def main():
 
     if baseline["schema"] == "jfeed-bench-matching-v1":
         return compare_matching(baseline, current, args)
+    if baseline["schema"] == "jfeed-bench-loadgen-v1":
+        return compare_loadgen(baseline, current, args)
     return compare_table1(baseline, current, args)
 
 

@@ -46,6 +46,35 @@ def table1_report(samples=200, assignments=None):
     }
 
 
+def loadgen_block(sent=600, ok=570, shed=30, errors=0, p99=12000):
+    return {"sent": sent, "ok": ok, "shed": shed, "errors": errors,
+            "shed_rate": shed / sent if sent else 0.0,
+            "throughput_ok_per_s": 95.0,
+            "latency_us": {"p50": 2000, "p90": 8000, "p99": p99,
+                           "max": p99 * 2}}
+
+
+def loadgen_report(sent=600, shed=30, errors=0, p99=12000,
+                   assignments=None):
+    if assignments is None:
+        assignments = [dict(id="assignment1",
+                            **loadgen_block(sent=sent // 2, shed=shed // 2,
+                                            p99=p99)),
+                       dict(id="mitx-polynomials",
+                            **loadgen_block(sent=sent - sent // 2,
+                                            shed=shed - shed // 2,
+                                            p99=p99))]
+    return {
+        "schema": "jfeed-bench-loadgen-v1",
+        "config": {"submissions": sent, "connections": 8, "idle_ms": 1000,
+                   "spike_ms": 4000, "seed": 1, "time_scale": 25},
+        "wall_s": 6.3,
+        "totals": loadgen_block(sent=sent, ok=sent - shed - errors,
+                                shed=shed, errors=errors, p99=p99),
+        "assignments": assignments,
+    }
+
+
 class CompareBenchTest(unittest.TestCase):
     def setUp(self):
         self.dir = tempfile.TemporaryDirectory()
@@ -294,6 +323,95 @@ class CompareBenchTest(unittest.TestCase):
         self.assertEqual(result.returncode, 1)
         with open(base) as f:
             self.assertEqual(json.load(f)["totals"]["indexed_steps"], 100)
+
+    def test_loadgen_identical_reports_pass(self):
+        base = self.write("base.json", loadgen_report())
+        cur = self.write("cur.json", loadgen_report())
+        result = self.run_compare(base, cur)
+        self.assertEqual(result.returncode, 0, result.stdout + result.stderr)
+        self.assertIn("OK: errors 0", result.stdout)
+
+    def test_loadgen_noisy_p99_within_threshold_passes(self):
+        # Default threshold is generous on purpose: 2.9x baseline p99 is
+        # runner noise, not a regression.
+        base = self.write("base.json", loadgen_report(p99=10000))
+        cur = self.write("cur.json", loadgen_report(p99=29000))
+        result = self.run_compare(base, cur)
+        self.assertEqual(result.returncode, 0, result.stdout + result.stderr)
+
+    def test_loadgen_p99_regression_beyond_threshold_fails(self):
+        base = self.write("base.json", loadgen_report(p99=10000))
+        cur = self.write("cur.json", loadgen_report(p99=40000))
+        result = self.run_compare(base, cur)
+        self.assertEqual(result.returncode, 1)
+        self.assertIn("REGRESSION", result.stdout)
+        self.assertIn("p99", result.stdout)
+
+    def test_loadgen_custom_p99_threshold_tightens_the_gate(self):
+        base = self.write("base.json", loadgen_report(p99=10000))
+        cur = self.write("cur.json", loadgen_report(p99=12000))
+        result = self.run_compare(base, cur, "--p99-threshold", "0.10")
+        self.assertEqual(result.returncode, 1)
+        self.assertIn("p99", result.stdout)
+
+    def test_loadgen_shed_rate_beyond_tolerance_fails(self):
+        base = self.write("base.json", loadgen_report(shed=30))   # 5%
+        cur = self.write("cur.json", loadgen_report(shed=150))    # 25%
+        result = self.run_compare(base, cur)
+        self.assertEqual(result.returncode, 1)
+        self.assertIn("shed_rate", result.stdout)
+
+    def test_loadgen_shed_rate_within_tolerance_passes(self):
+        base = self.write("base.json", loadgen_report(shed=30))   # 5%
+        cur = self.write("cur.json", loadgen_report(shed=60))     # 10%
+        result = self.run_compare(base, cur)
+        self.assertEqual(result.returncode, 0, result.stdout + result.stderr)
+
+    def test_loadgen_transport_errors_fail(self):
+        base = self.write("base.json", loadgen_report())
+        cur = self.write("cur.json", loadgen_report(errors=2))
+        result = self.run_compare(base, cur)
+        self.assertEqual(result.returncode, 1)
+        self.assertIn("errors", result.stdout)
+
+    def test_loadgen_workload_mismatch_fails_readably(self):
+        base = self.write("base.json", loadgen_report(sent=600))
+        drifted = loadgen_report(sent=600)
+        drifted["config"]["seed"] = 7
+        cur = self.write("cur.json", drifted)
+        result = self.run_compare(base, cur)
+        self.assertEqual(result.returncode, 1)
+        combined = result.stdout + result.stderr
+        self.assertIn("not comparable", combined)
+        self.assertIn("--seed", combined)
+        self.assertNotIn("Traceback", combined)
+
+    def test_loadgen_string_p99_fails_readably(self):
+        drifted = loadgen_report()
+        drifted["totals"]["latency_us"]["p99"] = "12000"
+        base = self.write("base.json", loadgen_report())
+        cur = self.write("cur.json", drifted)
+        result = self.run_compare(base, cur)
+        self.assertEqual(result.returncode, 1)
+        combined = result.stdout + result.stderr
+        self.assertIn("'totals.latency_us.p99' should be a number", combined)
+        self.assertNotIn("Traceback", combined)
+
+    def test_loadgen_update_baseline_refuses_errored_run(self):
+        base = self.write("base.json", loadgen_report())
+        cur = self.write("cur.json", loadgen_report(errors=1))
+        result = self.run_compare(base, cur, "--update-baseline")
+        self.assertEqual(result.returncode, 1)
+        with open(base) as f:
+            self.assertEqual(json.load(f)["totals"]["errors"], 0)
+
+    def test_loadgen_update_baseline_copies_validated_run(self):
+        base = self.write("base.json", loadgen_report(p99=10000))
+        cur = self.write("cur.json", loadgen_report(p99=99000))
+        result = self.run_compare(base, cur, "--update-baseline")
+        self.assertEqual(result.returncode, 0, result.stdout + result.stderr)
+        result = self.run_compare(base, cur)
+        self.assertEqual(result.returncode, 0)
 
     def test_new_assignment_without_baseline_is_skipped(self):
         base = self.write("base.json", report())

@@ -1,8 +1,15 @@
 // jfeed-broker: fault-isolation front end for a fleet of jfeedd workers.
-// One broker supervises N jfeedd child processes for one assignment and
-// serves a single endpoint set on loopback:
+// One broker supervises N jfeedd child processes and serves a single
+// endpoint set on loopback:
 //
-//   jfeed_broker <assignment-id> [flags]
+//   jfeed_broker <assignment-ids> [flags]
+//
+// <assignment-ids> is handed to every worker verbatim, so it takes every
+// form jfeedd does: one id, a comma-separated list, or --all. With more
+// than one id the workers are multi-tenant and each POST /grade line
+// carries its own "assignment" routing key — the broker forwards bodies
+// (and per-line 404/429 objects in responses) untouched; a worker-level
+// 429 (every line shed) relays with its Retry-After header, unretried.
 //
 // Endpoints (see DESIGN.md §5e/§6 for the contract):
 //   POST /grade     forwarded to a healthy worker; retried on a different
@@ -52,7 +59,7 @@ namespace {
 int Usage(const char* argv0) {
   std::fprintf(
       stderr,
-      "usage: %s <assignment-id> [--port N] [--workers N] [--jfeedd PATH] "
+      "usage: %s <assignment-ids> [--port N] [--workers N] [--jfeedd PATH] "
       "[--jobs N] [--no-cache] [--max-attempts N] [--request-deadline-ms N] "
       "[--probe-interval-ms N] [--max-inflight N] [--drain-grace-ms N]\n",
       argv0);

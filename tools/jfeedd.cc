@@ -1,22 +1,33 @@
-// jfeedd: the long-running grading daemon. One instance serves one
-// knowledge-base assignment over HTTP on loopback:
+// jfeedd: the long-running grading daemon. One instance serves one or many
+// knowledge-base assignments over HTTP on loopback:
 //
-//   jfeedd <assignment-id> [flags]
-//   jfeedd --list                     list assignment ids
+//   jfeedd <assignment-id> [flags]      single-tenant
+//   jfeedd <id1>,<id2>,... [flags]      multi-tenant: one shard per id
+//   jfeedd --all [flags]                multi-tenant: every assignment
+//   jfeedd --list                       list assignment ids
 //
-// Endpoints (see DESIGN.md §6b for the full contract):
-//   POST /grade     NDJSON submissions in (grade --batch line format),
-//                   NDJSON outcomes out, input order preserved
+// Endpoints (see DESIGN.md §5f/§6b for the full contract):
+//   POST /grade     NDJSON submissions in (grade --batch line format; a
+//                   line's "assignment" key routes it in multi-tenant
+//                   mode), NDJSON outcomes out, input order preserved.
+//                   Unknown assignments answer per-line code:404 objects,
+//                   admission sheds per-line code:429; only an all-shed
+//                   request is HTTP 429 (+ Retry-After) as a whole.
 //   GET  /metrics   Prometheus text exposition
 //   GET  /healthz   readiness (200 ok | 503 draining/saturated/degraded)
-//   GET  /statusz   build info, uptime, utilization, cache hit rate (JSON)
+//   GET  /statusz   build info, uptime, utilization, per-shard depth/shed
 //   GET  /tracez    recent trace spans (JSON; ?limit=N)
-//   GET  /events    per-submission flight recorder (NDJSON; ?limit=N)
+//   GET  /events    per-submission flight recorder (NDJSON; ?limit=N,
+//                   ?assignment=<id> narrows to one tenant)
 //
 // Flags:
 //   --port <n>             listen port (default 0 = ephemeral, printed)
-//   --jobs <n>             grading worker threads (default 4)
-//   --queue <n>            bounded job-queue capacity (default 256)
+//   --jobs <n>             grading worker threads, shared by all shards
+//                          (default 4)
+//   --queue <n>            single-tenant admission quota (default 256)
+//   --shard-queue <n>      per-assignment admission quota in multi-tenant
+//                          mode (default 64); beyond it that assignment's
+//                          submissions are shed with 429
 //   --no-cache             disable the content-addressed result cache
 //   --events <n>           flight-recorder ring capacity (default 1024)
 //   --timeout-ms <n>       per-functional-test wall deadline (ms)
@@ -39,6 +50,8 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <string>
+#include <vector>
 
 #ifdef __linux__
 #include <sys/prctl.h>
@@ -60,12 +73,29 @@ int ListAssignments() {
 
 int Usage(const char* argv0) {
   std::fprintf(stderr,
-               "usage: %s <assignment-id> [--port N] [--jobs N] [--queue N] "
-               "[--no-cache] [--events N] [--timeout-ms N] "
-               "[--max-heap-bytes N] [--worker-id N]\n"
+               "usage: %s <assignment-id>[,<id>...] [--port N] [--jobs N] "
+               "[--queue N] [--shard-queue N] [--no-cache] [--events N] "
+               "[--timeout-ms N] [--max-heap-bytes N] [--worker-id N]\n"
+               "       %s --all [flags]   serve every assignment\n"
                "       %s --list\n",
-               argv0, argv0);
+               argv0, argv0, argv0);
   return 2;
+}
+
+/// Splits "a1,a2,a3" on commas; empty segments are dropped.
+std::vector<std::string> SplitIds(const char* text) {
+  std::vector<std::string> ids;
+  std::string current;
+  for (const char* p = text;; ++p) {
+    if (*p == ',' || *p == '\0') {
+      if (!current.empty()) ids.push_back(current);
+      current.clear();
+      if (*p == '\0') break;
+    } else {
+      current.push_back(*p);
+    }
+  }
+  return ids;
 }
 
 bool ParseInt64(const char* text, int64_t* out) {
@@ -82,10 +112,20 @@ int main(int argc, char** argv) {
   if (argc >= 2 && std::strcmp(argv[1], "--list") == 0) {
     return ListAssignments();
   }
-  if (argc < 2 || argv[1][0] == '-') return Usage(argv[0]);
+  bool serve_all = argc >= 2 && std::strcmp(argv[1], "--all") == 0;
+  if (argc < 2 || (argv[1][0] == '-' && !serve_all)) return Usage(argv[0]);
 
   jfeed::service::DaemonOptions options;
-  options.assignment_id = argv[1];
+  if (!serve_all) {
+    std::vector<std::string> ids = SplitIds(argv[1]);
+    if (ids.empty()) return Usage(argv[0]);
+    if (ids.size() == 1) {
+      options.assignment_id = ids.front();
+    } else {
+      options.assignments = std::move(ids);
+    }
+  }
+  // serve_all leaves both forms empty: the daemon loads every assignment.
   for (int i = 2; i < argc; ++i) {
     const char* arg = argv[i];
     if (std::strcmp(arg, "--no-cache") == 0) {
@@ -113,6 +153,8 @@ int main(int argc, char** argv) {
       options.jobs = static_cast<int>(value);
     } else if (std::strcmp(arg, "--queue") == 0) {
       options.queue_capacity = static_cast<size_t>(value);
+    } else if (std::strcmp(arg, "--shard-queue") == 0) {
+      options.shard_queue_capacity = static_cast<size_t>(value);
     } else if (std::strcmp(arg, "--events") == 0) {
       options.event_capacity = static_cast<size_t>(value);
     } else if (std::strcmp(arg, "--timeout-ms") == 0) {
@@ -156,11 +198,27 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "jfeedd: %s\n", status.ToString().c_str());
     return 2;
   }
-  std::printf("jfeedd %s serving assignment '%s' on http://127.0.0.1:%u "
+  std::string serving;
+  if (!options.assignment_id.empty()) {
+    serving = "assignment '" + options.assignment_id + "'";
+  } else if (!options.assignments.empty()) {
+    serving = std::to_string(options.assignments.size()) + " assignments (";
+    for (size_t i = 0; i < options.assignments.size(); ++i) {
+      if (i > 0) serving += ",";
+      serving += options.assignments[i];
+    }
+    serving += ")";
+  } else {
+    serving = "all " +
+              std::to_string(
+                  jfeed::kb::KnowledgeBase::Get().assignment_ids().size()) +
+              " assignments";
+  }
+  std::printf("jfeedd %s serving %s on http://127.0.0.1:%u "
               "(%d workers; POST /grade, GET /metrics /healthz /statusz "
               "/tracez /events)\n",
-              jfeed::service::kJfeedVersion, options.assignment_id.c_str(),
-              daemon.port(), options.jobs);
+              jfeed::service::kJfeedVersion, serving.c_str(), daemon.port(),
+              options.jobs);
   std::fflush(stdout);
 
   int signal_number = 0;
