@@ -1,0 +1,99 @@
+// Counting allocator shim for the benchmarks: overrides the global
+// allocation functions with malloc/free plus an atomic counter, so a bench
+// can report allocations-per-submission as a deterministic, CI-gateable
+// number (wall times jitter on shared runners; allocation counts do not).
+//
+// Bench-only by construction: this TU lives in its own static library that
+// just the benchmark executables link. Referencing AllocCount() pulls the
+// whole object in, and with it the operator new/delete overrides.
+
+#include "alloc_probe.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+
+namespace {
+
+std::atomic<int64_t> g_allocs{0};
+
+void* CountedAlloc(std::size_t size) noexcept {
+  g_allocs.fetch_add(1, std::memory_order_relaxed);
+  return std::malloc(size != 0 ? size : 1);
+}
+
+void* CountedAlignedAlloc(std::size_t size, std::size_t align) noexcept {
+  g_allocs.fetch_add(1, std::memory_order_relaxed);
+  // aligned_alloc requires the size to be a multiple of the alignment.
+  std::size_t padded = (size + align - 1) / align * align;
+  return std::aligned_alloc(align, padded != 0 ? padded : align);
+}
+
+}  // namespace
+
+namespace jfeed::bench {
+
+int64_t AllocCount() { return g_allocs.load(std::memory_order_relaxed); }
+
+}  // namespace jfeed::bench
+
+void* operator new(std::size_t size) {
+  void* p = CountedAlloc(size);
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+
+void* operator new[](std::size_t size) {
+  void* p = CountedAlloc(size);
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+
+void* operator new(std::size_t size, std::align_val_t align) {
+  void* p = CountedAlignedAlloc(size, static_cast<std::size_t>(align));
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+
+void* operator new[](std::size_t size, std::align_val_t align) {
+  void* p = CountedAlignedAlloc(size, static_cast<std::size_t>(align));
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  return CountedAlloc(size);
+}
+
+void* operator new[](std::size_t size, const std::nothrow_t&) noexcept {
+  return CountedAlloc(size);
+}
+
+void* operator new(std::size_t size, std::align_val_t align,
+                   const std::nothrow_t&) noexcept {
+  return CountedAlignedAlloc(size, static_cast<std::size_t>(align));
+}
+
+void* operator new[](std::size_t size, std::align_val_t align,
+                     const std::nothrow_t&) noexcept {
+  return CountedAlignedAlloc(size, static_cast<std::size_t>(align));
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete(void* p, const std::nothrow_t&) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, const std::nothrow_t&) noexcept {
+  std::free(p);
+}

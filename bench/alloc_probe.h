@@ -1,0 +1,18 @@
+#ifndef JFEED_BENCH_ALLOC_PROBE_H_
+#define JFEED_BENCH_ALLOC_PROBE_H_
+
+#include <cstdint>
+
+namespace jfeed::bench {
+
+/// Process-wide count of global `operator new` calls (scalar, array,
+/// aligned and nothrow forms) since program start. Defined in
+/// alloc_probe.cc, which also overrides the global allocation functions —
+/// linking that TU into a benchmark turns every heap allocation into a
+/// counted one. The library targets never link it, so production binaries
+/// keep the system allocator untouched.
+int64_t AllocCount();
+
+}  // namespace jfeed::bench
+
+#endif  // JFEED_BENCH_ALLOC_PROBE_H_

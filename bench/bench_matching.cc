@@ -25,13 +25,16 @@
 
 #include <benchmark/benchmark.h>
 
+#include "alloc_probe.h"
 #include "core/pattern_matcher.h"
 #include "core/submission_matcher.h"
+#include "javalang/ast.h"
 #include "javalang/parser.h"
 #include "kb/assignments.h"
 #include "obs/trace.h"
 #include "pdg/epdg.h"
 #include "pdg/match_index.h"
+#include "support/arena.h"
 
 namespace {
 
@@ -78,7 +81,38 @@ struct AssignmentReport {
   EngineRun legacy;
   EngineRun indexed;
   double index_build_us = 0.0;
+  /// Heap allocations of one steady-state pooled hot-path run (parse +
+  /// EPDG + index + match on recycled arenas) — deterministic, CI-gated.
+  int64_t allocs_per_submission = 0;
 };
+
+/// Counts the heap allocations of one parse→EPDG→index→match run in the
+/// configuration the grading pipeline uses in steady state: pooled
+/// EpdgMemory and scratch arena, reset (not destroyed) between runs, with
+/// AST nodes bump-allocated. The first rep warms the arena chunks and any
+/// lazy pattern state; the last rep's count is the steady-state number.
+int64_t MeasurePooledAllocs(const core::AssignmentSpec& spec,
+                            const std::string& source) {
+  pdg::EpdgMemory memory;
+  jfeed::Arena scratch;
+  core::SubmissionMatchOptions options;
+  options.epdg_memory = &memory;
+  options.match.scratch_arena = &scratch;
+  constexpr int kReps = 3;
+  int64_t allocs = 0;
+  for (int r = 0; r < kReps; ++r) {
+    memory.Reset();
+    scratch.Reset();
+    java::AstArenaScope ast_scope(&memory.arena);
+    int64_t before = jfeed::bench::AllocCount();
+    auto unit = java::Parse(source);
+    if (!unit.ok()) return -1;
+    auto feedback = core::MatchSubmission(spec, *unit, options);
+    benchmark::DoNotOptimize(feedback);
+    allocs = jfeed::bench::AllocCount() - before;
+  }
+  return allocs;
+}
 
 struct AblationReport {
   std::string workload;
@@ -134,12 +168,12 @@ EngineReport RunEngineReport() {
   std::printf("match engine report: legacy vs. indexed, %zu assignments "
               "(reference submissions, best of %d runs)\n\n",
               kb.assignment_ids().size(), kReps);
-  std::printf("  %-18s %10s %10s %8s %9s %8s %10s %10s %9s\n", "assignment",
-              "steps", "steps", "step", "pruned", "memo", "wall us", "wall us",
-              "index us");
-  std::printf("  %-18s %10s %10s %8s %9s %8s %10s %10s %9s\n", "",
+  std::printf("  %-18s %10s %10s %8s %9s %8s %10s %10s %9s %7s\n",
+              "assignment", "steps", "steps", "step", "pruned", "memo",
+              "wall us", "wall us", "index us", "allocs");
+  std::printf("  %-18s %10s %10s %8s %9s %8s %10s %10s %9s %7s\n", "",
               "legacy", "indexed", "ratio", "", "hits", "legacy", "indexed",
-              "build");
+              "build", "pooled");
 
   for (const auto& id : kb.assignment_ids()) {
     const auto& assignment = kb.assignment(id);
@@ -177,17 +211,21 @@ EngineReport RunEngineReport() {
           kIndexReps;
     }
 
+    ar.allocs_per_submission =
+        MeasurePooledAllocs(assignment.spec, assignment.Reference());
+
     double ratio = ar.indexed.stats.steps > 0
                        ? static_cast<double>(ar.legacy.stats.steps) /
                              static_cast<double>(ar.indexed.stats.steps)
                        : 0.0;
     std::printf("  %-18s %10lld %10lld %7.2fx %9lld %8lld %10.0f %10.0f "
-                "%9.1f\n",
+                "%9.1f %7lld\n",
                 id.c_str(), static_cast<long long>(ar.legacy.stats.steps),
                 static_cast<long long>(ar.indexed.stats.steps), ratio,
                 static_cast<long long>(ar.indexed.stats.candidates_pruned),
                 static_cast<long long>(ar.indexed.stats.memo_hits),
-                ar.legacy.wall_us, ar.indexed.wall_us, ar.index_build_us);
+                ar.legacy.wall_us, ar.indexed.wall_us, ar.index_build_us,
+                static_cast<long long>(ar.allocs_per_submission));
     report.assignments.push_back(std::move(ar));
   }
 
@@ -232,17 +270,20 @@ EngineReport RunEngineReport() {
                 static_cast<long long>(report.ablation.candidates_pruned));
   }
 
-  int64_t total_legacy = 0, total_indexed = 0;
+  int64_t total_legacy = 0, total_indexed = 0, total_allocs = 0;
   for (const auto& ar : report.assignments) {
     total_legacy += ar.legacy.stats.steps;
     total_indexed += ar.indexed.stats.steps;
+    total_allocs += ar.allocs_per_submission;
   }
-  std::printf("  totals: legacy %lld steps, indexed %lld steps (%.2fx)\n",
+  std::printf("  totals: legacy %lld steps, indexed %lld steps (%.2fx), "
+              "%lld pooled allocs/submission\n",
               static_cast<long long>(total_legacy),
               static_cast<long long>(total_indexed),
               total_indexed > 0 ? static_cast<double>(total_legacy) /
                                       static_cast<double>(total_indexed)
-                                : 0.0);
+                                : 0.0,
+              static_cast<long long>(total_allocs));
   std::printf("  equivalence: %s\n\n",
               report.equivalent ? "legacy == indexed on all workloads"
                                 : "FAILED");
@@ -266,17 +307,20 @@ void AppendEngineRun(const char* name, const EngineRun& run,
 /// informational.
 bool WriteJson(const std::string& path, const EngineReport& report) {
   std::string out = "{\n  \"schema\": \"jfeed-bench-matching-v1\",\n";
-  int64_t total_legacy = 0, total_indexed = 0;
+  int64_t total_legacy = 0, total_indexed = 0, total_allocs = 0;
   out += "  \"assignments\": [\n";
   for (size_t i = 0; i < report.assignments.size(); ++i) {
     const AssignmentReport& ar = report.assignments[i];
     total_legacy += ar.legacy.stats.steps;
     total_indexed += ar.indexed.stats.steps;
+    total_allocs += ar.allocs_per_submission;
     out += "    {\"id\": \"" + ar.id + "\", ";
     AppendEngineRun("legacy", ar.legacy, &out);
     out += ", ";
     AppendEngineRun("indexed", ar.indexed, &out);
-    out += ", \"index_build_us\": " + std::to_string(ar.index_build_us) + "}";
+    out += ", \"index_build_us\": " + std::to_string(ar.index_build_us);
+    out += ", \"allocs_per_submission\": " +
+           std::to_string(ar.allocs_per_submission) + "}";
     out += i + 1 < report.assignments.size() ? ",\n" : "\n";
   }
   out += "  ],\n";
@@ -288,7 +332,9 @@ bool WriteJson(const std::string& path, const EngineReport& report) {
          ", \"candidates_pruned\": " +
          std::to_string(report.ablation.candidates_pruned) + "},\n";
   out += "  \"totals\": {\"legacy_steps\": " + std::to_string(total_legacy) +
-         ", \"indexed_steps\": " + std::to_string(total_indexed) + "},\n";
+         ", \"indexed_steps\": " + std::to_string(total_indexed) +
+         ", \"allocs_per_submission\": " + std::to_string(total_allocs) +
+         "},\n";
   out += std::string("  \"equivalent\": ") +
          (report.equivalent ? "true" : "false") + "\n}\n";
 

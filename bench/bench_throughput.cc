@@ -25,6 +25,7 @@
 #include <thread>
 #include <vector>
 
+#include "alloc_probe.h"
 #include "kb/assignments.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -180,6 +181,26 @@ int main(int argc, char** argv) {
       }
     }
   }
+  // Steady-state allocations per full Grade() on the pooled sequential
+  // pipeline: first pass warms the arenas and lazy pattern state, second
+  // pass is the number. Deterministic where the wall-clock rates above
+  // jitter with the runner.
+  int64_t allocs_per_submission = 0;
+  {
+    size_t probe_n = std::min<size_t>(corpus.size(), 100);
+    std::vector<std::string> probe_corpus(corpus.begin(),
+                                          corpus.begin() + probe_n);
+    jfeed::service::GradingPipeline pipeline(assignment);
+    pipeline.GradeBatch(probe_corpus);
+    int64_t before = jfeed::bench::AllocCount();
+    pipeline.GradeBatch(probe_corpus);
+    allocs_per_submission = (jfeed::bench::AllocCount() - before) /
+                            static_cast<int64_t>(probe_n);
+    std::printf("\nsteady-state heap allocations: %lld per Grade() "
+                "(pooled pipeline, %zu-submission probe)\n",
+                static_cast<long long>(allocs_per_submission), probe_n);
+  }
+
   // Observability overhead: the obs layer's acceptance bar is <5% wall time
   // with tracing AND metrics enabled versus a disabled registry. Both runs
   // use the contended configuration (jobs=4, cache off) so every submission
@@ -243,6 +264,8 @@ int main(int argc, char** argv) {
     out += "  \"distinct\": " +
            std::to_string(std::min(distinct, corpus.size())) + ",\n";
     out += "  \"hardware_threads\": " + std::to_string(hw) + ",\n";
+    out += "  \"allocs_per_submission\": " +
+           std::to_string(allocs_per_submission) + ",\n";
     double overhead_pct =
         obs_baseline_s > 0
             ? 100.0 * (obs_instrumented_s - obs_baseline_s) / obs_baseline_s

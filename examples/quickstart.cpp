@@ -46,9 +46,9 @@ int main() {
               graph->CountEdges(pdg::EdgeType::kCtrl),
               graph->CountEdges(pdg::EdgeType::kData));
   for (size_t i = 0; i < graph->NodeCount(); ++i) {
-    const pdg::Node& node = graph->NodeAt(static_cast<int>(i));
-    std::printf("  v%zu [%s] %s\n", i, pdg::NodeTypeName(node.type),
-                node.content.c_str());
+    const pdg::Node node = graph->NodeAt(static_cast<int>(i));
+    std::printf("  v%zu [%s] %.*s\n", i, pdg::NodeTypeName(node.type),
+                static_cast<int>(node.content.size()), node.content.data());
   }
 
   // 3. Match the Fig. 4 pattern ("accessing odd positions sequentially").

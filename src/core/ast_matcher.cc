@@ -164,6 +164,11 @@ void ForEachSubtree(const java::Expr& expr,
 Result<AstTemplate> AstTemplate::Create(const std::string& java_source,
                                         std::set<std::string> variables,
                                         Options options) {
+  // Templates are long-lived shared state (the pattern library keeps them
+  // for the life of the process), so their nodes must come from the heap
+  // even when a per-submission AstArenaScope is active — lazy library
+  // construction can be triggered from inside a grade.
+  java::AstArenaScope heap_scope(nullptr);
   JFEED_ASSIGN_OR_RETURN(java::ExprPtr parsed,
                          java::ParseExpression(java_source));
   AstTemplate out;

@@ -71,6 +71,46 @@ const std::vector<Embedding>* FindEmbeddings(const EmbeddingSets& sets,
   return it != sets.end() ? &it->second : nullptr;
 }
 
+/// A fulfilled constraint's witness binding, handed to the visitor without
+/// materializing the merged map: Find resolves variables exactly as the
+/// merged map would (first-wins), MergeInto reproduces that map on demand.
+class WitnessBinding : public BindingLookup {
+ public:
+  virtual void MergeInto(VarBinding* out) const = 0;
+};
+
+/// First-wins lookup over the main embedding's γ and one chosen support
+/// embedding per supporting pattern — exactly the binding a std::map merge
+/// of main-then-supports would produce (map::insert never overwrites), but
+/// without materializing the merged map per combination.
+class LayeredBinding : public WitnessBinding {
+ public:
+  LayeredBinding(const VarBinding& main,
+                 const std::vector<const Embedding*>& support)
+      : main_(main), support_(support) {}
+
+  const std::string* Find(const std::string& pattern_var) const override {
+    auto it = main_.find(pattern_var);
+    if (it != main_.end()) return &it->second;
+    for (const Embedding* m : support_) {
+      auto sit = m->gamma.find(pattern_var);
+      if (sit != m->gamma.end()) return &sit->second;
+    }
+    return nullptr;
+  }
+
+  void MergeInto(VarBinding* out) const override {
+    *out = main_;
+    for (const Embedding* m : support_) {
+      out->insert(m->gamma.begin(), m->gamma.end());
+    }
+  }
+
+ private:
+  const VarBinding& main_;
+  const std::vector<const Embedding*>& support_;
+};
+
 /// Tries every combination of one embedding per supporting pattern;
 /// `visit` returns true to stop (condition satisfied).
 bool ForEachSupportCombination(
@@ -90,10 +130,38 @@ bool ForEachSupportCombination(
   return false;
 }
 
-/// Evaluates the constraint; when `witness` is non-null and the constraint
-/// holds, fills it with the union of the participating bindings.
+/// First-wins lookup over an ordered pair of bindings — what merging `b`
+/// into a copy of `a` with map::insert produces, without the copy.
+class PairBinding : public WitnessBinding {
+ public:
+  PairBinding(const VarBinding& a, const VarBinding& b) : a_(a), b_(b) {}
+
+  const std::string* Find(const std::string& pattern_var) const override {
+    auto it = a_.find(pattern_var);
+    if (it != a_.end()) return &it->second;
+    auto jt = b_.find(pattern_var);
+    return jt != b_.end() ? &jt->second : nullptr;
+  }
+
+  void MergeInto(VarBinding* out) const override {
+    *out = a_;
+    out->insert(b_.begin(), b_.end());
+  }
+
+ private:
+  const VarBinding& a_;
+  const VarBinding& b_;
+};
+
+/// Called with the witness binding of a fulfilled constraint — valid only
+/// for the duration of the call.
+using WitnessVisitor = std::function<void(const WitnessBinding&)>;
+
+/// Evaluates the constraint; when `on_witness` is non-null and the
+/// constraint holds, invokes it once with the witness binding.
 ConstraintOutcome Evaluate(const Constraint& c, const pdg::Epdg& epdg,
-                           const EmbeddingSets& sets, VarBinding* witness) {
+                           const EmbeddingSets& sets,
+                           const WitnessVisitor* on_witness) {
   switch (c.kind) {
     case ConstraintKind::kEquality:
     case ConstraintKind::kEdgeExistence: {
@@ -122,9 +190,8 @@ ConstraintOutcome Evaluate(const Constraint& c, const pdg::Epdg& epdg,
                   ? ai->second == bj->second
                   : epdg.HasEdge(ai->second, bj->second, c.edge_type);
           if (holds) {
-            if (witness != nullptr) {
-              *witness = a.gamma;
-              witness->insert(b.gamma.begin(), b.gamma.end());
+            if (on_witness != nullptr) {
+              (*on_witness)(PairBinding(a.gamma, b.gamma));
             }
             return ConstraintOutcome::kFulfilled;
           }
@@ -148,20 +215,19 @@ ConstraintOutcome Evaluate(const Constraint& c, const pdg::Epdg& epdg,
         node_present |= main.iota.count(c.node_i) > 0;
       }
       if (!node_present) return ConstraintOutcome::kNotApplicable;
+      std::vector<const Embedding*> chosen;
+      chosen.reserve(c.supporting.size());
+      std::string scratch;
       for (const auto& main : *main_set) {
         auto node_it = main.iota.find(c.node_i);
         if (node_it == main.iota.end()) continue;
-        const std::string& content = epdg.NodeAt(node_it->second).content;
-        std::vector<const Embedding*> chosen;
+        std::string_view content = epdg.NodeAt(node_it->second).content;
         bool found = ForEachSupportCombination(
             c.supporting, sets, chosen,
             [&](const std::vector<const Embedding*>& support) {
-              VarBinding merged = main.gamma;
-              for (const auto* m : support) {
-                merged.insert(m->gamma.begin(), m->gamma.end());
-              }
-              if (c.expr.Matches(content, merged)) {
-                if (witness != nullptr) *witness = merged;
+              LayeredBinding merged(main.gamma, support);
+              if (c.expr.Matches(content, merged, &scratch)) {
+                if (on_witness != nullptr) (*on_witness)(merged);
                 return true;
               }
               return false;
@@ -174,26 +240,70 @@ ConstraintOutcome Evaluate(const Constraint& c, const pdg::Epdg& epdg,
   return ConstraintOutcome::kNotApplicable;
 }
 
+/// ReferencedPatterns() membership test without materializing the list.
+bool ReferencesNotExpected(const Constraint& c,
+                           const std::set<std::string>& not_expected) {
+  if (not_expected.count(c.pattern_i) > 0) return true;
+  if (c.kind != ConstraintKind::kContainment) {
+    return not_expected.count(c.pattern_j) > 0;
+  }
+  for (const auto& p : c.supporting) {
+    if (not_expected.count(p) > 0) return true;
+  }
+  return false;
+}
+
 }  // namespace
 
 ConstraintOutcome CheckConstraint(const Constraint& constraint,
                                   const pdg::Epdg& epdg,
                                   const EmbeddingSets& embeddings,
                                   const std::set<std::string>& not_expected) {
-  for (const auto& pattern : constraint.ReferencedPatterns()) {
-    if (not_expected.count(pattern) > 0) {
-      return ConstraintOutcome::kNotApplicable;
-    }
+  if (ReferencesNotExpected(constraint, not_expected)) {
+    return ConstraintOutcome::kNotApplicable;
   }
   return Evaluate(constraint, epdg, embeddings, nullptr);
+}
+
+ConstraintOutcome CheckConstraintFeedback(
+    const Constraint& constraint, const pdg::Epdg& epdg,
+    const EmbeddingSets& embeddings,
+    const std::set<std::string>& not_expected, std::string* ok_message) {
+  if (ReferencesNotExpected(constraint, not_expected)) {
+    return ConstraintOutcome::kNotApplicable;
+  }
+  WitnessVisitor visitor = [&](const WitnessBinding& binding) {
+    *ok_message = InstantiateFeedback(constraint.feedback_ok, binding);
+  };
+  return Evaluate(constraint, epdg, embeddings, &visitor);
 }
 
 VarBinding ConstraintWitness(const Constraint& constraint,
                              const pdg::Epdg& epdg,
                              const EmbeddingSets& embeddings) {
   VarBinding witness;
-  Evaluate(constraint, epdg, embeddings, &witness);
+  WitnessVisitor visitor = [&witness](const WitnessBinding& binding) {
+    binding.MergeInto(&witness);
+  };
+  Evaluate(constraint, epdg, embeddings, &visitor);
   return witness;
+}
+
+std::string ConstraintWitnessFeedback(const Constraint& constraint,
+                                      const pdg::Epdg& epdg,
+                                      const EmbeddingSets& embeddings,
+                                      const std::string& tmpl) {
+  std::string out;
+  bool fulfilled = false;
+  WitnessVisitor visitor = [&](const WitnessBinding& binding) {
+    fulfilled = true;
+    out = InstantiateFeedback(tmpl, binding);
+  };
+  Evaluate(constraint, epdg, embeddings, &visitor);
+  // Not fulfilled: same rendering the empty-witness map produced (every
+  // variable substitutes to its own name).
+  if (!fulfilled) out = InstantiateFeedback(tmpl, VarBinding());
+  return out;
 }
 
 }  // namespace jfeed::core

@@ -92,6 +92,24 @@ VarBinding ConstraintWitness(const Constraint& constraint,
                              const pdg::Epdg& epdg,
                              const EmbeddingSets& embeddings);
 
+/// Instantiates `tmpl` against the witness binding in one pass — byte-for-
+/// byte what InstantiateFeedback(tmpl, ConstraintWitness(...)) returns,
+/// without materializing the merged witness map.
+std::string ConstraintWitnessFeedback(const Constraint& constraint,
+                                      const pdg::Epdg& epdg,
+                                      const EmbeddingSets& embeddings,
+                                      const std::string& tmpl);
+
+/// CheckConstraint fused with the fulfilled-feedback rendering — the
+/// grading hot path's single-pass form. When the result is kFulfilled,
+/// `*ok_message` receives InstantiateFeedback(constraint.feedback_ok,
+/// <witness binding>); otherwise it is left untouched. One evaluation
+/// instead of CheckConstraint + ConstraintWitnessFeedback.
+ConstraintOutcome CheckConstraintFeedback(
+    const Constraint& constraint, const pdg::Epdg& epdg,
+    const EmbeddingSets& embeddings,
+    const std::set<std::string>& not_expected, std::string* ok_message);
+
 }  // namespace jfeed::core
 
 #endif  // JFEED_CORE_CONSTRAINT_H_

@@ -59,14 +59,14 @@ Result<ExprPattern> ExprPattern::Create(std::string tmpl,
   for (const auto& piece : out.pieces_) {
     probe += piece.is_variable ? "v" : piece.text;
   }
-  if (RegexCache::ThreadLocal().Get(probe) == nullptr) {
+  if (!RegexCache::ThreadLocal().Valid(probe)) {
     return Status::InvalidArgument("invalid expression template regex: " +
                                    tmpl);
   }
   return out;
 }
 
-bool ExprPattern::Matches(const std::string& content,
+bool ExprPattern::Matches(std::string_view content,
                           const VarBinding& gamma) const {
   if (pieces_.empty()) return false;
   std::string regex_text;
@@ -82,12 +82,10 @@ bool ExprPattern::Matches(const std::string& content,
     regex_text += RegexEscape(it->second);
     regex_text += "\\b";
   }
-  const std::regex* re = RegexCache::ThreadLocal().Get(regex_text);
-  if (re == nullptr) return false;
-  return std::regex_search(content, *re);
+  return RegexCache::ThreadLocal().Search(regex_text, content);
 }
 
-bool ExprPattern::Matches(const std::string& content,
+bool ExprPattern::Matches(std::string_view content,
                           const BindingLookup& gamma,
                           std::string* scratch) const {
   if (pieces_.empty()) return false;
@@ -104,9 +102,7 @@ bool ExprPattern::Matches(const std::string& content,
     RegexEscapeAppend(*bound, scratch);
     *scratch += "\\b";
   }
-  const std::regex* re = RegexCache::ThreadLocal().Get(*scratch);
-  if (re == nullptr) return false;
-  return std::regex_search(content, *re);
+  return RegexCache::ThreadLocal().Search(*scratch, content);
 }
 
 std::vector<VarBinding> EnumerateInjections(const std::set<std::string>& from,

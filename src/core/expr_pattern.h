@@ -4,6 +4,7 @@
 #include <map>
 #include <set>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "support/result.h"
@@ -57,12 +58,12 @@ class ExprPattern {
   /// The paper's r ⪯γ c: substitutes γ into the template and searches
   /// `content`. Every variable used by the template must be bound in
   /// `gamma`; unbound variables make the match fail.
-  bool Matches(const std::string& content, const VarBinding& gamma) const;
+  bool Matches(std::string_view content, const VarBinding& gamma) const;
 
   /// Allocation-free variant for the indexed matcher: bindings come from a
   /// BindingLookup and the substituted regex text is assembled into
   /// `*scratch` (cleared first, capacity reused across calls).
-  bool Matches(const std::string& content, const BindingLookup& gamma,
+  bool Matches(std::string_view content, const BindingLookup& gamma,
                std::string* scratch) const;
 
  private:

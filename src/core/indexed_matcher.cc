@@ -1,6 +1,6 @@
 // The index-driven, flat-state Algorithm-1 engine (MatchEngine::kIndexed).
 //
-// Three levers over the legacy backtracker (DESIGN.md §3a):
+// Four levers over the legacy backtracker (DESIGN.md §3a, §3c):
 //   1. Candidates come from the shared pdg::MatchIndex: type buckets
 //      replace the per-pattern O(|P|·|G|) type scan, and degree-signature
 //      pruning drops candidates that cannot host a pattern node's incident
@@ -12,25 +12,45 @@
 //   3. Binding-independent template checks (templates that use no pattern
 //      variables) are memoized per (pattern node, graph node), so repeated
 //      visits under different partial embeddings cost one lookup.
+//   4. Every per-run structure — plans, candidate lists, the memo, the
+//      emitted embeddings — lives in a bump arena (options.scratch_arena,
+//      pooled per worker and reset between submissions), and embeddings are
+//      deduplicated *at emit time* against flat ι slices, so the map/set
+//      Embedding representation is materialized only for the few survivors.
 //
 // Exploration order is kept bit-identical to the legacy engine (ordering
 // heuristic ranks by *unpruned* type-bucket size; candidates iterate in
 // ascending node id; injections enumerate in the same lexicographic order),
-// so both engines emit the same embedding sequence and the equivalence
-// suite can require byte-identical canonical output.
+// and the emit-time dedup applies exactly the CanonicalizeEmbeddings
+// collapse rule (first ι occurrence keeps its position; a later duplicate
+// replaces it only with strictly fewer incorrect nodes), so both engines
+// emit the same canonical embedding sequence and the equivalence suite can
+// require byte-identical output.
 
 #include <algorithm>
 #include <cstdint>
+#include <cstring>
 #include <set>
+#include <span>
 #include <string>
+#include <string_view>
 #include <utility>
 #include <vector>
 
 #include "core/match_internal.h"
+#include "support/arena.h"
 
 namespace jfeed::core::internal {
 
 namespace {
+
+/// The substituted-regex assembly buffer, shared by every matcher run on
+/// this thread (the matcher itself is rebuilt per pattern; the scratch
+/// capacity is the part worth keeping).
+std::string& RegexScratch() {
+  static thread_local std::string scratch;
+  return scratch;
+}
 
 /// γ as a push/pop stack of (pattern variable, submission variable)
 /// pointers. Lookups are linear scans — intro-sized patterns bind a
@@ -39,7 +59,12 @@ namespace {
 /// value column instead of rebuilding a set per candidate.
 class GammaStack final : public BindingLookup {
  public:
-  GammaStack() { entries_.reserve(16); }
+  struct Entry {
+    const std::string* var;
+    const std::string* value;
+  };
+
+  explicit GammaStack(Arena* arena) : entries_(arena) {}
 
   const std::string* Find(const std::string& pattern_var) const override {
     for (const auto& e : entries_) {
@@ -61,6 +86,9 @@ class GammaStack final : public BindingLookup {
   size_t Mark() const { return entries_.size(); }
   void PopTo(size_t mark) { entries_.resize(mark); }
 
+  size_t size() const { return entries_.size(); }
+  const Entry& entry(size_t i) const { return entries_[i]; }
+
   VarBinding ToMap() const {
     VarBinding out;
     for (const auto& e : entries_) out[*e.var] = *e.value;
@@ -68,11 +96,7 @@ class GammaStack final : public BindingLookup {
   }
 
  private:
-  struct Entry {
-    const std::string* var;
-    const std::string* value;
-  };
-  std::vector<Entry> entries_;
+  ArenaVec<Entry> entries_;
 };
 
 pdg::NodeType ToGraphType(PatternNodeType type) {
@@ -92,25 +116,36 @@ class IndexedMatcher {
  public:
   IndexedMatcher(const Pattern& pattern, const pdg::Epdg& epdg,
                  const pdg::MatchIndex& index, const MatchOptions& options,
-                 MatchStats* stats)
+                 MatchStats* stats, Arena* arena)
       : pattern_(pattern),
         epdg_(epdg),
         index_(index),
         options_(options),
-        stats_(stats) {}
+        stats_(stats),
+        arena_(arena),
+        gamma_(arena),
+        plans_(arena),
+        iota_(arena),
+        matched_graph_(arena),
+        incorrect_(arena),
+        memo_(arena),
+        iota_store_(arena),
+        incorrect_store_(arena),
+        gamma_store_(arena),
+        survivors_(arena) {}
 
   std::vector<Embedding> Run() {
     const size_t n_pattern = pattern_.nodes.size();
     n_graph_ = epdg_.NodeCount();
     plans_.resize(n_pattern);
     if (!BuildPlans()) return {};
-    iota_.assign(n_pattern, graph::kInvalidNode);
-    matched_graph_.assign(n_graph_, 0);
-    incorrect_.assign(n_pattern, 0);
+    iota_.resize(n_pattern, graph::kInvalidNode);
+    matched_graph_.resize(n_graph_, 0);
+    incorrect_.resize(n_pattern, 0);
     depth_ = 0;
     Search();
     if (stats_ != nullptr) stats_->truncated = truncated_;
-    return CanonicalizeEmbeddings(std::move(embeddings_));
+    return MaterializeSurvivors();
   }
 
  private:
@@ -122,34 +157,57 @@ class IndexedMatcher {
 
   /// Everything precomputed for one pattern node, plus its per-candidate
   /// scratch. Scratch-in-plan is safe because a pattern node sits on the
-  /// DFS path at most once (ι is a function of pattern nodes).
+  /// DFS path at most once (ι is a function of pattern nodes). All members
+  /// are arena vectors, so a NodePlan is trivially copyable and the plan
+  /// array itself can live in the arena.
   struct NodePlan {
-    std::vector<graph::NodeId> candidates;  ///< Signature-pruned, ascending.
+    ArenaVec<graph::NodeId> candidates;  ///< Signature-pruned, ascending.
     size_t type_space = 0;  ///< Unpruned bucket size (ordering parity).
-    std::vector<EdgeCheck> edges;
+    ArenaVec<EdgeCheck> edges;
     /// Sorted, deduplicated variables of exact ∪ approx (pointers into the
     /// pattern's own variable sets).
-    std::vector<const std::string*> vars;
+    ArenaVec<const std::string*> vars;
     bool exact_const = false;   ///< exact is non-empty and variable-free.
     bool approx_const = false;  ///< approx is non-empty and variable-free.
     // Per-candidate scratch, reused without reallocation:
-    std::vector<const std::string*> fresh_pattern;
-    std::vector<const std::string*> fresh_graph;
-    std::vector<char> used;  ///< Injection targets taken at this node.
+    ArenaVec<const std::string*> fresh_pattern;
+    ArenaVec<const std::string*> fresh_graph;
+    ArenaVec<char> used;  ///< Injection targets taken at this node.
+  };
+
+  /// One emitted embedding that survived dedup: flat slices into the
+  /// parallel stores below. γ strings are arena copies, so survivors stay
+  /// valid even when a binding came from a temporary (the AST unifier's
+  /// result maps die with their loop iteration).
+  struct Survivor {
+    uint32_t iota_begin;
+    uint32_t incorrect_begin;
+    uint32_t gamma_begin;
+    uint32_t gamma_count;
+    uint32_t incorrect_count;
+  };
+
+  struct GammaEntry {
+    std::string_view var, value;
   };
 
   bool BuildPlans() {
     for (size_t u = 0; u < pattern_.nodes.size(); ++u) {
       NodePlan& plan = plans_[u];
+      plan.candidates.Attach(arena_);
+      plan.edges.Attach(arena_);
+      plan.vars.Attach(arena_);
+      plan.fresh_pattern.Attach(arena_);
+      plan.fresh_graph.Attach(arena_);
+      plan.used.Attach(arena_);
       const PatternNode& pnode = pattern_.nodes[u];
       // Candidate set: the node-type bucket, then signature pruning.
-      const std::vector<graph::NodeId>& bucket =
+      const std::span<const graph::NodeId> bucket =
           pnode.type == PatternNodeType::kUntyped
               ? index_.AllNodes()
               : index_.Bucket(ToGraphType(pnode.type));
       plan.type_space = bucket.size();
       pdg::DegreeSignature need = RequiredSignature(static_cast<int>(u));
-      plan.candidates.reserve(bucket.size());
       for (graph::NodeId v : bucket) {
         if (index_.Signature(v).Covers(need)) {
           plan.candidates.push_back(v);
@@ -167,13 +225,17 @@ class IndexedMatcher {
           plan.edges.push_back({edge.source, edge.type, false});
         }
       }
-      // Variable sets, merged once instead of per candidate pair.
-      std::set<const std::string*> dedup;
-      for (const auto& var : pnode.exact.variables()) dedup.insert(&var);
-      for (const auto& var : pnode.approx.variables()) {
-        if (pnode.exact.variables().count(var) == 0) dedup.insert(&var);
+      // Variable sets, merged once instead of per candidate pair. The two
+      // source sets are each name-sorted and the overlap check keeps them
+      // disjoint, so one sort yields the dedup'd union.
+      for (const auto& var : pnode.exact.variables()) {
+        plan.vars.push_back(&var);
       }
-      plan.vars.assign(dedup.begin(), dedup.end());
+      for (const auto& var : pnode.approx.variables()) {
+        if (pnode.exact.variables().count(var) == 0) {
+          plan.vars.push_back(&var);
+        }
+      }
       std::sort(plan.vars.begin(), plan.vars.end(),
                 [](const std::string* a, const std::string* b) {
                   return *a < *b;
@@ -183,7 +245,7 @@ class IndexedMatcher {
       plan.approx_const =
           !pnode.approx.empty() && pnode.approx.variables().empty();
       if ((plan.exact_const || plan.approx_const) && memo_.empty()) {
-        memo_.assign(pattern_.nodes.size() * n_graph_, 0);
+        memo_.resize(pattern_.nodes.size() * n_graph_, 0);
       }
     }
     return true;
@@ -200,19 +262,30 @@ class IndexedMatcher {
   /// parity with the legacy engine.
   pdg::DegreeSignature RequiredSignature(int u) const {
     pdg::DegreeSignature need;
-    std::set<std::pair<int, int>> seen_out, seen_in;  // (etype, other)
+    // (etype, other) pairs already counted, per direction. Pattern edge
+    // lists are tiny, so linear membership scans beat a set.
+    struct Seen {
+      int etype, other;
+    };
+    ArenaVec<Seen> seen_out(arena_), seen_in(arena_);
+    auto insert_new = [](ArenaVec<Seen>& seen, Seen key) {
+      for (const auto& k : seen) {
+        if (k.etype == key.etype && k.other == key.other) return false;
+      }
+      seen.push_back(key);
+      return true;
+    };
     for (const auto& edge : pattern_.edges) {
       if (edge.source == edge.target) continue;
       int etype = static_cast<int>(edge.type);
-      if (edge.source == u &&
-          seen_out.insert({etype, edge.target}).second) {
+      if (edge.source == u && insert_new(seen_out, {etype, edge.target})) {
         PatternNodeType t = pattern_.nodes[edge.target].type;
         need.AddEdge(/*dir=*/0, etype,
                      t == PatternNodeType::kUntyped
                          ? -1
                          : static_cast<int>(ToGraphType(t)));
       }
-      if (edge.target == u && seen_in.insert({etype, edge.source}).second) {
+      if (edge.target == u && insert_new(seen_in, {etype, edge.source})) {
         PatternNodeType t = pattern_.nodes[edge.source].type;
         need.AddEdge(/*dir=*/1, etype,
                      t == PatternNodeType::kUntyped
@@ -273,9 +346,9 @@ class IndexedMatcher {
       if (gamma_.Find(*var) == nullptr) plan.fresh_pattern.push_back(var);
     }
     plan.fresh_graph.clear();
-    for (const auto& var : gnode.vars) {
+    gnode.ForEachVar([&](const std::string& var) {
       if (!gamma_.BoundValue(var)) plan.fresh_graph.push_back(&var);
-    }
+    });
   }
 
   /// Exact-template check with the binding-independent memo. Safe w.r.t.
@@ -290,12 +363,12 @@ class IndexedMatcher {
         return (slot & 0x3) == 1;
       }
       if (stats_ != nullptr) ++stats_->regex_checks;
-      bool ok = pnode.exact.Matches(gnode.content, gamma_, &regex_scratch_);
+      bool ok = pnode.exact.Matches(gnode.content, gamma_, &RegexScratch());
       slot = static_cast<uint8_t>((slot & ~0x3) | (ok ? 1 : 2));
       return ok;
     }
     if (stats_ != nullptr) ++stats_->regex_checks;
-    return pnode.exact.Matches(gnode.content, gamma_, &regex_scratch_);
+    return pnode.exact.Matches(gnode.content, gamma_, &RegexScratch());
   }
 
   bool CheckApprox(const NodePlan& plan, size_t u, graph::NodeId v,
@@ -307,22 +380,86 @@ class IndexedMatcher {
         return (slot & 0xC) == 0x4;
       }
       if (stats_ != nullptr) ++stats_->regex_checks;
-      bool ok = pnode.approx.Matches(gnode.content, gamma_, &regex_scratch_);
+      bool ok = pnode.approx.Matches(gnode.content, gamma_, &RegexScratch());
       slot = static_cast<uint8_t>((slot & ~0xC) | (ok ? 0x4 : 0x8));
       return ok;
     }
     if (stats_ != nullptr) ++stats_->regex_checks;
-    return pnode.approx.Matches(gnode.content, gamma_, &regex_scratch_);
+    return pnode.approx.Matches(gnode.content, gamma_, &RegexScratch());
   }
 
+  /// Emit with the CanonicalizeEmbeddings collapse applied on the fly:
+  /// the flat ι is compared against each survivor's slice (survivor counts
+  /// are tiny — the max_embeddings bound is the ceiling, single digits the
+  /// norm), the first occurrence keeps its position, and a duplicate ι
+  /// replaces it only when it has strictly fewer incorrect nodes. Skipped
+  /// duplicates — the common case in the raw stream — cost zero stores.
   void EmitEmbedding() {
-    Embedding m;
-    for (size_t u = 0; u < iota_.size(); ++u) {
-      m.iota[static_cast<int>(u)] = iota_[u];
-      if (incorrect_[u] != 0) m.incorrect_nodes.insert(static_cast<int>(u));
+    ++raw_emitted_;
+    const size_t n = pattern_.nodes.size();
+    uint32_t incorrect_count = 0;
+    for (size_t u = 0; u < n; ++u) incorrect_count += incorrect_[u] != 0;
+    for (Survivor& s : survivors_) {
+      if (std::memcmp(iota_store_.data() + s.iota_begin, iota_.data(),
+                      n * sizeof(graph::NodeId)) != 0) {
+        continue;
+      }
+      if (incorrect_count < s.incorrect_count) {
+        std::memcpy(incorrect_store_.data() + s.incorrect_begin,
+                    incorrect_.data(), n);
+        s.incorrect_count = incorrect_count;
+        s.gamma_begin = AppendGamma();
+        s.gamma_count = static_cast<uint32_t>(gamma_.size());
+      }
+      return;
     }
-    m.gamma = gamma_.ToMap();
-    embeddings_.push_back(std::move(m));
+    Survivor s;
+    s.iota_begin = static_cast<uint32_t>(iota_store_.size());
+    std::memcpy(iota_store_.Append(n), iota_.data(),
+                n * sizeof(graph::NodeId));
+    s.incorrect_begin = static_cast<uint32_t>(incorrect_store_.size());
+    std::memcpy(incorrect_store_.Append(n), incorrect_.data(), n);
+    s.gamma_begin = AppendGamma();
+    s.gamma_count = static_cast<uint32_t>(gamma_.size());
+    s.incorrect_count = incorrect_count;
+    survivors_.push_back(s);
+  }
+
+  /// Copies the current γ stack (strings duplicated into the arena) into
+  /// the gamma store; returns the slice start.
+  uint32_t AppendGamma() {
+    auto begin = static_cast<uint32_t>(gamma_store_.size());
+    for (size_t i = 0; i < gamma_.size(); ++i) {
+      const GammaStack::Entry& e = gamma_.entry(i);
+      gamma_store_.push_back(
+          {arena_->StrDup(*e.var), arena_->StrDup(*e.value)});
+    }
+    return begin;
+  }
+
+  /// Converts the survivors to the public map/set Embedding shape — the
+  /// only place the matcher touches the general-purpose allocator, and it
+  /// runs once per pattern, not once per raw emission.
+  std::vector<Embedding> MaterializeSurvivors() const {
+    const size_t n = pattern_.nodes.size();
+    std::vector<Embedding> out;
+    out.reserve(survivors_.size());
+    for (const Survivor& s : survivors_) {
+      Embedding m;
+      for (size_t u = 0; u < n; ++u) {
+        m.iota[static_cast<int>(u)] = iota_store_[s.iota_begin + u];
+        if (incorrect_store_[s.incorrect_begin + u] != 0) {
+          m.incorrect_nodes.insert(static_cast<int>(u));
+        }
+      }
+      // Stack order, later entries overwriting — the ToMap() contract.
+      for (uint32_t g = 0; g < s.gamma_count; ++g) {
+        const GammaEntry& e = gamma_store_[s.gamma_begin + g];
+        m.gamma[std::string(e.var)] = std::string(e.value);
+      }
+      out.push_back(std::move(m));
+    }
+    return out;
   }
 
   /// Template evaluation once a full injection for node u is on the γ
@@ -383,7 +520,7 @@ class IndexedMatcher {
     if (truncated_) return;
     if (depth_ == pattern_.nodes.size()) {
       EmitEmbedding();
-      if (embeddings_.size() >= options_.max_embeddings) truncated_ = true;
+      if (raw_emitted_ >= options_.max_embeddings) truncated_ = true;
       return;
     }
     int u = PickNext();
@@ -396,7 +533,7 @@ class IndexedMatcher {
         return;
       }
       if (!EdgesConsistent(plan, v)) continue;
-      const pdg::Node& gnode = epdg_.NodeAt(v);
+      const pdg::Node gnode = epdg_.NodeAt(v);
 
       iota_[u] = v;
       matched_graph_[v] = 1;
@@ -406,7 +543,8 @@ class IndexedMatcher {
       } else {
         ComputeFresh(plan, gnode);
         if (plan.fresh_pattern.size() <= plan.fresh_graph.size()) {
-          plan.used.assign(plan.fresh_graph.size(), 0);
+          plan.used.clear();
+          plan.used.resize(plan.fresh_graph.size(), 0);
           TryInjections(plan, u, v, gnode, 0, /*approx_only=*/false);
         }
       }
@@ -442,7 +580,8 @@ class IndexedMatcher {
     if (!any_exact && !pnode.approx.empty() && !truncated_) {
       ComputeFresh(plan, gnode);
       if (plan.fresh_pattern.size() <= plan.fresh_graph.size()) {
-        plan.used.assign(plan.fresh_graph.size(), 0);
+        plan.used.clear();
+        plan.used.resize(plan.fresh_graph.size(), 0);
         TryInjections(plan, u, v, gnode, 0, /*approx_only=*/true);
       }
     }
@@ -453,19 +592,25 @@ class IndexedMatcher {
   const pdg::MatchIndex& index_;
   const MatchOptions& options_;
   MatchStats* stats_;
+  Arena* arena_;
 
   size_t n_graph_ = 0;
-  std::vector<NodePlan> plans_;
-  std::vector<graph::NodeId> iota_;   ///< Pattern node -> graph node.
-  std::vector<char> matched_graph_;   ///< Graph nodes already in ι.
-  std::vector<char> incorrect_;       ///< Per-pattern-node incorrect mark.
   GammaStack gamma_;
+  ArenaVec<NodePlan> plans_;
+  ArenaVec<graph::NodeId> iota_;  ///< Pattern node -> graph node.
+  ArenaVec<char> matched_graph_;  ///< Graph nodes already in ι.
+  ArenaVec<char> incorrect_;      ///< Per-pattern-node incorrect mark.
   /// Binding-independent template memo, 2 bits per check per (u, v):
   /// bits 0-1 exact (0 unknown / 1 match / 2 fail), bits 2-3 approx.
-  std::vector<uint8_t> memo_;
-  std::string regex_scratch_;
+  ArenaVec<uint8_t> memo_;
+  /// Flat embedding stores: each survivor owns one ι slice and one
+  /// incorrect-mark slice of pattern-node length, plus a γ slice.
+  ArenaVec<graph::NodeId> iota_store_;
+  ArenaVec<uint8_t> incorrect_store_;
+  ArenaVec<GammaEntry> gamma_store_;
+  ArenaVec<Survivor> survivors_;
+  size_t raw_emitted_ = 0;  ///< Pre-dedup count; bounds the search.
   size_t depth_ = 0;
-  std::vector<Embedding> embeddings_;
   bool truncated_ = false;
 };
 
@@ -479,8 +624,13 @@ std::vector<Embedding> MatchPatternIndexed(const Pattern& pattern,
   // The step counter doubles as the max_steps enforcement point, so the
   // engine always runs with a stats block.
   MatchStats local_stats;
+  // Callers on the grading hot path pass a pooled arena (reset once per
+  // submission); one-off callers get a private arena for the call.
+  Arena local_arena;
+  Arena* arena =
+      options.scratch_arena != nullptr ? options.scratch_arena : &local_arena;
   IndexedMatcher matcher(pattern, epdg, index, options,
-                         stats != nullptr ? stats : &local_stats);
+                         stats != nullptr ? stats : &local_stats, arena);
   return matcher.Run();
 }
 

@@ -99,6 +99,28 @@ std::string InstantiateFeedback(const std::string& tmpl,
   return out;
 }
 
+std::string InstantiateFeedback(const std::string& tmpl,
+                                const BindingLookup& gamma) {
+  std::string out;
+  out.reserve(tmpl.size());
+  size_t i = 0;
+  while (i < tmpl.size()) {
+    if (tmpl[i] == '{') {
+      size_t close = tmpl.find('}', i);
+      if (close != std::string::npos) {
+        std::string var = tmpl.substr(i + 1, close - i - 1);
+        const std::string* bound = gamma.Find(var);
+        out += bound != nullptr ? *bound : var;
+        i = close + 1;
+        continue;
+      }
+    }
+    out.push_back(tmpl[i]);
+    ++i;
+  }
+  return out;
+}
+
 PatternBuilder::PatternBuilder(std::string id, std::string name) {
   pattern_.id = std::move(id);
   pattern_.name = std::move(name);

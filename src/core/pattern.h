@@ -75,6 +75,11 @@ struct Pattern {
 std::string InstantiateFeedback(const std::string& tmpl,
                                 const VarBinding& gamma);
 
+/// Same substitution with bindings resolved through a BindingLookup —
+/// identical output to the map form for a lookup with the same contents.
+std::string InstantiateFeedback(const std::string& tmpl,
+                                const BindingLookup& gamma);
+
 /// Fluent construction of patterns (used by the knowledge base and tests):
 ///
 ///   Pattern p = PatternBuilder("odd-positions", "Accessing odd positions")

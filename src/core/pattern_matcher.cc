@@ -143,7 +143,7 @@ class Matcher {
         return;
       }
       if (!EdgesConsistent(u, v, m)) continue;
-      const pdg::Node& gnode = epdg_.NodeAt(v);
+      const pdg::Node gnode = epdg_.NodeAt(v);
 
       // Variable matching: new pattern variables of this node against new
       // submission variables of the graph node (injections; DESIGN.md §3).
@@ -155,9 +155,9 @@ class Matcher {
         if (m.gamma.count(var) == 0) fresh_pattern_vars.insert(var);
       }
       std::set<std::string> fresh_graph_vars;
-      for (const auto& var : gnode.vars) {
+      gnode.ForEachVar([&](const std::string& var) {
         if (!ValueBound(var)) fresh_graph_vars.insert(var);
-      }
+      });
 
       m.iota[u] = v;
       matched_graph_nodes_[v] = true;
@@ -295,7 +295,7 @@ std::vector<Embedding> MatchPattern(const Pattern& pattern,
   if (options.engine == MatchEngine::kLegacy) {
     return MatchPatternLegacy(pattern, epdg, options, stats);
   }
-  pdg::MatchIndex index(epdg);
+  pdg::MatchIndex index(epdg, options.scratch_arena);
   return internal::MatchPatternIndexed(pattern, epdg, index, options, stats);
 }
 

@@ -9,6 +9,7 @@
 #include "core/pattern.h"
 #include "pdg/epdg.h"
 #include "pdg/match_index.h"
+#include "support/arena.h"
 
 namespace jfeed::core {
 
@@ -56,6 +57,13 @@ struct MatchOptions {
   bool use_ordering_heuristic = true;
   /// Engine selection; kIndexed is the production default.
   MatchEngine engine = MatchEngine::kIndexed;
+  /// Bump arena for the indexed engine's per-run state (plans, memo,
+  /// emitted embeddings). Null means the engine creates a private arena
+  /// per call; the grading pipeline passes its pooled per-worker arena,
+  /// reset between submissions, so steady-state matching performs no
+  /// general-purpose allocations. The caller must not Reset() it while a
+  /// match runs. Ignored by the legacy engine.
+  Arena* scratch_arena = nullptr;
 };
 
 /// Statistics of one PatternMatching run (exposed for benchmarks).

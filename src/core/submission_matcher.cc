@@ -73,6 +73,13 @@ FeedbackComment ProvideFeedback(const std::vector<Embedding>& embeddings,
       all_correct ? FeedbackKind::kCorrect : FeedbackKind::kIncorrect;
   comment.message =
       InstantiateFeedback(pattern.feedback_present, embeddings[0].gamma);
+  size_t templated_nodes = 0;
+  for (const auto& node : pattern.nodes) {
+    if (!node.feedback_correct.empty() || !node.feedback_incorrect.empty()) {
+      ++templated_nodes;
+    }
+  }
+  comment.details.reserve(embeddings.size() * templated_nodes);
   for (const auto& m : embeddings) {
     for (size_t u = 0; u < pattern.nodes.size(); ++u) {
       const PatternNode& node = pattern.nodes[u];
@@ -86,21 +93,22 @@ FeedbackComment ProvideFeedback(const std::vector<Embedding>& embeddings,
   return comment;
 }
 
-/// Feedback for one constraint outcome.
+/// Feedback for one constraint: evaluates it once (witness feedback is
+/// rendered during that same evaluation) and folds the outcome into a
+/// comment.
 FeedbackComment ConstraintFeedback(const Constraint& constraint,
-                                   ConstraintOutcome outcome,
                                    const pdg::Epdg& epdg,
                                    const EmbeddingSets& embeddings,
+                                   const std::set<std::string>& not_expected,
                                    const std::string& method_name) {
   FeedbackComment comment;
   comment.source_id = constraint.id;
   comment.method = method_name;
+  ConstraintOutcome outcome = CheckConstraintFeedback(
+      constraint, epdg, embeddings, not_expected, &comment.message);
   switch (outcome) {
     case ConstraintOutcome::kFulfilled:
       comment.kind = FeedbackKind::kCorrect;
-      comment.message = InstantiateFeedback(
-          constraint.feedback_ok,
-          ConstraintWitness(constraint, epdg, embeddings));
       break;
     case ConstraintOutcome::kViolated:
       comment.kind = FeedbackKind::kIncorrect;
@@ -145,9 +153,10 @@ Result<SubmissionFeedback> MatchSubmission(
     const AssignmentSpec& spec, const java::CompilationUnit& submission,
     const SubmissionMatchOptions& options) {
   JFEED_FAULT_POINT(fault::points::kMatcher);
-  // Step 1: extract the EPDG of every submission method.
+  // Step 1: extract the EPDG of every submission method, on the pooled
+  // memory when the caller supplies one.
   JFEED_ASSIGN_OR_RETURN(std::vector<pdg::Epdg> graphs,
-                         pdg::BuildAllEpdgs(submission));
+                         pdg::BuildAllEpdgs(submission, options.epdg_memory));
 
   // One match index per EPDG, built once and shared across every pattern,
   // variant, and method-candidate evaluation below — the per-pattern type
@@ -156,7 +165,9 @@ Result<SubmissionFeedback> MatchSubmission(
   if (options.match.engine == MatchEngine::kIndexed) {
     obs::Span index_span("match.index");
     indexes.reserve(graphs.size());
-    for (const auto& g : graphs) indexes.emplace_back(g);
+    for (const auto& g : graphs) {
+      indexes.emplace_back(g, options.match.scratch_arena);
+    }
   }
   // Total Algorithm-1 cost of this call (all combinations, patterns and
   // variants). Each MatchPattern run gets a fresh stats block so max_steps
@@ -216,87 +227,129 @@ Result<SubmissionFeedback> MatchSubmission(
   }
 
   // Step 2: evaluate every combination and keep the best Λ score.
-  for (const auto& assignment : assignments) {
+  //
+  // The per-(expected-method, submission-method) evaluation — pattern
+  // matches, variant fallbacks, constraints, and their feedback comments —
+  // depends only on that pair, never on the rest of the combination. So
+  // each pair ("cell") is evaluated at most once, lazily, and every
+  // combination is scored from its cells' partial scores. FeedbackScore
+  // sums exact multiples of 0.5, so per-cell partial sums reproduce the
+  // concatenated-list score bit for bit; only the winning combination's
+  // comment list is materialized, by moving its cells' comments.
+  struct Cell {
+    bool evaluated = false;
     std::vector<FeedbackComment> comments;
-    std::map<std::string, std::string> method_map;
-    for (size_t qi = 0; qi < spec.methods.size(); ++qi) {
-      const MethodSpec& q = spec.methods[qi];
-      const size_t graph_index = assignment[qi];
-      const pdg::Epdg& epdg = graphs[graph_index];
-      method_map[q.expected_name] = epdg.method_name();
+    double score = 0.0;
+  };
+  std::vector<Cell> cells(spec.methods.size() * graphs.size());
+  auto cell_at = [&](size_t qi, size_t graph_index) -> Cell& {
+    Cell& cell = cells[qi * graphs.size() + graph_index];
+    if (cell.evaluated) return cell;
+    cell.evaluated = true;
+    const MethodSpec& q = spec.methods[qi];
+    const pdg::Epdg& epdg = graphs[graph_index];
+    std::vector<FeedbackComment>& comments = cell.comments;
+    comments.reserve(q.patterns.size() + q.constraints.size());
 
-      // Step 2.1: match patterns, accumulating embeddings (the paper's m̄).
-      EmbeddingSets embedding_sets;
-      std::set<std::string> not_expected;
-      for (const auto& use : q.patterns) {
-        if (use.pattern == nullptr) continue;
-        std::vector<Embedding> m = match_one(*use.pattern, graph_index);
-        FeedbackComment comment =
-            ProvideFeedback(m, *use.pattern, use.expected_count,
-                            epdg.method_name(), use.also_accept_counts);
-        // Pattern variations (Sec. VII): when the primary realization is
-        // missing, accept an alternative realization of the same
-        // semantics.
-        if (comment.kind == FeedbackKind::kNotExpected &&
-            use.expected_count > 0) {
-          for (const PatternVariant& variant : use.variants) {
-            if (variant.pattern == nullptr) continue;
-            std::vector<Embedding> vm =
-                match_one(*variant.pattern, graph_index);
-            if (static_cast<int>(vm.size()) != use.expected_count) continue;
-            comment = ProvideFeedback(vm, *variant.pattern,
-                                      use.expected_count,
-                                      epdg.method_name());
-            comment.source_id = use.pattern->id;
-            comment.message += " (accepted variation: " +
-                               variant.pattern->name + ")";
-            // Re-index the embeddings onto the primary pattern's slots so
-            // constraints written against the primary keep working.
-            m.clear();
-            for (const Embedding& original : vm) {
-              Embedding remapped;
-              for (const auto& [variant_var, value] : original.gamma) {
-                auto renamed = variant.var_map.find(variant_var);
-                remapped.gamma[renamed != variant.var_map.end()
-                                   ? renamed->second
-                                   : variant_var] = value;
-              }
-              for (const auto& [slot, variant_node] : variant.slot_map) {
-                auto it = original.iota.find(variant_node);
-                if (it != original.iota.end()) {
-                  remapped.iota[slot] = it->second;
-                }
-                if (original.incorrect_nodes.count(variant_node) > 0) {
-                  remapped.incorrect_nodes.insert(slot);
-                }
-              }
-              m.push_back(std::move(remapped));
+    // Step 2.1: match patterns, accumulating embeddings (the paper's m̄).
+    EmbeddingSets embedding_sets;
+    std::set<std::string> not_expected;
+    for (const auto& use : q.patterns) {
+      if (use.pattern == nullptr) continue;
+      std::vector<Embedding> m = match_one(*use.pattern, graph_index);
+      FeedbackComment comment =
+          ProvideFeedback(m, *use.pattern, use.expected_count,
+                          epdg.method_name(), use.also_accept_counts);
+      // Pattern variations (Sec. VII): when the primary realization is
+      // missing, accept an alternative realization of the same
+      // semantics.
+      if (comment.kind == FeedbackKind::kNotExpected &&
+          use.expected_count > 0) {
+        for (const PatternVariant& variant : use.variants) {
+          if (variant.pattern == nullptr) continue;
+          std::vector<Embedding> vm =
+              match_one(*variant.pattern, graph_index);
+          if (static_cast<int>(vm.size()) != use.expected_count) continue;
+          comment = ProvideFeedback(vm, *variant.pattern,
+                                    use.expected_count,
+                                    epdg.method_name());
+          comment.source_id = use.pattern->id;
+          comment.message += " (accepted variation: " +
+                             variant.pattern->name + ")";
+          // Re-index the embeddings onto the primary pattern's slots so
+          // constraints written against the primary keep working.
+          m.clear();
+          for (const Embedding& original : vm) {
+            Embedding remapped;
+            for (const auto& [variant_var, value] : original.gamma) {
+              auto renamed = variant.var_map.find(variant_var);
+              remapped.gamma[renamed != variant.var_map.end()
+                                 ? renamed->second
+                                 : variant_var] = value;
             }
-            break;
+            for (const auto& [slot, variant_node] : variant.slot_map) {
+              auto it = original.iota.find(variant_node);
+              if (it != original.iota.end()) {
+                remapped.iota[slot] = it->second;
+              }
+              if (original.incorrect_nodes.count(variant_node) > 0) {
+                remapped.incorrect_nodes.insert(slot);
+              }
+            }
+            m.push_back(std::move(remapped));
           }
+          break;
         }
-        if (comment.kind == FeedbackKind::kNotExpected) {
-          not_expected.insert(use.pattern->id);
-        }
-        comments.push_back(std::move(comment));
-        embedding_sets[use.pattern->id] = std::move(m);
       }
-      // Step 2.2: match constraints.
-      for (const auto& constraint : q.constraints) {
-        ConstraintOutcome outcome =
-            CheckConstraint(constraint, epdg, embedding_sets, not_expected);
-        comments.push_back(ConstraintFeedback(constraint, outcome, epdg,
-                                              embedding_sets,
-                                              epdg.method_name()));
+      if (comment.kind == FeedbackKind::kNotExpected) {
+        not_expected.insert(use.pattern->id);
       }
+      comments.push_back(std::move(comment));
+      embedding_sets[use.pattern->id] = std::move(m);
     }
-    // Step 2.3: keep the combination with the best score.
-    double score = FeedbackScore(comments);
+    // Step 2.2: match constraints.
+    for (const auto& constraint : q.constraints) {
+      comments.push_back(ConstraintFeedback(constraint, epdg, embedding_sets,
+                                            not_expected,
+                                            epdg.method_name()));
+    }
+    cell.score = FeedbackScore(comments);
+    return cell;
+  };
+
+  // Step 2.3: score every combination, keep the first one with the best
+  // score (ties resolve toward the earlier combination, exactly as when
+  // each combination carried its own comment list).
+  const std::vector<size_t>* best_assignment = nullptr;
+  for (const auto& assignment : assignments) {
+    double score = 0.0;
+    for (size_t qi = 0; qi < spec.methods.size(); ++qi) {
+      score += cell_at(qi, assignment[qi]).score;
+    }
     if (!best.matched || score > best.score) {
       best.matched = true;
-      best.comments = std::move(comments);
       best.score = score;
-      best.method_assignment = std::move(method_map);
+      best_assignment = &assignment;
+    }
+  }
+
+  // Materialize the winner: concatenate its cells' comments (each cell
+  // appears in the winning combination at most once, so moving is safe)
+  // and record its method mapping.
+  if (best_assignment != nullptr) {
+    size_t total = 0;
+    for (size_t qi = 0; qi < spec.methods.size(); ++qi) {
+      total += cell_at(qi, (*best_assignment)[qi]).comments.size();
+    }
+    best.comments.reserve(total);
+    for (size_t qi = 0; qi < spec.methods.size(); ++qi) {
+      const size_t graph_index = (*best_assignment)[qi];
+      Cell& cell = cell_at(qi, graph_index);
+      for (auto& comment : cell.comments) {
+        best.comments.push_back(std::move(comment));
+      }
+      best.method_assignment[spec.methods[qi].expected_name] =
+          std::string(graphs[graph_index].method_name());
     }
   }
   best.match_stats = total_stats;

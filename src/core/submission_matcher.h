@@ -10,6 +10,7 @@
 #include "core/pattern.h"
 #include "core/pattern_matcher.h"
 #include "javalang/ast.h"
+#include "pdg/epdg.h"
 #include "support/result.h"
 
 namespace jfeed::core {
@@ -90,6 +91,11 @@ struct SubmissionFeedback {
 struct SubmissionMatchOptions {
   MatchOptions match;            ///< Passed through to Algorithm 1.
   size_t max_combinations = 1024;  ///< Cap on method-assignment candidates.
+  /// Arena + symbol pool for EPDG construction, reused across submissions
+  /// by callers that grade in a loop (the grading pipeline). Null means
+  /// each call self-owns private memory. MatchSubmission never resets the
+  /// pool — the caller does, between submissions.
+  pdg::EpdgMemory* epdg_memory = nullptr;
 };
 
 /// Algorithm 2 (SubmissionMatching): matches every pattern and constraint of

@@ -1,0 +1,60 @@
+#ifndef JFEED_GRAPH_CSR_H_
+#define JFEED_GRAPH_CSR_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "support/arena.h"
+
+namespace jfeed::graph {
+
+/// Compressed-sparse-row adjacency over dense 0-based node ids, frozen from
+/// an unsorted edge list in two counting passes. Entries are caller-packed
+/// 32-bit payloads (the EPDG packs `(neighbor << 2) | edge_type`), so one
+/// row scan answers "is there an edge of this type to that node" with pure
+/// integer compares over contiguous memory. All storage lives in an Arena;
+/// the struct itself is a POD view that dies with it.
+class Csr {
+ public:
+  /// Builds rows for `node_count` nodes from `edge_count` edges, where edge
+  /// e leaves `keys[e]` and carries payload `payloads[e]`. Within a row,
+  /// payloads keep edge-list order (the counting sort is stable).
+  void Build(Arena* arena, size_t node_count, size_t edge_count,
+             const uint32_t* keys, const uint32_t* payloads) {
+    n_ = static_cast<uint32_t>(node_count);
+    uint32_t* offsets = arena->AllocateArray<uint32_t>(node_count + 1);
+    for (size_t i = 0; i <= node_count; ++i) offsets[i] = 0;
+    for (size_t e = 0; e < edge_count; ++e) ++offsets[keys[e] + 1];
+    for (size_t i = 0; i < node_count; ++i) offsets[i + 1] += offsets[i];
+    offsets_ = offsets;
+    entries_ = arena->AllocateArray<uint32_t>(edge_count);
+    // `cursor` doubles as scratch: shift offsets back after filling.
+    uint32_t* cursor = arena->AllocateArray<uint32_t>(node_count);
+    for (size_t i = 0; i < node_count; ++i) cursor[i] = offsets_[i];
+    for (size_t e = 0; e < edge_count; ++e) {
+      entries_[cursor[keys[e]]++] = payloads[e];
+    }
+  }
+
+  /// Row [begin, end) of packed payloads for node `id`.
+  const uint32_t* RowBegin(uint32_t id) const {
+    return entries_ + offsets_[id];
+  }
+  const uint32_t* RowEnd(uint32_t id) const {
+    return entries_ + offsets_[id + 1];
+  }
+  size_t RowSize(uint32_t id) const {
+    return offsets_[id + 1] - offsets_[id];
+  }
+
+  uint32_t node_count() const { return n_; }
+
+ private:
+  const uint32_t* offsets_ = nullptr;  ///< n_ + 1 row boundaries.
+  uint32_t* entries_ = nullptr;        ///< Packed payloads, row-major.
+  uint32_t n_ = 0;
+};
+
+}  // namespace jfeed::graph
+
+#endif  // JFEED_GRAPH_CSR_H_

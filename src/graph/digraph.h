@@ -6,14 +6,9 @@
 #include <string>
 #include <vector>
 
+#include "graph/ids.h"
+
 namespace jfeed::graph {
-
-/// Node identifier inside a Digraph (dense, 0-based).
-using NodeId = int32_t;
-/// Edge identifier inside a Digraph (dense, 0-based).
-using EdgeId = int32_t;
-
-inline constexpr NodeId kInvalidNode = -1;
 
 /// A directed multigraph with user payloads on nodes (N) and edges (E),
 /// adjacency indexed in both directions. Replaces the JGraphT dependency of

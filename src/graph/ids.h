@@ -1,0 +1,17 @@
+#ifndef JFEED_GRAPH_IDS_H_
+#define JFEED_GRAPH_IDS_H_
+
+#include <cstdint>
+
+namespace jfeed::graph {
+
+/// Node identifier inside a graph (dense, 0-based).
+using NodeId = int32_t;
+/// Edge identifier inside a graph (dense, 0-based).
+using EdgeId = int32_t;
+
+inline constexpr NodeId kInvalidNode = -1;
+
+}  // namespace jfeed::graph
+
+#endif  // JFEED_GRAPH_IDS_H_

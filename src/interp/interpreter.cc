@@ -26,7 +26,12 @@ namespace {
 /// How a statement finished; drives break/continue/return unwinding.
 enum class Flow { kNormal, kBreak, kContinue, kReturn };
 
-constexpr int kMaxCallDepth = 256;
+// Each interpreted call consumes several native Eval/ExecStmt frames, and
+// sanitizer builds inflate those frames enough that 256 levels can overrun
+// a default 8 MB thread stack before this guard fires. 128 still dwarfs any
+// legitimate corpus recursion (bounded factorial/Fibonacci searches stay
+// under ~25) while keeping worst-case native stack use well inside bounds.
+constexpr int kMaxCallDepth = 128;
 
 Value DefaultValueFor(const java::Type& type) {
   if (type.array_dims > 0) return Value::Null();

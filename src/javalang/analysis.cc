@@ -6,64 +6,73 @@ namespace jfeed::java {
 
 namespace {
 
-/// Adds the variable at the root of an lvalue chain: for `a[i]` that is `a`.
-void AddBaseVar(const Expr& lvalue, std::set<std::string>* out) {
+/// Which channel AddBaseVar reports the lvalue's base variable on.
+enum class Channel { kRead, kWrite };
+
+void Emit(VarSink* sink, Channel channel, const std::string& name) {
+  if (channel == Channel::kRead) {
+    sink->OnRead(name);
+  } else {
+    sink->OnWrite(name);
+  }
+}
+
+/// Reports the variable at the root of an lvalue chain: for `a[i]` that is
+/// `a`.
+void AddBaseVar(const Expr& lvalue, Channel channel, VarSink* sink) {
   const Expr* e = &lvalue;
   while (e->kind == ExprKind::kArrayAccess ||
          e->kind == ExprKind::kFieldAccess) {
     e = e->lhs.get();
   }
   if (e->kind == ExprKind::kName && !IsWellKnownClassName(e->name)) {
-    out->insert(e->name);
+    Emit(sink, channel, e->name);
   }
 }
 
-void Collect(const Expr& e, bool as_read_target, std::set<std::string>* reads,
-             std::set<std::string>* writes);
+void Collect(const Expr& e, bool as_read_target, VarSink* sink);
 
-void CollectChildrenAsReads(const Expr& e, std::set<std::string>* reads,
-                            std::set<std::string>* writes) {
-  if (e.lhs) Collect(*e.lhs, /*as_read_target=*/true, reads, writes);
-  if (e.rhs) Collect(*e.rhs, true, reads, writes);
-  if (e.third) Collect(*e.third, true, reads, writes);
-  for (const auto& a : e.args) Collect(*a, true, reads, writes);
+void CollectChildrenAsReads(const Expr& e, VarSink* sink) {
+  if (e.lhs) Collect(*e.lhs, /*as_read_target=*/true, sink);
+  if (e.rhs) Collect(*e.rhs, true, sink);
+  if (e.third) Collect(*e.third, true, sink);
+  for (const auto& a : e.args) Collect(*a, true, sink);
 }
 
-void Collect(const Expr& e, bool as_read_target, std::set<std::string>* reads,
-             std::set<std::string>* writes) {
+void Collect(const Expr& e, bool as_read_target, VarSink* sink) {
   switch (e.kind) {
     case ExprKind::kName:
       if (as_read_target && !IsWellKnownClassName(e.name)) {
-        reads->insert(e.name);
+        sink->OnRead(e.name);
       }
       return;
     case ExprKind::kAssign: {
       // Target: written; read too for compound assignments. Array-element
       // stores read the index expression and count as a (weak) write of the
       // array variable.
-      AddBaseVar(*e.lhs, writes);
+      AddBaseVar(*e.lhs, Channel::kWrite, sink);
       if (e.assign_op != AssignOp::kAssign) {
-        AddBaseVar(*e.lhs, reads);
+        AddBaseVar(*e.lhs, Channel::kRead, sink);
       }
       if (e.lhs->kind == ExprKind::kArrayAccess) {
-        AddBaseVar(*e.lhs, reads);  // Reading the array object itself.
-        Collect(*e.lhs->rhs, true, reads, writes);  // Index expression.
+        AddBaseVar(*e.lhs, Channel::kRead, sink);  // The array object itself.
+        Collect(*e.lhs->rhs, true, sink);          // Index expression.
       }
-      Collect(*e.rhs, true, reads, writes);
+      Collect(*e.rhs, true, sink);
       return;
     }
     case ExprKind::kUnary:
       if (e.unary_op == UnaryOp::kPreInc || e.unary_op == UnaryOp::kPreDec ||
           e.unary_op == UnaryOp::kPostInc ||
           e.unary_op == UnaryOp::kPostDec) {
-        AddBaseVar(*e.lhs, writes);
-        AddBaseVar(*e.lhs, reads);
+        AddBaseVar(*e.lhs, Channel::kWrite, sink);
+        AddBaseVar(*e.lhs, Channel::kRead, sink);
         if (e.lhs->kind == ExprKind::kArrayAccess) {
-          Collect(*e.lhs->rhs, true, reads, writes);
+          Collect(*e.lhs->rhs, true, sink);
         }
         return;
       }
-      Collect(*e.lhs, true, reads, writes);
+      Collect(*e.lhs, true, sink);
       return;
     case ExprKind::kArrayAccess:
     case ExprKind::kFieldAccess:
@@ -73,7 +82,7 @@ void Collect(const Expr& e, bool as_read_target, std::set<std::string>* reads,
     case ExprKind::kCast:
     case ExprKind::kNewArray:
     case ExprKind::kNewObject:
-      CollectChildrenAsReads(e, reads, writes);
+      CollectChildrenAsReads(e, sink);
       return;
     case ExprKind::kIntLit:
     case ExprKind::kLongLit:
@@ -86,7 +95,21 @@ void Collect(const Expr& e, bool as_read_target, std::set<std::string>* reads,
   }
 }
 
+/// VarSink that materializes the classic read/write sets.
+class SetSink final : public VarSink {
+ public:
+  void OnRead(const std::string& name) override { reads.insert(name); }
+  void OnWrite(const std::string& name) override { writes.insert(name); }
+
+  std::set<std::string> reads;
+  std::set<std::string> writes;
+};
+
 }  // namespace
+
+void VisitVars(const Expr& expr, VarSink* sink) {
+  Collect(expr, /*as_read_target=*/true, sink);
+}
 
 bool IsWellKnownClassName(const std::string& name) {
   static constexpr std::array<std::string_view, 10> kNames = {
@@ -99,22 +122,22 @@ bool IsWellKnownClassName(const std::string& name) {
 }
 
 std::set<std::string> VarsRead(const Expr& expr) {
-  std::set<std::string> reads, writes;
-  Collect(expr, true, &reads, &writes);
-  return reads;
+  SetSink sink;
+  VisitVars(expr, &sink);
+  return std::move(sink.reads);
 }
 
 std::set<std::string> VarsWritten(const Expr& expr) {
-  std::set<std::string> reads, writes;
-  Collect(expr, true, &reads, &writes);
-  return writes;
+  SetSink sink;
+  VisitVars(expr, &sink);
+  return std::move(sink.writes);
 }
 
 std::set<std::string> VarsMentioned(const Expr& expr) {
-  std::set<std::string> reads, writes;
-  Collect(expr, true, &reads, &writes);
-  reads.insert(writes.begin(), writes.end());
-  return reads;
+  SetSink sink;
+  VisitVars(expr, &sink);
+  sink.reads.insert(sink.writes.begin(), sink.writes.end());
+  return std::move(sink.reads);
 }
 
 }  // namespace jfeed::java

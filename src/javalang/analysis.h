@@ -12,9 +12,25 @@ namespace jfeed::java {
 /// (System, Math, Integer, ...). Such names are excluded from variable sets.
 bool IsWellKnownClassName(const std::string& name);
 
-/// Variables whose value the expression reads. The target of a plain `=` is
-/// not read; targets of compound assignments and ++/-- are. An array-element
-/// store `a[i] = v` reads `i` and `v` but also `a` (the array object).
+/// Receives variable occurrences as VisitVars walks an expression. A name
+/// may be reported more than once (and on both channels); implementations
+/// that need set semantics deduplicate themselves.
+class VarSink {
+ public:
+  virtual ~VarSink() = default;
+  virtual void OnRead(const std::string& name) = 0;
+  virtual void OnWrite(const std::string& name) = 0;
+};
+
+/// Streams every variable the expression reads or writes to `sink`, in AST
+/// walk order. This is the single definition of read/write semantics; the
+/// set-returning helpers below are thin wrappers over it. The target of a
+/// plain `=` is not read; targets of compound assignments and ++/-- are.
+/// An array-element store `a[i] = v` reads `i` and `v` but also `a` (the
+/// array object), and reports a write of `a`.
+void VisitVars(const Expr& expr, VarSink* sink);
+
+/// Variables whose value the expression reads.
 std::set<std::string> VarsRead(const Expr& expr);
 
 /// Variables the expression (re)assigns: assignment targets and ++/--

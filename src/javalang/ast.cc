@@ -1,6 +1,54 @@
 #include "javalang/ast.h"
 
+#include <new>
+
 namespace jfeed::java {
+
+namespace {
+thread_local Arena* g_ast_arena = nullptr;
+}  // namespace
+
+AstArenaScope::AstArenaScope(Arena* arena) : prev_(g_ast_arena) {
+  g_ast_arena = arena;
+}
+
+AstArenaScope::~AstArenaScope() { g_ast_arena = prev_; }
+
+Arena* AstArenaScope::current() { return g_ast_arena; }
+
+namespace internal {
+
+namespace {
+// A max_align_t-sized header keeps the node itself correctly aligned while
+// leaving one byte to record the storage origin. operator delete may run
+// on a different thread, or after the scope that allocated the node has
+// closed, so the tag — not the current scope — decides whether to free.
+constexpr std::size_t kHeaderSize = alignof(std::max_align_t);
+constexpr unsigned char kHeapTag = 0x5a;
+constexpr unsigned char kArenaTag = 0xa5;
+}  // namespace
+
+void* AllocateAstNode(std::size_t size) {
+  Arena* arena = AstArenaScope::current();
+  unsigned char* base;
+  if (arena != nullptr) {
+    base = static_cast<unsigned char*>(
+        arena->Allocate(kHeaderSize + size, alignof(std::max_align_t)));
+  } else {
+    base = static_cast<unsigned char*>(::operator new(kHeaderSize + size));
+  }
+  base[0] = arena != nullptr ? kArenaTag : kHeapTag;
+  return base + kHeaderSize;
+}
+
+void DeallocateAstNode(void* ptr) noexcept {
+  if (ptr == nullptr) return;
+  unsigned char* base = static_cast<unsigned char*>(ptr) - kHeaderSize;
+  if (base[0] == kHeapTag) ::operator delete(base);
+  // Arena-tagged storage is reclaimed wholesale by Arena::Reset().
+}
+
+}  // namespace internal
 
 std::string Type::ToString() const {
   std::string base;

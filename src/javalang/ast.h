@@ -1,12 +1,60 @@
 #ifndef JFEED_JAVALANG_AST_H_
 #define JFEED_JAVALANG_AST_H_
 
+#include <cstddef>
 #include <cstdint>
 #include <memory>
 #include <string>
 #include <vector>
 
+#include "support/arena.h"
+
 namespace jfeed::java {
+
+// ---------------------------------------------------------------------------
+// Arena-backed node allocation
+// ---------------------------------------------------------------------------
+
+/// While an AstArenaScope is alive on a thread, every Expr/Stmt node
+/// created on that thread is bump-allocated from its arena instead of the
+/// heap; deleting such a node runs its destructor (members like strings
+/// and child vectors are still freed normally) but returns no storage —
+/// the node's bytes die with the arena. This keeps ExprPtr/StmtPtr
+/// ownership semantics untouched while letting the grading hot path parse
+/// into recycled memory.
+///
+/// Contract: every node allocated under a scope must be destroyed before
+/// that arena is Reset() or destroyed. Scopes nest; destruction restores
+/// the previous scope. Code that never opens a scope (tests, tools, the
+/// synthetic generator) allocates from the heap exactly as before.
+class AstArenaScope {
+ public:
+  // Scope open/close and current() live in ast.cc so every access to the
+  // thread_local goes through its defining TU — GCC's UBSan emits bogus
+  // "store to null pointer" reports for cross-TU TLS wrapper accesses
+  // inlined from a header. Scopes open once per submission, so the
+  // out-of-line call costs nothing on the hot path.
+  explicit AstArenaScope(Arena* arena);
+  ~AstArenaScope();
+  AstArenaScope(const AstArenaScope&) = delete;
+  AstArenaScope& operator=(const AstArenaScope&) = delete;
+
+  /// The arena new Expr/Stmt nodes on this thread currently go to, or
+  /// null for the heap.
+  static Arena* current();
+
+ private:
+  Arena* prev_;
+};
+
+namespace internal {
+/// Node storage for Expr/Stmt operator new: a tagged header in front of
+/// the node records where the bytes came from so operator delete — which
+/// may run long after the scope closed — frees heap nodes and leaves
+/// arena nodes alone.
+void* AllocateAstNode(std::size_t size);
+void DeallocateAstNode(void* ptr) noexcept;
+}  // namespace internal
 
 // ---------------------------------------------------------------------------
 // Types
@@ -123,6 +171,15 @@ struct Expr {
 
   /// Deep copy.
   ExprPtr Clone() const;
+
+  // Nodes honor the thread's AstArenaScope (see above); arrays of nodes
+  // are never allocated, so only the scalar forms are overridden.
+  static void* operator new(std::size_t size) {
+    return internal::AllocateAstNode(size);
+  }
+  static void operator delete(void* ptr) noexcept {
+    internal::DeallocateAstNode(ptr);
+  }
 };
 
 // Convenience constructors (used pervasively by tests and the generator).
@@ -196,6 +253,14 @@ struct Stmt {
 
   /// Deep copy.
   StmtPtr Clone() const;
+
+  // Same arena-aware allocation as Expr.
+  static void* operator new(std::size_t size) {
+    return internal::AllocateAstNode(size);
+  }
+  static void operator delete(void* ptr) noexcept {
+    internal::DeallocateAstNode(ptr);
+  }
 };
 
 StmtPtr MakeExprStmt(ExprPtr expr);

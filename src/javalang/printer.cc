@@ -394,6 +394,10 @@ std::string ExprToString(const Expr& expr) {
   return out;
 }
 
+void AppendExprToString(const Expr& expr, std::string* out) {
+  PrintExpr(expr, 0, out);
+}
+
 std::string StmtToString(const Stmt& stmt, int indent) {
   std::string out;
   PrintStmt(stmt, indent, &out);

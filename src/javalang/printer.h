@@ -14,6 +14,11 @@ namespace jfeed::java {
 /// string of EPDG nodes and the text that pattern expressions match against.
 std::string ExprToString(const Expr& expr);
 
+/// Same spelling, appended to *out. The EPDG builder renders every node
+/// content through one reused buffer, so steady-state rendering allocates
+/// nothing once the buffer has grown to the longest expression.
+void AppendExprToString(const Expr& expr, std::string* out);
+
 /// Renders a statement (possibly multi-line, `indent` leading levels).
 std::string StmtToString(const Stmt& stmt, int indent = 0);
 

@@ -72,6 +72,7 @@ std::string ToJson(const WideEvent& e) {
   dbl("score", e.score);
   num("match_steps", e.match_steps);
   num("match_regex_checks", e.match_regex_checks);
+  num("arena_bytes_peak", e.arena_bytes_peak);
   num("interp_steps", e.interp_steps);
   num("interp_heap_bytes", e.interp_heap_bytes);
   num("interp_output_bytes", e.interp_output_bytes);
@@ -204,6 +205,8 @@ bool FromJson(const std::string& json, WideEvent* event) {
         event->match_steps = static_cast<int64_t>(value);
       } else if (key == "match_regex_checks") {
         event->match_regex_checks = static_cast<int64_t>(value);
+      } else if (key == "arena_bytes_peak") {
+        event->arena_bytes_peak = static_cast<int64_t>(value);
       } else if (key == "interp_steps") {
         event->interp_steps = static_cast<int64_t>(value);
       } else if (key == "interp_heap_bytes") {

@@ -58,6 +58,9 @@ struct WideEvent {
   double score = 0.0;
   int64_t match_steps = 0;
   int64_t match_regex_checks = 0;
+  /// Bytes bump-allocated from the per-submission arenas (EPDG memory +
+  /// matcher scratch) while grading — the hot path's memory footprint.
+  int64_t arena_bytes_peak = 0;
   int64_t interp_steps = 0;
   int64_t interp_heap_bytes = 0;
   int64_t interp_output_bytes = 0;

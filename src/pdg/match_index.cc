@@ -1,12 +1,13 @@
 #include "pdg/match_index.h"
 
 #include <chrono>
+#include <cstring>
 
 #include "obs/metrics.h"
 
 namespace jfeed::pdg {
 
-MatchIndex::MatchIndex(const Epdg& epdg) {
+MatchIndex::MatchIndex(const Epdg& epdg, Arena* arena) {
   // Build-time distribution: the index is the per-submission fixed cost the
   // indexed engine pays to make every subsequent pattern/variant match
   // cheap, so its build time is a first-class monitoring signal.
@@ -22,21 +23,48 @@ MatchIndex::MatchIndex(const Epdg& epdg) {
               : std::chrono::steady_clock::time_point();
 
   const size_t n = epdg.NodeCount();
-  all_nodes_.reserve(n);
-  signatures_.resize(n);
+  graph::NodeId* ids;
+  DegreeSignature* sigs;
+  if (arena != nullptr) {
+    ids = arena->AllocateArray<graph::NodeId>(2 * n);
+    sigs = arena->AllocateArray<DegreeSignature>(n);
+    std::memset(sigs, 0, n * sizeof(DegreeSignature));
+  } else {
+    owned_ids_.resize(2 * n);
+    owned_signatures_.resize(n);
+    ids = owned_ids_.data();
+    sigs = owned_signatures_.data();
+  }
+  // Counting sort by node type: `ids` holds the ascending all-nodes list in
+  // its first half and the type-partitioned list the buckets slice in its
+  // second half.
+  graph::NodeId* all = ids;
+  graph::NodeId* by_type = ids + n;
+  size_t counts[DegreeSignature::kNodeTypes] = {};
   for (size_t i = 0; i < n; ++i) {
     auto id = static_cast<graph::NodeId>(i);
-    all_nodes_.push_back(id);
-    buckets_[static_cast<int>(epdg.NodeAt(id).type)].push_back(id);
+    all[i] = id;
+    ++counts[static_cast<int>(epdg.TypeAt(id))];
   }
-  const Epdg::Graph& g = epdg.graph();
-  for (size_t i = 0; i < g.EdgeCount(); ++i) {
-    const auto& edge = g.GetEdge(static_cast<graph::EdgeId>(i));
-    int etype = static_cast<int>(edge.data);
-    signatures_[edge.source].AddEdge(
-        /*dir=*/0, etype, static_cast<int>(epdg.NodeAt(edge.target).type));
-    signatures_[edge.target].AddEdge(
-        /*dir=*/1, etype, static_cast<int>(epdg.NodeAt(edge.source).type));
+  size_t cursor[DegreeSignature::kNodeTypes];
+  size_t offset = 0;
+  for (int t = 0; t < DegreeSignature::kNodeTypes; ++t) {
+    cursor[t] = offset;
+    buckets_[t] = {by_type + offset, counts[t]};
+    offset += counts[t];
+  }
+  for (size_t i = 0; i < n; ++i) {
+    auto id = static_cast<graph::NodeId>(i);
+    by_type[cursor[static_cast<int>(epdg.TypeAt(id))]++] = id;
+  }
+  all_nodes_ = {all, n};
+  signatures_ = {sigs, n};
+  for (const Epdg::Edge& edge : epdg.edges()) {
+    int etype = static_cast<int>(edge.type);
+    sigs[edge.source].AddEdge(
+        /*dir=*/0, etype, static_cast<int>(epdg.TypeAt(edge.target)));
+    sigs[edge.target].AddEdge(
+        /*dir=*/1, etype, static_cast<int>(epdg.TypeAt(edge.source)));
   }
 
   if (metered) {

@@ -3,9 +3,11 @@
 
 #include <array>
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "pdg/epdg.h"
+#include "support/arena.h"
 
 namespace jfeed::pdg {
 
@@ -58,16 +60,28 @@ struct DegreeSignature {
 class MatchIndex {
  public:
   MatchIndex() = default;
-  explicit MatchIndex(const Epdg& epdg);
+  /// Builds the index over `epdg`. With an arena the node arrays and
+  /// signature table live there (two bump allocations, freed wholesale by
+  /// the arena's next Reset); without one they live in owned heap vectors.
+  /// Either way the index must not outlive the EPDG — or, when arena-backed,
+  /// the arena's next Reset().
+  explicit MatchIndex(const Epdg& epdg, Arena* arena = nullptr);
+
+  // The accessor spans point into owned storage, so copying would alias the
+  // source's buffers; moving transfers them.
+  MatchIndex(const MatchIndex&) = delete;
+  MatchIndex& operator=(const MatchIndex&) = delete;
+  MatchIndex(MatchIndex&&) = default;
+  MatchIndex& operator=(MatchIndex&&) = default;
 
   /// Graph nodes of `type`, ascending id (the same order the legacy type
   /// scan produced, which keeps engines' search order aligned).
-  const std::vector<graph::NodeId>& Bucket(NodeType type) const {
+  std::span<const graph::NodeId> Bucket(NodeType type) const {
     return buckets_[static_cast<int>(type)];
   }
   /// All graph nodes, ascending id — the candidate set of untyped pattern
   /// nodes.
-  const std::vector<graph::NodeId>& AllNodes() const { return all_nodes_; }
+  std::span<const graph::NodeId> AllNodes() const { return all_nodes_; }
 
   const DegreeSignature& Signature(graph::NodeId id) const {
     return signatures_[id];
@@ -76,10 +90,16 @@ class MatchIndex {
   size_t NodeCount() const { return all_nodes_.size(); }
 
  private:
-  std::array<std::vector<graph::NodeId>, DegreeSignature::kNodeTypes>
+  // One flat id array holds AllNodes() (first half) and the type-partitioned
+  // node list the buckets slice (second half); signatures are a parallel
+  // table indexed by node id. Both live in the arena when one is supplied,
+  // otherwise in the owned_* vectors below.
+  std::array<std::span<const graph::NodeId>, DegreeSignature::kNodeTypes>
       buckets_;
-  std::vector<graph::NodeId> all_nodes_;
-  std::vector<DegreeSignature> signatures_;
+  std::span<const graph::NodeId> all_nodes_;
+  std::span<const DegreeSignature> signatures_;
+  std::vector<graph::NodeId> owned_ids_;
+  std::vector<DegreeSignature> owned_signatures_;
 };
 
 }  // namespace jfeed::pdg

@@ -1,0 +1,67 @@
+#ifndef JFEED_PDG_SYMBOLS_H_
+#define JFEED_PDG_SYMBOLS_H_
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+namespace jfeed::pdg {
+
+/// Dense 32-bit handle for an interned variable name. Ids are assigned in
+/// first-intern order and are only meaningful relative to the SymbolTable
+/// that produced them.
+using SymbolId = uint32_t;
+
+inline constexpr SymbolId kInvalidSymbol = UINT32_MAX;
+
+/// Interns variable names to dense SymbolIds for one submission's EPDGs.
+/// Node read/write sets become small spans of ids, def environments become
+/// arrays indexed by id, and name comparisons become integer compares.
+///
+/// Name(id) returns a reference that stays valid for the table's lifetime
+/// (until Clear()): names live in a deque, so growth never moves them.
+/// Matcher-side code holds `const std::string*` into the table across a
+/// whole match run, which is why the stability guarantee is part of the
+/// contract.
+class SymbolTable {
+ public:
+  /// Returns the id for `name`, interning it on first sight.
+  SymbolId Intern(std::string_view name) {
+    auto it = index_.find(name);
+    if (it != index_.end()) return it->second;
+    SymbolId id = static_cast<SymbolId>(names_.size());
+    names_.emplace_back(name);
+    index_.emplace(names_.back(), id);
+    return id;
+  }
+
+  /// Returns the id for `name`, or kInvalidSymbol if never interned.
+  SymbolId Find(std::string_view name) const {
+    auto it = index_.find(name);
+    return it == index_.end() ? kInvalidSymbol : it->second;
+  }
+
+  /// The interned name; the reference is stable until Clear().
+  const std::string& Name(SymbolId id) const { return names_[id]; }
+
+  size_t size() const { return names_.size(); }
+
+  /// Forgets all symbols. Ids from before the call are invalid; the hash
+  /// table keeps its buckets, so re-interning a similar working set does
+  /// not reallocate it.
+  void Clear() {
+    index_.clear();
+    names_.clear();
+  }
+
+ private:
+  std::deque<std::string> names_;  ///< Id -> name; deque for stable refs.
+  /// Keys view into names_ entries, which never move.
+  std::unordered_map<std::string_view, SymbolId> index_;
+};
+
+}  // namespace jfeed::pdg
+
+#endif  // JFEED_PDG_SYMBOLS_H_

@@ -101,7 +101,10 @@ BatchScheduler::~BatchScheduler() {
 void BatchScheduler::WorkerLoop() {
   // The pipeline is constructed inside the worker thread so that everything
   // thread-local it reaches — the regex cache above all — belongs to this
-  // worker; the shared oracle is the one deliberate cross-worker memo.
+  // worker, and so does the pipeline's recycled per-submission arena pool:
+  // one worker, one pipeline, one pool means every job after warm-up is
+  // graded without touching the global allocator. The shared oracle is the
+  // one deliberate cross-worker memo.
   service::GradingPipeline pipeline(assignment_, pipeline_options_, oracle_);
   const bool metered = obs::Registry::Global().enabled();
   if (metered) WorkersGauge()->Add(1);

@@ -135,8 +135,10 @@ ShardedScheduler::~ShardedScheduler() {
 
 void ShardedScheduler::WorkerLoop() {
   // One lazily-built pipeline per assignment this worker has graded: the
-  // pipeline (and everything thread-local it reaches) belongs to this
-  // thread; the per-shard oracle is the deliberate cross-worker memo.
+  // pipeline (and everything thread-local it reaches, plus its recycled
+  // per-submission arena pool) belongs to this thread, so steady-state
+  // grading recycles arena chunks instead of calling the allocator; the
+  // per-shard oracle is the deliberate cross-worker memo.
   std::unordered_map<size_t, std::unique_ptr<service::GradingPipeline>>
       pipelines;
   const bool metered = obs::Registry::Global().enabled();

@@ -508,6 +508,8 @@ std::string OutcomeToJson(const GradingOutcome& outcome) {
   out += std::to_string(outcome.feedback.match_stats.steps);
   field("match_regex_checks");
   out += std::to_string(outcome.feedback.match_stats.regex_checks);
+  field("arena_bytes_peak");
+  out += std::to_string(outcome.arena_bytes_peak);
   field("comments");
   out += "[";
   for (size_t i = 0; i < outcome.feedback.comments.size(); ++i) {
@@ -596,6 +598,7 @@ obs::WideEvent BuildWideEvent(const std::string& submission_id,
       static_cast<int64_t>(outcome.feedback.match_stats.steps);
   event.match_regex_checks =
       static_cast<int64_t>(outcome.feedback.match_stats.regex_checks);
+  event.arena_bytes_peak = outcome.arena_bytes_peak;
   if (outcome.functional_ran) {
     event.interp_steps = outcome.functional.interp_steps;
     event.interp_heap_bytes = outcome.functional.interp_heap_bytes;
@@ -625,6 +628,34 @@ GradingOutcome GradingPipeline::Grade(const std::string& source) const {
   // layers below — lex, match.index, interp.call — nest under those via the
   // thread-current chain).
   obs::Span grade_span("grade");
+
+  // Claim the recycled per-submission memory; a concurrent Grade() on the
+  // same instance (not how the schedulers use pipelines) gets private
+  // per-call memory instead of contending.
+  std::unique_lock<std::mutex> memory_lock(memory_mu_, std::try_to_lock);
+  pdg::EpdgMemory private_memory;
+  Arena private_scratch;
+  pdg::EpdgMemory* memory = &private_memory;
+  Arena* scratch = &private_scratch;
+  if (memory_lock.owns_lock()) {
+    epdg_memory_.Reset();
+    match_scratch_.Reset();
+    memory = &epdg_memory_;
+    scratch = &match_scratch_;
+  }
+  // Every AST node of this grade — the parsed unit, builder-synthesized
+  // decl/param expressions, AST-only fallback parses — bump-allocates from
+  // the submission arena while this scope is alive. All of those nodes are
+  // locals of this call (the scope closes, and they are destroyed, before
+  // the arena is reset for the next submission); long-lived ASTs such as
+  // pattern templates opt back into the heap at their creation sites.
+  java::AstArenaScope ast_scope(&memory->arena);
+  // Bytes this submission drew from the arenas; bump allocation only grows
+  // within a cycle, so the end-of-grade reading is the cycle peak.
+  auto record_arena = [&outcome, memory, scratch] {
+    outcome.arena_bytes_peak = static_cast<int64_t>(
+        memory->arena.bytes_allocated() + scratch->bytes_allocated());
+  };
 
   // Records one stage's wall time and status; on failure, the first failing
   // stage defines the outcome's failure class and diagnostic. A soft budget
@@ -663,6 +694,7 @@ GradingOutcome GradingPipeline::Grade(const std::string& source) const {
                     options_.budgets.parse_ms)) {
     outcome.tier = FeedbackTier::kParseDiagnostic;
     outcome.verdict = Verdict::kNotGraded;
+    record_arena();
     FinishObservation(outcome);
     return outcome;
   }
@@ -671,7 +703,7 @@ GradingOutcome GradingPipeline::Grade(const std::string& source) const {
   outcome.stage_reached = Stage::kEpdg;
   auto epdg_start = Clock::now();
   obs::Span epdg_span("epdg", grade_span);
-  auto graphs = pdg::BuildAllEpdgs(*unit);
+  auto graphs = pdg::BuildAllEpdgs(*unit, memory);
   epdg_span.End();
   bool epdg_ok = finish_stage(Stage::kEpdg, epdg_start, graphs.status(),
                               options_.budgets.epdg_ms);
@@ -683,8 +715,11 @@ GradingOutcome GradingPipeline::Grade(const std::string& source) const {
   obs::Span match_span("match", grade_span);
   bool matched_full = false;
   if (epdg_ok) {
+    core::SubmissionMatchOptions match_options = options_.match;
+    match_options.epdg_memory = memory;
+    match_options.match.scratch_arena = scratch;
     auto feedback =
-        core::MatchSubmission(assignment_.spec, *unit, options_.match);
+        core::MatchSubmission(assignment_.spec, *unit, match_options);
     if (feedback.ok()) {
       outcome.feedback = std::move(feedback).value();
       outcome.tier = FeedbackTier::kFullEpdg;
@@ -749,6 +784,7 @@ GradingOutcome GradingPipeline::Grade(const std::string& source) const {
   } else {
     outcome.verdict = Verdict::kIncorrect;
   }
+  record_arena();
   FinishObservation(outcome);
   return outcome;
 }

@@ -11,6 +11,8 @@
 #include "interp/interpreter.h"
 #include "kb/assignments.h"
 #include "obs/event_log.h"
+#include "pdg/epdg.h"
+#include "support/arena.h"
 #include "support/result.h"
 #include "support/status.h"
 #include "testing/functional.h"
@@ -121,6 +123,10 @@ struct GradingOutcome {
   testing::FunctionalVerdict functional;
   bool functional_ran = false;
   std::vector<StageTiming> timings;
+  /// Bytes bump-allocated from the per-submission arenas (EPDG memory +
+  /// matcher scratch) while grading this submission. Zero when grading
+  /// degraded before the EPDG stage.
+  int64_t arena_bytes_peak = 0;
 
   /// True when any rung below full EPDG feedback was taken or any budget
   /// fired.
@@ -175,6 +181,9 @@ class ReferenceOracle {
 /// described on FeedbackTier. Stateless across submissions: grading N
 /// submissions from one pipeline instance is equivalent to grading each
 /// from its own, which is what isolates a batch from an adversarial member.
+/// (The one piece of retained state is the recycled per-submission memory
+/// pool below — raw arena capacity, reset before every use, never grading
+/// state.)
 class GradingPipeline {
  public:
   /// `oracle` memoizes the reference solution's expected outputs; pass a
@@ -206,6 +215,16 @@ class GradingPipeline {
   const kb::Assignment& assignment_;
   PipelineOptions options_;
   std::shared_ptr<ReferenceOracle> oracle_;
+  /// Recycled per-submission memory (DESIGN.md §3c): the EPDG arena +
+  /// symbol table and the matcher's scratch arena. After the first few
+  /// submissions the chunks reach steady state and a whole grade runs with
+  /// near-zero allocator calls. A pipeline normally belongs to one worker
+  /// thread; if concurrent Grade() calls do race into one instance, the
+  /// try-lock loser falls back to private per-call memory, so reuse is an
+  /// optimization and never a correctness dependency.
+  mutable std::mutex memory_mu_;
+  mutable pdg::EpdgMemory epdg_memory_;
+  mutable Arena match_scratch_;
 };
 
 }  // namespace jfeed::service

@@ -4,15 +4,26 @@
 #include <cstdint>
 #include <regex>
 #include <string>
+#include <string_view>
 #include <unordered_map>
 #include <vector>
 
+#include "support/lite_regex.h"
+
 namespace jfeed {
 
-/// Caches compiled std::regex objects keyed by their pattern string.
-/// Pattern matching instantiates the same regex template once per candidate
-/// variable binding; submissions reuse a small vocabulary of variable names,
-/// so the hit rate is high and compilation cost disappears from the hot path.
+/// Caches compiled regex programs keyed by their pattern string. Pattern
+/// matching instantiates the same regex template once per candidate
+/// variable binding; submissions reuse a small vocabulary of variable
+/// names, so the hit rate is high and compilation cost disappears from the
+/// hot path.
+///
+/// Each entry is compiled for the LiteRegex Pike VM when the pattern fits
+/// its subset (every knowledge-base template does), falling back to
+/// std::regex otherwise. The distinction matters for allocator traffic:
+/// Search() through LiteRegex is allocation-free at steady state, while a
+/// single std::regex_search call allocates several times even on failure —
+/// and template checks are the innermost operation of Algorithm 1.
 ///
 /// A single instance is not thread-safe; concurrent matching uses one cache
 /// per thread via ThreadLocal(). There is deliberately no process-wide
@@ -24,8 +35,8 @@ namespace jfeed {
 /// and the eviction hand only reclaims entries whose bit is clear, so the
 /// hot working set of a long batch survives overflow.
 ///
-/// The pointer returned by Get() is valid until the next Get() call on the
-/// same cache (a later insert may evict the entry).
+/// The pointer returned by Get() is valid until the next Get()/Search()
+/// call on the same cache (a later insert may evict the entry).
 class RegexCache {
  public:
   explicit RegexCache(size_t max_entries = 65536)
@@ -34,26 +45,33 @@ class RegexCache {
   RegexCache(const RegexCache&) = delete;
   RegexCache& operator=(const RegexCache&) = delete;
 
-  /// Returns the compiled regex for `pattern`, or nullptr if the pattern is
-  /// not a valid ECMAScript regex (negative results are cached too).
+  /// True when some substring of `text` matches `pattern`
+  /// (std::regex_search semantics). Invalid patterns never match — the
+  /// same contract Get() expresses by returning nullptr.
+  bool Search(const std::string& pattern, std::string_view text) {
+    Entry& entry = Lookup(pattern);
+    if (entry.lite_ok) return entry.lite.Search(text, &scratch_);
+    EnsureStdRegex(entry, pattern);
+    if (!entry.re_valid) return false;
+    return std::regex_search(text.begin(), text.end(), entry.re);
+  }
+
+  /// True when `pattern` is a valid regex (LiteRegex subset or ECMAScript).
+  bool Valid(const std::string& pattern) {
+    Entry& entry = Lookup(pattern);
+    if (entry.lite_ok) return true;
+    EnsureStdRegex(entry, pattern);
+    return entry.re_valid;
+  }
+
+  /// Returns the compiled std::regex for `pattern`, or nullptr if the
+  /// pattern is not a valid ECMAScript regex (negative results are cached
+  /// too). Prefer Search(); this exists for callers that need the
+  /// std::regex object itself.
   const std::regex* Get(const std::string& pattern) {
-    auto it = cache_.find(pattern);
-    if (it != cache_.end()) {
-      it->second.referenced = true;
-      ++hits_;
-      return it->second.valid ? &it->second.re : nullptr;
-    }
-    ++misses_;
-    if (cache_.size() >= max_entries_) EvictOne();
-    Entry& entry = cache_[pattern];
-    clock_.push_back(pattern);
-    try {
-      entry.re = std::regex(pattern, std::regex::ECMAScript);
-      entry.valid = true;
-    } catch (const std::regex_error&) {
-      entry.valid = false;
-    }
-    return entry.valid ? &entry.re : nullptr;
+    Entry& entry = Lookup(pattern);
+    EnsureStdRegex(entry, pattern);
+    return entry.re_valid ? &entry.re : nullptr;
   }
 
   size_t size() const { return cache_.size(); }
@@ -71,10 +89,43 @@ class RegexCache {
 
  private:
   struct Entry {
+    LiteRegex lite;
     std::regex re;
-    bool valid = false;
+    bool lite_ok = false;
+    bool re_compiled = false;
+    /// Validity of the pattern; only authoritative once re_compiled or
+    /// lite_ok (LiteRegex accepts only patterns that are valid ECMAScript).
+    bool re_valid = true;
     bool referenced = false;  ///< Second-chance bit, set on every hit.
   };
+
+  Entry& Lookup(const std::string& pattern) {
+    auto it = cache_.find(pattern);
+    if (it != cache_.end()) {
+      it->second.referenced = true;
+      ++hits_;
+      return it->second;
+    }
+    ++misses_;
+    if (cache_.size() >= max_entries_) EvictOne();
+    Entry& entry = cache_[pattern];
+    clock_.push_back(pattern);
+    entry.lite_ok = LiteRegex::Compile(pattern, &entry.lite);
+    return entry;
+  }
+
+  /// Lazily compiles the std::regex arm (skipped entirely for patterns the
+  /// Pike VM handles — the common case — unless a caller asks via Get()).
+  static void EnsureStdRegex(Entry& entry, const std::string& pattern) {
+    if (entry.re_compiled) return;
+    entry.re_compiled = true;
+    try {
+      entry.re = std::regex(pattern, std::regex::ECMAScript);
+      entry.re_valid = true;
+    } catch (const std::regex_error&) {
+      entry.re_valid = false;
+    }
+  }
 
   /// Advances the clock hand, granting one more round to recently-hit
   /// entries, and evicts the first entry found with a clear reference bit.
@@ -101,6 +152,7 @@ class RegexCache {
   std::unordered_map<std::string, Entry> cache_;
   std::vector<std::string> clock_;  ///< Keys in eviction-scan order.
   size_t hand_ = 0;                 ///< Clock hand into `clock_`.
+  LiteRegexScratch scratch_;        ///< Reused by every Search() call.
   uint64_t hits_ = 0;
   uint64_t misses_ = 0;
   uint64_t evictions_ = 0;

@@ -5,6 +5,8 @@
 
 #include <gtest/gtest.h>
 
+#include <deque>
+
 #include "core/pattern_matcher.h"
 #include "javalang/parser.h"
 #include "pdg/epdg.h"
@@ -13,9 +15,13 @@ namespace jfeed::core {
 namespace {
 
 pdg::Epdg BuildFrom(const std::string& source) {
+  // EPDG nodes borrow statement ASTs from the compilation unit, so the
+  // parsed units must outlive every graph handed back to a test.
+  static auto* units = new std::deque<java::CompilationUnit>();
   auto unit = java::Parse(source);
   EXPECT_TRUE(unit.ok()) << unit.status().ToString();
-  auto g = pdg::BuildEpdg(unit->methods[0]);
+  units->push_back(std::move(*unit));
+  auto g = pdg::BuildEpdg(units->back().methods[0]);
   EXPECT_TRUE(g.ok()) << g.status().ToString();
   return std::move(*g);
 }

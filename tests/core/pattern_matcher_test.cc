@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <deque>
 #include <set>
 #include <string>
 #include <utility>
@@ -16,9 +17,13 @@ namespace jfeed::core {
 namespace {
 
 pdg::Epdg BuildFrom(const std::string& source) {
+  // EPDG nodes borrow statement ASTs from the compilation unit, so the
+  // parsed units must outlive every graph handed back to a test.
+  static auto* units = new std::deque<java::CompilationUnit>();
   auto unit = java::Parse(source);
   EXPECT_TRUE(unit.ok()) << unit.status().ToString();
-  auto g = pdg::BuildEpdg(unit->methods[0]);
+  units->push_back(std::move(*unit));
+  auto g = pdg::BuildEpdg(units->back().methods[0]);
   EXPECT_TRUE(g.ok()) << g.status().ToString();
   return std::move(*g);
 }
@@ -52,7 +57,7 @@ void assignment1(int[] a) {
 })";
 
 std::string ContentOf(const pdg::Epdg& g, graph::NodeId id) {
-  return g.NodeAt(id).content;
+  return std::string(g.NodeAt(id).content);
 }
 
 TEST(PatternMatcherTest, PublishedEmbeddingOfOddPositionsInFigure2a) {

@@ -1,0 +1,104 @@
+// Arena-vs-heap golden test: grading on pooled, recycled arena memory —
+// the steady-state configuration of the grading pipeline (shared
+// EpdgMemory, shared match scratch arena, AST nodes bump-allocated under
+// an AstArenaScope, everything Reset() between submissions) — must produce
+// byte-identical SubmissionFeedback to grading with fresh private heap
+// state, across the full synthetic corpus of every assignment. Any
+// divergence means arena reuse leaked state from one submission into the
+// next, or the arena-backed structures changed observable semantics.
+
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <string>
+#include <vector>
+
+#include "core/submission_matcher.h"
+#include "javalang/ast.h"
+#include "javalang/parser.h"
+#include "kb/assignments.h"
+#include "pdg/epdg.h"
+#include "support/arena.h"
+#include "synth/generator.h"
+
+namespace jfeed {
+namespace {
+
+constexpr uint64_t kSamplesPerAssignment = 10;
+
+std::string DescribeFeedback(const core::SubmissionFeedback& f) {
+  std::string out = f.matched ? "matched " : "unmatched ";
+  out += std::to_string(f.score) + "\n";
+  for (const auto& [q, h] : f.method_assignment) out += q + "=" + h + "\n";
+  for (const auto& c : f.comments) {
+    out += c.source_id + "|" + c.method + "|" +
+           std::to_string(static_cast<int>(c.kind)) + "|" + c.message + "\n";
+    for (const auto& d : c.details) out += "  " + d + "\n";
+  }
+  return out;
+}
+
+class ArenaGoldenTest : public ::testing::TestWithParam<const char*> {
+ protected:
+  const kb::Assignment& assignment() const {
+    return kb::KnowledgeBase::Get().assignment(GetParam());
+  }
+};
+
+TEST_P(ArenaGoldenTest, PooledFeedbackIsByteIdenticalToHeapFeedback) {
+  const auto& a = assignment();
+
+  // One pooled memory for the whole corpus, recycled between submissions —
+  // exactly what a pipeline worker does in steady state.
+  pdg::EpdgMemory pooled;
+  Arena scratch;
+  core::SubmissionMatchOptions pooled_options;
+  pooled_options.epdg_memory = &pooled;
+  pooled_options.match.scratch_arena = &scratch;
+  const core::SubmissionMatchOptions heap_options;
+
+  auto indexes =
+      synth::SampleIndexes(a.generator.SpaceSize(), kSamplesPerAssignment);
+  for (uint64_t index : indexes) {
+    std::string source = a.generator.Generate(index);
+
+    auto heap_fb = core::MatchSubmissionSource(a.spec, source, heap_options);
+    ASSERT_TRUE(heap_fb.ok()) << a.id << " index " << index;
+
+    pooled.Reset();
+    scratch.Reset();
+    std::string pooled_description;
+    {
+      // The scope must close (destroying the AST) before the next Reset.
+      java::AstArenaScope ast_scope(&pooled.arena);
+      auto unit = java::Parse(source);
+      ASSERT_TRUE(unit.ok()) << a.id << " index " << index;
+      auto pooled_fb = core::MatchSubmission(a.spec, *unit, pooled_options);
+      ASSERT_TRUE(pooled_fb.ok()) << a.id << " index " << index;
+      pooled_description = DescribeFeedback(*pooled_fb);
+    }
+
+    EXPECT_EQ(DescribeFeedback(*heap_fb), pooled_description)
+        << a.id << " index " << index;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllAssignments, ArenaGoldenTest,
+    ::testing::ValuesIn([]() {
+      std::vector<const char*> ids;
+      for (const auto& id : kb::KnowledgeBase::Get().assignment_ids()) {
+        ids.push_back(id.c_str());
+      }
+      return ids;
+    }()),
+    [](const ::testing::TestParamInfo<const char*>& info) {
+      std::string name = info.param;
+      for (char& c : name) {
+        if (!isalnum(static_cast<unsigned char>(c))) c = '_';
+      }
+      return name;
+    });
+
+}  // namespace
+}  // namespace jfeed

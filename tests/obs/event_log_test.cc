@@ -36,6 +36,7 @@ WideEvent FullEvent() {
   e.interp_output_bytes = 321;
   e.functional_tests_run = 5;
   e.functional_tests_failed = 2;
+  e.arena_bytes_peak = 49152;
   e.parse_ms = 0.125;
   e.epdg_ms = 1.5;
   e.match_ms = 2.25;
@@ -70,6 +71,7 @@ TEST(WideEventJsonTest, EveryFieldRoundTripsThroughNdjson) {
   EXPECT_EQ(parsed.functional_tests_run, original.functional_tests_run);
   EXPECT_EQ(parsed.functional_tests_failed,
             original.functional_tests_failed);
+  EXPECT_EQ(parsed.arena_bytes_peak, original.arena_bytes_peak);
   EXPECT_DOUBLE_EQ(parsed.parse_ms, original.parse_ms);
   EXPECT_DOUBLE_EQ(parsed.epdg_ms, original.epdg_ms);
   EXPECT_DOUBLE_EQ(parsed.match_ms, original.match_ms);
@@ -87,8 +89,8 @@ TEST(WideEventJsonTest, ContractFieldNamesArePresent) {
         "\"match_regex_checks\":", "\"interp_steps\":",
         "\"interp_heap_bytes\":", "\"interp_output_bytes\":",
         "\"functional_tests_run\":", "\"functional_tests_failed\":",
-        "\"parse_ms\":", "\"epdg_ms\":", "\"match_ms\":",
-        "\"functional_ms\":"}) {
+        "\"arena_bytes_peak\":", "\"parse_ms\":", "\"epdg_ms\":",
+        "\"match_ms\":", "\"functional_ms\":"}) {
     EXPECT_NE(line.find(field), std::string::npos) << field;
   }
 }

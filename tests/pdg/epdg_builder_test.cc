@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <deque>
+
 #include "javalang/parser.h"
 #include "pdg/epdg.h"
 
@@ -7,9 +9,13 @@ namespace jfeed::pdg {
 namespace {
 
 Epdg BuildFrom(const std::string& source) {
+  // EPDG nodes borrow statement ASTs from the compilation unit, so the
+  // parsed units must outlive every graph handed back to a test.
+  static auto* units = new std::deque<java::CompilationUnit>();
   auto unit = java::Parse(source);
   EXPECT_TRUE(unit.ok()) << unit.status().ToString();
-  auto g = BuildEpdg(unit->methods[0]);
+  units->push_back(std::move(*unit));
+  auto g = BuildEpdg(units->back().methods[0]);
   EXPECT_TRUE(g.ok()) << g.status().ToString();
   return std::move(*g);
 }
@@ -201,18 +207,17 @@ class EdgeInvariantTest : public ::testing::TestWithParam<const char*> {};
 
 TEST_P(EdgeInvariantTest, EdgesRespectDefinitions) {
   Epdg g = BuildFrom(GetParam());
-  const auto& raw = g.graph();
-  for (size_t i = 0; i < raw.EdgeCount(); ++i) {
-    const auto& e = raw.GetEdge(static_cast<graph::EdgeId>(i));
-    const Node& src = g.NodeAt(e.source);
-    const Node& dst = g.NodeAt(e.target);
-    if (e.data == EdgeType::kCtrl) {
+  for (const Epdg::Edge& e : g.edges()) {
+    const Node src = g.NodeAt(e.source);
+    const Node dst = g.NodeAt(e.target);
+    if (e.type == EdgeType::kCtrl) {
       EXPECT_EQ(src.type, NodeType::kCond)
           << "Ctrl edge from non-Cond node: " << src.content;
     } else {
       bool flows = false;
-      for (const auto& w : src.writes) {
-        if (dst.reads.count(w) > 0) flows = true;
+      std::set<std::string> dst_reads = dst.ReadNames();
+      for (const auto& w : src.WriteNames()) {
+        if (dst_reads.count(w) > 0) flows = true;
       }
       EXPECT_TRUE(flows) << "Data edge without def-use pair: " << src.content
                          << " -> " << dst.content;

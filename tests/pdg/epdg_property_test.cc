@@ -95,18 +95,17 @@ TEST_P(EpdgFuzzTest, InvariantsHoldOnRandomPrograms) {
   auto graph = BuildEpdg(unit->methods[0]);
   ASSERT_TRUE(graph.ok()) << graph.status().ToString() << "\n" << source;
 
-  const auto& raw = graph->graph();
-  for (size_t e = 0; e < raw.EdgeCount(); ++e) {
-    const auto& edge = raw.GetEdge(static_cast<graph::EdgeId>(e));
-    const Node& src = graph->NodeAt(edge.source);
-    const Node& dst = graph->NodeAt(edge.target);
+  for (const Epdg::Edge& edge : graph->edges()) {
+    const Node src = graph->NodeAt(edge.source);
+    const Node dst = graph->NodeAt(edge.target);
     // Invariant 1: Ctrl edges only leave Cond nodes (Definition 2).
-    if (edge.data == EdgeType::kCtrl) {
+    if (edge.type == EdgeType::kCtrl) {
       EXPECT_EQ(src.type, NodeType::kCond) << source;
     } else {
       // Invariant 2: Data edges connect a definition to a reader.
       bool def_use = false;
-      for (const auto& w : src.writes) def_use |= dst.reads.count(w) > 0;
+      std::set<std::string> dst_reads = dst.ReadNames();
+      for (const auto& w : src.WriteNames()) def_use |= dst_reads.count(w) > 0;
       EXPECT_TRUE(def_use) << src.content << " -> " << dst.content << "\n"
                            << source;
     }
@@ -118,12 +117,13 @@ TEST_P(EpdgFuzzTest, InvariantsHoldOnRandomPrograms) {
   for (int i = 0; i < 3; ++i) {
     EXPECT_EQ(graph->NodeAt(i).type, NodeType::kDecl);
   }
-  // Invariant 5: vars is always reads ∪ writes.
+  // Invariant 5: the mentioned-variable view is always reads ∪ writes.
   for (size_t i = 0; i < graph->NodeCount(); ++i) {
-    const Node& node = graph->NodeAt(static_cast<graph::NodeId>(i));
-    std::set<std::string> expected = node.reads;
-    expected.insert(node.writes.begin(), node.writes.end());
-    EXPECT_EQ(node.vars, expected) << node.content;
+    const Node node = graph->NodeAt(static_cast<graph::NodeId>(i));
+    std::set<std::string> expected = node.ReadNames();
+    std::set<std::string> writes = node.WriteNames();
+    expected.insert(writes.begin(), writes.end());
+    EXPECT_EQ(node.VarNames(), expected) << node.content;
   }
 }
 

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <deque>
 #include <string>
 #include <utility>
 
@@ -12,9 +13,13 @@ namespace jfeed::pdg {
 namespace {
 
 Epdg BuildFrom(const std::string& source) {
+  // EPDG nodes borrow statement ASTs from the compilation unit, so the
+  // parsed units must outlive every graph handed back to a test.
+  static auto* units = new std::deque<java::CompilationUnit>();
   auto unit = java::Parse(source);
   EXPECT_TRUE(unit.ok()) << unit.status().ToString();
-  auto g = BuildEpdg(unit->methods[0]);
+  units->push_back(std::move(*unit));
+  auto g = BuildEpdg(units->back().methods[0]);
   EXPECT_TRUE(g.ok()) << g.status().ToString();
   return std::move(*g);
 }
@@ -107,15 +112,15 @@ TEST(MatchIndexTest, HashedHasEdgeAgreesWithAdjacencyScan) {
   Epdg g = BuildFrom(
       "void f(int n) { int s = 0; for (int i = 0; i < n; i = i + 1) "
       "{ if (i % 2 == 1) { s = s + i; } } System.out.println(s); }");
-  // Cross-check the O(1) typed-edge probe against the underlying digraph
-  // adjacency for every (source, target, type) triple.
+  // Cross-check the CSR row probe against a scan of the flat edge list for
+  // every (source, target, type) triple.
   for (size_t s = 0; s < g.NodeCount(); ++s) {
     for (size_t t = 0; t < g.NodeCount(); ++t) {
       for (EdgeType type : {EdgeType::kCtrl, EdgeType::kData}) {
         bool scan = false;
-        for (graph::EdgeId eid : g.graph().OutEdges(static_cast<int>(s))) {
-          const auto& e = g.graph().GetEdge(eid);
-          if (e.target == static_cast<int>(t) && e.data == type) scan = true;
+        for (const Epdg::Edge& e : g.edges()) {
+          if (e.source == static_cast<int>(s) &&
+              e.target == static_cast<int>(t) && e.type == type) scan = true;
         }
         EXPECT_EQ(g.HasEdge(static_cast<int>(s), static_cast<int>(t), type),
                   scan)

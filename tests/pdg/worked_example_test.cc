@@ -29,7 +29,8 @@ class WorkedExampleTest : public ::testing::Test {
   void SetUp() override {
     auto unit = java::Parse(kFigure2a);
     ASSERT_TRUE(unit.ok()) << unit.status().ToString();
-    auto g = BuildEpdg(unit->methods[0]);
+    unit_ = std::move(*unit);  // The EPDG borrows the unit's ASTs.
+    auto g = BuildEpdg(unit_.methods[0]);
     ASSERT_TRUE(g.ok()) << g.status().ToString();
     epdg_ = std::move(*g);
   }
@@ -64,6 +65,7 @@ class WorkedExampleTest : public ::testing::Test {
     return graph::kInvalidNode;
   }
 
+  java::CompilationUnit unit_;  // Must outlive epdg_ (declared first).
   Epdg epdg_;
 };
 
@@ -168,11 +170,11 @@ TEST_F(WorkedExampleTest, ExcludedDataEdgesAbsent) {
 }
 
 TEST_F(WorkedExampleTest, VariableSetsOnNodes) {
-  const Node& odd_update = epdg_.NodeAt(Find("odd += a[i]"));
-  EXPECT_EQ(odd_update.vars, (std::set<std::string>{"a", "i", "odd"}));
-  EXPECT_EQ(odd_update.writes, (std::set<std::string>{"odd"}));
-  const Node& print_odd = epdg_.NodeAt(Find("System.out.println(odd)"));
-  EXPECT_EQ(print_odd.vars, (std::set<std::string>{"odd"}));
+  const Node odd_update = epdg_.NodeAt(Find("odd += a[i]"));
+  EXPECT_EQ(odd_update.VarNames(), (std::set<std::string>{"a", "i", "odd"}));
+  EXPECT_EQ(odd_update.WriteNames(), (std::set<std::string>{"odd"}));
+  const Node print_odd = epdg_.NodeAt(Find("System.out.println(odd)"));
+  EXPECT_EQ(print_odd.VarNames(), (std::set<std::string>{"odd"}));
 }
 
 TEST_F(WorkedExampleTest, DotExportMentionsEveryNode) {

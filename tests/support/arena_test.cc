@@ -1,0 +1,119 @@
+#include "support/arena.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+namespace jfeed {
+namespace {
+
+TEST(ArenaTest, BumpAllocationIsContiguousWithinAChunk) {
+  Arena arena;
+  char* a = static_cast<char*>(arena.Allocate(16, 1));
+  char* b = static_cast<char*>(arena.Allocate(16, 1));
+  EXPECT_EQ(b, a + 16);
+  EXPECT_EQ(arena.bytes_allocated(), 32u);
+}
+
+TEST(ArenaTest, AlignmentIsRespected) {
+  Arena arena;
+  arena.Allocate(1, 1);
+  void* p8 = arena.Allocate(8, 8);
+  EXPECT_EQ(reinterpret_cast<uintptr_t>(p8) % 8, 0u);
+  arena.Allocate(3, 1);
+  void* p16 = arena.Allocate(16, 16);
+  EXPECT_EQ(reinterpret_cast<uintptr_t>(p16) % 16, 0u);
+}
+
+TEST(ArenaTest, ChunkGrowthServesRequestsLargerThanOneChunk) {
+  Arena arena;
+  // Far more than the first chunk: forces the chunk list to grow.
+  std::vector<char*> blocks;
+  for (int i = 0; i < 100; ++i) {
+    char* p = static_cast<char*>(arena.Allocate(1024, 1));
+    std::memset(p, i, 1024);
+    blocks.push_back(p);
+  }
+  // Every block is still intact (no chunk was recycled mid-cycle).
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(blocks[i][0], static_cast<char>(i));
+    EXPECT_EQ(blocks[i][1023], static_cast<char>(i));
+  }
+  EXPECT_GE(arena.chunk_count(), 2u);
+}
+
+TEST(ArenaTest, ResetReusesMemoryWithoutNewChunks) {
+  Arena arena;
+  for (int i = 0; i < 50; ++i) arena.Allocate(1000, 8);
+  size_t chunks = arena.chunk_count();
+  size_t reserved = arena.bytes_reserved();
+  for (int cycle = 0; cycle < 10; ++cycle) {
+    arena.Reset();
+    EXPECT_EQ(arena.bytes_allocated(), 0u);
+    for (int i = 0; i < 50; ++i) arena.Allocate(1000, 8);
+    // Steady state: the same chunks serve every cycle.
+    EXPECT_EQ(arena.chunk_count(), chunks);
+    EXPECT_EQ(arena.bytes_reserved(), reserved);
+  }
+}
+
+TEST(ArenaTest, LargeObjectFallbackIsReleasedOnReset) {
+  Arena arena;
+  void* big = arena.Allocate(8u << 20, 16);  // 8 MiB > max chunk size.
+  ASSERT_NE(big, nullptr);
+  std::memset(big, 0xAB, 8u << 20);
+  size_t reserved_with_big = arena.bytes_reserved();
+  arena.Reset();
+  // The dedicated chunk is gone; normal chunks stay.
+  EXPECT_LT(arena.bytes_reserved(), reserved_with_big);
+}
+
+TEST(ArenaTest, PeakBytesTracksHighWaterAcrossResets) {
+  Arena arena;
+  arena.Allocate(10'000, 8);
+  EXPECT_GE(arena.peak_bytes(), 10'000u);
+  arena.Reset();
+  arena.Allocate(100, 8);
+  EXPECT_GE(arena.peak_bytes(), 10'000u);  // Peak survives reset.
+  EXPECT_EQ(arena.bytes_allocated(), 100u);
+}
+
+TEST(ArenaTest, StrDupCopiesIntoArena) {
+  Arena arena;
+  std::string source = "int i = 0";
+  std::string_view copy = arena.StrDup(source);
+  source.assign("clobbered");
+  EXPECT_EQ(copy, "int i = 0");
+  EXPECT_TRUE(arena.StrDup("").empty());
+}
+
+TEST(ArenaVecTest, PushGrowAndIterate) {
+  Arena arena;
+  ArenaVec<int32_t> v(&arena);
+  for (int32_t i = 0; i < 1000; ++i) v.push_back(i);
+  ASSERT_EQ(v.size(), 1000u);
+  for (int32_t i = 0; i < 1000; ++i) EXPECT_EQ(v[i], i);
+  int64_t sum = 0;
+  for (int32_t x : v) sum += x;
+  EXPECT_EQ(sum, 999 * 1000 / 2);
+}
+
+TEST(ArenaVecTest, AppendAndResize) {
+  Arena arena;
+  ArenaVec<uint32_t> v(&arena);
+  uint32_t* span = v.Append(3);
+  span[0] = 7; span[1] = 8; span[2] = 9;
+  EXPECT_EQ(v.size(), 3u);
+  v.resize(5, 42);
+  EXPECT_EQ(v[0], 7u);
+  EXPECT_EQ(v[3], 42u);
+  EXPECT_EQ(v[4], 42u);
+  v.clear();
+  EXPECT_TRUE(v.empty());
+}
+
+}  // namespace
+}  // namespace jfeed

@@ -5,8 +5,9 @@ Three report schemas are understood, dispatched on the baseline's "schema"
 field:
 
   jfeed-bench-matching-v1   (bench_matching) — the indexed match engine's
-      backtracking step counts; current may exceed baseline by at most
-      --threshold (wall times are runner-dependent and ignored).
+      backtracking step counts and the pooled hot path's heap allocations
+      per submission; current may exceed baseline by at most --threshold
+      (wall times are runner-dependent and ignored).
   jfeed-bench-table1-v1     (bench_table1) — the Table I coverage counters
       (space, sampled, evaluated, parse failures, discrepancies per
       assignment); deterministic for a fixed --samples, so they must match
@@ -106,22 +107,26 @@ def assignments_by_id(data, path):
 
 
 def compare_matching(baseline, current, args):
-    """Step-count gate: current may exceed baseline by --threshold."""
+    """Step-count and allocation gate: current may exceed baseline by
+    --threshold. Both counters are deterministic — backtracking steps by
+    construction, allocations because the pooled hot path always performs
+    the same sequence of operator-new calls for a given submission."""
     if not current.get("equivalent", False):
         sys.exit("FAIL: current run reports engine inequivalence")
 
     failures = []
 
-    def check(label, base_steps, cur_steps):
-        limit = base_steps * (1.0 + args.threshold)
+    def check(label, base_count, cur_count):
+        limit = base_count * (1.0 + args.threshold)
         status = "ok"
-        if cur_steps > limit:
+        if cur_count > limit:
             status = f"REGRESSION (limit {limit:.0f})"
             failures.append(label)
-        print(f"{label:40s} baseline {base_steps:8d}  "
-              f"current {cur_steps:8d}  {status}")
+        print(f"{label:56s} baseline {base_count:8d}  "
+              f"current {cur_count:8d}  {status}")
 
-    for dotted in ("totals.indexed_steps", "ablation.indexed_steps"):
+    for dotted in ("totals.indexed_steps", "ablation.indexed_steps",
+                   "totals.allocs_per_submission"):
         check(dotted,
               lookup_number(baseline, args.baseline, dotted),
               lookup_number(current, args.current, dotted))
@@ -130,20 +135,23 @@ def compare_matching(baseline, current, args):
     for aid, a in assignments_by_id(current, args.current).items():
         b = base_by_id.get(aid)
         if b is None:
-            print(f"{aid:40s} new assignment, no baseline — skipped")
+            print(f"{aid:56s} new assignment, no baseline — skipped")
             continue
-        check(f"assignment {aid}",
+        check(f"assignment {aid} indexed.steps",
               lookup_number(b, args.baseline, "indexed.steps"),
               lookup_number(a, args.current, "indexed.steps"))
+        check(f"assignment {aid} allocs_per_submission",
+              lookup_number(b, args.baseline, "allocs_per_submission"),
+              lookup_number(a, args.current, "allocs_per_submission"))
 
     if failures:
-        print(f"\nFAIL: step regression beyond {args.threshold:.0%} in: "
-              + ", ".join(failures))
+        print(f"\nFAIL: step/allocation regression beyond "
+              f"{args.threshold:.0%} in: " + ", ".join(failures))
         print("If the regression is intended (pattern/KB change), rerun "
               "with --update-baseline (or regenerate "
               "bench/baselines/BENCH_matching.json) and commit it.")
         return 1
-    print("\nOK: no step regressions beyond "
+    print("\nOK: no step or allocation regressions beyond "
           f"{args.threshold:.0%} of baseline")
     return 0
 
@@ -300,6 +308,9 @@ def validate_for_update(current, path):
                      "reports engine inequivalence")
         lookup_number(current, path, "totals.indexed_steps")
         lookup_number(current, path, "ablation.indexed_steps")
+        lookup_number(current, path, "totals.allocs_per_submission")
+        for a in assignments_by_id(current, path).values():
+            lookup_number(a, path, "allocs_per_submission")
     elif current["schema"] == "jfeed-bench-loadgen-v1":
         if lookup_number(current, path, "totals.errors") != 0:
             sys.exit("FAIL: refusing to update baseline from a loadgen run "

@@ -15,13 +15,16 @@ SCRIPT = os.path.join(os.path.dirname(os.path.abspath(__file__)),
 
 
 def report(indexed_total=100, ablation=50, assignments=None,
-           equivalent=True, schema="jfeed-bench-matching-v1"):
+           equivalent=True, schema="jfeed-bench-matching-v1",
+           allocs_total=150):
     if assignments is None:
-        assignments = [{"id": "assignment1", "indexed": {"steps": 40}}]
+        assignments = [{"id": "assignment1", "indexed": {"steps": 40},
+                        "allocs_per_submission": 150}]
     return {
         "schema": schema,
         "equivalent": equivalent,
-        "totals": {"indexed_steps": indexed_total},
+        "totals": {"indexed_steps": indexed_total,
+                   "allocs_per_submission": allocs_total},
         "ablation": {"indexed_steps": ablation},
         "assignments": assignments,
     }
@@ -100,7 +103,7 @@ class CompareBenchTest(unittest.TestCase):
         cur = self.write("cur.json", report())
         result = self.run_compare(base, cur)
         self.assertEqual(result.returncode, 0, result.stdout + result.stderr)
-        self.assertIn("OK: no step regressions", result.stdout)
+        self.assertIn("OK: no step or allocation regressions", result.stdout)
 
     def test_regression_beyond_threshold_fails(self):
         base = self.write("base.json", report(indexed_total=100))
@@ -115,6 +118,44 @@ class CompareBenchTest(unittest.TestCase):
         cur = self.write("cur.json", report(indexed_total=150))
         result = self.run_compare(base, cur, "--threshold", "0.60")
         self.assertEqual(result.returncode, 0, result.stdout + result.stderr)
+
+    def test_allocation_regression_beyond_threshold_fails(self):
+        base = self.write("base.json", report(allocs_total=150))
+        cur = self.write("cur.json", report(allocs_total=400))
+        result = self.run_compare(base, cur)
+        self.assertEqual(result.returncode, 1)
+        self.assertIn("REGRESSION", result.stdout)
+        self.assertIn("totals.allocs_per_submission", result.stdout)
+
+    def test_allocation_regression_within_threshold_passes(self):
+        base = self.write("base.json", report(allocs_total=150))
+        cur = self.write("cur.json", report(allocs_total=160))
+        result = self.run_compare(base, cur)
+        self.assertEqual(result.returncode, 0, result.stdout + result.stderr)
+
+    def test_missing_allocs_key_fails_with_message_not_traceback(self):
+        # A baseline generated before the allocation counter existed must
+        # fail with the regenerate hint, not a KeyError traceback.
+        stale = report()
+        del stale["totals"]["allocs_per_submission"]
+        base = self.write("base.json", stale)
+        cur = self.write("cur.json", report())
+        result = self.run_compare(base, cur)
+        self.assertEqual(result.returncode, 1)
+        combined = result.stdout + result.stderr
+        self.assertIn("missing key 'totals.allocs_per_submission'", combined)
+        self.assertNotIn("Traceback", combined)
+
+    def test_update_baseline_refuses_report_without_allocs(self):
+        base = self.write("base.json", report(allocs_total=150))
+        truncated = report()
+        del truncated["assignments"][0]["allocs_per_submission"]
+        cur = self.write("cur.json", truncated)
+        result = self.run_compare(base, cur, "--update-baseline")
+        self.assertEqual(result.returncode, 1)
+        with open(base) as f:
+            self.assertEqual(
+                json.load(f)["totals"]["allocs_per_submission"], 150)
 
     def test_missing_baseline_key_fails_with_message_not_traceback(self):
         stale = report()
@@ -416,8 +457,10 @@ class CompareBenchTest(unittest.TestCase):
     def test_new_assignment_without_baseline_is_skipped(self):
         base = self.write("base.json", report())
         cur = self.write("cur.json", report(assignments=[
-            {"id": "assignment1", "indexed": {"steps": 40}},
-            {"id": "assignment9", "indexed": {"steps": 999}},
+            {"id": "assignment1", "indexed": {"steps": 40},
+             "allocs_per_submission": 150},
+            {"id": "assignment9", "indexed": {"steps": 999},
+             "allocs_per_submission": 999},
         ]))
         result = self.run_compare(base, cur)
         self.assertEqual(result.returncode, 0, result.stdout + result.stderr)
