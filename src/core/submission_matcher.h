@@ -1,7 +1,10 @@
 #ifndef JFEED_CORE_SUBMISSION_MATCHER_H_
 #define JFEED_CORE_SUBMISSION_MATCHER_H_
 
+#include <cstddef>
 #include <map>
+#include <mutex>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -98,12 +101,57 @@ struct SubmissionMatchOptions {
   pdg::EpdgMemory* epdg_memory = nullptr;
 };
 
+/// The cached result of one Algorithm-2 "cell" — the evaluation of one
+/// expected method's patterns and constraints against one submission
+/// method's EPDG. A cell depends only on (MethodSpec, that method's graph),
+/// never on the rest of the submission, which is what makes it the reuse
+/// unit of incremental resubmission grading (DESIGN.md §3d).
+struct MethodCellValue {
+  std::vector<FeedbackComment> comments;
+  double score = 0.0;    ///< FeedbackScore(comments), the cell's Λ share.
+  MatchStats stats;      ///< Algorithm-1 cost of computing this cell.
+};
+
+/// Thread-safe store of the computed cells of ONE submission method,
+/// keyed by expected-method index into AssignmentSpec::methods. Owned by
+/// the method-cache entry pinning that method's graph; concurrent workers
+/// grading resubmissions that share the method converge on one store.
+class MethodCellStore {
+ public:
+  /// Copies the cell for expected-method `qi` into *out when present.
+  bool Find(size_t qi, MethodCellValue* out) const;
+  /// Stores one cell; first writer wins (values for a key are equivalent).
+  void Insert(size_t qi, MethodCellValue value);
+  size_t size() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<size_t, MethodCellValue> cells_;
+};
+
+/// One submission method's EPDG plus the optional cell store to reuse and
+/// fill. A null `cells` means no caching for this method (cold evaluation).
+struct MethodGraphRef {
+  const pdg::Epdg* graph = nullptr;
+  MethodCellStore* cells = nullptr;
+};
+
 /// Algorithm 2 (SubmissionMatching): matches every pattern and constraint of
 /// `spec` against the submission, trying every injective assignment of
 /// expected methods onto submission methods and keeping the combination with
 /// the highest Λ score.
 Result<SubmissionFeedback> MatchSubmission(
     const AssignmentSpec& spec, const java::CompilationUnit& submission,
+    const SubmissionMatchOptions& options = {});
+
+/// Algorithm 2 over pre-built per-method graphs, reusing cached cells where
+/// a MethodGraphRef carries a store. The feedback is byte-identical to
+/// MatchSubmission over the same methods: cell evaluation is deterministic
+/// over graph content, so a reused cell equals the cell a cold run would
+/// compute, and match_stats aggregates the same demanded-cell set either
+/// way. Graphs must appear in submission declaration order.
+Result<SubmissionFeedback> MatchSubmissionGraphs(
+    const AssignmentSpec& spec, std::span<const MethodGraphRef> graphs,
     const SubmissionMatchOptions& options = {});
 
 /// Convenience overload: parses `source` first.

@@ -156,6 +156,8 @@ Method Method::Clone() const {
   out.name = name;
   out.params = params;
   out.line = line;
+  out.fingerprint = fingerprint;
+  out.norm_source = norm_source;
   if (body) out.body = body->Clone();
   return out;
 }

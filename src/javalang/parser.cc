@@ -2,6 +2,7 @@
 
 #include <utility>
 
+#include "javalang/fingerprint.h"
 #include "javalang/lexer.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -140,6 +141,11 @@ class Parser {
 
   Result<Method> ParseMethod() {
     SkipModifiers();
+    // Fingerprint the slice from the return type through the closing brace.
+    // Modifiers are excluded on purpose: the parser discards them, so
+    // `static int f(){...}` and `int f(){...}` grade identically and should
+    // share a method-cache entry.
+    size_t first = pos_;
     Method method;
     method.line = Peek().line;
     JFEED_ASSIGN_OR_RETURN(method.return_type, ParseType());
@@ -158,6 +164,8 @@ class Parser {
     }
     JFEED_RETURN_IF_ERROR(Expect(TokenKind::kRParen).status());
     JFEED_ASSIGN_OR_RETURN(method.body, ParseBlock());
+    method.fingerprint = FingerprintTokenRange(tokens_, first, pos_);
+    method.norm_source = NormalizeTokenRange(tokens_, first, pos_);
     return method;
   }
 

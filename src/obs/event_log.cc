@@ -73,6 +73,8 @@ std::string ToJson(const WideEvent& e) {
   num("match_steps", e.match_steps);
   num("match_regex_checks", e.match_regex_checks);
   num("arena_bytes_peak", e.arena_bytes_peak);
+  num("methods_reused", e.methods_reused);
+  num("methods_regraded", e.methods_regraded);
   num("interp_steps", e.interp_steps);
   num("interp_heap_bytes", e.interp_heap_bytes);
   num("interp_output_bytes", e.interp_output_bytes);
@@ -207,6 +209,10 @@ bool FromJson(const std::string& json, WideEvent* event) {
         event->match_regex_checks = static_cast<int64_t>(value);
       } else if (key == "arena_bytes_peak") {
         event->arena_bytes_peak = static_cast<int64_t>(value);
+      } else if (key == "methods_reused") {
+        event->methods_reused = static_cast<int64_t>(value);
+      } else if (key == "methods_regraded") {
+        event->methods_regraded = static_cast<int64_t>(value);
       } else if (key == "interp_steps") {
         event->interp_steps = static_cast<int64_t>(value);
       } else if (key == "interp_heap_bytes") {

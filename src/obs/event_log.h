@@ -51,7 +51,8 @@ struct WideEvent {
   std::string failure_class; ///< none|parse_error|timeout|...
   /// Cache disposition: "hit" (served from the result cache), "dedup"
   /// (coalesced onto an in-flight duplicate), "miss" (looked up, graded),
-  /// "off" (no lookup attempted).
+  /// "off" (no lookup attempted), "partial_hit" (graded, but at least one
+  /// method was reused from the method cache — see methods_reused below).
   std::string cache;
   bool degraded = false;
   std::string diagnostic;    ///< Status text that forced a rung drop.
@@ -61,6 +62,11 @@ struct WideEvent {
   /// Bytes bump-allocated from the per-submission arenas (EPDG memory +
   /// matcher scratch) while grading — the hot path's memory footprint.
   int64_t arena_bytes_peak = 0;
+  /// Incremental-grading accounting (cache disposition "partial_hit"):
+  /// methods served from the method cache vs. methods (re)graded. Both
+  /// zero when no method cache was configured.
+  int64_t methods_reused = 0;
+  int64_t methods_regraded = 0;
   int64_t interp_steps = 0;
   int64_t interp_heap_bytes = 0;
   int64_t interp_output_bytes = 0;

@@ -155,6 +155,14 @@ class Epdg {
     return false;
   }
 
+  /// Builds the CSR adjacency now instead of lazily on first HasEdge().
+  /// A graph shared read-only across threads (a pinned method-cache entry)
+  /// must be frozen once at publish time so concurrent HasEdge() calls are
+  /// pure reads of immutable storage.
+  void FreezeAdjacency() const {
+    if (!frozen_) Freeze();
+  }
+
   // --- Construction (append-only; used by the builder) ---------------------
 
   /// Appends a node; `content` is copied into the arena, the id spans into

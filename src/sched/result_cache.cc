@@ -3,6 +3,7 @@
 #include <cstdio>
 #include <utility>
 
+#include "javalang/fingerprint.h"
 #include "javalang/lexer.h"
 #include "obs/metrics.h"
 
@@ -34,23 +35,6 @@ obs::Counter* EvictionsTotal() {
   return counter;
 }
 
-/// splitmix64 finalizer — the same mixer the fault injector uses; good
-/// avalanche for cheap.
-uint64_t Mix(uint64_t x) {
-  x += 0x9e3779b97f4a7c15ull;
-  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
-  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
-  return x ^ (x >> 31);
-}
-
-uint64_t FoldBytes(uint64_t h, const std::string& bytes) {
-  for (char c : bytes) {
-    h ^= static_cast<unsigned char>(c);
-    h *= 0x100000001b3ull;  // FNV-1a prime.
-  }
-  return h;
-}
-
 }  // namespace
 
 uint64_t TokenFingerprint(const std::string& source) {
@@ -58,15 +42,9 @@ uint64_t TokenFingerprint(const std::string& source) {
   if (!tokens.ok()) {
     // Unlexable source: hash raw bytes under a distinct domain tag so it can
     // never collide with a token-stream hash of some other source.
-    return Mix(FoldBytes(0x6a66656564726177ull /* "jfeedraw" */, source));
+    return java::FingerprintRawBytes(source);
   }
-  uint64_t h = 0xcbf29ce484222325ull;  // FNV-1a offset basis.
-  for (const auto& token : *tokens) {
-    h = Mix(h ^ static_cast<uint64_t>(token.kind));
-    h = FoldBytes(h, token.text);
-    h *= 0x100000001b3ull;  // Separator: "ab"+"c" != "a"+"bc".
-  }
-  return Mix(h);
+  return java::FingerprintTokenStream(*tokens);
 }
 
 std::string ResultCache::MakeKey(const std::string& assignment_id,

@@ -84,6 +84,14 @@ BatchScheduler::BatchScheduler(const kb::Assignment& assignment,
                  ? std::move(options.cache)
                  : std::make_shared<ResultCache>(options.cache_capacity);
   }
+  if (options.use_method_cache &&
+      pipeline_options_.method_cache == nullptr) {
+    pipeline_options_.method_cache =
+        options.method_cache != nullptr
+            ? std::move(options.method_cache)
+            : std::make_shared<service::MethodCache>(
+                  options.method_cache_capacity);
+  }
   WarmCtypeCaches();
   workers_.reserve(static_cast<size_t>(jobs_));
   for (int i = 0; i < jobs_; ++i) {
@@ -128,12 +136,18 @@ void BatchScheduler::WorkerLoop() {
     // never notice.
     service::GradingOutcome outcome = pipeline.Grade(job->source);
     job_span.End();
+    // A graded "miss"/"off" that reused cached methods lands on the
+    // partial_hit disposition; the worker that paid for the grade counts
+    // it (hits and dedup followers are counted by the admission loop).
+    const char* disposition =
+        service::ResolveCacheDisposition(job->cache, outcome);
+    service::CountCacheDisposition(disposition);
     if (obs::EventLog::Global().enabled()) {
       // One wide event per pipeline run, emitted by the worker that paid
       // for it; cache hits and dedup followers get theirs from the batch
       // collection loop.
       obs::EventLog::Global().Append(service::BuildWideEvent(
-          job->id, assignment_.id, job->cache, outcome));
+          job->id, assignment_.id, disposition, outcome));
     }
     if (metered) {
       BusyUsTotal()->Increment(lap_us());
@@ -244,6 +258,7 @@ std::vector<service::GradingOutcome> BatchScheduler::GradeBatchWithStats(
       }
       service::GradingOutcome cached;
       if (cache_->Lookup(assignment_.id, fingerprint, &cached)) {
+        service::CountCacheDisposition("hit");
         record(i, "hit", cached);
         outcomes[i] = std::move(cached);
         ++stats->cache_hits;
@@ -280,6 +295,7 @@ std::vector<service::GradingOutcome> BatchScheduler::GradeBatchWithStats(
     for (size_t k = 1; k < group.indexes.size(); ++k) {
       // The group leader's event came from the worker that graded it; the
       // coalesced followers are recorded here as dedup serves.
+      service::CountCacheDisposition("dedup");
       record(group.indexes[k], "dedup", outcome);
       outcomes[group.indexes[k]] = outcome;
     }

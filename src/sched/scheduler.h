@@ -33,6 +33,15 @@ struct SchedulerOptions {
   size_t cache_capacity = 4096;
   /// Optional externally-owned cache, shared across schedulers/batches.
   std::shared_ptr<ResultCache> cache;
+  /// Method-level incremental grading (DESIGN.md §3d): one
+  /// service::MethodCache shared by every worker pipeline, so a
+  /// resubmission reuses the unedited methods' graphs and match cells and
+  /// lands on the "partial_hit" disposition.
+  bool use_method_cache = false;
+  /// Capacity of the method cache created when `method_cache` is null.
+  size_t method_cache_capacity = 8192;
+  /// Optional externally-owned method cache, shared across schedulers.
+  std::shared_ptr<service::MethodCache> method_cache;
 };
 
 /// Per-batch accounting returned by GradeBatchWithStats.

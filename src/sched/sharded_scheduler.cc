@@ -121,6 +121,11 @@ ShardedScheduler::ShardedScheduler(
   if (options_.use_result_cache) {
     cache_ = std::make_shared<ResultCache>(options_.cache_capacity);
   }
+  if (options_.use_method_cache &&
+      pipeline_options_.method_cache == nullptr) {
+    pipeline_options_.method_cache = std::make_shared<service::MethodCache>(
+        options_.method_cache_capacity);
+  }
   WarmCtypeCaches();
   workers_.reserve(static_cast<size_t>(jobs_));
   for (int i = 0; i < jobs_; ++i) {
@@ -169,9 +174,12 @@ void ShardedScheduler::WorkerLoop() {
     obs::Span job_span("sched.job");
     service::GradingOutcome outcome = it->second->Grade(job->source);
     job_span.End();
+    const char* disposition =
+        service::ResolveCacheDisposition(job->cache, outcome);
+    service::CountCacheDisposition(disposition);
     if (obs::EventLog::Global().enabled()) {
       obs::EventLog::Global().Append(service::BuildWideEvent(
-          job->id, shard.assignment->id, job->cache, outcome));
+          job->id, shard.assignment->id, disposition, outcome));
     }
     if (metered) {
       BusyUsTotal()->Increment(lap_us());
@@ -319,6 +327,7 @@ std::vector<MixedOutcome> ShardedScheduler::GradeMixedBatch(
       }
       service::GradingOutcome cached;
       if (cache_->Lookup(items[i].assignment, fingerprint, &cached)) {
+        service::CountCacheDisposition("hit");
         record(i, "hit", cached);
         outcomes[i].status = Status::OK();
         outcomes[i].outcome = std::move(cached);
@@ -356,6 +365,7 @@ std::vector<MixedOutcome> ShardedScheduler::GradeMixedBatch(
     }
     for (size_t k = 1; k < group.indexes.size(); ++k) {
       size_t i = group.indexes[k];
+      service::CountCacheDisposition("dedup");
       record(i, "dedup", outcome);
       outcomes[i].status = Status::OK();
       outcomes[i].outcome = outcome;
@@ -363,7 +373,10 @@ std::vector<MixedOutcome> ShardedScheduler::GradeMixedBatch(
     }
     size_t leader = group.indexes.front();
     outcomes[leader].status = Status::OK();
-    outcomes[leader].disposition = caching ? "miss" : "off";
+    // The grading worker already counted this submission; resolve the same
+    // disposition string for the batch line without double-counting.
+    outcomes[leader].disposition = service::ResolveCacheDisposition(
+        caching ? "miss" : "off", outcome);
     outcomes[leader].outcome = std::move(outcome);
   }
   return outcomes;

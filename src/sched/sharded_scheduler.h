@@ -60,6 +60,11 @@ struct ShardedSchedulerOptions {
   /// (assignment, token fingerprint), so tenants never cross-hit).
   bool use_result_cache = true;
   size_t cache_capacity = 4096;
+  /// Method-level incremental grading (DESIGN.md §3d), shared across
+  /// shards; entries are keyed by assignment id, so two tenants whose
+  /// submissions share a method body still never cross-hit.
+  bool use_method_cache = false;
+  size_t method_cache_capacity = 8192;
 };
 
 /// One input line of a mixed-assignment batch.
@@ -75,8 +80,9 @@ struct MixedItem {
 struct MixedOutcome {
   Status status;
   service::GradingOutcome outcome;  ///< Meaningful only when status.ok().
-  /// Cache disposition: "miss" (graded), "hit", "dedup", "off", or "" for
-  /// non-OK statuses.
+  /// Cache disposition: "miss" (graded), "hit", "dedup", "off",
+  /// "partial_hit" (graded, but the method cache served some methods), or
+  /// "" for non-OK statuses.
   const char* disposition = "";
 };
 

@@ -142,6 +142,7 @@ Status GradingDaemon::Start() {
       : assignment_ids_.size() == 1     ? options_.queue_capacity
                                         : 64;
   scheduler_options.use_result_cache = options_.use_result_cache;
+  scheduler_options.use_method_cache = options_.use_method_cache;
   scheduler_ = std::make_unique<sched::ShardedScheduler>(
       std::move(assignments), options_.pipeline, scheduler_options);
 

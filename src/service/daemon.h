@@ -81,6 +81,9 @@ struct DaemonOptions {
   /// and the retry_after_s hint on per-line sheds.
   int retry_after_s = 1;
   bool use_result_cache = true;
+  /// Method-level incremental grading (DESIGN.md §3d): resubmissions reuse
+  /// the unedited methods' graphs and match cells across requests.
+  bool use_method_cache = false;
   /// Flight-recorder ring capacity.
   size_t event_capacity = obs::EventLog::kDefaultCapacity;
   /// Tracer ring capacity per thread (0 = leave the tracer disabled).

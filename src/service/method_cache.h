@@ -1,0 +1,121 @@
+#ifndef JFEED_SERVICE_METHOD_CACHE_H_
+#define JFEED_SERVICE_METHOD_CACHE_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/submission_matcher.h"
+#include "javalang/ast.h"
+#include "pdg/epdg.h"
+#include "support/result.h"
+
+namespace jfeed::service {
+
+/// One pinned method shared across resubmissions: its own EpdgMemory (NOT
+/// the recycled worker arena — DESIGN.md §3c pools are reset between
+/// submissions, which would invalidate a cached graph), the re-parsed AST
+/// the graph borrows statement expressions from, the frozen EPDG itself,
+/// and the per-expected-method match cells computed so far.
+///
+/// Member order is the destruction contract: `memory` is declared first so
+/// it is destroyed LAST — the unit's AST nodes and the graph's arrays live
+/// in its arena, and their destructors (which free heap string payloads)
+/// must run before the arena reclaims the node bytes.
+struct MethodEntry {
+  pdg::EpdgMemory memory;
+  java::CompilationUnit unit;  ///< Exactly one method, arena-allocated AST.
+  std::unique_ptr<pdg::Epdg> graph;  ///< Frozen at build; read-only after.
+  core::MethodCellStore cells;
+};
+
+/// Cumulative counters of one MethodCache.
+struct MethodCacheStats {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t insertions = 0;
+  uint64_t evictions = 0;
+  /// Lookups that returned an error (injected fault at cache.method_lookup)
+  /// and sent the submission down the full-regrade path.
+  uint64_t fallbacks = 0;
+
+  double HitRate() const {
+    uint64_t lookups = hits + misses;
+    return lookups == 0 ? 0.0 : static_cast<double>(hits) / lookups;
+  }
+};
+
+/// Content-addressed cache of graded methods: key = (assignment id, method
+/// token fingerprint), value = a pinned MethodEntry. On a resubmission that
+/// edits one method, every other method's EPDG build and match cells are
+/// served from here and only the edited method plus the cross-method
+/// combination step re-run — the `partial_hit` disposition.
+///
+/// Keying by assignment id is what isolates tenants: two assignments whose
+/// submissions share a method body (same fingerprint) still get distinct
+/// entries, because a cell is only meaningful against its own spec.
+///
+/// Thread-safe; bounded with the same CLOCK-style second-chance eviction as
+/// ResultCache. Entries are handed out as shared_ptr, so an evicted entry
+/// stays alive until the last grade using it finishes.
+class MethodCache {
+ public:
+  explicit MethodCache(size_t max_entries = 8192)
+      : max_entries_(max_entries == 0 ? 1 : max_entries) {}
+
+  MethodCache(const MethodCache&) = delete;
+  MethodCache& operator=(const MethodCache&) = delete;
+
+  /// Ok(entry) on a hit, Ok(nullptr) on a miss. An error means the
+  /// deterministic fault injector fired at `cache.method_lookup`; the
+  /// caller must abandon incremental grading for the whole submission and
+  /// fall back to a cold regrade (never wrong feedback, never a poisoned
+  /// entry).
+  Result<std::shared_ptr<MethodEntry>> Lookup(const std::string& assignment_id,
+                                              uint64_t fingerprint);
+
+  /// Publishes an entry, evicting a cold one when full. Returns the entry
+  /// now cached under the key: on an insert race the first writer wins and
+  /// the loser's entry is discarded, so concurrent workers converge on one
+  /// cell store.
+  std::shared_ptr<MethodEntry> Insert(const std::string& assignment_id,
+                                      uint64_t fingerprint,
+                                      std::shared_ptr<MethodEntry> entry);
+
+  /// Builds a pinned entry for `method`: re-parses its normalized source
+  /// into the entry's own arena, builds the EPDG there, and freezes its
+  /// adjacency so concurrent readers never mutate. Fails (and caches
+  /// nothing) for hand-built methods without a normalized source or when a
+  /// fault campaign trips the parser/builder points inside.
+  static Result<std::shared_ptr<MethodEntry>> BuildEntry(
+      const java::Method& method);
+
+  MethodCacheStats stats() const;
+  size_t size() const;
+  size_t max_entries() const { return max_entries_; }
+
+ private:
+  struct Slot {
+    std::shared_ptr<MethodEntry> entry;
+    bool referenced = false;  ///< Second-chance bit, set on every hit.
+  };
+
+  static std::string MakeKey(const std::string& assignment_id,
+                             uint64_t fingerprint);
+
+  void EvictOneLocked();
+
+  const size_t max_entries_;
+  mutable std::mutex mu_;
+  std::unordered_map<std::string, Slot> entries_;
+  std::vector<std::string> clock_;  ///< Keys in eviction-scan order.
+  size_t hand_ = 0;
+  MethodCacheStats stats_;
+};
+
+}  // namespace jfeed::service
+
+#endif  // JFEED_SERVICE_METHOD_CACHE_H_

@@ -2,6 +2,7 @@
 
 #include <chrono>
 #include <cstdio>
+#include <cstring>
 #include <set>
 #include <utility>
 
@@ -510,6 +511,10 @@ std::string OutcomeToJson(const GradingOutcome& outcome) {
   out += std::to_string(outcome.feedback.match_stats.regex_checks);
   field("arena_bytes_peak");
   out += std::to_string(outcome.arena_bytes_peak);
+  field("methods_reused");
+  out += std::to_string(outcome.methods_reused);
+  field("methods_regraded");
+  out += std::to_string(outcome.methods_regraded);
   field("comments");
   out += "[";
   for (size_t i = 0; i < outcome.feedback.comments.size(); ++i) {
@@ -599,6 +604,8 @@ obs::WideEvent BuildWideEvent(const std::string& submission_id,
   event.match_regex_checks =
       static_cast<int64_t>(outcome.feedback.match_stats.regex_checks);
   event.arena_bytes_peak = outcome.arena_bytes_peak;
+  event.methods_reused = outcome.methods_reused;
+  event.methods_regraded = outcome.methods_regraded;
   if (outcome.functional_ran) {
     event.interp_steps = outcome.functional.interp_steps;
     event.interp_heap_bytes = outcome.functional.interp_heap_bytes;
@@ -619,6 +626,25 @@ obs::WideEvent BuildWideEvent(const std::string& submission_id,
     }
   }
   return event;
+}
+
+const char* ResolveCacheDisposition(const char* base,
+                                    const GradingOutcome& outcome) {
+  if (outcome.methods_reused > 0 &&
+      (std::strcmp(base, "miss") == 0 || std::strcmp(base, "off") == 0)) {
+    return "partial_hit";
+  }
+  return base;
+}
+
+void CountCacheDisposition(const char* disposition) {
+  // Looked up per call (the label value varies), like the per-assignment
+  // instruments in the scheduler; grading cost dwarfs the registry lock.
+  obs::Registry::Global()
+      .GetCounter("jfeed_cache_requests_total",
+                  "Answered submissions by final cache disposition",
+                  {{"disposition", disposition}})
+      ->Increment();
 }
 
 GradingOutcome GradingPipeline::Grade(const std::string& source) const {
@@ -700,12 +726,67 @@ GradingOutcome GradingPipeline::Grade(const std::string& source) const {
   }
 
   // Stage 2: EPDG construction. Failure degrades to AST-only feedback.
+  //
+  // With a method cache configured this is where incremental grading forks
+  // (DESIGN.md §3d): each parsed method is looked up by content
+  // fingerprint; a hit pins the cached entry (graph + match cells built by
+  // an earlier grade), a miss builds a pinned entry and publishes it. Any
+  // lookup fault, hand-built method, or entry-build failure abandons the
+  // incremental path for the *whole* submission and regrades cold — never
+  // wrong feedback, never a poisoned entry. While a fault campaign is
+  // enabled the cache is bypassed in both directions, but lookups still
+  // run so campaigns targeting cache.method_lookup observe every crossing.
   outcome.stage_reached = Stage::kEpdg;
   auto epdg_start = Clock::now();
   obs::Span epdg_span("epdg", grade_span);
-  auto graphs = pdg::BuildAllEpdgs(*unit, memory);
+  bool incremental = false;
+  std::vector<std::shared_ptr<MethodEntry>> pinned;
+  if (options_.method_cache != nullptr) {
+    const bool campaign = fault::Injector::Get().enabled();
+    incremental = !campaign;
+    pinned.reserve(unit->methods.size());
+    for (const auto& method : unit->methods) {
+      if (method.norm_source.empty()) {
+        incremental = false;
+        break;
+      }
+      auto found =
+          options_.method_cache->Lookup(assignment_.id, method.fingerprint);
+      if (!found.ok()) {
+        incremental = false;
+        break;
+      }
+      if (campaign) continue;  // Point crossed; reuse and insert bypassed.
+      std::shared_ptr<MethodEntry> entry = std::move(*found);
+      if (entry == nullptr) {
+        auto built = MethodCache::BuildEntry(method);
+        if (!built.ok()) {
+          incremental = false;
+          break;
+        }
+        entry = options_.method_cache->Insert(
+            assignment_.id, method.fingerprint, std::move(*built));
+        ++outcome.methods_regraded;
+      } else {
+        ++outcome.methods_reused;
+      }
+      pinned.push_back(std::move(entry));
+    }
+    if (!incremental) {
+      outcome.methods_reused = 0;
+      outcome.methods_regraded = static_cast<int>(unit->methods.size());
+      pinned.clear();
+    }
+  }
+  Status epdg_status;
+  if (!incremental) {
+    // Cold path: build (and discard) the graphs to surface EPDG failures
+    // here; a successful MatchSubmission below rebuilds them in the same
+    // recycled arena.
+    epdg_status = pdg::BuildAllEpdgs(*unit, memory).status();
+  }
   epdg_span.End();
-  bool epdg_ok = finish_stage(Stage::kEpdg, epdg_start, graphs.status(),
+  bool epdg_ok = finish_stage(Stage::kEpdg, epdg_start, epdg_status,
                               options_.budgets.epdg_ms);
 
   // Stage 3: pattern matching — full EPDG matching when the graphs exist,
@@ -718,8 +799,21 @@ GradingOutcome GradingPipeline::Grade(const std::string& source) const {
     core::SubmissionMatchOptions match_options = options_.match;
     match_options.epdg_memory = memory;
     match_options.match.scratch_arena = scratch;
-    auto feedback =
-        core::MatchSubmission(assignment_.spec, *unit, match_options);
+    auto run_match = [&]() -> Result<core::SubmissionFeedback> {
+      if (incremental) {
+        // Only the cross-method combination step (Algorithm 2) runs over
+        // the pinned graphs; per-method cells come from their stores.
+        std::vector<core::MethodGraphRef> refs;
+        refs.reserve(pinned.size());
+        for (const auto& entry : pinned) {
+          refs.push_back({entry->graph.get(), &entry->cells});
+        }
+        return core::MatchSubmissionGraphs(assignment_.spec, refs,
+                                           match_options);
+      }
+      return core::MatchSubmission(assignment_.spec, *unit, match_options);
+    };
+    auto feedback = run_match();
     if (feedback.ok()) {
       outcome.feedback = std::move(feedback).value();
       outcome.tier = FeedbackTier::kFullEpdg;

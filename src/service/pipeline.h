@@ -12,6 +12,7 @@
 #include "kb/assignments.h"
 #include "obs/event_log.h"
 #include "pdg/epdg.h"
+#include "service/method_cache.h"
 #include "support/arena.h"
 #include "support/result.h"
 #include "support/status.h"
@@ -85,6 +86,12 @@ struct PipelineOptions {
   core::SubmissionMatchOptions match;
   /// Run the functional suite after pattern matching.
   bool run_functional = true;
+  /// Incremental resubmission grading (DESIGN.md §3d): when set, the EPDG
+  /// and match stages reuse pinned per-method entries keyed by content
+  /// fingerprint, re-running only edited methods plus the cross-method
+  /// combination step. Null (the default) grades cold. Share one instance
+  /// across the pipelines of a scheduler to amortize across workers.
+  std::shared_ptr<MethodCache> method_cache;
 
   PipelineOptions() {
     // Service defaults are deliberately tighter than the library defaults:
@@ -127,6 +134,13 @@ struct GradingOutcome {
   /// matcher scratch) while grading this submission. Zero when grading
   /// degraded before the EPDG stage.
   int64_t arena_bytes_peak = 0;
+  /// Incremental-grading accounting: methods served from the method cache
+  /// vs. methods that had to be (re)graded. Both zero when no method cache
+  /// was configured; reused == 0 with regraded == method count when the
+  /// cache was configured but this grade ran cold (first sight, lookup
+  /// fault fallback, or campaign bypass).
+  int methods_reused = 0;
+  int methods_regraded = 0;
 
   /// True when any rung below full EPDG feedback was taken or any budget
   /// fired.
@@ -143,12 +157,27 @@ std::string OutcomeToJson(const GradingOutcome& outcome);
 /// (DESIGN.md §6b): verdict, rung, failure class, matcher work counters,
 /// interpreter resource spend, per-stage wall times, all stamped with the
 /// wall-clock completion time. `cache` is the cache disposition as seen by
-/// the caller ("hit", "dedup", "miss", "off"). The caller appends the
-/// result to obs::EventLog::Global() (or a file sink).
+/// the caller ("hit", "dedup", "miss", "off", or "partial_hit" — see
+/// ResolveCacheDisposition below). The caller appends the result to
+/// obs::EventLog::Global() (or a file sink).
 obs::WideEvent BuildWideEvent(const std::string& submission_id,
                               const std::string& assignment_id,
                               const std::string& cache,
                               const GradingOutcome& outcome);
+
+/// Pure mapping that folds method-cache reuse into a submission's cache
+/// disposition: a "miss"/"off" grade that reused at least one method
+/// becomes "partial_hit"; "hit" and "dedup" pass through (the whole
+/// outcome was served, method accounting is moot).
+const char* ResolveCacheDisposition(const char* base,
+                                    const GradingOutcome& outcome);
+
+/// Bumps jfeed_cache_requests_total{disposition=...} (DESIGN.md §6
+/// contract). Call exactly once per answered submission with its final
+/// (resolved) disposition — the schedulers do this at the site that pays
+/// for the grade or serves the cached copy, never at dedup-follower
+/// fan-out.
+void CountCacheDisposition(const char* disposition);
 
 /// Thread-safe memo of a reference solution's expected outputs for one
 /// assignment. The functional oracle is self-consistent (expected outputs

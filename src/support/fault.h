@@ -34,6 +34,13 @@ inline constexpr const char kFleetWorkerGrade[] = "fleet.worker_grade";
 inline constexpr const char kFleetProbe[] = "fleet.probe";
 /// A worker answered, but too slowly to count (forced deadline expiry).
 inline constexpr const char kFleetSlowResponse[] = "fleet.slow_response";
+
+// Crossed in service::MethodCache::Lookup. In NEITHER AllPoints() nor
+// FleetPoints(): a failing lookup degrades to a healthy full regrade —
+// same feedback, no ladder-rung drop — so the pipeline chaos sweep's
+// "one rung per point" assertion doesn't apply; a dedicated chaos test
+// asserts the degrade-to-regrade contract instead.
+inline constexpr const char kMethodCacheLookup[] = "cache.method_lookup";
 }  // namespace points
 
 /// Configuration of one injection campaign. The decision whether a given

@@ -1,0 +1,136 @@
+#include "testing/resubmission.h"
+
+#include <algorithm>
+
+namespace jfeed::testing {
+
+namespace {
+
+/// The two helper methods appended to every chain submission. The bodies
+/// are in the grader's Java subset and independent of any assignment spec;
+/// `renamed` switches the second helper's local between two names, which
+/// is the rename-local edit (same structure, different token fingerprint).
+std::string HelperMethods(bool renamed) {
+  std::string out =
+      "int chainHelperSum(int a, int b) {\n"
+      "  int total = a + b;\n"
+      "  return total;\n"
+      "}\n";
+  const char* local = renamed ? "doubled" : "scaled";
+  out += "int chainHelperScale(int x) {\n  int ";
+  out += local;
+  out += " = x * 2;\n  return ";
+  out += local;
+  out += ";\n}\n";
+  return out;
+}
+
+}  // namespace
+
+uint64_t EncodeChoice(const synth::SubmissionTemplate& generator,
+                      const std::vector<size_t>& choice) {
+  uint64_t index = 0;
+  uint64_t stride = 1;
+  const auto& sites = generator.sites();
+  for (size_t i = 0; i < sites.size(); ++i) {
+    index += static_cast<uint64_t>(choice[i]) * stride;
+    stride *= sites[i].variants.size();
+  }
+  return index;
+}
+
+uint64_t FixOneError(const synth::SubmissionTemplate& generator,
+                     uint64_t index, XorShiftRng* rng) {
+  std::vector<size_t> choice = generator.Decode(index);
+  std::vector<size_t> wrong;
+  for (size_t i = 0; i < choice.size(); ++i) {
+    if (choice[i] != 0) wrong.push_back(i);
+  }
+  if (wrong.empty()) return index;
+  choice[wrong[rng->Below(wrong.size())]] = 0;
+  return EncodeChoice(generator, choice);
+}
+
+const char* ResubmitKindName(ResubmitKind kind) {
+  switch (kind) {
+    case ResubmitKind::kInitial: return "initial";
+    case ResubmitKind::kDuplicate: return "duplicate";
+    case ResubmitKind::kCommentOnly: return "comment_only";
+    case ResubmitKind::kFixOneSite: return "fix_one_site";
+    case ResubmitKind::kRenameLocal: return "rename_local";
+  }
+  return "unknown";
+}
+
+std::vector<ResubmissionStep> BuildResubmissionChain(
+    const std::string& assignment_id,
+    const synth::SubmissionTemplate& generator,
+    const ResubmissionChainOptions& options) {
+  XorShiftRng rng(options.seed);
+
+  // Initial attempt: the reference solution with `initial_errors` distinct
+  // choice sites flipped to a wrong variant — the synth error model's
+  // "mostly right, a few bugs" shape (a uniformly random index would start
+  // with nearly every site wrong, which no student submission does).
+  const auto& sites = generator.sites();
+  std::vector<size_t> choice(sites.size(), 0);
+  std::vector<size_t> mutable_sites;
+  for (size_t i = 0; i < sites.size(); ++i) {
+    if (sites[i].variants.size() > 1) mutable_sites.push_back(i);
+  }
+  size_t errors = std::min(options.initial_errors, mutable_sites.size());
+  for (size_t e = 0; e < errors; ++e) {
+    // Partial Fisher-Yates: positions [0, e) already hold the picked sites.
+    size_t pick = e + rng.Below(mutable_sites.size() - e);
+    std::swap(mutable_sites[e], mutable_sites[pick]);
+    size_t site = mutable_sites[e];
+    choice[site] = 1 + rng.Below(sites[site].variants.size() - 1);
+  }
+  uint64_t index = EncodeChoice(generator, choice);
+
+  // Chain state: the error-model position, the helper-rename toggle, and
+  // the accumulated cosmetic comments (comment-only edits are cumulative —
+  // a later fix still carries earlier attempts' comments, as a student's
+  // file would).
+  bool renamed = false;
+  std::string comments;
+
+  auto render = [&](uint64_t at) {
+    return generator.Generate(at) + "\n" + HelperMethods(renamed) + comments;
+  };
+
+  std::vector<ResubmissionStep> chain;
+  chain.reserve(options.steps + 1);
+  ResubmissionStep initial;
+  initial.kind = ResubmitKind::kInitial;
+  initial.id = assignment_id + "-r1";
+  initial.source = render(index);
+  chain.push_back(std::move(initial));
+
+  for (size_t step = 0; step < options.steps; ++step) {
+    ResubmissionStep next;
+    double draw = rng.Unit();
+    if (draw < options.duplicate_prob) {
+      next.kind = ResubmitKind::kDuplicate;
+    } else if (draw < options.duplicate_prob + options.comment_prob) {
+      next.kind = ResubmitKind::kCommentOnly;
+      comments += "// attempt " + std::to_string(step + 2) + "\n";
+    } else if (draw < options.duplicate_prob + options.comment_prob +
+                          options.rename_prob) {
+      next.kind = ResubmitKind::kRenameLocal;
+      renamed = !renamed;
+    } else {
+      uint64_t repaired = FixOneError(generator, index, &rng);
+      // All sites already correct: the student is done and panic-resends.
+      next.kind = repaired == index ? ResubmitKind::kDuplicate
+                                    : ResubmitKind::kFixOneSite;
+      index = repaired;
+    }
+    next.id = assignment_id + "-r" + std::to_string(step + 2);
+    next.source = render(index);
+    chain.push_back(std::move(next));
+  }
+  return chain;
+}
+
+}  // namespace jfeed::testing

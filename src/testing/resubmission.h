@@ -1,0 +1,121 @@
+#ifndef JFEED_TESTING_RESUBMISSION_H_
+#define JFEED_TESTING_RESUBMISSION_H_
+
+// Seeded resubmission-chain corpus for the method-cache work (DESIGN.md
+// §3d): one synthetic student iterating on one assignment, each attempt
+// derived from the previous by exactly one edit kind —
+//   - duplicate:    byte-identical panic re-send;
+//   - comment-only: a trailing comment; the lexer strips it, so every
+//                   method fingerprint (and the result-cache key) is
+//                   unchanged;
+//   - fix-one-site: the error model's incremental repair — one choice
+//                   site steps back to its correct variant, touching only
+//                   the template method;
+//   - rename-local: renames a local variable inside one *helper* method,
+//                   changing that helper's fingerprint but nothing the
+//                   assignment spec grades.
+//
+// Every submission carries the same two deterministic helper methods after
+// the template method. The knowledge base's assignments are single-method,
+// so without the helpers a fix-one-site edit would invalidate the whole
+// submission; with them, two of three methods are byte-identical across
+// the edit — the method cache's partial-hit case the resubmission bench
+// and the golden equivalence suite measure. The helpers are shared across
+// assignments on purpose: identical method bodies under two assignment ids
+// must NOT cross-hit (the cache keys by assignment), and the golden suite
+// asserts exactly that.
+//
+// Everything derives from ResubmissionChainOptions::seed via xorshift64,
+// so a (generator, options) pair always yields the identical chain — the
+// property BENCH_resubmission's baseline comparison depends on.
+//
+// Like traffic.h, this header depends on synth only (kb links against
+// jfeed_testing); callers pass the assignment's generator in.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "synth/generator.h"
+
+namespace jfeed::testing {
+
+/// xorshift64: deterministic, seedable, and good enough to drive a test
+/// corpus (this is a load shape, not cryptography). Shared by the traffic
+/// and resubmission generators.
+struct XorShiftRng {
+  uint64_t state;
+  explicit XorShiftRng(uint64_t seed)
+      : state(seed != 0 ? seed : 0x9e3779b97f4a7c15ull) {}
+  uint64_t Next() {
+    state ^= state << 13;
+    state ^= state >> 7;
+    state ^= state << 17;
+    return state;
+  }
+  uint64_t Below(uint64_t bound) { return bound == 0 ? 0 : Next() % bound; }
+  double Unit() {
+    return static_cast<double>(Next() >> 11) /
+           static_cast<double>(1ull << 53);
+  }
+};
+
+/// Mixed-radix inverse of SubmissionTemplate::Decode (site 0 least
+/// significant).
+uint64_t EncodeChoice(const synth::SubmissionTemplate& generator,
+                      const std::vector<size_t>& choice);
+
+/// One incremental repair: zero a random still-wrong choice site. Index 0
+/// (all correct) maps to itself.
+uint64_t FixOneError(const synth::SubmissionTemplate& generator,
+                     uint64_t index, XorShiftRng* rng);
+
+/// How one resubmission differs from the previous attempt.
+enum class ResubmitKind {
+  kInitial,      ///< First attempt (reference + `initial_errors` bugs).
+  kDuplicate,    ///< Byte-identical re-send.
+  kCommentOnly,  ///< Trailing comment appended; token stream unchanged.
+  kFixOneSite,   ///< One error-model site repaired in the template method.
+  kRenameLocal,  ///< A helper method's local variable renamed.
+};
+
+const char* ResubmitKindName(ResubmitKind kind);
+
+/// One attempt of a resubmission chain.
+struct ResubmissionStep {
+  ResubmitKind kind = ResubmitKind::kInitial;
+  std::string id;      ///< "<assignment>-r<attempt>", attempt from 1.
+  std::string source;  ///< Template method + the two helper methods.
+};
+
+struct ResubmissionChainOptions {
+  uint64_t seed = 1;
+  /// Resubmissions after the initial attempt (chain length - 1).
+  size_t steps = 8;
+  /// Choice sites mutated away from the reference in the initial attempt
+  /// (clamped to the template's site count). This is the synth error
+  /// model's shape — a first attempt is mostly right with a few seeded
+  /// bugs — so a pure fix-one-site chain converges after ~initial_errors
+  /// repairs and the remainder of the chain exercises the full-reuse
+  /// (duplicate resubmission) path. Zero starts at the reference solution.
+  size_t initial_errors = 3;
+  /// Edit-kind mix; the remainder of the probability mass is fix-one-site.
+  /// Zero all three for a pure fix-one-site chain (the bench's shape).
+  double duplicate_prob = 0.15;
+  double comment_prob = 0.15;
+  double rename_prob = 0.15;
+};
+
+/// Builds one deterministic chain over `generator`. Step 0 is an initial
+/// submission with `initial_errors` seeded wrong choice sites; each later
+/// step applies one seeded edit. Once every site is repaired, further
+/// fix-one-site draws degrade to duplicates (the student is done and
+/// panic-resends), so chains of any length are well-defined.
+std::vector<ResubmissionStep> BuildResubmissionChain(
+    const std::string& assignment_id,
+    const synth::SubmissionTemplate& generator,
+    const ResubmissionChainOptions& options = ResubmissionChainOptions());
+
+}  // namespace jfeed::testing
+
+#endif  // JFEED_TESTING_RESUBMISSION_H_

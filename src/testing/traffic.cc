@@ -3,55 +3,15 @@
 #include <algorithm>
 #include <cmath>
 
+#include "testing/resubmission.h"
+
 namespace jfeed::testing {
 
 namespace {
 
-/// xorshift64: deterministic, seedable, and good enough to shuffle a
-/// traffic mix (this is a load shape, not cryptography).
-struct Rng {
-  uint64_t state;
-  explicit Rng(uint64_t seed) : state(seed != 0 ? seed : 0x9e3779b97f4a7c15ull) {}
-  uint64_t Next() {
-    state ^= state << 13;
-    state ^= state >> 7;
-    state ^= state << 17;
-    return state;
-  }
-  uint64_t Below(uint64_t bound) { return bound == 0 ? 0 : Next() % bound; }
-  double Unit() {
-    return static_cast<double>(Next() >> 11) /
-           static_cast<double>(1ull << 53);
-  }
-};
-
-/// Mixed-radix inverse of SubmissionTemplate::Decode (site 0 least
-/// significant).
-uint64_t Encode(const synth::SubmissionTemplate& generator,
-                const std::vector<size_t>& choice) {
-  uint64_t index = 0;
-  uint64_t stride = 1;
-  const auto& sites = generator.sites();
-  for (size_t i = 0; i < sites.size(); ++i) {
-    index += static_cast<uint64_t>(choice[i]) * stride;
-    stride *= sites[i].variants.size();
-  }
-  return index;
-}
-
-/// One incremental repair: zero a random still-wrong choice site. Index 0
-/// (all correct) maps to itself.
-uint64_t FixOneError(const synth::SubmissionTemplate& generator,
-                     uint64_t index, Rng* rng) {
-  std::vector<size_t> choice = generator.Decode(index);
-  std::vector<size_t> wrong;
-  for (size_t i = 0; i < choice.size(); ++i) {
-    if (choice[i] != 0) wrong.push_back(i);
-  }
-  if (wrong.empty()) return index;
-  choice[wrong[rng->Below(wrong.size())]] = 0;
-  return Encode(generator, choice);
-}
+// The rng and the error-model mutators (EncodeChoice, FixOneError) are
+// shared with the resubmission-chain generator — see resubmission.h.
+using Rng = XorShiftRng;
 
 /// An in-progress student: their current position in the search space.
 struct Chain {

@@ -1,0 +1,134 @@
+#include "javalang/fingerprint.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "javalang/ast.h"
+#include "javalang/lexer.h"
+#include "javalang/parser.h"
+
+namespace jfeed::java {
+namespace {
+
+Method ParseOne(const std::string& source) {
+  auto unit = Parse(source);
+  EXPECT_TRUE(unit.ok()) << unit.status().ToString();
+  EXPECT_EQ(unit->methods.size(), 1u);
+  return std::move(unit->methods[0]);
+}
+
+TEST(FingerprintTest, ParserStampsFingerprintAndNormSource) {
+  Method m = ParseOne("int f(int a) { return a + 1; }");
+  EXPECT_NE(m.fingerprint, 0u);
+  EXPECT_FALSE(m.norm_source.empty());
+}
+
+TEST(FingerprintTest, WhitespaceAndCommentsDoNotChangeFingerprint) {
+  Method a = ParseOne("int f(int a) { return a + 1; }");
+  Method b = ParseOne(
+      "int f(int a) {\n"
+      "  // a cosmetic comment\n"
+      "  return a + 1;\n"
+      "}\n");
+  EXPECT_EQ(a.fingerprint, b.fingerprint);
+  EXPECT_EQ(a.norm_source, b.norm_source);
+}
+
+TEST(FingerprintTest, ModifiersDoNotChangeFingerprint) {
+  // The parser discards modifiers, so `static int f` and `int f` yield the
+  // same method semantics — and, by design, the same cache entry.
+  Method plain = ParseOne("int f() { return 1; }");
+  Method modified = ParseOne("public static int f() { return 1; }");
+  EXPECT_EQ(plain.fingerprint, modified.fingerprint);
+  EXPECT_EQ(plain.norm_source, modified.norm_source);
+}
+
+TEST(FingerprintTest, BodyEditChangesFingerprint) {
+  Method a = ParseOne("int f(int a) { return a + 1; }");
+  Method b = ParseOne("int f(int a) { return a + 2; }");
+  Method c = ParseOne("int f(int b) { return b + 1; }");  // renamed param
+  EXPECT_NE(a.fingerprint, b.fingerprint);
+  EXPECT_NE(a.fingerprint, c.fingerprint);
+}
+
+TEST(FingerprintTest, NormSourceReparsesToSameFingerprint) {
+  // The cache rebuilds a method's AST from norm_source; if re-lexing it
+  // shifted the fingerprint, an entry would never match its own key.
+  const char* sources[] = {
+      "int f(int a) { return a + 1; }",
+      "int f(int n) { int s = 0; for (int i = 0; i < n; i = i + 1) "
+      "{ s = s + i; } return s; }",
+      "boolean g(String s) { return s.equals(\"a \\\"quoted\\\" word\"); }",
+  };
+  for (const char* source : sources) {
+    Method original = ParseOne(source);
+    Method reparsed = ParseOne(original.norm_source);
+    EXPECT_EQ(original.fingerprint, reparsed.fingerprint) << source;
+    EXPECT_EQ(original.norm_source, reparsed.norm_source) << source;
+  }
+}
+
+TEST(FingerprintTest, CharLiteralsSurviveNormalization) {
+  // Char-literal tokens carry the bare decoded character as text; the
+  // normalizer must re-quote and re-escape them or norm_source would not
+  // re-lex (a bare '\n' would split the line).
+  const char* sources[] = {
+      "char f() { return 'a'; }",
+      "char f() { return '\\n'; }",
+      "char f() { return '\\t'; }",
+      "char f() { return '\\\\'; }",
+      "char f() { return '\\''; }",
+      "boolean g(char c) { return c == ' '; }",
+  };
+  for (const char* source : sources) {
+    Method original = ParseOne(source);
+    Method reparsed = ParseOne(original.norm_source);
+    EXPECT_EQ(original.fingerprint, reparsed.fingerprint) << source;
+    EXPECT_EQ(original.norm_source, reparsed.norm_source) << source;
+  }
+}
+
+TEST(FingerprintTest, ClonePreservesFingerprint) {
+  Method m = ParseOne("int f(int a) { return a * 3; }");
+  Method copy = m.Clone();
+  EXPECT_EQ(copy.fingerprint, m.fingerprint);
+  EXPECT_EQ(copy.norm_source, m.norm_source);
+}
+
+TEST(FingerprintTest, TokenStreamFingerprintIsWhitespaceInvariant) {
+  auto a = Lex("int f ( ) { return 1 ; }");
+  auto b = Lex("int f(){return 1;}  // trailing comment");
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(FingerprintTokenStream(*a), FingerprintTokenStream(*b));
+}
+
+TEST(FingerprintTest, RawBytesFallbackIsDomainSeparated) {
+  // A source that happens to equal some token spelling must not collide
+  // with the lexed domain.
+  auto tokens = Lex("int");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_NE(FingerprintRawBytes("int"), FingerprintTokenStream(*tokens));
+  EXPECT_NE(FingerprintRawBytes("a"), FingerprintRawBytes("b"));
+}
+
+TEST(FingerprintTest, SubsliceFingerprintMatchesMethodBoundary) {
+  // Two methods in one unit: each method's recorded fingerprint must equal
+  // the fingerprint of the same method parsed alone (the property that
+  // makes per-method caching coherent across multi-method submissions).
+  auto unit = Parse(
+      "int f(int a) { return a + 1; }\n"
+      "int g(int b) { return b * 2; }\n");
+  ASSERT_TRUE(unit.ok());
+  ASSERT_EQ(unit->methods.size(), 2u);
+  Method f_alone = ParseOne("int f(int a) { return a + 1; }");
+  Method g_alone = ParseOne("int g(int b) { return b * 2; }");
+  EXPECT_EQ(unit->methods[0].fingerprint, f_alone.fingerprint);
+  EXPECT_EQ(unit->methods[1].fingerprint, g_alone.fingerprint);
+  EXPECT_EQ(unit->methods[0].norm_source, f_alone.norm_source);
+  EXPECT_EQ(unit->methods[1].norm_source, g_alone.norm_source);
+}
+
+}  // namespace
+}  // namespace jfeed::java

@@ -37,6 +37,8 @@ WideEvent FullEvent() {
   e.functional_tests_run = 5;
   e.functional_tests_failed = 2;
   e.arena_bytes_peak = 49152;
+  e.methods_reused = 2;
+  e.methods_regraded = 1;
   e.parse_ms = 0.125;
   e.epdg_ms = 1.5;
   e.match_ms = 2.25;
@@ -72,6 +74,8 @@ TEST(WideEventJsonTest, EveryFieldRoundTripsThroughNdjson) {
   EXPECT_EQ(parsed.functional_tests_failed,
             original.functional_tests_failed);
   EXPECT_EQ(parsed.arena_bytes_peak, original.arena_bytes_peak);
+  EXPECT_EQ(parsed.methods_reused, original.methods_reused);
+  EXPECT_EQ(parsed.methods_regraded, original.methods_regraded);
   EXPECT_DOUBLE_EQ(parsed.parse_ms, original.parse_ms);
   EXPECT_DOUBLE_EQ(parsed.epdg_ms, original.epdg_ms);
   EXPECT_DOUBLE_EQ(parsed.match_ms, original.match_ms);
@@ -89,7 +93,8 @@ TEST(WideEventJsonTest, ContractFieldNamesArePresent) {
         "\"match_regex_checks\":", "\"interp_steps\":",
         "\"interp_heap_bytes\":", "\"interp_output_bytes\":",
         "\"functional_tests_run\":", "\"functional_tests_failed\":",
-        "\"arena_bytes_peak\":", "\"parse_ms\":", "\"epdg_ms\":",
+        "\"arena_bytes_peak\":", "\"methods_reused\":",
+        "\"methods_regraded\":", "\"parse_ms\":", "\"epdg_ms\":",
         "\"match_ms\":", "\"functional_ms\":"}) {
     EXPECT_NE(line.find(field), std::string::npos) << field;
   }

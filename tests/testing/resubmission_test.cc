@@ -1,0 +1,174 @@
+#include "testing/resubmission.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "javalang/fingerprint.h"
+#include "javalang/lexer.h"
+#include "javalang/parser.h"
+#include "synth/generator.h"
+
+namespace jfeed::testing {
+namespace {
+
+synth::SubmissionTemplate TwoSiteTemplate() {
+  return synth::SubmissionTemplate(
+      "int target(int n) {\n"
+      "  int s = ${init};\n"
+      "  return s ${op} n;\n"
+      "}\n",
+      {{"init", {"0", "1", "2"}}, {"op", {"+", "-", "*"}}});
+}
+
+TEST(ResubmissionTest, SameSeedSameChain) {
+  auto generator = TwoSiteTemplate();
+  ResubmissionChainOptions options;
+  options.seed = 42;
+  options.steps = 12;
+  auto a = BuildResubmissionChain("a1", generator, options);
+  auto b = BuildResubmissionChain("a1", generator, options);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].kind, b[i].kind) << i;
+    EXPECT_EQ(a[i].id, b[i].id) << i;
+    EXPECT_EQ(a[i].source, b[i].source) << i;
+  }
+}
+
+TEST(ResubmissionTest, ChainShapeAndIds) {
+  auto generator = TwoSiteTemplate();
+  ResubmissionChainOptions options;
+  options.steps = 5;
+  auto chain = BuildResubmissionChain("a1", generator, options);
+  ASSERT_EQ(chain.size(), 6u);
+  EXPECT_EQ(chain[0].kind, ResubmitKind::kInitial);
+  EXPECT_EQ(chain[0].id, "a1-r1");
+  EXPECT_EQ(chain[5].id, "a1-r6");
+}
+
+TEST(ResubmissionTest, EverySubmissionParsesWithThreeMethods) {
+  auto generator = TwoSiteTemplate();
+  ResubmissionChainOptions options;
+  options.seed = 7;
+  options.steps = 10;
+  for (const auto& step : BuildResubmissionChain("a1", generator, options)) {
+    auto unit = java::Parse(step.source);
+    ASSERT_TRUE(unit.ok())
+        << step.id << ": " << unit.status().ToString() << "\n" << step.source;
+    // Template method + the two appended helpers.
+    ASSERT_EQ(unit->methods.size(), 3u) << step.id;
+    EXPECT_EQ(unit->methods[0].name, "target") << step.id;
+    EXPECT_EQ(unit->methods[1].name, "chainHelperSum") << step.id;
+    EXPECT_EQ(unit->methods[2].name, "chainHelperScale") << step.id;
+  }
+}
+
+TEST(ResubmissionTest, FixOneSiteChainConvergesAndReusesHelpers) {
+  auto generator = TwoSiteTemplate();
+  ResubmissionChainOptions options;
+  options.seed = 3;
+  options.steps = 8;
+  // Pure fix-one-site chain — the bench's shape.
+  options.duplicate_prob = 0.0;
+  options.comment_prob = 0.0;
+  options.rename_prob = 0.0;
+  auto chain = BuildResubmissionChain("a1", generator, options);
+
+  std::vector<std::vector<uint64_t>> fingerprints;
+  for (const auto& step : chain) {
+    auto unit = java::Parse(step.source);
+    ASSERT_TRUE(unit.ok()) << step.id;
+    std::vector<uint64_t> fps;
+    for (const auto& m : unit->methods) fps.push_back(m.fingerprint);
+    fingerprints.push_back(std::move(fps));
+  }
+  size_t fixes = 0;
+  for (size_t i = 1; i < chain.size(); ++i) {
+    // Helpers are byte-identical across a fix-one-site edit: at least two
+    // of three methods reuse — the >= 60% floor the bench gates on.
+    EXPECT_EQ(fingerprints[i][1], fingerprints[0][1]) << chain[i].id;
+    EXPECT_EQ(fingerprints[i][2], fingerprints[0][2]) << chain[i].id;
+    if (chain[i].kind == ResubmitKind::kFixOneSite) {
+      ++fixes;
+      EXPECT_NE(fingerprints[i][0], fingerprints[i - 1][0]) << chain[i].id;
+    } else {
+      // Once every site is repaired, further draws degrade to duplicates.
+      EXPECT_EQ(chain[i].kind, ResubmitKind::kDuplicate) << chain[i].id;
+      EXPECT_EQ(chain[i].source, chain[i - 1].source) << chain[i].id;
+    }
+  }
+  // The two-site template needs at most two repairs; the chain must have
+  // actually exercised the fix edit.
+  EXPECT_GE(fixes, 1u);
+  EXPECT_LE(fixes, 2u);
+  // And the last attempt is the reference solution with helpers appended.
+  EXPECT_EQ(chain.back().source.find(generator.Generate(0)), 0u);
+}
+
+TEST(ResubmissionTest, CommentOnlyEditKeepsTokenFingerprints) {
+  auto generator = TwoSiteTemplate();
+  ResubmissionChainOptions options;
+  options.seed = 11;
+  options.steps = 20;
+  options.duplicate_prob = 0.0;
+  options.comment_prob = 1.0;  // Every edit appends a comment.
+  options.rename_prob = 0.0;
+  auto chain = BuildResubmissionChain("a1", generator, options);
+  auto first = java::Lex(chain.front().source);
+  ASSERT_TRUE(first.ok());
+  for (const auto& step : chain) {
+    EXPECT_EQ(step.kind == ResubmitKind::kInitial
+                  ? ResubmitKind::kInitial
+                  : ResubmitKind::kCommentOnly,
+              step.kind);
+    auto tokens = java::Lex(step.source);
+    ASSERT_TRUE(tokens.ok()) << step.id;
+    EXPECT_EQ(java::FingerprintTokenStream(*tokens),
+              java::FingerprintTokenStream(*first))
+        << step.id;
+  }
+}
+
+TEST(ResubmissionTest, RenameLocalTouchesOnlyTheSecondHelper) {
+  auto generator = TwoSiteTemplate();
+  ResubmissionChainOptions options;
+  options.seed = 5;
+  options.steps = 3;
+  options.duplicate_prob = 0.0;
+  options.comment_prob = 0.0;
+  options.rename_prob = 1.0;  // Every edit toggles the rename.
+  auto chain = BuildResubmissionChain("a1", generator, options);
+  std::vector<std::vector<uint64_t>> fingerprints;
+  for (const auto& step : chain) {
+    auto unit = java::Parse(step.source);
+    ASSERT_TRUE(unit.ok()) << step.id;
+    std::vector<uint64_t> fps;
+    for (const auto& m : unit->methods) fps.push_back(m.fingerprint);
+    fingerprints.push_back(std::move(fps));
+  }
+  for (size_t i = 1; i < chain.size(); ++i) {
+    EXPECT_EQ(chain[i].kind, ResubmitKind::kRenameLocal);
+    EXPECT_EQ(fingerprints[i][0], fingerprints[0][0]);  // template method
+    EXPECT_EQ(fingerprints[i][1], fingerprints[0][1]);  // first helper
+    EXPECT_NE(fingerprints[i][2], fingerprints[i - 1][2]);
+  }
+  // The rename toggles between two variants: attempt 3 matches attempt 1.
+  EXPECT_EQ(fingerprints[2][2], fingerprints[0][2]);
+}
+
+TEST(ResubmissionTest, FixOneErrorStepsTowardReference) {
+  auto generator = TwoSiteTemplate();
+  XorShiftRng rng(1);
+  uint64_t index = generator.SpaceSize() - 1;  // Every site wrong.
+  uint64_t once = FixOneError(generator, index, &rng);
+  EXPECT_NE(once, index);
+  uint64_t twice = FixOneError(generator, once, &rng);
+  EXPECT_EQ(twice, 0u);  // Two sites, two repairs.
+  EXPECT_EQ(FixOneError(generator, 0, &rng), 0u);
+}
+
+}  // namespace
+}  // namespace jfeed::testing

@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """CI regression gate for the deterministic benchmark reports.
 
-Three report schemas are understood, dispatched on the baseline's "schema"
+Four report schemas are understood, dispatched on the baseline's "schema"
 field:
 
   jfeed-bench-matching-v1   (bench_matching) — the indexed match engine's
@@ -19,6 +19,15 @@ field:
       p99 latency is trend-gated: it may exceed the baseline by at most
       --p99-threshold (generous by default — shared CI runners jitter).
       Per-assignment breakdowns are printed for trend only.
+  jfeed-bench-resubmission-v1 (bench_resubmission) — incremental grading
+      over seeded resubmission chains. The current run must report
+      cache-on/cache-off feedback equivalence; the method counters
+      (methods_total/reused/regraded, partial_hits) are deterministic for
+      a fixed config and must match the baseline exactly; the partial-hit
+      rate must clear an absolute floor (--partial-hit-floor); and the
+      wall-time speedup and allocation ratio may regress by at most
+      --threshold versus the baseline. Per-assignment lines are printed
+      for trend only.
 
 A malformed or schema-drifted input fails with a one-line diagnostic naming
 the file and the missing or wrongly-typed key (exit 1), never a traceback
@@ -29,7 +38,11 @@ exists but the candidate JSON does not carry the baseline's benchmark block
 (wrong or missing schema), the gate fails with one line naming both files
 and both schemas. `--update-baseline` copies the current report over the
 baseline file instead of comparing — the documented workflow after an
-intended pattern/KB change.
+intended pattern/KB change. A baseline that does not exist yet (a schema
+whose block was never checked in, e.g. a brand-new bench) is created,
+parent directories included, rather than failing; overwriting an existing
+baseline of a *different* schema is refused, since that is nearly always a
+wrong-file mistake.
 
 Usage: compare_bench.py BASELINE CURRENT [--threshold 0.10]
        compare_bench.py BASELINE CURRENT --update-baseline
@@ -37,11 +50,12 @@ Usage: compare_bench.py BASELINE CURRENT [--threshold 0.10]
 
 import argparse
 import json
+import os
 import shutil
 import sys
 
 KNOWN_SCHEMAS = ("jfeed-bench-matching-v1", "jfeed-bench-table1-v1",
-                 "jfeed-bench-loadgen-v1")
+                 "jfeed-bench-loadgen-v1", "jfeed-bench-resubmission-v1")
 
 
 def load(path):
@@ -300,6 +314,108 @@ def compare_loadgen(baseline, current, args):
     return 0
 
 
+# Workload knobs that make two resubmission runs comparable: same seeded
+# chains, same repetition count.
+RESUBMISSION_CONFIG_FIELDS = ("steps", "reps", "seed", "assignments")
+
+# Chain-derived counters that are deterministic for a fixed config and must
+# therefore match the baseline exactly.
+RESUBMISSION_EXACT_FIELDS = ("submissions", "resubmissions",
+                             "methods_total", "methods_reused",
+                             "methods_regraded", "partial_hits")
+
+
+def compare_resubmission(baseline, current, args):
+    """Incremental-grading gate: feedback equivalence, exact method
+    counters, an absolute partial-hit-rate floor, and trend gates on the
+    wall-time speedup and allocation ratio."""
+    for field in RESUBMISSION_CONFIG_FIELDS:
+        base_value = lookup_number(baseline, args.baseline,
+                                   f"config.{field}")
+        cur_value = lookup_number(current, args.current, f"config.{field}")
+        if base_value != cur_value:
+            sys.exit(f"FAIL: {args.current} was generated with --{field} "
+                     f"{cur_value} but the baseline used {base_value} — "
+                     f"the runs grade different chains and are not "
+                     f"comparable; rerun bench_resubmission to match")
+
+    if not lookup(current, args.current, "totals.equivalent"):
+        sys.exit("FAIL: current run reports feedback inequivalence — the "
+                 "method cache changed grading output")
+
+    failures = []
+
+    for field in RESUBMISSION_EXACT_FIELDS:
+        dotted = f"totals.{field}"
+        base_value = lookup_number(baseline, args.baseline, dotted)
+        cur_value = lookup_number(current, args.current, dotted)
+        status = "ok"
+        if base_value != cur_value:
+            status = f"DRIFT (baseline {base_value})"
+            failures.append(field)
+        print(f"{dotted:40s} baseline {base_value:10g}  "
+              f"current {cur_value:10g}  {status}")
+
+    rate = lookup_number(current, args.current, "totals.partial_hit_rate")
+    status = "ok"
+    if rate < args.partial_hit_floor:
+        status = f"BELOW FLOOR ({args.partial_hit_floor:.2f})"
+        failures.append("partial_hit_rate")
+    print(f"{'totals.partial_hit_rate':40s} floor "
+          f"{args.partial_hit_floor:11.2f}  current {rate:10.3f}  {status}")
+
+    base_speedup = lookup_number(baseline, args.baseline, "totals.speedup")
+    cur_speedup = lookup_number(current, args.current, "totals.speedup")
+    limit = base_speedup * (1.0 - args.threshold)
+    status = "ok"
+    if cur_speedup < limit:
+        status = f"REGRESSION (limit {limit:.2f}x)"
+        failures.append("speedup")
+    print(f"{'totals.speedup':40s} baseline {base_speedup:9.2f}x  "
+          f"current {cur_speedup:9.2f}x  {status}")
+
+    base_alloc = lookup_number(baseline, args.baseline,
+                               "totals.alloc_ratio")
+    cur_alloc = lookup_number(current, args.current, "totals.alloc_ratio")
+    limit = base_alloc * (1.0 + args.threshold)
+    status = "ok"
+    if cur_alloc > limit:
+        status = f"REGRESSION (limit {limit:.3f})"
+        failures.append("alloc_ratio")
+    print(f"{'totals.alloc_ratio':40s} baseline {base_alloc:10.3f}  "
+          f"current {cur_alloc:10.3f}  {status}")
+
+    # Per-assignment lines: attribution only. Per-chain wall times on a
+    # shared runner are too noisy to block a merge on.
+    base_by_id = assignments_by_id(baseline, args.baseline)
+    for aid, a in assignments_by_id(current, args.current).items():
+        cur_a_rate = lookup_number(a, args.current, "partial_hit_rate")
+        cur_a_speedup = lookup_number(a, args.current, "speedup")
+        b = base_by_id.get(aid)
+        if b is None:
+            print(f"assignment {aid:29s} new assignment, no baseline — "
+                  f"trend only")
+            continue
+        base_a_rate = lookup_number(b, args.baseline, "partial_hit_rate")
+        base_a_speedup = lookup_number(b, args.baseline, "speedup")
+        print(f"assignment {aid:29s} reuse {base_a_rate:.3f} -> "
+              f"{cur_a_rate:.3f}  speedup {base_a_speedup:.2f}x -> "
+              f"{cur_a_speedup:.2f}x  (trend only)")
+
+    if failures:
+        print(f"\nFAIL: resubmission regression in: {', '.join(failures)} "
+              f"(ratio threshold {args.threshold:.0%}, partial-hit floor "
+              f"{args.partial_hit_floor:.2f})")
+        print("If the change is intended (cache/chain-generator change), "
+              "regenerate bench/baselines/BENCH_resubmission.json with "
+              "--update-baseline and commit it.")
+        return 1
+    print(f"\nOK: feedback equivalent, method counters match exactly, "
+          f"partial-hit rate ≥ {args.partial_hit_floor:.2f}, speedup and "
+          f"alloc ratio within {args.threshold:.0%} of baseline")
+    return 0
+
+
 def validate_for_update(current, path):
     """Schema-specific sanity before a report may become the baseline."""
     if current["schema"] == "jfeed-bench-matching-v1":
@@ -323,6 +439,20 @@ def validate_for_update(current, path):
         for a in assignments_by_id(current, path).values():
             lookup_number(a, path, "shed_rate")
             lookup_number(a, path, "latency_us.p99")
+    elif current["schema"] == "jfeed-bench-resubmission-v1":
+        if not lookup(current, path, "totals.equivalent"):
+            sys.exit("FAIL: refusing to update baseline from a run that "
+                     "reports feedback inequivalence")
+        for field in RESUBMISSION_CONFIG_FIELDS:
+            lookup_number(current, path, f"config.{field}")
+        for field in RESUBMISSION_EXACT_FIELDS:
+            lookup_number(current, path, f"totals.{field}")
+        for dotted in ("totals.partial_hit_rate", "totals.speedup",
+                       "totals.alloc_ratio"):
+            lookup_number(current, path, dotted)
+        for a in assignments_by_id(current, path).values():
+            lookup_number(a, path, "partial_hit_rate")
+            lookup_number(a, path, "speedup")
     else:
         lookup_number(current, path, "samples")
         for a in assignments_by_id(current, path).values():
@@ -345,10 +475,15 @@ def main():
                         help="allowed absolute shed-rate increase over "
                              "baseline for the loadgen schema "
                              "(default 0.10)")
+    parser.add_argument("--partial-hit-floor", type=float, default=0.60,
+                        help="minimum acceptable totals.partial_hit_rate "
+                             "for the resubmission schema (default 0.60, "
+                             "the incremental-grading acceptance floor)")
     parser.add_argument("--update-baseline", action="store_true",
                         help="copy CURRENT over BASELINE instead of "
                              "comparing (after an intended pattern/KB "
-                             "change)")
+                             "change); creates the baseline if its schema "
+                             "has no checked-in block yet")
     args = parser.parse_args()
 
     current = load(args.current)
@@ -357,8 +492,37 @@ def main():
         # Validate before overwriting: an inequivalent or truncated run must
         # never become the new baseline.
         validate_for_update(current, args.current)
-        shutil.copyfile(args.current, args.baseline)
-        print(f"updated {args.baseline} from {args.current}")
+        # A baseline of a *different* schema is nearly always the wrong
+        # target file — refuse rather than silently replace the block. A
+        # missing baseline (new schema, no block checked in yet) is the
+        # normal bootstrap path: create it, parent directories included.
+        created = False
+        try:
+            with open(args.baseline) as f:
+                existing = json.load(f)
+            if (isinstance(existing, dict)
+                    and existing.get("schema") != current["schema"]):
+                sys.exit(f"FAIL: {args.baseline} carries schema "
+                         f"{existing.get('schema')!r}, not "
+                         f"{current['schema']!r} — refusing to replace a "
+                         f"different benchmark's baseline (wrong file?)")
+        except FileNotFoundError:
+            created = True
+        except json.JSONDecodeError:
+            # A corrupt baseline is exactly what --update-baseline repairs.
+            pass
+        try:
+            directory = os.path.dirname(args.baseline)
+            if directory:
+                os.makedirs(directory, exist_ok=True)
+            shutil.copyfile(args.current, args.baseline)
+        except OSError as err:
+            sys.exit(f"FAIL: cannot write {args.baseline}: {err.strerror}")
+        if created:
+            print(f"created {args.baseline} from {args.current} "
+                  f"(new {current['schema']} baseline)")
+        else:
+            print(f"updated {args.baseline} from {args.current}")
         return 0
 
     baseline = load(args.baseline)
@@ -375,6 +539,8 @@ def main():
         return compare_matching(baseline, current, args)
     if baseline["schema"] == "jfeed-bench-loadgen-v1":
         return compare_loadgen(baseline, current, args)
+    if baseline["schema"] == "jfeed-bench-resubmission-v1":
+        return compare_resubmission(baseline, current, args)
     return compare_table1(baseline, current, args)
 
 

@@ -78,6 +78,36 @@ def loadgen_report(sent=600, shed=30, errors=0, p99=12000,
     }
 
 
+def resubmission_assignment(aid="assignment1", rate=0.875, speedup=2.2):
+    return {"id": aid, "partial_hit_rate": rate, "speedup": speedup,
+            "cold_wall_ms": 4.0, "warm_wall_ms": 4.0 / speedup}
+
+
+def resubmission_report(methods_reused=252, methods_total=288, speedup=2.2,
+                        alloc_ratio=0.78, equivalent=True, assignments=None):
+    if assignments is None:
+        assignments = [resubmission_assignment(
+            rate=methods_reused / methods_total, speedup=speedup)]
+    return {
+        "schema": "jfeed-bench-resubmission-v1",
+        "config": {"steps": 8, "reps": 5, "seed": 1,
+                   "assignments": len(assignments)},
+        "totals": {
+            "submissions": 108, "resubmissions": 96,
+            "methods_total": methods_total,
+            "methods_reused": methods_reused,
+            "methods_regraded": methods_total - methods_reused,
+            "partial_hits": 96,
+            "partial_hit_rate": methods_reused / methods_total,
+            "cold_wall_ms": 100.0, "warm_wall_ms": 100.0 / speedup,
+            "speedup": speedup, "cold_allocs": 10000,
+            "warm_allocs": int(10000 * alloc_ratio),
+            "alloc_ratio": alloc_ratio, "equivalent": equivalent,
+        },
+        "assignments": assignments,
+    }
+
+
 class CompareBenchTest(unittest.TestCase):
     def setUp(self):
         self.dir = tempfile.TemporaryDirectory()
@@ -453,6 +483,133 @@ class CompareBenchTest(unittest.TestCase):
         self.assertEqual(result.returncode, 0, result.stdout + result.stderr)
         result = self.run_compare(base, cur)
         self.assertEqual(result.returncode, 0)
+
+    def test_resubmission_identical_reports_pass(self):
+        base = self.write("base.json", resubmission_report())
+        cur = self.write("cur.json", resubmission_report())
+        result = self.run_compare(base, cur)
+        self.assertEqual(result.returncode, 0, result.stdout + result.stderr)
+        self.assertIn("method counters match exactly", result.stdout)
+
+    def test_resubmission_counter_drift_fails(self):
+        base = self.write("base.json", resubmission_report())
+        cur = self.write("cur.json",
+                         resubmission_report(methods_reused=200))
+        result = self.run_compare(base, cur)
+        self.assertEqual(result.returncode, 1)
+        self.assertIn("DRIFT", result.stdout)
+        self.assertIn("methods_reused", result.stdout)
+
+    def test_resubmission_partial_hit_rate_below_floor_fails(self):
+        # Both runs agree (no drift) but reuse collapsed below the 60%
+        # acceptance floor — the absolute gate catches what a
+        # baseline-relative one would wave through.
+        base = self.write("base.json",
+                          resubmission_report(methods_reused=144))  # 50%
+        cur = self.write("cur.json",
+                         resubmission_report(methods_reused=144))
+        result = self.run_compare(base, cur)
+        self.assertEqual(result.returncode, 1)
+        self.assertIn("BELOW FLOOR", result.stdout)
+
+    def test_resubmission_speedup_regression_beyond_threshold_fails(self):
+        base = self.write("base.json", resubmission_report(speedup=2.2))
+        cur = self.write("cur.json", resubmission_report(speedup=1.5))
+        result = self.run_compare(base, cur)
+        self.assertEqual(result.returncode, 1)
+        self.assertIn("REGRESSION", result.stdout)
+        self.assertIn("speedup", result.stdout)
+
+    def test_resubmission_speedup_within_threshold_passes(self):
+        base = self.write("base.json", resubmission_report(speedup=2.2))
+        cur = self.write("cur.json", resubmission_report(speedup=2.05))
+        result = self.run_compare(base, cur)
+        self.assertEqual(result.returncode, 0, result.stdout + result.stderr)
+
+    def test_resubmission_alloc_ratio_regression_fails(self):
+        base = self.write("base.json", resubmission_report(alloc_ratio=0.78))
+        cur = self.write("cur.json", resubmission_report(alloc_ratio=0.95))
+        result = self.run_compare(base, cur)
+        self.assertEqual(result.returncode, 1)
+        self.assertIn("alloc_ratio", result.stdout)
+
+    def test_resubmission_inequivalent_run_fails(self):
+        base = self.write("base.json", resubmission_report())
+        cur = self.write("cur.json", resubmission_report(equivalent=False))
+        result = self.run_compare(base, cur)
+        self.assertEqual(result.returncode, 1)
+        self.assertIn("inequivalence", result.stdout + result.stderr)
+
+    def test_resubmission_config_mismatch_fails_readably(self):
+        base = self.write("base.json", resubmission_report())
+        drifted = resubmission_report()
+        drifted["config"]["seed"] = 7
+        cur = self.write("cur.json", drifted)
+        result = self.run_compare(base, cur)
+        self.assertEqual(result.returncode, 1)
+        combined = result.stdout + result.stderr
+        self.assertIn("not comparable", combined)
+        self.assertIn("--seed", combined)
+        self.assertNotIn("Traceback", combined)
+
+    def test_resubmission_update_baseline_refuses_inequivalent(self):
+        base = self.write("base.json", resubmission_report())
+        cur = self.write("cur.json", resubmission_report(equivalent=False))
+        result = self.run_compare(base, cur, "--update-baseline")
+        self.assertEqual(result.returncode, 1)
+        with open(base) as f:
+            self.assertTrue(json.load(f)["totals"]["equivalent"])
+
+    def test_update_baseline_creates_missing_baseline_file(self):
+        # Satellite contract: a schema with no checked-in baseline block
+        # yet (brand-new bench) bootstraps via --update-baseline instead of
+        # failing — parent directories included.
+        missing = os.path.join(self.dir.name, "baselines", "BENCH_new.json")
+        cur = self.write("cur.json", resubmission_report())
+        result = self.run_compare(missing, cur, "--update-baseline")
+        self.assertEqual(result.returncode, 0, result.stdout + result.stderr)
+        self.assertIn("created", result.stdout)
+        self.assertNotIn("Traceback", result.stdout + result.stderr)
+        with open(missing) as f:
+            self.assertEqual(json.load(f)["schema"],
+                             "jfeed-bench-resubmission-v1")
+        # And the created baseline immediately gates the same run cleanly.
+        result = self.run_compare(missing, cur)
+        self.assertEqual(result.returncode, 0, result.stdout + result.stderr)
+
+    def test_update_baseline_refuses_cross_schema_overwrite(self):
+        # Pointing --update-baseline at a different benchmark's baseline
+        # is nearly always a wrong-file mistake; the block must survive.
+        base = self.write("base.json", table1_report())
+        cur = self.write("cur.json", resubmission_report())
+        result = self.run_compare(base, cur, "--update-baseline")
+        self.assertEqual(result.returncode, 1)
+        combined = result.stdout + result.stderr
+        self.assertIn("refusing to replace", combined)
+        self.assertNotIn("Traceback", combined)
+        with open(base) as f:
+            self.assertEqual(json.load(f)["schema"],
+                             "jfeed-bench-table1-v1")
+
+    def test_update_baseline_repairs_corrupt_baseline(self):
+        base = self.write("base.json", "{truncated")
+        cur = self.write("cur.json", resubmission_report())
+        result = self.run_compare(base, cur, "--update-baseline")
+        self.assertEqual(result.returncode, 0, result.stdout + result.stderr)
+        with open(base) as f:
+            self.assertEqual(json.load(f)["schema"],
+                             "jfeed-bench-resubmission-v1")
+
+    def test_resubmission_string_counter_fails_readably(self):
+        drifted = resubmission_report()
+        drifted["totals"]["methods_reused"] = "252"
+        base = self.write("base.json", resubmission_report())
+        cur = self.write("cur.json", drifted)
+        result = self.run_compare(base, cur)
+        self.assertEqual(result.returncode, 1)
+        combined = result.stdout + result.stderr
+        self.assertIn("'totals.methods_reused' should be a number", combined)
+        self.assertNotIn("Traceback", combined)
 
     def test_new_assignment_without_baseline_is_skipped(self):
         base = self.write("base.json", report())

@@ -28,6 +28,9 @@
 //   --jobs <n>             worker threads (default 4)
 //   --queue <n>            bounded job-queue capacity (default 256)
 //   --no-cache             disable the content-addressed result cache
+//   --method-cache         enable method-level incremental grading: a
+//                          resubmission reuses the unedited methods'
+//                          graphs and match cells (cache="partial_hit")
 //
 // Exit codes:
 //   0  the submission was fully graded (feedback produced at the full EPDG
@@ -80,7 +83,7 @@ int Usage(const char* argv0) {
                "[--max-heap-bytes N] [--json] "
                "[--match-engine=indexed|legacy]\n"
                "       %s <assignment-id> --batch [file.ndjson] [--jobs N] "
-               "[--queue N] [--no-cache]\n"
+               "[--queue N] [--no-cache] [--method-cache]\n"
                "       %s <assignment-id> --reference\n"
                "       %s <assignment-id> --dot [file.java]\n"
                "       %s --list\n",
@@ -232,6 +235,8 @@ int main(int argc, char** argv) {
       batch = true;
     } else if (std::strcmp(arg, "--no-cache") == 0) {
       scheduler_options.use_result_cache = false;
+    } else if (std::strcmp(arg, "--method-cache") == 0) {
+      scheduler_options.use_method_cache = true;
     } else if (std::strncmp(arg, "--trace-out=", 12) == 0) {
       trace_out = arg + 12;
     } else if (std::strncmp(arg, "--metrics-out=", 14) == 0) {

@@ -29,6 +29,8 @@
 //                          mode (default 64); beyond it that assignment's
 //                          submissions are shed with 429
 //   --no-cache             disable the content-addressed result cache
+//   --method-cache         enable method-level incremental grading
+//                          (resubmissions reuse unedited methods)
 //   --events <n>           flight-recorder ring capacity (default 1024)
 //   --timeout-ms <n>       per-functional-test wall deadline (ms)
 //   --max-heap-bytes <n>   interpreter heap budget per test (bytes)
@@ -74,7 +76,8 @@ int ListAssignments() {
 int Usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s <assignment-id>[,<id>...] [--port N] [--jobs N] "
-               "[--queue N] [--shard-queue N] [--no-cache] [--events N] "
+               "[--queue N] [--shard-queue N] [--no-cache] [--method-cache] "
+               "[--events N] "
                "[--timeout-ms N] [--max-heap-bytes N] [--worker-id N]\n"
                "       %s --all [flags]   serve every assignment\n"
                "       %s --list\n",
@@ -130,6 +133,10 @@ int main(int argc, char** argv) {
     const char* arg = argv[i];
     if (std::strcmp(arg, "--no-cache") == 0) {
       options.use_result_cache = false;
+      continue;
+    }
+    if (std::strcmp(arg, "--method-cache") == 0) {
+      options.use_method_cache = true;
       continue;
     }
     if (i + 1 >= argc) {
