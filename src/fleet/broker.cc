@@ -6,6 +6,8 @@
 #include "fleet/http_client.h"
 #include "fleet/scrape.h"
 #include "obs/metrics.h"
+#include "obs/slo.h"
+#include "obs/trace.h"
 
 namespace jfeed::fleet {
 
@@ -47,6 +49,11 @@ Status Broker::Start() {
   // The registry is runtime-gated; without this every jfeed_fleet_*
   // increment is a no-op (the daemon does the same in its Start()).
   obs::Registry::Global().set_enabled(true);
+  // Routing spans (broker.grade -> fleet.route -> fleet.attempt) are the
+  // broker's half of the stitched /tracez timeline.
+  if (options_.trace_ring_capacity > 0) {
+    obs::Tracer::Global().Enable(options_.trace_ring_capacity);
+  }
 
   SupervisorOptions supervisor_options = options_.supervisor;
   supervisor_options.workers = options_.workers;
@@ -73,6 +80,12 @@ Status Broker::Start() {
   });
   server_->Handle("/statusz", [this](const obs::HttpRequest& r) {
     return HandleStatusz(r);
+  });
+  server_->Handle("/tracez", [this](const obs::HttpRequest& r) {
+    return HandleTracez(r);
+  });
+  server_->Handle("/sloz", [this](const obs::HttpRequest& r) {
+    return HandleSloz(r);
   });
   Status started = server_->Start();
   if (!started.ok()) {
@@ -116,7 +129,14 @@ obs::HttpResponse Broker::HandleGrade(const obs::HttpRequest& request) {
   if (request.body.empty()) {
     return JsonResponse(400, "{\"error\":\"empty body\"}");
   }
-  return router_.RouteGrade(request.body);
+  // The outermost trace entry point: adopt the client's traceparent or
+  // mint the root here. Everything below — routing attempts, retries, the
+  // worker's pipeline and wide event — joins this trace.
+  obs::TraceContext ctx =
+      obs::ContextFromHeader(obs::RequestHeader(request, "traceparent"));
+  obs::Span request_span("broker.grade", ctx);
+  return router_.RouteGrade(
+      request.body, request_span.recording() ? request_span.context() : ctx);
 }
 
 obs::HttpResponse Broker::HandleMetrics(const obs::HttpRequest&) {
@@ -209,6 +229,36 @@ obs::HttpResponse Broker::HandleStatusz(const obs::HttpRequest&) {
   }
   body += "]}";
   return JsonResponse(200, std::move(body));
+}
+
+obs::HttpResponse Broker::HandleTracez(const obs::HttpRequest&) {
+  // The federated fleet trace: broker routing spans as pid 0 spliced with
+  // every reachable worker's export as pid <worker id + 1> — stable pids,
+  // so the same worker lands on the same Perfetto track across scrapes.
+  std::vector<std::string> exports;
+  exports.push_back(obs::Tracer::Global().ExportChromeJson(0, "jfeed-broker"));
+  for (const Router::WorkerSnapshot& worker : router_.Snapshot()) {
+    if (worker.port == 0 || worker.health == WorkerHealth::kDown) continue;
+    Result<HttpReply> reply =
+        Fetch(worker.port, "GET",
+              "/tracez?format=chrome&pid=" + std::to_string(worker.id + 1), "",
+              options_.scrape_deadline_ms);
+    if (!reply.ok() || reply.value().status != 200) continue;
+    exports.push_back(std::move(reply.value().body));
+  }
+  return JsonResponse(200, StitchChromeTraces(exports));
+}
+
+obs::HttpResponse Broker::HandleSloz(const obs::HttpRequest&) {
+  std::vector<std::pair<int, std::string>> worker_bodies;
+  for (const Router::WorkerSnapshot& worker : router_.Snapshot()) {
+    if (worker.port == 0 || worker.health == WorkerHealth::kDown) continue;
+    Result<HttpReply> reply = Fetch(worker.port, "GET", "/sloz", "",
+                                    options_.scrape_deadline_ms);
+    if (!reply.ok() || reply.value().status != 200) continue;
+    worker_bodies.emplace_back(worker.id, std::move(reply.value().body));
+  }
+  return JsonResponse(200, obs::AggregateSloz(worker_bodies));
 }
 
 }  // namespace jfeed::fleet

@@ -17,6 +17,16 @@
 //   GET /statusz   fleet topology — per worker: pid, port, probed health,
 //                  breaker state, restart count, and the worker's own
 //                  /statusz embedded verbatim.
+//   GET /tracez    the stitched fleet trace: the broker's own routing spans
+//                  (pid 0) spliced with every reachable worker's
+//                  /tracez?format=chrome export (pid = worker id + 1) into
+//                  one Chrome/Perfetto trace_event document.
+//   GET /sloz      fleet SLO view: every worker's /sloz aggregated per
+//                  assignment (obs::AggregateSloz).
+//
+// Every routing attempt forwards the request's W3C traceparent (adopted
+// from the client or minted here) to the worker, so one trace id follows a
+// submission through broker retry onto the worker that finally grades it.
 //
 // Lifecycle mirrors jfeedd: Start() spawns the fleet and serves;
 // BeginDrain() flips /healthz to 503, stops admitting grades, and forwards
@@ -53,9 +63,12 @@ struct BrokerOptions {
   SupervisorOptions supervisor;
   /// Broker-side HTTP connection workers.
   int http_workers = 4;
-  /// Deadline for scraping one worker's /metrics or /statusz during
-  /// aggregation.
+  /// Deadline for scraping one worker's /metrics, /statusz, /tracez or
+  /// /sloz during aggregation.
   int64_t scrape_deadline_ms = 2'000;
+  /// Broker-side tracer ring capacity per thread (0 = tracing off; the
+  /// stitched /tracez then shows worker spans only).
+  size_t trace_ring_capacity = 1u << 12;
 };
 
 class Broker {
@@ -91,6 +104,8 @@ class Broker {
   obs::HttpResponse HandleMetrics(const obs::HttpRequest& request);
   obs::HttpResponse HandleHealthz(const obs::HttpRequest& request);
   obs::HttpResponse HandleStatusz(const obs::HttpRequest& request);
+  obs::HttpResponse HandleTracez(const obs::HttpRequest& request);
+  obs::HttpResponse HandleSloz(const obs::HttpRequest& request);
 
   BrokerOptions options_;
   Router router_;

@@ -55,6 +55,13 @@ Status WaitReady(int fd, short events, int64_t deadline_ms_abs) {
 Result<HttpReply> Fetch(uint16_t port, const std::string& method,
                         const std::string& target, const std::string& body,
                         int64_t deadline_ms) {
+  return Fetch(port, method, target, body, {}, deadline_ms);
+}
+
+Result<HttpReply> Fetch(uint16_t port, const std::string& method,
+                        const std::string& target, const std::string& body,
+                        const HttpHeaders& extra_headers,
+                        int64_t deadline_ms) {
   const int64_t deadline_abs = NowMs() + deadline_ms;
 
   Fd sock;
@@ -87,6 +94,9 @@ Result<HttpReply> Fetch(uint16_t port, const std::string& method,
 
   std::string request = method + " " + target + " HTTP/1.1\r\n";
   request += "Host: 127.0.0.1\r\n";
+  for (const auto& [name, value] : extra_headers) {
+    request += name + ": " + value + "\r\n";
+  }
   if (!body.empty()) {
     request += "Content-Length: " + std::to_string(body.size()) + "\r\n";
   }

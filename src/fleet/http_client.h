@@ -19,10 +19,15 @@
 
 #include <cstdint>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "support/result.h"
 
 namespace jfeed::fleet {
+
+/// Extra request headers, sent verbatim as "Name: value" lines.
+using HttpHeaders = std::vector<std::pair<std::string, std::string>>;
 
 /// One parsed response. `status` is the HTTP code; `body` the full payload;
 /// `headers` the raw header block (every line after the status line, CRLF
@@ -40,6 +45,12 @@ struct HttpReply {
 Result<HttpReply> Fetch(uint16_t port, const std::string& method,
                         const std::string& target, const std::string& body,
                         int64_t deadline_ms);
+
+/// Same exchange with extra request headers — how the broker forwards the
+/// W3C `traceparent` context on every routing attempt.
+Result<HttpReply> Fetch(uint16_t port, const std::string& method,
+                        const std::string& target, const std::string& body,
+                        const HttpHeaders& extra_headers, int64_t deadline_ms);
 
 /// Case-insensitive lookup of one header's value in HttpReply::headers;
 /// "" when absent. Leading/trailing whitespace is trimmed.

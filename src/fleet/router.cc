@@ -5,6 +5,7 @@
 
 #include "fleet/http_client.h"
 #include "obs/metrics.h"
+#include "obs/trace.h"
 #include "support/fault.h"
 
 namespace jfeed::fleet {
@@ -16,10 +17,11 @@ namespace {
 /// simulates the worker dying before it answers, `fleet.slow_response` a
 /// reply that arrives past the deadline (campaign `code` picks the Status).
 Result<HttpReply> AttemptGrade(uint16_t port, const std::string& body,
+                               const HttpHeaders& headers,
                                int64_t deadline_ms) {
   JFEED_FAULT_POINT(fault::points::kFleetWorkerGrade);
   JFEED_FAULT_POINT(fault::points::kFleetSlowResponse);
-  return Fetch(port, "POST", "/grade", body, deadline_ms);
+  return Fetch(port, "POST", "/grade", body, headers, deadline_ms);
 }
 
 /// One health probe against a worker, with its own fault point so chaos
@@ -296,7 +298,11 @@ void Router::PublishWorkerGauges(const Worker& worker) {
       ->Set(BreakerStateValue(worker.breaker->state()));
 }
 
-obs::HttpResponse Router::RouteGrade(const std::string& body) {
+obs::HttpResponse Router::RouteGrade(const std::string& body,
+                                     const obs::TraceContext& ctx) {
+  // The whole routing episode is one span on the request's trace; each
+  // attempt below is a child, so a retry renders as sibling attempts.
+  obs::Span route_span("fleet.route", ctx);
   int64_t started_us = std::chrono::duration_cast<std::chrono::microseconds>(
                            std::chrono::steady_clock::now().time_since_epoch())
                            .count();
@@ -366,8 +372,33 @@ obs::HttpResponse Router::RouteGrade(const std::string& body) {
           std::chrono::milliseconds(backoff.NextDelayMs()));
     }
 
+    // One child span per routing attempt: the worker id, the breaker
+    // admission (PickWorker only dispatches through a closed breaker) and —
+    // on a retry — what drove it. The attempt's own context rides the hop
+    // as a `traceparent` header, so the worker-side pipeline spans and wide
+    // event join this trace.
+    obs::Span attempt_span("fleet.attempt");
+    attempt_span.Annotate("worker=" + std::to_string(id));
+    attempt_span.Annotate("breaker=closed");
+    if (attempt > 0) {
+      attempt_span.Annotate(std::string("retry_cause=") +
+                            StatusCodeName(last_error.code()));
+    }
+    HttpHeaders hop_headers;
+    obs::TraceContext hop_ctx =
+        attempt_span.recording() ? attempt_span.context() : ctx;
+    if (hop_ctx.valid()) {
+      hop_headers.emplace_back("traceparent", obs::FormatTraceparent(hop_ctx));
+    }
+
     Result<HttpReply> reply =
-        AttemptGrade(port, body, policy_.request_deadline_ms);
+        AttemptGrade(port, body, hop_headers, policy_.request_deadline_ms);
+    if (reply.ok()) {
+      attempt_span.Annotate("status=" + std::to_string(reply.value().status));
+    } else {
+      attempt_span.Annotate(std::string("error=") +
+                            StatusCodeName(reply.status().code()));
+    }
 
     if (reply.ok() && reply.value().status < 500) {
       // The worker's own answer — including 4xx per-request rejections,

@@ -45,6 +45,7 @@
 #include "fleet/backoff.h"
 #include "fleet/breaker.h"
 #include "obs/http_server.h"
+#include "obs/trace_context.h"
 
 namespace jfeed::fleet {
 
@@ -105,7 +106,20 @@ class Router {
   /// Routes one POST /grade body and returns the response to relay to the
   /// client: the worker's own response (any status < 500), or a broker
   /// 503/502 with a JSON error body when the fleet cannot serve it.
-  obs::HttpResponse RouteGrade(const std::string& body);
+  ///
+  /// `ctx` is the request's distributed-trace context (the broker's adopted
+  /// or minted traceparent). The route opens a fleet.route span under it
+  /// and every attempt a fleet.attempt child annotated with the worker id
+  /// and, on retries, the cause — so a retried request shows up as sibling
+  /// attempt spans on one trace. The per-attempt span's context is
+  /// forwarded to the worker as a `traceparent` header, stitching the
+  /// worker-side pipeline into the same trace. An invalid (default) ctx
+  /// falls back to the tracer's implicit parenting.
+  obs::HttpResponse RouteGrade(const std::string& body,
+                               const obs::TraceContext& ctx);
+  obs::HttpResponse RouteGrade(const std::string& body) {
+    return RouteGrade(body, obs::TraceContext());
+  }
 
   /// Point-in-time view of one worker for /healthz, /statusz and tests.
   struct WorkerSnapshot {

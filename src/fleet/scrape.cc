@@ -27,6 +27,28 @@ struct Family {
 
 }  // namespace
 
+std::string StitchChromeTraces(const std::vector<std::string>& exports) {
+  std::string out = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  for (const std::string& doc : exports) {
+    // The array body sits between "traceEvents":[ and the document's last
+    // ']' — trace events contain no ']' outside string values, and any
+    // inside one precedes the array close, so rfind is the matching brace.
+    size_t open = doc.find("\"traceEvents\":[");
+    if (open == std::string::npos) continue;
+    size_t start = open + 15;
+    size_t close = doc.rfind(']');
+    if (close == std::string::npos || close < start) continue;
+    std::string body = doc.substr(start, close - start);
+    if (body.find_first_not_of(" \t\r\n") == std::string::npos) continue;
+    if (!first) out += ",";
+    first = false;
+    out += body;
+  }
+  out += "\n]}\n";
+  return out;
+}
+
 std::string MergeWorkerMetrics(const std::vector<WorkerScrape>& scrapes) {
   std::vector<std::string> family_order;
   std::map<std::string, Family> families;

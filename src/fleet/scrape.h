@@ -28,6 +28,15 @@ using WorkerScrape = std::pair<std::string, std::string>;
 /// unparseable lines are dropped rather than corrupting the output.
 std::string MergeWorkerMetrics(const std::vector<WorkerScrape>& scrapes);
 
+/// Splices Chrome trace_event documents ({"traceEvents":[...]}, the
+/// obs::Tracer::ExportChromeJson shape) into one document — the broker's
+/// /tracez federation. Each export already carries its own pid (the broker
+/// passes ?pid=<worker id + 1> when scraping) and unix-aligned timestamps,
+/// so one Perfetto load of the result shows broker routing spans and every
+/// worker's pipeline spans on a single timeline. Exports without a
+/// traceEvents array (a worker mid-restart answered garbage) are skipped.
+std::string StitchChromeTraces(const std::vector<std::string>& exports);
+
 }  // namespace jfeed::fleet
 
 #endif  // JFEED_FLEET_SCRAPE_H_

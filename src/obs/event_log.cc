@@ -61,6 +61,8 @@ std::string ToJson(const WideEvent& e) {
   out.erase(1, 1);
   num("unix_ms", e.unix_ms);
   str("id", e.submission_id);
+  str("trace_id", e.trace_id);
+  str("span_id", e.span_id);
   str("assignment", e.assignment);
   str("verdict", e.verdict);
   str("tier", e.tier);
@@ -185,6 +187,8 @@ bool FromJson(const std::string& json, WideEvent* event) {
       std::string value;
       if (!ParseString(json, &pos, &value)) return false;
       if (key == "id") event->submission_id = value;
+      else if (key == "trace_id") event->trace_id = value;
+      else if (key == "span_id") event->span_id = value;
       else if (key == "assignment") event->assignment = value;
       else if (key == "verdict") event->verdict = value;
       else if (key == "tier") event->tier = value;

@@ -45,6 +45,13 @@ struct WideEvent {
   uint64_t seq = 0;          ///< Recorder-assigned, dense from 1.
   int64_t unix_ms = 0;       ///< Wall-clock completion time (ms since epoch).
   std::string submission_id; ///< Caller-chosen id; may be empty.
+  /// Distributed-trace join keys (trace_context.h): the 32-hex trace id
+  /// minted at the outermost entry point (broker, daemon, or CLI) and the
+  /// 16-hex id of the span that graded this submission. Empty when tracing
+  /// was off — the one id that links this record to broker attempt spans
+  /// and the federated /tracez timeline.
+  std::string trace_id;
+  std::string span_id;
   std::string assignment;    ///< Knowledge-base assignment id.
   std::string verdict;       ///< correct|incorrect|spec_mismatch|not_graded.
   std::string tier;          ///< full_epdg|ast_only|parse_diagnostic.

@@ -19,6 +19,14 @@ const char* HttpStatusText(int status) {
   return "Unknown";
 }
 
+std::string RequestHeader(const HttpRequest& request,
+                          const std::string& name) {
+  for (const auto& [header_name, value] : request.headers) {
+    if (header_name == name) return value;
+  }
+  return "";
+}
+
 }  // namespace jfeed::obs
 
 #ifndef JFEED_OBS_DISABLED
@@ -149,7 +157,9 @@ bool ReadRequest(int fd, size_t max_bytes, int64_t deadline_abs_ms,
     request->query = target.substr(question + 1);
   }
 
-  // Headers: only Content-Length matters to this server.
+  // Headers: Content-Length frames the body; everything else is handed to
+  // the handler (lowercased name, trimmed value) for things like the
+  // traceparent context the fleet propagates.
   size_t body_size = 0;
   size_t pos = line_end + 2;
   while (pos < header_end) {
@@ -160,6 +170,13 @@ bool ReadRequest(int fd, size_t max_bytes, int64_t deadline_abs_ms,
     if (colon == std::string::npos) continue;
     std::string name = header.substr(0, colon);
     for (char& c : name) c = static_cast<char>(std::tolower(c));
+    std::string value = header.substr(colon + 1);
+    size_t value_begin = value.find_first_not_of(" \t");
+    size_t value_end = value.find_last_not_of(" \t");
+    value = value_begin == std::string::npos
+                ? ""
+                : value.substr(value_begin, value_end - value_begin + 1);
+    request->headers.emplace_back(name, value);
     if (name == "content-length") {
       char* end = nullptr;
       const char* text = header.c_str() + colon + 1;

@@ -41,14 +41,21 @@
 namespace jfeed::obs {
 
 /// One parsed request as handed to a handler. Only the pieces the
-/// introspection surface needs: method, path (query string split off), and
-/// the body (POST /grade's NDJSON submissions).
+/// introspection surface needs: method, path (query string split off),
+/// headers (trace propagation reads `traceparent`), and the body (POST
+/// /grade's NDJSON submissions).
 struct HttpRequest {
   std::string method;  ///< "GET", "POST", ... (uppercase as sent).
   std::string path;    ///< Decoded-enough path, e.g. "/metrics".
   std::string query;   ///< Raw query string without the '?', may be empty.
+  /// Request headers in arrival order, names lowercased (header names are
+  /// case-insensitive on the wire), values whitespace-trimmed.
+  std::vector<std::pair<std::string, std::string>> headers;
   std::string body;    ///< Request body (Content-Length framed).
 };
+
+/// First value of header `name` (lowercase) in `request`, or "" if absent.
+std::string RequestHeader(const HttpRequest& request, const std::string& name);
 
 /// One response as produced by a handler. The server adds the status line,
 /// Content-Length and Connection: close framing.

@@ -178,6 +178,29 @@ void Histogram::Record(int64_t value) {
   shard.sum.fetch_add(value, std::memory_order_relaxed);
 }
 
+void Histogram::RecordWithExemplar(int64_t value,
+                                   const std::string& trace_id) {
+  Record(value);
+  if (!Registry::Global().enabled() || trace_id.empty()) return;
+  if (value < 0) value = 0;
+  std::lock_guard<std::mutex> lock(exemplar_mu_);
+  HistogramExemplar& slot =
+      exemplars_[static_cast<size_t>(BucketIndex(value))];
+  slot.value = value;
+  slot.trace_id = trace_id;
+}
+
+std::vector<std::pair<int, HistogramExemplar>> Histogram::Exemplars() const {
+  std::vector<std::pair<int, HistogramExemplar>> out;
+  std::lock_guard<std::mutex> lock(exemplar_mu_);
+  for (int i = 0; i < kBucketCount; ++i) {
+    if (!exemplars_[static_cast<size_t>(i)].trace_id.empty()) {
+      out.emplace_back(i, exemplars_[static_cast<size_t>(i)]);
+    }
+  }
+  return out;
+}
+
 int64_t Histogram::Count() const {
   std::lock_guard<std::mutex> lock(mu_);
   int64_t total = retired_.count.load(std::memory_order_relaxed);
@@ -241,6 +264,8 @@ void Histogram::ResetLocked() {
   };
   zero(retired_);
   for (auto& shard : shards_) zero(*shard);
+  std::lock_guard<std::mutex> exemplar_lock(exemplar_mu_);
+  for (auto& exemplar : exemplars_) exemplar = HistogramExemplar{};
 }
 
 // --- Registry ---------------------------------------------------------------

@@ -44,6 +44,17 @@ namespace jfeed::obs {
 /// into the instrument at Get* time; (name, labels) identifies the cell.
 using Labels = std::vector<std::pair<std::string, std::string>>;
 
+/// Last sample that landed in a histogram bucket, tagged with the trace
+/// that produced it (the OpenMetrics "exemplar" idea): a p99 bucket in
+/// jfeed_grade_duration_us links to a concrete trace id to pull from
+/// /tracez. Kept out of Render() — the Prometheus 0.0.4 text format has no
+/// exemplar syntax and MergeWorkerMetrics must keep parsing expositions —
+/// and surfaced through the /sloz JSON endpoint instead.
+struct HistogramExemplar {
+  int64_t value = 0;
+  std::string trace_id;
+};
+
 #ifdef JFEED_OBS_DISABLED
 
 // ---------------------------------------------------------------------------
@@ -66,9 +77,14 @@ class Gauge {
 class Histogram {
  public:
   static constexpr int kBucketCount = 32;
+  static int64_t BucketBound(int) { return 0; }
   void Record(int64_t) {}
+  void RecordWithExemplar(int64_t, const std::string&) {}
   int64_t Count() const { return 0; }
   int64_t Sum() const { return 0; }
+  std::vector<std::pair<int, HistogramExemplar>> Exemplars() const {
+    return {};
+  }
 };
 
 class Registry {
@@ -157,11 +173,21 @@ class Histogram {
   /// No-op while the registry is disabled.
   void Record(int64_t value);
 
+  /// Record(value), additionally remembering {value, trace_id} as the
+  /// exemplar of the bucket the sample landed in (last writer wins; an
+  /// empty trace_id degrades to a plain Record). One mutex-guarded write —
+  /// only call on paths that already cost a grade, not per-token loops.
+  void RecordWithExemplar(int64_t value, const std::string& trace_id);
+
   int64_t Count() const;
   int64_t Sum() const;
   /// Cumulative count of samples <= BucketBound(index), Prometheus `le`
   /// semantics.
   int64_t CumulativeCount(int index) const;
+
+  /// (bucket index, exemplar) for every bucket holding one, ascending by
+  /// index. Cleared by Registry::ResetForTest().
+  std::vector<std::pair<int, HistogramExemplar>> Exemplars() const;
 
  private:
   friend class Registry;
@@ -180,6 +206,9 @@ class Histogram {
   Shard retired_;
   mutable std::mutex mu_;
   std::vector<std::shared_ptr<Shard>> shards_;
+
+  mutable std::mutex exemplar_mu_;
+  std::array<HistogramExemplar, kBucketCount> exemplars_{};
 };
 
 /// Process-wide instrument registry. Get* calls are idempotent: the same

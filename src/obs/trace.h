@@ -11,16 +11,28 @@
 // `lex` span inside java::Parse lands under the pipeline's `parse` stage
 // span without the parser knowing about the pipeline.
 //
+// Every span belongs to a 128-bit distributed trace (trace_context.h).
+// Children inherit the trace of their parent; a root span either mints a
+// fresh trace or — via the remote-parent constructor taking a
+// TraceContext — adopts one parsed from an incoming `traceparent` header,
+// which is how a broker-side routing attempt and the worker-side pipeline
+// spans end up on one timeline. Span::context() hands the {trace id, span
+// id} pair onward for the next hop.
+//
 // The tracer is runtime-gated: until Tracer::Enable() runs, constructing a
 // Span is one relaxed atomic load and nothing is recorded. Recording is
 // per-thread (one uncontended mutex per ring), so tracing a parallel batch
-// never serializes workers. ExportChromeJson() renders every recorded span
-// as Chrome trace_event complete events ("ph":"X") — the format Perfetto
-// and chrome://tracing open directly; same-thread nesting is shown by time
-// containment and cross-thread parentage is carried in args.parent.
+// never serializes workers. ExportChromeJson(pid) renders every recorded
+// span as Chrome trace_event complete events ("ph":"X") — the format
+// Perfetto and chrome://tracing open directly; timestamps are unix-aligned
+// microseconds so exports from different processes (broker + workers)
+// splice onto one timeline, `pid` keys the process lane, and cross-thread
+// parentage plus the trace id ride in args.
 //
 // Span names must be string literals (or otherwise outlive the tracer):
-// records store the pointer, not a copy.
+// records store the pointer, not a copy. Annotate() attaches a small
+// free-form detail string (worker id, retry cause, ...) copied into the
+// record.
 //
 // Compiling with JFEED_OBS=OFF (-DJFEED_OBS_DISABLED) replaces the API
 // with inline no-op stubs.
@@ -28,6 +40,8 @@
 #include <cstdint>
 #include <string>
 #include <vector>
+
+#include "obs/trace_context.h"
 
 #ifndef JFEED_OBS_DISABLED
 #include <atomic>
@@ -43,10 +57,13 @@ namespace jfeed::obs {
 struct SpanRecord {
   const char* name = "";
   uint64_t id = 0;
-  uint64_t parent_id = 0;  ///< 0 = root span.
-  uint32_t tid = 0;        ///< Tracer-assigned thread index, dense from 1.
+  uint64_t parent_id = 0;   ///< 0 = root span.
+  uint64_t trace_hi = 0;    ///< 128-bit trace id this span belongs to.
+  uint64_t trace_lo = 0;
+  uint32_t tid = 0;         ///< Tracer-assigned thread index, dense from 1.
   int64_t start_ns = 0;
   int64_t end_ns = 0;
+  std::string detail;       ///< Annotate() payload; empty for most spans.
 };
 
 #ifdef JFEED_OBS_DISABLED
@@ -69,7 +86,7 @@ class Tracer {
   bool enabled() const { return false; }
   void Clear() {}
   std::vector<SpanRecord> Snapshot() const { return {}; }
-  std::string ExportChromeJson() const {
+  std::string ExportChromeJson(int = 1, const std::string& = "") const {
     return "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[]}\n";
   }
   int64_t OpenSpanCount() const { return 0; }
@@ -80,12 +97,15 @@ class Span {
  public:
   explicit Span(const char*) {}
   Span(const char*, const Span&) {}
+  Span(const char*, const TraceContext&) {}
   ~Span() = default;
   Span(const Span&) = delete;
   Span& operator=(const Span&) = delete;
   void End() {}
+  void Annotate(const std::string&) {}
   uint64_t id() const { return 0; }
   bool recording() const { return false; }
+  TraceContext context() const { return TraceContext{}; }
 };
 
 #else  // JFEED_OBS_DISABLED
@@ -120,9 +140,13 @@ class Tracer {
   std::vector<SpanRecord> Snapshot() const;
 
   /// Chrome trace_event JSON (object form, "traceEvents" array of "ph":"X"
-  /// complete events; ts/dur in microseconds). Open in Perfetto
-  /// (https://ui.perfetto.dev) or chrome://tracing.
-  std::string ExportChromeJson() const;
+  /// complete events; ts/dur in unix-aligned microseconds, comparable
+  /// across processes). `pid` labels every event so multi-process exports
+  /// federate without lane collisions; a non-empty `process_name` prepends
+  /// a process_name metadata event Perfetto shows as the lane title. Open
+  /// in Perfetto (https://ui.perfetto.dev) or chrome://tracing.
+  std::string ExportChromeJson(int pid = 1,
+                               const std::string& process_name = "") const;
 
   /// Number of spans begun but not yet ended — 0 after any well-nested
   /// unit of work, which is what the chaos suite asserts after a fault
@@ -163,6 +187,7 @@ class Tracer {
   std::atomic<int64_t> open_spans_{0};
   std::atomic<uint32_t> next_tid_{1};
   std::chrono::steady_clock::time_point epoch_;
+  int64_t unix_epoch_us_ = 0;  ///< Unix time of epoch_, for export ts.
   size_t ring_capacity_ = kDefaultRingCapacity;
   mutable std::mutex mu_;  ///< Guards rings_ and ring_capacity_.
   std::vector<std::shared_ptr<Ring>> rings_;
@@ -172,11 +197,17 @@ class Tracer {
 class Span {
  public:
   /// Begins a span nested under the thread's innermost live span (root if
-  /// none). Records nothing when the tracer is disabled.
+  /// none; a root mints a fresh trace id). Records nothing when the tracer
+  /// is disabled.
   explicit Span(const char* name);
-  /// Begins a span with an explicit parent handle. A non-recording parent
-  /// (tracer was off when it began) yields a root span.
+  /// Begins a span with an explicit parent handle, on the parent's trace.
+  /// A non-recording parent (tracer was off when it began) yields a root.
   Span(const char* name, const Span& parent);
+  /// Remote-parent constructor: begins a span on the trace named by a
+  /// context parsed from an incoming traceparent header, parented under
+  /// remote.span_id. An invalid context degrades to the implicit-parent
+  /// rule above, so callers can pass a default TraceContext untested.
+  Span(const char* name, const TraceContext& remote);
   ~Span() { End(); }
 
   Span(const Span&) = delete;
@@ -185,17 +216,31 @@ class Span {
   /// Ends the span early; idempotent (the destructor then does nothing).
   void End();
 
+  /// Attaches a detail string to the record (appended, space-separated,
+  /// when called more than once). No-op on a non-recording span.
+  void Annotate(const std::string& detail);
+
   /// 0 when the span is not recording (tracer disabled at construction).
   uint64_t id() const { return id_; }
   bool recording() const { return id_ != 0; }
 
+  /// This span's {trace id, span id} — the context to propagate to the
+  /// next hop. Invalid (all-zero) when not recording.
+  TraceContext context() const {
+    return TraceContext{trace_hi_, trace_lo_, id_};
+  }
+
  private:
-  void Begin(const char* name, uint64_t parent_id);
+  void Begin(const char* name, uint64_t parent_id, uint64_t trace_hi,
+             uint64_t trace_lo);
 
   const char* name_ = "";
   uint64_t id_ = 0;
   uint64_t parent_id_ = 0;
+  uint64_t trace_hi_ = 0;
+  uint64_t trace_lo_ = 0;
   int64_t start_ns_ = 0;
+  std::string detail_;
   const Span* prev_current_ = nullptr;
   bool ended_ = true;
 };

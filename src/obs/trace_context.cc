@@ -1,0 +1,127 @@
+#include "obs/trace_context.h"
+
+#include <chrono>
+#include <cstdio>
+#include <random>
+
+#include "obs/metrics.h"
+
+namespace jfeed::obs {
+namespace {
+
+// xoshiro-style splitmix advance: cheap, full-period, and seeded per
+// thread from entropy + clock so two workers never mint colliding traces.
+uint64_t NextRandom() {
+  thread_local uint64_t state = [] {
+    std::random_device rd;
+    uint64_t seed = (static_cast<uint64_t>(rd()) << 32) ^ rd();
+    seed ^= static_cast<uint64_t>(
+        std::chrono::steady_clock::now().time_since_epoch().count());
+    return seed | 1;
+  }();
+  state += 0x9e3779b97f4a7c15ULL;
+  uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+bool IsLowerHex(char c) {
+  return (c >= '0' && c <= '9') || (c >= 'a' && c <= 'f');
+}
+
+/// Parses exactly `digits` lowercase hex characters at `s`; returns false
+/// on any uppercase or non-hex character (W3C requires lowercase).
+bool ParseHexField(const char* s, int digits, uint64_t* out) {
+  uint64_t value = 0;
+  for (int i = 0; i < digits; ++i) {
+    char c = s[i];
+    if (!IsLowerHex(c)) return false;
+    value = (value << 4) | static_cast<uint64_t>(
+                               c <= '9' ? c - '0' : c - 'a' + 10);
+  }
+  *out = value;
+  return true;
+}
+
+}  // namespace
+
+TraceContext MintTraceContext() {
+  TraceContext ctx;
+  do {
+    ctx.trace_hi = NextRandom();
+    ctx.trace_lo = NextRandom();
+  } while ((ctx.trace_hi | ctx.trace_lo) == 0);
+  return ctx;
+}
+
+std::string TraceIdHex(const TraceContext& ctx) {
+  char buf[33];
+  std::snprintf(buf, sizeof(buf), "%016llx%016llx",
+                static_cast<unsigned long long>(ctx.trace_hi),
+                static_cast<unsigned long long>(ctx.trace_lo));
+  return buf;
+}
+
+std::string SpanIdHex(uint64_t span_id) {
+  char buf[17];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(span_id));
+  return buf;
+}
+
+std::string FormatTraceparent(const TraceContext& ctx) {
+  uint64_t parent = ctx.span_id != 0 ? ctx.span_id : ctx.trace_lo;
+  char buf[56];
+  std::snprintf(buf, sizeof(buf), "00-%016llx%016llx-%016llx-01",
+                static_cast<unsigned long long>(ctx.trace_hi),
+                static_cast<unsigned long long>(ctx.trace_lo),
+                static_cast<unsigned long long>(parent));
+  return buf;
+}
+
+bool ParseTraceparent(const std::string& header, TraceContext* out) {
+  // Layout: vv-<32 hex>-<16 hex>-ff  → 55 chars for version 00; future
+  // versions may append "-..." suffixes but must keep this prefix.
+  constexpr size_t kV0Len = 55;
+  if (header.size() < kV0Len) return false;
+  const char* s = header.c_str();
+
+  uint64_t version = 0;
+  if (!ParseHexField(s, 2, &version)) return false;
+  if (version == 0xff) return false;  // Explicitly forbidden by the spec.
+  if (version == 0) {
+    if (header.size() != kV0Len) return false;
+  } else {
+    // Future version: read the version-00 prefix; anything longer must
+    // continue with a dash-separated suffix we ignore.
+    if (header.size() > kV0Len && s[kV0Len] != '-') return false;
+  }
+  if (s[2] != '-' || s[35] != '-' || s[52] != '-') return false;
+
+  TraceContext ctx;
+  uint64_t flags = 0;
+  if (!ParseHexField(s + 3, 16, &ctx.trace_hi)) return false;
+  if (!ParseHexField(s + 19, 16, &ctx.trace_lo)) return false;
+  if (!ParseHexField(s + 36, 16, &ctx.span_id)) return false;
+  if (!ParseHexField(s + 53, 2, &flags)) return false;
+  if ((ctx.trace_hi | ctx.trace_lo) == 0) return false;  // All-zero trace.
+  if (ctx.span_id == 0) return false;                    // All-zero parent.
+
+  *out = ctx;
+  return true;
+}
+
+TraceContext ContextFromHeader(const std::string& header) {
+  if (!header.empty()) {
+    TraceContext ctx;
+    if (ParseTraceparent(header, &ctx)) return ctx;
+    Registry::Global()
+        .GetCounter("jfeed_trace_context_invalid_total",
+                    "traceparent headers rejected by W3C validation", {})
+        ->Increment();
+  }
+  return MintTraceContext();
+}
+
+}  // namespace jfeed::obs

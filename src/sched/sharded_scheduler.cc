@@ -5,6 +5,7 @@
 
 #include "obs/event_log.h"
 #include "obs/metrics.h"
+#include "obs/slo.h"
 #include "obs/trace.h"
 #include "support/fault.h"
 
@@ -171,7 +172,11 @@ void ShardedScheduler::WorkerLoop() {
                             shard.oracle))
                .first;
     }
-    obs::Span job_span("sched.job");
+    // The job span adopts the request's traceparent context, so the
+    // pipeline's `grade` span tree (which nests under it implicitly and
+    // stamps outcome.trace_id) lands on the same distributed trace as the
+    // broker's routing attempts.
+    obs::Span job_span("sched.job", job->trace);
     service::GradingOutcome outcome = it->second->Grade(job->source);
     job_span.End();
     const char* disposition =
@@ -181,12 +186,17 @@ void ShardedScheduler::WorkerLoop() {
       obs::EventLog::Global().Append(service::BuildWideEvent(
           job->id, shard.assignment->id, disposition, outcome));
     }
+    const int64_t latency_us = NowUs() - job->admitted_us;
+    obs::SloTracker::Global().RecordGrade(shard.assignment->id, latency_us,
+                                          obs::SloTracker::NowS());
     if (metered) {
       BusyUsTotal()->Increment(lap_us());
       JobsTotal()->Increment();
       ShardJobsTotal(shard.assignment->id)->Increment();
+      // The exemplar ties this latency bucket to the trace that produced
+      // it — how a p99 bucket on a dashboard names a concrete trace.
       GradeDurationUs(shard.assignment->id)
-          ->Record(NowUs() - job->admitted_us);
+          ->RecordWithExemplar(latency_us, outcome.trace_id);
     }
     // The quota slot stays held through grading ("in-system" covers queued
     // and grading both, so a shard can never exceed its quota) and frees
@@ -216,6 +226,7 @@ bool ShardedScheduler::FindShard(const std::string& assignment_id,
 
 Status ShardedScheduler::Admit(size_t shard_index, const std::string& source,
                                const std::string& id, const char* cache,
+                               const obs::TraceContext& trace,
                                uint64_t* ticket) {
   Shard& shard = *shards_[shard_index];
   const bool metered = obs::Registry::Global().enabled();
@@ -225,13 +236,18 @@ Status ShardedScheduler::Admit(size_t shard_index, const std::string& source,
   if (depth > options_.shard_queue_capacity) {
     shard.depth.fetch_sub(1, std::memory_order_acq_rel);
     if (metered) ShedTotal(shard.assignment->id)->Increment();
+    // A shed is an availability-bad SLO event: it burns the tenant's error
+    // budget even though no grading work ran.
+    obs::SloTracker::Global().RecordShed(shard.assignment->id,
+                                         obs::SloTracker::NowS());
     return Status::Unavailable(
         "assignment '" + shard.assignment->id + "' is at its admission "
         "quota (" + std::to_string(options_.shard_queue_capacity) +
         " in flight); retry shortly");
   }
   uint64_t t = next_ticket_.fetch_add(1, std::memory_order_relaxed);
-  if (!queue_.TryPush(Job{t, shard_index, id, source, cache, NowUs()})) {
+  if (!queue_.TryPush(Job{t, shard_index, id, source, cache, NowUs(),
+                          trace})) {
     shard.depth.fetch_sub(1, std::memory_order_acq_rel);
     return Status::Unavailable("scheduler is shutting down");
   }
@@ -245,12 +261,13 @@ Status ShardedScheduler::Admit(size_t shard_index, const std::string& source,
 
 Status ShardedScheduler::Submit(const std::string& assignment_id,
                                 const std::string& source,
-                                const std::string& id, uint64_t* ticket) {
+                                const std::string& id, uint64_t* ticket,
+                                const obs::TraceContext& trace) {
   size_t shard_index;
   if (!FindShard(assignment_id, &shard_index)) {
     return Status::NotFound("unknown assignment '" + assignment_id + "'");
   }
-  return Admit(shard_index, source, id, /*cache=*/"off", ticket);
+  return Admit(shard_index, source, id, /*cache=*/"off", trace, ticket);
 }
 
 service::GradingOutcome ShardedScheduler::Wait(uint64_t ticket) {
@@ -327,8 +344,18 @@ std::vector<MixedOutcome> ShardedScheduler::GradeMixedBatch(
       }
       service::GradingOutcome cached;
       if (cache_->Lookup(items[i].assignment, fingerprint, &cached)) {
+        // Re-stamp the request's own trace: the cached copy still carries
+        // the trace of whichever request graded it originally.
+        if (items[i].trace.valid()) {
+          cached.trace_id = obs::TraceIdHex(items[i].trace);
+          cached.span_id = obs::SpanIdHex(items[i].trace.span_id);
+        }
         service::CountCacheDisposition("hit");
         record(i, "hit", cached);
+        // A cache hit is a (near-instant) good SLO event: the tenant was
+        // served successfully.
+        obs::SloTracker::Global().RecordGrade(items[i].assignment, 0,
+                                              obs::SloTracker::NowS());
         outcomes[i].status = Status::OK();
         outcomes[i].outcome = std::move(cached);
         outcomes[i].disposition = "hit";
@@ -340,7 +367,8 @@ std::vector<MixedOutcome> ShardedScheduler::GradeMixedBatch(
     // Non-blocking admission: a line over its shard's quota is shed here
     // and now — one tenant's spike must not stall the whole mixed batch.
     Status admitted = Admit(shard_index, items[i].source, items[i].id,
-                            caching ? "miss" : "off", &ticket);
+                            caching ? "miss" : "off", items[i].trace,
+                            &ticket);
     if (!admitted.ok()) {
       outcomes[i].status = std::move(admitted);
       continue;
@@ -366,9 +394,17 @@ std::vector<MixedOutcome> ShardedScheduler::GradeMixedBatch(
     for (size_t k = 1; k < group.indexes.size(); ++k) {
       size_t i = group.indexes[k];
       service::CountCacheDisposition("dedup");
-      record(i, "dedup", outcome);
       outcomes[i].status = Status::OK();
       outcomes[i].outcome = outcome;
+      // Same re-stamp as a cache hit: the follower's line answers a
+      // different request (and possibly trace) than the leader's run.
+      if (items[i].trace.valid()) {
+        outcomes[i].outcome.trace_id = obs::TraceIdHex(items[i].trace);
+        outcomes[i].outcome.span_id = obs::SpanIdHex(items[i].trace.span_id);
+      }
+      record(i, "dedup", outcomes[i].outcome);
+      obs::SloTracker::Global().RecordGrade(items[i].assignment, 0,
+                                            obs::SloTracker::NowS());
       outcomes[i].disposition = "dedup";
     }
     size_t leader = group.indexes.front();

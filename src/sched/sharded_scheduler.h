@@ -41,6 +41,7 @@
 #include <vector>
 
 #include "kb/assignments.h"
+#include "obs/trace_context.h"
 #include "sched/bounded_queue.h"
 #include "sched/result_cache.h"
 #include "sched/scheduler.h"
@@ -72,6 +73,11 @@ struct MixedItem {
   std::string assignment;  ///< Knowledge-base assignment id.
   std::string id;          ///< Caller-chosen submission id; may be empty.
   std::string source;
+  /// Distributed-trace context of the request this line arrived on (the
+  /// daemon's adopted-or-minted traceparent). The grading worker's
+  /// sched.job span parents under it, so worker pipeline spans and the
+  /// wide event join the broker-side trace. Default (invalid) = untraced.
+  obs::TraceContext trace;
 };
 
 /// One result line of a mixed-assignment batch. `status` is OK for graded /
@@ -105,8 +111,10 @@ class ShardedScheduler {
   /// assignment, kUnavailable when the shard quota is exhausted (shed; the
   /// per-assignment jfeed_shed_total counter increments) or after shutdown
   /// began. On success *ticket identifies the submission for Wait().
+  /// `trace` (optional) is the request's distributed-trace context.
   Status Submit(const std::string& assignment_id, const std::string& source,
-                const std::string& id, uint64_t* ticket);
+                const std::string& id, uint64_t* ticket,
+                const obs::TraceContext& trace = obs::TraceContext());
 
   /// Blocks until the outcome for `ticket` is ready. One wait per ticket.
   service::GradingOutcome Wait(uint64_t ticket);
@@ -153,6 +161,7 @@ class ShardedScheduler {
     std::string source;
     const char* cache = "off";
     int64_t admitted_us = 0;  ///< Steady-clock admission time for latency.
+    obs::TraceContext trace;  ///< Request trace the job span adopts.
   };
 
   void WorkerLoop();
@@ -161,7 +170,8 @@ class ShardedScheduler {
   bool FindShard(const std::string& assignment_id, size_t* index) const;
   /// Quota check + push. kUnavailable on shed or shutdown.
   Status Admit(size_t shard_index, const std::string& source,
-               const std::string& id, const char* cache, uint64_t* ticket);
+               const std::string& id, const char* cache,
+               const obs::TraceContext& trace, uint64_t* ticket);
 
   service::PipelineOptions pipeline_options_;
   ShardedSchedulerOptions options_;

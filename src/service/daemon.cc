@@ -130,6 +130,11 @@ Status GradingDaemon::Start() {
   }
   obs::EventLog::Global().SetCapacity(options_.event_capacity);
   obs::EventLog::Global().set_enabled(true);
+  // Arms per-assignment error-budget accounting; the scheduler feeds it
+  // from the same admitted→published interval jfeed_grade_duration_us
+  // records. Configure drops prior state, so a restarted daemon (or the
+  // next test in a process) starts with full budgets.
+  obs::SloTracker::Global().Configure(options_.slo);
 
   sched::ShardedSchedulerOptions scheduler_options;
   scheduler_options.jobs = options_.jobs;
@@ -166,6 +171,9 @@ Status GradingDaemon::Start() {
   });
   server_->Handle("/events", [this](const obs::HttpRequest& r) {
     return HandleEvents(r);
+  });
+  server_->Handle("/sloz", [this](const obs::HttpRequest& r) {
+    return HandleSloz(r);
   });
 
   Status status = server_->Start();
@@ -211,6 +219,16 @@ obs::HttpResponse GradingDaemon::HandleGrade(const obs::HttpRequest& request) {
         "{\"error\":\"empty body; send one NDJSON submission per line\"}");
   }
 
+  // Adopt the caller's distributed-trace context (or mint a fresh root for
+  // a direct hit) and open the request span every line's sched.job span
+  // parents under. One context per request: a multi-line body is one
+  // client action, so its lines share the trace and fan out as siblings.
+  obs::TraceContext ctx =
+      obs::ContextFromHeader(obs::RequestHeader(request, "traceparent"));
+  obs::Span request_span("daemon.grade", ctx);
+  const obs::TraceContext trace =
+      request_span.recording() ? request_span.context() : ctx;
+
   // Same line format and error taxonomy as `grade --batch`, extended with
   // per-line routing: bad lines get an error object at their position, the
   // rest of the body still grades. A line's "assignment" key routes it to
@@ -246,7 +264,7 @@ obs::HttpResponse GradingDaemon::HandleGrade(const obs::HttpRequest& request) {
     submission_index.push_back(items.size());
     line_errors.push_back("");
     items.push_back(sched::MixedItem{std::move(route), decoded->id,
-                                     std::move(decoded->source)});
+                                     std::move(decoded->source), trace});
   }
   if (submission_index.empty()) {
     return JsonResponse(
@@ -308,8 +326,10 @@ obs::HttpResponse GradingDaemon::HandleMetrics(const obs::HttpRequest&) {
 obs::HttpResponse GradingDaemon::HandleHealthz(const obs::HttpRequest&) {
   // Readiness ladder, most urgent reason first: draining (operator asked us
   // to go), saturated (every shard at its admission quota — any submission
-  // would be shed), degraded (recent outcomes dominated by internal faults
-  // — the infrastructure, not the students, is failing), ok.
+  // would be shed), slo_fast_burn (some tenant is spending its error
+  // budget at page rate — steer away before the quota sheds), degraded
+  // (recent outcomes dominated by internal faults — the infrastructure,
+  // not the students, is failing), ok.
   size_t depth = scheduler_->queue_depth();
   size_t capacity = scheduler_->queue_capacity();
 
@@ -333,6 +353,10 @@ obs::HttpResponse GradingDaemon::HandleHealthz(const obs::HttpRequest&) {
     http_status = 503;
   } else if (scheduler_->Saturated()) {
     status = "saturated";
+    http_status = 503;
+  } else if (options_.slo_health &&
+             obs::SloTracker::Global().FastBurnAny(obs::SloTracker::NowS())) {
+    status = "slo_fast_burn";
     http_status = 503;
   } else if (window >= options_.health_window / 2 &&
              window_faults * 2 > window) {
@@ -445,6 +469,21 @@ obs::HttpResponse GradingDaemon::HandleStatusz(const obs::HttpRequest&) {
 }
 
 obs::HttpResponse GradingDaemon::HandleTracez(const obs::HttpRequest& request) {
+  // ?format=chrome renders the rings as a Chrome/Perfetto trace instead of
+  // the span listing; ?pid=N sets the export's process id so the broker
+  // can splice several workers' exports into one stitched timeline.
+  if (ParseQueryValue(request.query, "format") == "chrome") {
+    int pid = 1;
+    std::string pid_value = ParseQueryValue(request.query, "pid");
+    if (!pid_value.empty()) pid = std::atoi(pid_value.c_str());
+    std::string process_name =
+        options_.worker_id >= 0
+            ? "jfeedd-worker-" + std::to_string(options_.worker_id)
+            : "jfeedd";
+    return JsonResponse(
+        200, obs::Tracer::Global().ExportChromeJson(pid, process_name));
+  }
+
   size_t limit = ParseLimit(request.query, 256);
   auto spans = obs::Tracer::Global().Snapshot();  // Sorted by start time.
   size_t start = limit > 0 && spans.size() > limit ? spans.size() - limit : 0;
@@ -464,6 +503,11 @@ obs::HttpResponse GradingDaemon::HandleTracez(const obs::HttpRequest& request) {
     body += ",\"tid\":" + std::to_string(s.tid);
     body += ",\"start_us\":" + std::to_string(s.start_ns / 1000);
     body += ",\"dur_us\":" + std::to_string((s.end_ns - s.start_ns) / 1000);
+    if ((s.trace_hi | s.trace_lo) != 0) {
+      body += ",\"trace_id\":\"" +
+              obs::TraceIdHex(obs::TraceContext{s.trace_hi, s.trace_lo, 0}) +
+              "\"";
+    }
     body += "}";
   }
   body += "]}";
@@ -473,18 +517,23 @@ obs::HttpResponse GradingDaemon::HandleTracez(const obs::HttpRequest& request) {
 obs::HttpResponse GradingDaemon::HandleEvents(const obs::HttpRequest& request) {
   size_t limit = ParseLimit(request.query, 0);
   std::string assignment = ParseQueryValue(request.query, "assignment");
+  std::string trace_id = ParseQueryValue(request.query, "trace_id");
   obs::HttpResponse response;
   response.content_type = "application/x-ndjson; charset=utf-8";
-  if (assignment.empty()) {
+  if (assignment.empty() && trace_id.empty()) {
     response.body = obs::EventLog::Global().RenderNdjson(limit);
     return response;
   }
   // ?assignment=<id> narrows the recorder to one tenant's submissions (the
-  // multi-tenant debugging view); limit keeps the newest N matches.
+  // multi-tenant debugging view); ?trace_id=<32 hex> to one distributed
+  // trace's submissions (the cross-process join); both compose. limit
+  // keeps the newest N matches.
   auto events = obs::EventLog::Global().Snapshot();
   std::vector<const obs::WideEvent*> matched;
   for (const auto& event : events) {
-    if (event.assignment == assignment) matched.push_back(&event);
+    if (!assignment.empty() && event.assignment != assignment) continue;
+    if (!trace_id.empty() && event.trace_id != trace_id) continue;
+    matched.push_back(&event);
   }
   size_t start = limit > 0 && matched.size() > limit ? matched.size() - limit
                                                      : 0;
@@ -493,6 +542,11 @@ obs::HttpResponse GradingDaemon::HandleEvents(const obs::HttpRequest& request) {
     response.body += "\n";
   }
   return response;
+}
+
+obs::HttpResponse GradingDaemon::HandleSloz(const obs::HttpRequest&) {
+  return JsonResponse(200, obs::SloTracker::Global().RenderSlozJson(
+                               obs::SloTracker::NowS()));
 }
 
 }  // namespace jfeed::service

@@ -22,8 +22,11 @@
 //                   dominated by internal faults) — see DESIGN.md §6b
 //   GET  /statusz   build info, uptime, scheduler utilization, cache hit
 //                   rate, one JSON object
-//   GET  /tracez    recent spans from the tracer rings as JSON
+//   GET  /tracez    recent spans from the tracer rings as JSON; add
+//                   ?format=chrome[&pid=N] for a Chrome/Perfetto trace
 //   GET  /events    the per-submission flight recorder ring as NDJSON
+//                   (?assignment= and ?trace_id= filters)
+//   GET  /sloz      per-assignment SLO budgets + burn rates as JSON
 //
 // Lifecycle: Start() enables the observability layer (registry, tracer,
 // event log), spins up the scheduler and the HTTP server; BeginDrain()
@@ -44,6 +47,7 @@
 
 #include "obs/event_log.h"
 #include "obs/http_server.h"
+#include "obs/slo.h"
 #include "sched/sharded_scheduler.h"
 #include "service/pipeline.h"
 #include "support/status.h"
@@ -101,6 +105,15 @@ struct DaemonOptions {
   /// worker (--worker-id); -1 when standalone. Surfaced in /statusz so an
   /// operator can tell workers apart behind the broker.
   int worker_id = -1;
+  /// Per-assignment SLO objectives (latency threshold, availability target,
+  /// burn windows) — /sloz and the jfeed_slo_* metrics report against
+  /// these. Defaults are generous enough that an untuned daemon never
+  /// trips; tighten via the jfeedd --slo-* flags.
+  obs::SloPolicy slo;
+  /// When set, a fast-burning tenant degrades /healthz ("slo_fast_burn",
+  /// 503) so the load balancer steers away before the admission quota has
+  /// to shed.
+  bool slo_health = true;
 };
 
 #ifdef JFEED_OBS_DISABLED
@@ -163,6 +176,7 @@ class GradingDaemon {
   obs::HttpResponse HandleStatusz(const obs::HttpRequest& request);
   obs::HttpResponse HandleTracez(const obs::HttpRequest& request);
   obs::HttpResponse HandleEvents(const obs::HttpRequest& request);
+  obs::HttpResponse HandleSloz(const obs::HttpRequest& request);
 
   DaemonOptions options_;
   /// Assignment ids actually served, in shard order (resolved in Start()).

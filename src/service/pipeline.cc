@@ -491,6 +491,10 @@ std::string OutcomeToJson(const GradingOutcome& outcome) {
   };
   field("verdict", /*first=*/true);
   AppendJsonString(VerdictName(outcome.verdict), &out);
+  field("trace_id");
+  AppendJsonString(outcome.trace_id, &out);
+  field("span_id");
+  AppendJsonString(outcome.span_id, &out);
   field("tier");
   AppendJsonString(FeedbackTierName(outcome.tier), &out);
   field("stage_reached");
@@ -595,6 +599,8 @@ obs::WideEvent BuildWideEvent(const std::string& submission_id,
   event.verdict = VerdictName(outcome.verdict);
   event.tier = FeedbackTierName(outcome.tier);
   event.failure_class = FailureClassName(outcome.failure);
+  event.trace_id = outcome.trace_id;
+  event.span_id = outcome.span_id;
   event.cache = cache;
   event.degraded = outcome.degraded();
   event.diagnostic = outcome.diagnostic;
@@ -652,8 +658,14 @@ GradingOutcome GradingPipeline::Grade(const std::string& source) const {
 
   // Root trace span of this submission; stage spans nest under it (and the
   // layers below — lex, match.index, interp.call — nest under those via the
-  // thread-current chain).
+  // thread-current chain). It also inherits the distributed trace of any
+  // enclosing span — the scheduler's sched.job span adopted from the
+  // request's traceparent — and stamps the join keys into the outcome.
   obs::Span grade_span("grade");
+  if (grade_span.recording()) {
+    outcome.trace_id = obs::TraceIdHex(grade_span.context());
+    outcome.span_id = obs::SpanIdHex(grade_span.id());
+  }
 
   // Claim the recycled per-submission memory; a concurrent Grade() on the
   // same instance (not how the schedulers use pipelines) gets private

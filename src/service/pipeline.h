@@ -141,6 +141,13 @@ struct GradingOutcome {
   /// fault fallback, or campaign bypass).
   int methods_reused = 0;
   int methods_regraded = 0;
+  /// Distributed-trace join keys, stamped by Grade() from the span that
+  /// did the work (32-hex trace id, 16-hex span id; trace_context.h).
+  /// Empty when tracing is off. A cached outcome is re-stamped by the
+  /// scheduler with the trace of the request being answered, not the one
+  /// that originally graded.
+  std::string trace_id;
+  std::string span_id;
 
   /// True when any rung below full EPDG feedback was taken or any budget
   /// fired.

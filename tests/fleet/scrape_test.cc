@@ -92,5 +92,63 @@ TEST(MergeWorkerMetricsTest, TolerantOfGarbageAndEmptyInput) {
   EXPECT_EQ(merged.find("justonename"), std::string::npos);
 }
 
+TEST(StitchChromeTracesTest, SplicesEventsFromEveryExportIntoOneArray) {
+  // Two Tracer::ExportChromeJson-shaped documents, one per process; the
+  // stitch must yield a single well-formed trace with both processes'
+  // events (and their metadata records) side by side.
+  std::string broker =
+      "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n"
+      "{\"ph\":\"M\",\"pid\":0,\"tid\":0,\"name\":\"process_name\","
+      "\"args\":{\"name\":\"jfeed-broker\"}},\n"
+      "{\"ph\":\"X\",\"pid\":0,\"tid\":1,\"name\":\"fleet.route\","
+      "\"ts\":100.000,\"dur\":5.000}\n"
+      "]}\n";
+  std::string worker =
+      "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n"
+      "{\"ph\":\"M\",\"pid\":2,\"tid\":0,\"name\":\"process_name\","
+      "\"args\":{\"name\":\"jfeedd-worker-1\"}},\n"
+      "{\"ph\":\"X\",\"pid\":2,\"tid\":4,\"name\":\"daemon.grade\","
+      "\"ts\":101.000,\"dur\":3.000}\n"
+      "]}\n";
+  std::string stitched = StitchChromeTraces({broker, worker});
+
+  // Exactly one traceEvents array remains...
+  size_t array_pos = stitched.find("\"traceEvents\":[");
+  ASSERT_NE(array_pos, std::string::npos);
+  EXPECT_EQ(stitched.find("\"traceEvents\":[", array_pos + 1),
+            std::string::npos);
+  // ...holding both processes' names and spans.
+  EXPECT_NE(stitched.find("jfeed-broker"), std::string::npos) << stitched;
+  EXPECT_NE(stitched.find("jfeedd-worker-1"), std::string::npos) << stitched;
+  EXPECT_NE(stitched.find("\"fleet.route\""), std::string::npos);
+  EXPECT_NE(stitched.find("\"daemon.grade\""), std::string::npos);
+  // The splice point gets a comma, keeping the array parseable.
+  EXPECT_NE(stitched.find("\"dur\":5.000}\n,\n{\"ph\":\"M\",\"pid\":2"),
+            std::string::npos)
+      << stitched;
+}
+
+TEST(StitchChromeTracesTest, SkipsGarbageAndEmptyExports) {
+  std::string good =
+      "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n"
+      "{\"ph\":\"X\",\"pid\":1,\"tid\":1,\"name\":\"s\",\"ts\":1.000,"
+      "\"dur\":1.000}\n"
+      "]}\n";
+  // A worker mid-restart answers garbage or an empty ring; the fleet trace
+  // must still come out parseable with the healthy workers' events.
+  std::string empty = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n]}\n";
+  std::string stitched =
+      StitchChromeTraces({"<html>503</html>", empty, good, ""});
+  EXPECT_NE(stitched.find("\"name\":\"s\""), std::string::npos) << stitched;
+  EXPECT_EQ(stitched.find("html"), std::string::npos);
+  // No dangling comma from the skipped exports.
+  EXPECT_EQ(stitched.find("[,"), std::string::npos) << stitched;
+  EXPECT_EQ(stitched.find(",,"), std::string::npos) << stitched;
+
+  // All-garbage input still renders an empty-but-valid trace document.
+  std::string none = StitchChromeTraces({"nope", ""});
+  EXPECT_NE(none.find("\"traceEvents\":["), std::string::npos);
+}
+
 }  // namespace
 }  // namespace jfeed::fleet

@@ -190,6 +190,130 @@ TEST_F(DaemonTest, TracezServesSpansAfterGrading) {
   EXPECT_LE(names, 1u);
 }
 
+TEST_F(DaemonTest, TraceparentHeaderThreadsThroughOutcomeAndEvents) {
+  // A client-minted W3C traceparent must be adopted, not re-minted: the
+  // outcome line and the wide event both join on the caller's trace id,
+  // and /events?trace_id= narrows the flight recorder to that one trace.
+  const std::string trace = "4bf92f3577b34da6a3ce929d0e0e4736";
+  const std::string header = "00-" + trace + "-00f067aa0ba902b7-01";
+  auto traced = HttpFetch(daemon_->port(), "POST", "/grade",
+                          GradeLine("traced-1", assignment().Reference()),
+                          {{"traceparent", header}});
+  ASSERT_TRUE(traced.ok);
+  EXPECT_EQ(traced.status, 200);
+  EXPECT_NE(traced.body.find("\"trace_id\":\"" + trace + "\""),
+            std::string::npos)
+      << traced.body;
+
+  // A second submission without a header gets its own (minted) trace.
+  auto untraced = HttpFetch(daemon_->port(), "POST", "/grade",
+                            GradeLine("untraced-1", assignment().Reference()));
+  ASSERT_TRUE(untraced.ok);
+  EXPECT_EQ(untraced.body.find(trace), std::string::npos) << untraced.body;
+
+  // The trace filter returns exactly the traced submission's event.
+  auto events =
+      HttpFetch(daemon_->port(), "GET", "/events?trace_id=" + trace);
+  ASSERT_TRUE(events.ok);
+  EXPECT_EQ(events.status, 200);
+  obs::WideEvent event;
+  ASSERT_TRUE(obs::FromJson(events.body, &event)) << events.body;
+  EXPECT_EQ(event.submission_id, "traced-1");
+  EXPECT_EQ(event.trace_id, trace);
+  EXPECT_FALSE(event.span_id.empty());
+  EXPECT_EQ(events.body.find("untraced-1"), std::string::npos);
+
+  // A malformed traceparent is never an excuse to reject the grade: the
+  // daemon mints a fresh root and counts the rejection.
+  auto recovered = HttpFetch(daemon_->port(), "POST", "/grade",
+                             GradeLine("garbled-1", assignment().Reference()),
+                             {{"traceparent", "00-garbage"}});
+  ASSERT_TRUE(recovered.ok);
+  EXPECT_EQ(recovered.status, 200);
+  EXPECT_NE(recovered.body.find("\"verdict\":\"correct\""), std::string::npos);
+  auto metrics = HttpFetch(daemon_->port(), "GET", "/metrics");
+  ASSERT_TRUE(metrics.ok);
+  EXPECT_NE(metrics.body.find("jfeed_trace_context_invalid_total 1"),
+            std::string::npos)
+      << metrics.body.substr(0, 512);
+}
+
+TEST_F(DaemonTest, TracezChromeFormatExportsPerfettoDocument) {
+  ASSERT_TRUE(HttpFetch(daemon_->port(), "POST", "/grade",
+                        GradeLine("chrome-1", assignment().Reference()))
+                  .ok);
+  auto result =
+      HttpFetch(daemon_->port(), "GET", "/tracez?format=chrome&pid=3");
+  ASSERT_TRUE(result.ok);
+  EXPECT_EQ(result.status, 200);
+  EXPECT_NE(result.body.find("\"traceEvents\":["), std::string::npos);
+  EXPECT_NE(result.body.find("\"process_name\""), std::string::npos);
+  EXPECT_NE(result.body.find("\"pid\":3"), std::string::npos);
+  EXPECT_NE(result.body.find("\"sched.job\""), std::string::npos)
+      << result.body.substr(0, 512);
+}
+
+TEST_F(DaemonTest, SlozReportsPerAssignmentBudgets) {
+  ASSERT_TRUE(HttpFetch(daemon_->port(), "POST", "/grade",
+                        GradeLine("slo-1", assignment().Reference()))
+                  .ok);
+  auto result = HttpFetch(daemon_->port(), "GET", "/sloz");
+  ASSERT_TRUE(result.ok);
+  EXPECT_EQ(result.status, 200);
+  EXPECT_NE(result.body.find("\"policy\":"), std::string::npos);
+  EXPECT_NE(result.body.find("\"assignment\":\"assignment1\""),
+            std::string::npos)
+      << result.body;
+  // One fast grade against the generous default policy: the budget is
+  // untouched and nothing burns.
+  EXPECT_NE(result.body.find("\"budget_remaining_ppm\":1000000"),
+            std::string::npos)
+      << result.body;
+  EXPECT_NE(result.body.find("\"fast_burn\":false"), std::string::npos);
+  // The grade's latency histogram exemplar links budget to a trace id.
+  EXPECT_NE(result.body.find("\"exemplars\":["), std::string::npos);
+  EXPECT_NE(result.body.find("\"trace_id\":\""), std::string::npos);
+}
+
+TEST_F(DaemonTest, FastBudgetBurnDegradesHealthzBeforeShedding) {
+  // A deliberately impossible SLO: every grade is an SLO-bad event
+  // (latency objective 0 ms) and one event arms the alert. Health must
+  // degrade on burn while /grade still answers — the load balancer steers
+  // away *before* the admission quota starts shedding student work.
+  service::DaemonOptions options;
+  options.assignment_id = "assignment1";
+  options.jobs = 2;
+  options.slo.latency_threshold_us = 0;
+  options.slo.min_events = 1;
+  service::GradingDaemon strict(options);
+  ASSERT_TRUE(strict.Start().ok());
+
+  auto graded = HttpFetch(strict.port(), "POST", "/grade",
+                          GradeLine("burn-1", assignment().Reference()));
+  ASSERT_TRUE(graded.ok);
+  EXPECT_EQ(graded.status, 200) << "burning budget must not refuse grades";
+
+  auto health = HttpFetch(strict.port(), "GET", "/healthz");
+  ASSERT_TRUE(health.ok);
+  EXPECT_EQ(health.status, 503);
+  EXPECT_NE(health.body.find("\"status\":\"slo_fast_burn\""),
+            std::string::npos)
+      << health.body;
+
+  // The same policy with the health hook disabled stays green.
+  strict.Stop();
+  options.slo_health = false;
+  service::GradingDaemon tolerant(options);
+  ASSERT_TRUE(tolerant.Start().ok());
+  ASSERT_TRUE(HttpFetch(tolerant.port(), "POST", "/grade",
+                        GradeLine("burn-2", assignment().Reference()))
+                  .ok);
+  auto tolerated = HttpFetch(tolerant.port(), "GET", "/healthz");
+  ASSERT_TRUE(tolerated.ok);
+  EXPECT_EQ(tolerated.status, 200) << tolerated.body;
+  tolerant.Stop();
+}
+
 TEST_F(DaemonTest, HealthzFlipsUnreadyDuringDrainAndGradeIsRefused) {
   auto healthy = HttpFetch(daemon_->port(), "GET", "/healthz");
   ASSERT_TRUE(healthy.ok);

@@ -21,6 +21,8 @@ WideEvent FullEvent() {
   e.seq = 41;  // Overwritten by Append; meaningful for bare ToJson.
   e.unix_ms = 1754500000123;
   e.submission_id = "s-17 \"quoted\" \\ tab\there\nnewline";
+  e.trace_id = "4bf92f3577b34da6a3ce929d0e0e4736";
+  e.span_id = "00f067aa0ba902b7";
   e.assignment = "assignment-1";
   e.verdict = "incorrect";
   e.tier = "full_epdg";
@@ -57,6 +59,8 @@ TEST(WideEventJsonTest, EveryFieldRoundTripsThroughNdjson) {
   EXPECT_EQ(parsed.seq, original.seq);
   EXPECT_EQ(parsed.unix_ms, original.unix_ms);
   EXPECT_EQ(parsed.submission_id, original.submission_id);
+  EXPECT_EQ(parsed.trace_id, original.trace_id);
+  EXPECT_EQ(parsed.span_id, original.span_id);
   EXPECT_EQ(parsed.assignment, original.assignment);
   EXPECT_EQ(parsed.verdict, original.verdict);
   EXPECT_EQ(parsed.tier, original.tier);
@@ -87,7 +91,8 @@ TEST(WideEventJsonTest, ContractFieldNamesArePresent) {
   // this test is the tripwire (see DESIGN.md §6b).
   std::string line = ToJson(WideEvent());
   for (const char* field :
-       {"\"seq\":", "\"unix_ms\":", "\"id\":", "\"assignment\":",
+       {"\"seq\":", "\"unix_ms\":", "\"id\":", "\"trace_id\":",
+        "\"span_id\":", "\"assignment\":",
         "\"verdict\":", "\"tier\":", "\"failure_class\":", "\"cache\":",
         "\"degraded\":", "\"diagnostic\":", "\"score\":", "\"match_steps\":",
         "\"match_regex_checks\":", "\"interp_steps\":",

@@ -16,6 +16,8 @@
 #include <cstdio>
 #include <cstring>
 #include <string>
+#include <utility>
+#include <vector>
 
 namespace jfeed::testutil {
 
@@ -27,10 +29,13 @@ struct HttpResult {
 };
 
 /// One HTTP exchange against 127.0.0.1:`port`. `body` non-empty implies a
-/// Content-Length header. Reads until the server closes the connection.
-inline HttpResult HttpFetch(uint16_t port, const std::string& method,
-                            const std::string& target,
-                            const std::string& body = "") {
+/// Content-Length header; `extra_headers` are sent verbatim (e.g. a
+/// traceparent). Reads until the server closes the connection.
+inline HttpResult HttpFetch(
+    uint16_t port, const std::string& method, const std::string& target,
+    const std::string& body = "",
+    const std::vector<std::pair<std::string, std::string>>& extra_headers =
+        {}) {
   HttpResult result;
   int fd = ::socket(AF_INET, SOCK_STREAM, 0);
   if (fd < 0) return result;
@@ -46,6 +51,9 @@ inline HttpResult HttpFetch(uint16_t port, const std::string& method,
 
   std::string request = method + " " + target + " HTTP/1.1\r\n";
   request += "Host: 127.0.0.1\r\n";
+  for (const auto& [name, value] : extra_headers) {
+    request += name + ": " + value + "\r\n";
+  }
   if (!body.empty()) {
     request += "Content-Length: " + std::to_string(body.size()) + "\r\n";
   }

@@ -341,7 +341,19 @@ int main(int argc, char** argv) {
   }
 
   jfeed::service::GradingPipeline pipeline(assignment, options);
-  jfeed::service::GradingOutcome outcome = pipeline.Grade(source);
+  // The CLI is its own outermost trace entry point: mint a root context so
+  // the --json outcome (and any --trace-out export) carries a trace id even
+  // for a local one-shot grade. When the tracer is off the span does not
+  // record and the minted id is stamped below as the fallback.
+  jfeed::obs::TraceContext cli_ctx = jfeed::obs::MintTraceContext();
+  jfeed::service::GradingOutcome outcome;
+  {
+    jfeed::obs::Span cli_span("grade.cli", cli_ctx);
+    outcome = pipeline.Grade(source);
+  }
+  if (outcome.trace_id.empty()) {
+    outcome.trace_id = jfeed::obs::TraceIdHex(cli_ctx);
+  }
   if (jfeed::obs::EventLog::Global().enabled()) {
     // Single-submission mode never touches the result cache, hence "off";
     // the submission file path doubles as the recorder id.

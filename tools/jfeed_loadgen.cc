@@ -32,6 +32,11 @@
 // so when the daemon sheds, offered load does NOT slow down — exactly the
 // deadline-day condition the per-shard admission control exists for.
 //
+// Every request carries a freshly minted W3C traceparent; the report's
+// totals block lists the trace ids of the slowest graded requests and of
+// every shed one, ready to paste into /events?trace_id= or to find in the
+// fleet's stitched /tracez.
+//
 // Exit codes: 0 when every request got an HTTP answer and none errored,
 // 1 when any request errored, 2 on usage/startup problems.
 
@@ -49,6 +54,7 @@
 
 #include "fleet/http_client.h"
 #include "kb/assignments.h"
+#include "obs/trace_context.h"
 #include "testing/traffic.h"
 
 namespace {
@@ -94,6 +100,9 @@ struct Sample {
   size_t assignment = 0;  ///< Index into the assignment-id list.
   int64_t latency_us = 0;
   enum class Kind { kOk, kShed, kError } kind = Kind::kError;
+  /// The trace id this request carried as its traceparent — the join key
+  /// into the daemon's /events?trace_id= and /tracez views.
+  std::string trace_id;
 };
 
 /// Latency percentile over an explicitly sorted sample set (exact, not
@@ -110,6 +119,10 @@ struct Totals {
   int64_t shed = 0;
   int64_t errors = 0;
   std::vector<int64_t> ok_latencies_us;
+  /// {latency_us, trace_id} per ok request — source of the slowest-N list.
+  std::vector<std::pair<int64_t, std::string>> ok_traces;
+  /// Trace id of every shed request, send order.
+  std::vector<std::string> shed_traces;
 
   void Fold(const Sample& sample) {
     ++sent;
@@ -117,9 +130,11 @@ struct Totals {
       case Sample::Kind::kOk:
         ++ok;
         ok_latencies_us.push_back(sample.latency_us);
+        ok_traces.emplace_back(sample.latency_us, sample.trace_id);
         break;
       case Sample::Kind::kShed:
         ++shed;
+        shed_traces.push_back(sample.trace_id);
         break;
       case Sample::Kind::kError:
         ++errors;
@@ -156,6 +171,30 @@ std::string RenderBlock(const Totals& totals, double wall_s) {
   out += ",\"p99\":" + std::to_string(Percentile(sorted, 0.99));
   out += ",\"max\":" + std::to_string(sorted.empty() ? 0 : sorted.back());
   out += "}";
+  return out;
+}
+
+/// Trace pointers into the distributed-trace views: the slowest `n` graded
+/// requests (latency descending — the ones worth pulling up in /tracez or
+/// /events?trace_id=) and every shed request. Schema-additive fields of the
+/// jfeed-bench-loadgen-v1 report.
+std::string RenderTraceBlock(const Totals& totals, size_t n) {
+  std::vector<std::pair<int64_t, std::string>> slowest = totals.ok_traces;
+  std::sort(slowest.begin(), slowest.end(),
+            [](const auto& a, const auto& b) { return a.first > b.first; });
+  if (slowest.size() > n) slowest.resize(n);
+  std::string out = ",\"slowest_traces\":[";
+  for (size_t i = 0; i < slowest.size(); ++i) {
+    if (i > 0) out += ",";
+    out += "{\"latency_us\":" + std::to_string(slowest[i].first);
+    out += ",\"trace_id\":\"" + slowest[i].second + "\"}";
+  }
+  out += "],\"shed_traces\":[";
+  for (size_t i = 0; i < totals.shed_traces.size(); ++i) {
+    if (i > 0) out += ",";
+    out += "\"" + totals.shed_traces[i] + "\"";
+  }
+  out += "]";
   return out;
 }
 
@@ -283,11 +322,17 @@ int main(int argc, char** argv) {
       auto due = start + std::chrono::milliseconds(
                              schedule[i].offset_ms * time_scale / 100);
       std::this_thread::sleep_until(due);
+      // Every request is the root of its own distributed trace: the daemon
+      // (or broker) adopts this context, so the report's trace ids join
+      // directly against /events?trace_id= and the stitched /tracez.
+      jfeed::obs::TraceContext ctx = jfeed::obs::MintTraceContext();
       auto sent_at = std::chrono::steady_clock::now();
-      auto reply = jfeed::fleet::Fetch(static_cast<uint16_t>(port), "POST",
-                                       "/grade", bodies[i], deadline_ms);
+      auto reply = jfeed::fleet::Fetch(
+          static_cast<uint16_t>(port), "POST", "/grade", bodies[i],
+          {{"traceparent", jfeed::obs::FormatTraceparent(ctx)}}, deadline_ms);
       auto answered_at = std::chrono::steady_clock::now();
       Sample& sample = samples[i];
+      sample.trace_id = jfeed::obs::TraceIdHex(ctx);
       sample.assignment = assignment_index[schedule[i].assignment];
       sample.latency_us =
           std::chrono::duration_cast<std::chrono::microseconds>(answered_at -
@@ -334,7 +379,8 @@ int main(int argc, char** argv) {
   std::snprintf(buf, sizeof(buf), "%.3f", wall_s);
   report += ",\"wall_s\":";
   report += buf;
-  report += ",\"totals\":{" + RenderBlock(totals, wall_s) + "}";
+  report += ",\"totals\":{" + RenderBlock(totals, wall_s) +
+            RenderTraceBlock(totals, 5) + "}";
   report += ",\"assignments\":[";
   for (size_t i = 0; i < ids.size(); ++i) {
     if (i > 0) report += ",";

@@ -16,9 +16,12 @@
 //   GET  /metrics   Prometheus text exposition
 //   GET  /healthz   readiness (200 ok | 503 draining/saturated/degraded)
 //   GET  /statusz   build info, uptime, utilization, per-shard depth/shed
-//   GET  /tracez    recent trace spans (JSON; ?limit=N)
+//   GET  /tracez    recent trace spans (JSON; ?limit=N); ?format=chrome
+//                   [&pid=N] exports a Chrome/Perfetto trace instead
 //   GET  /events    per-submission flight recorder (NDJSON; ?limit=N,
-//                   ?assignment=<id> narrows to one tenant)
+//                   ?assignment=<id> narrows to one tenant, ?trace_id=<id>
+//                   to one distributed trace)
+//   GET  /sloz      per-assignment SLO budgets and burn rates (JSON)
 //
 // Flags:
 //   --port <n>             listen port (default 0 = ephemeral, printed)
@@ -38,6 +41,15 @@
 //                          also arms parent-death detection (on Linux the
 //                          kernel delivers SIGTERM if the broker dies, so
 //                          an orphaned worker drains instead of lingering)
+//   --slo-latency-ms <n>   per-assignment latency objective: a grade slower
+//                          than this burns error budget (default 30000)
+//   --slo-target-ppm <n>   availability target in parts-per-million
+//                          (default 999000 = 99.9%)
+//   --slo-window-s <n>     error-budget window seconds (default 3600)
+//   --slo-fast-window-s <n> fast burn-rate window seconds (default 60)
+//   --slo-min-events <n>   events required in a burn window before its
+//                          alert can fire (default 50)
+//   --no-slo-health        do not degrade /healthz on fast budget burn
 //
 // Shutdown: SIGINT/SIGTERM begin a drain — /healthz flips to 503 and new
 // POST /grade work is refused while in-flight grading finishes and the
@@ -78,7 +90,10 @@ int Usage(const char* argv0) {
                "usage: %s <assignment-id>[,<id>...] [--port N] [--jobs N] "
                "[--queue N] [--shard-queue N] [--no-cache] [--method-cache] "
                "[--events N] "
-               "[--timeout-ms N] [--max-heap-bytes N] [--worker-id N]\n"
+               "[--timeout-ms N] [--max-heap-bytes N] [--worker-id N] "
+               "[--slo-latency-ms N] [--slo-target-ppm N] [--slo-window-s N] "
+               "[--slo-fast-window-s N] [--slo-min-events N] "
+               "[--no-slo-health]\n"
                "       %s --all [flags]   serve every assignment\n"
                "       %s --list\n",
                argv0, argv0, argv0);
@@ -139,6 +154,10 @@ int main(int argc, char** argv) {
       options.use_method_cache = true;
       continue;
     }
+    if (std::strcmp(arg, "--no-slo-health") == 0) {
+      options.slo_health = false;
+      continue;
+    }
     if (i + 1 >= argc) {
       std::fprintf(stderr, "%s needs a value\n", arg);
       return 2;
@@ -170,6 +189,21 @@ int main(int argc, char** argv) {
       options.pipeline.exec.max_heap_bytes = value;
     } else if (std::strcmp(arg, "--worker-id") == 0) {
       options.worker_id = static_cast<int>(value);
+    } else if (std::strcmp(arg, "--slo-latency-ms") == 0) {
+      options.slo.latency_threshold_us = value * 1000;
+    } else if (std::strcmp(arg, "--slo-target-ppm") == 0) {
+      if (value > 1'000'000) {
+        std::fprintf(stderr, "--slo-target-ppm out of range: %lld\n",
+                     static_cast<long long>(value));
+        return 2;
+      }
+      options.slo.availability_target_ppm = value;
+    } else if (std::strcmp(arg, "--slo-window-s") == 0) {
+      options.slo.window_s = value > 0 ? value : 1;
+    } else if (std::strcmp(arg, "--slo-fast-window-s") == 0) {
+      options.slo.fast_window_s = value > 0 ? value : 1;
+    } else if (std::strcmp(arg, "--slo-min-events") == 0) {
+      options.slo.min_events = value;
     } else {
       std::fprintf(stderr, "unknown flag '%s'\n", arg);
       return Usage(argv[0]);
@@ -223,7 +257,7 @@ int main(int argc, char** argv) {
   }
   std::printf("jfeedd %s serving %s on http://127.0.0.1:%u "
               "(%d workers; POST /grade, GET /metrics /healthz /statusz "
-              "/tracez /events)\n",
+              "/tracez /events /sloz)\n",
               jfeed::service::kJfeedVersion, serving.c_str(), daemon.port(),
               options.jobs);
   std::fflush(stdout);
